@@ -1,0 +1,32 @@
+//! Design-choice ablations (§6.4.2): last-slot pulling and the indirect
+//! stability threshold.
+
+use btb_bench::{bench_baseline, bench_suite};
+use btb_harness::experiments;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let suite = bench_suite();
+    let base = bench_baseline(&suite);
+    c.bench_function("ablations", |b| {
+        b.iter(|| {
+            let fig = experiments::ablations(&suite, &base);
+            assert!(!fig.rows.is_empty());
+            fig
+        });
+    });
+    c.bench_function("hetero", |b| {
+        b.iter(|| {
+            let fig = experiments::hetero(&suite, &base);
+            assert!(!fig.rows.is_empty());
+            fig
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Regenerates the paper's Fig. 11a/11b limit studies at bench scale.
+
+use btb_bench::bench_suite;
+use btb_harness::experiments;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let suite = bench_suite();
+    c.bench_function("fig11a", |b| {
+        b.iter(|| {
+            let fig = experiments::fig11a(&suite);
+            assert!(!fig.rows.is_empty());
+            fig
+        });
+    });
+    c.bench_function("fig11b", |b| {
+        b.iter(|| {
+            let fig = experiments::fig11b(&suite);
+            assert_eq!(fig.rows.len(), 6);
+            fig
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Regenerates the paper's fig8 at bench scale.
+
+use btb_bench::{bench_baseline, bench_suite};
+use btb_harness::experiments;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let suite = bench_suite();
+    let base = bench_baseline(&suite);
+    c.bench_function("fig8", |b| {
+        b.iter(|| {
+            let fig = experiments::fig8(&suite, &base);
+            assert!(!fig.rows.is_empty());
+            fig
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Table 1 (configuration rendering) plus raw simulator throughput on the
+//! bench suite — the "how fast is the substrate" bench.
+
+use btb_bench::{bench_scale, bench_suite};
+use btb_harness::{configs, experiments};
+use btb_sim::{simulate, PipelineConfig};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("table1", |b| {
+        b.iter(|| experiments::table1())
+    });
+    let suite = bench_suite();
+    let mut g = c.benchmark_group("simulator_throughput");
+    g.throughput(Throughput::Elements(bench_scale().insts as u64));
+    g.sample_size(10);
+    g.bench_function("ideal_ibtb16", |b| {
+        b.iter(|| simulate(&suite.traces[0], configs::baseline(), PipelineConfig::paper()));
+    });
+    g.bench_function("real_mbbtb_3bs_allbr", |b| {
+        b.iter(|| {
+            simulate(
+                &suite.traces[0],
+                configs::real_mbbtb(16, 3, btb_core::PullPolicy::AllBranches),
+                PipelineConfig::paper(),
+            )
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

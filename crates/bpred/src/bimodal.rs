@@ -1,0 +1,86 @@
+//! Bimodal (2-bit saturating counter) direction predictor — the ablation
+//! baseline contrasted against the hashed perceptron.
+
+/// A PC-indexed table of 2-bit saturating counters.
+#[derive(Debug, Clone)]
+pub struct Bimodal {
+    counters: Vec<u8>,
+    mask: usize,
+}
+
+impl Bimodal {
+    /// Creates a bimodal predictor with `entries` counters (rounded up to a
+    /// power of two), initialized weakly not-taken.
+    #[must_use]
+    pub fn new(entries: usize) -> Self {
+        let n = entries.next_power_of_two().max(16);
+        Bimodal {
+            counters: vec![1; n],
+            mask: n - 1,
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & self.mask
+    }
+
+    /// Predicts the branch direction.
+    #[must_use]
+    pub fn predict(&self, pc: u64) -> bool {
+        self.counters[self.index(pc)] >= 2
+    }
+
+    /// Updates with the actual outcome.
+    pub fn update(&mut self, pc: u64, taken: bool) {
+        let idx = self.index(pc);
+        let c = &mut self.counters[idx];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_on_bias() {
+        let mut b = Bimodal::new(256);
+        for _ in 0..4 {
+            b.update(0x40, true);
+        }
+        assert!(b.predict(0x40));
+        for _ in 0..4 {
+            b.update(0x40, false);
+        }
+        assert!(!b.predict(0x40));
+    }
+
+    #[test]
+    fn hysteresis_tolerates_single_flip() {
+        let mut b = Bimodal::new(256);
+        for _ in 0..4 {
+            b.update(0x80, true);
+        }
+        b.update(0x80, false); // one anomaly
+        assert!(b.predict(0x80), "2-bit counter should not flip on one miss");
+    }
+
+    #[test]
+    fn cannot_learn_alternating() {
+        // The classic bimodal weakness: a strict T/N alternation.
+        let mut b = Bimodal::new(256);
+        let mut correct = 0;
+        for i in 0..1000u64 {
+            let taken = i % 2 == 0;
+            if b.predict(0x100) == taken {
+                correct += 1;
+            }
+            b.update(0x100, taken);
+        }
+        assert!(correct < 700, "bimodal should struggle: {correct}/1000");
+    }
+}

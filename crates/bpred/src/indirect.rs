@@ -1,0 +1,121 @@
+//! Indirect branch target predictor: a 4K-entry gshare-like table indexed by
+//! the branch PC hashed with path history (Table 1 of the paper).
+
+use crate::history::PathHistory;
+use btb_trace::Addr;
+
+/// A gshare-like indirect target predictor.
+#[derive(Debug, Clone)]
+pub struct IndirectPredictor {
+    /// Path-history-indexed target table.
+    table: Vec<Addr>,
+    /// PC-indexed fallback (captures monomorphic sites before history warms).
+    pc_table: Vec<Addr>,
+    mask: usize,
+}
+
+impl IndirectPredictor {
+    /// Creates a predictor with `entries` slots (rounded up to a power of
+    /// two). The paper uses 4K entries.
+    #[must_use]
+    pub fn new(entries: usize) -> Self {
+        let n = entries.next_power_of_two().max(16);
+        IndirectPredictor {
+            table: vec![0; n],
+            pc_table: vec![0; n],
+            mask: n - 1,
+        }
+    }
+
+    /// The paper's 4K-entry configuration.
+    #[must_use]
+    pub fn paper() -> Self {
+        IndirectPredictor::new(4096)
+    }
+
+    fn index(&self, pc: Addr, path: &PathHistory) -> usize {
+        let h = (pc >> 2) ^ path.value() ^ (path.value() >> 13);
+        (h as usize) & self.mask
+    }
+
+    fn pc_index(&self, pc: Addr) -> usize {
+        ((pc >> 2) as usize) & self.mask
+    }
+
+    /// Predicts the target of the indirect branch at `pc`. Returns `None`
+    /// when no target has been recorded for either index.
+    #[must_use]
+    pub fn predict(&self, pc: Addr, path: &PathHistory) -> Option<Addr> {
+        let t = self.table[self.index(pc, path)];
+        if t != 0 {
+            return Some(t);
+        }
+        let f = self.pc_table[self.pc_index(pc)];
+        if f != 0 {
+            Some(f)
+        } else {
+            None
+        }
+    }
+
+    /// Records the actual target of the indirect branch at `pc`.
+    pub fn update(&mut self, pc: Addr, path: &PathHistory, target: Addr) {
+        let idx = self.index(pc, path);
+        self.table[idx] = target;
+        let pidx = self.pc_index(pc);
+        self.pc_table[pidx] = target;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_predictor_predicts_nothing() {
+        let p = IndirectPredictor::new(64);
+        assert_eq!(p.predict(0x1234, &PathHistory::new()), None);
+    }
+
+    #[test]
+    fn monomorphic_site_is_learned() {
+        let mut p = IndirectPredictor::new(1024);
+        let mut path = PathHistory::new();
+        for i in 0..20 {
+            p.update(0x4000, &path, 0x9000);
+            path.push_target(0x9000 + i);
+        }
+        assert_eq!(p.predict(0x4000, &path), Some(0x9000));
+    }
+
+    #[test]
+    fn path_correlated_targets_are_separated() {
+        let mut p = IndirectPredictor::new(4096);
+        let mut path_a = PathHistory::new();
+        path_a.push_target(0xaaa0);
+        let mut path_b = PathHistory::new();
+        path_b.push_target(0xbbb0);
+        p.update(0x4000, &path_a, 0x1111_0000);
+        p.update(0x4000, &path_b, 0x2222_0000);
+        assert_eq!(p.predict(0x4000, &path_a), Some(0x1111_0000));
+        assert_eq!(p.predict(0x4000, &path_b), Some(0x2222_0000));
+    }
+
+    #[test]
+    fn fallback_covers_cold_paths() {
+        let mut p = IndirectPredictor::new(4096);
+        let mut warm = PathHistory::new();
+        warm.push_target(0x1000);
+        p.update(0x8000, &warm, 0x5000);
+        // Different, never-seen path: the PC fallback still knows the target.
+        let mut cold = PathHistory::new();
+        cold.push_target(0x7777_7777);
+        assert_eq!(p.predict(0x8000, &cold), Some(0x5000));
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        let p = IndirectPredictor::new(100);
+        assert_eq!(p.table.len(), 128);
+    }
+}

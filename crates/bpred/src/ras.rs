@@ -1,0 +1,141 @@
+//! Return Address Stack (Table 1: 64 entries).
+
+use btb_trace::Addr;
+
+/// A fixed-capacity circular return address stack.
+///
+/// On overflow the oldest entry is silently overwritten (wrap-around), as in
+/// real hardware; on underflow [`ReturnAddressStack::pop`] returns `None`.
+#[derive(Debug, Clone)]
+pub struct ReturnAddressStack {
+    entries: Vec<Addr>,
+    top: usize,
+    depth: usize,
+}
+
+impl ReturnAddressStack {
+    /// Creates a RAS with the given capacity.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "RAS capacity must be non-zero");
+        ReturnAddressStack {
+            entries: vec![0; capacity],
+            top: 0,
+            depth: 0,
+        }
+    }
+
+    /// The paper's 64-entry configuration.
+    #[must_use]
+    pub fn paper() -> Self {
+        ReturnAddressStack::new(64)
+    }
+
+    /// Pushes a return address (on a call).
+    pub fn push(&mut self, addr: Addr) {
+        self.top = (self.top + 1) % self.entries.len();
+        self.entries[self.top] = addr;
+        self.depth = (self.depth + 1).min(self.entries.len());
+    }
+
+    /// Pops the predicted return address (on a return).
+    pub fn pop(&mut self) -> Option<Addr> {
+        if self.depth == 0 {
+            return None;
+        }
+        let v = self.entries[self.top];
+        self.top = (self.top + self.entries.len() - 1) % self.entries.len();
+        self.depth -= 1;
+        Some(v)
+    }
+
+    /// Peeks at the predicted return address without popping.
+    #[must_use]
+    pub fn peek(&self) -> Option<Addr> {
+        if self.depth == 0 {
+            None
+        } else {
+            Some(self.entries[self.top])
+        }
+    }
+
+    /// Peeks at the `n`-th entry from the top (0 = top) without popping;
+    /// used by speculative-plan overlays that have consumed `n` returns.
+    #[must_use]
+    pub fn peek_nth(&self, n: usize) -> Option<Addr> {
+        if n >= self.depth {
+            return None;
+        }
+        let idx = (self.top + self.entries.len() - n) % self.entries.len();
+        Some(self.entries[idx])
+    }
+
+    /// Current number of live entries.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Capacity of the stack.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut ras = ReturnAddressStack::new(8);
+        ras.push(0x100);
+        ras.push(0x200);
+        assert_eq!(ras.pop(), Some(0x200));
+        assert_eq!(ras.pop(), Some(0x100));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn peek_does_not_pop() {
+        let mut ras = ReturnAddressStack::new(4);
+        ras.push(0x42);
+        assert_eq!(ras.peek(), Some(0x42));
+        assert_eq!(ras.depth(), 1);
+        assert_eq!(ras.pop(), Some(0x42));
+        assert_eq!(ras.peek(), None);
+    }
+
+    #[test]
+    fn overflow_wraps_and_loses_oldest() {
+        let mut ras = ReturnAddressStack::new(2);
+        ras.push(1);
+        ras.push(2);
+        ras.push(3); // overwrites 1
+        assert_eq!(ras.depth(), 2);
+        assert_eq!(ras.pop(), Some(3));
+        assert_eq!(ras.pop(), Some(2));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn deep_call_chains_within_capacity_are_exact() {
+        let mut ras = ReturnAddressStack::paper();
+        for i in 0..60u64 {
+            ras.push(0x1000 + i * 4);
+        }
+        for i in (0..60u64).rev() {
+            assert_eq!(ras.pop(), Some(0x1000 + i * 4));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _ = ReturnAddressStack::new(0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Reference-model tests for the predictor substrates: the folded history
+//! must equal a naive bit-vector fold, and the RAS must match a plain stack.
+
+use btb_bpred::{GlobalHistory, ReturnAddressStack};
+use proptest::prelude::*;
+
+/// Naive reference: keep all outcomes in a Vec, fold by chunking.
+fn reference_fold(bits: &[bool], len: usize, out_bits: usize) -> u64 {
+    let mut acc = 0u64;
+    let take: Vec<&bool> = bits.iter().rev().take(len).collect();
+    for (i, b) in take.iter().enumerate() {
+        if **b {
+            acc ^= 1u64 << (i % out_bits);
+        }
+    }
+    acc & ((1u64 << out_bits) - 1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn fold_matches_reference(
+        outcomes in proptest::collection::vec(any::<bool>(), 0..256),
+        len in 1usize..=232,
+        out_bits in 4usize..=20,
+    ) {
+        let mut h = GlobalHistory::new();
+        for &b in &outcomes {
+            h.push(b);
+        }
+        prop_assert_eq!(
+            h.fold(len, out_bits),
+            reference_fold(&outcomes, len, out_bits),
+            "len {} out {}",
+            len,
+            out_bits
+        );
+    }
+
+    #[test]
+    fn ras_matches_reference_stack(
+        ops in proptest::collection::vec((any::<bool>(), 0u64..1000), 1..200),
+    ) {
+        let capacity = 16;
+        let mut ras = ReturnAddressStack::new(capacity);
+        let mut model: Vec<u64> = Vec::new();
+        for (is_push, val) in ops {
+            if is_push {
+                ras.push(val);
+                model.push(val);
+                if model.len() > capacity {
+                    model.remove(0); // overflow drops the oldest
+                }
+            } else {
+                let got = ras.pop();
+                let want = model.pop();
+                prop_assert_eq!(got, want);
+            }
+            prop_assert_eq!(ras.depth(), model.len());
+            prop_assert_eq!(ras.peek(), model.last().copied());
+        }
+    }
+}

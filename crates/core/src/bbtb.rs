@@ -1,0 +1,475 @@
+//! Block BTB: one entry per dynamic block start (§2.3), with optional entry
+//! splitting on branch-slot overflow (§6.3).
+//!
+//! Blocks follow the paper's baseline definition: a block starts at a
+//! taken-branch target (or at the 64 B-grid fall-through of the previous
+//! block), spans at most `block_insts` instructions, falls through
+//! sometimes-taken conditionals, and its fall-through address is computable
+//! in parallel with the BTB access (`start + block_insts × 4`) — except for
+//! split entries, whose fall-through is the recorded split point.
+
+use crate::config::{BtbConfig, BtbLevel, OrgKind};
+use crate::hierarchy::TwoLevel;
+use crate::inspect::{BtbInspection, LevelInspection};
+use crate::org::{bubbles_for, BtbOrganization};
+use crate::plan::{FetchPlan, PlanEnd, PlanSegment, PlannedBranch, PredictionProvider};
+use btb_trace::{Addr, BranchKind, TraceRecord, INST_BYTES};
+use std::collections::HashMap;
+
+/// One branch slot of a block entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct BSlot {
+    /// Instruction offset within the block.
+    pub(crate) offset: u16,
+    pub(crate) kind: BranchKind,
+    pub(crate) target: Addr,
+    pub(crate) last_use: u64,
+}
+
+/// One B-BTB entry: slots ordered by offset plus an optional split length.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub(crate) struct BEntry {
+    pub(crate) slots: Vec<BSlot>,
+    /// `Some(n)` when the entry was split after `n` instructions; its
+    /// fall-through is then `start + n*4` instead of the full block reach.
+    pub(crate) split_len: Option<u16>,
+}
+
+impl BEntry {
+    /// Effective reach of the entry in instructions.
+    pub(crate) fn reach(&self, block_insts: usize) -> u64 {
+        self.split_len.map_or(block_insts as u64, u64::from)
+    }
+}
+
+/// The Block BTB organization.
+#[derive(Debug, Clone)]
+pub struct BlockBtb {
+    config: BtbConfig,
+    block_insts: usize,
+    slots: usize,
+    split: bool,
+    store: TwoLevel<BEntry>,
+    /// Retire-side block tracker: the start address of the block the next
+    /// retired branch belongs to.
+    cur_block: Option<Addr>,
+    tick: u64,
+}
+
+impl BlockBtb {
+    /// Creates a B-BTB from a configuration whose kind must be
+    /// [`OrgKind::Block`].
+    ///
+    /// # Panics
+    /// Panics if the configuration is of a different organization kind.
+    #[must_use]
+    pub fn new(config: BtbConfig) -> Self {
+        let OrgKind::Block {
+            block_insts,
+            slots,
+            split,
+        } = config.kind
+        else {
+            panic!("BlockBtb requires OrgKind::Block");
+        };
+        assert!(block_insts > 0, "block reach must be non-zero");
+        assert!(slots > 0, "B-BTB needs at least one branch slot");
+        BlockBtb {
+            store: TwoLevel::new(config.l1, config.l2),
+            block_insts,
+            slots,
+            split,
+            config,
+            cur_block: None,
+            tick: 0,
+        }
+    }
+
+    fn block_bytes(&self) -> u64 {
+        self.block_insts as u64 * INST_BYTES
+    }
+
+    fn key(pc: Addr) -> u64 {
+        pc >> 2
+    }
+
+    fn predict_slot(
+        slot: &BSlot,
+        pc: Addr,
+        oracle: &mut dyn PredictionProvider,
+    ) -> (bool, Addr) {
+        match slot.kind {
+            BranchKind::CondDirect => (oracle.predict_cond(pc), slot.target),
+            BranchKind::UncondDirect | BranchKind::DirectCall => (true, slot.target),
+            BranchKind::IndirectJump | BranchKind::IndirectCall => {
+                (true, oracle.predict_indirect(pc).unwrap_or(slot.target))
+            }
+            BranchKind::Return => (true, oracle.predict_return(pc).unwrap_or(slot.target)),
+        }
+    }
+
+    /// Follows split chains: finds the block (starting at or after `start`)
+    /// whose address range contains `pc`, consulting existing entries'
+    /// split lengths.
+    fn resolve_block(&self, mut start: Addr, pc: Addr) -> Addr {
+        loop {
+            // Advance over full blocks on the fall-through grid.
+            if pc >= start + self.block_bytes() {
+                start += self.block_bytes();
+                continue;
+            }
+            // Advance over a split prefix.
+            if let Some((e, _)) = self.store.peek(Self::key(start)) {
+                if let Some(len) = e.split_len {
+                    let end = start + u64::from(len) * INST_BYTES;
+                    if pc >= end {
+                        start = end;
+                        continue;
+                    }
+                }
+            }
+            return start;
+        }
+    }
+
+    /// Records a taken branch into the entry for block `start`.
+    fn record_taken(&mut self, start: Addr, rec: &TraceRecord, kind: BranchKind) {
+        self.tick += 1;
+        let tick = self.tick;
+        let offset = ((rec.pc - start) / INST_BYTES) as u16;
+        let target = rec.target;
+        let max_slots = self.slots;
+        let split = self.split;
+        // The split decision must be consistent across levels: compute it on
+        // the shared (authoritative) content, then apply.
+        let mut overflow_split: Option<(BSlot, u16)> = None;
+        self.store.update_with(Self::key(start), BEntry::default, |e| {
+            if let Some(s) = e.slots.iter_mut().find(|s| s.offset == offset) {
+                s.kind = kind;
+                s.target = target;
+                s.last_use = tick;
+                return;
+            }
+            let new = BSlot {
+                offset,
+                kind,
+                target,
+                last_use: tick,
+            };
+            let at = e.slots.partition_point(|s| s.offset < offset);
+            if e.slots.len() < max_slots {
+                e.slots.insert(at, new);
+                return;
+            }
+            if split {
+                // §6.3: stage n+1 slots, keep the first n, split after the
+                // n-th slot's instruction; the overflow slot moves to the
+                // successor entry.
+                let mut staging = e.slots.clone();
+                staging.insert(at, new);
+                let moved = staging.pop().expect("staging has n+1 slots");
+                let split_at = staging.last().expect("n >= 1").offset + 1;
+                e.slots = staging;
+                e.split_len = Some(split_at);
+                overflow_split = Some((moved, split_at));
+            } else {
+                // Baseline: displace the LRU slot (§6.3 "information is
+                // lost").
+                let victim = e
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, s)| s.last_use)
+                    .map(|(i, _)| i)
+                    .expect("slots non-empty");
+                e.slots.remove(victim);
+                let at = e.slots.partition_point(|s| s.offset < offset);
+                e.slots.insert(at, new);
+            }
+        });
+        if let Some((moved, split_at)) = overflow_split {
+            let succ_start = start + u64::from(split_at) * INST_BYTES;
+            let rebased = BSlot {
+                offset: moved.offset - split_at,
+                ..moved
+            };
+            self.store
+                .update_with(Self::key(succ_start), BEntry::default, |e| {
+                    if let Some(s) = e.slots.iter_mut().find(|s| s.offset == rebased.offset) {
+                        s.kind = rebased.kind;
+                        s.target = rebased.target;
+                        s.last_use = tick;
+                    } else if e.slots.len() < max_slots {
+                        let at = e.slots.partition_point(|s| s.offset < rebased.offset);
+                        e.slots.insert(at, rebased.clone());
+                    }
+                    // If the successor is itself full, the moved branch is
+                    // dropped; it will re-allocate on its next execution.
+                });
+        }
+    }
+}
+
+impl BtbOrganization for BlockBtb {
+    fn config(&self) -> &BtbConfig {
+        &self.config
+    }
+
+    fn plan(&mut self, pc: Addr, oracle: &mut dyn PredictionProvider) -> FetchPlan {
+        let Some((entry, level)) = self.store.lookup_fill(Self::key(pc)) else {
+            // Miss: the frontend speculates sequentially over a full block.
+            return FetchPlan::sequential(pc, self.block_insts as u64);
+        };
+        let used_l2 = level == BtbLevel::L2;
+        let mut branches = Vec::new();
+        for slot in &entry.slots {
+            let slot_pc = pc + u64::from(slot.offset) * INST_BYTES;
+            let (taken, target) = Self::predict_slot(slot, slot_pc, oracle);
+            if slot.kind.is_call() && taken {
+                oracle.note_call(slot_pc + INST_BYTES);
+            }
+            branches.push(PlannedBranch {
+                pc: slot_pc,
+                kind: slot.kind,
+                taken,
+                target,
+                level,
+            });
+            if taken {
+                return FetchPlan {
+                    access_pc: pc,
+                    segments: vec![PlanSegment {
+                        start: pc,
+                        end: slot_pc + INST_BYTES,
+                    }],
+                    branches,
+                    next_pc: target,
+                    bubbles: bubbles_for(level, slot.kind, &self.config.timing),
+                    end: PlanEnd::TakenBranch,
+                    used_l2,
+                };
+            }
+        }
+        // Fall-through: full grid reach, or the split point for split
+        // entries (entry information needed, §6.3).
+        let reach = entry.reach(self.block_insts);
+        let end = pc + reach * INST_BYTES;
+        FetchPlan {
+            access_pc: pc,
+            segments: vec![PlanSegment { start: pc, end }],
+            branches,
+            next_pc: end,
+            bubbles: 0,
+            end: PlanEnd::WindowEnd,
+            used_l2,
+        }
+    }
+
+    fn update(&mut self, rec: &TraceRecord) {
+        let Some(kind) = rec.branch_kind() else {
+            return;
+        };
+        let start = self.resolve_block(self.cur_block.unwrap_or(rec.pc).min(rec.pc), rec.pc);
+        if rec.taken {
+            self.record_taken(start, rec, kind);
+            self.cur_block = Some(rec.target);
+        } else {
+            self.cur_block = Some(start);
+        }
+    }
+
+    fn inspect(&self) -> BtbInspection {
+        let slots = self.slots;
+        let level = |s: &crate::storage::SetAssoc<BEntry>| {
+            let mut counts: HashMap<u64, u64> = HashMap::new();
+            for (k, e) in s.iter() {
+                let start = k << 2;
+                for slot in &e.slots {
+                    let pc = start + u64::from(slot.offset) * INST_BYTES;
+                    *counts.entry(pc).or_insert(0) += 1;
+                }
+            }
+            LevelInspection::from_branch_map(s.len(), s.capacity(), slots, &counts)
+        };
+        BtbInspection {
+            l1: level(self.store.l1()),
+            l2: self.store.l2().map(level).unwrap_or_default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FixedOracle;
+
+    fn ideal(block_insts: usize, slots: usize, split: bool) -> BlockBtb {
+        BlockBtb::new(BtbConfig::ideal(
+            "test",
+            OrgKind::Block {
+                block_insts,
+                slots,
+                split,
+            },
+        ))
+    }
+
+    fn taken(pc: Addr, kind: BranchKind, target: Addr) -> TraceRecord {
+        TraceRecord::branch(pc, kind, true, target)
+    }
+
+    fn not_taken(pc: Addr, target: Addr) -> TraceRecord {
+        TraceRecord::branch(pc, BranchKind::CondDirect, false, target)
+    }
+
+    #[test]
+    fn miss_speculates_a_full_block() {
+        let mut b = ideal(16, 2, false);
+        let p = b.plan(0x1000, &mut FixedOracle::default());
+        assert_eq!(p.fetch_pcs(), 16);
+        assert_eq!(p.next_pc, 0x1040);
+    }
+
+    #[test]
+    fn taken_branch_allocates_block_at_tracker_start() {
+        let mut b = ideal(16, 2, false);
+        b.update(&taken(0x1008, BranchKind::UncondDirect, 0x2000));
+        // First branch initializes the tracker at its own pc.
+        let p = b.plan(0x1008, &mut FixedOracle::default());
+        assert_eq!(p.next_pc, 0x2000);
+        assert_eq!(p.fetch_pcs(), 1);
+    }
+
+    #[test]
+    fn block_starts_at_taken_target() {
+        let mut b = ideal(16, 2, false);
+        b.update(&taken(0x1008, BranchKind::UncondDirect, 0x2000));
+        // Next branch at 0x2010 belongs to block 0x2000.
+        b.update(&taken(0x2010, BranchKind::UncondDirect, 0x1008));
+        let p = b.plan(0x2000, &mut FixedOracle::default());
+        assert_eq!(p.next_pc, 0x1008);
+        assert_eq!(p.fetch_pcs(), 5);
+    }
+
+    #[test]
+    fn fall_through_advances_block_grid() {
+        let mut b = ideal(16, 2, false);
+        b.update(&taken(0x1000, BranchKind::UncondDirect, 0x2000));
+        // From 0x2000, 20 instructions of straight line, then a branch: it
+        // belongs to block 0x2040 (grid fall-through), not 0x2000.
+        b.update(&taken(0x2050, BranchKind::UncondDirect, 0x3000));
+        let p = b.plan(0x2040, &mut FixedOracle::default());
+        assert_eq!(p.next_pc, 0x3000);
+        // Block 0x2000 exists? No taken branch inside it, so no entry.
+        let p2 = b.plan(0x2000, &mut FixedOracle::default());
+        assert!(p2.branches.is_empty());
+    }
+
+    #[test]
+    fn sometimes_taken_cond_falls_through_within_block() {
+        let mut b = ideal(16, 2, false);
+        b.update(&taken(0x1000, BranchKind::UncondDirect, 0x2000));
+        b.update(&taken(0x2008, BranchKind::CondDirect, 0x4000)); // taken once
+        b.update(&taken(0x4000, BranchKind::UncondDirect, 0x2000)); // back
+        // Not taken this time: stays in block 0x2000, next taken at 0x2014.
+        b.update(&not_taken(0x2008, 0x4000));
+        b.update(&taken(0x2014, BranchKind::UncondDirect, 0x5000));
+        // Entry 0x2000 should now track both branches.
+        let p = b.plan(0x2000, &mut FixedOracle::default());
+        assert!(p.branch_at(0x2008).is_some());
+        // Predicted not-taken cond: continue to 0x2014's uncond.
+        assert_eq!(p.next_pc, 0x5000);
+    }
+
+    #[test]
+    fn slot_overflow_without_split_displaces() {
+        let mut b = ideal(16, 1, false);
+        b.update(&taken(0x1000, BranchKind::UncondDirect, 0x2000));
+        b.update(&taken(0x2004, BranchKind::CondDirect, 0x3000));
+        b.update(&taken(0x3000, BranchKind::UncondDirect, 0x2000));
+        // Not taken now; the next taken branch in the same block displaces.
+        b.update(&not_taken(0x2004, 0x3000));
+        b.update(&taken(0x2010, BranchKind::UncondDirect, 0x4000));
+        let ins = b.inspect();
+        // Entry 0x2000 still has one slot (0x2010 displaced 0x2004).
+        let p = b.plan(0x2000, &mut FixedOracle::default());
+        assert!(p.branch_at(0x2004).is_none());
+        assert_eq!(p.next_pc, 0x4000);
+        assert!(ins.l1.occupancy() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn slot_overflow_with_split_creates_successor() {
+        let mut b = ideal(16, 1, true);
+        b.update(&taken(0x1000, BranchKind::UncondDirect, 0x2000));
+        b.update(&taken(0x2004, BranchKind::CondDirect, 0x3000));
+        b.update(&taken(0x3000, BranchKind::UncondDirect, 0x2000));
+        b.update(&not_taken(0x2004, 0x3000));
+        b.update(&taken(0x2010, BranchKind::UncondDirect, 0x4000));
+        // Entry 0x2000 keeps the cond at 0x2004 and splits after it.
+        let p = b.plan(0x2000, &mut FixedOracle::default());
+        assert!(p.branch_at(0x2004).is_some());
+        assert_eq!(p.next_pc, 0x2008, "split fall-through");
+        assert_eq!(p.fetch_pcs(), 2);
+        // Successor entry at the split point tracks 0x2010.
+        let p2 = b.plan(0x2008, &mut FixedOracle::default());
+        assert_eq!(p2.next_pc, 0x4000);
+        assert!(p2.branch_at(0x2010).is_some());
+    }
+
+    #[test]
+    fn split_chain_is_followed_by_updates() {
+        let mut b = ideal(16, 1, true);
+        b.update(&taken(0x1000, BranchKind::UncondDirect, 0x2000));
+        b.update(&taken(0x2004, BranchKind::CondDirect, 0x3000));
+        b.update(&taken(0x3000, BranchKind::UncondDirect, 0x2000));
+        b.update(&not_taken(0x2004, 0x3000));
+        b.update(&taken(0x2010, BranchKind::UncondDirect, 0x4000)); // split happens
+        b.update(&taken(0x4000, BranchKind::UncondDirect, 0x2000));
+        // Walk the block again, not taking 0x2004: the update for the branch
+        // at 0x2010 must land in the successor entry (0x2008), not 0x2000.
+        b.update(&not_taken(0x2004, 0x3000));
+        b.update(&taken(0x2010, BranchKind::UncondDirect, 0x4000));
+        let p = b.plan(0x2008, &mut FixedOracle::default());
+        assert_eq!(p.branches.len(), 1);
+        assert_eq!(p.next_pc, 0x4000);
+    }
+
+    #[test]
+    fn redundancy_appears_with_overlapping_blocks() {
+        // Fig. 2 scenario: the same branch reached from two different block
+        // starts is tracked twice.
+        let mut b = ideal(16, 2, false);
+        // Path A: block at 0x1000 contains branch 0x1020 (taken).
+        b.update(&taken(0x1000 - 4 * 16, BranchKind::UncondDirect, 0x1000));
+        b.update(&taken(0x1020, BranchKind::CondDirect, 0x5000));
+        b.update(&taken(0x5000, BranchKind::UncondDirect, 0x1010));
+        // Path B: jump into 0x1010 — new block containing 0x1020 again.
+        b.update(&taken(0x1020, BranchKind::CondDirect, 0x5000));
+        let ins = b.inspect();
+        assert!(
+            ins.l1.redundancy() > 1.0,
+            "redundancy {}",
+            ins.l1.redundancy()
+        );
+    }
+
+    #[test]
+    fn reach_32_blocks_cover_more() {
+        let mut b = ideal(32, 1, true);
+        let p = b.plan(0x1000, &mut FixedOracle::default());
+        assert_eq!(p.fetch_pcs(), 32);
+    }
+
+    #[test]
+    fn return_slot_uses_ras() {
+        let mut b = ideal(16, 2, false);
+        b.update(&taken(0x1000, BranchKind::Return, 0x7000));
+        let mut oracle = FixedOracle {
+            returns: vec![0x8000],
+            ..FixedOracle::default()
+        };
+        let p = b.plan(0x1000, &mut oracle);
+        assert_eq!(p.next_pc, 0x8000);
+    }
+}

@@ -1,0 +1,354 @@
+//! BTB configuration: organization kinds, level geometries and the named
+//! configurations evaluated in the paper.
+
+use btb_trace::INST_BYTES;
+
+/// Which BTB level serviced a lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BtbLevel {
+    /// First-level BTB: 0-cycle taken-branch turnaround.
+    L1,
+    /// Second-level BTB: taken-branch bubbles (3 in Table 1).
+    L2,
+}
+
+/// Which branches an MB-BTB entry may "pull" target blocks for (§6.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PullPolicy {
+    /// Only unconditional direct jumps (excluding calls).
+    UncondDirect,
+    /// Unconditional direct jumps plus direct calls.
+    CallDirect,
+    /// `CallDirect` plus always-taken conditionals and stable-target
+    /// indirect branches (threshold counter, §6.4.2).
+    AllBranches,
+}
+
+/// The BTB entry organization under study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrgKind {
+    /// Instruction BTB: one entry per branch, `width` banked lookups per
+    /// access. `skip_taken` models the idealized "I-BTB 16 Skp" that keeps
+    /// providing fetch PCs across taken branches.
+    Instruction {
+        /// Number of sequential instruction lookups per access (banks).
+        width: usize,
+        /// Idealized variant that continues across taken branches.
+        skip_taken: bool,
+    },
+    /// Region BTB: one entry per aligned `region_bytes` region with `slots`
+    /// branch slots. `dual_interleave` models the even/odd set-interleaved
+    /// 2L1 R-BTB (§6.2) that covers two sequential regions per access.
+    Region {
+        /// Aligned region size in bytes (64 or 128 in the paper).
+        region_bytes: u64,
+        /// Branch slots per entry.
+        slots: usize,
+        /// Even/odd interleaved L1 (2L1 R-BTB).
+        dual_interleave: bool,
+    },
+    /// Block BTB: one entry per dynamic block start, up to `block_insts`
+    /// instructions and `slots` branch slots; `split` enables entry
+    /// splitting on slot overflow (§6.3).
+    Block {
+        /// Maximum block reach in instructions (16/32/64 in the paper).
+        block_insts: usize,
+        /// Branch slots per entry.
+        slots: usize,
+        /// Split entries instead of displacing branch metadata.
+        split: bool,
+    },
+    /// Region BTB with decoupled shared overflow branch slots (§3.5's
+    /// second mitigation, as in IBM z16 / AMD Bobcat / Samsung Exynos /
+    /// Confluence). Overflow-served branches cost one extra bubble.
+    RegionOverflow {
+        /// Aligned region size in bytes.
+        region_bytes: u64,
+        /// Fixed branch slots per region entry.
+        slots: usize,
+        /// Entries of the shared overflow table.
+        overflow_entries: usize,
+    },
+    /// Heterogeneous hierarchy (§3.6.2, the paper's future work): a Block
+    /// BTB first level backed by a redundancy-free Region BTB second level.
+    HeteroBlockRegion {
+        /// L1 block reach in instructions.
+        block_insts: usize,
+        /// L1 branch slots per block entry.
+        l1_slots: usize,
+        /// L1 entry splitting.
+        split: bool,
+        /// L2 region size in bytes.
+        region_bytes: u64,
+        /// L2 branch slots per region entry.
+        l2_slots: usize,
+    },
+    /// MultiBlock BTB (§6.4): a Block BTB whose entries chain target blocks
+    /// of eligible branches.
+    MultiBlock {
+        /// Maximum reach of each chained block in instructions.
+        block_insts: usize,
+        /// Branch slots per entry (also bounds chain length to slots+1).
+        slots: usize,
+        /// Which branches may pull their target block.
+        pull: PullPolicy,
+        /// Consecutive same-target observations required before an indirect
+        /// branch pulls its target (63 in the paper).
+        stability_threshold: u8,
+        /// Whether the entry's last slot may pull (the paper disallows it,
+        /// §6.4.2); exposed for the ablation bench.
+        allow_last_slot_pull: bool,
+    },
+}
+
+impl OrgKind {
+    /// Branch slots per entry (1 for the Instruction organization).
+    #[must_use]
+    pub fn slots(&self) -> usize {
+        match *self {
+            OrgKind::Instruction { .. } => 1,
+            OrgKind::Region { slots, .. }
+            | OrgKind::Block { slots, .. }
+            | OrgKind::MultiBlock { slots, .. } => slots,
+            OrgKind::HeteroBlockRegion { l1_slots, .. } => l1_slots,
+            OrgKind::RegionOverflow { slots, .. } => slots,
+        }
+    }
+}
+
+/// Geometry of one BTB level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelGeometry {
+    /// Number of sets (power of two).
+    pub sets: usize,
+    /// Ways per set.
+    pub ways: usize,
+}
+
+impl LevelGeometry {
+    /// Total entries.
+    #[must_use]
+    pub fn entries(&self) -> usize {
+        self.sets * self.ways
+    }
+}
+
+/// Timing parameters of the hierarchy (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BtbTiming {
+    /// Bubbles on a taken branch serviced by the L1 BTB (0 in Table 1; the
+    /// §1/§3.6.1 limit study sets it to 1 to price 0-cycle turnaround).
+    pub l1_bubbles: u32,
+    /// Bubbles on a taken branch serviced by the L2 BTB (3 in Table 1).
+    pub l2_bubbles: u32,
+    /// Extra bubble for non-return indirect branches.
+    pub indirect_extra: u32,
+}
+
+impl Default for BtbTiming {
+    fn default() -> Self {
+        BtbTiming {
+            l1_bubbles: 0,
+            l2_bubbles: 3,
+            indirect_extra: 1,
+        }
+    }
+}
+
+/// Full configuration of a BTB hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BtbConfig {
+    /// Display name used in reports (e.g. `"B-BTB 1BS Splt"`).
+    pub name: String,
+    /// Entry organization.
+    pub kind: OrgKind,
+    /// L1 geometry.
+    pub l1: LevelGeometry,
+    /// Optional L2 geometry (absent for idealistic single-level configs).
+    pub l2: Option<LevelGeometry>,
+    /// Timing parameters.
+    pub timing: BtbTiming,
+}
+
+impl BtbConfig {
+    /// The idealistic 512K-entry single-level geometry used in §5 and the
+    /// Fig. 11 limit studies (16K sets × 32 ways, 0-cycle).
+    #[must_use]
+    pub fn ideal_geometry() -> LevelGeometry {
+        LevelGeometry {
+            sets: 16384,
+            ways: 32,
+        }
+    }
+
+    /// Idealistic configuration of the given organization (huge L1, no L2).
+    #[must_use]
+    pub fn ideal(name: &str, kind: OrgKind) -> Self {
+        BtbConfig {
+            name: name.to_owned(),
+            kind,
+            l1: Self::ideal_geometry(),
+            l2: None,
+            timing: BtbTiming::default(),
+        }
+    }
+
+    /// Realistic two-level configuration with the paper's §6.1 sizing rule:
+    /// the I-BTB geometry (3K-entry L1: 512×6; 13K-entry L2: 1024×13) is
+    /// resized so total branch slots stay constant as slots/entry grows.
+    ///
+    /// * 1 slot  → 512×6 L1, 1024×13 L2 (1× I-BTB)
+    /// * 2 slots → 256×6 L1,  512×13 L2 (0.5×)
+    /// * 3 slots → 256×4 L1 (1K entries), 256×18 L2 (4.5K entries)
+    /// * 4 slots → 128×6 L1,  256×13 L2 (0.25×)
+    ///
+    /// # Panics
+    /// Panics for slot counts other than 1, 2, 3, 4 or 16 (16 reuses the
+    /// 2-slot/3-slot geometry via [`BtbConfig::realistic_with_geometry`]).
+    #[must_use]
+    pub fn realistic(name: &str, kind: OrgKind) -> Self {
+        let slots = kind.slots();
+        let (l1, l2) = Self::realistic_geometry_for_slots(slots);
+        BtbConfig {
+            name: name.to_owned(),
+            kind,
+            l1,
+            l2: Some(l2),
+            timing: BtbTiming::default(),
+        }
+    }
+
+    /// The §6.1 geometry pair for a given slots-per-entry count.
+    ///
+    /// # Panics
+    /// Panics for unsupported slot counts.
+    #[must_use]
+    pub fn realistic_geometry_for_slots(slots: usize) -> (LevelGeometry, LevelGeometry) {
+        match slots {
+            1 => (
+                LevelGeometry { sets: 512, ways: 6 },
+                LevelGeometry {
+                    sets: 1024,
+                    ways: 13,
+                },
+            ),
+            2 => (
+                LevelGeometry { sets: 256, ways: 6 },
+                LevelGeometry {
+                    sets: 512,
+                    ways: 13,
+                },
+            ),
+            3 => (
+                LevelGeometry { sets: 256, ways: 4 },
+                LevelGeometry {
+                    sets: 256,
+                    ways: 18,
+                },
+            ),
+            4 => (
+                LevelGeometry { sets: 128, ways: 6 },
+                LevelGeometry {
+                    sets: 256,
+                    ways: 13,
+                },
+            ),
+            6 => (
+                LevelGeometry { sets: 128, ways: 4 },
+                LevelGeometry {
+                    sets: 128,
+                    ways: 17,
+                },
+            ),
+            other => panic!("no paper geometry for {other} slots per entry"),
+        }
+    }
+
+    /// Realistic configuration with an explicit geometry (used for the
+    /// "2Geo 16BS"/"3Geo 16BS" experiments of Fig. 7 that keep a smaller
+    /// geometry while provisioning 16 slots).
+    #[must_use]
+    pub fn realistic_with_geometry(
+        name: &str,
+        kind: OrgKind,
+        l1: LevelGeometry,
+        l2: LevelGeometry,
+    ) -> Self {
+        BtbConfig {
+            name: name.to_owned(),
+            kind,
+            l1,
+            l2: Some(l2),
+            timing: BtbTiming::default(),
+        }
+    }
+
+    /// Region size in instructions for region organizations.
+    #[must_use]
+    pub fn region_insts(&self) -> Option<u64> {
+        match self.kind {
+            OrgKind::Region { region_bytes, .. } => Some(region_bytes / INST_BYTES),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_geometry_is_512k_entries() {
+        assert_eq!(BtbConfig::ideal_geometry().entries(), 512 * 1024);
+    }
+
+    #[test]
+    fn realistic_slot_scaling_matches_paper() {
+        let (l1, l2) = BtbConfig::realistic_geometry_for_slots(1);
+        assert_eq!(l1.entries(), 3072);
+        assert_eq!(l2.entries(), 13312);
+        let (l1, l2) = BtbConfig::realistic_geometry_for_slots(3);
+        assert_eq!(l1.entries(), 1024);
+        assert_eq!(l2.entries(), 4608);
+        // Total branch slots stay roughly constant.
+        for s in [1usize, 2, 4] {
+            let (l1, l2) = BtbConfig::realistic_geometry_for_slots(s);
+            assert_eq!(l1.entries() * s, 3072, "L1 slots for {s}BS");
+            assert_eq!(l2.entries() * s, 13312, "L2 slots for {s}BS");
+        }
+    }
+
+    #[test]
+    fn org_kind_slot_accessor() {
+        assert_eq!(
+            OrgKind::Instruction {
+                width: 16,
+                skip_taken: false
+            }
+            .slots(),
+            1
+        );
+        assert_eq!(
+            OrgKind::Block {
+                block_insts: 16,
+                slots: 3,
+                split: true
+            }
+            .slots(),
+            3
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no paper geometry")]
+    fn unsupported_slot_count_panics() {
+        let _ = BtbConfig::realistic_geometry_for_slots(5);
+    }
+
+    #[test]
+    fn default_timing_matches_table1() {
+        let t = BtbTiming::default();
+        assert_eq!(t.l2_bubbles, 3);
+        assert_eq!(t.indirect_extra, 1);
+    }
+}

@@ -1,0 +1,87 @@
+//! The [`BtbOrganization`] trait every BTB organization implements, plus
+//! shared helpers.
+
+use crate::config::{BtbConfig, BtbLevel, BtbTiming};
+use crate::inspect::BtbInspection;
+use crate::plan::{FetchPlan, PredictionProvider};
+use btb_trace::{Addr, BranchKind, TraceRecord};
+
+/// A Branch Target Buffer hierarchy with a specific entry organization.
+///
+/// The simulator drives organizations through three operations:
+/// * [`BtbOrganization::plan`] — one BTB access: produce the fetch plan for
+///   the PC-generation cycle (ranges covered, branches seen, next access).
+/// * [`BtbOrganization::update`] — retire-time training with the actual
+///   outcome of each branch (the paper models immediate updates).
+/// * [`BtbOrganization::inspect`] — content statistics (occupancy,
+///   redundancy) sampled periodically, as in §5.
+pub trait BtbOrganization {
+    /// The configuration this organization was built from.
+    fn config(&self) -> &BtbConfig;
+
+    /// Performs one BTB access at `pc`, consulting `oracle` for direction
+    /// and target predictions, and returns the resulting fetch plan.
+    fn plan(&mut self, pc: Addr, oracle: &mut dyn PredictionProvider) -> FetchPlan;
+
+    /// Trains the BTB with a retired instruction (non-branches are ignored;
+    /// organizations with block tracking also use taken-branch geometry).
+    fn update(&mut self, rec: &TraceRecord);
+
+    /// Scans the structure and reports content statistics.
+    fn inspect(&self) -> BtbInspection;
+
+    /// Bulk-preloads L1 BTB entries around `pc` from the L2 (the IBM
+    /// z-style "two level bulk preload" of the related work, §7.3),
+    /// typically triggered by a simultaneous L1I and L1 BTB miss. Default:
+    /// no-op; implemented by organizations whose entry addresses are
+    /// enumerable from a code address (I-BTB, R-BTB).
+    fn preload(&mut self, pc: Addr) {
+        let _ = pc;
+    }
+
+    /// Display name (defaults to the configuration name).
+    fn name(&self) -> &str {
+        &self.config().name
+    }
+}
+
+/// Bubbles charged between this access and the next when a predicted-taken
+/// branch of `kind` was provided by `level` (Fig. 3 / Table 1: L1 hits are
+/// 0-cycle, L2 hits cost 3 bubbles, non-return indirects one extra).
+#[must_use]
+pub fn bubbles_for(level: BtbLevel, kind: BranchKind, timing: &BtbTiming) -> u32 {
+    let base = match level {
+        BtbLevel::L1 => timing.l1_bubbles,
+        BtbLevel::L2 => timing.l2_bubbles,
+    };
+    let extra = match kind {
+        BranchKind::IndirectJump | BranchKind::IndirectCall => timing.indirect_extra,
+        _ => 0,
+    };
+    base + extra
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_cycle_turnaround_costs_a_bubble() {
+        let t = BtbTiming {
+            l1_bubbles: 1,
+            ..BtbTiming::default()
+        };
+        assert_eq!(bubbles_for(BtbLevel::L1, BranchKind::UncondDirect, &t), 1);
+        assert_eq!(bubbles_for(BtbLevel::L2, BranchKind::UncondDirect, &t), 3);
+    }
+
+    #[test]
+    fn bubble_table_matches_fig3() {
+        let t = BtbTiming::default();
+        assert_eq!(bubbles_for(BtbLevel::L1, BranchKind::UncondDirect, &t), 0);
+        assert_eq!(bubbles_for(BtbLevel::L1, BranchKind::Return, &t), 0);
+        assert_eq!(bubbles_for(BtbLevel::L2, BranchKind::CondDirect, &t), 3);
+        assert_eq!(bubbles_for(BtbLevel::L1, BranchKind::IndirectJump, &t), 1);
+        assert_eq!(bubbles_for(BtbLevel::L2, BranchKind::IndirectCall, &t), 4);
+    }
+}

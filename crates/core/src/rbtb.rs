@@ -1,0 +1,370 @@
+//! Region BTB: one entry per aligned memory region with a fixed number of
+//! branch slots (§2.2), including the even/odd set-interleaved 2L1 variant
+//! (§6.2) and configurable region sizes (64 B / 128 B, Fig. 7).
+
+use crate::config::{BtbConfig, BtbLevel, OrgKind};
+use crate::hierarchy::TwoLevel;
+use crate::inspect::{BtbInspection, LevelInspection};
+use crate::org::{bubbles_for, BtbOrganization};
+use crate::plan::{FetchPlan, PlanEnd, PlanSegment, PlannedBranch, PredictionProvider};
+use btb_trace::{Addr, BranchKind, TraceRecord, INST_BYTES};
+use std::collections::HashMap;
+
+/// One branch slot of a region entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct RSlot {
+    /// Instruction offset within the region.
+    pub(crate) offset: u16,
+    pub(crate) kind: BranchKind,
+    pub(crate) target: Addr,
+    /// Per-slot recency for the within-entry replacement policy.
+    pub(crate) last_use: u64,
+}
+
+/// One R-BTB entry: branch slots for an aligned region, ordered by offset.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub(crate) struct REntry {
+    pub(crate) slots: Vec<RSlot>,
+}
+
+/// The Region BTB organization.
+#[derive(Debug, Clone)]
+pub struct RegionBtb {
+    config: BtbConfig,
+    region_bytes: u64,
+    slots: usize,
+    dual: bool,
+    store: TwoLevel<REntry>,
+    tick: u64,
+}
+
+impl RegionBtb {
+    /// Creates an R-BTB from a configuration whose kind must be
+    /// [`OrgKind::Region`].
+    ///
+    /// # Panics
+    /// Panics if the configuration is of a different organization kind or
+    /// the region size is not a positive multiple of the instruction size.
+    #[must_use]
+    pub fn new(config: BtbConfig) -> Self {
+        let OrgKind::Region {
+            region_bytes,
+            slots,
+            dual_interleave,
+        } = config.kind
+        else {
+            panic!("RegionBtb requires OrgKind::Region");
+        };
+        assert!(
+            region_bytes.is_power_of_two() && region_bytes >= INST_BYTES,
+            "region size must be a power of two of at least one instruction"
+        );
+        assert!(slots > 0, "R-BTB needs at least one branch slot");
+        RegionBtb {
+            store: TwoLevel::new(config.l1, config.l2),
+            region_bytes,
+            slots,
+            dual: dual_interleave,
+            config,
+            tick: 0,
+        }
+    }
+
+    fn region_of(&self, pc: Addr) -> Addr {
+        pc & !(self.region_bytes - 1)
+    }
+
+    fn key(&self, region: Addr) -> u64 {
+        region / self.region_bytes
+    }
+
+    fn predict_slot(
+        slot: &RSlot,
+        pc: Addr,
+        oracle: &mut dyn PredictionProvider,
+    ) -> (bool, Addr) {
+        match slot.kind {
+            BranchKind::CondDirect => (oracle.predict_cond(pc), slot.target),
+            BranchKind::UncondDirect | BranchKind::DirectCall => (true, slot.target),
+            BranchKind::IndirectJump | BranchKind::IndirectCall => {
+                (true, oracle.predict_indirect(pc).unwrap_or(slot.target))
+            }
+            BranchKind::Return => (true, oracle.predict_return(pc).unwrap_or(slot.target)),
+        }
+    }
+}
+
+impl BtbOrganization for RegionBtb {
+    fn config(&self) -> &BtbConfig {
+        &self.config
+    }
+
+    fn plan(&mut self, pc: Addr, oracle: &mut dyn PredictionProvider) -> FetchPlan {
+        let first_region = self.region_of(pc);
+        let num_regions = if self.dual { 2 } else { 1 };
+        let mut branches = Vec::new();
+        let mut used_l2 = false;
+        for ri in 0..num_regions {
+            let region = first_region + ri * self.region_bytes;
+            let lookup = self.store.lookup_fill(self.key(region));
+            let Some((entry, level)) = lookup else {
+                continue;
+            };
+            used_l2 |= level == BtbLevel::L2;
+            for slot in &entry.slots {
+                let slot_pc = region + u64::from(slot.offset) * INST_BYTES;
+                // §3.6.1: slots before the unaligned access PC do not
+                // participate (the offset comparison on the critical path).
+                if slot_pc < pc {
+                    continue;
+                }
+                let (taken, target) = Self::predict_slot(slot, slot_pc, oracle);
+                if slot.kind.is_call() && taken {
+                    oracle.note_call(slot_pc + INST_BYTES);
+                }
+                branches.push(PlannedBranch {
+                    pc: slot_pc,
+                    kind: slot.kind,
+                    taken,
+                    target,
+                    level,
+                });
+                if taken {
+                    return FetchPlan {
+                        access_pc: pc,
+                        segments: vec![PlanSegment {
+                            start: pc,
+                            end: slot_pc + INST_BYTES,
+                        }],
+                        branches,
+                        next_pc: target,
+                        bubbles: bubbles_for(level, slot.kind, &self.config.timing),
+                        end: PlanEnd::TakenBranch,
+                        used_l2,
+                    };
+                }
+            }
+        }
+        // No predicted-taken slot: sequential through the window end.
+        let window_end = first_region + num_regions * self.region_bytes;
+        FetchPlan {
+            access_pc: pc,
+            segments: vec![PlanSegment {
+                start: pc,
+                end: window_end,
+            }],
+            branches,
+            next_pc: window_end,
+            bubbles: 0,
+            end: PlanEnd::WindowEnd,
+            used_l2,
+        }
+    }
+
+    fn update(&mut self, rec: &TraceRecord) {
+        let Some(kind) = rec.branch_kind() else {
+            return;
+        };
+        if !rec.taken {
+            return;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        let region = self.region_of(rec.pc);
+        let offset = ((rec.pc - region) / INST_BYTES) as u16;
+        let target = rec.target;
+        let max_slots = self.slots;
+        self.store.update_with(self.key(region), REntry::default, |e| {
+            if let Some(s) = e.slots.iter_mut().find(|s| s.offset == offset) {
+                s.kind = kind;
+                s.target = target;
+                s.last_use = tick;
+                return;
+            }
+            let new = RSlot {
+                offset,
+                kind,
+                target,
+                last_use: tick,
+            };
+            if e.slots.len() < max_slots {
+                let at = e.slots.partition_point(|s| s.offset < offset);
+                e.slots.insert(at, new);
+            } else {
+                // Slot pressure (§3.5): displace the LRU slot.
+                let victim = e
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, s)| s.last_use)
+                    .map(|(i, _)| i)
+                    .expect("slots non-empty");
+                e.slots.remove(victim);
+                let at = e.slots.partition_point(|s| s.offset < offset);
+                e.slots.insert(at, new);
+            }
+        });
+    }
+
+    fn preload(&mut self, pc: Addr) {
+        // Promote the region entries covering the surrounding 512 B.
+        let start = pc & !511;
+        let mut region = start & !(self.region_bytes - 1);
+        while region < start + 512 {
+            let key = self.key(region);
+            self.store.promote(key);
+            region += self.region_bytes;
+        }
+    }
+
+    fn inspect(&self) -> BtbInspection {
+        let region_bytes = self.region_bytes;
+        let slots = self.slots;
+        let level = |s: &crate::storage::SetAssoc<REntry>| {
+            let mut counts: HashMap<u64, u64> = HashMap::new();
+            for (k, e) in s.iter() {
+                let region = k * region_bytes;
+                for slot in &e.slots {
+                    let pc = region + u64::from(slot.offset) * INST_BYTES;
+                    *counts.entry(pc).or_insert(0) += 1;
+                }
+            }
+            LevelInspection::from_branch_map(s.len(), s.capacity(), slots, &counts)
+        };
+        BtbInspection {
+            l1: level(self.store.l1()),
+            l2: self.store.l2().map(level).unwrap_or_default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FixedOracle;
+
+    fn ideal(region_bytes: u64, slots: usize, dual: bool) -> RegionBtb {
+        RegionBtb::new(BtbConfig::ideal(
+            "test",
+            OrgKind::Region {
+                region_bytes,
+                slots,
+                dual_interleave: dual,
+            },
+        ))
+    }
+
+    fn taken(pc: Addr, kind: BranchKind, target: Addr) -> TraceRecord {
+        TraceRecord::branch(pc, kind, true, target)
+    }
+
+    #[test]
+    fn plan_never_crosses_region_boundary() {
+        let mut b = ideal(64, 2, false);
+        // Access mid-region: window covers only to the region end.
+        let p = b.plan(0x1010, &mut FixedOracle::default());
+        assert_eq!(p.next_pc, 0x1040);
+        assert_eq!(p.fetch_pcs(), 12); // 0x1010..0x1040
+    }
+
+    #[test]
+    fn dual_interleave_covers_two_regions() {
+        let mut b = ideal(64, 2, true);
+        let p = b.plan(0x1010, &mut FixedOracle::default());
+        assert_eq!(p.next_pc, 0x1080);
+        assert_eq!(p.fetch_pcs(), 28);
+    }
+
+    #[test]
+    fn taken_slot_ends_plan() {
+        let mut b = ideal(64, 2, false);
+        b.update(&taken(0x1008, BranchKind::UncondDirect, 0x2000));
+        let p = b.plan(0x1000, &mut FixedOracle::default());
+        assert_eq!(p.next_pc, 0x2000);
+        assert_eq!(p.fetch_pcs(), 3);
+        assert_eq!(p.end, PlanEnd::TakenBranch);
+    }
+
+    #[test]
+    fn slots_below_access_pc_are_ignored() {
+        // §3.6.1 example: entry with branches at +0x4 and +0x1c; accessing
+        // through 0x10 must only see the branch at 0x1c.
+        let mut b = ideal(64, 2, false);
+        b.update(&taken(0x1004, BranchKind::UncondDirect, 0x2000));
+        b.update(&taken(0x101c, BranchKind::UncondDirect, 0x3000));
+        let p = b.plan(0x1010, &mut FixedOracle::default());
+        assert_eq!(p.next_pc, 0x3000);
+        assert!(p.branch_at(0x1004).is_none());
+        assert!(p.branch_at(0x101c).is_some());
+    }
+
+    #[test]
+    fn slot_overflow_displaces_lru() {
+        let mut b = ideal(64, 2, false);
+        b.update(&taken(0x1000, BranchKind::UncondDirect, 0x2000));
+        b.update(&taken(0x1008, BranchKind::UncondDirect, 0x3000));
+        // Touch 0x1000 so 0x1008 is LRU, then overflow.
+        b.update(&taken(0x1000, BranchKind::UncondDirect, 0x2000));
+        b.update(&taken(0x1010, BranchKind::UncondDirect, 0x4000));
+        let ins = b.inspect();
+        assert_eq!(ins.l1.used_slots, 2);
+        // 0x1008 was displaced: a plan from 0x1004 skips straight to 0x1010.
+        let p = b.plan(0x1004, &mut FixedOracle::default());
+        assert_eq!(p.next_pc, 0x4000);
+        assert!(p.branch_at(0x1008).is_none());
+    }
+
+    #[test]
+    fn slots_stay_sorted_by_offset() {
+        let mut b = ideal(64, 4, false);
+        b.update(&taken(0x1018, BranchKind::UncondDirect, 0x2000));
+        b.update(&taken(0x1008, BranchKind::CondDirect, 0x3000));
+        b.update(&taken(0x1010, BranchKind::CondDirect, 0x4000));
+        // With everything predicted taken, the earliest offset must win.
+        let mut oracle = FixedOracle {
+            taken: vec![0x1008, 0x1010],
+            ..FixedOracle::default()
+        };
+        let p = b.plan(0x1000, &mut oracle);
+        assert_eq!(p.next_pc, 0x3000);
+    }
+
+    #[test]
+    fn regions_are_independent_entries() {
+        let mut b = ideal(64, 1, false);
+        b.update(&taken(0x1000, BranchKind::UncondDirect, 0x2000));
+        b.update(&taken(0x1040, BranchKind::UncondDirect, 0x3000));
+        let ins = b.inspect();
+        assert_eq!(ins.l1.entries, 2);
+        assert!((ins.l1.redundancy() - 1.0).abs() < 1e-9, "R-BTB never redundant");
+    }
+
+    #[test]
+    fn region_128b_window() {
+        let mut b = ideal(128, 4, false);
+        let p = b.plan(0x1000, &mut FixedOracle::default());
+        assert_eq!(p.fetch_pcs(), 32);
+        assert_eq!(p.next_pc, 0x1080);
+    }
+
+    #[test]
+    fn never_taken_branches_do_not_allocate() {
+        let mut b = ideal(64, 2, false);
+        b.update(&TraceRecord::branch(
+            0x1004,
+            BranchKind::CondDirect,
+            false,
+            0x2000,
+        ));
+        assert_eq!(b.inspect().l1.entries, 0);
+    }
+
+    #[test]
+    fn dual_interleave_sees_branches_in_second_region() {
+        let mut b = ideal(64, 2, true);
+        b.update(&taken(0x1048, BranchKind::UncondDirect, 0x9000));
+        let p = b.plan(0x1000, &mut FixedOracle::default());
+        assert_eq!(p.next_pc, 0x9000);
+        assert_eq!(p.fetch_pcs(), 19); // 0x1000..=0x1048
+    }
+}

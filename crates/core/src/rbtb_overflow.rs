@@ -1,0 +1,344 @@
+//! Region BTB with decoupled shared overflow branch slots (§3.5's second
+//! mitigation, used by IBM z16, AMD Bobcat, Samsung Exynos and Confluence):
+//! when a region's fixed slots overflow, displaced branches spill into a
+//! shared associative overflow table instead of being lost. Overflow-served
+//! branches "incur extra latency" (§3.5) — one extra bubble here.
+//!
+//! The paper's Fig. 7 `nGeo 16BS` configurations are the zero-cost upper
+//! bound of this mechanism; this organization realizes it with bounded
+//! shared storage and the latency tax.
+
+use crate::config::{BtbConfig, BtbLevel, OrgKind};
+use crate::hierarchy::TwoLevel;
+use crate::inspect::{BtbInspection, LevelInspection};
+use crate::org::{bubbles_for, BtbOrganization};
+use crate::plan::{FetchPlan, PlanEnd, PlanSegment, PlannedBranch, PredictionProvider};
+use crate::rbtb::{REntry, RSlot};
+use crate::storage::SetAssoc;
+use btb_trace::{Addr, BranchKind, TraceRecord, INST_BYTES};
+use std::collections::HashMap;
+
+/// An overflow-table entry: one spilled branch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct OvfEntry {
+    kind: BranchKind,
+    target: Addr,
+}
+
+/// Region BTB with shared overflow slots.
+#[derive(Debug, Clone)]
+pub struct RegionOverflowBtb {
+    config: BtbConfig,
+    region_bytes: u64,
+    slots: usize,
+    store: TwoLevel<REntry>,
+    /// Shared overflow storage, keyed by branch PC.
+    overflow: SetAssoc<OvfEntry>,
+    /// Regions that have spilled at least one branch (the "overflow bit").
+    spilled: SetAssoc<()>,
+    tick: u64,
+}
+
+impl RegionOverflowBtb {
+    /// Creates the organization from a configuration whose kind must be
+    /// [`OrgKind::RegionOverflow`].
+    ///
+    /// # Panics
+    /// Panics if the configuration is of a different organization kind.
+    #[must_use]
+    pub fn new(config: BtbConfig) -> Self {
+        let OrgKind::RegionOverflow {
+            region_bytes,
+            slots,
+            overflow_entries,
+        } = config.kind
+        else {
+            panic!("RegionOverflowBtb requires OrgKind::RegionOverflow");
+        };
+        assert!(region_bytes.is_power_of_two() && region_bytes >= INST_BYTES);
+        assert!(slots > 0 && overflow_entries > 0);
+        let ovf_sets = (overflow_entries / 4).next_power_of_two().max(4);
+        RegionOverflowBtb {
+            store: TwoLevel::new(config.l1, config.l2),
+            overflow: SetAssoc::new(ovf_sets, 4),
+            spilled: SetAssoc::new(ovf_sets, 4),
+            region_bytes,
+            slots,
+            config,
+            tick: 0,
+        }
+    }
+
+    fn region_of(&self, pc: Addr) -> Addr {
+        pc & !(self.region_bytes - 1)
+    }
+
+    fn key(&self, region: Addr) -> u64 {
+        region / self.region_bytes
+    }
+
+    fn predict(
+        kind: BranchKind,
+        target: Addr,
+        pc: Addr,
+        oracle: &mut dyn PredictionProvider,
+    ) -> (bool, Addr) {
+        match kind {
+            BranchKind::CondDirect => (oracle.predict_cond(pc), target),
+            BranchKind::UncondDirect | BranchKind::DirectCall => (true, target),
+            BranchKind::IndirectJump | BranchKind::IndirectCall => {
+                (true, oracle.predict_indirect(pc).unwrap_or(target))
+            }
+            BranchKind::Return => (true, oracle.predict_return(pc).unwrap_or(target)),
+        }
+    }
+}
+
+impl BtbOrganization for RegionOverflowBtb {
+    fn config(&self) -> &BtbConfig {
+        &self.config
+    }
+
+    fn plan(&mut self, pc: Addr, oracle: &mut dyn PredictionProvider) -> FetchPlan {
+        let region = self.region_of(pc);
+        let window_end = region + self.region_bytes;
+        let mut branches = Vec::new();
+        let mut used_l2 = false;
+        // Collect candidate branches: region slots plus (if the region has
+        // spilled) overflow probes for every window PC.
+        let mut candidates: Vec<(Addr, BranchKind, Addr, BtbLevel, bool)> = Vec::new();
+        if let Some((entry, level)) = self.store.lookup_fill(self.key(region)) {
+            used_l2 |= level == BtbLevel::L2;
+            for slot in &entry.slots {
+                let slot_pc = region + u64::from(slot.offset) * INST_BYTES;
+                if slot_pc >= pc {
+                    candidates.push((slot_pc, slot.kind, slot.target, level, false));
+                }
+            }
+            if self.spilled.peek(self.key(region)).is_some() {
+                let mut probe = pc;
+                while probe < window_end {
+                    if let Some(e) = self.overflow.get(probe >> 2) {
+                        candidates.push((probe, e.kind, e.target, level, true));
+                    }
+                    probe += INST_BYTES;
+                }
+            }
+        }
+        candidates.sort_by_key(|c| c.0);
+        candidates.dedup_by_key(|c| c.0);
+        for (slot_pc, kind, stored, level, from_overflow) in candidates {
+            let (taken, target) = Self::predict(kind, stored, slot_pc, oracle);
+            if kind.is_call() && taken {
+                oracle.note_call(slot_pc + INST_BYTES);
+            }
+            branches.push(PlannedBranch {
+                pc: slot_pc,
+                kind,
+                taken,
+                target,
+                level,
+            });
+            if taken {
+                // §3.5: overflow branches incur extra latency.
+                let bubbles =
+                    bubbles_for(level, kind, &self.config.timing) + u32::from(from_overflow);
+                return FetchPlan {
+                    access_pc: pc,
+                    segments: vec![PlanSegment {
+                        start: pc,
+                        end: slot_pc + INST_BYTES,
+                    }],
+                    branches,
+                    next_pc: target,
+                    bubbles,
+                    end: PlanEnd::TakenBranch,
+                    used_l2,
+                };
+            }
+        }
+        FetchPlan {
+            access_pc: pc,
+            segments: vec![PlanSegment {
+                start: pc,
+                end: window_end,
+            }],
+            branches,
+            next_pc: window_end,
+            bubbles: 0,
+            end: PlanEnd::WindowEnd,
+            used_l2,
+        }
+    }
+
+    fn update(&mut self, rec: &TraceRecord) {
+        let Some(kind) = rec.branch_kind() else {
+            return;
+        };
+        if !rec.taken {
+            return;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        let region = self.region_of(rec.pc);
+        let offset = ((rec.pc - region) / INST_BYTES) as u16;
+        let target = rec.target;
+        let max_slots = self.slots;
+        // If the branch already lives in the overflow table, refresh there.
+        if self.overflow.get_mut(rec.pc >> 2).is_some() {
+            self.overflow.insert(
+                rec.pc >> 2,
+                OvfEntry { kind, target },
+            );
+            return;
+        }
+        let mut spill: Option<(Addr, RSlot)> = None;
+        self.store.update_with(self.key(region), REntry::default, |e| {
+            if let Some(s) = e.slots.iter_mut().find(|s| s.offset == offset) {
+                s.kind = kind;
+                s.target = target;
+                s.last_use = tick;
+                return;
+            }
+            let new = RSlot {
+                offset,
+                kind,
+                target,
+                last_use: tick,
+            };
+            let at = e.slots.partition_point(|s| s.offset < offset);
+            if e.slots.len() < max_slots {
+                e.slots.insert(at, new);
+                return;
+            }
+            // Spill the LRU slot to the shared overflow table.
+            let victim_idx = e
+                .slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.last_use)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            let victim = e.slots.remove(victim_idx);
+            let at = e.slots.partition_point(|s| s.offset < offset);
+            e.slots.insert(at, new);
+            spill = Some((region, victim));
+        });
+        if let Some((region, victim)) = spill {
+            let victim_pc = region + u64::from(victim.offset) * INST_BYTES;
+            self.overflow.insert(
+                victim_pc >> 2,
+                OvfEntry {
+                    kind: victim.kind,
+                    target: victim.target,
+                },
+            );
+            self.spilled.insert(self.key(region), ());
+        }
+    }
+
+    fn inspect(&self) -> BtbInspection {
+        let region_bytes = self.region_bytes;
+        let slots = self.slots;
+        let level = |s: &SetAssoc<REntry>| {
+            let mut counts: HashMap<u64, u64> = HashMap::new();
+            for (k, e) in s.iter() {
+                for slot in &e.slots {
+                    let pc = k * region_bytes + u64::from(slot.offset) * INST_BYTES;
+                    *counts.entry(pc).or_insert(0) += 1;
+                }
+            }
+            LevelInspection::from_branch_map(s.len(), s.capacity(), slots, &counts)
+        };
+        let mut ins = BtbInspection {
+            l1: level(self.store.l1()),
+            l2: self.store.l2().map(level).unwrap_or_default(),
+        };
+        // Count overflow-resident branches as additional L1 slots in use.
+        let mut ovf_counts: HashMap<u64, u64> = HashMap::new();
+        for (k, _) in self.overflow.iter() {
+            *ovf_counts.entry(k << 2).or_insert(0) += 1;
+        }
+        ins.l1.used_slots += ovf_counts.len() as u64;
+        ins.l1.tracked_pairs += ovf_counts.len() as u64;
+        ins.l1.distinct_branches += ovf_counts.len();
+        ins
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FixedOracle;
+
+    fn ovf(slots: usize) -> RegionOverflowBtb {
+        RegionOverflowBtb::new(BtbConfig::ideal(
+            "R-OVF",
+            OrgKind::RegionOverflow {
+                region_bytes: 64,
+                slots,
+                overflow_entries: 256,
+            },
+        ))
+    }
+
+    fn taken(pc: Addr, kind: BranchKind, target: Addr) -> TraceRecord {
+        TraceRecord::branch(pc, kind, true, target)
+    }
+
+    #[test]
+    fn overflowing_branch_survives_in_shared_storage() {
+        let mut b = ovf(1);
+        b.update(&taken(0x1000, BranchKind::UncondDirect, 0x2000));
+        // Second branch in the same region displaces the first into
+        // overflow — but nothing is lost.
+        b.update(&taken(0x1010, BranchKind::UncondDirect, 0x3000));
+        let p = b.plan(0x1000, &mut FixedOracle::default());
+        assert_eq!(p.next_pc, 0x2000, "spilled branch still served");
+        assert_eq!(p.bubbles, 1, "overflow service costs an extra bubble");
+        // The in-entry branch is served at normal latency.
+        let p2 = b.plan(0x1004, &mut FixedOracle::default());
+        assert_eq!(p2.next_pc, 0x3000);
+        assert_eq!(p2.bubbles, 0);
+    }
+
+    #[test]
+    fn no_overflow_probing_without_spills() {
+        let mut b = ovf(2);
+        b.update(&taken(0x1000, BranchKind::UncondDirect, 0x2000));
+        let p = b.plan(0x1000, &mut FixedOracle::default());
+        assert_eq!(p.bubbles, 0);
+        assert_eq!(p.next_pc, 0x2000);
+    }
+
+    #[test]
+    fn overflow_updates_refresh_in_place() {
+        let mut b = ovf(1);
+        b.update(&taken(0x1000, BranchKind::IndirectJump, 0x2000));
+        b.update(&taken(0x1010, BranchKind::UncondDirect, 0x3000)); // spills 0x1000
+        // The spilled indirect branch retargets; the overflow copy updates.
+        b.update(&taken(0x1000, BranchKind::IndirectJump, 0x5000));
+        let p = b.plan(0x1000, &mut FixedOracle::default());
+        assert_eq!(p.next_pc, 0x5000);
+    }
+
+    #[test]
+    fn candidates_stay_in_address_order() {
+        let mut b = ovf(1);
+        b.update(&taken(0x1010, BranchKind::UncondDirect, 0x2000));
+        b.update(&taken(0x1004, BranchKind::UncondDirect, 0x3000)); // spills 0x1010
+        // From 0x1000, the earliest branch (0x1004, in-entry) must win even
+        // though 0x1010 sits in overflow.
+        let p = b.plan(0x1000, &mut FixedOracle::default());
+        assert_eq!(p.next_pc, 0x3000);
+    }
+
+    #[test]
+    fn inspection_counts_overflow_slots() {
+        let mut b = ovf(1);
+        b.update(&taken(0x1000, BranchKind::UncondDirect, 0x2000));
+        b.update(&taken(0x1010, BranchKind::UncondDirect, 0x3000));
+        let ins = b.inspect();
+        assert_eq!(ins.l1.distinct_branches, 2, "entry slot + overflow slot");
+    }
+}

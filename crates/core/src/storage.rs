@@ -1,0 +1,296 @@
+//! Generic set-associative storage with true-LRU replacement, the substrate
+//! under every BTB level (Table 1: full tags, LRU).
+
+/// A set-associative table mapping `u64` keys to entries of type `E`.
+///
+/// Keys are full tags (no aliasing); the set index uses the key's low bits,
+/// so callers should pass keys already stripped of alignment bits
+/// (e.g. `pc >> 2` or `region >> 6`).
+#[derive(Debug, Clone)]
+pub struct SetAssoc<E> {
+    sets: usize,
+    ways: usize,
+    entries: Vec<Option<Way<E>>>,
+    tick: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Way<E> {
+    key: u64,
+    last_use: u64,
+    data: E,
+}
+
+impl<E> SetAssoc<E> {
+    /// Creates a table with `sets` sets (power of two) of `ways` ways.
+    ///
+    /// # Panics
+    /// Panics if `sets` is not a power of two or either dimension is zero.
+    #[must_use]
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets > 0 && sets.is_power_of_two(), "sets must be a power of two");
+        assert!(ways > 0, "ways must be non-zero");
+        let mut entries = Vec::new();
+        entries.resize_with(sets * ways, || None);
+        SetAssoc {
+            sets,
+            ways,
+            entries,
+            tick: 0,
+        }
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Number of ways per set.
+    #[must_use]
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Total entry capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    fn set_of(&self, key: u64) -> usize {
+        (key as usize) & (self.sets - 1)
+    }
+
+    fn range_of(&self, key: u64) -> std::ops::Range<usize> {
+        let s = self.set_of(key);
+        s * self.ways..(s + 1) * self.ways
+    }
+
+    /// Looks up `key` without updating recency.
+    #[must_use]
+    pub fn peek(&self, key: u64) -> Option<&E> {
+        self.entries[self.range_of(key)]
+            .iter()
+            .flatten()
+            .find(|w| w.key == key)
+            .map(|w| &w.data)
+    }
+
+    /// Looks up `key`, marking the entry most-recently-used.
+    pub fn get(&mut self, key: u64) -> Option<&E> {
+        self.tick += 1;
+        let tick = self.tick;
+        let range = self.range_of(key);
+        self.entries[range]
+            .iter_mut()
+            .flatten()
+            .find(|w| w.key == key)
+            .map(|w| {
+                w.last_use = tick;
+                &w.data
+            })
+    }
+
+    /// Mutable lookup, marking the entry most-recently-used.
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut E> {
+        self.tick += 1;
+        let tick = self.tick;
+        let range = self.range_of(key);
+        self.entries[range]
+            .iter_mut()
+            .flatten()
+            .find(|w| w.key == key)
+            .map(|w| {
+                w.last_use = tick;
+                &mut w.data
+            })
+    }
+
+    /// Inserts (or replaces) `key`, returning any evicted `(key, entry)`.
+    pub fn insert(&mut self, key: u64, data: E) -> Option<(u64, E)> {
+        self.tick += 1;
+        let tick = self.tick;
+        let range = self.range_of(key);
+        // Replace in place if present.
+        if let Some(w) = self.entries[range.clone()]
+            .iter_mut()
+            .flatten()
+            .find(|w| w.key == key)
+        {
+            w.last_use = tick;
+            w.data = data;
+            return None;
+        }
+        // Free way?
+        if let Some(slot) = self.entries[range.clone()].iter().position(Option::is_none) {
+            let idx = range.start + slot;
+            self.entries[idx] = Some(Way {
+                key,
+                last_use: tick,
+                data,
+            });
+            return None;
+        }
+        // Evict true-LRU.
+        let (victim_off, _) = self.entries[range.clone()]
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (i, w.as_ref().expect("set is full").last_use))
+            .min_by_key(|&(_, lu)| lu)
+            .expect("ways > 0");
+        let idx = range.start + victim_off;
+        let old = self.entries[idx].take().expect("victim exists");
+        self.entries[idx] = Some(Way {
+            key,
+            last_use: tick,
+            data,
+        });
+        Some((old.key, old.data))
+    }
+
+    /// Gets the entry for `key`, inserting `default()` first if absent.
+    /// Returns the entry and any evicted `(key, entry)`.
+    pub fn get_or_insert_with<F: FnOnce() -> E>(
+        &mut self,
+        key: u64,
+        default: F,
+    ) -> (&mut E, Option<(u64, E)>) {
+        let mut evicted = None;
+        if self.peek(key).is_none() {
+            evicted = self.insert(key, default());
+        }
+        (self.get_mut(key).expect("just inserted"), evicted)
+    }
+
+    /// Removes `key`, returning its entry.
+    pub fn remove(&mut self, key: u64) -> Option<E> {
+        let range = self.range_of(key);
+        for idx in range {
+            if self.entries[idx].as_ref().is_some_and(|w| w.key == key) {
+                return self.entries[idx].take().map(|w| w.data);
+            }
+        }
+        None
+    }
+
+    /// Iterates over all valid `(key, entry)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &E)> {
+        self.entries
+            .iter()
+            .flatten()
+            .map(|w| (w.key, &w.data))
+    }
+
+    /// Number of valid entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.iter().flatten().count()
+    }
+
+    /// Whether the table holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_then_peek() {
+        let mut t = SetAssoc::new(4, 2);
+        assert!(t.insert(0x10, "a").is_none());
+        assert_eq!(t.peek(0x10), Some(&"a"));
+        assert_eq!(t.peek(0x11), None);
+    }
+
+    #[test]
+    fn replace_in_place_does_not_evict() {
+        let mut t = SetAssoc::new(1, 2);
+        t.insert(1, "a");
+        t.insert(3, "b");
+        assert!(t.insert(1, "a2").is_none());
+        assert_eq!(t.peek(1), Some(&"a2"));
+        assert_eq!(t.peek(3), Some(&"b"));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut t = SetAssoc::new(1, 2);
+        t.insert(1, "a");
+        t.insert(3, "b");
+        // Touch 1 so 3 becomes LRU.
+        assert!(t.get(1).is_some());
+        let evicted = t.insert(5, "c");
+        assert_eq!(evicted, Some((3, "b")));
+        assert_eq!(t.peek(1), Some(&"a"));
+        assert_eq!(t.peek(5), Some(&"c"));
+    }
+
+    #[test]
+    fn peek_does_not_affect_lru() {
+        let mut t = SetAssoc::new(1, 2);
+        t.insert(1, "a");
+        t.insert(3, "b");
+        // peek(1) must NOT promote it.
+        assert_eq!(t.peek(1), Some(&"a"));
+        let evicted = t.insert(5, "c");
+        assert_eq!(evicted, Some((1, "a")));
+    }
+
+    #[test]
+    fn keys_map_to_distinct_sets() {
+        let mut t = SetAssoc::new(4, 1);
+        t.insert(0, "s0");
+        t.insert(1, "s1");
+        t.insert(2, "s2");
+        t.insert(3, "s3");
+        assert_eq!(t.len(), 4);
+        // A fifth key aliases set 0 and evicts only there.
+        assert_eq!(t.insert(4, "s0b"), Some((0, "s0")));
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn get_or_insert_with_creates_once() {
+        let mut t: SetAssoc<Vec<u32>> = SetAssoc::new(2, 2);
+        {
+            let (e, ev) = t.get_or_insert_with(7, Vec::new);
+            assert!(ev.is_none());
+            e.push(1);
+        }
+        let (e, _) = t.get_or_insert_with(7, Vec::new);
+        assert_eq!(e, &vec![1]);
+    }
+
+    #[test]
+    fn remove_frees_the_way() {
+        let mut t = SetAssoc::new(1, 1);
+        t.insert(1, "a");
+        assert_eq!(t.remove(1), Some("a"));
+        assert!(t.is_empty());
+        assert!(t.insert(9, "b").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_panics() {
+        let _ = SetAssoc::<u8>::new(3, 2);
+    }
+
+    #[test]
+    fn iter_visits_all_entries() {
+        let mut t = SetAssoc::new(8, 2);
+        for k in 0..10u64 {
+            t.insert(k, k * 10);
+        }
+        let mut seen: Vec<_> = t.iter().map(|(k, v)| (k, *v)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen.len(), 10);
+        assert_eq!(seen[0], (0, 0));
+        assert_eq!(seen[9], (9, 90));
+    }
+}

@@ -1,0 +1,195 @@
+//! Model-based property tests for the BTB organizations: arbitrary but
+//! *control-flow-consistent* branch streams must keep every structural
+//! invariant, and plans must stay within their organizational windows.
+
+use btb_core::{
+    build_btb, BtbConfig, FixedOracle, LevelGeometry, OrgKind, PullPolicy,
+};
+use btb_trace::{BranchKind, TraceRecord, INST_BYTES};
+use proptest::prelude::*;
+
+/// A compact encoding of a synthetic branch site.
+#[derive(Debug, Clone, Copy)]
+struct Site {
+    pc: u64,
+    kind: BranchKind,
+    target: u64,
+}
+
+/// Builds a consistent retire stream from a random walk over random sites:
+/// after a taken branch, the next site's pc is >= the target (sequential
+/// flow forward), which is what real traces guarantee.
+fn stream(sites: &[Site], picks: &[u8], not_taken_bias: &[bool]) -> Vec<TraceRecord> {
+    let mut out = Vec::new();
+    let mut pos = 0x1000u64;
+    for (i, &p) in picks.iter().enumerate() {
+        let site = sites[(p as usize) % sites.len()];
+        // Place the branch at or after the current position on a forward
+        // walk so sequential flow is plausible.
+        let pc = pos + u64::from(p % 16) * INST_BYTES;
+        let taken = site.kind != BranchKind::CondDirect || !not_taken_bias[i];
+        out.push(TraceRecord::branch(pc, site.kind, taken, site.target));
+        pos = if taken { site.target } else { pc + INST_BYTES };
+    }
+    out
+}
+
+fn arb_sites() -> impl Strategy<Value = Vec<Site>> {
+    proptest::collection::vec(
+        (0u64..64, 0usize..5, 0u64..64).prop_map(|(pc_idx, kind_idx, tgt_idx)| {
+            let kinds = [
+                BranchKind::CondDirect,
+                BranchKind::UncondDirect,
+                BranchKind::DirectCall,
+                BranchKind::IndirectJump,
+                BranchKind::Return,
+            ];
+            Site {
+                pc: 0x1000 + pc_idx * 0x20,
+                kind: kinds[kind_idx],
+                target: 0x1000 + tgt_idx * 0x40,
+            }
+        }),
+        4..24,
+    )
+}
+
+fn orgs_under_test() -> Vec<BtbConfig> {
+    let tiny = |name: &str, kind| BtbConfig {
+        name: name.to_owned(),
+        kind,
+        l1: LevelGeometry { sets: 8, ways: 2 },
+        l2: Some(LevelGeometry { sets: 32, ways: 2 }),
+        timing: Default::default(),
+    };
+    vec![
+        tiny("i", OrgKind::Instruction { width: 16, skip_taken: false }),
+        tiny(
+            "r",
+            OrgKind::Region {
+                region_bytes: 64,
+                slots: 2,
+                dual_interleave: true,
+            },
+        ),
+        tiny(
+            "b",
+            OrgKind::Block {
+                block_insts: 16,
+                slots: 1,
+                split: true,
+            },
+        ),
+        tiny(
+            "mb",
+            OrgKind::MultiBlock {
+                block_insts: 16,
+                slots: 2,
+                pull: PullPolicy::AllBranches,
+                stability_threshold: 2,
+                allow_last_slot_pull: false,
+            },
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// After any branch stream, plans from any address remain valid, make
+    /// forward progress and stay within sane windows.
+    #[test]
+    fn plans_always_valid_after_random_training(
+        sites in arb_sites(),
+        picks in proptest::collection::vec(any::<u8>(), 10..300),
+        nt in proptest::collection::vec(any::<bool>(), 300),
+        probe in 0u64..128,
+    ) {
+        let records = stream(&sites, &picks, &nt);
+        for cfg in orgs_under_test() {
+            let mut btb = build_btb(cfg);
+            for r in &records {
+                btb.update(r);
+            }
+            let pc = 0x1000 + probe * INST_BYTES;
+            let mut oracle = FixedOracle::default();
+            let plan = btb.plan(pc, &mut oracle);
+            prop_assert_eq!(plan.validate(), Ok(()), "{}", btb.name());
+            prop_assert!(plan.fetch_pcs() >= 1);
+            // Every planned branch is inside some segment and all segments
+            // are bounded (no runaway windows).
+            for seg in &plan.segments {
+                prop_assert!(seg.num_insts() <= 64 * 4, "window too large");
+            }
+        }
+    }
+
+    /// I-BTB and R-BTB never cache a branch in more than one entry (§3.4).
+    #[test]
+    fn ibtb_and_rbtb_are_never_redundant(
+        sites in arb_sites(),
+        picks in proptest::collection::vec(any::<u8>(), 10..300),
+        nt in proptest::collection::vec(any::<bool>(), 300),
+    ) {
+        let records = stream(&sites, &picks, &nt);
+        for cfg in orgs_under_test().into_iter().take(2) {
+            let mut btb = build_btb(cfg);
+            for r in &records {
+                btb.update(r);
+            }
+            let ins = btb.inspect();
+            if ins.l1.distinct_branches > 0 {
+                prop_assert!((ins.l1.redundancy() - 1.0).abs() < 1e-9, "{}", btb.name());
+            }
+            if ins.l2.distinct_branches > 0 {
+                prop_assert!((ins.l2.redundancy() - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Slot capacity is respected by every organization at every level.
+    #[test]
+    fn slot_capacity_is_never_exceeded(
+        sites in arb_sites(),
+        picks in proptest::collection::vec(any::<u8>(), 10..300),
+        nt in proptest::collection::vec(any::<bool>(), 300),
+    ) {
+        let records = stream(&sites, &picks, &nt);
+        for cfg in orgs_under_test() {
+            let slots = cfg.kind.slots() as f64;
+            let mut btb = build_btb(cfg);
+            for r in &records {
+                btb.update(r);
+            }
+            let ins = btb.inspect();
+            prop_assert!(
+                ins.l1.occupancy() <= slots + 1e-9,
+                "{}: occupancy {} > {}",
+                btb.name(),
+                ins.l1.occupancy(),
+                slots
+            );
+        }
+    }
+
+    /// Never-taken streams allocate nothing, in any organization (§2).
+    #[test]
+    fn never_taken_conditionals_allocate_nothing(
+        pcs in proptest::collection::vec(0u64..1024, 1..100),
+    ) {
+        for cfg in orgs_under_test() {
+            let mut btb = build_btb(cfg);
+            for &p in &pcs {
+                btb.update(&TraceRecord::branch(
+                    0x1000 + p * 4,
+                    BranchKind::CondDirect,
+                    false,
+                    0x9000,
+                ));
+            }
+            let ins = btb.inspect();
+            prop_assert_eq!(ins.l1.entries, 0, "{}", btb.name());
+            prop_assert_eq!(ins.l2.entries, 0);
+        }
+    }
+}

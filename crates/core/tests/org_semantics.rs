@@ -1,0 +1,221 @@
+//! Cross-organization semantic tests: level attribution, timing fields and
+//! plan-shape guarantees the simulator depends on.
+
+use btb_core::{
+    build_btb, BtbConfig, BtbLevel, FixedOracle, LevelGeometry, OrgKind, PlanEnd, PullPolicy,
+};
+use btb_trace::{BranchKind, TraceRecord};
+
+fn tiny_two_level(kind: OrgKind) -> BtbConfig {
+    BtbConfig {
+        name: "tiny".into(),
+        kind,
+        l1: LevelGeometry { sets: 1, ways: 1 },
+        l2: Some(LevelGeometry { sets: 64, ways: 4 }),
+        timing: Default::default(),
+    }
+}
+
+fn taken(pc: u64, kind: BranchKind, target: u64) -> TraceRecord {
+    TraceRecord::branch(pc, kind, true, target)
+}
+
+/// Every organization with a thrashed single-entry L1 must attribute plans
+/// to the L2 and charge 3 bubbles for L2-provided taken branches.
+#[test]
+fn l2_attribution_is_uniform_across_organizations() {
+    // For the MB-BTB a `Return` terminator is used: it is never eligible to
+    // pull, so the entry ends at the branch like the other organizations.
+    let kinds: Vec<(OrgKind, BranchKind)> = vec![
+        (
+            OrgKind::Instruction {
+                width: 16,
+                skip_taken: false,
+            },
+            BranchKind::UncondDirect,
+        ),
+        (
+            OrgKind::Region {
+                region_bytes: 64,
+                slots: 2,
+                dual_interleave: false,
+            },
+            BranchKind::UncondDirect,
+        ),
+        (
+            OrgKind::Block {
+                block_insts: 16,
+                slots: 2,
+                split: false,
+            },
+            BranchKind::UncondDirect,
+        ),
+        (
+            OrgKind::MultiBlock {
+                block_insts: 16,
+                slots: 2,
+                pull: PullPolicy::UncondDirect,
+                stability_threshold: 63,
+                allow_last_slot_pull: false,
+            },
+            BranchKind::Return,
+        ),
+    ];
+    for (kind, bk) in kinds {
+        let pc = 0x1000u64;
+        let mut btb = build_btb(tiny_two_level(kind));
+        // Train the branch, then thrash the 1-entry L1 with an alias that
+        // maps to the same (only) set.
+        btb.update(&taken(pc, bk, 0x2000));
+        btb.update(&taken(0x5000, BranchKind::UncondDirect, 0x6000));
+        let plan = btb.plan(pc, &mut FixedOracle::default());
+        assert!(
+            plan.used_l2,
+            "{kind:?}: plan should come from the L2 after L1 eviction"
+        );
+        assert_eq!(plan.next_pc, 0x2000, "{kind:?}");
+        assert_eq!(plan.bubbles, 3, "{kind:?}: L2 taken branch costs 3 bubbles");
+        let b = plan.branch_at(pc).expect("branch visible");
+        assert_eq!(b.level, BtbLevel::L2);
+        // A second access hits the freshly filled L1 at 0 bubbles.
+        let plan2 = btb.plan(pc, &mut FixedOracle::default());
+        assert_eq!(plan2.bubbles, 0, "{kind:?}: fill-on-lookup restores L1");
+    }
+}
+
+/// Custom timing parameters flow through to plan bubbles.
+#[test]
+fn custom_timing_is_respected() {
+    let mut cfg = tiny_two_level(OrgKind::Instruction {
+        width: 16,
+        skip_taken: false,
+    });
+    cfg.timing.l2_bubbles = 7;
+    cfg.timing.indirect_extra = 2;
+    let mut btb = build_btb(cfg);
+    btb.update(&taken(0x1000, BranchKind::IndirectJump, 0x2000));
+    btb.update(&taken(0x5000, BranchKind::UncondDirect, 0x6000)); // evict
+    let plan = btb.plan(0x1000, &mut FixedOracle::default());
+    assert_eq!(plan.bubbles, 9, "7 L2 bubbles + 2 indirect extra");
+}
+
+/// Cold plans of every organization are pure sequential windows ending in
+/// `WindowEnd` with no branches.
+#[test]
+fn cold_plans_are_sequential_windows() {
+    let kinds = [
+        OrgKind::Instruction {
+            width: 8,
+            skip_taken: false,
+        },
+        OrgKind::Region {
+            region_bytes: 128,
+            slots: 3,
+            dual_interleave: true,
+        },
+        OrgKind::Block {
+            block_insts: 32,
+            slots: 1,
+            split: true,
+        },
+        OrgKind::MultiBlock {
+            block_insts: 16,
+            slots: 3,
+            pull: PullPolicy::AllBranches,
+            stability_threshold: 63,
+            allow_last_slot_pull: false,
+        },
+        OrgKind::RegionOverflow {
+            region_bytes: 64,
+            slots: 2,
+            overflow_entries: 128,
+        },
+        OrgKind::HeteroBlockRegion {
+            block_insts: 16,
+            l1_slots: 1,
+            split: true,
+            region_bytes: 64,
+            l2_slots: 2,
+        },
+    ];
+    for kind in kinds {
+        let mut btb = build_btb(tiny_two_level(kind));
+        let plan = btb.plan(0x4_0000, &mut FixedOracle::default());
+        assert_eq!(plan.end, PlanEnd::WindowEnd, "{kind:?}");
+        assert!(plan.branches.is_empty(), "{kind:?}");
+        assert_eq!(plan.bubbles, 0, "{kind:?}");
+        assert!(plan.fetch_pcs() >= 1, "{kind:?}");
+        assert_eq!(plan.validate(), Ok(()), "{kind:?}");
+    }
+}
+
+/// The same training stream always yields the same plans (organizations are
+/// deterministic state machines).
+#[test]
+fn organizations_are_deterministic() {
+    let kind = OrgKind::MultiBlock {
+        block_insts: 16,
+        slots: 2,
+        pull: PullPolicy::AllBranches,
+        stability_threshold: 2,
+        allow_last_slot_pull: false,
+    };
+    let stream: Vec<TraceRecord> = (0..200u64)
+        .map(|i| {
+            let pc = 0x1000 + (i % 7) * 0x40 + (i % 3) * 8;
+            taken(pc, BranchKind::UncondDirect, 0x1000 + ((i + 1) % 7) * 0x40)
+        })
+        .collect();
+    let run = || {
+        let mut btb = build_btb(tiny_two_level(kind));
+        for r in &stream {
+            btb.update(r);
+        }
+        btb.plan(0x1000, &mut FixedOracle::default())
+    };
+    assert_eq!(run(), run());
+}
+
+/// Region organizations never emit branches below the access PC (§3.6.1
+/// offset comparison) — checked across unaligned access offsets.
+#[test]
+fn region_offset_comparison_all_offsets() {
+    let mut btb = build_btb(BtbConfig::ideal(
+        "r",
+        OrgKind::Region {
+            region_bytes: 64,
+            slots: 4,
+            dual_interleave: false,
+        },
+    ));
+    for off in [0u64, 2, 5, 9, 13] {
+        btb.update(&taken(0x1000 + off * 4, BranchKind::CondDirect, 0x9000));
+    }
+    for access_off in 0..16u64 {
+        let pc = 0x1000 + access_off * 4;
+        let plan = btb.plan(pc, &mut FixedOracle::default());
+        for b in &plan.branches {
+            assert!(b.pc >= pc, "access {pc:#x} leaked branch {:#x}", b.pc);
+        }
+    }
+}
+
+/// The idealistic Skp variant provides exactly `width` fetch PCs when the
+/// BTB knows every branch, regardless of how many are taken.
+#[test]
+fn skp_always_fills_its_width() {
+    let mut btb = build_btb(BtbConfig::ideal(
+        "skp",
+        OrgKind::Instruction {
+            width: 16,
+            skip_taken: true,
+        },
+    ));
+    // A chain of one-instruction blocks: every instruction is a taken jump.
+    for i in 0..32u64 {
+        btb.update(&taken(0x1000 + i * 4, BranchKind::UncondDirect, 0x1000 + (i + 1) * 4));
+    }
+    let plan = btb.plan(0x1000, &mut FixedOracle::default());
+    assert_eq!(plan.fetch_pcs(), 16);
+    assert_eq!(plan.segments.len(), 16, "each jump opens a new segment");
+}

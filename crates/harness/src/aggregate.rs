@@ -1,0 +1,126 @@
+//! Aggregation helpers: geometric means and the whisker (box-plot) summaries
+//! the paper's figures use.
+
+/// Geometric mean of strictly positive values (zero/negative values are
+/// skipped).
+#[must_use]
+pub fn geomean(values: &[f64]) -> f64 {
+    let logs: Vec<f64> = values.iter().filter(|v| **v > 0.0).map(|v| v.ln()).collect();
+    if logs.is_empty() {
+        return 0.0;
+    }
+    (logs.iter().sum::<f64>() / logs.len() as f64).exp()
+}
+
+/// Five-number summary plus geometric mean — one box of a whisker plot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Whisker {
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Geometric mean (the cross in the paper's plots).
+    pub geomean: f64,
+}
+
+impl Whisker {
+    /// Summarizes a set of values.
+    ///
+    /// # Panics
+    /// Panics if `values` is empty.
+    #[must_use]
+    pub fn from_values(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "whisker needs at least one value");
+        let mut v = values.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        Whisker {
+            min: v[0],
+            q1: quantile(&v, 0.25),
+            median: quantile(&v, 0.5),
+            q3: quantile(&v, 0.75),
+            max: v[v.len() - 1],
+            geomean: geomean(&v),
+        }
+    }
+}
+
+/// Linear-interpolated quantile of sorted data.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Per-workload ratios `a[i] / b[i]`.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[must_use]
+pub fn ratios(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "ratio inputs must align");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| if *y == 0.0 { 0.0 } else { x / y })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_equal_values_is_the_value() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_of_reciprocal_pair_is_one() {
+        assert!((geomean(&[4.0, 0.25]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_skips_nonpositive() {
+        assert!((geomean(&[0.0, 3.0]) - 3.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn whisker_of_known_data() {
+        let w = Whisker::from_values(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(w.min, 1.0);
+        assert_eq!(w.median, 3.0);
+        assert_eq!(w.max, 5.0);
+        assert_eq!(w.q1, 2.0);
+        assert_eq!(w.q3, 4.0);
+    }
+
+    #[test]
+    fn whisker_handles_single_value() {
+        let w = Whisker::from_values(&[7.0]);
+        assert_eq!(w.min, 7.0);
+        assert_eq!(w.q3, 7.0);
+        assert!((w.geomean - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratios_divide_pairwise() {
+        assert_eq!(ratios(&[2.0, 9.0], &[1.0, 3.0]), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn ratios_reject_mismatched_lengths() {
+        let _ = ratios(&[1.0], &[1.0, 2.0]);
+    }
+}

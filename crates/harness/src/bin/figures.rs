@@ -1,0 +1,78 @@
+//! Regenerates the paper's tables and figures. Usage:
+//! `figures <table1|fig4|fig5|fig7|fig8|fig9|fig10|fig11a|fig11b|stats|ablations|all>`
+
+use btb_harness::{experiments, Scale, Suite};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec![
+            "table1", "stats", "fig4", "fig5", "fig7", "fig8", "fig9", "fig10", "fig11a",
+            "fig11b", "ablations", "hetero", "preload", "turnaround",
+        ]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    let scale = Scale::from_env();
+    eprintln!(
+        "# scale: {} insts, {} warmup, {} workloads (override with BTB_INSTS/BTB_WARMUP/BTB_WORKLOADS)",
+        scale.insts, scale.warmup, scale.workloads
+    );
+    let t0 = Instant::now();
+    let needs_suite = which.iter().any(|w| *w != "table1");
+    let suite = if needs_suite {
+        Some(Suite::generate(scale))
+    } else {
+        None
+    };
+    if suite.is_some() {
+        eprintln!("# suite generated in {:?}", t0.elapsed());
+    }
+    let needs_base = which
+        .iter()
+        .any(|w| matches!(*w, "fig4" | "fig5" | "fig7" | "fig8" | "fig9" | "fig10" | "ablations" | "hetero" | "preload" | "turnaround"));
+    let base = if needs_base {
+        let t = Instant::now();
+        let b = experiments::baseline_reports(suite.as_ref().expect("suite"));
+        eprintln!("# baseline in {:?}", t.elapsed());
+        Some(b)
+    } else {
+        None
+    };
+
+    for w in which {
+        let t = Instant::now();
+        let fig = match w {
+            "table1" => experiments::table1(),
+            "stats" => experiments::workload_stats(suite.as_ref().expect("suite")),
+            "fig4" => experiments::fig4(suite.as_ref().expect("suite"), base.as_ref().expect("base")),
+            "fig5" => experiments::fig5(suite.as_ref().expect("suite"), base.as_ref().expect("base")),
+            "fig7" => experiments::fig7(suite.as_ref().expect("suite"), base.as_ref().expect("base")),
+            "fig8" => experiments::fig8(suite.as_ref().expect("suite"), base.as_ref().expect("base")),
+            "fig9" => experiments::fig9(suite.as_ref().expect("suite"), base.as_ref().expect("base")),
+            "fig10" => experiments::fig10(suite.as_ref().expect("suite"), base.as_ref().expect("base")),
+            "fig11a" => experiments::fig11a(suite.as_ref().expect("suite")),
+            "fig11b" => experiments::fig11b(suite.as_ref().expect("suite")),
+            "ablations" => {
+                experiments::ablations(suite.as_ref().expect("suite"), base.as_ref().expect("base"))
+            }
+            "hetero" => {
+                experiments::hetero(suite.as_ref().expect("suite"), base.as_ref().expect("base"))
+            }
+            "preload" => {
+                experiments::preload(suite.as_ref().expect("suite"), base.as_ref().expect("base"))
+            }
+            "turnaround" => {
+                experiments::turnaround(suite.as_ref().expect("suite"), base.as_ref().expect("base"))
+            }
+            other => {
+                eprintln!("unknown experiment: {other}");
+                std::process::exit(2);
+            }
+        };
+        println!("{fig}");
+        eprintln!("# {w} in {:?}", t.elapsed());
+    }
+}

@@ -1,0 +1,400 @@
+//! Named BTB configurations for every experiment in the paper.
+
+use btb_core::{BtbConfig, LevelGeometry, OrgKind, PullPolicy};
+
+/// Idealistic (512K-entry, single-level) I-BTB of the given width.
+#[must_use]
+pub fn ideal_ibtb(width: usize, skip_taken: bool) -> BtbConfig {
+    let name = if skip_taken {
+        format!("I-BTB {width} Skp")
+    } else {
+        format!("I-BTB {width}")
+    };
+    BtbConfig::ideal(&name, OrgKind::Instruction { width, skip_taken })
+}
+
+/// The paper's normalization baseline: idealistic I-BTB 16.
+#[must_use]
+pub fn baseline() -> BtbConfig {
+    ideal_ibtb(16, false)
+}
+
+/// Idealistic R-BTB with 64 B regions and `slots` branch slots.
+#[must_use]
+pub fn ideal_rbtb(slots: usize) -> BtbConfig {
+    BtbConfig::ideal(
+        &format!("R-BTB {slots}BS"),
+        OrgKind::Region {
+            region_bytes: 64,
+            slots,
+            dual_interleave: false,
+        },
+    )
+}
+
+/// Idealistic B-BTB with 16-instruction blocks and `slots` branch slots.
+#[must_use]
+pub fn ideal_bbtb(slots: usize) -> BtbConfig {
+    BtbConfig::ideal(
+        &format!("B-BTB {slots}BS"),
+        OrgKind::Block {
+            block_insts: 16,
+            slots,
+            split: false,
+        },
+    )
+}
+
+/// Realistic (two-level, §6.1-sized) I-BTB 16.
+#[must_use]
+pub fn real_ibtb16() -> BtbConfig {
+    BtbConfig::realistic(
+        "I-BTB 16",
+        OrgKind::Instruction {
+            width: 16,
+            skip_taken: false,
+        },
+    )
+}
+
+/// Realistic R-BTB (64 B regions), optionally 2L1 even/odd interleaved.
+#[must_use]
+pub fn real_rbtb(slots: usize, dual: bool) -> BtbConfig {
+    let name = if dual {
+        format!("2L1 R-BTB {slots}BS")
+    } else {
+        format!("R-BTB {slots}BS")
+    };
+    BtbConfig::realistic(
+        &name,
+        OrgKind::Region {
+            region_bytes: 64,
+            slots,
+            dual_interleave: dual,
+        },
+    )
+}
+
+/// Realistic 128 B-region R-BTB (Fig. 7).
+#[must_use]
+pub fn real_rbtb_128(slots: usize) -> BtbConfig {
+    BtbConfig::realistic(
+        &format!("R-BTB 128B {slots}BS"),
+        OrgKind::Region {
+            region_bytes: 128,
+            slots,
+            dual_interleave: false,
+        },
+    )
+}
+
+/// Fig. 7 "nGeo 16BS": the geometry of an `n`-slot R-BTB but provisioning
+/// 16 branch slots per entry (upper bound for shared overflow slots).
+#[must_use]
+pub fn real_rbtb_geo16(geo_slots: usize) -> BtbConfig {
+    let (l1, l2) = BtbConfig::realistic_geometry_for_slots(geo_slots);
+    BtbConfig::realistic_with_geometry(
+        &format!("R-BTB {geo_slots}Geo 16BS"),
+        OrgKind::Region {
+            region_bytes: 64,
+            slots: 16,
+            dual_interleave: false,
+        },
+        l1,
+        l2,
+    )
+}
+
+/// Realistic B-BTB with the given reach, slots and splitting.
+#[must_use]
+pub fn real_bbtb(block_insts: usize, slots: usize, split: bool) -> BtbConfig {
+    let mut name = String::new();
+    if block_insts != 16 {
+        name.push_str(&format!("B-BTB {block_insts} {slots}BS"));
+    } else {
+        name.push_str(&format!("B-BTB {slots}BS"));
+    }
+    if split {
+        name.push_str(" Splt");
+    }
+    BtbConfig::realistic(
+        &name,
+        OrgKind::Block {
+            block_insts,
+            slots,
+            split,
+        },
+    )
+}
+
+/// Short label for a pull policy, as used in the paper's figures.
+#[must_use]
+pub fn pull_label(pull: PullPolicy) -> &'static str {
+    match pull {
+        PullPolicy::UncondDirect => "UncndDir",
+        PullPolicy::CallDirect => "CallDir",
+        PullPolicy::AllBranches => "AllBr",
+    }
+}
+
+/// Realistic MB-BTB with the given reach, slots and pull policy.
+#[must_use]
+pub fn real_mbbtb(block_insts: usize, slots: usize, pull: PullPolicy) -> BtbConfig {
+    let name = if block_insts == 16 {
+        format!("MB-BTB {slots}BS {}", pull_label(pull))
+    } else {
+        format!("MB-BTB {block_insts} {slots}BS {}", pull_label(pull))
+    };
+    BtbConfig::realistic(
+        &name,
+        OrgKind::MultiBlock {
+            block_insts,
+            slots,
+            pull,
+            stability_threshold: 63,
+            allow_last_slot_pull: false,
+        },
+    )
+}
+
+/// R-BTB with shared overflow slots (§3.5, realized bound of `nGeo 16BS`).
+#[must_use]
+pub fn real_rbtb_overflow(slots: usize, overflow_entries: usize) -> BtbConfig {
+    BtbConfig::realistic(
+        &format!("R-BTB {slots}BS +ovf{overflow_entries}"),
+        OrgKind::RegionOverflow {
+            region_bytes: 64,
+            slots,
+            overflow_entries,
+        },
+    )
+}
+
+/// Heterogeneous hierarchy (§3.6.2 future work): B-BTB L1 + R-BTB L2 at
+/// the same geometries as the homogeneous configuration with `l1_slots`.
+#[must_use]
+pub fn hetero_block_region(l1_slots: usize, l2_slots: usize) -> BtbConfig {
+    let (l1, _) = BtbConfig::realistic_geometry_for_slots(l1_slots);
+    let (_, l2) = BtbConfig::realistic_geometry_for_slots(l2_slots);
+    BtbConfig {
+        name: format!("Hetero B{l1_slots}/R{l2_slots}"),
+        kind: OrgKind::HeteroBlockRegion {
+            block_insts: 16,
+            l1_slots,
+            split: true,
+            region_bytes: 64,
+            l2_slots,
+        },
+        l1,
+        l2: Some(l2),
+        timing: Default::default(),
+    }
+}
+
+/// Idealistic (512K-entry) MB-BTB used in the Fig. 11 limit studies:
+/// 64-instruction blocks, 3 slots, AllBr pulling.
+#[must_use]
+pub fn ideal_mbbtb64_allbr() -> BtbConfig {
+    BtbConfig::ideal(
+        "MB-BTB 64 AllBr",
+        OrgKind::MultiBlock {
+            block_insts: 64,
+            slots: 3,
+            pull: PullPolicy::AllBranches,
+            stability_threshold: 63,
+            allow_last_slot_pull: false,
+        },
+    )
+}
+
+/// Fig. 4 configuration list (idealistic structures).
+#[must_use]
+pub fn fig4_configs() -> Vec<BtbConfig> {
+    let mut v = vec![ideal_ibtb(8, false), ideal_ibtb(16, true)];
+    for s in [1, 2, 3, 4, 16] {
+        v.push(ideal_rbtb(s));
+    }
+    for s in [1, 2, 3, 4, 16] {
+        v.push(ideal_bbtb(s));
+    }
+    v
+}
+
+/// Fig. 5 configuration list (realistic hierarchies).
+#[must_use]
+pub fn fig5_configs() -> Vec<BtbConfig> {
+    let mut v = vec![real_ibtb16()];
+    for s in 1..=4 {
+        v.push(real_rbtb(s, false));
+    }
+    for s in 1..=4 {
+        v.push(real_bbtb(16, s, false));
+    }
+    v
+}
+
+/// Fig. 7 configuration list (R-BTB improvements).
+#[must_use]
+pub fn fig7_configs() -> Vec<BtbConfig> {
+    vec![
+        real_ibtb16(),
+        real_rbtb(2, false),
+        real_rbtb(2, true),
+        real_rbtb_geo16(2),
+        real_rbtb(3, false),
+        real_rbtb(3, true),
+        real_rbtb_geo16(3),
+        real_rbtb_128(2),
+        real_rbtb_128(3),
+        real_rbtb_128(4),
+        real_rbtb_128(6),
+        real_rbtb_overflow(2, 512),
+        real_rbtb_overflow(3, 512),
+    ]
+}
+
+/// Fig. 8 configuration list (B-BTB splitting and MB-BTB).
+#[must_use]
+pub fn fig8_configs() -> Vec<BtbConfig> {
+    vec![
+        real_ibtb16(),
+        real_rbtb(3, true),
+        real_bbtb(16, 1, false),
+        real_bbtb(16, 1, true),
+        real_bbtb(16, 2, false),
+        real_bbtb(16, 2, true),
+        real_mbbtb(16, 2, PullPolicy::UncondDirect),
+        real_mbbtb(16, 2, PullPolicy::CallDirect),
+        real_mbbtb(16, 2, PullPolicy::AllBranches),
+        real_bbtb(16, 3, false),
+        real_bbtb(16, 3, true),
+        real_mbbtb(16, 3, PullPolicy::UncondDirect),
+        real_mbbtb(16, 3, PullPolicy::CallDirect),
+        real_mbbtb(16, 3, PullPolicy::AllBranches),
+    ]
+}
+
+/// Fig. 9 configuration list (entry-reach scaling).
+#[must_use]
+pub fn fig9_configs() -> Vec<BtbConfig> {
+    vec![
+        real_bbtb(16, 1, true),
+        real_bbtb(32, 1, true),
+        real_mbbtb(16, 2, PullPolicy::AllBranches),
+        real_mbbtb(32, 2, PullPolicy::AllBranches),
+        real_mbbtb(64, 2, PullPolicy::AllBranches),
+        real_mbbtb(16, 3, PullPolicy::AllBranches),
+        real_mbbtb(32, 3, PullPolicy::AllBranches),
+        real_mbbtb(64, 3, PullPolicy::AllBranches),
+    ]
+}
+
+/// Fig. 10 configuration list (fetch PCs per access summary).
+#[must_use]
+pub fn fig10_configs() -> Vec<BtbConfig> {
+    vec![
+        real_ibtb16(),
+        real_rbtb(3, false),
+        real_rbtb(3, true),
+        real_rbtb_128(4),
+        real_bbtb(16, 1, true),
+        real_bbtb(32, 1, true),
+        real_mbbtb(16, 2, PullPolicy::AllBranches),
+        real_mbbtb(32, 2, PullPolicy::AllBranches),
+        real_mbbtb(64, 2, PullPolicy::AllBranches),
+        real_mbbtb(16, 3, PullPolicy::AllBranches),
+        real_mbbtb(32, 3, PullPolicy::AllBranches),
+        real_mbbtb(64, 3, PullPolicy::AllBranches),
+    ]
+}
+
+/// Ablation: MB-BTB last-slot pulling allowed (§6.4.2 recommends disallow).
+#[must_use]
+pub fn mbbtb_last_slot_pull(allow: bool) -> BtbConfig {
+    let name = if allow {
+        "MB-BTB 2BS AllBr +lastpull"
+    } else {
+        "MB-BTB 2BS AllBr"
+    };
+    BtbConfig::realistic(
+        name,
+        OrgKind::MultiBlock {
+            block_insts: 16,
+            slots: 2,
+            pull: PullPolicy::AllBranches,
+            stability_threshold: 63,
+            allow_last_slot_pull: allow,
+        },
+    )
+}
+
+/// Ablation: MB-BTB indirect stability threshold sweep (paper uses 63).
+#[must_use]
+pub fn mbbtb_threshold(threshold: u8) -> BtbConfig {
+    BtbConfig::realistic(
+        &format!("MB-BTB 2BS AllBr thr{threshold}"),
+        OrgKind::MultiBlock {
+            block_insts: 16,
+            slots: 2,
+            pull: PullPolicy::AllBranches,
+            stability_threshold: threshold,
+            allow_last_slot_pull: false,
+        },
+    )
+}
+
+/// Geometry helper used by tests.
+#[must_use]
+pub fn ideal_geometry() -> LevelGeometry {
+    BtbConfig::ideal_geometry()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_lists_have_expected_sizes() {
+        assert_eq!(fig4_configs().len(), 12);
+        assert_eq!(fig5_configs().len(), 9);
+        assert_eq!(fig7_configs().len(), 13);
+        assert_eq!(fig8_configs().len(), 14);
+        assert_eq!(fig9_configs().len(), 8);
+        assert_eq!(fig10_configs().len(), 12);
+    }
+
+    #[test]
+    fn names_match_paper_labels() {
+        assert_eq!(ideal_ibtb(16, true).name, "I-BTB 16 Skp");
+        assert_eq!(real_rbtb(3, true).name, "2L1 R-BTB 3BS");
+        assert_eq!(real_bbtb(16, 1, true).name, "B-BTB 1BS Splt");
+        assert_eq!(real_bbtb(32, 1, true).name, "B-BTB 32 1BS Splt");
+        assert_eq!(
+            real_mbbtb(64, 3, PullPolicy::AllBranches).name,
+            "MB-BTB 64 3BS AllBr"
+        );
+        assert_eq!(real_rbtb_geo16(2).name, "R-BTB 2Geo 16BS");
+    }
+
+    #[test]
+    fn all_configs_buildable() {
+        for cfg in fig4_configs()
+            .into_iter()
+            .chain(fig5_configs())
+            .chain(fig7_configs())
+            .chain(fig8_configs())
+            .chain(fig9_configs())
+            .chain(fig10_configs())
+        {
+            let b = btb_core::build_btb(cfg.clone());
+            assert_eq!(b.name(), cfg.name);
+        }
+    }
+
+    #[test]
+    fn every_figure_normalizes_to_the_same_baseline() {
+        assert_eq!(baseline().name, "I-BTB 16");
+        assert!(baseline().l2.is_none(), "baseline is single-level ideal");
+        assert_eq!(baseline().l1.entries(), 512 * 1024);
+    }
+}

@@ -1,0 +1,541 @@
+//! One experiment per table/figure of the paper. Every performance figure
+//! is normalized to the idealistic I-BTB 16 baseline, exactly as the paper
+//! normalizes all of its results (§5 footnote 5).
+
+use crate::aggregate::{geomean, ratios, Whisker};
+use crate::configs;
+use crate::figure::{Figure, Row};
+use crate::runner::{run_config, run_matrix, Suite};
+use btb_core::{BtbConfig, PullPolicy};
+use btb_sim::{PipelineConfig, SimReport};
+use btb_trace::TraceStats;
+
+/// Runs the idealistic I-BTB 16 baseline over the suite (shared by every
+/// figure for normalization).
+#[must_use]
+pub fn baseline_reports(suite: &Suite) -> Vec<SimReport> {
+    run_config(suite, &configs::baseline(), &PipelineConfig::paper())
+}
+
+fn ipcs(reports: &[SimReport]) -> Vec<f64> {
+    reports.iter().map(SimReport::ipc).collect()
+}
+
+fn whisker_row(label: &str, rel: &[f64]) -> Row {
+    let w = Whisker::from_values(rel);
+    Row {
+        label: label.to_owned(),
+        cells: vec![w.min, w.q1, w.median, w.q3, w.max, w.geomean],
+    }
+}
+
+const WHISKER_COLS: [&str; 6] = ["min", "q1", "median", "q3", "max", "geomean"];
+
+/// Runs a set of configurations and renders a whisker figure of IPC
+/// relative to the baseline.
+fn whisker_figure(
+    id: &str,
+    title: &str,
+    suite: &Suite,
+    base: &[SimReport],
+    cfgs: &[BtbConfig],
+) -> (Figure, Vec<Vec<SimReport>>) {
+    let matrix = run_matrix(suite, cfgs, &PipelineConfig::paper());
+    let base_ipc = ipcs(base);
+    let mut fig = Figure::new(id, title, &WHISKER_COLS);
+    for (cfg, reports) in cfgs.iter().zip(&matrix) {
+        let rel = ratios(&ipcs(reports), &base_ipc);
+        fig.rows.push(whisker_row(&cfg.name, &rel));
+    }
+    (fig, matrix)
+}
+
+fn mean<F: Fn(&SimReport) -> f64>(reports: &[SimReport], f: F) -> f64 {
+    if reports.is_empty() {
+        return 0.0;
+    }
+    reports.iter().map(f).sum::<f64>() / reports.len() as f64
+}
+
+/// Table 1: prints the simulated pipeline configuration.
+#[must_use]
+pub fn table1() -> Figure {
+    let c = PipelineConfig::paper();
+    let mut fig = Figure::new("table1", "Pipeline configuration (Table 1)", &["value"]);
+    let mut add = |k: &str, v: f64| {
+        fig.rows.push(Row {
+            label: k.to_owned(),
+            cells: vec![v],
+        });
+    };
+    add("fetch/decode/alloc/commit width", c.width as f64);
+    add("FTQ entries", c.ftq_entries as f64);
+    add("decode queue", c.decode_queue as f64);
+    add("allocate queue", c.alloc_queue as f64);
+    add("ROB entries", c.rob_entries as f64);
+    add("IQ entries", c.iq_entries as f64);
+    add("LQ entries", c.lq_entries as f64);
+    add("SQ entries", c.sq_entries as f64);
+    add("misc/load/store ports", (c.misc_ports * 100 + c.load_ports * 10 + c.store_ports) as f64);
+    add("perceptron bytes", c.perceptron.storage_bytes() as f64);
+    add("indirect predictor entries", c.indirect_entries as f64);
+    add("RAS entries", c.ras_entries as f64);
+    fig.notes.push(
+        "L1BTB 0-cycle, L2BTB 3-cycle bubbles, +1 for non-return indirects; \
+         32KB L1I (3c, 8 interleaves), 48KB L1D (5c), 512KB L2 (15c), 2MB LLC (35c), DRAM ~140c"
+            .to_owned(),
+    );
+    fig
+}
+
+/// Fig. 4: idealistic 512K-entry structures — performance of I-/R-/B-BTB
+/// variants relative to I-BTB 16, plus the §5 fetch-PC and occupancy notes.
+#[must_use]
+pub fn fig4(suite: &Suite, base: &[SimReport]) -> Figure {
+    let cfgs = configs::fig4_configs();
+    let (mut fig, matrix) = whisker_figure(
+        "fig4",
+        "IPC of idealistic BTB organizations relative to I-BTB 16 (Fig. 4)",
+        suite,
+        base,
+        &cfgs,
+    );
+    // §5 companion numbers: fetch PCs per access and slot occupancy.
+    fig.notes.push(format!(
+        "fetch PCs/access: I-BTB 16 {:.1}, I-BTB 8 {:.1}, I-BTB 16 Skp {:.1} (paper: 7.7 / 5.6 / 15.9)",
+        mean(base, |r| r.stats.fetch_pcs_per_access()),
+        mean(&matrix[0], |r| r.stats.fetch_pcs_per_access()),
+        mean(&matrix[1], |r| r.stats.fetch_pcs_per_access()),
+    ));
+    let r16 = &matrix[6]; // R-BTB 16BS
+    let b16 = &matrix[11]; // B-BTB 16BS
+    fig.notes.push(format!(
+        "16-slot occupancy: R-BTB {:.2}, B-BTB {:.2} (paper: 1.60 / 1.06); \
+         B-BTB redundancy {:.3} (paper: ~1.06)",
+        mean(r16, |r| r.l1_occupancy),
+        mean(b16, |r| r.l1_occupancy),
+        mean(b16, |r| r.l1_redundancy),
+    ));
+    fig.notes.push(format!(
+        "fetch PCs/access: R-BTB 16BS {:.1} vs B-BTB 16BS {:.1} (paper: 6.2 vs 7.7)",
+        mean(r16, |r| r.stats.fetch_pcs_per_access()),
+        mean(b16, |r| r.stats.fetch_pcs_per_access()),
+    ));
+    fig
+}
+
+/// Fig. 5: realistic two-level hierarchies relative to idealistic I-BTB 16,
+/// plus the §6.1 hit-rate and MPKI notes.
+#[must_use]
+pub fn fig5(suite: &Suite, base: &[SimReport]) -> Figure {
+    let cfgs = configs::fig5_configs();
+    let (mut fig, matrix) = whisker_figure(
+        "fig5",
+        "IPC of realistic I-/R-/B-BTB hierarchies relative to idealistic I-BTB 16 (Fig. 5)",
+        suite,
+        base,
+        &cfgs,
+    );
+    let ibtb = &matrix[0];
+    let bbtb1 = &matrix[5];
+    fig.notes.push(format!(
+        "I-BTB 16 hitrates: L1 {:.1}%, L1+L2 {:.1}% (paper: 76.3% / 99.9%); MPKI {:.2} (paper: 0.84)",
+        100.0 * mean(ibtb, |r| r.stats.l1_btb_hitrate()),
+        100.0 * mean(ibtb, |r| r.stats.l2_btb_hitrate()),
+        geomean(&ibtb.iter().map(|r| r.stats.mpki().max(1e-6)).collect::<Vec<_>>()),
+    ));
+    fig.notes.push(format!(
+        "B-BTB 1BS hitrates: L1 {:.1}%, L1+L2 {:.1}% (paper: 60.8% / 97.8%); \
+         MPKI {:.2} (paper: 5.91); L1 redundancy {:.3} (paper: 1.04)",
+        100.0 * mean(bbtb1, |r| r.stats.l1_btb_hitrate()),
+        100.0 * mean(bbtb1, |r| r.stats.l2_btb_hitrate()),
+        geomean(&bbtb1.iter().map(|r| r.stats.mpki().max(1e-6)).collect::<Vec<_>>()),
+        mean(bbtb1, |r| r.l1_redundancy),
+    ));
+    fig
+}
+
+/// Fig. 7: R-BTB improvements (2L1 interleaving, nGeo 16BS bounds, 128 B
+/// regions).
+#[must_use]
+pub fn fig7(suite: &Suite, base: &[SimReport]) -> Figure {
+    let cfgs = configs::fig7_configs();
+    let (mut fig, matrix) = whisker_figure(
+        "fig7",
+        "IPC of R-BTB improvements relative to idealistic I-BTB 16 (Fig. 7)",
+        suite,
+        base,
+        &cfgs,
+    );
+    fig.notes.push(format!(
+        "fetch PCs/access: R-BTB 3BS {:.1}, 2L1 R-BTB 3BS {:.1}, R-BTB 128B 4BS {:.1} \
+         (paper: 6.2 / 6.7 / 7.4)",
+        mean(&matrix[4], |r| r.stats.fetch_pcs_per_access()),
+        mean(&matrix[5], |r| r.stats.fetch_pcs_per_access()),
+        mean(&matrix[9], |r| r.stats.fetch_pcs_per_access()),
+    ));
+    fig
+}
+
+/// Fig. 8: B-BTB splitting and MB-BTB pull policies.
+#[must_use]
+pub fn fig8(suite: &Suite, base: &[SimReport]) -> Figure {
+    let cfgs = configs::fig8_configs();
+    let (mut fig, matrix) = whisker_figure(
+        "fig8",
+        "IPC of B-BTB improvements and MB-BTB relative to idealistic I-BTB 16 (Fig. 8)",
+        suite,
+        base,
+        &cfgs,
+    );
+    let rel_gm = |idx: usize| {
+        let rel = ratios(&ipcs(&matrix[idx]), &ipcs(base));
+        geomean(&rel)
+    };
+    fig.notes.push(format!(
+        "split gain at 1BS: {:.3} -> {:.3} geomean (paper: +2.6%, 1.75 -> 1.78 abs)",
+        rel_gm(2),
+        rel_gm(3),
+    ));
+    fig.notes.push(format!(
+        "3BS pulls: base {:.3}, UncndDir {:.3}, CallDir {:.3}, AllBr {:.3} geomean \
+         (paper: +9.1% then +16.5% then +2.6%)",
+        rel_gm(9),
+        rel_gm(11),
+        rel_gm(12),
+        rel_gm(13),
+    ));
+    fig
+}
+
+/// Fig. 9: entry-reach (block size) scaling of B-BTB and MB-BTB.
+#[must_use]
+pub fn fig9(suite: &Suite, base: &[SimReport]) -> Figure {
+    let cfgs = configs::fig9_configs();
+    let (mut fig, _matrix) = whisker_figure(
+        "fig9",
+        "IPC when increasing block reach (16/32/64 insts) relative to idealistic I-BTB 16 (Fig. 9)",
+        suite,
+        base,
+        &cfgs,
+    );
+    fig.notes.push(
+        "paper: B-BTB 1BS Splt gains ~0 from 16->32; MB-BTB 2BS AllBr +1.3% at 32; \
+         MB-BTB 3BS AllBr +6.8% at 64"
+            .to_owned(),
+    );
+    fig
+}
+
+/// Fig. 10: average fetch PCs per BTB access and geomean relative IPC for
+/// the realistic configurations.
+#[must_use]
+pub fn fig10(suite: &Suite, base: &[SimReport]) -> Figure {
+    let cfgs = configs::fig10_configs();
+    let matrix = run_matrix(suite, &cfgs, &PipelineConfig::paper());
+    let base_ipc = ipcs(base);
+    let mut fig = Figure::new(
+        "fig10",
+        "Fetch PCs per BTB access and geomean relative IPC (Fig. 10)",
+        &["fetch_pcs_per_access", "geomean_rel_ipc"],
+    );
+    for (cfg, reports) in cfgs.iter().zip(&matrix) {
+        let rel = ratios(&ipcs(reports), &base_ipc);
+        fig.rows.push(Row {
+            label: cfg.name.clone(),
+            cells: vec![mean(reports, |r| r.stats.fetch_pcs_per_access()), geomean(&rel)],
+        });
+    }
+    fig.notes.push(
+        "paper shape: MB-BTB variants lead fetch PCs/access (~11-14) while \
+         B-BTB 1BS Splt and I-BTB 16 lead IPC in the constrained setting"
+            .to_owned(),
+    );
+    fig
+}
+
+/// Fig. 11a: ideal-backend limit study — MB-BTB 64 AllBr speedup over
+/// I-BTB 16 against the workload's dynamic basic-block size.
+#[must_use]
+pub fn fig11a(suite: &Suite) -> Figure {
+    let pipe = PipelineConfig::paper_ideal_backend();
+    let base = run_config(suite, &configs::baseline(), &pipe);
+    let mb = run_config(suite, &configs::ideal_mbbtb64_allbr(), &pipe);
+    let mut rows: Vec<(f64, String, f64)> = base
+        .iter()
+        .zip(&mb)
+        .map(|(b, m)| {
+            (
+                b.stats.dyn_bb_size(),
+                b.workload.clone(),
+                m.ipc() / b.ipc(),
+            )
+        })
+        .collect();
+    rows.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaNs"));
+    let mut fig = Figure::new(
+        "fig11a",
+        "Ideal backend: MB-BTB 64 AllBr speedup over I-BTB 16 vs dyn. basic-block size (Fig. 11a)",
+        &["dyn_bb_size", "speedup"],
+    );
+    let speedups: Vec<f64> = rows.iter().map(|r| r.2).collect();
+    for (bb, name, sp) in rows {
+        fig.rows.push(Row {
+            label: name,
+            cells: vec![bb, sp],
+        });
+    }
+    fig.notes.push(format!(
+        "geomean speedup {:.3} (paper: 1.134, min 1.06, max 1.156); speedups should \
+         shrink as basic blocks grow",
+        geomean(&speedups)
+    ));
+    fig
+}
+
+/// Fig. 11b: speedup of MB-BTB 64 AllBr over I-BTB 16 as the conditional
+/// predictor shrinks from 64 KB to 2 KB (branch MPKI rises).
+#[must_use]
+pub fn fig11b(suite: &Suite) -> Figure {
+    let mut fig = Figure::new(
+        "fig11b",
+        "MB-BTB 64 AllBr speedup over I-BTB 16 vs branch predictor size (Fig. 11b)",
+        &["branch_mpki", "min", "geomean", "max"],
+    );
+    for kb in [64usize, 32, 16, 8, 4, 2] {
+        let pipe = PipelineConfig::paper().with_predictor_kb(kb);
+        let base = run_config(suite, &configs::baseline(), &pipe);
+        let mb = run_config(suite, &configs::ideal_mbbtb64_allbr(), &pipe);
+        let speedups: Vec<f64> = base.iter().zip(&mb).map(|(b, m)| m.ipc() / b.ipc()).collect();
+        let mpki = mean(&base, |r| r.stats.mpki());
+        let w = Whisker::from_values(&speedups);
+        fig.rows.push(Row {
+            label: format!("{kb}KB BP"),
+            cells: vec![mpki, w.min, w.geomean, w.max],
+        });
+    }
+    fig.notes.push(
+        "paper shape: speedup grows monotonically as the predictor shrinks \
+         (more pipeline refills expose MB-BTB's fetch-PC throughput)"
+            .to_owned(),
+    );
+    fig
+}
+
+/// Workload characterization + the scalar statistics quoted in §2 and §5.
+#[must_use]
+pub fn workload_stats(suite: &Suite) -> Figure {
+    let mut fig = Figure::new(
+        "stats",
+        "Workload characterization (paper §2/§4.2/§5 counterparts)",
+        &[
+            "dyn_bb",
+            "never_taken%",
+            "always_taken%",
+            "single_ind%",
+            "touched_KB",
+            "cover90_KB",
+        ],
+    );
+    let mut bbs = Vec::new();
+    for t in &suite.traces {
+        let s = TraceStats::compute(&t.records);
+        bbs.push(s.avg_dyn_bb_size);
+        fig.rows.push(Row {
+            label: t.name.clone(),
+            cells: vec![
+                s.avg_dyn_bb_size,
+                100.0 * s.frac_never_taken_cond(),
+                100.0 * s.frac_always_taken_cond(),
+                100.0 * s.frac_single_target_indirect(),
+                (s.code_footprint_bytes() / 1024) as f64,
+                (btb_trace::footprint_for_coverage(&t.records, 0.9) / 1024) as f64,
+            ],
+        });
+    }
+    fig.notes.push(format!(
+        "mean dyn basic block {:.1} (paper: 9.4); paper: 34.8% never-taken, \
+         15.0% always-taken, 9.1% single-target indirect, 138KB for 90% coverage",
+        bbs.iter().sum::<f64>() / bbs.len().max(1) as f64
+    ));
+    fig
+}
+
+/// The §1/§3.6.1 limit study: on a 512K-entry I-BTB 16, a 1-cycle taken
+/// branch penalty costs 0.8% geomean IPC (up to 2.2%) in the paper —
+/// the argument for true 0-cycle L1 turnaround.
+#[must_use]
+pub fn turnaround(suite: &Suite, base: &[SimReport]) -> Figure {
+    let mut slow = configs::baseline();
+    slow.name = "I-BTB 16, 1c taken penalty".to_owned();
+    slow.timing.l1_bubbles = 1;
+    let reports = run_config(suite, &slow, &PipelineConfig::paper());
+    let rel = ratios(&ipcs(&reports), &ipcs(base));
+    let mut fig = Figure::new(
+        "turnaround",
+        "Cost of a 1-cycle taken-branch penalty on the idealistic I-BTB 16 (§1/§3.6.1)",
+        &WHISKER_COLS,
+    );
+    fig.rows.push(whisker_row(&slow.name, &rel));
+    let w = Whisker::from_values(&rel);
+    fig.notes.push(format!(
+        "geomean loss {:.1}%, worst workload {:.1}% (paper: 0.8% geomean, up to 2.2%)",
+        100.0 * (1.0 - w.geomean),
+        100.0 * (1.0 - w.min),
+    ));
+    fig
+}
+
+/// Heterogeneous hierarchy study (§3.6.2, the paper's future work): does a
+/// redundancy-free Region L2 behind a Block L1 recover the storage the
+/// B-BTB wastes on synonym blocks?
+#[must_use]
+pub fn hetero(suite: &Suite, base: &[SimReport]) -> Figure {
+    let cfgs = vec![
+        configs::real_ibtb16(),
+        configs::real_bbtb(16, 1, true),
+        configs::real_bbtb(16, 2, false),
+        configs::hetero_block_region(1, 1),
+        configs::hetero_block_region(2, 2),
+        configs::hetero_block_region(1, 2),
+    ];
+    let (mut fig, matrix) = whisker_figure(
+        "hetero",
+        "Heterogeneous Block-L1/Region-L2 hierarchies vs homogeneous (§3.6.2 future work)",
+        suite,
+        base,
+        &cfgs,
+    );
+    fig.notes.push(format!(
+        "L2 redundancy: homogeneous B-BTB 2BS {:.3} vs hetero B2/R2 {:.3}          (region L2 stores each branch once)",
+        mean(&matrix[2], |r| r.l2_redundancy),
+        mean(&matrix[4], |r| r.l2_redundancy),
+    ));
+    fig.notes.push(format!(
+        "taken-branch L1+L2 coverage: B-BTB 2BS {:.1}% vs hetero B2/R2 {:.1}%",
+        100.0 * mean(&matrix[2], |r| r.stats.l2_btb_hitrate()),
+        100.0 * mean(&matrix[4], |r| r.stats.l2_btb_hitrate()),
+    ));
+    fig
+}
+
+/// BTB preloading study (§7.3 related work, IBM z-style bulk preload):
+/// on an L1I miss, the L2 BTB's entries for the surrounding code region
+/// are promoted into the L1 BTB, converting 3-bubble L2 hits into 0-bubble
+/// L1 hits on refills.
+#[must_use]
+pub fn preload(suite: &Suite, base: &[SimReport]) -> Figure {
+    let base_ipc = ipcs(base);
+    let mut fig = Figure::new(
+        "preload",
+        "IBM z-style BTB preloading (§7.3 related work extension)",
+        &["rel_ipc_geomean", "l1_btb_hitrate%", "mpki"],
+    );
+    for (cfg, preload_on) in [
+        (configs::real_ibtb16(), false),
+        (configs::real_ibtb16(), true),
+        (configs::real_rbtb(3, false), false),
+        (configs::real_rbtb(3, false), true),
+    ] {
+        let mut pipe = PipelineConfig::paper();
+        if preload_on {
+            pipe = pipe.with_btb_preload();
+        }
+        let reports = run_config(suite, &cfg, &pipe);
+        let rel = ratios(&ipcs(&reports), &base_ipc);
+        fig.rows.push(Row {
+            label: format!("{}{}", cfg.name, if preload_on { " +preload" } else { "" }),
+            cells: vec![
+                geomean(&rel),
+                100.0 * mean(&reports, |r| r.stats.l1_btb_hitrate()),
+                mean(&reports, |r| r.stats.mpki()),
+            ],
+        });
+    }
+    fig.notes.push(
+        "preloading should raise the L1 BTB hit rate (fewer 3-bubble L2 hits)          without changing MPKI (no new metadata, only promotion)"
+            .to_owned(),
+    );
+    fig
+}
+
+/// Ablations beyond the paper's main figures: last-slot pulling and the
+/// indirect stability threshold (design choices called out in §6.4.2).
+#[must_use]
+pub fn ablations(suite: &Suite, base: &[SimReport]) -> Figure {
+    let cfgs = vec![
+        configs::mbbtb_last_slot_pull(false),
+        configs::mbbtb_last_slot_pull(true),
+        configs::mbbtb_threshold(0),
+        configs::mbbtb_threshold(3),
+        configs::mbbtb_threshold(15),
+        configs::mbbtb_threshold(63),
+        configs::real_mbbtb(16, 2, PullPolicy::UncondDirect),
+    ];
+    let (mut fig, matrix) = whisker_figure(
+        "ablations",
+        "MB-BTB design-choice ablations (§6.4.2): last-slot pulling and stability threshold",
+        suite,
+        base,
+        &cfgs,
+    );
+    fig.notes.push(format!(
+        "redundancy with last-slot pulling disallowed {:.3} vs allowed {:.3} \
+         (paper argues disallowing reduces redundancy)",
+        mean(&matrix[0], |r| r.l1_redundancy),
+        mean(&matrix[1], |r| r.l1_redundancy),
+    ));
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Scale;
+
+    fn tiny_suite() -> Suite {
+        Suite::generate(Scale {
+            insts: 30_000,
+            warmup: 5_000,
+            workloads: 2,
+        })
+    }
+
+    #[test]
+    fn table1_has_rows_and_notes() {
+        let f = table1();
+        assert!(f.rows.len() >= 10);
+        assert!(!f.notes.is_empty());
+        assert!(f.to_string().contains("ROB"));
+    }
+
+    #[test]
+    fn fig10_produces_both_metrics() {
+        let suite = tiny_suite();
+        let base = baseline_reports(&suite);
+        let f = fig10(&suite, &base);
+        assert_eq!(f.columns.len(), 2);
+        assert_eq!(f.rows.len(), configs::fig10_configs().len());
+        for r in &f.rows {
+            assert!(r.cells[0] > 1.0, "{}: fetch PCs {}", r.label, r.cells[0]);
+            assert!(r.cells[1] > 0.1, "{}: rel IPC {}", r.label, r.cells[1]);
+        }
+    }
+
+    #[test]
+    fn workload_stats_covers_all_traces() {
+        let suite = tiny_suite();
+        let f = workload_stats(&suite);
+        assert_eq!(f.rows.len(), 2);
+    }
+
+    #[test]
+    fn fig11a_sorts_by_block_size() {
+        let suite = tiny_suite();
+        let f = fig11a(&suite);
+        let bbs: Vec<f64> = f.rows.iter().map(|r| r.cells[0]).collect();
+        let mut sorted = bbs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        assert_eq!(bbs, sorted);
+    }
+}

@@ -1,0 +1,125 @@
+//! Tabular figure/table results with aligned text rendering and TSV export.
+
+use serde::Serialize;
+use std::fmt;
+
+/// One row of a figure: a label plus numeric cells.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Row {
+    /// Row label (configuration or workload name).
+    pub label: String,
+    /// Numeric cells, aligned with the figure's columns.
+    pub cells: Vec<f64>,
+}
+
+/// One reproduced table or figure.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Figure {
+    /// Short id ("fig4", "table1", ...).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Row>,
+    /// Companion notes (paper reference numbers, caveats).
+    pub notes: Vec<String>,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    #[must_use]
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> Self {
+        Figure {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            columns: columns.iter().map(|c| (*c).to_owned()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Tab-separated export (header + rows).
+    #[must_use]
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        out.push_str("label");
+        for c in &self.columns {
+            out.push('\t');
+            out.push_str(c);
+        }
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&r.label);
+            for v in &r.cells {
+                out.push('\t');
+                out.push_str(&format!("{v:.4}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Figure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} — {} ==", self.id, self.title)?;
+        let label_w = self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .chain(std::iter::once(5))
+            .max()
+            .unwrap_or(5);
+        write!(f, "{:<label_w$}", "")?;
+        for c in &self.columns {
+            write!(f, "  {c:>12}")?;
+        }
+        writeln!(f)?;
+        for r in &self.rows {
+            write!(f, "{:<label_w$}", r.label)?;
+            for v in &r.cells {
+                write!(f, "  {v:>12.4}")?;
+            }
+            writeln!(f)?;
+        }
+        for n in &self.notes {
+            writeln!(f, "  note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Figure {
+        let mut fig = Figure::new("figX", "sample", &["a", "b"]);
+        fig.rows.push(Row {
+            label: "cfg-1".into(),
+            cells: vec![1.0, 2.5],
+        });
+        fig.notes.push("hello".into());
+        fig
+    }
+
+    #[test]
+    fn display_contains_all_parts() {
+        let s = sample().to_string();
+        assert!(s.contains("figX"));
+        assert!(s.contains("cfg-1"));
+        assert!(s.contains("2.5000"));
+        assert!(s.contains("note: hello"));
+    }
+
+    #[test]
+    fn tsv_roundtrip_shape() {
+        let tsv = sample().to_tsv();
+        let lines: Vec<&str> = tsv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], "label\ta\tb");
+        assert!(lines[1].starts_with("cfg-1\t1.0000\t2.5000"));
+    }
+}

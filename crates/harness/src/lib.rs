@@ -1,0 +1,26 @@
+//! Experiment harness for the `btb-orgs` reproduction: regenerates every
+//! table and figure of *"Branch Target Buffer Organizations"* (MICRO 2023).
+//!
+//! The `figures` binary exposes each experiment:
+//!
+//! ```text
+//! cargo run --release -p btb-harness --bin figures -- fig4
+//! cargo run --release -p btb-harness --bin figures -- all
+//! BTB_INSTS=500000 cargo run --release -p btb-harness --bin figures -- fig8
+//! ```
+//!
+//! Experiment scale (trace length, warm-up, suite size) is controlled by
+//! the `BTB_INSTS`, `BTB_WARMUP` and `BTB_WORKLOADS` environment variables;
+//! see [`Scale::from_env`].
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod aggregate;
+pub mod configs;
+pub mod experiments;
+mod figure;
+pub mod runner;
+
+pub use figure::{Figure, Row};
+pub use runner::{run_config, run_matrix, Scale, Suite};

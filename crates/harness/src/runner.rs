@@ -1,0 +1,214 @@
+//! Parallel experiment execution: workload suite generation and
+//! (configuration × workload) simulation matrices.
+
+use btb_core::BtbConfig;
+use btb_sim::{simulate, PipelineConfig, SimReport};
+use btb_trace::{server_suite, Trace};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Experiment scale: trace length, warm-up and suite size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Instructions per trace.
+    pub insts: usize,
+    /// Warm-up instructions excluded from statistics.
+    pub warmup: u64,
+    /// Number of workloads from the suite.
+    pub workloads: usize,
+}
+
+impl Scale {
+    /// Full scale used for EXPERIMENTS.md (the paper uses 50M+50M per
+    /// trace; this is scaled to laptop budgets while preserving shape).
+    #[must_use]
+    pub fn full() -> Self {
+        Scale {
+            insts: 2_500_000,
+            warmup: 750_000,
+            workloads: 15,
+        }
+    }
+
+    /// Quick scale for benches and smoke tests.
+    #[must_use]
+    pub fn quick() -> Self {
+        Scale {
+            insts: 300_000,
+            warmup: 100_000,
+            workloads: 4,
+        }
+    }
+
+    /// Reads `BTB_INSTS`, `BTB_WARMUP` and `BTB_WORKLOADS` from the
+    /// environment, defaulting to [`Scale::full`].
+    #[must_use]
+    pub fn from_env() -> Self {
+        let mut s = Scale::full();
+        if let Ok(v) = std::env::var("BTB_INSTS") {
+            if let Ok(n) = v.parse() {
+                s.insts = n;
+            }
+        }
+        if let Ok(v) = std::env::var("BTB_WARMUP") {
+            if let Ok(n) = v.parse() {
+                s.warmup = n;
+            }
+        }
+        if let Ok(v) = std::env::var("BTB_WORKLOADS") {
+            if let Ok(n) = v.parse() {
+                s.workloads = n;
+            }
+        }
+        s.warmup = s.warmup.min(s.insts as u64 / 2);
+        s
+    }
+}
+
+/// The generated workload suite (traces shared across configurations).
+#[derive(Debug)]
+pub struct Suite {
+    /// One trace per workload.
+    pub traces: Vec<Trace>,
+    /// Scale the suite was generated at.
+    pub scale: Scale,
+}
+
+impl Suite {
+    /// Generates the first `scale.workloads` server-suite traces in
+    /// parallel.
+    #[must_use]
+    pub fn generate(scale: Scale) -> Self {
+        let profiles: Vec<_> = server_suite().into_iter().take(scale.workloads).collect();
+        let results: Vec<Mutex<Option<Trace>>> =
+            profiles.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..threads().min(profiles.len().max(1)) {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= profiles.len() {
+                        break;
+                    }
+                    let t = Trace::generate(&profiles[i], scale.insts);
+                    *results[i].lock().expect("no poisoning") = Some(t);
+                });
+            }
+        });
+        Suite {
+            traces: results
+                .into_iter()
+                .map(|m| m.into_inner().expect("no poisoning").expect("generated"))
+                .collect(),
+            scale,
+        }
+    }
+
+    /// Workload names in suite order.
+    #[must_use]
+    pub fn names(&self) -> Vec<String> {
+        self.traces.iter().map(|t| t.name.clone()).collect()
+    }
+}
+
+fn threads() -> usize {
+    std::thread::available_parallelism().map_or(4, std::num::NonZero::get)
+}
+
+/// Runs every configuration over every trace in parallel; result is indexed
+/// `[config][workload]`.
+#[must_use]
+pub fn run_matrix(
+    suite: &Suite,
+    configs: &[BtbConfig],
+    pipeline: &PipelineConfig,
+) -> Vec<Vec<SimReport>> {
+    let jobs: Vec<(usize, usize)> = (0..configs.len())
+        .flat_map(|c| (0..suite.traces.len()).map(move |w| (c, w)))
+        .collect();
+    let results: Vec<Mutex<Option<SimReport>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    let pipe = pipeline.clone().with_warmup(suite.scale.warmup);
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads().min(jobs.len().max(1)) {
+            s.spawn(|| loop {
+                let j = next.fetch_add(1, Ordering::Relaxed);
+                if j >= jobs.len() {
+                    break;
+                }
+                let (c, w) = jobs[j];
+                let report = simulate(&suite.traces[w], configs[c].clone(), pipe.clone());
+                *results[j].lock().expect("no poisoning") = Some(report);
+            });
+        }
+    });
+    let mut out: Vec<Vec<SimReport>> = (0..configs.len()).map(|_| Vec::new()).collect();
+    let mut flat = results
+        .into_iter()
+        .map(|m| m.into_inner().expect("no poisoning").expect("simulated"));
+    for (c, _w) in &jobs {
+        out[*c].push(flat.next().expect("one report per job"));
+    }
+    out
+}
+
+/// Runs one configuration over the suite (parallel across workloads).
+#[must_use]
+pub fn run_config(suite: &Suite, config: &BtbConfig, pipeline: &PipelineConfig) -> Vec<SimReport> {
+    run_matrix(suite, std::slice::from_ref(config), pipeline)
+        .pop()
+        .expect("one config")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs;
+
+    fn tiny_scale() -> Scale {
+        Scale {
+            insts: 20_000,
+            warmup: 5_000,
+            workloads: 2,
+        }
+    }
+
+    #[test]
+    fn suite_generation_is_deterministic() {
+        let a = Suite::generate(tiny_scale());
+        let b = Suite::generate(tiny_scale());
+        assert_eq!(a.traces.len(), 2);
+        assert_eq!(a.traces[0].records, b.traces[0].records);
+        assert_eq!(a.names(), b.names());
+    }
+
+    #[test]
+    fn matrix_is_ordered_config_major() {
+        let suite = Suite::generate(tiny_scale());
+        let cfgs = vec![configs::baseline(), configs::real_ibtb16()];
+        let m = run_matrix(&suite, &cfgs, &btb_sim::PipelineConfig::paper());
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0].len(), 2);
+        assert_eq!(m[0][0].config_name, "I-BTB 16");
+        assert_eq!(m[0][0].workload, suite.traces[0].name);
+        assert_eq!(m[0][1].workload, suite.traces[1].name);
+        for row in &m {
+            for r in row {
+                assert!(r.ipc() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn scale_env_clamps_warmup() {
+        // Warm-up can never exceed half the trace.
+        let s = Scale {
+            insts: 100,
+            warmup: 90,
+            workloads: 1,
+        };
+        // from_env path clamps; emulate the clamp directly.
+        let clamped = s.warmup.min(s.insts as u64 / 2);
+        assert_eq!(clamped, 50);
+    }
+}

@@ -1,0 +1,35 @@
+//! Cycle-level trace-driven simulator of the paper's decoupled-fetch
+//! pipeline (Table 1 / Fig. 3): PC generation through a pluggable BTB
+//! organization, FTQ with FDIP prefetching, interleave-aware 16-wide fetch,
+//! and an out-of-order (or §6.5.2 ideal) backend over the Table 1 memory
+//! hierarchy.
+//!
+//! # Example
+//! ```
+//! use btb_core::{BtbConfig, OrgKind};
+//! use btb_sim::{simulate, PipelineConfig};
+//! use btb_trace::{Trace, WorkloadProfile};
+//!
+//! let trace = Trace::generate(&WorkloadProfile::tiny(1), 10_000);
+//! let btb = BtbConfig::ideal(
+//!     "I-BTB 16",
+//!     OrgKind::Instruction { width: 16, skip_taken: false },
+//! );
+//! let report = simulate(&trace, btb, PipelineConfig::paper());
+//! assert!(report.ipc() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod backend;
+mod config;
+mod predictors;
+mod sim;
+mod stats;
+
+pub use backend::{Backend, BackendTimes, QueueRing};
+pub use config::{BackendKind, PipelineConfig};
+pub use predictors::Predictors;
+pub use sim::{simulate, Simulator};
+pub use stats::{SimReport, SimStats};

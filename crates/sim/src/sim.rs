@@ -1,0 +1,625 @@
+//! The decoupled-fetch trace-driven simulator (§4.1 / Fig. 3).
+//!
+//! The simulator walks the retired-instruction trace. PC generation performs
+//! one BTB access per cycle (plus taken-branch bubbles), producing a
+//! [`FetchPlan`]; the plan's cache lines become FTQ entries that trigger
+//! FDIP prefetches; Fetch consumes up to 16 instructions per cycle from up
+//! to 8 lines mapping to distinct I-cache interleaves; Decode and the
+//! backend follow. Where the plan and the trace disagree, the matching
+//! Fig. 3 penalty is charged: misfetches resteer PC generation when the
+//! branch decodes, mispredictions when it executes.
+
+use crate::backend::{Backend, QueueRing};
+use crate::config::PipelineConfig;
+use crate::predictors::Predictors;
+use crate::stats::{SimReport, SimStats};
+use btb_core::{BtbConfig, BtbLevel, BtbOrganization, FetchPlan, PlanSegment};
+use btb_trace::{BranchKind, Trace, TraceRecord, INST_BYTES};
+use btb_uarch::{MemoryHierarchy, LINE_BYTES};
+
+/// Instructions between BTB content samples (§5 samples every 1M).
+const INSPECT_PERIOD: u64 = 1_000_000;
+
+/// In-order width-limited fetch frontier with line/interleave constraints.
+#[derive(Debug, Clone)]
+struct FetchFrontier {
+    cycle: u64,
+    insts: usize,
+    lines: Vec<u64>,
+    max_insts: usize,
+    max_lines: usize,
+    interleave_mask: u64,
+}
+
+impl FetchFrontier {
+    fn new(config: &PipelineConfig) -> Self {
+        FetchFrontier {
+            cycle: 0,
+            insts: 0,
+            lines: Vec::with_capacity(config.fetch_lines_per_cycle),
+            max_insts: config.width,
+            max_lines: config.fetch_lines_per_cycle,
+            interleave_mask: config.icache_interleaves as u64 - 1,
+        }
+    }
+
+    /// Admits one instruction on `line` at the earliest cycle `>= lower`.
+    fn admit(&mut self, lower: u64, line: u64) -> u64 {
+        if lower > self.cycle {
+            self.cycle = lower;
+            self.insts = 0;
+            self.lines.clear();
+        }
+        loop {
+            if self.insts < self.max_insts {
+                if self.lines.contains(&line) {
+                    self.insts += 1;
+                    return self.cycle;
+                }
+                let conflict = self
+                    .lines
+                    .iter()
+                    .any(|l| (l & self.interleave_mask) == (line & self.interleave_mask));
+                if self.lines.len() < self.max_lines && !conflict {
+                    self.lines.push(line);
+                    self.insts += 1;
+                    return self.cycle;
+                }
+            }
+            self.cycle += 1;
+            self.insts = 0;
+            self.lines.clear();
+        }
+    }
+}
+
+/// The simulator: one BTB organization driven over one trace.
+pub struct Simulator<'t> {
+    records: &'t [TraceRecord],
+    config: PipelineConfig,
+    btb: Box<dyn BtbOrganization>,
+    predictors: Predictors,
+    mem: MemoryHierarchy,
+    backend: Backend,
+    stats: SimStats,
+    // Frontend state.
+    pcgen: u64,
+    ftq_release: Vec<u64>,
+    dq: QueueRing,
+    aq: QueueRing,
+    fetch: FetchFrontier,
+    decode_frontier: (u64, usize),
+    last_fetch: u64,
+    last_decode: u64,
+    // Periodic BTB content sampling.
+    next_inspect: u64,
+    samples: u64,
+    occ_l1: f64,
+    red_l1: f64,
+    occ_l2: f64,
+    red_l2: f64,
+}
+
+impl<'t> Simulator<'t> {
+    /// Creates a simulator over `records` with the given BTB and pipeline.
+    #[must_use]
+    pub fn new(records: &'t [TraceRecord], btb: BtbConfig, config: PipelineConfig) -> Self {
+        Simulator {
+            records,
+            predictors: Predictors::new(&config),
+            mem: MemoryHierarchy::paper(),
+            backend: Backend::new(&config),
+            stats: SimStats::default(),
+            pcgen: 0,
+            ftq_release: Vec::new(),
+            dq: QueueRing::new(config.decode_queue),
+            aq: QueueRing::new(config.alloc_queue),
+            fetch: FetchFrontier::new(&config),
+            decode_frontier: (0, 0),
+            last_fetch: 0,
+            last_decode: 0,
+            next_inspect: INSPECT_PERIOD,
+            samples: 0,
+            occ_l1: 0.0,
+            red_l1: 0.0,
+            occ_l2: 0.0,
+            red_l2: 0.0,
+            btb: btb_core::build_btb(btb),
+            config,
+        }
+    }
+
+    /// Runs the whole trace and returns the post-warm-up report.
+    #[must_use]
+    pub fn run(mut self) -> SimReport {
+        let mut i = 0usize;
+        let mut warm: Option<SimStats> = None;
+        while i < self.records.len() {
+            if warm.is_none() && self.stats.instructions >= self.config.warmup_insts {
+                warm = Some(self.stats);
+            }
+            i = self.bundle(i);
+            if self.stats.instructions >= self.next_inspect {
+                self.next_inspect += INSPECT_PERIOD;
+                self.sample_btb();
+            }
+        }
+        if self.samples == 0 {
+            self.sample_btb();
+        }
+        let warm = warm.unwrap_or_default();
+        let n = self.samples.max(1) as f64;
+        SimReport {
+            config_name: self.btb.name().to_owned(),
+            workload: String::new(),
+            stats: self.stats.delta(&warm),
+            l1_occupancy: self.occ_l1 / n,
+            l1_redundancy: self.red_l1 / n,
+            l2_occupancy: self.occ_l2 / n,
+            l2_redundancy: self.red_l2 / n,
+            l1i_hit_rate: self.mem.l1i_hit_rate(),
+        }
+    }
+
+    fn sample_btb(&mut self) {
+        let ins = self.btb.inspect();
+        self.samples += 1;
+        self.occ_l1 += ins.l1.occupancy();
+        self.red_l1 += ins.l1.redundancy();
+        self.occ_l2 += ins.l2.occupancy();
+        self.red_l2 += ins.l2.redundancy();
+    }
+
+    /// Lines covered by the plan's segments, in fetch order (deduplicating
+    /// only consecutive repeats: re-visiting a line later is a new entry).
+    fn plan_lines(plan: &FetchPlan) -> Vec<u64> {
+        let mut out = Vec::new();
+        for seg in &plan.segments {
+            let mut a = seg.start / LINE_BYTES;
+            let last = if seg.end > seg.start {
+                (seg.end - INST_BYTES) / LINE_BYTES
+            } else {
+                a
+            };
+            while a <= last {
+                if out.last() != Some(&a) {
+                    out.push(a);
+                }
+                a += 1;
+            }
+        }
+        out
+    }
+
+    /// Processes one PC-generation bundle starting at record `i`; returns
+    /// the index of the first record of the next bundle.
+    #[allow(clippy::too_many_lines)]
+    fn bundle(&mut self, mut i: usize) -> usize {
+        let pc = self.records[i].pc;
+        self.predictors.begin_plan();
+        let plan = self.btb.plan(pc, &mut self.predictors);
+        debug_assert_eq!(plan.validate(), Ok(()), "plan for {pc:#x}");
+        let lines = Self::plan_lines(&plan);
+
+        // FTQ back-pressure: each new entry needs a slot vacated by the
+        // entry `capacity` positions earlier.
+        let mut predict = self.pcgen;
+        let cap = self.config.ftq_entries;
+        let base_entry = self.ftq_release.len();
+        for j in 0..lines.len() {
+            let k = base_entry + j;
+            if k >= cap {
+                predict = predict.max(self.ftq_release[k - cap]);
+            }
+        }
+        self.stats.btb_accesses += 1;
+        let mut next_pcgen = predict + 1 + u64::from(plan.bubbles);
+
+        // FDIP: FTQ creation launches I-cache prefetches for all planned
+        // lines.
+        for &line in &lines {
+            self.mem.prefetch_inst(line * LINE_BYTES, predict + 1);
+        }
+
+        // Consume trace records against the plan.
+        let mut seg = 0usize;
+        let mut expect = plan.segments[0].start;
+        // Planned branches are consumed strictly in fetch order: a chained
+        // plan may revisit the same pc (loop-unrolled MB-BTB chains), so
+        // position — not pc — identifies the planned branch.
+        let mut br_ptr = 0usize;
+        let mut cur_line = u64::MAX;
+        let mut cur_line_ready = 0u64;
+        let mut entry_release = predict + 1;
+        let mut entries_pushed = 0usize;
+        let bytes_ready_offset = self.config.decode_stage - 1; // I$ data at BP+5
+
+        loop {
+            if i >= self.records.len() {
+                break;
+            }
+            // Segment bookkeeping for sequential flow.
+            while expect >= seg_end(&plan.segments, seg) {
+                seg += 1;
+                if seg >= plan.segments.len() {
+                    break;
+                }
+                expect = plan.segments[seg].start;
+            }
+            if seg >= plan.segments.len() {
+                break;
+            }
+            let rec = self.records[i];
+            if rec.pc != expect {
+                debug_assert!(false, "trace/plan desync at {:#x} vs {expect:#x}", rec.pc);
+                break;
+            }
+
+            // FTQ entry (cache line) boundary.
+            let line = rec.pc / LINE_BYTES;
+            if line != cur_line {
+                if cur_line != u64::MAX {
+                    self.ftq_release.push(entry_release);
+                    entries_pushed += 1;
+                }
+                cur_line = line;
+                let acc = self.mem.fetch_inst(rec.pc, predict + 2);
+                cur_line_ready = acc.ready;
+                // IBM z-style preloading: an L1I miss on a line whose plan
+                // needed the L2 BTB (or had no branch info) bulk-promotes
+                // the region's branch metadata into the L1 BTB.
+                if self.config.btb_preload && !acc.l1i_hit {
+                    self.btb.preload(rec.pc);
+                }
+            }
+
+            // Fetch.
+            let lower = (predict + bytes_ready_offset)
+                .max(cur_line_ready)
+                .max(self.dq.admit_bound())
+                .max(self.last_fetch);
+            let fetch_cycle = self.fetch.admit(lower, line);
+            self.last_fetch = fetch_cycle;
+            entry_release = fetch_cycle;
+
+            // Decode.
+            let dec_lower = (fetch_cycle + 1)
+                .max(self.aq.admit_bound())
+                .max(self.last_decode);
+            let decode_cycle =
+                frontier(&mut self.decode_frontier, self.config.width, dec_lower);
+            self.last_decode = decode_cycle;
+            self.dq.push_leave(decode_cycle);
+
+            // Backend.
+            let times = self.backend.process(&rec, decode_cycle, &mut self.mem);
+            self.aq.push_leave(times.alloc);
+
+            self.stats.instructions += 1;
+            self.stats.fetch_pcs += 1;
+            self.stats.last_commit_cycle = self.stats.last_commit_cycle.max(times.commit);
+
+            // Train predictors and the BTB with the actual outcome
+            // (immediate update, §4.1).
+            self.predictors.retire(&rec);
+            self.btb.update(&rec);
+
+            // Control-flow resolution.
+            let mut resteer: Option<u64> = None;
+            if let Some(kind) = rec.branch_kind() {
+                self.stats.branches += 1;
+                if kind == BranchKind::CondDirect {
+                    self.stats.cond_branches += 1;
+                }
+                if rec.taken {
+                    self.stats.taken_branches += 1;
+                }
+                let planned = match plan.branches.get(br_ptr) {
+                    Some(pb) if pb.pc == rec.pc => {
+                        br_ptr += 1;
+                        Some(*pb)
+                    }
+                    _ => None,
+                };
+                match planned {
+                    Some(pb) if pb.taken => {
+                        self.count_hit_level(pb.level, rec.taken);
+                        if rec.taken && rec.target == pb.target {
+                            // Correct taken prediction: follow the plan into
+                            // the next segment (or end the bundle).
+                            seg += 1;
+                            i += 1;
+                            if seg >= plan.segments.len() {
+                                break;
+                            }
+                            expect = plan.segments[seg].start;
+                            if expect != rec.target {
+                                debug_assert_eq!(expect, rec.target);
+                                break;
+                            }
+                            continue;
+                        }
+                        if rec.taken {
+                            // Wrong predicted target (indirect kinds).
+                            self.stats.indirect_mispredicts += 1;
+                        } else {
+                            // Predicted taken, went not-taken.
+                            self.stats.cond_mispredicts += 1;
+                        }
+                        resteer = Some(times.exec_done);
+                    }
+                    Some(pb) => {
+                        // Tracked, predicted not-taken (conditionals only).
+                        let _ = pb;
+                        if rec.taken {
+                            self.count_hit_level(pb.level, true);
+                            self.stats.cond_mispredicts += 1;
+                            resteer = Some(times.exec_done);
+                        }
+                    }
+                    None => {
+                        if rec.taken {
+                            // BTB miss (Fig. 3): direct unconditionals and
+                            // returns repair at decode; conditionals and
+                            // other indirects at execute.
+                            match kind {
+                                BranchKind::UncondDirect
+                                | BranchKind::DirectCall
+                                | BranchKind::Return => {
+                                    self.stats.misfetches += 1;
+                                    resteer = Some(decode_cycle);
+                                }
+                                BranchKind::CondDirect
+                                | BranchKind::IndirectJump
+                                | BranchKind::IndirectCall => {
+                                    self.stats.untracked_exec_resteers += 1;
+                                    resteer = Some(times.exec_done);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if let Some(r) = resteer {
+                next_pcgen = r + 1;
+                i += 1;
+                break;
+            }
+            i += 1;
+            expect = rec.pc + INST_BYTES;
+        }
+
+        // Close the last live FTQ entry, then release over-fetched
+        // (squashed) planned entries at the resteer point.
+        if cur_line != u64::MAX {
+            self.ftq_release.push(entry_release);
+            entries_pushed += 1;
+        }
+        for _ in entries_pushed..lines.len() {
+            self.ftq_release.push(next_pcgen);
+        }
+        self.pcgen = next_pcgen.max(predict + 1);
+        i
+    }
+
+    fn count_hit_level(&mut self, level: BtbLevel, taken: bool) {
+        if !taken {
+            return;
+        }
+        match level {
+            BtbLevel::L1 => self.stats.taken_l1_hits += 1,
+            BtbLevel::L2 => self.stats.taken_l2_hits += 1,
+        }
+    }
+}
+
+fn seg_end(segments: &[PlanSegment], seg: usize) -> u64 {
+    segments.get(seg).map_or(u64::MAX, |s| s.end)
+}
+
+/// In-order width-limited frontier helper.
+fn frontier(state: &mut (u64, usize), width: usize, lower: u64) -> u64 {
+    if lower > state.0 {
+        *state = (lower, 1);
+    } else {
+        if state.1 >= width {
+            state.0 += 1;
+            state.1 = 0;
+        }
+        state.1 += 1;
+    }
+    state.0
+}
+
+/// Convenience entry point: simulates `trace` with the given BTB and
+/// pipeline configurations.
+#[must_use]
+pub fn simulate(trace: &Trace, btb: BtbConfig, pipeline: PipelineConfig) -> SimReport {
+    let mut report = Simulator::new(&trace.records, btb, pipeline).run();
+    report.workload = trace.name.clone();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btb_core::OrgKind;
+    use btb_trace::WorkloadProfile;
+
+    fn ideal_ibtb16() -> BtbConfig {
+        BtbConfig::ideal(
+            "I-BTB 16",
+            OrgKind::Instruction {
+                width: 16,
+                skip_taken: false,
+            },
+        )
+    }
+
+    /// A loop of `body` independent ALU instructions plus a backward jump,
+    /// iterated `iters` times: warm, predictable, high-ILP code.
+    fn warm_loop_trace(body: u64, iters: usize) -> Trace {
+        let mut records = Vec::new();
+        for _ in 0..iters {
+            for i in 0..body {
+                records.push(TraceRecord::nop(0x1000 + i * 4));
+            }
+            records.push(TraceRecord::branch(
+                0x1000 + body * 4,
+                BranchKind::UncondDirect,
+                true,
+                0x1000,
+            ));
+        }
+        Trace {
+            name: "warm-loop".into(),
+            records,
+        }
+    }
+
+    #[test]
+    fn warm_high_ilp_code_reaches_high_ipc() {
+        // 256 independent ALU instructions per iteration, resident in the
+        // L1I after the first pass: the 16-wide pipeline should sustain
+        // high IPC.
+        let trace = warm_loop_trace(256, 100);
+        let report = simulate(
+            &trace,
+            ideal_ibtb16(),
+            PipelineConfig::paper().with_warmup(2_000),
+        );
+        let ipc = report.ipc();
+        assert!(ipc > 8.0, "warm loop IPC {ipc}");
+    }
+
+    #[test]
+    fn tiny_workload_runs_end_to_end() {
+        let trace = Trace::generate(&WorkloadProfile::tiny(3), 30_000);
+        let report = simulate(
+            &trace,
+            ideal_ibtb16(),
+            PipelineConfig::paper().with_warmup(5_000),
+        );
+        // Warm-up snapshots land on bundle boundaries, so the measured
+        // region is within one bundle of the nominal count.
+        assert!((24_970..=25_000).contains(&report.stats.instructions));
+        let ipc = report.ipc();
+        assert!(ipc > 0.5 && ipc <= 16.0, "ipc {ipc}");
+        assert!(report.stats.btb_accesses > 0);
+        assert!(report.stats.fetch_pcs_per_access() > 1.0);
+    }
+
+    #[test]
+    fn ideal_btb_has_high_hitrate() {
+        let trace = Trace::generate(&WorkloadProfile::tiny(5), 60_000);
+        let report = simulate(
+            &trace,
+            ideal_ibtb16(),
+            PipelineConfig::paper().with_warmup(20_000),
+        );
+        assert!(
+            report.stats.l1_btb_hitrate() > 0.95,
+            "ideal hitrate {}",
+            report.stats.l1_btb_hitrate()
+        );
+        assert!(report.stats.misfetches < report.stats.taken_branches / 10);
+    }
+
+    #[test]
+    fn taken_branch_every_cycle_limits_ipc() {
+        // A tight 2-instruction loop: alu + always-taken jump back. Even
+        // with 0-bubble turnaround, each access provides 2 PCs.
+        let mut records = Vec::new();
+        for _ in 0..5000 {
+            records.push(TraceRecord::nop(0x1000));
+            records.push(TraceRecord::branch(
+                0x1004,
+                BranchKind::UncondDirect,
+                true,
+                0x1000,
+            ));
+        }
+        let trace = Trace {
+            name: "loop2".into(),
+            records,
+        };
+        let report = simulate(&trace, ideal_ibtb16(), PipelineConfig::paper());
+        let ipc = report.ipc();
+        assert!(ipc <= 2.2, "2-inst loop cannot beat 2 IPC: {ipc}");
+        assert!(ipc > 1.0, "but 0-bubble turnaround sustains ~2: {ipc}");
+    }
+
+    #[test]
+    fn smaller_fetch_width_is_slower_on_wide_code() {
+        let trace = warm_loop_trace(256, 100);
+        let pipe = PipelineConfig::paper().with_warmup(2_000);
+        let wide = simulate(&trace, ideal_ibtb16(), pipe.clone());
+        let narrow_btb = BtbConfig::ideal(
+            "I-BTB 8",
+            OrgKind::Instruction {
+                width: 8,
+                skip_taken: false,
+            },
+        );
+        let narrow = simulate(&trace, narrow_btb, pipe);
+        assert!(
+            narrow.ipc() <= wide.ipc() + 1e-9,
+            "8-wide PC gen cannot beat 16-wide: {} vs {}",
+            narrow.ipc(),
+            wide.ipc()
+        );
+        assert!(narrow.ipc() < 9.0, "8 PCs/cycle caps IPC: {}", narrow.ipc());
+    }
+
+    #[test]
+    fn misfetch_penalty_applies_to_cold_btb() {
+        // Taken jumps never seen before: every one is a misfetch with a
+        // realistic (non-ideal) BTB too. Use distinct targets so nothing is
+        // learned.
+        let mut records = Vec::new();
+        let mut pc = 0x10_0000u64;
+        for _ in 0..2000 {
+            records.push(TraceRecord::nop(pc));
+            let target = pc + 0x100;
+            records.push(TraceRecord::branch(
+                pc + 4,
+                BranchKind::UncondDirect,
+                true,
+                target,
+            ));
+            pc = target;
+        }
+        let trace = Trace {
+            name: "cold".into(),
+            records,
+        };
+        let report = simulate(&trace, ideal_ibtb16(), PipelineConfig::paper());
+        assert!(
+            report.stats.misfetches > 1900,
+            "all-cold jumps must misfetch: {}",
+            report.stats.misfetches
+        );
+        assert!(report.ipc() < 1.0, "misfetch-bound IPC {}", report.ipc());
+    }
+
+    #[test]
+    fn ideal_backend_not_slower_than_realistic() {
+        let trace = Trace::generate(&WorkloadProfile::tiny(9), 40_000);
+        let real = simulate(&trace, ideal_ibtb16(), PipelineConfig::paper());
+        let ideal = simulate(&trace, ideal_ibtb16(), PipelineConfig::paper_ideal_backend());
+        assert!(
+            ideal.ipc() >= real.ipc() * 0.98,
+            "ideal {} vs real {}",
+            ideal.ipc(),
+            real.ipc()
+        );
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let trace = Trace::generate(&WorkloadProfile::tiny(11), 20_000);
+        let a = simulate(&trace, ideal_ibtb16(), PipelineConfig::paper());
+        let b = simulate(&trace, ideal_ibtb16(), PipelineConfig::paper());
+        assert_eq!(a.stats, b.stats);
+    }
+}

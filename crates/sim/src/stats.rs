@@ -1,0 +1,220 @@
+//! Simulation statistics: the metrics the paper reports (IPC, MPKI split by
+//! cause, BTB hit rates, fetch PCs per access, occupancy/redundancy).
+
+/// Counters accumulated during simulation. All counters are monotonically
+/// increasing; warm-up is handled by subtracting a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SimStats {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Cycle of the last retirement.
+    pub last_commit_cycle: u64,
+    /// BTB accesses performed (one per PC-generation bundle).
+    pub btb_accesses: u64,
+    /// Fetch PCs actually delivered to the FTQ by those accesses.
+    pub fetch_pcs: u64,
+    /// Dynamic branches retired.
+    pub branches: u64,
+    /// Dynamic taken branches retired.
+    pub taken_branches: u64,
+    /// Taken branches whose metadata came from the L1 BTB.
+    pub taken_l1_hits: u64,
+    /// Taken branches whose metadata came from the L2 BTB.
+    pub taken_l2_hits: u64,
+    /// Direction mispredictions of BTB-tracked conditionals.
+    pub cond_mispredicts: u64,
+    /// Wrong-target (or wrongly-continued) indirect predictions.
+    pub indirect_mispredicts: u64,
+    /// Misfetches: BTB-missed taken unconditional direct branches and
+    /// returns, repaired at decode (Fig. 3).
+    pub misfetches: u64,
+    /// BTB-missed taken conditionals/indirects, repaired at execute.
+    pub untracked_exec_resteers: u64,
+    /// Conditional branches executed.
+    pub cond_branches: u64,
+}
+
+impl SimStats {
+    /// Instructions per cycle over the counted region.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.last_commit_cycle == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.last_commit_cycle as f64
+        }
+    }
+
+    /// Combined branch mispredictions + misfetches per kilo-instruction
+    /// (the paper's §6.1 metric).
+    #[must_use]
+    pub fn mpki(&self) -> f64 {
+        let events = self.cond_mispredicts
+            + self.indirect_mispredicts
+            + self.misfetches
+            + self.untracked_exec_resteers;
+        if self.instructions == 0 {
+            0.0
+        } else {
+            events as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// Conditional-only branch MPKI (Fig. 11b metric).
+    #[must_use]
+    pub fn cond_mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cond_mispredicts as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// Average fetch PCs delivered per BTB access (Fig. 10 metric).
+    #[must_use]
+    pub fn fetch_pcs_per_access(&self) -> f64 {
+        if self.btb_accesses == 0 {
+            0.0
+        } else {
+            self.fetch_pcs as f64 / self.btb_accesses as f64
+        }
+    }
+
+    /// Fraction of taken branches serviced by the L1 BTB (§6.1 hit rate).
+    #[must_use]
+    pub fn l1_btb_hitrate(&self) -> f64 {
+        if self.taken_branches == 0 {
+            0.0
+        } else {
+            self.taken_l1_hits as f64 / self.taken_branches as f64
+        }
+    }
+
+    /// Fraction of taken branches serviced by L1 or L2 (§6.1 L2 hit rate).
+    #[must_use]
+    pub fn l2_btb_hitrate(&self) -> f64 {
+        if self.taken_branches == 0 {
+            0.0
+        } else {
+            (self.taken_l1_hits + self.taken_l2_hits) as f64 / self.taken_branches as f64
+        }
+    }
+
+    /// Average dynamic basic-block size (instructions per branch).
+    #[must_use]
+    pub fn dyn_bb_size(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.branches as f64
+        }
+    }
+
+    /// Counter-wise difference `self - earlier` (for warm-up exclusion).
+    #[must_use]
+    pub fn delta(&self, earlier: &SimStats) -> SimStats {
+        SimStats {
+            instructions: self.instructions - earlier.instructions,
+            last_commit_cycle: self.last_commit_cycle - earlier.last_commit_cycle,
+            btb_accesses: self.btb_accesses - earlier.btb_accesses,
+            fetch_pcs: self.fetch_pcs - earlier.fetch_pcs,
+            branches: self.branches - earlier.branches,
+            taken_branches: self.taken_branches - earlier.taken_branches,
+            taken_l1_hits: self.taken_l1_hits - earlier.taken_l1_hits,
+            taken_l2_hits: self.taken_l2_hits - earlier.taken_l2_hits,
+            cond_mispredicts: self.cond_mispredicts - earlier.cond_mispredicts,
+            indirect_mispredicts: self.indirect_mispredicts - earlier.indirect_mispredicts,
+            misfetches: self.misfetches - earlier.misfetches,
+            untracked_exec_resteers: self.untracked_exec_resteers
+                - earlier.untracked_exec_resteers,
+            cond_branches: self.cond_branches - earlier.cond_branches,
+        }
+    }
+}
+
+/// A full simulation report: post-warm-up statistics plus periodic BTB
+/// content samples.
+#[derive(Debug, Clone, Default)]
+pub struct SimReport {
+    /// Configuration name the report belongs to.
+    pub config_name: String,
+    /// Workload name.
+    pub workload: String,
+    /// Statistics over the measured (post-warm-up) region.
+    pub stats: SimStats,
+    /// Mean L1 branch-slot occupancy across periodic samples.
+    pub l1_occupancy: f64,
+    /// Mean L1 redundancy (entries per tracked branch PC).
+    pub l1_redundancy: f64,
+    /// Mean L2 occupancy.
+    pub l2_occupancy: f64,
+    /// Mean L2 redundancy.
+    pub l2_redundancy: f64,
+    /// Demand L1I hit rate.
+    pub l1i_hit_rate: f64,
+}
+
+impl SimReport {
+    /// IPC shortcut.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        self.stats.ipc()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_zero_denominators() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.mpki(), 0.0);
+        assert_eq!(s.fetch_pcs_per_access(), 0.0);
+        assert_eq!(s.l1_btb_hitrate(), 0.0);
+    }
+
+    #[test]
+    fn mpki_combines_all_resteer_causes() {
+        let s = SimStats {
+            instructions: 1000,
+            cond_mispredicts: 1,
+            indirect_mispredicts: 1,
+            misfetches: 1,
+            untracked_exec_resteers: 1,
+            ..SimStats::default()
+        };
+        assert!((s.mpki() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delta_subtracts_counterwise() {
+        let a = SimStats {
+            instructions: 100,
+            last_commit_cycle: 50,
+            ..SimStats::default()
+        };
+        let b = SimStats {
+            instructions: 300,
+            last_commit_cycle: 150,
+            ..SimStats::default()
+        };
+        let d = b.delta(&a);
+        assert_eq!(d.instructions, 200);
+        assert_eq!(d.last_commit_cycle, 100);
+        assert!((d.ipc() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hitrates_partition_taken_branches() {
+        let s = SimStats {
+            taken_branches: 10,
+            taken_l1_hits: 6,
+            taken_l2_hits: 2,
+            ..SimStats::default()
+        };
+        assert!((s.l1_btb_hitrate() - 0.6).abs() < 1e-9);
+        assert!((s.l2_btb_hitrate() - 0.8).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,182 @@
+//! Quantitative checks of the Fig. 3 penalty classes: the simulator must
+//! charge misfetches at decode, mispredictions at execute, and 3 bubbles
+//! for L2 BTB hits — and those costs must be visible in cycle counts.
+
+use btb_core::{BtbConfig, BtbTiming, LevelGeometry, OrgKind};
+use btb_sim::{simulate, PipelineConfig};
+use btb_trace::{BranchKind, Trace, TraceRecord};
+
+fn ideal_ibtb() -> BtbConfig {
+    BtbConfig::ideal(
+        "I-BTB 16",
+        OrgKind::Instruction {
+            width: 16,
+            skip_taken: false,
+        },
+    )
+}
+
+/// A trace of `n` cold taken branches of the given kind, each with a fresh
+/// pc and target (so the BTB never learns anything useful).
+fn cold_branches(kind: BranchKind, n: usize) -> Trace {
+    let mut records = Vec::new();
+    let mut pc = 0x100_0000u64;
+    for _ in 0..n {
+        for k in 0..3u64 {
+            records.push(TraceRecord::nop(pc + k * 4));
+        }
+        let target = pc + 0x400;
+        records.push(TraceRecord::branch(pc + 12, kind, true, target));
+        pc = target;
+    }
+    Trace {
+        name: format!("cold-{kind:?}"),
+        records,
+    }
+}
+
+#[test]
+fn cold_conditionals_cost_more_than_cold_unconditionals() {
+    // BTB-missed taken unconditional directs resteer at decode (misfetch);
+    // BTB-missed taken conditionals resteer at execute — strictly later.
+    let pipe = PipelineConfig::paper();
+    let uncond = simulate(&cold_branches(BranchKind::UncondDirect, 800), ideal_ibtb(), pipe.clone());
+    let cond = simulate(&cold_branches(BranchKind::CondDirect, 800), ideal_ibtb(), pipe);
+    assert_eq!(uncond.stats.misfetches, 800);
+    assert_eq!(cond.stats.untracked_exec_resteers, 800);
+    assert!(
+        cond.stats.last_commit_cycle > uncond.stats.last_commit_cycle,
+        "exec resteer ({}) must cost more cycles than decode resteer ({})",
+        cond.stats.last_commit_cycle,
+        uncond.stats.last_commit_cycle
+    );
+}
+
+#[test]
+fn l2_btb_hits_cost_three_bubbles_per_taken_branch() {
+    // Two blocks ping-pong; a 1-entry L1 thrashes so every taken branch is
+    // an L2 hit. Compare against a large L1 (0-bubble) on the same trace.
+    let mut records = Vec::new();
+    for _ in 0..2000 {
+        records.push(TraceRecord::nop(0x1000));
+        records.push(TraceRecord::branch(0x1004, BranchKind::UncondDirect, true, 0x2000));
+        records.push(TraceRecord::nop(0x2000));
+        records.push(TraceRecord::branch(0x2004, BranchKind::UncondDirect, true, 0x1000));
+    }
+    let trace = Trace {
+        name: "pingpong".into(),
+        records,
+    };
+    let tiny_l1 = BtbConfig {
+        name: "tiny-L1".into(),
+        kind: OrgKind::Instruction {
+            width: 16,
+            skip_taken: false,
+        },
+        l1: LevelGeometry { sets: 1, ways: 1 },
+        l2: Some(LevelGeometry { sets: 64, ways: 4 }),
+        timing: BtbTiming::default(),
+    };
+    let pipe = PipelineConfig::paper().with_warmup(400);
+    let slow = simulate(&trace, tiny_l1, pipe.clone());
+    let fast = simulate(&trace, ideal_ibtb(), pipe);
+    // Nearly all taken branches should be L2 hits in the tiny-L1 config.
+    assert!(
+        slow.stats.taken_l2_hits > slow.stats.taken_branches * 8 / 10,
+        "L2 hits {} of {}",
+        slow.stats.taken_l2_hits,
+        slow.stats.taken_branches
+    );
+    assert!(
+        fast.stats.taken_l1_hits > fast.stats.taken_branches * 9 / 10,
+        "fast config should hit L1"
+    );
+    // Each 2-instruction block costs ~1 cycle at 0 bubbles and ~4 cycles at
+    // 3 bubbles: the cycle counts must reflect roughly that ratio.
+    let slow_cpb = slow.stats.last_commit_cycle as f64 / slow.stats.taken_branches as f64;
+    let fast_cpb = fast.stats.last_commit_cycle as f64 / fast.stats.taken_branches as f64;
+    assert!(
+        slow_cpb > fast_cpb + 2.0,
+        "L2 bubbles invisible: slow {slow_cpb:.2} vs fast {fast_cpb:.2} cycles/branch"
+    );
+}
+
+#[test]
+fn indirect_branches_pay_the_extra_bubble() {
+    // Same tight loop, once via unconditional direct jumps and once via
+    // single-target indirect jumps: the indirect version pays +1 bubble per
+    // taken branch even when perfectly predicted.
+    let make = |kind| {
+        let mut records = Vec::new();
+        for _ in 0..3000 {
+            records.push(TraceRecord::nop(0x1000));
+            records.push(TraceRecord::branch(0x1004, kind, true, 0x1000));
+        }
+        Trace {
+            name: format!("{kind:?}"),
+            records,
+        }
+    };
+    let pipe = PipelineConfig::paper().with_warmup(500);
+    let direct = simulate(&make(BranchKind::UncondDirect), ideal_ibtb(), pipe.clone());
+    let indirect = simulate(&make(BranchKind::IndirectJump), ideal_ibtb(), pipe);
+    // Both should be fully predicted after warm-up...
+    assert!(direct.stats.mpki() < 1.0, "direct mpki {}", direct.stats.mpki());
+    assert!(indirect.stats.mpki() < 1.0, "indirect mpki {}", indirect.stats.mpki());
+    // ...but the indirect loop runs slower due to the extra bubble.
+    assert!(
+        indirect.stats.last_commit_cycle > direct.stats.last_commit_cycle * 11 / 10,
+        "indirect {} vs direct {} cycles",
+        indirect.stats.last_commit_cycle,
+        direct.stats.last_commit_cycle
+    );
+}
+
+#[test]
+fn returns_do_not_pay_the_indirect_bubble() {
+    // A call/return pair loop: returns use the RAS and avoid the extra
+    // indirect bubble, so the loop should run at direct-branch speed.
+    let mut records = Vec::new();
+    for _ in 0..3000 {
+        records.push(TraceRecord::nop(0x1000));
+        records.push(TraceRecord::branch(0x1004, BranchKind::DirectCall, true, 0x5000));
+        records.push(TraceRecord::nop(0x5000));
+        records.push(TraceRecord::branch(0x5004, BranchKind::Return, true, 0x1008));
+        records.push(TraceRecord::branch(0x1008, BranchKind::UncondDirect, true, 0x1000));
+    }
+    let trace = Trace {
+        name: "callret".into(),
+        records,
+    };
+    let r = simulate(&trace, ideal_ibtb(), PipelineConfig::paper().with_warmup(500));
+    assert!(
+        r.stats.mpki() < 1.0,
+        "RAS should predict returns perfectly: mpki {}",
+        r.stats.mpki()
+    );
+}
+
+#[test]
+fn wrong_indirect_targets_are_counted_and_penalized() {
+    // An indirect jump alternating between two targets with a pattern the
+    // gshare-like ITP cannot fully capture from an empty path: expect some
+    // indirect mispredictions, each a full exec-resteer.
+    let mut records = Vec::new();
+    let targets = [0x2000u64, 0x3000];
+    for i in 0..4000 {
+        let t = targets[(i / 7) % 2]; // slow alternation
+        records.push(TraceRecord::nop(0x1000));
+        records.push(TraceRecord::branch(0x1004, BranchKind::IndirectJump, true, t));
+        records.push(TraceRecord::nop(t));
+        records.push(TraceRecord::branch(t + 4, BranchKind::UncondDirect, true, 0x1000));
+    }
+    let trace = Trace {
+        name: "poly".into(),
+        records,
+    };
+    let r = simulate(&trace, ideal_ibtb(), PipelineConfig::paper().with_warmup(1000));
+    assert!(
+        r.stats.indirect_mispredicts > 0,
+        "target changes must surface as indirect mispredicts"
+    );
+}

@@ -1,0 +1,149 @@
+//! Statistic-consistency invariants over real workloads: counters must
+//! partition correctly and derived metrics must stay in their ranges.
+
+use btb_core::{BtbConfig, OrgKind, PullPolicy};
+use btb_sim::{simulate, PipelineConfig};
+use btb_trace::{Trace, TraceStats, WorkloadProfile};
+
+fn workload() -> Trace {
+    Trace::generate(&WorkloadProfile::tiny(55), 80_000)
+}
+
+fn all_realistic_orgs() -> Vec<BtbConfig> {
+    vec![
+        BtbConfig::realistic(
+            "I-BTB 16",
+            OrgKind::Instruction {
+                width: 16,
+                skip_taken: false,
+            },
+        ),
+        BtbConfig::realistic(
+            "R-BTB 2BS",
+            OrgKind::Region {
+                region_bytes: 64,
+                slots: 2,
+                dual_interleave: true,
+            },
+        ),
+        BtbConfig::realistic(
+            "B-BTB 1BS Splt",
+            OrgKind::Block {
+                block_insts: 16,
+                slots: 1,
+                split: true,
+            },
+        ),
+        BtbConfig::realistic(
+            "MB-BTB 2BS AllBr",
+            OrgKind::MultiBlock {
+                block_insts: 16,
+                slots: 2,
+                pull: PullPolicy::AllBranches,
+                stability_threshold: 63,
+                allow_last_slot_pull: false,
+            },
+        ),
+        BtbConfig::realistic(
+            "R-BTB 2BS +ovf",
+            OrgKind::RegionOverflow {
+                region_bytes: 64,
+                slots: 2,
+                overflow_entries: 512,
+            },
+        ),
+    ]
+}
+
+#[test]
+fn counters_partition_for_every_organization() {
+    let trace = workload();
+    let trace_stats = TraceStats::compute(&trace.records);
+    for cfg in all_realistic_orgs() {
+        let r = simulate(&trace, cfg, PipelineConfig::paper().with_warmup(20_000));
+        let s = &r.stats;
+        let name = &r.config_name;
+        // Instruction accounting.
+        assert!(s.instructions > 0 && s.instructions <= trace.len() as u64);
+        assert!(s.branches <= s.instructions, "{name}");
+        assert!(s.taken_branches <= s.branches, "{name}");
+        assert!(s.cond_branches <= s.branches, "{name}");
+        // Hit accounting partitions taken branches.
+        assert!(
+            s.taken_l1_hits + s.taken_l2_hits <= s.taken_branches,
+            "{name}"
+        );
+        // Resteer events cannot exceed branches.
+        let events =
+            s.cond_mispredicts + s.indirect_mispredicts + s.misfetches + s.untracked_exec_resteers;
+        assert!(events <= s.branches, "{name}");
+        // Fetch PCs delivered equals instructions consumed.
+        assert_eq!(s.fetch_pcs, s.instructions, "{name}");
+        // Derived metrics in range.
+        assert!(s.ipc() > 0.0 && s.ipc() <= 16.0, "{name}: {}", s.ipc());
+        assert!(s.l1_btb_hitrate() <= 1.0, "{name}");
+        assert!(s.l2_btb_hitrate() >= s.l1_btb_hitrate(), "{name}");
+        assert!(s.fetch_pcs_per_access() >= 1.0, "{name}");
+        // Dynamic basic-block size of the measured region tracks the trace.
+        assert!(
+            (s.dyn_bb_size() - trace_stats.avg_dyn_bb_size).abs() < 4.0,
+            "{name}: {} vs {}",
+            s.dyn_bb_size(),
+            trace_stats.avg_dyn_bb_size
+        );
+        // Content statistics are sane.
+        assert!(r.l1_occupancy >= 0.0 && r.l1_occupancy <= 16.0, "{name}");
+        assert!(r.l1_redundancy == 0.0 || r.l1_redundancy >= 1.0, "{name}");
+        assert!(r.l1i_hit_rate > 0.5, "{name}: warm loop code should hit");
+    }
+}
+
+#[test]
+fn warmup_only_shrinks_the_measured_region() {
+    let trace = workload();
+    let cfg = || {
+        BtbConfig::realistic(
+            "I-BTB 16",
+            OrgKind::Instruction {
+                width: 16,
+                skip_taken: false,
+            },
+        )
+    };
+    let cold = simulate(&trace, cfg(), PipelineConfig::paper());
+    let warm = simulate(&trace, cfg(), PipelineConfig::paper().with_warmup(40_000));
+    assert!(warm.stats.instructions < cold.stats.instructions);
+    assert!(
+        warm.stats.mpki() <= cold.stats.mpki() * 1.1,
+        "warm region should not be much worse: {} vs {}",
+        warm.stats.mpki(),
+        cold.stats.mpki()
+    );
+}
+
+#[test]
+fn preload_never_hurts_l1_hitrate() {
+    let trace = workload();
+    let mk = || {
+        BtbConfig::realistic(
+            "R-BTB 3BS",
+            OrgKind::Region {
+                region_bytes: 64,
+                slots: 3,
+                dual_interleave: false,
+            },
+        )
+    };
+    let off = simulate(&trace, mk(), PipelineConfig::paper().with_warmup(20_000));
+    let on = simulate(
+        &trace,
+        mk(),
+        PipelineConfig::paper().with_warmup(20_000).with_btb_preload(),
+    );
+    assert!(
+        on.stats.l1_btb_hitrate() >= off.stats.l1_btb_hitrate() - 0.01,
+        "preload {} vs base {}",
+        on.stats.l1_btb_hitrate(),
+        off.stats.l1_btb_hitrate()
+    );
+}

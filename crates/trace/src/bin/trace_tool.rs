@@ -1,0 +1,120 @@
+//! Trace utility: generate, inspect and convert synthetic workload traces.
+//!
+//! ```text
+//! trace_tool gen <profile-name|suite-index> <insts> <out.btbtrace>
+//! trace_tool stats <in.btbtrace>
+//! trace_tool dump <in.btbtrace> [start] [count]
+//! trace_tool suite
+//! ```
+
+use btb_trace::{
+    footprint_for_coverage, read_trace, server_suite, write_trace, Trace, TraceStats,
+    WorkloadProfile,
+};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  trace_tool suite\n  trace_tool gen <name|index> <insts> <out.btbtrace>\n  \
+         trace_tool stats <in.btbtrace>\n  trace_tool dump <in.btbtrace> [start] [count]"
+    );
+    ExitCode::from(2)
+}
+
+fn find_profile(key: &str) -> Option<WorkloadProfile> {
+    let suite = server_suite();
+    if let Ok(idx) = key.parse::<usize>() {
+        return suite.into_iter().nth(idx);
+    }
+    suite.into_iter().find(|p| p.name == key)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("suite") => {
+            for (i, p) in server_suite().iter().enumerate() {
+                println!(
+                    "{i:>2}  {:<12} {:>5} functions, {:>3} handlers, body {:>4.1}, trips {:>4.1}",
+                    p.name, p.num_functions, p.num_handlers, p.mean_body_insts, p.mean_loop_trip
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Some("gen") if args.len() == 4 => {
+            let Some(profile) = find_profile(&args[1]) else {
+                eprintln!("unknown profile {:?} (see `trace_tool suite`)", args[1]);
+                return ExitCode::FAILURE;
+            };
+            let Ok(insts) = args[2].parse::<usize>() else {
+                return usage();
+            };
+            let trace = Trace::generate(&profile, insts);
+            match File::create(&args[3])
+                .map_err(|e| e.to_string())
+                .and_then(|f| write_trace(BufWriter::new(f), &trace).map_err(|e| e.to_string()))
+            {
+                Ok(()) => {
+                    println!("wrote {} instructions of {} to {}", insts, profile.name, args[3]);
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("write failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("stats") if args.len() == 2 => {
+            let trace = match File::open(&args[1])
+                .map_err(|e| e.to_string())
+                .and_then(|f| read_trace(BufReader::new(f)).map_err(|e| e.to_string()))
+            {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("read failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let s = TraceStats::compute(&trace.records);
+            println!("trace           {}", trace.name);
+            println!("instructions    {}", s.instructions);
+            println!("branches        {} ({:.1}%)", s.branches, 100.0 * s.branches as f64 / s.instructions as f64);
+            println!("taken branches  {}", s.taken_branches);
+            println!("dyn basic block {:.2} insts", s.avg_dyn_bb_size);
+            println!("never-taken     {:.1}% of branches", 100.0 * s.frac_never_taken_cond());
+            println!("always-taken    {:.1}% of branches", 100.0 * s.frac_always_taken_cond());
+            println!("single-target   {:.1}% of branches", 100.0 * s.frac_single_target_indirect());
+            println!("loads / stores  {} / {}", s.loads, s.stores);
+            println!("code touched    {} KB", s.code_footprint_bytes() / 1024);
+            println!("90% coverage    {} KB", footprint_for_coverage(&trace.records, 0.9) / 1024);
+            println!("distinct taken  {} branch PCs", s.distinct_taken_branch_pcs);
+            ExitCode::SUCCESS
+        }
+        Some("dump") if (2..=4).contains(&args.len()) => {
+            let trace = match File::open(&args[1])
+                .map_err(|e| e.to_string())
+                .and_then(|f| read_trace(BufReader::new(f)).map_err(|e| e.to_string()))
+            {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("read failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let start: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0);
+            let count: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(32);
+            for (i, r) in trace.records.iter().enumerate().skip(start).take(count) {
+                let arrow = match (r.op.is_branch(), r.taken) {
+                    (true, true) => format!(" -> {:#x}", r.target),
+                    (true, false) => " (not taken)".to_owned(),
+                    _ => String::new(),
+                };
+                println!("{i:>8}  {:#010x}  {:?}{arrow}", r.pc, r.op);
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

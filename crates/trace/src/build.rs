@@ -1,0 +1,666 @@
+//! Synthetic program construction from a [`WorkloadProfile`].
+//!
+//! The builder produces *structured* control flow — straight-line runs,
+//! one-sided if-diamonds, counted loops, direct/indirect calls, switch-style
+//! indirect jumps and forward unconditional jumps — laid out contiguously so
+//! that every fall-through edge is physically sequential. Structured
+//! generation guarantees that every function invocation terminates (all loop
+//! back-edges have finite trip counts) while still exhibiting the control-flow
+//! phenomena the paper studies: region-crossing blocks, redundancy-creating
+//! call sites, always-taken conditionals and single-target indirect branches.
+
+use crate::cfg::{
+    Block, BlockId, BodyOp, CondBehavior, CondSiteId, FnId, Function, IndirectBehavior,
+    IndirectSiteId, MemPattern, MemRef, Program, Terminator,
+};
+use crate::profile::WorkloadProfile;
+use crate::record::{Addr, Op, NO_REG, NUM_REGS};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Base address of the generated code segment.
+pub const CODE_BASE: Addr = 0x0040_0000;
+/// Base address of the stack-like data region.
+const STACK_BASE: Addr = 0x7ff0_0000;
+/// Base address of the heap-like data region.
+const HEAP_BASE: Addr = 0x2000_0000;
+/// Base address of the array data regions.
+const ARRAY_BASE: Addr = 0x3000_0000;
+
+/// Builds the [`Program`] described by a profile.
+///
+/// The same profile always yields the same program (the generator is fully
+/// seeded).
+///
+/// # Examples
+/// ```
+/// use btb_trace::{build_program, WorkloadProfile};
+/// let prog = build_program(&WorkloadProfile::tiny(1));
+/// assert!(prog.validate().is_ok());
+/// assert!(prog.code_footprint() > 0);
+/// ```
+#[must_use]
+pub fn build_program(profile: &WorkloadProfile) -> Program {
+    ProgramBuilder::new(profile).build()
+}
+
+/// Samples a geometric-ish length with the given mean (exponential rounded),
+/// clamped to `[min, max]`.
+fn sample_len(rng: &mut SmallRng, mean: f64, min: usize, max: usize) -> usize {
+    let u: f64 = rng.gen_range(1e-9..1.0);
+    let x = (-mean * (1.0 - u).ln()).round() as i64;
+    (x.max(min as i64) as usize).min(max)
+}
+
+struct ProgramBuilder<'a> {
+    profile: &'a WorkloadProfile,
+    rng: SmallRng,
+    cond_sites: Vec<CondBehavior>,
+    indirect_sites: Vec<IndirectBehavior>,
+    num_mem_sites: u32,
+    /// Function layers: `layers[0]` is the root, `layers[1]` the handlers,
+    /// the last layer holds the leaf utilities.
+    layers: Vec<std::ops::Range<usize>>,
+}
+
+/// Incrementally builds one function, appending blocks in layout order and
+/// patching forward references.
+struct FnBuilder {
+    blocks: Vec<Block>,
+}
+
+impl FnBuilder {
+    fn new() -> Self {
+        FnBuilder { blocks: Vec::new() }
+    }
+
+    /// Opens a new block with the given body; the terminator is a
+    /// placeholder patched later.
+    fn open(&mut self, body: Vec<BodyOp>) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block {
+            addr: 0,
+            body,
+            term: Terminator::Return, // placeholder
+        });
+        id
+    }
+
+    fn next_id(&self) -> BlockId {
+        BlockId(self.blocks.len() as u32)
+    }
+
+    fn set_term(&mut self, id: BlockId, term: Terminator) {
+        self.blocks[id.0 as usize].term = term;
+    }
+
+    fn extend_body(&mut self, id: BlockId, extra: impl IntoIterator<Item = BodyOp>) {
+        self.blocks[id.0 as usize].body.extend(extra);
+    }
+}
+
+impl<'a> ProgramBuilder<'a> {
+    fn new(profile: &'a WorkloadProfile) -> Self {
+        let layers = Self::layer_plan(profile);
+        ProgramBuilder {
+            profile,
+            rng: SmallRng::seed_from_u64(profile.seed ^ 0x9e37_79b9_7f4a_7c15),
+            cond_sites: Vec::new(),
+            indirect_sites: Vec::new(),
+            num_mem_sites: 0,
+            layers,
+        }
+    }
+
+    /// Splits `num_functions` into layers: root, handlers, internal layers
+    /// and a final utility (leaf) layer.
+    fn layer_plan(profile: &WorkloadProfile) -> Vec<std::ops::Range<usize>> {
+        let nf = profile.num_functions.max(profile.num_handlers + 4);
+        let handlers = profile.num_handlers.max(1);
+        let internal_layers = profile.call_layers.max(1);
+        let remaining = nf - 1 - handlers;
+        let utilities = (remaining / 6).max(2);
+        let internal = remaining - utilities;
+        let mut layers = vec![0..1, 1..1 + handlers];
+        let mut start = 1 + handlers;
+        let per = (internal / internal_layers).max(1);
+        for l in 0..internal_layers {
+            let n = if l + 1 == internal_layers {
+                internal - per * (internal_layers - 1)
+            } else {
+                per
+            };
+            let n = n.max(1);
+            layers.push(start..start + n);
+            start += n;
+        }
+        layers.push(start..start + utilities);
+        layers
+    }
+
+    fn build(mut self) -> Program {
+        let total: usize = self.layers.last().unwrap().end;
+        let mut functions = Vec::with_capacity(total);
+        functions.push(self.build_root());
+        for layer in 1..self.layers.len() {
+            let range = self.layers[layer].clone();
+            for _ in range {
+                functions.push(self.build_function(layer));
+            }
+        }
+        Self::layout(&mut functions, &mut self.rng);
+        let prog = Program {
+            functions,
+            cond_sites: self.cond_sites,
+            indirect_sites: self.indirect_sites,
+            num_mem_sites: self.num_mem_sites,
+        };
+        debug_assert_eq!(prog.validate(), Ok(()));
+        prog
+    }
+
+    /// Assigns addresses: functions laid out in index order with small random
+    /// gaps, blocks contiguous inside each function.
+    fn layout(functions: &mut [Function], rng: &mut SmallRng) {
+        let mut addr = CODE_BASE;
+        for f in functions.iter_mut() {
+            // Small random inter-function gap, 16-byte aligned start.
+            addr = (addr + 15) & !15;
+            addr += u64::from(rng.gen_range(0..4u32)) * 16;
+            for b in &mut f.blocks {
+                b.addr = addr;
+                addr += b.size_bytes();
+            }
+        }
+    }
+
+    // ---- site allocation ------------------------------------------------
+
+    fn new_cond_site(&mut self, behavior: CondBehavior) -> CondSiteId {
+        let id = CondSiteId(self.cond_sites.len() as u32);
+        self.cond_sites.push(behavior);
+        id
+    }
+
+    fn new_indirect_site(&mut self, behavior: IndirectBehavior) -> IndirectSiteId {
+        let id = IndirectSiteId(self.indirect_sites.len() as u32);
+        self.indirect_sites.push(behavior);
+        id
+    }
+
+    /// Samples the behaviour of an if-diamond conditional per the profile's
+    /// mix: never-taken / always-taken / hard / strongly-biased / patterned.
+    fn sample_cond_behavior(&mut self) -> CondBehavior {
+        let p = self.profile;
+        let r: f64 = self.rng.gen();
+        if r < p.frac_never_taken {
+            CondBehavior::Bias(0.0)
+        } else if r < p.frac_never_taken + p.frac_always_taken {
+            CondBehavior::Bias(1.0)
+        } else if r < p.frac_never_taken + p.frac_always_taken + p.frac_hard_cond {
+            CondBehavior::Bias(self.rng.gen_range(0.25..0.75))
+        } else if self.rng.gen_bool(0.55) {
+            // Strongly biased: mostly-not-taken or mostly-taken.
+            let q = self.rng.gen_range(0.003..0.03);
+            CondBehavior::Bias(if self.rng.gen_bool(0.6) { q } else { 1.0 - q })
+        } else {
+            // Short periodic pattern: perfectly predictable with history.
+            let len = self.rng.gen_range(2..=6u8);
+            let bits: u64 = self.rng.gen::<u64>() & ((1u64 << len) - 1);
+            CondBehavior::Pattern { bits, len }
+        }
+    }
+
+    fn sample_indirect_behavior(&mut self) -> IndirectBehavior {
+        if self.rng.gen_bool(self.profile.frac_single_target) {
+            IndirectBehavior::Single
+        } else if self.rng.gen_bool(0.35) {
+            IndirectBehavior::RoundRobin
+        } else {
+            // Bursty dispatch dominates polymorphic sites in server code.
+            IndirectBehavior::Bursty {
+                skew_x100: 120,
+                mean_burst: 12,
+            }
+        }
+    }
+
+    // ---- body ops --------------------------------------------------------
+
+    fn reg(&mut self) -> u8 {
+        self.rng.gen_range(0..NUM_REGS as u8)
+    }
+
+    fn sample_body(&mut self, mean: f64) -> Vec<BodyOp> {
+        let n = sample_len(&mut self.rng, mean, 1, 48);
+        (0..n).map(|_| self.sample_body_op()).collect()
+    }
+
+    fn sample_body_op(&mut self) -> BodyOp {
+        let r: f64 = self.rng.gen();
+        let (op, is_store) = if r < 0.58 {
+            (Op::Alu, false)
+        } else if r < 0.82 {
+            (Op::Load, false)
+        } else if r < 0.92 {
+            (Op::Store, true)
+        } else if r < 0.97 {
+            (Op::Fp, false)
+        } else if r < 0.995 {
+            (Op::Mul, false)
+        } else {
+            (Op::Div, false)
+        };
+        let mem = if op.is_mem() {
+            Some(self.sample_mem_ref())
+        } else {
+            None
+        };
+        let srcs = [self.reg(), self.reg(), NO_REG];
+        let dsts = if is_store {
+            [NO_REG, NO_REG]
+        } else {
+            [self.reg(), NO_REG]
+        };
+        BodyOp {
+            op,
+            srcs,
+            dsts,
+            mem,
+        }
+    }
+
+    fn sample_mem_ref(&mut self) -> MemRef {
+        let site = self.num_mem_sites;
+        self.num_mem_sites += 1;
+        let data_bytes = (self.profile.data_kb.max(16)) * 1024;
+        let r: f64 = self.rng.gen();
+        if r < 0.35 {
+            // Stack-like: tiny hot region.
+            MemRef {
+                region_base: STACK_BASE,
+                region_size: 16 * 1024,
+                pattern: if self.rng.gen_bool(0.5) {
+                    MemPattern::Fixed
+                } else {
+                    MemPattern::Stride { stride: 8 }
+                },
+                site,
+            }
+        } else if r < 0.75 {
+            // Array walk: strided over a quarter of the data footprint.
+            let stride = *[4u32, 8, 8, 16, 64]
+                .get(self.rng.gen_range(0..5))
+                .unwrap();
+            let which = self.rng.gen_range(0..4u64);
+            MemRef {
+                region_base: ARRAY_BASE + which * data_bytes / 4,
+                region_size: (data_bytes / 4).max(4096) as u32,
+                pattern: MemPattern::Stride { stride },
+                site,
+            }
+        } else {
+            // Heap-like: random pointer chasing.
+            MemRef {
+                region_base: HEAP_BASE,
+                region_size: data_bytes.max(4096) as u32,
+                pattern: MemPattern::Random,
+                site,
+            }
+        }
+    }
+
+    // ---- functions -------------------------------------------------------
+
+    /// Functions callable from the given layer: the next layer (mostly) plus
+    /// the utility layer (hot shared leaves).
+    fn pick_callee(&mut self, layer: usize) -> FnId {
+        let last = self.layers.len() - 1;
+        let target_layer = if layer + 1 >= last || self.rng.gen_bool(0.35) {
+            last
+        } else {
+            layer + 1
+        };
+        let range = self.layers[target_layer].clone();
+        FnId(self.rng.gen_range(range) as u32)
+    }
+
+    /// Picks a utility-layer (tiny leaf) callee.
+    fn pick_utility(&mut self) -> FnId {
+        let range = self.layers.last().expect("layer plan").clone();
+        FnId(self.rng.gen_range(range) as u32)
+    }
+
+    /// Builds the root dispatch loop: `loop { indirect call -> handler }`.
+    fn build_root(&mut self) -> Function {
+        let mut fb = FnBuilder::new();
+        let body = self.sample_body(3.0);
+        let entry = fb.open(body);
+        let header = fb.next_id();
+        fb.set_term(entry, Terminator::FallThrough { dst: header });
+
+        let dispatch_body = self.sample_body(4.0);
+        let header_id = fb.open(dispatch_body);
+        let handlers: Vec<FnId> = self.layers[1].clone().map(|i| FnId(i as u32)).collect();
+        let site = self.new_indirect_site(IndirectBehavior::Bursty {
+            skew_x100: self.profile.dispatch_skew_x100,
+            mean_burst: 6,
+        });
+        let latch = fb.next_id();
+        fb.set_term(
+            header_id,
+            Terminator::IndirectCall {
+                callees: handlers,
+                site,
+                ret_to: latch,
+            },
+        );
+
+        let latch_body = self.sample_body(2.0);
+        let latch_id = fb.open(latch_body);
+        debug_assert_eq!(latch_id, latch);
+        let exit = fb.next_id();
+        let loop_site = self.new_cond_site(CondBehavior::Loop { trip: u32::MAX });
+        fb.set_term(
+            latch_id,
+            Terminator::CondJump {
+                dst: header,
+                fallthrough: exit,
+                site: loop_site,
+            },
+        );
+        let exit_id = fb.open(vec![]);
+        fb.set_term(exit_id, Terminator::Return);
+        Function { blocks: fb.blocks }
+    }
+
+    /// Builds a regular function from structured segments. Utility-layer
+    /// functions are tiny straight-line leaves (`memcpy`-style helpers).
+    fn build_function(&mut self, layer: usize) -> Function {
+        if layer + 1 >= self.layers.len() {
+            return self.build_utility();
+        }
+        let leaf = layer + 2 >= self.layers.len();
+        let mut fb = FnBuilder::new();
+        let mean_body = self.profile.mean_body_insts;
+        let mut cur = fb.open(self.sample_body(mean_body));
+        let nsegs = sample_len(&mut self.rng, self.profile.mean_segments, 1, 40);
+        for _ in 0..nsegs {
+            cur = self.build_segment(&mut fb, cur, layer, leaf);
+        }
+        fb.set_term(cur, Terminator::Return);
+        Function { blocks: fb.blocks }
+    }
+
+    /// Builds a tiny utility function: plain runs and if-diamonds only, no
+    /// loops and no calls (the hot shared leaves every layer calls into).
+    fn build_utility(&mut self) -> Function {
+        let mut fb = FnBuilder::new();
+        let mean_body = self.profile.mean_body_insts * 0.7;
+        let mut cur = fb.open(self.sample_body(mean_body));
+        let nsegs = sample_len(&mut self.rng, 2.5, 1, 8);
+        for _ in 0..nsegs {
+            if self.rng.gen_bool(0.3) {
+                let extra = self.sample_body(mean_body * 0.6);
+                fb.extend_body(cur, extra);
+            } else {
+                cur = self.build_if(&mut fb, cur, mean_body);
+            }
+        }
+        fb.set_term(cur, Terminator::Return);
+        Function { blocks: fb.blocks }
+    }
+
+    /// Appends a one-sided if-diamond after `cur`: `cur` conditionally skips
+    /// a side block. Returns the new open (join) block.
+    fn build_if(&mut self, fb: &mut FnBuilder, cur: BlockId, mean_body: f64) -> BlockId {
+        let site = {
+            let b = self.sample_cond_behavior();
+            self.new_cond_site(b)
+        };
+        let side = fb.next_id();
+        let side_id = fb.open(self.sample_body(mean_body * 0.8));
+        debug_assert_eq!(side, side_id);
+        let join = fb.next_id();
+        // The side block either falls through or jumps to the join.
+        if self.rng.gen_bool(0.85) {
+            fb.set_term(side_id, Terminator::FallThrough { dst: join });
+        } else {
+            fb.set_term(side_id, Terminator::Jump { dst: join });
+        }
+        fb.set_term(
+            cur,
+            Terminator::CondJump {
+                dst: join,
+                fallthrough: side,
+                site,
+            },
+        );
+        fb.open(self.sample_body(mean_body))
+    }
+
+    /// Appends a direct call segment after `cur`; returns the resume block.
+    fn build_call(&mut self, fb: &mut FnBuilder, cur: BlockId, layer: usize, mean_body: f64) -> BlockId {
+        let callee = self.pick_callee(layer);
+        let next = fb.next_id();
+        fb.set_term(cur, Terminator::Call { callee, ret_to: next });
+        fb.open(self.sample_body(mean_body))
+    }
+
+    /// Appends a switch segment after `cur`: an indirect jump over case
+    /// blocks that converge on a join block. Returns the new open block.
+    fn build_switch(&mut self, fb: &mut FnBuilder, cur: BlockId, mean_body: f64) -> BlockId {
+        let k = self
+            .rng
+            .gen_range(2..=self.profile.max_indirect_fanout.max(2));
+        let site = {
+            let b = self.sample_indirect_behavior();
+            self.new_indirect_site(b)
+        };
+        let mut cases = Vec::with_capacity(k);
+        // Reserve case block ids by building them in order; join follows.
+        let first_case = fb.next_id().0;
+        for i in 0..k {
+            let c = fb.open(self.sample_body(mean_body * 0.7));
+            debug_assert_eq!(c.0, first_case + i as u32);
+            cases.push(c);
+        }
+        let join = fb.next_id();
+        for (i, &c) in cases.iter().enumerate() {
+            if i + 1 == cases.len() {
+                fb.set_term(c, Terminator::FallThrough { dst: join });
+            } else {
+                fb.set_term(c, Terminator::Jump { dst: join });
+            }
+        }
+        fb.set_term(cur, Terminator::IndirectJump { dsts: cases, site });
+        fb.open(self.sample_body(mean_body))
+    }
+
+    /// Appends a simple segment usable inside a loop body: plain run,
+    /// if-diamond (hot error check) or direct call.
+    fn build_inner_segment(
+        &mut self,
+        fb: &mut FnBuilder,
+        cur: BlockId,
+        _layer: usize,
+        leaf: bool,
+    ) -> BlockId {
+        let mean_body = self.profile.mean_body_insts * 0.6;
+        let r: f64 = self.rng.gen();
+        let _ = leaf;
+        if r < 0.25 {
+            let extra = self.sample_body(mean_body);
+            fb.extend_body(cur, extra);
+            cur
+        } else if r < 0.78 {
+            self.build_if(fb, cur, mean_body)
+        } else if r < 0.88 {
+            // Interpreter-style dispatch inside a hot loop.
+            self.build_switch(fb, cur, mean_body)
+        } else {
+            // Hot per-iteration helper call into the utility layer.
+            let callee = self.pick_utility();
+            let next = fb.next_id();
+            fb.set_term(cur, Terminator::Call { callee, ret_to: next });
+            fb.open(self.sample_body(mean_body))
+        }
+    }
+
+    /// Appends one structured segment after block `cur`; returns the new
+    /// open block.
+    fn build_segment(&mut self, fb: &mut FnBuilder, cur: BlockId, layer: usize, leaf: bool) -> BlockId {
+        let mean_body = self.profile.mean_body_insts;
+        let r: f64 = self.rng.gen();
+        // Segment mix. Leaves get no call segments; their weight shifts to
+        // plain/if/loop segments.
+        if r < 0.14 {
+            // Plain: extend the current block (merges straight-line runs).
+            let extra = self.sample_body(mean_body * 0.6);
+            fb.extend_body(cur, extra);
+            cur
+        } else if r < 0.48 {
+            // One-sided if-diamond.
+            self.build_if(fb, cur, mean_body)
+        } else if r < 0.58 {
+            // Counted loop whose body contains inner structure (error-check
+            // diamonds and hot call sites), then a latch back-edge.
+            let trip = sample_len(&mut self.rng, self.profile.mean_loop_trip, 2, 256) as u32;
+            let header = fb.next_id();
+            fb.set_term(cur, Terminator::FallThrough { dst: header });
+            let header_id = fb.open(self.sample_body(mean_body));
+            debug_assert_eq!(header, header_id);
+            let mut loop_cur = header_id;
+            let inner = self.rng.gen_range(2..=3);
+            for _ in 0..inner {
+                loop_cur = self.build_inner_segment(fb, loop_cur, layer, leaf);
+            }
+            let latch_site = self.new_cond_site(CondBehavior::Loop { trip });
+            let latch = fb.next_id();
+            fb.set_term(loop_cur, Terminator::FallThrough { dst: latch });
+            let latch_id = fb.open(self.sample_body(2.0));
+            debug_assert_eq!(latch_id, latch);
+            let exit = fb.next_id();
+            fb.set_term(
+                latch_id,
+                Terminator::CondJump {
+                    dst: header,
+                    fallthrough: exit,
+                    site: latch_site,
+                },
+            );
+            fb.open(self.sample_body(mean_body))
+        } else if r < 0.72 && !leaf {
+            // Direct call.
+            self.build_call(fb, cur, layer, mean_body)
+        } else if r < 0.79 && !leaf {
+            // Indirect call through a small table.
+            let k = self.rng.gen_range(1..=self.profile.max_indirect_fanout.max(1));
+            let callees: Vec<FnId> = (0..k).map(|_| self.pick_callee(layer)).collect();
+            let site = {
+                let b = self.sample_indirect_behavior();
+                self.new_indirect_site(b)
+            };
+            let next = fb.next_id();
+            fb.set_term(
+                cur,
+                Terminator::IndirectCall {
+                    callees,
+                    site,
+                    ret_to: next,
+                },
+            );
+            fb.open(self.sample_body(mean_body))
+        } else if r < 0.92 {
+            // Switch: indirect jump over case blocks converging on a join.
+            self.build_switch(fb, cur, mean_body)
+        } else {
+            // Forward unconditional jump (tail of a region, `goto` cleanup).
+            let next = fb.next_id();
+            fb.set_term(cur, Terminator::Jump { dst: next });
+            fb.open(self.sample_body(mean_body))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_program_validates() {
+        let p = build_program(&WorkloadProfile::tiny(42));
+        assert_eq!(p.validate(), Ok(()));
+        assert!(p.functions.len() >= 10);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = build_program(&WorkloadProfile::tiny(7));
+        let b = build_program(&WorkloadProfile::tiny(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = build_program(&WorkloadProfile::tiny(1));
+        let b = build_program(&WorkloadProfile::tiny(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn footprint_scales_with_function_count() {
+        let mut small = WorkloadProfile::tiny(3);
+        small.num_functions = 20;
+        let mut large = WorkloadProfile::tiny(3);
+        large.num_functions = 200;
+        let fs = build_program(&small).code_footprint();
+        let fl = build_program(&large).code_footprint();
+        assert!(fl > fs * 4, "footprints {fs} vs {fl}");
+    }
+
+    #[test]
+    fn root_never_returns_structurally() {
+        let p = build_program(&WorkloadProfile::tiny(5));
+        let root = &p.functions[0];
+        // The root's latch loops effectively forever.
+        let has_infinite_latch = root.blocks.iter().any(|b| {
+            matches!(
+                &b.term,
+                Terminator::CondJump { site, .. }
+                    if matches!(p.cond_sites[site.0 as usize], CondBehavior::Loop { trip: u32::MAX })
+            )
+        });
+        assert!(has_infinite_latch);
+    }
+
+    #[test]
+    fn blocks_are_contiguous_within_functions() {
+        let p = build_program(&WorkloadProfile::tiny(9));
+        for f in &p.functions {
+            for w in f.blocks.windows(2) {
+                assert_eq!(w[0].end_addr(), w[1].addr);
+            }
+        }
+    }
+
+    #[test]
+    fn sample_len_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let n = sample_len(&mut rng, 8.0, 2, 16);
+            assert!((2..=16).contains(&n));
+        }
+    }
+
+    #[test]
+    fn server_profile_footprint_is_large() {
+        let p = build_program(&WorkloadProfile::server("t", 11));
+        // A server profile should exceed 256 KB of code.
+        assert!(
+            p.code_footprint() > 256 * 1024,
+            "footprint {}",
+            p.code_footprint()
+        );
+    }
+}

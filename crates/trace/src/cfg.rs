@@ -1,0 +1,486 @@
+//! Static program representation: a control-flow graph of functions and
+//! basic blocks, from which dynamic traces are synthesised.
+//!
+//! The CVP-1 server traces used by the paper are proprietary, so this crate
+//! generates *synthetic programs* whose control-flow structure reproduces the
+//! statistical properties the paper reports (large instruction footprints,
+//! ~9.4-instruction dynamic basic blocks, ~35% never-taken conditionals,
+//! ~9% single-target indirect branches, low branch MPKI) and then executes
+//! them to obtain a dynamic trace.
+
+use crate::record::{Addr, BranchKind, INST_BYTES};
+use serde::{Deserialize, Serialize};
+
+/// Identifies a function within a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FnId(pub u32);
+
+/// Identifies a basic block within a [`Function`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BlockId(pub u32);
+
+/// Identifies a conditional-branch site within a [`Program`]
+/// (index into the executor's per-site state table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CondSiteId(pub u32);
+
+/// Identifies an indirect-branch site within a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct IndirectSiteId(pub u32);
+
+/// How a conditional branch site resolves its outcomes over time.
+///
+/// The mix of behaviours is what calibrates both the *never-taken fraction*
+/// (paper §2: 34.8% of dynamic branches) and the overall conditional
+/// predictability (paper §6.5.2: 0.84 MPKI average).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CondBehavior {
+    /// Taken with a fixed probability. `Bias(0.0)` models never-taken
+    /// conditionals, `Bias(1.0)` always-taken ones.
+    Bias(f64),
+    /// Loop back-edge: taken `trip - 1` times, then not taken once
+    /// (a `trip`-iteration loop). Perfectly predictable by a history-based
+    /// predictor once `trip` fits in the history.
+    Loop {
+        /// Loop trip count (≥ 1).
+        trip: u32,
+    },
+    /// Periodic pattern of outcomes: bit `i % len` of `bits` (LSB-first),
+    /// 1 = taken.
+    Pattern {
+        /// Outcome bits, LSB first.
+        bits: u64,
+        /// Period length (1..=64).
+        len: u8,
+    },
+}
+
+/// How an indirect branch site selects among its possible targets.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum IndirectBehavior {
+    /// Always selects target 0 — the "single target" indirect branches that
+    /// make up 9.1% of dynamic branches in CVP-1 and that MB-BTB AllBr pulls.
+    Single,
+    /// Cycles deterministically through all targets.
+    RoundRobin,
+    /// Selects targets with a Zipf-like skew (target 0 most likely), with
+    /// the given skew exponent scaled by 100 (e.g. 120 = 1.20).
+    Zipf {
+        /// Zipf exponent × 100.
+        skew_x100: u16,
+    },
+    /// Zipf-skewed selection held for bursts of consecutive executions —
+    /// the dominant behaviour of request dispatch in servers, and highly
+    /// predictable by a path-history indirect predictor.
+    Bursty {
+        /// Zipf exponent × 100 for the per-burst target choice.
+        skew_x100: u16,
+        /// Mean burst length in executions.
+        mean_burst: u16,
+    },
+}
+
+/// A memory-access pattern attached to a load/store body instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemPattern {
+    /// Sequential walk with the given byte stride within a region.
+    Stride {
+        /// Byte stride between consecutive accesses.
+        stride: u32,
+    },
+    /// Uniformly random within the region.
+    Random,
+    /// Always the same address (hot global / stack slot).
+    Fixed,
+}
+
+/// A non-terminator instruction in a basic block body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BodyOp {
+    /// Operation class; never `Op::Branch`.
+    pub op: crate::record::Op,
+    /// Source registers.
+    pub srcs: [u8; 3],
+    /// Destination registers.
+    pub dsts: [u8; 2],
+    /// For loads/stores: which data region and pattern to use.
+    pub mem: Option<MemRef>,
+}
+
+/// Reference from a memory body-op to its data region and access pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemRef {
+    /// Base address of the data region accessed.
+    pub region_base: Addr,
+    /// Size of the region in bytes (power of two).
+    pub region_size: u32,
+    /// Access pattern within the region.
+    pub pattern: MemPattern,
+    /// Per-site state slot (assigned by the builder).
+    pub site: u32,
+}
+
+/// The control-flow terminator of a basic block.
+///
+/// `FallThrough` emits no instruction at all: the block simply continues into
+/// `dst`, which lets block bodies merge into longer straight-line runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Terminator {
+    /// No branch instruction; execution continues at `dst` (which must be
+    /// laid out immediately after this block).
+    FallThrough {
+        /// The successor block.
+        dst: BlockId,
+    },
+    /// Direct unconditional jump.
+    Jump {
+        /// Jump target block.
+        dst: BlockId,
+    },
+    /// Direct conditional branch: taken goes to `dst`, not-taken falls
+    /// through to `fallthrough` (laid out immediately after).
+    CondJump {
+        /// Taken-path target block.
+        dst: BlockId,
+        /// Not-taken successor (next block in layout).
+        fallthrough: BlockId,
+        /// Outcome-behaviour site.
+        site: CondSiteId,
+    },
+    /// Direct call; on return, execution continues at `ret_to`.
+    Call {
+        /// Callee function.
+        callee: FnId,
+        /// Block to resume at after the callee returns.
+        ret_to: BlockId,
+    },
+    /// Indirect call through a table of callees.
+    IndirectCall {
+        /// Candidate callee functions.
+        callees: Vec<FnId>,
+        /// Target-selection site.
+        site: IndirectSiteId,
+        /// Block to resume at after the callee returns.
+        ret_to: BlockId,
+    },
+    /// Indirect jump through a table of blocks in the same function.
+    IndirectJump {
+        /// Candidate target blocks.
+        dsts: Vec<BlockId>,
+        /// Target-selection site.
+        site: IndirectSiteId,
+    },
+    /// Function return.
+    Return,
+}
+
+impl Terminator {
+    /// The branch kind of the terminator instruction, if it emits one.
+    #[must_use]
+    pub fn branch_kind(&self) -> Option<BranchKind> {
+        match self {
+            Terminator::FallThrough { .. } => None,
+            Terminator::Jump { .. } => Some(BranchKind::UncondDirect),
+            Terminator::CondJump { .. } => Some(BranchKind::CondDirect),
+            Terminator::Call { .. } => Some(BranchKind::DirectCall),
+            Terminator::IndirectCall { .. } => Some(BranchKind::IndirectCall),
+            Terminator::IndirectJump { .. } => Some(BranchKind::IndirectJump),
+            Terminator::Return => Some(BranchKind::Return),
+        }
+    }
+}
+
+/// A basic block: a run of body instructions plus one terminator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// Address of the first instruction (assigned at layout time).
+    pub addr: Addr,
+    /// Straight-line body (non-branch instructions).
+    pub body: Vec<BodyOp>,
+    /// Control-flow terminator.
+    pub term: Terminator,
+}
+
+impl Block {
+    /// Number of instructions in the block, including the terminator if it
+    /// emits an instruction.
+    #[must_use]
+    pub fn num_insts(&self) -> usize {
+        self.body.len() + usize::from(self.term.branch_kind().is_some())
+    }
+
+    /// Size of the block in bytes.
+    #[must_use]
+    pub fn size_bytes(&self) -> u64 {
+        self.num_insts() as u64 * INST_BYTES
+    }
+
+    /// Address of the terminator instruction.
+    ///
+    /// # Panics
+    /// Panics if the terminator emits no instruction (`FallThrough`).
+    #[must_use]
+    pub fn term_addr(&self) -> Addr {
+        assert!(
+            self.term.branch_kind().is_some(),
+            "fall-through terminator has no instruction"
+        );
+        self.addr + self.body.len() as u64 * INST_BYTES
+    }
+
+    /// Address of the instruction following the block.
+    #[must_use]
+    pub fn end_addr(&self) -> Addr {
+        self.addr + self.size_bytes()
+    }
+}
+
+/// A function: an entry block plus its body blocks, laid out contiguously.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Function {
+    /// Basic blocks; `blocks[0]` is the entry. Blocks are laid out in
+    /// vector order at consecutive addresses.
+    pub blocks: Vec<Block>,
+}
+
+impl Function {
+    /// Entry address of the function.
+    ///
+    /// # Panics
+    /// Panics if the function has no blocks.
+    #[must_use]
+    pub fn entry(&self) -> Addr {
+        self.blocks[0].addr
+    }
+
+    /// Total code size of the function in bytes.
+    #[must_use]
+    pub fn size_bytes(&self) -> u64 {
+        self.blocks.iter().map(Block::size_bytes).sum()
+    }
+}
+
+/// A whole synthetic program: functions plus site tables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// All functions; `functions[0]` is the root dispatch loop.
+    pub functions: Vec<Function>,
+    /// Behaviour of each conditional-branch site.
+    pub cond_sites: Vec<CondBehavior>,
+    /// Behaviour of each indirect-branch site.
+    pub indirect_sites: Vec<IndirectBehavior>,
+    /// Number of memory-access sites (for executor state sizing).
+    pub num_mem_sites: u32,
+}
+
+impl Program {
+    /// Total static code footprint in bytes.
+    #[must_use]
+    pub fn code_footprint(&self) -> u64 {
+        self.functions.iter().map(Function::size_bytes).sum()
+    }
+
+    /// Total number of static instructions.
+    #[must_use]
+    pub fn num_static_insts(&self) -> usize {
+        self.functions
+            .iter()
+            .flat_map(|f| f.blocks.iter())
+            .map(Block::num_insts)
+            .sum()
+    }
+
+    /// Looks up a block.
+    #[must_use]
+    pub fn block(&self, f: FnId, b: BlockId) -> &Block {
+        &self.functions[f.0 as usize].blocks[b.0 as usize]
+    }
+
+    /// Validates structural invariants of the program. Used by tests and
+    /// debug assertions in the executor.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.functions.is_empty() {
+            return Err("program has no functions".into());
+        }
+        for (fi, f) in self.functions.iter().enumerate() {
+            if f.blocks.is_empty() {
+                return Err(format!("function {fi} has no blocks"));
+            }
+            for (bi, b) in f.blocks.iter().enumerate() {
+                if b.addr % INST_BYTES != 0 {
+                    return Err(format!("fn {fi} block {bi} misaligned at {:#x}", b.addr));
+                }
+                let check_dst = |d: BlockId| -> Result<(), String> {
+                    if d.0 as usize >= f.blocks.len() {
+                        Err(format!("fn {fi} block {bi} targets missing block {}", d.0))
+                    } else {
+                        Ok(())
+                    }
+                };
+                match &b.term {
+                    Terminator::FallThrough { dst } | Terminator::Jump { dst } => check_dst(*dst)?,
+                    Terminator::CondJump {
+                        dst,
+                        fallthrough,
+                        site,
+                    } => {
+                        check_dst(*dst)?;
+                        check_dst(*fallthrough)?;
+                        if f.blocks[fallthrough.0 as usize].addr != b.end_addr() {
+                            return Err(format!(
+                                "fn {fi} block {bi}: cond fallthrough not contiguous"
+                            ));
+                        }
+                        if site.0 as usize >= self.cond_sites.len() {
+                            return Err(format!("fn {fi} block {bi}: missing cond site"));
+                        }
+                    }
+                    Terminator::Call { callee, ret_to } => {
+                        if callee.0 as usize >= self.functions.len() {
+                            return Err(format!("fn {fi} block {bi}: missing callee"));
+                        }
+                        check_dst(*ret_to)?;
+                    }
+                    Terminator::IndirectCall {
+                        callees,
+                        site,
+                        ret_to,
+                    } => {
+                        if callees.is_empty() {
+                            return Err(format!("fn {fi} block {bi}: empty callee table"));
+                        }
+                        for c in callees {
+                            if c.0 as usize >= self.functions.len() {
+                                return Err(format!("fn {fi} block {bi}: missing callee"));
+                            }
+                        }
+                        if site.0 as usize >= self.indirect_sites.len() {
+                            return Err(format!("fn {fi} block {bi}: missing indirect site"));
+                        }
+                        check_dst(*ret_to)?;
+                    }
+                    Terminator::IndirectJump { dsts, site } => {
+                        if dsts.is_empty() {
+                            return Err(format!("fn {fi} block {bi}: empty jump table"));
+                        }
+                        for d in dsts {
+                            check_dst(*d)?;
+                        }
+                        if site.0 as usize >= self.indirect_sites.len() {
+                            return Err(format!("fn {fi} block {bi}: missing indirect site"));
+                        }
+                    }
+                    Terminator::Return => {}
+                }
+                if let Terminator::FallThrough { dst } = &b.term {
+                    if f.blocks[dst.0 as usize].addr != b.end_addr() {
+                        return Err(format!("fn {fi} block {bi}: fallthrough not contiguous"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Op;
+
+    fn body(n: usize) -> Vec<BodyOp> {
+        (0..n)
+            .map(|_| BodyOp {
+                op: Op::Alu,
+                srcs: [crate::record::NO_REG; 3],
+                dsts: [crate::record::NO_REG; 2],
+                mem: None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn block_sizing_includes_terminator() {
+        let b = Block {
+            addr: 0x1000,
+            body: body(3),
+            term: Terminator::Return,
+        };
+        assert_eq!(b.num_insts(), 4);
+        assert_eq!(b.size_bytes(), 16);
+        assert_eq!(b.term_addr(), 0x100c);
+        assert_eq!(b.end_addr(), 0x1010);
+    }
+
+    #[test]
+    fn fallthrough_block_has_no_terminator_inst() {
+        let b = Block {
+            addr: 0x1000,
+            body: body(2),
+            term: Terminator::FallThrough { dst: BlockId(1) },
+        };
+        assert_eq!(b.num_insts(), 2);
+        assert_eq!(b.size_bytes(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "fall-through")]
+    fn term_addr_panics_for_fallthrough() {
+        let b = Block {
+            addr: 0,
+            body: body(1),
+            term: Terminator::FallThrough { dst: BlockId(1) },
+        };
+        let _ = b.term_addr();
+    }
+
+    #[test]
+    fn validate_catches_dangling_target() {
+        let p = Program {
+            functions: vec![Function {
+                blocks: vec![Block {
+                    addr: 0x1000,
+                    body: body(1),
+                    term: Terminator::Jump { dst: BlockId(7) },
+                }],
+            }],
+            cond_sites: vec![],
+            indirect_sites: vec![],
+            num_mem_sites: 0,
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_accepts_minimal_program() {
+        let p = Program {
+            functions: vec![Function {
+                blocks: vec![Block {
+                    addr: 0x1000,
+                    body: body(1),
+                    term: Terminator::Return,
+                }],
+            }],
+            cond_sites: vec![],
+            indirect_sites: vec![],
+            num_mem_sites: 0,
+        };
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn terminator_branch_kinds() {
+        assert_eq!(
+            Terminator::Jump { dst: BlockId(0) }.branch_kind(),
+            Some(BranchKind::UncondDirect)
+        );
+        assert_eq!(Terminator::Return.branch_kind(), Some(BranchKind::Return));
+        assert_eq!(
+            Terminator::FallThrough { dst: BlockId(0) }.branch_kind(),
+            None
+        );
+    }
+}

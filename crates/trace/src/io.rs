@@ -1,0 +1,217 @@
+//! Compact binary serialization for traces.
+//!
+//! The format is a simple little-endian stream (magic, version, name, record
+//! count, fixed-width records), so large traces can be generated once and
+//! replayed by many simulator configurations without regeneration cost.
+
+use crate::exec::Trace;
+use crate::record::{BranchKind, Op, TraceRecord};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"BTBTRACE";
+const VERSION: u32 = 1;
+
+/// Errors produced while reading a trace stream.
+#[derive(Debug)]
+pub enum ReadTraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream does not start with the trace magic.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// A record field held an invalid encoding.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for ReadTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadTraceError::Io(e) => write!(f, "i/o error: {e}"),
+            ReadTraceError::BadMagic => write!(f, "not a btb trace stream"),
+            ReadTraceError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            ReadTraceError::Corrupt(what) => write!(f, "corrupt trace field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadTraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadTraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ReadTraceError {
+    fn from(e: io::Error) -> Self {
+        ReadTraceError::Io(e)
+    }
+}
+
+fn op_code(op: Op) -> u8 {
+    match op {
+        Op::Alu => 0,
+        Op::Mul => 1,
+        Op::Div => 2,
+        Op::Fp => 3,
+        Op::Load => 4,
+        Op::Store => 5,
+        Op::Branch(BranchKind::CondDirect) => 6,
+        Op::Branch(BranchKind::UncondDirect) => 7,
+        Op::Branch(BranchKind::DirectCall) => 8,
+        Op::Branch(BranchKind::IndirectJump) => 9,
+        Op::Branch(BranchKind::IndirectCall) => 10,
+        Op::Branch(BranchKind::Return) => 11,
+    }
+}
+
+fn op_from_code(code: u8) -> Option<Op> {
+    Some(match code {
+        0 => Op::Alu,
+        1 => Op::Mul,
+        2 => Op::Div,
+        3 => Op::Fp,
+        4 => Op::Load,
+        5 => Op::Store,
+        6 => Op::Branch(BranchKind::CondDirect),
+        7 => Op::Branch(BranchKind::UncondDirect),
+        8 => Op::Branch(BranchKind::DirectCall),
+        9 => Op::Branch(BranchKind::IndirectJump),
+        10 => Op::Branch(BranchKind::IndirectCall),
+        11 => Op::Branch(BranchKind::Return),
+        _ => return None,
+    })
+}
+
+/// Writes a trace to any [`Write`] sink (pass `&mut writer` to keep the
+/// writer).
+///
+/// # Errors
+/// Propagates I/O errors from the sink.
+pub fn write_trace<W: Write>(mut w: W, trace: &Trace) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    let name = trace.name.as_bytes();
+    w.write_all(&(name.len() as u32).to_le_bytes())?;
+    w.write_all(name)?;
+    w.write_all(&(trace.records.len() as u64).to_le_bytes())?;
+    for r in &trace.records {
+        let mut buf = [0u8; 31];
+        buf[0..8].copy_from_slice(&r.pc.to_le_bytes());
+        buf[8..16].copy_from_slice(&r.target.to_le_bytes());
+        buf[16..24].copy_from_slice(&r.mem_addr.to_le_bytes());
+        buf[24] = op_code(r.op);
+        buf[25] = u8::from(r.taken);
+        buf[26..29].copy_from_slice(&r.srcs);
+        buf[29..31].copy_from_slice(&r.dsts);
+        w.write_all(&buf)?;
+    }
+    Ok(())
+}
+
+/// Reads a trace from any [`Read`] source (pass `&mut reader` to keep the
+/// reader).
+///
+/// # Errors
+/// Returns [`ReadTraceError`] on I/O failure or malformed input.
+pub fn read_trace<R: Read>(mut r: R) -> Result<Trace, ReadTraceError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(ReadTraceError::BadMagic);
+    }
+    let mut u32buf = [0u8; 4];
+    r.read_exact(&mut u32buf)?;
+    let version = u32::from_le_bytes(u32buf);
+    if version != VERSION {
+        return Err(ReadTraceError::BadVersion(version));
+    }
+    r.read_exact(&mut u32buf)?;
+    let name_len = u32::from_le_bytes(u32buf) as usize;
+    let mut name_bytes = vec![0u8; name_len];
+    r.read_exact(&mut name_bytes)?;
+    let name = String::from_utf8(name_bytes).map_err(|_| ReadTraceError::Corrupt("name"))?;
+    let mut u64buf = [0u8; 8];
+    r.read_exact(&mut u64buf)?;
+    let count = u64::from_le_bytes(u64buf) as usize;
+    let mut records = Vec::with_capacity(count.min(1 << 24));
+    for _ in 0..count {
+        let mut buf = [0u8; 31];
+        r.read_exact(&mut buf)?;
+        let pc = u64::from_le_bytes(buf[0..8].try_into().expect("slice len"));
+        let target = u64::from_le_bytes(buf[8..16].try_into().expect("slice len"));
+        let mem_addr = u64::from_le_bytes(buf[16..24].try_into().expect("slice len"));
+        let op = op_from_code(buf[24]).ok_or(ReadTraceError::Corrupt("op"))?;
+        let taken = match buf[25] {
+            0 => false,
+            1 => true,
+            _ => return Err(ReadTraceError::Corrupt("taken")),
+        };
+        let srcs = [buf[26], buf[27], buf[28]];
+        let dsts = [buf[29], buf[30]];
+        records.push(TraceRecord {
+            pc,
+            op,
+            taken,
+            target,
+            mem_addr,
+            srcs,
+            dsts,
+        });
+    }
+    Ok(Trace { name, records })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::WorkloadProfile;
+
+    #[test]
+    fn roundtrip_preserves_trace() {
+        let t = Trace::generate(&WorkloadProfile::tiny(6), 10_000);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).expect("write to vec");
+        let back = read_trace(buf.as_slice()).expect("read back");
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn all_op_codes_roundtrip() {
+        for code in 0u8..=11 {
+            let op = op_from_code(code).expect("valid code");
+            assert_eq!(op_code(op), code);
+        }
+        assert!(op_from_code(12).is_none());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = read_trace(&b"NOTATRCE........."[..]).unwrap_err();
+        assert!(matches!(err, ReadTraceError::BadMagic));
+        assert!(err.to_string().contains("not a btb trace"));
+    }
+
+    #[test]
+    fn truncated_stream_is_io_error() {
+        let t = Trace::generate(&WorkloadProfile::tiny(6), 100);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).expect("write");
+        buf.truncate(buf.len() - 5);
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, ReadTraceError::Io(_)));
+    }
+
+    #[test]
+    fn bad_version_is_reported() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&99u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, ReadTraceError::BadVersion(99)));
+    }
+}

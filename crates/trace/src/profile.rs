@@ -1,0 +1,184 @@
+//! Workload profiles: parameter sets for the synthetic program generator.
+//!
+//! Each profile plays the role of one CVP-1 server trace. The default
+//! [`server_suite`] provides 15 profiles spanning the axes that matter to the
+//! paper's experiments: instruction footprint (the BTB pressure), dynamic
+//! basic-block size (the fetch-PC throughput ceiling), indirect-branch
+//! behaviour, call depth and conditional predictability.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters controlling synthetic program generation.
+///
+/// All distributions inside the generator are derived deterministically from
+/// `seed`, so a profile always produces the same program and trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// Human-readable name (used in reports).
+    pub name: String,
+    /// PRNG seed; fully determines the program and its execution.
+    pub seed: u64,
+    /// Total number of functions (root + handlers + internals + utilities).
+    pub num_functions: usize,
+    /// Number of top-level request handlers the root loop dispatches to.
+    pub num_handlers: usize,
+    /// Depth of the call-graph layering below the handlers.
+    pub call_layers: usize,
+    /// Mean number of body (non-branch) instructions per basic block.
+    pub mean_body_insts: f64,
+    /// Mean number of segments (structured CFG elements) per function.
+    pub mean_segments: f64,
+    /// Fraction of conditional sites that are never taken (`Bias(0)`).
+    pub frac_never_taken: f64,
+    /// Fraction of conditional sites that are always taken (`Bias(1)`).
+    pub frac_always_taken: f64,
+    /// Fraction of conditional sites with a hard (weakly biased) behaviour;
+    /// the rest are strongly biased or patterned and thus very predictable.
+    pub frac_hard_cond: f64,
+    /// Fraction of indirect sites that only ever use a single target.
+    pub frac_single_target: f64,
+    /// Maximum fan-out of multi-target indirect sites.
+    pub max_indirect_fanout: usize,
+    /// Zipf skew (×100) of the root handler dispatch; higher = hotter code.
+    pub dispatch_skew_x100: u16,
+    /// Mean loop trip count for loop back-edges.
+    pub mean_loop_trip: f64,
+    /// Data footprint in kilobytes touched by loads/stores.
+    pub data_kb: u64,
+}
+
+impl WorkloadProfile {
+    /// A small, fast profile for unit tests and doc examples.
+    #[must_use]
+    pub fn tiny(seed: u64) -> Self {
+        WorkloadProfile {
+            name: format!("tiny-{seed}"),
+            seed,
+            num_functions: 24,
+            num_handlers: 4,
+            call_layers: 2,
+            mean_body_insts: 8.0,
+            mean_segments: 6.0,
+            frac_never_taken: 0.35,
+            frac_always_taken: 0.15,
+            frac_hard_cond: 0.08,
+            frac_single_target: 0.6,
+            max_indirect_fanout: 4,
+            dispatch_skew_x100: 100,
+            mean_loop_trip: 12.0,
+            data_kb: 64,
+        }
+    }
+
+    /// A mid-size server-like profile, the template the suite perturbs.
+    #[must_use]
+    pub fn server(name: &str, seed: u64) -> Self {
+        WorkloadProfile {
+            name: name.to_owned(),
+            seed,
+            num_functions: 900,
+            num_handlers: 48,
+            call_layers: 4,
+            mean_body_insts: 8.2,
+            mean_segments: 10.0,
+            frac_never_taken: 0.62,
+            frac_always_taken: 0.22,
+            frac_hard_cond: 0.02,
+            frac_single_target: 0.6,
+            max_indirect_fanout: 8,
+            dispatch_skew_x100: 70,
+            mean_loop_trip: 10.0,
+            data_kb: 512,
+        }
+    }
+}
+
+/// The 15-workload server suite used by every experiment in this repository
+/// (standing in for the 147-trace CVP-1 subset of the paper).
+///
+/// The suite spans:
+/// * code footprints from ~90 KB to ~1 MB (BTB pressure),
+/// * mean dynamic basic blocks from ~7 to ~13 instructions,
+/// * light to heavy indirect-branch usage,
+/// * very predictable to moderately hard conditional behaviour.
+#[must_use]
+pub fn server_suite() -> Vec<WorkloadProfile> {
+    /// (name, functions, handlers, layers, body, segments, hard, single, fanout, trip)
+    type Spec = (&'static str, usize, usize, usize, f64, f64, f64, f64, usize, f64);
+    let mut suite = Vec::new();
+    let specs: &[Spec] = &[
+        ("web-small", 1000, 56, 3, 7.6, 8.0, 0.015, 0.65, 6, 9.0),
+        ("web-large", 3400, 150, 4, 7.9, 10.0, 0.02, 0.60, 8, 9.0),
+        ("db-oltp", 2600, 96, 5, 8.4, 11.0, 0.03, 0.55, 10, 7.0),
+        ("db-olap", 1700, 40, 4, 12.5, 12.0, 0.012, 0.70, 4, 24.0),
+        ("kv-cache", 1250, 76, 3, 6.8, 8.0, 0.015, 0.70, 6, 6.0),
+        ("proxy", 2000, 115, 4, 7.4, 9.0, 0.025, 0.55, 12, 8.0),
+        ("mail", 1550, 68, 4, 8.8, 10.0, 0.02, 0.60, 6, 10.0),
+        ("search", 2350, 86, 5, 9.6, 11.0, 0.022, 0.58, 8, 14.0),
+        ("media", 1100, 48, 3, 11.8, 10.0, 0.01, 0.72, 4, 28.0),
+        ("compile", 3000, 134, 5, 7.2, 10.0, 0.035, 0.50, 14, 6.0),
+        ("serialize", 1350, 58, 3, 9.2, 9.0, 0.015, 0.62, 8, 12.0),
+        ("rpc-dense", 3800, 172, 4, 7.0, 9.0, 0.025, 0.55, 10, 7.0),
+        ("analytics", 2100, 76, 4, 10.4, 11.0, 0.018, 0.64, 6, 18.0),
+        ("queue", 1200, 62, 3, 7.8, 8.0, 0.015, 0.66, 6, 8.0),
+        ("monolith", 4600, 192, 5, 8.0, 11.0, 0.025, 0.52, 12, 8.0),
+    ];
+    for (i, &(name, nf, nh, layers, body, segs, hard, single, fanout, trip)) in
+        specs.iter().enumerate()
+    {
+        let mut p = WorkloadProfile::server(name, 0x5eed_0000 + i as u64 * 7919);
+        p.num_functions = nf;
+        p.num_handlers = nh;
+        p.call_layers = layers;
+        p.mean_body_insts = body;
+        p.mean_segments = segs;
+        p.frac_hard_cond = hard;
+        p.frac_single_target = single;
+        p.max_indirect_fanout = fanout;
+        p.mean_loop_trip = trip;
+        suite.push(p);
+    }
+    suite
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_15_distinct_profiles() {
+        let s = server_suite();
+        assert_eq!(s.len(), 15);
+        let mut names: Vec<_> = s.iter().map(|p| p.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 15, "duplicate profile names");
+        let mut seeds: Vec<_> = s.iter().map(|p| p.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 15, "duplicate seeds");
+    }
+
+    #[test]
+    fn suite_spans_footprint_axis() {
+        let s = server_suite();
+        let min = s.iter().map(|p| p.num_functions).min().unwrap();
+        let max = s.iter().map(|p| p.num_functions).max().unwrap();
+        assert!(min < 1200 && max > 3500, "suite should span small to large");
+    }
+
+    #[test]
+    fn fraction_parameters_are_probabilities() {
+        for p in server_suite() {
+            for f in [
+                p.frac_never_taken,
+                p.frac_always_taken,
+                p.frac_hard_cond,
+                p.frac_single_target,
+            ] {
+                assert!((0.0..=1.0).contains(&f), "{}: {f}", p.name);
+            }
+            assert!(p.frac_never_taken + p.frac_always_taken + p.frac_hard_cond < 1.0);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Structural tests over generated programs: layering, utility leaves,
+//! switch convergence and address-space layout.
+
+use btb_trace::{
+    build_program, server_suite, Terminator, Trace, TraceExecutor, TraceStats, WorkloadProfile,
+    CODE_BASE,
+};
+use std::collections::HashSet;
+
+#[test]
+fn functions_occupy_disjoint_address_ranges() {
+    let prog = build_program(&WorkloadProfile::tiny(41));
+    let mut ranges: Vec<(u64, u64)> = prog
+        .functions
+        .iter()
+        .map(|f| (f.entry(), f.entry() + f.size_bytes()))
+        .collect();
+    ranges.sort_unstable();
+    for w in ranges.windows(2) {
+        assert!(w[0].1 <= w[1].0, "overlapping functions: {w:?}");
+    }
+    assert!(ranges[0].0 >= CODE_BASE);
+}
+
+#[test]
+fn switch_cases_converge_and_stay_local() {
+    // Every IndirectJump target is a block of the same function.
+    let prog = build_program(&WorkloadProfile::server("s", 3));
+    let mut switches = 0;
+    for f in &prog.functions {
+        for b in &f.blocks {
+            if let Terminator::IndirectJump { dsts, .. } = &b.term {
+                switches += 1;
+                for d in dsts {
+                    assert!((d.0 as usize) < f.blocks.len());
+                }
+            }
+        }
+    }
+    assert!(switches > 0, "server programs should contain switches");
+}
+
+#[test]
+fn utility_layer_functions_are_small_leaves() {
+    let prog = build_program(&WorkloadProfile::server("s", 5));
+    // Utilities sit at the end of the function list; they must contain no
+    // call or indirect-call terminators. Identify them as the trailing
+    // functions with no calls and check there are plenty.
+    let mut leaf_tail = 0;
+    for f in prog.functions.iter().rev() {
+        let has_call = f.blocks.iter().any(|b| {
+            matches!(
+                b.term,
+                Terminator::Call { .. } | Terminator::IndirectCall { .. }
+            )
+        });
+        if has_call {
+            break;
+        }
+        leaf_tail += 1;
+    }
+    assert!(leaf_tail >= 10, "expected a utility tail, got {leaf_tail}");
+}
+
+#[test]
+fn dispatch_reaches_many_handlers() {
+    let profile = WorkloadProfile::server("s", 11);
+    let prog = build_program(&profile);
+    let handler_entries: HashSet<u64> = (1..=profile.num_handlers)
+        .filter_map(|i| prog.functions.get(i).map(btb_trace::Function::entry))
+        .collect();
+    let mut seen = HashSet::new();
+    for r in TraceExecutor::new(&prog, profile.seed).take(1_500_000) {
+        if r.taken && handler_entries.contains(&r.target) {
+            seen.insert(r.target);
+        }
+    }
+    // Dispatch is bursty (server request streams), so a 1.5M-instruction
+    // window reaches a fraction of the handler population.
+    assert!(
+        seen.len() * 4 >= profile.num_handlers,
+        "only {} of {} handlers dispatched",
+        seen.len(),
+        profile.num_handlers
+    );
+}
+
+#[test]
+fn suite_profiles_span_the_block_size_axis() {
+    let mut sizes = Vec::new();
+    for p in server_suite().into_iter().take(6) {
+        let t = Trace::generate(&p, 150_000);
+        sizes.push(TraceStats::compute(&t.records).avg_dyn_bb_size);
+    }
+    let min = sizes.iter().cloned().fold(f64::MAX, f64::min);
+    let max = sizes.iter().cloned().fold(0.0, f64::max);
+    assert!(
+        max - min > 1.5,
+        "suite should span basic-block sizes: {sizes:?}"
+    );
+}
+
+#[test]
+fn code_footprint_tracks_function_count() {
+    let mut small = WorkloadProfile::server("a", 1);
+    small.num_functions = 300;
+    let mut large = WorkloadProfile::server("b", 1);
+    large.num_functions = 3000;
+    let fs = build_program(&small).code_footprint();
+    let fl = build_program(&large).code_footprint();
+    assert!(fl > fs * 5, "{fs} vs {fl}");
+}
+
+#[test]
+fn loops_iterate_with_finite_trips() {
+    // No single pc may dominate the trace beyond plausibility (would signal
+    // an unbounded loop).
+    let t = Trace::generate(&WorkloadProfile::tiny(77), 200_000);
+    let mut counts = std::collections::HashMap::new();
+    for r in &t.records {
+        *counts.entry(r.pc).or_insert(0u64) += 1;
+    }
+    let max = counts.values().max().copied().unwrap_or(0);
+    assert!(
+        max < 60_000,
+        "one pc executed {max} times in 200k — runaway loop"
+    );
+}

@@ -1,0 +1,31 @@
+//! Microarchitectural substrates for the `btb-orgs` simulator: the memory
+//! hierarchy of the paper's Table 1.
+//!
+//! * [`Cache`] — set-associative tags with LRU and MSHR-limited misses;
+//! * [`Tlb`] — two-level TLBs with page walks;
+//! * [`IpStridePrefetcher`] / [`NextLinePrefetcher`] — Table 1 prefetchers;
+//! * [`MemoryHierarchy`] — L1I/L1D/L2/LLC/DRAM glued together with FDIP
+//!   instruction prefetch support.
+//!
+//! # Example
+//! ```
+//! use btb_uarch::MemoryHierarchy;
+//! let mut mem = MemoryHierarchy::paper();
+//! let first = mem.fetch_inst(0x1000, 0);
+//! assert!(!first.l1i_hit);
+//! let again = mem.fetch_inst(0x1000, first.ready);
+//! assert!(again.l1i_hit);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod cache;
+mod memory;
+mod prefetch;
+mod tlb;
+
+pub use cache::{AccessResult, Cache, CacheConfig};
+pub use memory::{FetchAccess, MemoryHierarchy, DRAM_LATENCY};
+pub use prefetch::{IpStridePrefetcher, NextLinePrefetcher, LINE_BYTES};
+pub use tlb::{Tlb, PAGE_BYTES};

@@ -1,0 +1,235 @@
+//! The full memory hierarchy of Table 1: 32 KB L1I (8-way, 3c), 48 KB L1D
+//! (12-way, 5c load-to-use, IP-stride prefetcher), 512 KB L2 (15c, next-line
+//! prefetcher), 2 MB LLC (35c) and DRAM, plus the ITLB/DTLB/L2TLB.
+
+use crate::cache::{Cache, CacheConfig};
+use crate::prefetch::{IpStridePrefetcher, NextLinePrefetcher, LINE_BYTES};
+use crate::tlb::Tlb;
+
+/// DRAM access latency in cycles (3200 MHz quad-channel, ChampSim-like
+/// average).
+pub const DRAM_LATENCY: u64 = 140;
+
+/// The instruction- and data-side memory hierarchy.
+#[derive(Debug, Clone)]
+pub struct MemoryHierarchy {
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+    llc: Cache,
+    itlb: Tlb,
+    dtlb: Tlb,
+    ip_stride: IpStridePrefetcher,
+    next_line: NextLinePrefetcher,
+}
+
+/// Timing result of an instruction fetch access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchAccess {
+    /// Cycle the instruction bytes are usable.
+    pub ready: u64,
+    /// Whether the L1I hit.
+    pub l1i_hit: bool,
+}
+
+impl Default for MemoryHierarchy {
+    fn default() -> Self {
+        MemoryHierarchy::paper()
+    }
+}
+
+impl MemoryHierarchy {
+    /// Builds the Table 1 configuration.
+    #[must_use]
+    pub fn paper() -> Self {
+        MemoryHierarchy {
+            l1i: Cache::new(CacheConfig {
+                name: "L1I",
+                sets: 64,
+                ways: 8,
+                latency: 3,
+                mshrs: 16,
+            }),
+            l1d: Cache::new(CacheConfig {
+                name: "L1D",
+                sets: 64,
+                ways: 12,
+                latency: 5,
+                mshrs: 16,
+            }),
+            l2: Cache::new(CacheConfig {
+                name: "L2",
+                sets: 1024,
+                ways: 8,
+                latency: 15,
+                mshrs: 32,
+            }),
+            llc: Cache::new(CacheConfig {
+                name: "LLC",
+                sets: 2048,
+                ways: 16,
+                latency: 35,
+                mshrs: 64,
+            }),
+            itlb: Tlb::paper_itlb(),
+            dtlb: Tlb::paper_dtlb(),
+            ip_stride: IpStridePrefetcher::new(256, 2),
+            next_line: NextLinePrefetcher::new(),
+        }
+    }
+
+    fn access_l2_down(
+        l2: &mut Cache,
+        llc: &mut Cache,
+        next_line: &NextLinePrefetcher,
+        line: u64,
+        cycle: u64,
+    ) -> u64 {
+        let res = l2.access(line, cycle, |leave| {
+            llc.access(line, leave, |leave2| leave2 + DRAM_LATENCY).ready
+        });
+        if !res.hit {
+            // L2 next-line prefetch (fire and forget: fills tags).
+            let pf = next_line.observe(line);
+            let _ = l2.access(pf, cycle, |leave| {
+                llc.access(pf, leave, |leave2| leave2 + DRAM_LATENCY).ready
+            });
+        }
+        res.ready
+    }
+
+    /// Demand instruction fetch of the line containing `addr` at `cycle`
+    /// (ITLB translation included).
+    pub fn fetch_inst(&mut self, addr: u64, cycle: u64) -> FetchAccess {
+        let line = addr / LINE_BYTES;
+        let tlb_ready = self.itlb.translate(addr, cycle);
+        let (l2, llc, nl) = (&mut self.l2, &mut self.llc, &self.next_line);
+        let res = self.l1i.access(line, tlb_ready, |leave| {
+            Self::access_l2_down(l2, llc, nl, line, leave)
+        });
+        FetchAccess {
+            ready: res.ready,
+            l1i_hit: res.hit,
+        }
+    }
+
+    /// FDIP prefetch of the line containing `addr` (issued when an FTQ
+    /// entry is created): warms the L1I without demand accounting.
+    pub fn prefetch_inst(&mut self, addr: u64, cycle: u64) {
+        let line = addr / LINE_BYTES;
+        if self.l1i.contains(line) {
+            return;
+        }
+        let (l2, llc, nl) = (&mut self.l2, &mut self.llc, &self.next_line);
+        let _ = self.l1i.access(line, cycle, |leave| {
+            Self::access_l2_down(l2, llc, nl, line, leave)
+        });
+    }
+
+    /// Demand load by instruction `pc` to data address `addr`; returns the
+    /// load-to-use ready cycle. Trains the IP-stride prefetcher.
+    pub fn load(&mut self, pc: u64, addr: u64, cycle: u64) -> u64 {
+        let line = addr / LINE_BYTES;
+        let tlb_ready = self.dtlb.translate(addr, cycle);
+        let (l2, llc, nl) = (&mut self.l2, &mut self.llc, &self.next_line);
+        let res = self.l1d.access(line, tlb_ready, |leave| {
+            Self::access_l2_down(l2, llc, nl, line, leave)
+        });
+        for pf_addr in self.ip_stride.observe(pc, addr) {
+            let pf_line = pf_addr / LINE_BYTES;
+            if !self.l1d.contains(pf_line) {
+                let (l2, llc, nl) = (&mut self.l2, &mut self.llc, &self.next_line);
+                let _ = self.l1d.access(pf_line, cycle, |leave| {
+                    Self::access_l2_down(l2, llc, nl, pf_line, leave)
+                });
+            }
+        }
+        res.ready
+    }
+
+    /// Store by instruction `pc` to `addr` (write-allocate; stores don't
+    /// produce a value, so only tags/prefetchers are affected).
+    pub fn store(&mut self, pc: u64, addr: u64, cycle: u64) {
+        let _ = self.load(pc, addr, cycle);
+    }
+
+    /// L1I demand hit rate so far.
+    #[must_use]
+    pub fn l1i_hit_rate(&self) -> f64 {
+        let total = self.l1i.hits() + self.l1i.misses();
+        if total == 0 {
+            0.0
+        } else {
+            self.l1i.hits() as f64 / total as f64
+        }
+    }
+
+    /// L1I demand misses.
+    #[must_use]
+    pub fn l1i_misses(&self) -> u64 {
+        self.l1i.misses()
+    }
+
+    /// L1D demand misses.
+    #[must_use]
+    pub fn l1d_misses(&self) -> u64 {
+        self.l1d.misses()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inst_hit_costs_l1i_latency() {
+        let mut m = MemoryHierarchy::paper();
+        let first = m.fetch_inst(0x1000, 0);
+        assert!(!first.l1i_hit);
+        let second = m.fetch_inst(0x1004, first.ready + 10);
+        assert!(second.l1i_hit);
+        assert_eq!(second.ready, first.ready + 10 + 1 + 3); // ITLB hit + L1I
+    }
+
+    #[test]
+    fn prefetch_hides_the_miss() {
+        let mut m = MemoryHierarchy::paper();
+        m.prefetch_inst(0x4000, 0);
+        // Long after the prefetch completes, the demand access hits.
+        let r = m.fetch_inst(0x4000, 1000);
+        assert!(r.l1i_hit);
+    }
+
+    #[test]
+    fn load_miss_slower_than_hit() {
+        let mut m = MemoryHierarchy::paper();
+        let miss = m.load(0x40, 0x10_0000, 0);
+        let hit = m.load(0x40, 0x10_0000, miss + 10);
+        assert!(miss > 100, "cold miss goes to DRAM: {miss}");
+        assert!(hit <= miss + 10 + 1 + 5 + 1);
+    }
+
+    #[test]
+    fn strided_loads_train_prefetcher() {
+        let mut m = MemoryHierarchy::paper();
+        let mut cycle = 0;
+        // A steady 64 B stride: after training, lines are prefetched and
+        // later loads hit.
+        let mut last = 0;
+        for i in 0..32u64 {
+            last = m.load(0x80, 0x20_0000 + i * 64, cycle);
+            cycle += 200;
+        }
+        // The final loads should be much faster than DRAM.
+        assert!(last - (cycle - 200) < 60, "prefetched: {}", last - (cycle - 200));
+    }
+
+    #[test]
+    fn hit_rate_reporting() {
+        let mut m = MemoryHierarchy::paper();
+        let first = m.fetch_inst(0x1000, 0);
+        let _ = m.fetch_inst(0x1004, first.ready + 10);
+        assert!(m.l1i_hit_rate() > 0.0 && m.l1i_hit_rate() < 1.0);
+        assert_eq!(m.l1i_misses(), 1);
+    }
+}

@@ -1,0 +1,85 @@
+//! Design-space exploration: how does one workload's IPC respond to branch
+//! slots, entry splitting, block reach and MB-BTB pull policies? This walks
+//! the axes of the paper's §5/§6 analysis on a single workload so each
+//! effect is visible in isolation.
+//!
+//! ```text
+//! cargo run --release --example btb_design_space
+//! ```
+
+use btb_orgs::btb::{BtbConfig, OrgKind, PullPolicy};
+use btb_orgs::sim::{simulate, PipelineConfig, SimReport};
+use btb_orgs::trace::{Trace, WorkloadProfile};
+
+fn run(trace: &Trace, cfg: BtbConfig, pipe: &PipelineConfig) -> SimReport {
+    simulate(trace, cfg, pipe.clone())
+}
+
+fn main() {
+    let profile = WorkloadProfile::server("design-space", 1234);
+    let trace = Trace::generate(&profile, 800_000);
+    let pipe = PipelineConfig::paper().with_warmup(200_000);
+
+    println!("--- axis 1: R-BTB branch slots (64 B regions, realistic sizes) ---");
+    for slots in [1usize, 2, 3, 4] {
+        let cfg = BtbConfig::realistic(
+            &format!("R-BTB {slots}BS"),
+            OrgKind::Region {
+                region_bytes: 64,
+                slots,
+                dual_interleave: false,
+            },
+        );
+        let r = run(&trace, cfg, &pipe);
+        println!(
+            "  {slots} slots: IPC {:.3}, L1 occupancy {:.2} used slots/entry",
+            r.ipc(),
+            r.l1_occupancy
+        );
+    }
+
+    println!("--- axis 2: B-BTB splitting ---");
+    for (slots, split) in [(1, false), (1, true), (2, false), (2, true)] {
+        let cfg = BtbConfig::realistic(
+            &format!("B-BTB {slots}BS split={split}"),
+            OrgKind::Block {
+                block_insts: 16,
+                slots,
+                split,
+            },
+        );
+        let r = run(&trace, cfg, &pipe);
+        println!(
+            "  {slots} slots, split={split}: IPC {:.3}, MPKI {:.2}, redundancy {:.3}",
+            r.ipc(),
+            r.stats.mpki(),
+            r.l1_redundancy
+        );
+    }
+
+    println!("--- axis 3: MB-BTB pull policy and reach ---");
+    for (insts, pull) in [
+        (16, PullPolicy::UncondDirect),
+        (16, PullPolicy::CallDirect),
+        (16, PullPolicy::AllBranches),
+        (32, PullPolicy::AllBranches),
+        (64, PullPolicy::AllBranches),
+    ] {
+        let cfg = BtbConfig::realistic(
+            &format!("MB-BTB {insts} {pull:?}"),
+            OrgKind::MultiBlock {
+                block_insts: insts,
+                slots: 3,
+                pull,
+                stability_threshold: 63,
+                allow_last_slot_pull: false,
+            },
+        );
+        let r = run(&trace, cfg, &pipe);
+        println!(
+            "  reach {insts}, {pull:?}: IPC {:.3}, fetch PCs/access {:.2}",
+            r.ipc(),
+            r.stats.fetch_pcs_per_access()
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! Quickstart: generate a small server workload, simulate it with two BTB
+//! organizations and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use btb_orgs::btb::{BtbConfig, OrgKind, PullPolicy};
+use btb_orgs::sim::{simulate, PipelineConfig};
+use btb_orgs::trace::{Trace, TraceStats, WorkloadProfile};
+
+fn main() {
+    // 1. Generate a workload: a mid-size synthetic web server.
+    let profile = WorkloadProfile::server("quickstart-web", 42);
+    let trace = Trace::generate(&profile, 500_000);
+    let stats = TraceStats::compute(&trace.records);
+    println!(
+        "workload: {} insts, {:.1}-inst dynamic basic blocks, {:.0} KB touched",
+        trace.len(),
+        stats.avg_dyn_bb_size,
+        stats.code_footprint_bytes() as f64 / 1024.0
+    );
+
+    // 2. Pick two BTB organizations at the paper's realistic sizes.
+    let ibtb = BtbConfig::realistic(
+        "I-BTB 16",
+        OrgKind::Instruction {
+            width: 16,
+            skip_taken: false,
+        },
+    );
+    let mbbtb = BtbConfig::realistic(
+        "MB-BTB 2BS AllBr",
+        OrgKind::MultiBlock {
+            block_insts: 16,
+            slots: 2,
+            pull: PullPolicy::AllBranches,
+            stability_threshold: 63,
+            allow_last_slot_pull: false,
+        },
+    );
+
+    // 3. Simulate and compare.
+    let pipe = PipelineConfig::paper().with_warmup(100_000);
+    for cfg in [ibtb, mbbtb] {
+        let r = simulate(&trace, cfg, pipe.clone());
+        println!(
+            "{:<18} IPC {:.3}  fetch-PCs/access {:.2}  L1-BTB hitrate {:.1}%  MPKI {:.2}",
+            r.config_name,
+            r.ipc(),
+            r.stats.fetch_pcs_per_access(),
+            100.0 * r.stats.l1_btb_hitrate(),
+            r.stats.mpki()
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Frontend study over a suite of server workloads: sweep the paper's
+//! realistic BTB organizations over several workloads and report the
+//! metrics of Fig. 10 (fetch PCs per access vs geomean relative IPC),
+//! plus hit rates — the workloads the paper's introduction motivates.
+//!
+//! ```text
+//! cargo run --release --example server_frontend_study
+//! BTB_INSTS=2000000 cargo run --release --example server_frontend_study
+//! ```
+
+use btb_orgs::harness::{configs, run_config, run_matrix, Scale, Suite};
+use btb_orgs::sim::PipelineConfig;
+
+fn main() {
+    let mut scale = Scale::from_env();
+    // A lighter default than the full harness so the example is quick.
+    if std::env::var("BTB_INSTS").is_err() {
+        scale = Scale {
+            insts: 600_000,
+            warmup: 150_000,
+            workloads: 6,
+        };
+    }
+    println!(
+        "generating {} workloads x {} instructions ...",
+        scale.workloads, scale.insts
+    );
+    let suite = Suite::generate(scale);
+
+    let base = run_config(&suite, &configs::baseline(), &PipelineConfig::paper());
+    let base_ipc: Vec<f64> = base.iter().map(btb_orgs::sim::SimReport::ipc).collect();
+
+    let cfgs = vec![
+        configs::real_ibtb16(),
+        configs::real_rbtb(3, true),
+        configs::real_bbtb(16, 1, true),
+        configs::real_mbbtb(16, 2, btb_orgs::btb::PullPolicy::AllBranches),
+        configs::real_mbbtb(64, 3, btb_orgs::btb::PullPolicy::AllBranches),
+    ];
+    let matrix = run_matrix(&suite, &cfgs, &PipelineConfig::paper());
+
+    println!(
+        "\n{:<20} {:>10} {:>12} {:>10} {:>10}",
+        "config", "rel. IPC", "fetchPC/acc", "L1 hit%", "MPKI"
+    );
+    for (cfg, reports) in cfgs.iter().zip(&matrix) {
+        let rel: Vec<f64> = reports
+            .iter()
+            .zip(&base_ipc)
+            .map(|(r, b)| r.ipc() / b)
+            .collect();
+        let geo = btb_orgs::harness::aggregate::geomean(&rel);
+        let fpc: f64 = reports
+            .iter()
+            .map(|r| r.stats.fetch_pcs_per_access())
+            .sum::<f64>()
+            / reports.len() as f64;
+        let hit: f64 = reports
+            .iter()
+            .map(|r| r.stats.l1_btb_hitrate())
+            .sum::<f64>()
+            / reports.len() as f64;
+        let mpki: f64 =
+            reports.iter().map(|r| r.stats.mpki()).sum::<f64>() / reports.len() as f64;
+        println!(
+            "{:<20} {:>10.4} {:>12.2} {:>10.1} {:>10.2}",
+            cfg.name,
+            geo,
+            fpc,
+            100.0 * hit,
+            mpki
+        );
+    }
+    println!(
+        "\nExpected shape (paper Fig. 10): MB-BTB variants lead fetch PCs/access,\n\
+         B-BTB 1BS Splt and I-BTB 16 lead IPC in the constrained setting."
+    );
+}

@@ -1,0 +1,63 @@
+//! `btb-orgs` — a reproduction of *"Branch Target Buffer Organizations"*
+//! (Arthur Perais and Rami Sheikh, MICRO 2023).
+//!
+//! This umbrella crate re-exports the workspace's public API:
+//!
+//! * [`trace`] — synthetic server-workload traces (the CVP-1 stand-in);
+//! * [`bpred`] — hashed perceptron, indirect predictor, RAS;
+//! * [`btb`] — the four BTB organizations (I-/R-/B-/MB-BTB) over two-level
+//!   hierarchies: the paper's core contribution;
+//! * [`uarch`] — caches, TLBs, prefetchers, memory hierarchy;
+//! * [`sim`] — the decoupled-fetch cycle simulator;
+//! * [`harness`] — experiments regenerating every table and figure.
+//!
+//! # Quick start
+//! ```
+//! use btb_orgs::btb::{BtbConfig, OrgKind};
+//! use btb_orgs::sim::{simulate, PipelineConfig};
+//! use btb_orgs::trace::{Trace, WorkloadProfile};
+//!
+//! let trace = Trace::generate(&WorkloadProfile::tiny(1), 20_000);
+//! let btb = BtbConfig::ideal(
+//!     "I-BTB 16",
+//!     OrgKind::Instruction { width: 16, skip_taken: false },
+//! );
+//! let report = simulate(&trace, btb, PipelineConfig::paper());
+//! println!("IPC {:.2}", report.ipc());
+//! # assert!(report.ipc() > 0.0);
+//! ```
+//!
+//! See the `examples/` directory for runnable scenarios and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the experiment index.
+
+#![warn(missing_docs)]
+
+/// Synthetic workload traces (re-export of `btb-trace`).
+pub mod trace {
+    pub use btb_trace::*;
+}
+
+/// Branch predictors (re-export of `btb-bpred`).
+pub mod bpred {
+    pub use btb_bpred::*;
+}
+
+/// BTB organizations (re-export of `btb-core`).
+pub mod btb {
+    pub use btb_core::*;
+}
+
+/// Microarchitectural substrates (re-export of `btb-uarch`).
+pub mod uarch {
+    pub use btb_uarch::*;
+}
+
+/// The cycle-level simulator (re-export of `btb-sim`).
+pub mod sim {
+    pub use btb_sim::*;
+}
+
+/// Experiment harness (re-export of `btb-harness`).
+pub mod harness {
+    pub use btb_harness::*;
+}

@@ -1,0 +1,60 @@
+//! Determinism and reproducibility: the whole stack — generation,
+//! simulation, aggregation — must be bit-identical across runs, or the
+//! experiment tables in EXPERIMENTS.md would not be reproducible.
+
+use btb_orgs::harness::{configs, experiments, run_matrix, Scale, Suite};
+use btb_orgs::sim::PipelineConfig;
+use btb_orgs::trace::{read_trace, write_trace, Trace, WorkloadProfile};
+
+fn tiny_scale() -> Scale {
+    Scale {
+        insts: 40_000,
+        warmup: 10_000,
+        workloads: 2,
+    }
+}
+
+#[test]
+fn suite_and_matrix_are_reproducible() {
+    let cfgs = vec![configs::baseline(), configs::real_bbtb(16, 1, true)];
+    let run = || {
+        let suite = Suite::generate(tiny_scale());
+        run_matrix(&suite, &cfgs, &PipelineConfig::paper())
+            .into_iter()
+            .map(|row| row.into_iter().map(|r| r.stats).collect::<Vec<_>>())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn figures_are_reproducible() {
+    let suite = Suite::generate(tiny_scale());
+    let base = experiments::baseline_reports(&suite);
+    let a = experiments::fig10(&suite, &base);
+    let b = experiments::fig10(&suite, &base);
+    assert_eq!(a, b);
+    // And across fresh suites with identical scale.
+    let suite2 = Suite::generate(tiny_scale());
+    let base2 = experiments::baseline_reports(&suite2);
+    let c = experiments::fig10(&suite2, &base2);
+    assert_eq!(a, c);
+}
+
+#[test]
+fn serialized_traces_simulate_identically() {
+    let trace = Trace::generate(&WorkloadProfile::tiny(5), 30_000);
+    let mut bytes = Vec::new();
+    write_trace(&mut bytes, &trace).expect("write");
+    let reloaded = read_trace(bytes.as_slice()).expect("read");
+    let pipe = PipelineConfig::paper().with_warmup(5_000);
+    let a = btb_orgs::sim::simulate(&trace, configs::baseline(), pipe.clone());
+    let b = btb_orgs::sim::simulate(&reloaded, configs::baseline(), pipe);
+    assert_eq!(a.stats, b.stats);
+}
+
+#[test]
+fn workload_names_are_stable() {
+    let suite = Suite::generate(tiny_scale());
+    assert_eq!(suite.names(), vec!["web-small", "web-large"]);
+}

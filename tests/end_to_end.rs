@@ -1,0 +1,159 @@
+//! Cross-crate integration tests: the paper's headline qualitative claims
+//! must hold end-to-end at small scale.
+
+use btb_orgs::btb::PullPolicy;
+use btb_orgs::harness::{configs, run_config, run_matrix, Scale, Suite};
+use btb_orgs::sim::PipelineConfig;
+
+fn suite() -> Suite {
+    Suite::generate(Scale {
+        insts: 120_000,
+        warmup: 30_000,
+        workloads: 3,
+    })
+}
+
+fn geomean_ipc(reports: &[btb_orgs::sim::SimReport]) -> f64 {
+    let v: Vec<f64> = reports.iter().map(btb_orgs::sim::SimReport::ipc).collect();
+    btb_orgs::harness::aggregate::geomean(&v)
+}
+
+#[test]
+fn ideal_baseline_beats_or_matches_realistic() {
+    let s = suite();
+    let pipe = PipelineConfig::paper();
+    let ideal = run_config(&s, &configs::baseline(), &pipe);
+    let real = run_config(&s, &configs::real_ibtb16(), &pipe);
+    assert!(
+        geomean_ipc(&ideal) >= geomean_ipc(&real) * 0.995,
+        "ideal {} < realistic {}",
+        geomean_ipc(&ideal),
+        geomean_ipc(&real)
+    );
+}
+
+#[test]
+fn rbtb_single_slot_is_the_worst_realistic_org() {
+    // Paper §6.1: "with a single branch slot per entry, R-BTB behaves
+    // poorly as cache lines generally feature more than one taken branch".
+    let s = suite();
+    let pipe = PipelineConfig::paper();
+    let r1 = run_config(&s, &configs::real_rbtb(1, false), &pipe);
+    let b1 = run_config(&s, &configs::real_bbtb(16, 1, false), &pipe);
+    let i16 = run_config(&s, &configs::real_ibtb16(), &pipe);
+    assert!(geomean_ipc(&r1) < geomean_ipc(&b1), "R-BTB 1BS must trail B-BTB 1BS");
+    assert!(geomean_ipc(&r1) < geomean_ipc(&i16), "R-BTB 1BS must trail I-BTB 16");
+}
+
+#[test]
+fn splitting_does_not_hurt_single_slot_bbtb() {
+    // Paper §6.5.2: splitting brings +2.6% geomean at 1BS.
+    let s = suite();
+    let pipe = PipelineConfig::paper();
+    let plain = run_config(&s, &configs::real_bbtb(16, 1, false), &pipe);
+    let split = run_config(&s, &configs::real_bbtb(16, 1, true), &pipe);
+    assert!(
+        geomean_ipc(&split) >= geomean_ipc(&plain) * 0.998,
+        "split {} vs plain {}",
+        geomean_ipc(&split),
+        geomean_ipc(&plain)
+    );
+}
+
+#[test]
+fn mbbtb_raises_fetch_pcs_per_access() {
+    // Paper Fig. 10: MB-BTB is "very efficient at improving block
+    // utilization" — more fetch PCs per access than plain B-BTB.
+    let s = suite();
+    let pipe = PipelineConfig::paper();
+    let b = run_config(&s, &configs::real_bbtb(16, 2, false), &pipe);
+    let mb = run_config(
+        &s,
+        &configs::real_mbbtb(16, 2, PullPolicy::AllBranches),
+        &pipe,
+    );
+    let fpc = |rs: &[btb_orgs::sim::SimReport]| {
+        rs.iter()
+            .map(|r| r.stats.fetch_pcs_per_access())
+            .sum::<f64>()
+            / rs.len() as f64
+    };
+    assert!(
+        fpc(&mb) > fpc(&b) * 1.1,
+        "MB-BTB fetch PCs {} should clearly beat B-BTB {}",
+        fpc(&mb),
+        fpc(&b)
+    );
+}
+
+#[test]
+fn wider_pull_policies_pull_no_fewer_fetch_pcs() {
+    let s = suite();
+    let pipe = PipelineConfig::paper();
+    let mut last = 0.0;
+    for pull in [
+        PullPolicy::UncondDirect,
+        PullPolicy::CallDirect,
+        PullPolicy::AllBranches,
+    ] {
+        let reports = run_config(&s, &configs::real_mbbtb(16, 3, pull), &pipe);
+        let fpc = reports
+            .iter()
+            .map(|r| r.stats.fetch_pcs_per_access())
+            .sum::<f64>()
+            / reports.len() as f64;
+        assert!(
+            fpc >= last * 0.97,
+            "{pull:?}: fetch PCs {fpc} dropped well below previous {last}"
+        );
+        last = last.max(fpc);
+    }
+}
+
+#[test]
+fn ibtb_width_ordering_holds() {
+    // Paper §5: I-BTB 8 degrades IPC slightly; Skp improves it slightly.
+    let s = suite();
+    let pipe = PipelineConfig::paper();
+    let i8 = run_config(&s, &configs::ideal_ibtb(8, false), &pipe);
+    let i16 = run_config(&s, &configs::baseline(), &pipe);
+    let skp = run_config(&s, &configs::ideal_ibtb(16, true), &pipe);
+    assert!(geomean_ipc(&i8) <= geomean_ipc(&i16) * 1.005);
+    assert!(geomean_ipc(&skp) >= geomean_ipc(&i16) * 0.995);
+    // And the fetch-PC throughput ordering is strict.
+    let fpc = |rs: &[btb_orgs::sim::SimReport]| {
+        rs.iter()
+            .map(|r| r.stats.fetch_pcs_per_access())
+            .sum::<f64>()
+            / rs.len() as f64
+    };
+    assert!(fpc(&i8) < fpc(&i16));
+    assert!(fpc(&i16) < fpc(&skp));
+}
+
+#[test]
+fn run_matrix_matches_run_config() {
+    let s = suite();
+    let pipe = PipelineConfig::paper();
+    let cfgs = vec![configs::baseline(), configs::real_bbtb(16, 1, true)];
+    let matrix = run_matrix(&s, &cfgs, &pipe);
+    let single = run_config(&s, &cfgs[1], &pipe);
+    for (a, b) in matrix[1].iter().zip(&single) {
+        assert_eq!(a.stats, b.stats, "matrix and single runs must agree");
+    }
+}
+
+#[test]
+fn dual_interleave_rbtb_does_not_regress() {
+    // Paper §6.5.1: 2L1 brings a small gain (0.2-0.5% geomean).
+    let s = suite();
+    let pipe = PipelineConfig::paper();
+    let single = run_config(&s, &configs::real_rbtb(3, false), &pipe);
+    let dual = run_config(&s, &configs::real_rbtb(3, true), &pipe);
+    assert!(
+        geomean_ipc(&dual) >= geomean_ipc(&single) * 0.995,
+        "2L1 {} vs 1L1 {}",
+        geomean_ipc(&dual),
+        geomean_ipc(&single)
+    );
+}

@@ -1,0 +1,161 @@
+//! Property-based integration tests (proptest): generator invariants, BTB
+//! storage invariants and simulator robustness over randomized inputs.
+
+use btb_orgs::btb::{
+    build_btb, BtbConfig, FixedOracle, LevelGeometry, OrgKind, PullPolicy, SetAssoc,
+};
+use btb_orgs::sim::{simulate, PipelineConfig};
+use btb_orgs::trace::{check_control_flow, Trace, TraceStats, WorkloadProfile};
+use proptest::prelude::*;
+
+fn arb_profile() -> impl Strategy<Value = WorkloadProfile> {
+    (
+        0u64..1000,
+        16usize..64,
+        2usize..8,
+        4.0f64..14.0,
+        0.0f64..0.6,
+        0.0f64..0.25,
+        2usize..12,
+        3.0f64..40.0,
+    )
+        .prop_map(
+            |(seed, funcs, handlers, body, never, always, fanout, trip)| {
+                let mut p = WorkloadProfile::tiny(seed);
+                p.num_functions = funcs;
+                p.num_handlers = handlers;
+                p.mean_body_insts = body;
+                p.frac_never_taken = never;
+                p.frac_always_taken = always;
+                p.max_indirect_fanout = fanout;
+                p.mean_loop_trip = trip;
+                p
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generated trace is a sequentially-consistent instruction
+    /// stream: each instruction starts where the previous one ended.
+    #[test]
+    fn generated_traces_are_control_flow_consistent(profile in arb_profile()) {
+        let trace = Trace::generate(&profile, 15_000);
+        prop_assert_eq!(trace.len(), 15_000);
+        prop_assert_eq!(check_control_flow(&trace.records), Ok(()));
+    }
+
+    /// Calls and returns balance, and returns always target call sites + 4.
+    #[test]
+    fn calls_and_returns_balance(profile in arb_profile()) {
+        let trace = Trace::generate(&profile, 15_000);
+        let mut stack = Vec::new();
+        for r in &trace.records {
+            match r.branch_kind() {
+                Some(k) if k.is_call() && r.taken => stack.push(r.pc + 4),
+                Some(btb_orgs::trace::BranchKind::Return) => {
+                    let expected = stack.pop();
+                    prop_assert_eq!(Some(r.target), expected);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// The simulator never panics, produces sane IPC and conserves
+    /// instruction counts on arbitrary workloads and organizations.
+    #[test]
+    fn simulator_is_total_over_random_workloads(
+        profile in arb_profile(),
+        org_pick in 0usize..6,
+    ) {
+        let trace = Trace::generate(&profile, 10_000);
+        let kind = match org_pick {
+            0 => OrgKind::Instruction { width: 16, skip_taken: false },
+            1 => OrgKind::Instruction { width: 8, skip_taken: true },
+            2 => OrgKind::Region { region_bytes: 64, slots: 2, dual_interleave: true },
+            3 => OrgKind::Block { block_insts: 16, slots: 1, split: true },
+            4 => OrgKind::Block { block_insts: 32, slots: 2, split: false },
+            _ => OrgKind::MultiBlock {
+                block_insts: 16,
+                slots: 2,
+                pull: PullPolicy::AllBranches,
+                stability_threshold: 3,
+                allow_last_slot_pull: false,
+            },
+        };
+        let cfg = BtbConfig {
+            name: "prop".into(),
+            kind,
+            l1: LevelGeometry { sets: 32, ways: 2 },
+            l2: Some(LevelGeometry { sets: 128, ways: 4 }),
+            timing: Default::default(),
+        };
+        let report = simulate(&trace, cfg, PipelineConfig::paper());
+        prop_assert_eq!(report.stats.instructions, 10_000);
+        let ipc = report.ipc();
+        prop_assert!(ipc > 0.0 && ipc <= 16.0, "ipc {}", ipc);
+        // Taken-branch accounting must partition into hits and misses.
+        prop_assert!(
+            report.stats.taken_l1_hits + report.stats.taken_l2_hits
+                <= report.stats.taken_branches
+        );
+    }
+
+    /// Set-associative storage behaves like a map bounded by its geometry.
+    #[test]
+    fn setassoc_is_a_bounded_map(ops in proptest::collection::vec((0u64..64, 0u32..100), 1..200)) {
+        let mut sa: SetAssoc<u32> = SetAssoc::new(8, 2);
+        let mut inserted = std::collections::HashMap::new();
+        for (k, v) in ops {
+            sa.insert(k, v);
+            inserted.insert(k, v);
+            prop_assert!(sa.len() <= sa.capacity());
+            // A just-inserted key is always present with its value.
+            prop_assert_eq!(sa.peek(k), Some(&v));
+        }
+        // Every resident entry holds the most recently inserted value.
+        for (k, v) in sa.iter() {
+            prop_assert_eq!(inserted.get(&k), Some(v));
+        }
+    }
+
+    /// Any organization's plan for any address is structurally valid and
+    /// makes progress (non-empty window, next access differs from a stuck
+    /// zero-length loop).
+    #[test]
+    fn plans_are_valid_and_make_progress(
+        pc_raw in 0u64..100_000u64,
+        org_pick in 0usize..4,
+    ) {
+        let pc = (pc_raw / 4) * 4 + 0x1000;
+        let kind = match org_pick {
+            0 => OrgKind::Instruction { width: 16, skip_taken: false },
+            1 => OrgKind::Region { region_bytes: 64, slots: 2, dual_interleave: false },
+            2 => OrgKind::Block { block_insts: 16, slots: 2, split: true },
+            _ => OrgKind::MultiBlock {
+                block_insts: 16,
+                slots: 2,
+                pull: PullPolicy::CallDirect,
+                stability_threshold: 63,
+                allow_last_slot_pull: false,
+            },
+        };
+        let mut btb = build_btb(BtbConfig::ideal("prop", kind));
+        let plan = btb.plan(pc, &mut FixedOracle::default());
+        prop_assert_eq!(plan.validate(), Ok(()));
+        prop_assert!(plan.fetch_pcs() >= 1);
+        prop_assert!(plan.next_pc > pc, "cold plans continue forward");
+    }
+}
+
+#[test]
+fn trace_statistics_are_internally_consistent() {
+    let trace = Trace::generate(&WorkloadProfile::tiny(99), 40_000);
+    let s = TraceStats::compute(&trace.records);
+    assert!(s.taken_branches <= s.branches);
+    assert!(s.branches <= s.instructions);
+    assert!(s.never_taken_cond + s.always_taken_cond <= s.branches);
+    assert!(s.avg_dyn_bb_size >= 1.0);
+}
