@@ -7,15 +7,19 @@ use btb_sim::{simulate, PipelineConfig};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 fn bench(c: &mut Criterion) {
-    c.bench_function("table1", |b| {
-        b.iter(|| experiments::table1())
-    });
+    c.bench_function("table1", |b| b.iter(experiments::table1));
     let suite = bench_suite();
     let mut g = c.benchmark_group("simulator_throughput");
     g.throughput(Throughput::Elements(bench_scale().insts as u64));
     g.sample_size(10);
     g.bench_function("ideal_ibtb16", |b| {
-        b.iter(|| simulate(&suite.traces[0], configs::baseline(), PipelineConfig::paper()));
+        b.iter(|| {
+            simulate(
+                &suite.traces[0],
+                configs::baseline(),
+                PipelineConfig::paper(),
+            )
+        });
     });
     g.bench_function("real_mbbtb_3bs_allbr", |b| {
         b.iter(|| {

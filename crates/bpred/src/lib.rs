@@ -33,7 +33,6 @@ pub use bimodal::Bimodal;
 pub use history::{GlobalHistory, PathHistory, MAX_HISTORY_BITS};
 pub use indirect::IndirectPredictor;
 pub use perceptron::{
-    history_lengths, HashedPerceptron, PerceptronConfig, PerceptronOutput, MAX_HISTORY,
-    NUM_TABLES,
+    history_lengths, HashedPerceptron, PerceptronConfig, PerceptronOutput, MAX_HISTORY, NUM_TABLES,
 };
 pub use ras::ReturnAddressStack;

@@ -120,7 +120,8 @@ impl HashedPerceptron {
             hist.fold(len, self.index_bits.min(32))
         };
         // Mix the PC with a table-specific multiplier so tables decorrelate.
-        let pc_hash = (pc >> 2).wrapping_mul(0x9e37_79b9_7f4a_7c15u64.wrapping_add(table as u64 * 2));
+        let pc_hash =
+            (pc >> 2).wrapping_mul(0x9e37_79b9_7f4a_7c15u64.wrapping_add(table as u64 * 2));
         ((pc_hash ^ folded ^ (folded << 1)) as usize) & ((1 << self.index_bits) - 1)
     }
 
@@ -141,13 +142,7 @@ impl HashedPerceptron {
 
     /// Trains the predictor with the actual outcome. `output` must be the
     /// value returned by [`Self::predict`] for the same branch and history.
-    pub fn update(
-        &mut self,
-        pc: u64,
-        hist: &GlobalHistory,
-        output: PerceptronOutput,
-        taken: bool,
-    ) {
+    pub fn update(&mut self, pc: u64, hist: &GlobalHistory, output: PerceptronOutput, taken: bool) {
         let mispredicted = output.taken != taken;
         if mispredicted || output.sum.abs() <= self.theta {
             for t in 0..NUM_TABLES {
@@ -236,7 +231,7 @@ mod tests {
         let mut big = HashedPerceptron::new(PerceptronConfig::with_size_kb(64));
         let mut small = HashedPerceptron::new(PerceptronConfig::with_size_kb(2));
         let gen = |i: u64| (i / 3) % 7 < 3;
-        let mut acc = |p: &mut HashedPerceptron| {
+        let acc = |p: &mut HashedPerceptron| {
             let mut hist = GlobalHistory::new();
             let mut correct = 0usize;
             let n = 30_000;

@@ -93,11 +93,7 @@ impl BlockBtb {
         pc >> 2
     }
 
-    fn predict_slot(
-        slot: &BSlot,
-        pc: Addr,
-        oracle: &mut dyn PredictionProvider,
-    ) -> (bool, Addr) {
+    fn predict_slot(slot: &BSlot, pc: Addr, oracle: &mut dyn PredictionProvider) -> (bool, Addr) {
         match slot.kind {
             BranchKind::CondDirect => (oracle.predict_cond(pc), slot.target),
             BranchKind::UncondDirect | BranchKind::DirectCall => (true, slot.target),
@@ -143,50 +139,51 @@ impl BlockBtb {
         // The split decision must be consistent across levels: compute it on
         // the shared (authoritative) content, then apply.
         let mut overflow_split: Option<(BSlot, u16)> = None;
-        self.store.update_with(Self::key(start), BEntry::default, |e| {
-            if let Some(s) = e.slots.iter_mut().find(|s| s.offset == offset) {
-                s.kind = kind;
-                s.target = target;
-                s.last_use = tick;
-                return;
-            }
-            let new = BSlot {
-                offset,
-                kind,
-                target,
-                last_use: tick,
-            };
-            let at = e.slots.partition_point(|s| s.offset < offset);
-            if e.slots.len() < max_slots {
-                e.slots.insert(at, new);
-                return;
-            }
-            if split {
-                // §6.3: stage n+1 slots, keep the first n, split after the
-                // n-th slot's instruction; the overflow slot moves to the
-                // successor entry.
-                let mut staging = e.slots.clone();
-                staging.insert(at, new);
-                let moved = staging.pop().expect("staging has n+1 slots");
-                let split_at = staging.last().expect("n >= 1").offset + 1;
-                e.slots = staging;
-                e.split_len = Some(split_at);
-                overflow_split = Some((moved, split_at));
-            } else {
-                // Baseline: displace the LRU slot (§6.3 "information is
-                // lost").
-                let victim = e
-                    .slots
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, s)| s.last_use)
-                    .map(|(i, _)| i)
-                    .expect("slots non-empty");
-                e.slots.remove(victim);
+        self.store
+            .update_with(Self::key(start), BEntry::default, |e| {
+                if let Some(s) = e.slots.iter_mut().find(|s| s.offset == offset) {
+                    s.kind = kind;
+                    s.target = target;
+                    s.last_use = tick;
+                    return;
+                }
+                let new = BSlot {
+                    offset,
+                    kind,
+                    target,
+                    last_use: tick,
+                };
                 let at = e.slots.partition_point(|s| s.offset < offset);
-                e.slots.insert(at, new);
-            }
-        });
+                if e.slots.len() < max_slots {
+                    e.slots.insert(at, new);
+                    return;
+                }
+                if split {
+                    // §6.3: stage n+1 slots, keep the first n, split after the
+                    // n-th slot's instruction; the overflow slot moves to the
+                    // successor entry.
+                    let mut staging = e.slots.clone();
+                    staging.insert(at, new);
+                    let moved = staging.pop().expect("staging has n+1 slots");
+                    let split_at = staging.last().expect("n >= 1").offset + 1;
+                    e.slots = staging;
+                    e.split_len = Some(split_at);
+                    overflow_split = Some((moved, split_at));
+                } else {
+                    // Baseline: displace the LRU slot (§6.3 "information is
+                    // lost").
+                    let victim = e
+                        .slots
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, s)| s.last_use)
+                        .map(|(i, _)| i)
+                        .expect("slots non-empty");
+                    e.slots.remove(victim);
+                    let at = e.slots.partition_point(|s| s.offset < offset);
+                    e.slots.insert(at, new);
+                }
+            });
         if let Some((moved, split_at)) = overflow_split {
             let succ_start = start + u64::from(split_at) * INST_BYTES;
             let rebased = BSlot {
@@ -371,7 +368,7 @@ mod tests {
         b.update(&taken(0x1000, BranchKind::UncondDirect, 0x2000));
         b.update(&taken(0x2008, BranchKind::CondDirect, 0x4000)); // taken once
         b.update(&taken(0x4000, BranchKind::UncondDirect, 0x2000)); // back
-        // Not taken this time: stays in block 0x2000, next taken at 0x2014.
+                                                                    // Not taken this time: stays in block 0x2000, next taken at 0x2014.
         b.update(&not_taken(0x2008, 0x4000));
         b.update(&taken(0x2014, BranchKind::UncondDirect, 0x5000));
         // Entry 0x2000 should now track both branches.

@@ -275,9 +275,7 @@ impl HeteroBtb {
                 ..moved
             };
             let (e, _evicted) = self.l1.get_or_insert_with(succ >> 2, BEntry::default);
-            if !e.slots.iter().any(|s| s.offset == rebased.offset)
-                && e.slots.len() < max_slots
-            {
+            if !e.slots.iter().any(|s| s.offset == rebased.offset) && e.slots.len() < max_slots {
                 let at = e.slots.partition_point(|s| s.offset < rebased.offset);
                 e.slots.insert(at, rebased);
             }
@@ -445,7 +443,10 @@ mod tests {
         b.update(&taken(0x5000, BranchKind::UncondDirect, 0x1010));
         b.update(&taken(0x1020, BranchKind::CondDirect, 0x5000));
         let ins = b.inspect();
-        assert!((ins.l2.redundancy() - 1.0).abs() < 1e-9, "region L2 is deduplicated");
+        assert!(
+            (ins.l2.redundancy() - 1.0).abs() < 1e-9,
+            "region L2 is deduplicated"
+        );
     }
 
     #[test]
@@ -467,7 +468,12 @@ mod tests {
         b.update(&taken(0x1000, BranchKind::UncondDirect, 0x2000));
         b.update(&taken(0x2004, BranchKind::CondDirect, 0x3000));
         b.update(&taken(0x3000, BranchKind::UncondDirect, 0x2000));
-        b.update(&TraceRecord::branch(0x2004, BranchKind::CondDirect, false, 0x3000));
+        b.update(&TraceRecord::branch(
+            0x2004,
+            BranchKind::CondDirect,
+            false,
+            0x3000,
+        ));
         b.update(&taken(0x2010, BranchKind::UncondDirect, 0x4000));
         let p = b.plan(0x2000, &mut FixedOracle::default());
         assert_eq!(p.next_pc, 0x2008, "split fall-through");

@@ -368,8 +368,8 @@ mod tests {
         let mut b = InstructionBtb::new(config);
         b.update(&taken(0x1000, BranchKind::UncondDirect, 0x2000));
         b.update(&taken(0x2000, BranchKind::UncondDirect, 0x1000)); // evicts from L1
-        // Preload of the 0x1000 region brings the entry back to L1: the
-        // next plan is a 0-bubble L1 hit.
+                                                                    // Preload of the 0x1000 region brings the entry back to L1: the
+                                                                    // next plan is a 0-bubble L1 hit.
         b.preload(0x1000);
         let p = b.plan(0x1000, &mut FixedOracle::default());
         assert_eq!(p.bubbles, 0, "preloaded entry must be an L1 hit");
@@ -385,6 +385,9 @@ mod tests {
         let ins = b.inspect();
         assert_eq!(ins.l1.entries, 10);
         assert_eq!(ins.l1.distinct_branches, 10);
-        assert!((ins.l1.redundancy() - 1.0).abs() < 1e-9, "I-BTB never redundant");
+        assert!(
+            (ins.l1.redundancy() - 1.0).abs() < 1e-9,
+            "I-BTB never redundant"
+        );
     }
 }

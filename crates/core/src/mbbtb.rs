@@ -264,11 +264,11 @@ impl MultiBlockBtb {
                     // Overflow: truncate the chain from its youngest slot,
                     // freeing one slot, keeping the early chain intact.
                     let victim = e.slots.pop().expect("slots at capacity");
-                    let last_blk = e
-                        .slots
-                        .last()
-                        .map_or(0, |s| s.blk)
-                        .max(if victim.blk > 0 { victim.blk - 1 } else { 0 });
+                    let last_blk = e.slots.last().map_or(0, |s| s.blk).max(if victim.blk > 0 {
+                        victim.blk - 1
+                    } else {
+                        0
+                    });
                     // Blocks beyond the remaining slots are unreachable.
                     let keep = usize::from(
                         e.slots
@@ -537,9 +537,7 @@ impl BtbOrganization for MultiBlockBtb {
         let Some(kind) = rec.branch_kind() else {
             return;
         };
-        let (mut anchor, mut blk, mut blk_start) = self
-            .walker
-            .unwrap_or((rec.pc, 0, rec.pc));
+        let (mut anchor, mut blk, mut blk_start) = self.walker.unwrap_or((rec.pc, 0, rec.pc));
         if rec.pc < blk_start {
             // Desynchronized (first record); re-anchor.
             anchor = rec.pc;
@@ -815,7 +813,7 @@ mod tests {
         // fixed, indirect targets vary.
         let mut meta: HashMap<u64, (BranchKind, u64)> = HashMap::new();
         for _ in 0..5000 {
-            let pc = pcs[rng.gen_range(0..pcs.len())] + rng.gen_range(0..8) * 4;
+            let pc = pcs[rng.gen_range(0..pcs.len())] + rng.gen_range(0..8u64) * 4;
             let fallback = (
                 kinds[rng.gen_range(0..kinds.len())],
                 pcs[rng.gen_range(0..pcs.len())],

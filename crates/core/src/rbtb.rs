@@ -78,11 +78,7 @@ impl RegionBtb {
         region / self.region_bytes
     }
 
-    fn predict_slot(
-        slot: &RSlot,
-        pc: Addr,
-        oracle: &mut dyn PredictionProvider,
-    ) -> (bool, Addr) {
+    fn predict_slot(slot: &RSlot, pc: Addr, oracle: &mut dyn PredictionProvider) -> (bool, Addr) {
         match slot.kind {
             BranchKind::CondDirect => (oracle.predict_cond(pc), slot.target),
             BranchKind::UncondDirect | BranchKind::DirectCall => (true, slot.target),
@@ -174,36 +170,37 @@ impl BtbOrganization for RegionBtb {
         let offset = ((rec.pc - region) / INST_BYTES) as u16;
         let target = rec.target;
         let max_slots = self.slots;
-        self.store.update_with(self.key(region), REntry::default, |e| {
-            if let Some(s) = e.slots.iter_mut().find(|s| s.offset == offset) {
-                s.kind = kind;
-                s.target = target;
-                s.last_use = tick;
-                return;
-            }
-            let new = RSlot {
-                offset,
-                kind,
-                target,
-                last_use: tick,
-            };
-            if e.slots.len() < max_slots {
-                let at = e.slots.partition_point(|s| s.offset < offset);
-                e.slots.insert(at, new);
-            } else {
-                // Slot pressure (§3.5): displace the LRU slot.
-                let victim = e
-                    .slots
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, s)| s.last_use)
-                    .map(|(i, _)| i)
-                    .expect("slots non-empty");
-                e.slots.remove(victim);
-                let at = e.slots.partition_point(|s| s.offset < offset);
-                e.slots.insert(at, new);
-            }
-        });
+        self.store
+            .update_with(self.key(region), REntry::default, |e| {
+                if let Some(s) = e.slots.iter_mut().find(|s| s.offset == offset) {
+                    s.kind = kind;
+                    s.target = target;
+                    s.last_use = tick;
+                    return;
+                }
+                let new = RSlot {
+                    offset,
+                    kind,
+                    target,
+                    last_use: tick,
+                };
+                if e.slots.len() < max_slots {
+                    let at = e.slots.partition_point(|s| s.offset < offset);
+                    e.slots.insert(at, new);
+                } else {
+                    // Slot pressure (§3.5): displace the LRU slot.
+                    let victim = e
+                        .slots
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, s)| s.last_use)
+                        .map(|(i, _)| i)
+                        .expect("slots non-empty");
+                    e.slots.remove(victim);
+                    let at = e.slots.partition_point(|s| s.offset < offset);
+                    e.slots.insert(at, new);
+                }
+            });
     }
 
     fn preload(&mut self, pc: Addr) {
@@ -336,7 +333,10 @@ mod tests {
         b.update(&taken(0x1040, BranchKind::UncondDirect, 0x3000));
         let ins = b.inspect();
         assert_eq!(ins.l1.entries, 2);
-        assert!((ins.l1.redundancy() - 1.0).abs() < 1e-9, "R-BTB never redundant");
+        assert!(
+            (ins.l1.redundancy() - 1.0).abs() < 1e-9,
+            "R-BTB never redundant"
+        );
     }
 
     #[test]

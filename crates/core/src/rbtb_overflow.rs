@@ -186,44 +186,42 @@ impl BtbOrganization for RegionOverflowBtb {
         let max_slots = self.slots;
         // If the branch already lives in the overflow table, refresh there.
         if self.overflow.get_mut(rec.pc >> 2).is_some() {
-            self.overflow.insert(
-                rec.pc >> 2,
-                OvfEntry { kind, target },
-            );
+            self.overflow.insert(rec.pc >> 2, OvfEntry { kind, target });
             return;
         }
         let mut spill: Option<(Addr, RSlot)> = None;
-        self.store.update_with(self.key(region), REntry::default, |e| {
-            if let Some(s) = e.slots.iter_mut().find(|s| s.offset == offset) {
-                s.kind = kind;
-                s.target = target;
-                s.last_use = tick;
-                return;
-            }
-            let new = RSlot {
-                offset,
-                kind,
-                target,
-                last_use: tick,
-            };
-            let at = e.slots.partition_point(|s| s.offset < offset);
-            if e.slots.len() < max_slots {
+        self.store
+            .update_with(self.key(region), REntry::default, |e| {
+                if let Some(s) = e.slots.iter_mut().find(|s| s.offset == offset) {
+                    s.kind = kind;
+                    s.target = target;
+                    s.last_use = tick;
+                    return;
+                }
+                let new = RSlot {
+                    offset,
+                    kind,
+                    target,
+                    last_use: tick,
+                };
+                let at = e.slots.partition_point(|s| s.offset < offset);
+                if e.slots.len() < max_slots {
+                    e.slots.insert(at, new);
+                    return;
+                }
+                // Spill the LRU slot to the shared overflow table.
+                let victim_idx = e
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, s)| s.last_use)
+                    .map(|(i, _)| i)
+                    .expect("non-empty");
+                let victim = e.slots.remove(victim_idx);
+                let at = e.slots.partition_point(|s| s.offset < offset);
                 e.slots.insert(at, new);
-                return;
-            }
-            // Spill the LRU slot to the shared overflow table.
-            let victim_idx = e
-                .slots
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, s)| s.last_use)
-                .map(|(i, _)| i)
-                .expect("non-empty");
-            let victim = e.slots.remove(victim_idx);
-            let at = e.slots.partition_point(|s| s.offset < offset);
-            e.slots.insert(at, new);
-            spill = Some((region, victim));
-        });
+                spill = Some((region, victim));
+            });
         if let Some((region, victim)) = spill {
             let victim_pc = region + u64::from(victim.offset) * INST_BYTES;
             self.overflow.insert(
@@ -316,7 +314,7 @@ mod tests {
         let mut b = ovf(1);
         b.update(&taken(0x1000, BranchKind::IndirectJump, 0x2000));
         b.update(&taken(0x1010, BranchKind::UncondDirect, 0x3000)); // spills 0x1000
-        // The spilled indirect branch retargets; the overflow copy updates.
+                                                                    // The spilled indirect branch retargets; the overflow copy updates.
         b.update(&taken(0x1000, BranchKind::IndirectJump, 0x5000));
         let p = b.plan(0x1000, &mut FixedOracle::default());
         assert_eq!(p.next_pc, 0x5000);
@@ -327,8 +325,8 @@ mod tests {
         let mut b = ovf(1);
         b.update(&taken(0x1010, BranchKind::UncondDirect, 0x2000));
         b.update(&taken(0x1004, BranchKind::UncondDirect, 0x3000)); // spills 0x1010
-        // From 0x1000, the earliest branch (0x1004, in-entry) must win even
-        // though 0x1010 sits in overflow.
+                                                                    // From 0x1000, the earliest branch (0x1004, in-entry) must win even
+                                                                    // though 0x1010 sits in overflow.
         let p = b.plan(0x1000, &mut FixedOracle::default());
         assert_eq!(p.next_pc, 0x3000);
     }

@@ -28,7 +28,10 @@ impl<E> SetAssoc<E> {
     /// Panics if `sets` is not a power of two or either dimension is zero.
     #[must_use]
     pub fn new(sets: usize, ways: usize) -> Self {
-        assert!(sets > 0 && sets.is_power_of_two(), "sets must be a power of two");
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "sets must be a power of two"
+        );
         assert!(ways > 0, "ways must be non-zero");
         let mut entries = Vec::new();
         entries.resize_with(sets * ways, || None);
@@ -176,10 +179,7 @@ impl<E> SetAssoc<E> {
 
     /// Iterates over all valid `(key, entry)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &E)> {
-        self.entries
-            .iter()
-            .flatten()
-            .map(|w| (w.key, &w.data))
+        self.entries.iter().flatten().map(|w| (w.key, &w.data))
     }
 
     /// Number of valid entries.

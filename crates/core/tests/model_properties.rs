@@ -2,15 +2,16 @@
 //! *control-flow-consistent* branch streams must keep every structural
 //! invariant, and plans must stay within their organizational windows.
 
-use btb_core::{
-    build_btb, BtbConfig, FixedOracle, LevelGeometry, OrgKind, PullPolicy,
-};
+use btb_core::{build_btb, BtbConfig, FixedOracle, LevelGeometry, OrgKind, PullPolicy};
 use btb_trace::{BranchKind, TraceRecord, INST_BYTES};
 use proptest::prelude::*;
 
 /// A compact encoding of a synthetic branch site.
 #[derive(Debug, Clone, Copy)]
 struct Site {
+    // Generated for realism but superseded by the forward-walk placement
+    // in `stream`; kept so site tuples stay self-describing.
+    #[allow(dead_code)]
     pc: u64,
     kind: BranchKind,
     target: u64,
@@ -63,7 +64,13 @@ fn orgs_under_test() -> Vec<BtbConfig> {
         timing: Default::default(),
     };
     vec![
-        tiny("i", OrgKind::Instruction { width: 16, skip_taken: false }),
+        tiny(
+            "i",
+            OrgKind::Instruction {
+                width: 16,
+                skip_taken: false,
+            },
+        ),
         tiny(
             "r",
             OrgKind::Region {

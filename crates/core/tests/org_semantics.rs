@@ -213,7 +213,11 @@ fn skp_always_fills_its_width() {
     ));
     // A chain of one-instruction blocks: every instruction is a taken jump.
     for i in 0..32u64 {
-        btb.update(&taken(0x1000 + i * 4, BranchKind::UncondDirect, 0x1000 + (i + 1) * 4));
+        btb.update(&taken(
+            0x1000 + i * 4,
+            BranchKind::UncondDirect,
+            0x1000 + (i + 1) * 4,
+        ));
     }
     let plan = btb.plan(0x1000, &mut FixedOracle::default());
     assert_eq!(plan.fetch_pcs(), 16);

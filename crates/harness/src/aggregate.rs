@@ -5,7 +5,11 @@
 /// skipped).
 #[must_use]
 pub fn geomean(values: &[f64]) -> f64 {
-    let logs: Vec<f64> = values.iter().filter(|v| **v > 0.0).map(|v| v.ln()).collect();
+    let logs: Vec<f64> = values
+        .iter()
+        .filter(|v| **v > 0.0)
+        .map(|v| v.ln())
+        .collect();
     if logs.is_empty() {
         return 0.0;
     }

@@ -1,19 +1,247 @@
-//! Regenerates the paper's tables and figures. Usage:
-//! `figures <table1|fig4|fig5|fig7|fig8|fig9|fig10|fig11a|fig11b|stats|ablations|all>`
+//! Regenerates the paper's tables and figures, optionally backed by a
+//! persistent content-addressed artifact store (`btb-store`).
+//!
+//! ```text
+//! figures fig4                         # one experiment, in-memory
+//! figures all --store                  # everything, cached in .btb-store
+//! figures all --store /tmp/cache --json out/   # + JSON export per figure
+//! figures store stats --store         # store maintenance
+//! figures --list                       # enumerate experiment names
+//! ```
 
-use btb_harness::{experiments, Scale, Suite};
+use btb_harness::{experiments, install_store, Figure, Scale, Suite};
+use btb_store::Store;
+use std::path::PathBuf;
 use std::time::Instant;
+
+/// Every experiment, in `all` execution order.
+const EXPERIMENTS: &[&str] = &[
+    "table1",
+    "stats",
+    "fig4",
+    "fig5",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11a",
+    "fig11b",
+    "ablations",
+    "hetero",
+    "preload",
+    "turnaround",
+];
+
+fn usage() -> String {
+    format!(
+        "\
+usage: figures [OPTIONS] <EXPERIMENT>... | all
+       figures store <stats|gc [MAX_AGE_DAYS]> [--store [DIR]]
+       figures --list
+
+experiments: {}
+
+options:
+  --store [DIR]   cache traces and simulation reports in a persistent
+                  content-addressed store (default: $BTB_STORE or .btb-store)
+  --json DIR      additionally write each figure as DIR/<id>.json
+  --list          list experiment names, one per line, and exit
+  -h, --help      show this message
+
+scale is controlled by BTB_INSTS / BTB_WARMUP / BTB_WORKLOADS",
+        EXPERIMENTS.join(" ")
+    )
+}
+
+fn default_store_dir() -> PathBuf {
+    std::env::var_os("BTB_STORE").map_or_else(|| PathBuf::from(".btb-store"), PathBuf::from)
+}
+
+struct Cli {
+    store_dir: Option<PathBuf>,
+    json_dir: Option<PathBuf>,
+    selected: Vec<&'static str>,
+    maintenance: Option<Maintenance>,
+}
+
+enum Maintenance {
+    Stats,
+    Gc { max_age_days: u64 },
+}
+
+fn exit_usage(problem: &str) -> ! {
+    eprintln!("figures: {problem}\n\n{}", usage());
+    std::process::exit(2);
+}
+
+fn parse_cli(args: &[String]) -> Cli {
+    let mut cli = Cli {
+        store_dir: None,
+        json_dir: None,
+        selected: Vec::new(),
+        maintenance: None,
+    };
+    let canonical = |name: &str| EXPERIMENTS.iter().find(|e| **e == name).copied();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        match arg {
+            "-h" | "--help" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            "--list" => {
+                for e in EXPERIMENTS {
+                    println!("{e}");
+                }
+                std::process::exit(0);
+            }
+            "--store" => {
+                // The directory operand is optional: consume the next token
+                // unless it is a flag, an experiment name, or a subcommand.
+                let next = args.get(i + 1).map(String::as_str);
+                let consumes = next.is_some_and(|n| {
+                    !n.starts_with('-') && canonical(n).is_none() && n != "all" && n != "store"
+                });
+                cli.store_dir = Some(if consumes {
+                    i += 1;
+                    PathBuf::from(&args[i])
+                } else {
+                    default_store_dir()
+                });
+            }
+            "--json" => {
+                let Some(dir) = args.get(i + 1) else {
+                    exit_usage("--json requires a directory");
+                };
+                i += 1;
+                cli.json_dir = Some(PathBuf::from(dir));
+            }
+            "store" if cli.maintenance.is_none() && cli.selected.is_empty() => {
+                let Some(op) = args.get(i + 1) else {
+                    exit_usage("store requires a subcommand: stats or gc");
+                };
+                i += 1;
+                cli.maintenance = Some(match op.as_str() {
+                    "stats" => Maintenance::Stats,
+                    "gc" => {
+                        let mut max_age_days = 30;
+                        if let Some(days) = args.get(i + 1).and_then(|d| d.parse().ok()) {
+                            i += 1;
+                            max_age_days = days;
+                        }
+                        Maintenance::Gc { max_age_days }
+                    }
+                    other => exit_usage(&format!("unknown store subcommand: {other}")),
+                });
+            }
+            "all" => cli.selected = EXPERIMENTS.to_vec(),
+            name => match canonical(name) {
+                Some(e) if !cli.selected.contains(&e) => cli.selected.push(e),
+                Some(_) => {}
+                None => exit_usage(&format!("unknown experiment: {name}")),
+            },
+        }
+        i += 1;
+    }
+    if cli.selected.is_empty() && cli.maintenance.is_none() {
+        exit_usage("no experiment selected");
+    }
+    cli
+}
+
+fn open_store(dir: PathBuf) -> Store {
+    match Store::open(&dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("figures: cannot open store at {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run_maintenance(op: &Maintenance, dir: PathBuf) -> ! {
+    let store = open_store(dir);
+    match op {
+        Maintenance::Stats => match store.stats() {
+            Ok(s) => {
+                println!("store: {}", store.root().display());
+                println!(
+                    "  traces:     {:>6} objects  {:>12} bytes",
+                    s.trace_objects, s.trace_bytes
+                );
+                println!(
+                    "  reports:    {:>6} objects  {:>12} bytes",
+                    s.report_objects, s.report_bytes
+                );
+                if s.unreadable_objects > 0 {
+                    println!("  unreadable: {:>6} objects", s.unreadable_objects);
+                }
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("figures: store stats failed: {e}");
+                std::process::exit(1);
+            }
+        },
+        Maintenance::Gc { max_age_days } => {
+            let max_age = std::time::Duration::from_secs(max_age_days * 24 * 60 * 60);
+            match store.gc(max_age) {
+                Ok(o) => {
+                    println!(
+                        "gc: removed {} objects ({} bytes), kept {}",
+                        o.removed_objects, o.removed_bytes, o.kept_objects
+                    );
+                    std::process::exit(0);
+                }
+                Err(e) => {
+                    eprintln!("figures: store gc failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+}
+
+/// Drains and reports the store's hit/miss counters for one phase.
+fn report_counters(store: Option<&Store>, phase: &str) {
+    if let Some(store) = store {
+        let c = store.take_counters();
+        if !c.is_empty() {
+            eprintln!("# {phase} cache: {c}");
+        }
+    }
+}
+
+fn export_json(dir: &PathBuf, fig: &Figure) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("figures: cannot create {}: {e}", dir.display());
+        std::process::exit(1);
+    }
+    let path = dir.join(format!("{}.json", fig.id));
+    if let Err(e) = std::fs::write(&path, fig.to_json().to_pretty_string()) {
+        eprintln!("figures: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    eprintln!("# wrote {}", path.display());
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let which: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        vec![
-            "table1", "stats", "fig4", "fig5", "fig7", "fig8", "fig9", "fig10", "fig11a",
-            "fig11b", "ablations", "hetero", "preload", "turnaround",
-        ]
-    } else {
-        args.iter().map(String::as_str).collect()
-    };
+    let cli = parse_cli(&args);
+
+    if let Some(op) = &cli.maintenance {
+        run_maintenance(op, cli.store_dir.unwrap_or_else(default_store_dir));
+    }
+
+    let store: Option<&Store> = cli.store_dir.map(|dir| {
+        let store = install_store(open_store(dir)).unwrap_or_else(|_| {
+            eprintln!("figures: ambient store already installed");
+            std::process::exit(1);
+        });
+        eprintln!("# store: {}", store.root().display());
+        store
+    });
 
     let scale = Scale::from_env();
     eprintln!(
@@ -21,58 +249,68 @@ fn main() {
         scale.insts, scale.warmup, scale.workloads
     );
     let t0 = Instant::now();
-    let needs_suite = which.iter().any(|w| *w != "table1");
+    let needs_suite = cli.selected.iter().any(|w| *w != "table1");
     let suite = if needs_suite {
+        // Suite::generate consults the ambient store installed above.
         Some(Suite::generate(scale))
     } else {
         None
     };
     if suite.is_some() {
         eprintln!("# suite generated in {:?}", t0.elapsed());
+        report_counters(store, "suite");
     }
-    let needs_base = which
-        .iter()
-        .any(|w| matches!(*w, "fig4" | "fig5" | "fig7" | "fig8" | "fig9" | "fig10" | "ablations" | "hetero" | "preload" | "turnaround"));
+    let needs_base = cli.selected.iter().any(|w| {
+        matches!(
+            *w,
+            "fig4"
+                | "fig5"
+                | "fig7"
+                | "fig8"
+                | "fig9"
+                | "fig10"
+                | "ablations"
+                | "hetero"
+                | "preload"
+                | "turnaround"
+        )
+    });
     let base = if needs_base {
         let t = Instant::now();
         let b = experiments::baseline_reports(suite.as_ref().expect("suite"));
         eprintln!("# baseline in {:?}", t.elapsed());
+        report_counters(store, "baseline");
         Some(b)
     } else {
         None
     };
 
-    for w in which {
+    for w in cli.selected {
         let t = Instant::now();
+        let suite = || suite.as_ref().expect("suite generated above");
+        let base = || base.as_ref().expect("baseline computed above");
         let fig = match w {
             "table1" => experiments::table1(),
-            "stats" => experiments::workload_stats(suite.as_ref().expect("suite")),
-            "fig4" => experiments::fig4(suite.as_ref().expect("suite"), base.as_ref().expect("base")),
-            "fig5" => experiments::fig5(suite.as_ref().expect("suite"), base.as_ref().expect("base")),
-            "fig7" => experiments::fig7(suite.as_ref().expect("suite"), base.as_ref().expect("base")),
-            "fig8" => experiments::fig8(suite.as_ref().expect("suite"), base.as_ref().expect("base")),
-            "fig9" => experiments::fig9(suite.as_ref().expect("suite"), base.as_ref().expect("base")),
-            "fig10" => experiments::fig10(suite.as_ref().expect("suite"), base.as_ref().expect("base")),
-            "fig11a" => experiments::fig11a(suite.as_ref().expect("suite")),
-            "fig11b" => experiments::fig11b(suite.as_ref().expect("suite")),
-            "ablations" => {
-                experiments::ablations(suite.as_ref().expect("suite"), base.as_ref().expect("base"))
-            }
-            "hetero" => {
-                experiments::hetero(suite.as_ref().expect("suite"), base.as_ref().expect("base"))
-            }
-            "preload" => {
-                experiments::preload(suite.as_ref().expect("suite"), base.as_ref().expect("base"))
-            }
-            "turnaround" => {
-                experiments::turnaround(suite.as_ref().expect("suite"), base.as_ref().expect("base"))
-            }
-            other => {
-                eprintln!("unknown experiment: {other}");
-                std::process::exit(2);
-            }
+            "stats" => experiments::workload_stats(suite()),
+            "fig4" => experiments::fig4(suite(), base()),
+            "fig5" => experiments::fig5(suite(), base()),
+            "fig7" => experiments::fig7(suite(), base()),
+            "fig8" => experiments::fig8(suite(), base()),
+            "fig9" => experiments::fig9(suite(), base()),
+            "fig10" => experiments::fig10(suite(), base()),
+            "fig11a" => experiments::fig11a(suite()),
+            "fig11b" => experiments::fig11b(suite()),
+            "ablations" => experiments::ablations(suite(), base()),
+            "hetero" => experiments::hetero(suite(), base()),
+            "preload" => experiments::preload(suite(), base()),
+            "turnaround" => experiments::turnaround(suite(), base()),
+            other => unreachable!("parse_cli admits only known experiments, got {other}"),
         };
         println!("{fig}");
         eprintln!("# {w} in {:?}", t.elapsed());
+        report_counters(store, w);
+        if let Some(dir) = &cli.json_dir {
+            export_json(dir, &fig);
+        }
     }
 }

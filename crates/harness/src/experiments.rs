@@ -76,7 +76,10 @@ pub fn table1() -> Figure {
     add("IQ entries", c.iq_entries as f64);
     add("LQ entries", c.lq_entries as f64);
     add("SQ entries", c.sq_entries as f64);
-    add("misc/load/store ports", (c.misc_ports * 100 + c.load_ports * 10 + c.store_ports) as f64);
+    add(
+        "misc/load/store ports",
+        (c.misc_ports * 100 + c.load_ports * 10 + c.store_ports) as f64,
+    );
     add("perceptron bytes", c.perceptron.storage_bytes() as f64);
     add("indirect predictor entries", c.indirect_entries as f64);
     add("RAS entries", c.ras_entries as f64);
@@ -149,7 +152,12 @@ pub fn fig5(suite: &Suite, base: &[SimReport]) -> Figure {
          MPKI {:.2} (paper: 5.91); L1 redundancy {:.3} (paper: 1.04)",
         100.0 * mean(bbtb1, |r| r.stats.l1_btb_hitrate()),
         100.0 * mean(bbtb1, |r| r.stats.l2_btb_hitrate()),
-        geomean(&bbtb1.iter().map(|r| r.stats.mpki().max(1e-6)).collect::<Vec<_>>()),
+        geomean(
+            &bbtb1
+                .iter()
+                .map(|r| r.stats.mpki().max(1e-6))
+                .collect::<Vec<_>>()
+        ),
         mean(bbtb1, |r| r.l1_redundancy),
     ));
     fig
@@ -243,7 +251,10 @@ pub fn fig10(suite: &Suite, base: &[SimReport]) -> Figure {
         let rel = ratios(&ipcs(reports), &base_ipc);
         fig.rows.push(Row {
             label: cfg.name.clone(),
-            cells: vec![mean(reports, |r| r.stats.fetch_pcs_per_access()), geomean(&rel)],
+            cells: vec![
+                mean(reports, |r| r.stats.fetch_pcs_per_access()),
+                geomean(&rel),
+            ],
         });
     }
     fig.notes.push(
@@ -264,13 +275,7 @@ pub fn fig11a(suite: &Suite) -> Figure {
     let mut rows: Vec<(f64, String, f64)> = base
         .iter()
         .zip(&mb)
-        .map(|(b, m)| {
-            (
-                b.stats.dyn_bb_size(),
-                b.workload.clone(),
-                m.ipc() / b.ipc(),
-            )
-        })
+        .map(|(b, m)| (b.stats.dyn_bb_size(), b.workload.clone(), m.ipc() / b.ipc()))
         .collect();
     rows.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaNs"));
     let mut fig = Figure::new(
@@ -306,7 +311,11 @@ pub fn fig11b(suite: &Suite) -> Figure {
         let pipe = PipelineConfig::paper().with_predictor_kb(kb);
         let base = run_config(suite, &configs::baseline(), &pipe);
         let mb = run_config(suite, &configs::ideal_mbbtb64_allbr(), &pipe);
-        let speedups: Vec<f64> = base.iter().zip(&mb).map(|(b, m)| m.ipc() / b.ipc()).collect();
+        let speedups: Vec<f64> = base
+            .iter()
+            .zip(&mb)
+            .map(|(b, m)| m.ipc() / b.ipc())
+            .collect();
         let mpki = mean(&base, |r| r.stats.mpki());
         let w = Whisker::from_values(&speedups);
         fig.rows.push(Row {

@@ -40,6 +40,38 @@ impl Figure {
         }
     }
 
+    /// Structured JSON export (`figures --json`): the full figure —
+    /// id, title, columns, labelled rows and notes — as a machine-readable
+    /// object. Non-finite cells become JSON `null`.
+    #[must_use]
+    pub fn to_json(&self) -> btb_store::JsonValue {
+        use btb_store::JsonValue;
+        JsonValue::Object(vec![
+            ("id".to_owned(), JsonValue::string(&self.id)),
+            ("title".to_owned(), JsonValue::string(&self.title)),
+            (
+                "columns".to_owned(),
+                JsonValue::array(self.columns.iter().map(JsonValue::string)),
+            ),
+            (
+                "rows".to_owned(),
+                JsonValue::array(self.rows.iter().map(|r| {
+                    JsonValue::Object(vec![
+                        ("label".to_owned(), JsonValue::string(&r.label)),
+                        (
+                            "cells".to_owned(),
+                            JsonValue::array(r.cells.iter().map(|&v| JsonValue::number(v))),
+                        ),
+                    ])
+                })),
+            ),
+            (
+                "notes".to_owned(),
+                JsonValue::array(self.notes.iter().map(JsonValue::string)),
+            ),
+        ])
+    }
+
     /// Tab-separated export (header + rows).
     #[must_use]
     pub fn to_tsv(&self) -> String {

@@ -23,4 +23,6 @@ mod figure;
 pub mod runner;
 
 pub use figure::{Figure, Row};
-pub use runner::{run_config, run_matrix, Scale, Suite};
+pub use runner::{
+    ambient_store, install_store, run_config, run_matrix, run_matrix_with_store, Scale, Suite,
+};

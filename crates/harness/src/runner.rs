@@ -1,11 +1,47 @@
 //! Parallel experiment execution: workload suite generation and
-//! (configuration × workload) simulation matrices.
+//! (configuration × workload) simulation matrices, optionally backed by a
+//! persistent [`btb_store::Store`].
+//!
+//! Store support comes in two forms:
+//!
+//! * **Explicit**: [`Suite::generate_with_store`] and
+//!   [`run_matrix_with_store`] take a store reference — used by tests and
+//!   anything wanting fine-grained control.
+//! * **Ambient**: [`install_store`] installs a process-wide store that
+//!   [`Suite::generate`] and [`run_matrix`] then consult transparently,
+//!   so every experiment in [`crate::experiments`] becomes store-backed
+//!   without signature changes. When no store is installed, behaviour is
+//!   identical to the original in-memory paths.
+//!
+//! Cached artifacts are bit-exact (see `btb_store::codec`), so a
+//! store-backed run produces byte-identical figures to an in-memory run.
 
 use btb_core::BtbConfig;
 use btb_sim::{simulate, PipelineConfig, SimReport};
-use btb_trace::{server_suite, Trace};
+use btb_store::Store;
+use btb_trace::{server_suite, Trace, WorkloadProfile};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
+
+static AMBIENT_STORE: OnceLock<Store> = OnceLock::new();
+
+/// Installs the process-wide artifact store consulted by [`Suite::generate`]
+/// and [`run_matrix`]. Returns the installed reference, or `Err` with the
+/// rejected store if one was already installed (installation is
+/// once-per-process).
+///
+/// # Errors
+/// Returns the store back if an ambient store is already installed.
+pub fn install_store(store: Store) -> Result<&'static Store, Store> {
+    AMBIENT_STORE.set(store)?;
+    Ok(AMBIENT_STORE.get().expect("just installed"))
+}
+
+/// The ambient store installed by [`install_store`], if any.
+#[must_use]
+pub fn ambient_store() -> Option<&'static Store> {
+    AMBIENT_STORE.get()
+}
 
 /// Experiment scale: trace length, warm-up and suite size.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,15 +106,31 @@ impl Scale {
 pub struct Suite {
     /// One trace per workload.
     pub traces: Vec<Trace>,
+    /// The profile each trace was generated from (same order as
+    /// [`Suite::traces`]); retained so store-backed simulation can derive
+    /// report cache keys.
+    pub profiles: Vec<WorkloadProfile>,
     /// Scale the suite was generated at.
     pub scale: Scale,
 }
 
 impl Suite {
     /// Generates the first `scale.workloads` server-suite traces in
-    /// parallel.
+    /// parallel, consulting the ambient store (if one is installed) for
+    /// previously generated traces.
     #[must_use]
     pub fn generate(scale: Scale) -> Self {
+        Suite::generate_impl(scale, ambient_store())
+    }
+
+    /// [`Suite::generate`] against an explicit store: cached traces are
+    /// fetched, missing ones are generated and published.
+    #[must_use]
+    pub fn generate_with_store(scale: Scale, store: &Store) -> Self {
+        Suite::generate_impl(scale, Some(store))
+    }
+
+    fn generate_impl(scale: Scale, store: Option<&Store>) -> Self {
         let profiles: Vec<_> = server_suite().into_iter().take(scale.workloads).collect();
         let results: Vec<Mutex<Option<Trace>>> =
             profiles.iter().map(|_| Mutex::new(None)).collect();
@@ -90,7 +142,16 @@ impl Suite {
                     if i >= profiles.len() {
                         break;
                     }
-                    let t = Trace::generate(&profiles[i], scale.insts);
+                    let t = match store.and_then(|st| st.get_trace(&profiles[i], scale.insts)) {
+                        Some(cached) => cached,
+                        None => {
+                            let fresh = Trace::generate(&profiles[i], scale.insts);
+                            if let Some(st) = store {
+                                st.put_trace(&profiles[i], scale.insts, &fresh);
+                            }
+                            fresh
+                        }
+                    };
                     *results[i].lock().expect("no poisoning") = Some(t);
                 });
             }
@@ -100,6 +161,7 @@ impl Suite {
                 .into_iter()
                 .map(|m| m.into_inner().expect("no poisoning").expect("generated"))
                 .collect(),
+            profiles,
             scale,
         }
     }
@@ -115,7 +177,8 @@ fn threads() -> usize {
     std::thread::available_parallelism().map_or(4, std::num::NonZero::get)
 }
 
-/// Runs every configuration over every trace in parallel; result is indexed
+/// Runs every configuration over every trace in parallel, consulting the
+/// ambient store (if installed) for cached reports; result is indexed
 /// `[config][workload]`.
 #[must_use]
 pub fn run_matrix(
@@ -123,11 +186,39 @@ pub fn run_matrix(
     configs: &[BtbConfig],
     pipeline: &PipelineConfig,
 ) -> Vec<Vec<SimReport>> {
+    run_matrix_impl(suite, configs, pipeline, ambient_store())
+}
+
+/// [`run_matrix`] against an explicit store: cached reports are fetched,
+/// missing (config, workload) cells are simulated and published.
+#[must_use]
+pub fn run_matrix_with_store(
+    suite: &Suite,
+    configs: &[BtbConfig],
+    pipeline: &PipelineConfig,
+    store: &Store,
+) -> Vec<Vec<SimReport>> {
+    run_matrix_impl(suite, configs, pipeline, Some(store))
+}
+
+fn run_matrix_impl(
+    suite: &Suite,
+    configs: &[BtbConfig],
+    pipeline: &PipelineConfig,
+    store: Option<&Store>,
+) -> Vec<Vec<SimReport>> {
     let jobs: Vec<(usize, usize)> = (0..configs.len())
         .flat_map(|c| (0..suite.traces.len()).map(move |w| (c, w)))
         .collect();
     let results: Vec<Mutex<Option<SimReport>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
     let pipe = pipeline.clone().with_warmup(suite.scale.warmup);
+    // Report keys hash the trace identity and the *effective* pipeline —
+    // the one with warm-up applied, exactly as handed to `simulate`.
+    let trace_keys: Vec<_> = suite
+        .profiles
+        .iter()
+        .map(|p| btb_store::trace_key(p, suite.scale.insts))
+        .collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|s| {
         for _ in 0..threads().min(jobs.len().max(1)) {
@@ -137,7 +228,17 @@ pub fn run_matrix(
                     break;
                 }
                 let (c, w) = jobs[j];
-                let report = simulate(&suite.traces[w], configs[c].clone(), pipe.clone());
+                let key = store.map(|_| btb_store::report_key(&trace_keys[w], &configs[c], &pipe));
+                let report = match store.zip(key.as_ref()).and_then(|(st, k)| st.get_report(k)) {
+                    Some(cached) => cached,
+                    None => {
+                        let fresh = simulate(&suite.traces[w], configs[c].clone(), pipe.clone());
+                        if let (Some(st), Some(k)) = (store, key.as_ref()) {
+                            st.put_report(k, &fresh);
+                        }
+                        fresh
+                    }
+                };
                 *results[j].lock().expect("no poisoning") = Some(report);
             });
         }
@@ -152,7 +253,8 @@ pub fn run_matrix(
     out
 }
 
-/// Runs one configuration over the suite (parallel across workloads).
+/// Runs one configuration over the suite (parallel across workloads),
+/// consulting the ambient store if installed.
 #[must_use]
 pub fn run_config(suite: &Suite, config: &BtbConfig, pipeline: &PipelineConfig) -> Vec<SimReport> {
     run_matrix(suite, std::slice::from_ref(config), pipeline)

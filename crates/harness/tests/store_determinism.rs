@@ -1,0 +1,141 @@
+//! Store-backed runs must be indistinguishable from in-memory runs: the
+//! acceptance bar for `btb-store` is that caching is *invisible* except in
+//! wall-clock and hit counters.
+
+use btb_harness::{configs, run_matrix, run_matrix_with_store, Scale, Suite};
+use btb_sim::PipelineConfig;
+use btb_store::Store;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> ScratchDir {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "btb-harness-test-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        ScratchDir(dir)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn tiny_scale() -> Scale {
+    Scale {
+        insts: 20_000,
+        warmup: 5_000,
+        workloads: 2,
+    }
+}
+
+#[test]
+fn store_backed_matrix_matches_in_memory_cold_and_warm() {
+    let dir = ScratchDir::new("matrix");
+    let store = Store::open(&dir.0).expect("open");
+    let scale = tiny_scale();
+    let cfgs = vec![configs::baseline(), configs::real_ibtb16()];
+    let pipe = PipelineConfig::paper();
+
+    // Reference: the original in-memory path.
+    let plain_suite = Suite::generate(scale);
+    let reference = run_matrix(&plain_suite, &cfgs, &pipe);
+
+    // Cold store-backed run: everything misses, is simulated, published.
+    let cold_suite = Suite::generate_with_store(scale, &store);
+    assert_eq!(cold_suite.traces[0].records, plain_suite.traces[0].records);
+    let cold = run_matrix_with_store(&cold_suite, &cfgs, &pipe, &store);
+    assert_eq!(
+        cold, reference,
+        "cold store-backed run must match in-memory"
+    );
+    let c = store.take_counters();
+    assert_eq!(c.trace_hits, 0, "cold run cannot hit");
+    assert_eq!(c.trace_misses, 2);
+    assert_eq!(c.report_hits, 0);
+    assert_eq!(c.report_misses, 4, "2 configs x 2 workloads");
+
+    // Warm run: everything hits, nothing is regenerated or re-simulated.
+    let warm_suite = Suite::generate_with_store(scale, &store);
+    let warm = run_matrix_with_store(&warm_suite, &cfgs, &pipe, &store);
+    assert_eq!(
+        warm, reference,
+        "warm run must be identical, not just close"
+    );
+    let c = store.take_counters();
+    assert_eq!(c.trace_hits, 2, "all traces from cache");
+    assert_eq!(c.trace_misses, 0);
+    assert_eq!(c.report_hits, 4, "all reports from cache");
+    assert_eq!(c.report_misses, 0);
+}
+
+#[test]
+fn corrupted_entry_is_regenerated_transparently() {
+    let dir = ScratchDir::new("corrupt");
+    let store = Store::open(&dir.0).expect("open");
+    let scale = tiny_scale();
+    let cfgs = vec![configs::baseline()];
+    let pipe = PipelineConfig::paper();
+
+    let suite = Suite::generate_with_store(scale, &store);
+    let reference = run_matrix_with_store(&suite, &cfgs, &pipe, &store);
+    store.take_counters();
+
+    // Corrupt every stored object by flipping the last payload byte.
+    let mut corrupted = 0;
+    for shard in std::fs::read_dir(dir.0.join("objects")).expect("objects") {
+        let shard = shard.expect("shard");
+        if !shard.file_type().expect("type").is_dir() {
+            continue;
+        }
+        for entry in std::fs::read_dir(shard.path()).expect("entries") {
+            let path = entry.expect("entry").path();
+            let mut bytes = std::fs::read(&path).expect("read");
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0xff;
+            std::fs::write(&path, bytes).expect("corrupt");
+            corrupted += 1;
+        }
+    }
+    assert_eq!(corrupted, 4, "2 traces + (1 config x 2 workloads) reports");
+
+    // Corruption must surface as misses + regeneration, never a crash or a
+    // wrong result.
+    let suite = Suite::generate_with_store(scale, &store);
+    let rerun = run_matrix_with_store(&suite, &cfgs, &pipe, &store);
+    assert_eq!(rerun, reference, "regenerated results must match");
+    let c = store.take_counters();
+    assert_eq!(c.trace_hits, 0, "corrupt traces cannot hit");
+    assert_eq!(c.trace_misses, 2);
+    assert_eq!(c.report_hits, 0, "corrupt report cannot hit");
+    assert_eq!(c.report_misses, 2);
+
+    // And the regenerated entries are valid again.
+    let suite = Suite::generate_with_store(scale, &store);
+    let warm = run_matrix_with_store(&suite, &cfgs, &pipe, &store);
+    assert_eq!(warm, reference);
+    let c = store.take_counters();
+    assert_eq!((c.trace_misses, c.report_misses), (0, 0));
+}
+
+#[test]
+fn scale_change_is_a_different_key() {
+    let dir = ScratchDir::new("scale");
+    let store = Store::open(&dir.0).expect("open");
+    let _ = Suite::generate_with_store(tiny_scale(), &store);
+    store.take_counters();
+
+    let mut longer = tiny_scale();
+    longer.insts += 1;
+    let _ = Suite::generate_with_store(longer, &store);
+    let c = store.take_counters();
+    assert_eq!(c.trace_hits, 0, "a different trace length must not hit");
+    assert_eq!(c.trace_misses, 2);
+}

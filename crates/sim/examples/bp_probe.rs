@@ -26,7 +26,9 @@ fn main() {
     let mut h = GlobalHistory::new();
     let mut by_class: HashMap<&str, (u64, u64)> = HashMap::new();
     for rec in TraceExecutor::new(&prog, profile.seed).take(4_000_000) {
-        if rec.branch_kind() != Some(BranchKind::CondDirect) { continue; }
+        if rec.branch_kind() != Some(BranchKind::CondDirect) {
+            continue;
+        }
         let out = p.predict(rec.pc, &h);
         p.update(rec.pc, &h, out, rec.taken);
         h.push(rec.taken);
@@ -41,13 +43,27 @@ fn main() {
         };
         let e = by_class.entry(class).or_insert((0, 0));
         e.0 += 1;
-        if out.taken != rec.taken { e.1 += 1; }
+        if out.taken != rec.taken {
+            e.1 += 1;
+        }
     }
     let mut total = (0u64, 0u64);
     for (c, (n, m)) in &by_class {
-        println!("{:<8} exec {:>8}  mispred {:>7}  rate {:.2}%", c, n, m, 100.0 * *m as f64 / *n as f64);
-        total.0 += n; total.1 += m;
+        println!(
+            "{:<8} exec {:>8}  mispred {:>7}  rate {:.2}%",
+            c,
+            n,
+            m,
+            100.0 * *m as f64 / *n as f64
+        );
+        total.0 += n;
+        total.1 += m;
     }
-    println!("TOTAL    exec {:>8}  mispred {:>7}  rate {:.2}%  (cond mpki over 1M: {:.2})",
-        total.0, total.1, 100.0 * total.1 as f64 / total.0 as f64, total.1 as f64 / 4000.0);
+    println!(
+        "TOTAL    exec {:>8}  mispred {:>7}  rate {:.2}%  (cond mpki over 1M: {:.2})",
+        total.0,
+        total.1,
+        100.0 * total.1 as f64 / total.0 as f64,
+        total.1 as f64 / 4000.0
+    );
 }

@@ -6,7 +6,11 @@ use btb_sim::*;
 use btb_trace::*;
 
 fn main() {
-    for (nf, nh, skew) in [(2600usize, 96usize, 70u16), (6000, 220, 50), (9000, 350, 40)] {
+    for (nf, nh, skew) in [
+        (2600usize, 96usize, 70u16),
+        (6000, 220, 50),
+        (9000, 350, 40),
+    ] {
         let mut p = WorkloadProfile::server("probe", 7);
         p.num_functions = nf;
         p.num_handlers = nh;
@@ -15,17 +19,54 @@ fn main() {
         let pipe = PipelineConfig::paper().with_warmup(400_000);
         let mk = |name: &str, kind| BtbConfig::realistic(name, kind);
         let cfgs = vec![
-            mk("I-BTB 16", OrgKind::Instruction { width: 16, skip_taken: false }),
-            mk("B-BTB 3BS", OrgKind::Block { block_insts: 16, slots: 3, split: false }),
-            mk("MB-BTB 3BS CallDir", OrgKind::MultiBlock { block_insts: 16, slots: 3, pull: PullPolicy::CallDirect, stability_threshold: 63, allow_last_slot_pull: false }),
-            mk("MB-BTB 3BS AllBr", OrgKind::MultiBlock { block_insts: 16, slots: 3, pull: PullPolicy::AllBranches, stability_threshold: 63, allow_last_slot_pull: false }),
+            mk(
+                "I-BTB 16",
+                OrgKind::Instruction {
+                    width: 16,
+                    skip_taken: false,
+                },
+            ),
+            mk(
+                "B-BTB 3BS",
+                OrgKind::Block {
+                    block_insts: 16,
+                    slots: 3,
+                    split: false,
+                },
+            ),
+            mk(
+                "MB-BTB 3BS CallDir",
+                OrgKind::MultiBlock {
+                    block_insts: 16,
+                    slots: 3,
+                    pull: PullPolicy::CallDirect,
+                    stability_threshold: 63,
+                    allow_last_slot_pull: false,
+                },
+            ),
+            mk(
+                "MB-BTB 3BS AllBr",
+                OrgKind::MultiBlock {
+                    block_insts: 16,
+                    slots: 3,
+                    pull: PullPolicy::AllBranches,
+                    stability_threshold: 63,
+                    allow_last_slot_pull: false,
+                },
+            ),
         ];
         println!("== {} fns, {} handlers, skew {} ==", nf, nh, skew);
         for cfg in cfgs {
             let r = simulate(&trace, cfg, pipe.clone());
-            println!("  {:<20} IPC {:.3}  L1 {:.1}% L1+L2 {:.1}%  mpki {:.2} fpc {:.2}",
-                r.config_name, r.ipc(), 100.0*r.stats.l1_btb_hitrate(), 100.0*r.stats.l2_btb_hitrate(),
-                r.stats.mpki(), r.stats.fetch_pcs_per_access());
+            println!(
+                "  {:<20} IPC {:.3}  L1 {:.1}% L1+L2 {:.1}%  mpki {:.2} fpc {:.2}",
+                r.config_name,
+                r.ipc(),
+                100.0 * r.stats.l1_btb_hitrate(),
+                100.0 * r.stats.l2_btb_hitrate(),
+                r.stats.mpki(),
+                r.stats.fetch_pcs_per_access()
+            );
         }
     }
 }

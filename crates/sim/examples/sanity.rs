@@ -20,14 +20,70 @@ fn main() {
     let pipe = PipelineConfig::paper().with_warmup(n as u64 / 5);
 
     let configs = vec![
-        BtbConfig::ideal("ideal I-BTB 16", OrgKind::Instruction { width: 16, skip_taken: false }),
-        BtbConfig::realistic("I-BTB 16", OrgKind::Instruction { width: 16, skip_taken: false }),
-        BtbConfig::realistic("R-BTB 1BS", OrgKind::Region { region_bytes: 64, slots: 1, dual_interleave: false }),
-        BtbConfig::realistic("R-BTB 3BS", OrgKind::Region { region_bytes: 64, slots: 3, dual_interleave: false }),
-        BtbConfig::realistic("B-BTB 1BS", OrgKind::Block { block_insts: 16, slots: 1, split: false }),
-        BtbConfig::realistic("B-BTB 1BS Splt", OrgKind::Block { block_insts: 16, slots: 1, split: true }),
-        BtbConfig::realistic("B-BTB 2BS", OrgKind::Block { block_insts: 16, slots: 2, split: false }),
-        BtbConfig::realistic("MB-BTB 2BS AllBr", OrgKind::MultiBlock { block_insts: 16, slots: 2, pull: PullPolicy::AllBranches, stability_threshold: 63, allow_last_slot_pull: false }),
+        BtbConfig::ideal(
+            "ideal I-BTB 16",
+            OrgKind::Instruction {
+                width: 16,
+                skip_taken: false,
+            },
+        ),
+        BtbConfig::realistic(
+            "I-BTB 16",
+            OrgKind::Instruction {
+                width: 16,
+                skip_taken: false,
+            },
+        ),
+        BtbConfig::realistic(
+            "R-BTB 1BS",
+            OrgKind::Region {
+                region_bytes: 64,
+                slots: 1,
+                dual_interleave: false,
+            },
+        ),
+        BtbConfig::realistic(
+            "R-BTB 3BS",
+            OrgKind::Region {
+                region_bytes: 64,
+                slots: 3,
+                dual_interleave: false,
+            },
+        ),
+        BtbConfig::realistic(
+            "B-BTB 1BS",
+            OrgKind::Block {
+                block_insts: 16,
+                slots: 1,
+                split: false,
+            },
+        ),
+        BtbConfig::realistic(
+            "B-BTB 1BS Splt",
+            OrgKind::Block {
+                block_insts: 16,
+                slots: 1,
+                split: true,
+            },
+        ),
+        BtbConfig::realistic(
+            "B-BTB 2BS",
+            OrgKind::Block {
+                block_insts: 16,
+                slots: 2,
+                split: false,
+            },
+        ),
+        BtbConfig::realistic(
+            "MB-BTB 2BS AllBr",
+            OrgKind::MultiBlock {
+                block_insts: 16,
+                slots: 2,
+                pull: PullPolicy::AllBranches,
+                stability_threshold: 63,
+                allow_last_slot_pull: false,
+            },
+        ),
     ];
     for cfg in configs {
         let t0 = Instant::now();
@@ -36,8 +92,14 @@ fn main() {
             r.config_name, r.ipc(), r.stats.mpki(), r.stats.fetch_pcs_per_access(),
             100.0*r.stats.l1_btb_hitrate(), 100.0*r.stats.l2_btb_hitrate(),
             r.l1_occupancy, r.l1_redundancy, t0.elapsed());
-        println!("    cond_mis {} ind_mis {} misfetch {} untracked {}  (conds {} branches {})",
-            r.stats.cond_mispredicts, r.stats.indirect_mispredicts, r.stats.misfetches,
-            r.stats.untracked_exec_resteers, r.stats.cond_branches, r.stats.branches);
+        println!(
+            "    cond_mis {} ind_mis {} misfetch {} untracked {}  (conds {} branches {})",
+            r.stats.cond_mispredicts,
+            r.stats.indirect_mispredicts,
+            r.stats.misfetches,
+            r.stats.untracked_exec_resteers,
+            r.stats.cond_branches,
+            r.stats.branches
+        );
     }
 }

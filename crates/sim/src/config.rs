@@ -145,7 +145,9 @@ mod tests {
 
     #[test]
     fn builder_helpers() {
-        let c = PipelineConfig::paper().with_warmup(1000).with_predictor_kb(2);
+        let c = PipelineConfig::paper()
+            .with_warmup(1000)
+            .with_predictor_kb(2);
         assert_eq!(c.warmup_insts, 1000);
         assert_eq!(c.perceptron.storage_bytes(), 2048);
     }

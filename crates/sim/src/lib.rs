@@ -28,6 +28,13 @@ mod predictors;
 mod sim;
 mod stats;
 
+/// Simulator behaviour schema version, incorporated into `btb-store` cache
+/// keys. Bump this whenever a change alters simulation *results* without
+/// being visible in [`PipelineConfig`] or `btb_core::BtbConfig` (e.g. a
+/// fixed pipeline model bug or a new sampling policy), so cached
+/// [`SimReport`]s from older binaries are never mistaken for current ones.
+pub const SCHEMA_VERSION: u32 = 1;
+
 pub use backend::{Backend, BackendTimes, QueueRing};
 pub use config::{BackendKind, PipelineConfig};
 pub use predictors::Predictors;

@@ -199,10 +199,10 @@ mod tests {
                 0x50,
                 BranchKind::IndirectJump,
                 true,
-                0xbeef_00,
+                0x00be_ef00,
             ));
         }
         p.begin_plan();
-        assert_eq!(p.predict_indirect(0x50), Some(0xbeef_00));
+        assert_eq!(p.predict_indirect(0x50), Some(0x00be_ef00));
     }
 }

@@ -286,8 +286,7 @@ impl<'t> Simulator<'t> {
             let dec_lower = (fetch_cycle + 1)
                 .max(self.aq.admit_bound())
                 .max(self.last_decode);
-            let decode_cycle =
-                frontier(&mut self.decode_frontier, self.config.width, dec_lower);
+            let decode_cycle = frontier(&mut self.decode_frontier, self.config.width, dec_lower);
             self.last_decode = decode_cycle;
             self.dq.push_leave(decode_cycle);
 
@@ -606,7 +605,11 @@ mod tests {
     fn ideal_backend_not_slower_than_realistic() {
         let trace = Trace::generate(&WorkloadProfile::tiny(9), 40_000);
         let real = simulate(&trace, ideal_ibtb16(), PipelineConfig::paper());
-        let ideal = simulate(&trace, ideal_ibtb16(), PipelineConfig::paper_ideal_backend());
+        let ideal = simulate(
+            &trace,
+            ideal_ibtb16(),
+            PipelineConfig::paper_ideal_backend(),
+        );
         assert!(
             ideal.ipc() >= real.ipc() * 0.98,
             "ideal {} vs real {}",

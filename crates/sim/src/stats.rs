@@ -125,8 +125,7 @@ impl SimStats {
             cond_mispredicts: self.cond_mispredicts - earlier.cond_mispredicts,
             indirect_mispredicts: self.indirect_mispredicts - earlier.indirect_mispredicts,
             misfetches: self.misfetches - earlier.misfetches,
-            untracked_exec_resteers: self.untracked_exec_resteers
-                - earlier.untracked_exec_resteers,
+            untracked_exec_resteers: self.untracked_exec_resteers - earlier.untracked_exec_resteers,
             cond_branches: self.cond_branches - earlier.cond_branches,
         }
     }
@@ -134,7 +133,7 @@ impl SimStats {
 
 /// A full simulation report: post-warm-up statistics plus periodic BTB
 /// content samples.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct SimReport {
     /// Configuration name the report belongs to.
     pub config_name: String,

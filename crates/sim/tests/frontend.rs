@@ -80,11 +80,21 @@ fn fetch_is_limited_by_interleave_conflicts() {
             for k in 0..3u64 {
                 records.push(TraceRecord::nop(a + k * 4));
             }
-            records.push(TraceRecord::branch(a + 12, BranchKind::UncondDirect, true, b));
+            records.push(TraceRecord::branch(
+                a + 12,
+                BranchKind::UncondDirect,
+                true,
+                b,
+            ));
             for k in 0..3u64 {
                 records.push(TraceRecord::nop(b + k * 4));
             }
-            records.push(TraceRecord::branch(b + 12, BranchKind::UncondDirect, true, a));
+            records.push(TraceRecord::branch(
+                b + 12,
+                BranchKind::UncondDirect,
+                true,
+                a,
+            ));
         }
         Trace {
             name: format!("stride-{stride_lines}"),
@@ -127,11 +137,19 @@ fn fetching_past_taken_branches_needs_backpressure() {
         name: "dep-loop".into(),
         records,
     };
-    let r = simulate(&trace, ideal_ibtb(), PipelineConfig::paper().with_warmup(5_000));
+    let r = simulate(
+        &trace,
+        ideal_ibtb(),
+        PipelineConfig::paper().with_warmup(5_000),
+    );
     // The serial dependency chain limits IPC to ~2 per dependency latency;
     // the frontend must not be the bottleneck (no misfetch storms).
     assert!(r.stats.mpki() < 1.0, "steady loop must be fully predicted");
-    assert!(r.ipc() > 0.9, "backpressure fetch keeps the backend fed: {}", r.ipc());
+    assert!(
+        r.ipc() > 0.9,
+        "backpressure fetch keeps the backend fed: {}",
+        r.ipc()
+    );
 }
 
 #[test]

@@ -40,8 +40,16 @@ fn cold_conditionals_cost_more_than_cold_unconditionals() {
     // BTB-missed taken unconditional directs resteer at decode (misfetch);
     // BTB-missed taken conditionals resteer at execute — strictly later.
     let pipe = PipelineConfig::paper();
-    let uncond = simulate(&cold_branches(BranchKind::UncondDirect, 800), ideal_ibtb(), pipe.clone());
-    let cond = simulate(&cold_branches(BranchKind::CondDirect, 800), ideal_ibtb(), pipe);
+    let uncond = simulate(
+        &cold_branches(BranchKind::UncondDirect, 800),
+        ideal_ibtb(),
+        pipe.clone(),
+    );
+    let cond = simulate(
+        &cold_branches(BranchKind::CondDirect, 800),
+        ideal_ibtb(),
+        pipe,
+    );
     assert_eq!(uncond.stats.misfetches, 800);
     assert_eq!(cond.stats.untracked_exec_resteers, 800);
     assert!(
@@ -59,9 +67,19 @@ fn l2_btb_hits_cost_three_bubbles_per_taken_branch() {
     let mut records = Vec::new();
     for _ in 0..2000 {
         records.push(TraceRecord::nop(0x1000));
-        records.push(TraceRecord::branch(0x1004, BranchKind::UncondDirect, true, 0x2000));
+        records.push(TraceRecord::branch(
+            0x1004,
+            BranchKind::UncondDirect,
+            true,
+            0x2000,
+        ));
         records.push(TraceRecord::nop(0x2000));
-        records.push(TraceRecord::branch(0x2004, BranchKind::UncondDirect, true, 0x1000));
+        records.push(TraceRecord::branch(
+            0x2004,
+            BranchKind::UncondDirect,
+            true,
+            0x1000,
+        ));
     }
     let trace = Trace {
         name: "pingpong".into(),
@@ -121,8 +139,16 @@ fn indirect_branches_pay_the_extra_bubble() {
     let direct = simulate(&make(BranchKind::UncondDirect), ideal_ibtb(), pipe.clone());
     let indirect = simulate(&make(BranchKind::IndirectJump), ideal_ibtb(), pipe);
     // Both should be fully predicted after warm-up...
-    assert!(direct.stats.mpki() < 1.0, "direct mpki {}", direct.stats.mpki());
-    assert!(indirect.stats.mpki() < 1.0, "indirect mpki {}", indirect.stats.mpki());
+    assert!(
+        direct.stats.mpki() < 1.0,
+        "direct mpki {}",
+        direct.stats.mpki()
+    );
+    assert!(
+        indirect.stats.mpki() < 1.0,
+        "indirect mpki {}",
+        indirect.stats.mpki()
+    );
     // ...but the indirect loop runs slower due to the extra bubble.
     assert!(
         indirect.stats.last_commit_cycle > direct.stats.last_commit_cycle * 11 / 10,
@@ -139,16 +165,35 @@ fn returns_do_not_pay_the_indirect_bubble() {
     let mut records = Vec::new();
     for _ in 0..3000 {
         records.push(TraceRecord::nop(0x1000));
-        records.push(TraceRecord::branch(0x1004, BranchKind::DirectCall, true, 0x5000));
+        records.push(TraceRecord::branch(
+            0x1004,
+            BranchKind::DirectCall,
+            true,
+            0x5000,
+        ));
         records.push(TraceRecord::nop(0x5000));
-        records.push(TraceRecord::branch(0x5004, BranchKind::Return, true, 0x1008));
-        records.push(TraceRecord::branch(0x1008, BranchKind::UncondDirect, true, 0x1000));
+        records.push(TraceRecord::branch(
+            0x5004,
+            BranchKind::Return,
+            true,
+            0x1008,
+        ));
+        records.push(TraceRecord::branch(
+            0x1008,
+            BranchKind::UncondDirect,
+            true,
+            0x1000,
+        ));
     }
     let trace = Trace {
         name: "callret".into(),
         records,
     };
-    let r = simulate(&trace, ideal_ibtb(), PipelineConfig::paper().with_warmup(500));
+    let r = simulate(
+        &trace,
+        ideal_ibtb(),
+        PipelineConfig::paper().with_warmup(500),
+    );
     assert!(
         r.stats.mpki() < 1.0,
         "RAS should predict returns perfectly: mpki {}",
@@ -166,15 +211,29 @@ fn wrong_indirect_targets_are_counted_and_penalized() {
     for i in 0..4000 {
         let t = targets[(i / 7) % 2]; // slow alternation
         records.push(TraceRecord::nop(0x1000));
-        records.push(TraceRecord::branch(0x1004, BranchKind::IndirectJump, true, t));
+        records.push(TraceRecord::branch(
+            0x1004,
+            BranchKind::IndirectJump,
+            true,
+            t,
+        ));
         records.push(TraceRecord::nop(t));
-        records.push(TraceRecord::branch(t + 4, BranchKind::UncondDirect, true, 0x1000));
+        records.push(TraceRecord::branch(
+            t + 4,
+            BranchKind::UncondDirect,
+            true,
+            0x1000,
+        ));
     }
     let trace = Trace {
         name: "poly".into(),
         records,
     };
-    let r = simulate(&trace, ideal_ibtb(), PipelineConfig::paper().with_warmup(1000));
+    let r = simulate(
+        &trace,
+        ideal_ibtb(),
+        PipelineConfig::paper().with_warmup(1000),
+    );
     assert!(
         r.stats.indirect_mispredicts > 0,
         "target changes must surface as indirect mispredicts"

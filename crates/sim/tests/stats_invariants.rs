@@ -138,7 +138,9 @@ fn preload_never_hurts_l1_hitrate() {
     let on = simulate(
         &trace,
         mk(),
-        PipelineConfig::paper().with_warmup(20_000).with_btb_preload(),
+        PipelineConfig::paper()
+            .with_warmup(20_000)
+            .with_btb_preload(),
     );
     assert!(
         on.stats.l1_btb_hitrate() >= off.stats.l1_btb_hitrate() - 0.01,

@@ -1,0 +1,192 @@
+//! A minimal JSON value model and serializer for machine-readable report
+//! export.
+//!
+//! Hand-rolled because the build environment cannot fetch `serde_json`.
+//! Output is deliberately deterministic: object members keep insertion
+//! order, floats render with Rust's shortest-roundtrip formatting, and
+//! non-finite floats (which JSON cannot represent) become `null`.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A finite number (non-finite inputs are normalized to [`JsonValue::Null`]).
+    Number(f64),
+    /// An integer, kept separate so counters never render in exponent form.
+    Integer(i64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object with insertion-ordered members.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// A number value; non-finite floats become `null`.
+    #[must_use]
+    pub fn number(v: f64) -> JsonValue {
+        if v.is_finite() {
+            JsonValue::Number(v)
+        } else {
+            JsonValue::Null
+        }
+    }
+
+    /// A string value.
+    #[must_use]
+    pub fn string(s: impl Into<String>) -> JsonValue {
+        JsonValue::String(s.into())
+    }
+
+    /// An array built from an iterator.
+    #[must_use]
+    pub fn array<I: IntoIterator<Item = JsonValue>>(items: I) -> JsonValue {
+        JsonValue::Array(items.into_iter().collect())
+    }
+
+    /// Serializes with two-space indentation and a trailing newline, ready
+    /// to write to a `.json` file.
+    #[must_use]
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Integer(v) => out.push_str(&v.to_string()),
+            JsonValue::Number(v) => {
+                if v.is_finite() {
+                    // `{}` on f64 is shortest-roundtrip: deterministic and
+                    // parseable back to the identical value.
+                    out.push_str(&v.to_string());
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::String(s) => write_escaped(out, s),
+            JsonValue::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            JsonValue::Object(members) => {
+                if members.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_pretty_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structures() {
+        let v = JsonValue::Object(vec![
+            ("id".to_owned(), JsonValue::string("fig4")),
+            ("count".to_owned(), JsonValue::Integer(3)),
+            (
+                "cells".to_owned(),
+                JsonValue::array([JsonValue::number(1.5), JsonValue::number(f64::NAN)]),
+            ),
+            ("empty".to_owned(), JsonValue::Array(Vec::new())),
+            ("flag".to_owned(), JsonValue::Bool(true)),
+        ]);
+        let s = v.to_pretty_string();
+        assert!(s.contains("\"id\": \"fig4\""));
+        assert!(s.contains("\"count\": 3"));
+        assert!(s.contains("null"), "NaN must render as null");
+        assert!(s.contains("\"empty\": []"));
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let v = JsonValue::string("a\"b\\c\nd\te\u{1}");
+        let s = v.to_pretty_string();
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\te\\u0001\"\n");
+    }
+
+    #[test]
+    fn float_rendering_roundtrips() {
+        for x in [0.1, 1.0 / 3.0, 12345.678901234567, 1e-12] {
+            let rendered = match JsonValue::number(x) {
+                JsonValue::Number(v) => v.to_string(),
+                _ => unreachable!(),
+            };
+            let back: f64 = rendered.parse().expect("parseable");
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} via {rendered}");
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Cache-key derivation: stable hashes of full artifact input
+//! descriptions.
+//!
+//! A key must change whenever *anything* that could change the artifact's
+//! bytes changes, and must not change otherwise. The rules:
+//!
+//! * **Traces** are keyed on the trace binary-format version, the complete
+//!   [`WorkloadProfile`] (every field, via its canonical `Debug` rendering
+//!   — adding, removing or renaming a profile field automatically changes
+//!   the rendering and thus the key) and the instruction count.
+//! * **Reports** are keyed on the simulator schema version
+//!   ([`btb_sim::SCHEMA_VERSION`]), the trace key they were produced from,
+//!   and the complete [`BtbConfig`] and [`PipelineConfig`] (again via
+//!   `Debug` renderings).
+//!
+//! The `Debug` rendering is a deliberate choice of canonical encoding: it
+//! is exhaustive over fields (all these types derive `Debug`), stable for
+//! a given source version, and *over*-sensitive rather than
+//! under-sensitive — a formatting change merely invalidates caches, never
+//! returns a stale artifact. Simulator behaviour changes that do not touch
+//! any config struct must bump [`btb_sim::SCHEMA_VERSION`]; that is the
+//! one manual obligation.
+
+use crate::hash::{Digest, Sha256};
+use btb_core::BtbConfig;
+use btb_sim::PipelineConfig;
+use btb_trace::WorkloadProfile;
+
+/// Domain-separation tags so a trace key can never collide with a report
+/// key built from the same bytes.
+const TRACE_DOMAIN: &[u8] = b"btb-store:trace:v1\0";
+const REPORT_DOMAIN: &[u8] = b"btb-store:report:v1\0";
+
+/// Key addressing the trace generated from `profile` at `insts`
+/// instructions.
+#[must_use]
+pub fn trace_key(profile: &WorkloadProfile, insts: usize) -> Digest {
+    let mut h = Sha256::new();
+    h.update(TRACE_DOMAIN);
+    h.update(&btb_trace::TRACE_FORMAT_VERSION.to_le_bytes());
+    h.update(format!("{profile:?}").as_bytes());
+    h.update(&(insts as u64).to_le_bytes());
+    h.finish()
+}
+
+/// Key addressing the [`btb_sim::SimReport`] of simulating the trace at
+/// `trace` under (`config`, `pipeline`).
+///
+/// `pipeline` must be the exact configuration handed to
+/// `btb_sim::simulate`, *including* warm-up — the harness applies warm-up
+/// before keying.
+#[must_use]
+pub fn report_key(trace: &Digest, config: &BtbConfig, pipeline: &PipelineConfig) -> Digest {
+    let mut h = Sha256::new();
+    h.update(REPORT_DOMAIN);
+    h.update(&btb_sim::SCHEMA_VERSION.to_le_bytes());
+    h.update(&trace.0);
+    h.update(format!("{config:?}").as_bytes());
+    h.update(&[0]);
+    h.update(format!("{pipeline:?}").as_bytes());
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btb_core::OrgKind;
+
+    fn cfg() -> BtbConfig {
+        BtbConfig::ideal(
+            "I-BTB 16",
+            OrgKind::Instruction {
+                width: 16,
+                skip_taken: false,
+            },
+        )
+    }
+
+    #[test]
+    fn trace_keys_are_stable_and_input_sensitive() {
+        let p = WorkloadProfile::tiny(3);
+        assert_eq!(trace_key(&p, 1000), trace_key(&p, 1000));
+        assert_ne!(trace_key(&p, 1000), trace_key(&p, 1001));
+        let mut q = p.clone();
+        q.mean_body_insts += 0.5;
+        assert_ne!(trace_key(&p, 1000), trace_key(&q, 1000));
+        let mut renamed = p.clone();
+        renamed.name = "other".to_owned();
+        assert_ne!(trace_key(&p, 1000), trace_key(&renamed, 1000));
+    }
+
+    #[test]
+    fn report_keys_depend_on_every_input() {
+        let t1 = trace_key(&WorkloadProfile::tiny(1), 1000);
+        let t2 = trace_key(&WorkloadProfile::tiny(2), 1000);
+        let pipe = PipelineConfig::paper();
+        let base = report_key(&t1, &cfg(), &pipe);
+        assert_eq!(base, report_key(&t1, &cfg(), &pipe));
+        assert_ne!(base, report_key(&t2, &cfg(), &pipe));
+        let mut other_cfg = cfg();
+        other_cfg.l1.ways += 1;
+        assert_ne!(base, report_key(&t1, &other_cfg, &pipe));
+        let warm = pipe.clone().with_warmup(5_000);
+        assert_ne!(base, report_key(&t1, &cfg(), &warm));
+    }
+
+    #[test]
+    fn trace_and_report_domains_are_separated() {
+        // Identical hash inputs after the domain tag must still produce
+        // different keys.
+        let t = trace_key(&WorkloadProfile::tiny(1), 64);
+        assert_ne!(t, report_key(&t, &cfg(), &PipelineConfig::paper()));
+    }
+}

@@ -1,0 +1,34 @@
+//! # btb-store: persistent content-addressed experiment store
+//!
+//! Simulation campaigns in this workspace are pure functions of their
+//! inputs: a trace is determined by its [`btb_trace::WorkloadProfile`]
+//! and length, a [`btb_sim::SimReport`] by the trace plus the BTB and
+//! pipeline configurations. `btb-store` exploits that purity with a
+//! content-addressed on-disk cache:
+//!
+//! * [`key`] derives stable cache keys by hashing the *complete* input
+//!   description of each artifact (profiles, configs, format/schema
+//!   versions) with SHA-256 ([`hash`]).
+//! * [`codec`] provides versioned binary encodings; report floats
+//!   roundtrip bit-exactly, so figures rendered from cached reports are
+//!   byte-identical to figures rendered from fresh simulations.
+//! * [`store`] holds the artifacts: atomic publish (temp file + rename),
+//!   per-artifact checksums verified on every load, and corrupt entries
+//!   downgraded to cache misses — the store can accelerate a run but
+//!   never break one.
+//! * [`json`] renders reports as structured JSON for machine-readable
+//!   export (`figures --json`).
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod hash;
+pub mod json;
+pub mod key;
+pub mod store;
+
+pub use codec::CodecError;
+pub use hash::{Digest, Sha256};
+pub use json::JsonValue;
+pub use key::{report_key, trace_key};
+pub use store::{CounterSnapshot, GcOutcome, Kind, Store, StoreStats};

@@ -1,0 +1,448 @@
+//! The on-disk content-addressed store.
+//!
+//! Layout (everything under one root directory):
+//!
+//! ```text
+//! <root>/objects/<hh>/<56 hex chars>.obj   # hh = first key byte, sharded
+//! <root>/tmp/                              # staging for atomic publish
+//! ```
+//!
+//! Every object file carries a header (magic, artifact kind, payload
+//! length, SHA-256 checksum of the payload) followed by the payload.
+//! Publishing writes the full file into `tmp/` and `rename`s it into
+//! place, so readers never observe partial objects. Loading verifies the
+//! header and checksum; **any** failure — missing file, bad magic, wrong
+//! kind, checksum mismatch, undecodable payload — degrades to a cache
+//! miss (with a stderr warning for actively corrupt entries, which are
+//! also unlinked so they regenerate cleanly).
+
+use crate::codec;
+use crate::hash::{Digest, Sha256};
+use crate::key;
+use btb_core::BtbConfig;
+use btb_sim::{PipelineConfig, SimReport};
+use btb_trace::{Trace, WorkloadProfile};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const STORE_MAGIC: &[u8; 8] = b"BTBSTOR1";
+const HEADER_LEN: usize = 8 + 1 + 8 + 32;
+
+/// What an object holds; part of the object header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// A serialized workload trace.
+    Trace,
+    /// A serialized simulation report.
+    Report,
+}
+
+impl Kind {
+    fn code(self) -> u8 {
+        match self {
+            Kind::Trace => 1,
+            Kind::Report => 2,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Kind> {
+        match code {
+            1 => Some(Kind::Trace),
+            2 => Some(Kind::Report),
+            _ => None,
+        }
+    }
+
+    /// Human-readable label (used by `store stats`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Kind::Trace => "trace",
+            Kind::Report => "report",
+        }
+    }
+}
+
+/// Monotonic hit/miss counters, split by artifact kind.
+#[derive(Debug, Default)]
+pub struct Counters {
+    trace_hits: AtomicU64,
+    trace_misses: AtomicU64,
+    report_hits: AtomicU64,
+    report_misses: AtomicU64,
+}
+
+/// A point-in-time copy of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CounterSnapshot {
+    /// Trace fetches served from the store.
+    pub trace_hits: u64,
+    /// Trace fetches that fell back to generation.
+    pub trace_misses: u64,
+    /// Report fetches served from the store.
+    pub report_hits: u64,
+    /// Report fetches that fell back to simulation.
+    pub report_misses: u64,
+}
+
+impl CounterSnapshot {
+    /// True if nothing was counted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        *self == CounterSnapshot::default()
+    }
+}
+
+impl std::fmt::Display for CounterSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "traces {} hit / {} miss; reports {} hit / {} miss",
+            self.trace_hits, self.trace_misses, self.report_hits, self.report_misses
+        )
+    }
+}
+
+/// Aggregate store statistics (`store stats`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Number of trace objects.
+    pub trace_objects: u64,
+    /// Bytes held by trace objects (headers included).
+    pub trace_bytes: u64,
+    /// Number of report objects.
+    pub report_objects: u64,
+    /// Bytes held by report objects (headers included).
+    pub report_bytes: u64,
+    /// Objects whose header could not be read (corrupt or foreign files).
+    pub unreadable_objects: u64,
+}
+
+/// Result of a [`Store::gc`] sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GcOutcome {
+    /// Objects removed.
+    pub removed_objects: u64,
+    /// Bytes freed.
+    pub removed_bytes: u64,
+    /// Objects retained.
+    pub kept_objects: u64,
+}
+
+/// A content-addressed artifact store rooted at one directory.
+#[derive(Debug)]
+pub struct Store {
+    root: PathBuf,
+    counters: Counters,
+    tmp_seq: AtomicU64,
+}
+
+impl Store {
+    /// Opens (creating if needed) a store rooted at `root`.
+    ///
+    /// # Errors
+    /// Propagates failures creating the store directories.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Store> {
+        let root = root.into();
+        std::fs::create_dir_all(root.join("objects"))?;
+        std::fs::create_dir_all(root.join("tmp"))?;
+        Ok(Store {
+            root,
+            counters: Counters::default(),
+            tmp_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// The store's root directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn object_path(&self, key: &Digest) -> PathBuf {
+        let hex = key.to_hex();
+        self.root
+            .join("objects")
+            .join(&hex[..2])
+            .join(format!("{}.obj", &hex[2..]))
+    }
+
+    // -- raw object layer ---------------------------------------------------
+
+    /// Loads and verifies the payload stored under `key`, or `None` on any
+    /// miss (absent, corrupt, wrong kind). Corrupt entries are warned
+    /// about and unlinked so the slot regenerates cleanly.
+    #[must_use]
+    pub fn get_raw(&self, key: &Digest, kind: Kind) -> Option<Vec<u8>> {
+        let path = self.object_path(key);
+        let mut file = match std::fs::File::open(&path) {
+            Ok(f) => f,
+            Err(_) => return None, // plain miss: nothing stored
+        };
+        match read_verified(&mut file, key, kind) {
+            Ok(payload) => Some(payload),
+            Err(why) => {
+                eprintln!(
+                    "btb-store: warning: discarding corrupt entry {} ({why}); will regenerate",
+                    path.display()
+                );
+                drop(file);
+                let _ = std::fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    /// Atomically publishes `payload` under `key`.
+    ///
+    /// # Errors
+    /// Propagates I/O failures; a failed publish leaves no partial object
+    /// behind (at worst a stale file in `tmp/`, removed by `gc`).
+    pub fn put_raw(&self, key: &Digest, kind: Kind, payload: &[u8]) -> io::Result<()> {
+        let final_path = self.object_path(key);
+        if let Some(parent) = final_path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let tmp_path = self.root.join("tmp").join(format!(
+            "{}-{}-{}.tmp",
+            key.to_hex(),
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        let checksum = Sha256::digest(payload);
+        let result = (|| -> io::Result<()> {
+            let mut f = std::fs::File::create(&tmp_path)?;
+            f.write_all(STORE_MAGIC)?;
+            f.write_all(&[kind.code()])?;
+            f.write_all(&(payload.len() as u64).to_le_bytes())?;
+            f.write_all(&checksum.0)?;
+            f.write_all(payload)?;
+            f.sync_data()?;
+            std::fs::rename(&tmp_path, &final_path)
+        })();
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp_path);
+        }
+        result
+    }
+
+    // -- typed artifact layer -----------------------------------------------
+
+    /// Fetches the trace for (`profile`, `insts`), counting a hit or miss.
+    #[must_use]
+    pub fn get_trace(&self, profile: &WorkloadProfile, insts: usize) -> Option<Trace> {
+        let k = key::trace_key(profile, insts);
+        let decoded =
+            self.get_raw(&k, Kind::Trace)
+                .and_then(|payload| match codec::decode_trace(&payload) {
+                    Ok(trace) => Some(trace),
+                    Err(why) => {
+                        self.discard_undecodable(&k, why);
+                        None
+                    }
+                });
+        let counter = if decoded.is_some() {
+            &self.counters.trace_hits
+        } else {
+            &self.counters.trace_misses
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        decoded
+    }
+
+    /// Publishes the trace for (`profile`, `insts`). Publish failures are
+    /// downgraded to warnings: the cache is an accelerator, not a
+    /// dependency.
+    pub fn put_trace(&self, profile: &WorkloadProfile, insts: usize, trace: &Trace) {
+        let k = key::trace_key(profile, insts);
+        if let Err(e) = self.put_raw(&k, Kind::Trace, &codec::encode_trace(trace)) {
+            eprintln!("btb-store: warning: failed to publish trace {k}: {e}");
+        }
+    }
+
+    /// Fetches the report stored under `report_key`, counting a hit or
+    /// miss. Build the key with [`crate::report_key`].
+    #[must_use]
+    pub fn get_report(&self, report_key: &Digest) -> Option<SimReport> {
+        let decoded = self.get_raw(report_key, Kind::Report).and_then(|payload| {
+            match codec::decode_report(&payload) {
+                Ok(report) => Some(report),
+                Err(why) => {
+                    self.discard_undecodable(report_key, why);
+                    None
+                }
+            }
+        });
+        let counter = if decoded.is_some() {
+            &self.counters.report_hits
+        } else {
+            &self.counters.report_misses
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        decoded
+    }
+
+    /// Publishes a report under `report_key` (see [`Store::put_trace`] on
+    /// failure handling).
+    pub fn put_report(&self, report_key: &Digest, report: &SimReport) {
+        if let Err(e) = self.put_raw(report_key, Kind::Report, &codec::encode_report(report)) {
+            eprintln!("btb-store: warning: failed to publish report {report_key}: {e}");
+        }
+    }
+
+    /// Convenience: derives the report key for (`trace_key`, `config`,
+    /// `pipeline`).
+    #[must_use]
+    pub fn report_key(trace_key: &Digest, config: &BtbConfig, pipeline: &PipelineConfig) -> Digest {
+        key::report_key(trace_key, config, pipeline)
+    }
+
+    fn discard_undecodable(&self, key: &Digest, why: codec::CodecError) {
+        let path = self.object_path(key);
+        eprintln!(
+            "btb-store: warning: discarding undecodable entry {} ({why}); will regenerate",
+            path.display()
+        );
+        let _ = std::fs::remove_file(path);
+    }
+
+    // -- counters -----------------------------------------------------------
+
+    /// Reads and resets the hit/miss counters (used for per-experiment
+    /// reporting).
+    pub fn take_counters(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            trace_hits: self.counters.trace_hits.swap(0, Ordering::Relaxed),
+            trace_misses: self.counters.trace_misses.swap(0, Ordering::Relaxed),
+            report_hits: self.counters.report_hits.swap(0, Ordering::Relaxed),
+            report_misses: self.counters.report_misses.swap(0, Ordering::Relaxed),
+        }
+    }
+
+    // -- maintenance --------------------------------------------------------
+
+    /// Walks the store and reports object counts and sizes by kind.
+    ///
+    /// # Errors
+    /// Propagates directory-walk failures (individual unreadable objects
+    /// are counted, not fatal).
+    pub fn stats(&self) -> io::Result<StoreStats> {
+        let mut stats = StoreStats::default();
+        self.walk_objects(|path, len| {
+            match read_kind(path) {
+                Some(Kind::Trace) => {
+                    stats.trace_objects += 1;
+                    stats.trace_bytes += len;
+                }
+                Some(Kind::Report) => {
+                    stats.report_objects += 1;
+                    stats.report_bytes += len;
+                }
+                None => stats.unreadable_objects += 1,
+            }
+            Ok(())
+        })?;
+        Ok(stats)
+    }
+
+    /// Removes objects last modified more than `max_age` ago, plus any
+    /// stale staging files. `max_age` of zero clears the store.
+    ///
+    /// # Errors
+    /// Propagates directory-walk failures.
+    pub fn gc(&self, max_age: std::time::Duration) -> io::Result<GcOutcome> {
+        let now = std::time::SystemTime::now();
+        let mut outcome = GcOutcome::default();
+        self.walk_objects(|path, len| {
+            let expired = std::fs::metadata(path)
+                .and_then(|m| m.modified())
+                .map(|mtime| now.duration_since(mtime).is_ok_and(|age| age >= max_age))
+                .unwrap_or(true);
+            if expired && std::fs::remove_file(path).is_ok() {
+                outcome.removed_objects += 1;
+                outcome.removed_bytes += len;
+            } else {
+                outcome.kept_objects += 1;
+            }
+            Ok(())
+        })?;
+        // Staging files are never legitimately old: any process writes and
+        // renames within milliseconds.
+        if let Ok(entries) = std::fs::read_dir(self.root.join("tmp")) {
+            for entry in entries.flatten() {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+        Ok(outcome)
+    }
+
+    fn walk_objects(&self, mut visit: impl FnMut(&Path, u64) -> io::Result<()>) -> io::Result<()> {
+        let objects = self.root.join("objects");
+        for shard in std::fs::read_dir(&objects)? {
+            let shard = shard?;
+            if !shard.file_type()?.is_dir() {
+                continue;
+            }
+            for entry in std::fs::read_dir(shard.path())? {
+                let entry = entry?;
+                let meta = entry.metadata()?;
+                if meta.is_file() {
+                    visit(&entry.path(), meta.len())?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Reads the kind byte from an object header, `None` if unreadable or not
+/// a store object.
+fn read_kind(path: &Path) -> Option<Kind> {
+    let mut file = std::fs::File::open(path).ok()?;
+    let mut header = [0u8; 9];
+    file.read_exact(&mut header).ok()?;
+    if &header[..8] != STORE_MAGIC {
+        return None;
+    }
+    Kind::from_code(header[8])
+}
+
+fn read_verified(file: &mut std::fs::File, key: &Digest, kind: Kind) -> Result<Vec<u8>, String> {
+    let mut header = [0u8; HEADER_LEN];
+    file.read_exact(&mut header)
+        .map_err(|e| format!("short header: {e}"))?;
+    if &header[..8] != STORE_MAGIC {
+        return Err("bad magic".to_owned());
+    }
+    if Kind::from_code(header[8]) != Some(kind) {
+        return Err(format!(
+            "kind byte {} != expected {}",
+            header[8],
+            kind.code()
+        ));
+    }
+    let payload_len = u64::from_le_bytes(header[9..17].try_into().expect("8B"));
+    let stored_checksum = Digest(header[17..49].try_into().expect("32B"));
+    // An absurd length means a corrupt header; don't try to allocate it.
+    if payload_len > 1 << 34 {
+        return Err(format!("implausible payload length {payload_len}"));
+    }
+    let mut payload = Vec::with_capacity(payload_len as usize);
+    file.take(payload_len + 1)
+        .read_to_end(&mut payload)
+        .map_err(|e| format!("payload read: {e}"))?;
+    if payload.len() as u64 != payload_len {
+        return Err(format!(
+            "payload length {} != header {payload_len} for key {key}",
+            payload.len()
+        ));
+    }
+    let actual = Sha256::digest(&payload);
+    if actual != stored_checksum {
+        return Err(format!(
+            "checksum mismatch: stored {stored_checksum}, computed {actual}"
+        ));
+    }
+    Ok(payload)
+}

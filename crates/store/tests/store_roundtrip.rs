@@ -1,0 +1,204 @@
+//! Integration tests for the on-disk store: roundtrips, atomicity
+//! observables, corruption handling, and the maintenance surface.
+
+use btb_core::{BtbConfig, OrgKind};
+use btb_sim::{PipelineConfig, SimReport, SimStats};
+use btb_store::{trace_key, Digest, Kind, Store};
+use btb_trace::{Trace, WorkloadProfile};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A unique scratch directory per test, removed on drop.
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> ScratchDir {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "btb-store-test-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        ScratchDir(dir)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn sample_report() -> SimReport {
+    SimReport {
+        config_name: "I-BTB 16".to_owned(),
+        workload: "web".to_owned(),
+        stats: SimStats {
+            instructions: 1000,
+            last_commit_cycle: 500,
+            ..SimStats::default()
+        },
+        l1_occupancy: 0.75,
+        l1_redundancy: 1.0,
+        l2_occupancy: 0.5,
+        l2_redundancy: 1.25,
+        l1i_hit_rate: 0.99,
+    }
+}
+
+fn report_key_for(profile: &WorkloadProfile, insts: usize) -> Digest {
+    let cfg = BtbConfig::ideal(
+        "I-BTB 16",
+        OrgKind::Instruction {
+            width: 16,
+            skip_taken: false,
+        },
+    );
+    Store::report_key(&trace_key(profile, insts), &cfg, &PipelineConfig::paper())
+}
+
+#[test]
+fn trace_roundtrip_and_counters() {
+    let dir = ScratchDir::new("trace-roundtrip");
+    let store = Store::open(&dir.0).expect("open");
+    let profile = WorkloadProfile::tiny(7);
+    let trace = Trace::generate(&profile, 5_000);
+
+    assert!(store.get_trace(&profile, 5_000).is_none(), "cold miss");
+    store.put_trace(&profile, 5_000, &trace);
+    assert_eq!(store.get_trace(&profile, 5_000).as_ref(), Some(&trace));
+    // A different length is a different artifact.
+    assert!(store.get_trace(&profile, 5_001).is_none());
+
+    let c = store.take_counters();
+    assert_eq!((c.trace_hits, c.trace_misses), (1, 2));
+    assert!(store.take_counters().is_empty(), "take resets");
+}
+
+#[test]
+fn report_roundtrip_is_exact() {
+    let dir = ScratchDir::new("report-roundtrip");
+    let store = Store::open(&dir.0).expect("open");
+    let key = report_key_for(&WorkloadProfile::tiny(1), 1_000);
+    let report = sample_report();
+
+    assert!(store.get_report(&key).is_none(), "cold miss");
+    store.put_report(&key, &report);
+    assert_eq!(store.get_report(&key).as_ref(), Some(&report));
+    let c = store.take_counters();
+    assert_eq!((c.report_hits, c.report_misses), (1, 1));
+}
+
+#[test]
+fn corrupted_payload_is_a_miss_and_removed() {
+    let dir = ScratchDir::new("corrupt");
+    let store = Store::open(&dir.0).expect("open");
+    let profile = WorkloadProfile::tiny(3);
+    let trace = Trace::generate(&profile, 2_000);
+    store.put_trace(&profile, 2_000, &trace);
+
+    // Flip one payload byte in the single stored object.
+    let path = find_only_object(&dir.0);
+    let mut bytes = std::fs::read(&path).expect("read object");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xff;
+    std::fs::write(&path, bytes).expect("rewrite object");
+
+    assert!(
+        store.get_trace(&profile, 2_000).is_none(),
+        "checksum mismatch must be a miss, not a panic"
+    );
+    assert!(!path.exists(), "corrupt entry must be unlinked");
+
+    // The slot is reusable after corruption.
+    store.put_trace(&profile, 2_000, &trace);
+    assert_eq!(store.get_trace(&profile, 2_000).as_ref(), Some(&trace));
+}
+
+#[test]
+fn truncated_and_garbage_objects_are_misses() {
+    let dir = ScratchDir::new("garbage");
+    let store = Store::open(&dir.0).expect("open");
+    let profile = WorkloadProfile::tiny(4);
+    store.put_trace(&profile, 1_500, &Trace::generate(&profile, 1_500));
+
+    let path = find_only_object(&dir.0);
+    let bytes = std::fs::read(&path).expect("read");
+
+    // Truncated to half.
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("truncate");
+    assert!(store.get_trace(&profile, 1_500).is_none());
+
+    // Entirely wrong contents under the right name.
+    store.put_trace(&profile, 1_500, &Trace::generate(&profile, 1_500));
+    let path = find_only_object(&dir.0);
+    std::fs::write(&path, b"not a store object at all").expect("garbage");
+    assert!(store.get_trace(&profile, 1_500).is_none());
+}
+
+#[test]
+fn wrong_kind_is_a_miss() {
+    let dir = ScratchDir::new("wrong-kind");
+    let store = Store::open(&dir.0).expect("open");
+    let key = trace_key(&WorkloadProfile::tiny(9), 800);
+    // Store raw bytes under the trace key but flagged as a report.
+    store
+        .put_raw(&key, Kind::Report, b"payload")
+        .expect("put raw");
+    assert!(store.get_raw(&key, Kind::Trace).is_none());
+}
+
+#[test]
+fn stats_and_gc() {
+    let dir = ScratchDir::new("maintenance");
+    let store = Store::open(&dir.0).expect("open");
+    let profile = WorkloadProfile::tiny(5);
+    store.put_trace(&profile, 1_000, &Trace::generate(&profile, 1_000));
+    store.put_report(&report_key_for(&profile, 1_000), &sample_report());
+
+    let stats = store.stats().expect("stats");
+    assert_eq!(stats.trace_objects, 1);
+    assert_eq!(stats.report_objects, 1);
+    assert!(stats.trace_bytes > 0 && stats.report_bytes > 0);
+    assert_eq!(stats.unreadable_objects, 0);
+
+    // Everything is newer than an hour: a 1h sweep keeps all objects.
+    let kept = store
+        .gc(std::time::Duration::from_secs(3600))
+        .expect("gc keep");
+    assert_eq!((kept.removed_objects, kept.kept_objects), (0, 2));
+
+    // A zero-age sweep clears the store.
+    let cleared = store.gc(std::time::Duration::ZERO).expect("gc clear");
+    assert_eq!((cleared.removed_objects, cleared.kept_objects), (2, 0));
+    let after = store.stats().expect("stats after gc");
+    assert_eq!(after.trace_objects + after.report_objects, 0);
+}
+
+#[test]
+fn reopened_store_serves_existing_objects() {
+    let dir = ScratchDir::new("reopen");
+    let profile = WorkloadProfile::tiny(6);
+    let trace = Trace::generate(&profile, 3_000);
+    {
+        let store = Store::open(&dir.0).expect("open");
+        store.put_trace(&profile, 3_000, &trace);
+    }
+    let store = Store::open(&dir.0).expect("reopen");
+    assert_eq!(store.get_trace(&profile, 3_000).as_ref(), Some(&trace));
+}
+
+/// Returns the path of the only object in the store (panics otherwise).
+fn find_only_object(root: &std::path::Path) -> PathBuf {
+    let mut found = Vec::new();
+    for shard in std::fs::read_dir(root.join("objects")).expect("objects dir") {
+        let shard = shard.expect("shard entry");
+        if shard.file_type().expect("type").is_dir() {
+            for entry in std::fs::read_dir(shard.path()).expect("shard") {
+                found.push(entry.expect("entry").path());
+            }
+        }
+    }
+    assert_eq!(found.len(), 1, "expected exactly one object, got {found:?}");
+    found.remove(0)
+}

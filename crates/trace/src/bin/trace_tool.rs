@@ -57,7 +57,10 @@ fn main() -> ExitCode {
                 .and_then(|f| write_trace(BufWriter::new(f), &trace).map_err(|e| e.to_string()))
             {
                 Ok(()) => {
-                    println!("wrote {} instructions of {} to {}", insts, profile.name, args[3]);
+                    println!(
+                        "wrote {} instructions of {} to {}",
+                        insts, profile.name, args[3]
+                    );
                     ExitCode::SUCCESS
                 }
                 Err(e) => {
@@ -80,15 +83,31 @@ fn main() -> ExitCode {
             let s = TraceStats::compute(&trace.records);
             println!("trace           {}", trace.name);
             println!("instructions    {}", s.instructions);
-            println!("branches        {} ({:.1}%)", s.branches, 100.0 * s.branches as f64 / s.instructions as f64);
+            println!(
+                "branches        {} ({:.1}%)",
+                s.branches,
+                100.0 * s.branches as f64 / s.instructions as f64
+            );
             println!("taken branches  {}", s.taken_branches);
             println!("dyn basic block {:.2} insts", s.avg_dyn_bb_size);
-            println!("never-taken     {:.1}% of branches", 100.0 * s.frac_never_taken_cond());
-            println!("always-taken    {:.1}% of branches", 100.0 * s.frac_always_taken_cond());
-            println!("single-target   {:.1}% of branches", 100.0 * s.frac_single_target_indirect());
+            println!(
+                "never-taken     {:.1}% of branches",
+                100.0 * s.frac_never_taken_cond()
+            );
+            println!(
+                "always-taken    {:.1}% of branches",
+                100.0 * s.frac_always_taken_cond()
+            );
+            println!(
+                "single-target   {:.1}% of branches",
+                100.0 * s.frac_single_target_indirect()
+            );
             println!("loads / stores  {} / {}", s.loads, s.stores);
             println!("code touched    {} KB", s.code_footprint_bytes() / 1024);
-            println!("90% coverage    {} KB", footprint_for_coverage(&trace.records, 0.9) / 1024);
+            println!(
+                "90% coverage    {} KB",
+                footprint_for_coverage(&trace.records, 0.9) / 1024
+            );
             println!("distinct taken  {} branch PCs", s.distinct_taken_branch_pcs);
             ExitCode::SUCCESS
         }

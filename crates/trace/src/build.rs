@@ -290,7 +290,7 @@ impl<'a> ProgramBuilder<'a> {
         } else if r < 0.75 {
             // Array walk: strided over a quarter of the data footprint.
             let stride = *[4u32, 8, 8, 16, 64]
-                .get(self.rng.gen_range(0..5))
+                .get(self.rng.gen_range(0..5usize))
                 .unwrap();
             let which = self.rng.gen_range(0..4u64);
             MemRef {
@@ -440,10 +440,22 @@ impl<'a> ProgramBuilder<'a> {
     }
 
     /// Appends a direct call segment after `cur`; returns the resume block.
-    fn build_call(&mut self, fb: &mut FnBuilder, cur: BlockId, layer: usize, mean_body: f64) -> BlockId {
+    fn build_call(
+        &mut self,
+        fb: &mut FnBuilder,
+        cur: BlockId,
+        layer: usize,
+        mean_body: f64,
+    ) -> BlockId {
         let callee = self.pick_callee(layer);
         let next = fb.next_id();
-        fb.set_term(cur, Terminator::Call { callee, ret_to: next });
+        fb.set_term(
+            cur,
+            Terminator::Call {
+                callee,
+                ret_to: next,
+            },
+        );
         fb.open(self.sample_body(mean_body))
     }
 
@@ -502,14 +514,26 @@ impl<'a> ProgramBuilder<'a> {
             // Hot per-iteration helper call into the utility layer.
             let callee = self.pick_utility();
             let next = fb.next_id();
-            fb.set_term(cur, Terminator::Call { callee, ret_to: next });
+            fb.set_term(
+                cur,
+                Terminator::Call {
+                    callee,
+                    ret_to: next,
+                },
+            );
             fb.open(self.sample_body(mean_body))
         }
     }
 
     /// Appends one structured segment after block `cur`; returns the new
     /// open block.
-    fn build_segment(&mut self, fb: &mut FnBuilder, cur: BlockId, layer: usize, leaf: bool) -> BlockId {
+    fn build_segment(
+        &mut self,
+        fb: &mut FnBuilder,
+        cur: BlockId,
+        layer: usize,
+        leaf: bool,
+    ) -> BlockId {
         let mean_body = self.profile.mean_body_insts;
         let r: f64 = self.rng.gen();
         // Segment mix. Leaves get no call segments; their weight shifts to
@@ -555,7 +579,9 @@ impl<'a> ProgramBuilder<'a> {
             self.build_call(fb, cur, layer, mean_body)
         } else if r < 0.79 && !leaf {
             // Indirect call through a small table.
-            let k = self.rng.gen_range(1..=self.profile.max_indirect_fanout.max(1));
+            let k = self
+                .rng
+                .gen_range(1..=self.profile.max_indirect_fanout.max(1));
             let callees: Vec<FnId> = (0..k).map(|_| self.pick_callee(layer)).collect();
             let site = {
                 let b = self.sample_indirect_behavior();

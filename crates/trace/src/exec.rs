@@ -192,7 +192,12 @@ impl<'p> TraceExecutor<'p> {
                 let pc = block.term_addr();
                 let target = self.prog.block(f, dst).addr;
                 self.goto(f, dst);
-                Some(TraceRecord::branch(pc, BranchKind::UncondDirect, true, target))
+                Some(TraceRecord::branch(
+                    pc,
+                    BranchKind::UncondDirect,
+                    true,
+                    target,
+                ))
             }
             Terminator::CondJump {
                 dst,
@@ -203,14 +208,24 @@ impl<'p> TraceExecutor<'p> {
                 let target = self.prog.block(f, dst).addr;
                 let taken = self.eval_cond(site.0);
                 self.goto(f, if taken { dst } else { fallthrough });
-                Some(TraceRecord::branch(pc, BranchKind::CondDirect, taken, target))
+                Some(TraceRecord::branch(
+                    pc,
+                    BranchKind::CondDirect,
+                    taken,
+                    target,
+                ))
             }
             Terminator::Call { callee, ret_to } => {
                 let pc = block.term_addr();
                 let target = self.prog.functions[callee.0 as usize].entry();
                 self.stack.push((f, ret_to));
                 self.goto(callee, BlockId(0));
-                Some(TraceRecord::branch(pc, BranchKind::DirectCall, true, target))
+                Some(TraceRecord::branch(
+                    pc,
+                    BranchKind::DirectCall,
+                    true,
+                    target,
+                ))
             }
             Terminator::IndirectCall {
                 callees,
@@ -223,7 +238,12 @@ impl<'p> TraceExecutor<'p> {
                 let target = self.prog.functions[callee.0 as usize].entry();
                 self.stack.push((f, ret_to));
                 self.goto(callee, BlockId(0));
-                Some(TraceRecord::branch(pc, BranchKind::IndirectCall, true, target))
+                Some(TraceRecord::branch(
+                    pc,
+                    BranchKind::IndirectCall,
+                    true,
+                    target,
+                ))
             }
             Terminator::IndirectJump { dsts, site } => {
                 let pc = block.term_addr();
@@ -231,7 +251,12 @@ impl<'p> TraceExecutor<'p> {
                 let dst = dsts[idx];
                 let target = self.prog.block(f, dst).addr;
                 self.goto(f, dst);
-                Some(TraceRecord::branch(pc, BranchKind::IndirectJump, true, target))
+                Some(TraceRecord::branch(
+                    pc,
+                    BranchKind::IndirectJump,
+                    true,
+                    target,
+                ))
             }
             Terminator::Return => {
                 let pc = block.term_addr();

@@ -9,7 +9,12 @@ use crate::record::{BranchKind, Op, TraceRecord};
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 8] = b"BTBTRACE";
-const VERSION: u32 = 1;
+
+/// Binary trace stream format version. Bump on any layout change; cache
+/// keys derived from traces (see `btb-store`) incorporate this constant so
+/// a format bump invalidates stored traces automatically.
+pub const TRACE_FORMAT_VERSION: u32 = 1;
+const VERSION: u32 = TRACE_FORMAT_VERSION;
 
 /// Errors produced while reading a trace stream.
 #[derive(Debug)]

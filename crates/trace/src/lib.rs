@@ -39,7 +39,7 @@ pub use cfg::{
     IndirectSiteId, MemPattern, MemRef, Program, Terminator,
 };
 pub use exec::{check_control_flow, Trace, TraceExecutor};
-pub use io::{read_trace, write_trace, ReadTraceError};
+pub use io::{read_trace, write_trace, ReadTraceError, TRACE_FORMAT_VERSION};
 pub use profile::{server_suite, WorkloadProfile};
 pub use record::{Addr, BranchKind, Op, TraceRecord, INST_BYTES, NO_REG, NUM_REGS};
 pub use stats::{footprint_for_coverage, ideal_icache_mpki, TraceStats};

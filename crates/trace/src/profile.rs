@@ -104,7 +104,18 @@ impl WorkloadProfile {
 #[must_use]
 pub fn server_suite() -> Vec<WorkloadProfile> {
     /// (name, functions, handlers, layers, body, segments, hard, single, fanout, trip)
-    type Spec = (&'static str, usize, usize, usize, f64, f64, f64, f64, usize, f64);
+    type Spec = (
+        &'static str,
+        usize,
+        usize,
+        usize,
+        f64,
+        f64,
+        f64,
+        f64,
+        usize,
+        f64,
+    );
     let mut suite = Vec::new();
     let specs: &[Spec] = &[
         ("web-small", 1000, 56, 3, 7.6, 8.0, 0.015, 0.65, 6, 9.0),

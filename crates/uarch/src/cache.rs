@@ -236,8 +236,8 @@ mod tests {
     fn outstanding_miss_merges() {
         let mut c = small();
         let r1 = c.access(10, 100, |leave| leave + 50); // ready 153
-        // A second access while the fill is in flight merges with the MSHR:
-        // it is not a hit and waits for the same fill.
+                                                        // A second access while the fill is in flight merges with the MSHR:
+                                                        // it is not a hit and waits for the same fill.
         let r2 = c.access(10, 101, |_| panic!("must merge, not re-miss"));
         assert!(!r2.hit);
         assert_eq!(r2.ready, r1.ready);

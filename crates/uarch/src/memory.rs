@@ -86,7 +86,8 @@ impl MemoryHierarchy {
         cycle: u64,
     ) -> u64 {
         let res = l2.access(line, cycle, |leave| {
-            llc.access(line, leave, |leave2| leave2 + DRAM_LATENCY).ready
+            llc.access(line, leave, |leave2| leave2 + DRAM_LATENCY)
+                .ready
         });
         if !res.hit {
             // L2 next-line prefetch (fire and forget: fills tags).
@@ -221,7 +222,11 @@ mod tests {
             cycle += 200;
         }
         // The final loads should be much faster than DRAM.
-        assert!(last - (cycle - 200) < 60, "prefetched: {}", last - (cycle - 200));
+        assert!(
+            last - (cycle - 200) < 60,
+            "prefetched: {}",
+            last - (cycle - 200)
+        );
     }
 
     #[test]

@@ -18,7 +18,12 @@ pub struct Tlb {
 impl Tlb {
     /// Creates a TLB; `l1_entries` is split into 4-way sets as in Table 1.
     #[must_use]
-    pub fn new(name: &'static str, l1_entries: usize, l2_entries: usize, walk_latency: u64) -> Self {
+    pub fn new(
+        name: &'static str,
+        l1_entries: usize,
+        l2_entries: usize,
+        walk_latency: u64,
+    ) -> Self {
         let l1_sets = (l1_entries / 4).next_power_of_two().max(1);
         let l2_sets = (l2_entries / 12).next_power_of_two().max(1);
         Tlb {

@@ -8,9 +8,7 @@
 
 use btb_orgs::btb::{BtbConfig, OrgKind, PullPolicy};
 use btb_orgs::sim::{simulate, PipelineConfig};
-use btb_orgs::trace::{
-    read_trace, write_trace, Trace, TraceStats, WorkloadProfile,
-};
+use btb_orgs::trace::{read_trace, write_trace, Trace, TraceStats, WorkloadProfile};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // An interpreter: small blocks, huge indirect fan-out, shallow calls.

@@ -60,8 +60,7 @@ fn main() {
             .map(|r| r.stats.l1_btb_hitrate())
             .sum::<f64>()
             / reports.len() as f64;
-        let mpki: f64 =
-            reports.iter().map(|r| r.stats.mpki()).sum::<f64>() / reports.len() as f64;
+        let mpki: f64 = reports.iter().map(|r| r.stats.mpki()).sum::<f64>() / reports.len() as f64;
         println!(
             "{:<20} {:>10.4} {:>12.2} {:>10.1} {:>10.2}",
             cfg.name,

@@ -41,8 +41,14 @@ fn rbtb_single_slot_is_the_worst_realistic_org() {
     let r1 = run_config(&s, &configs::real_rbtb(1, false), &pipe);
     let b1 = run_config(&s, &configs::real_bbtb(16, 1, false), &pipe);
     let i16 = run_config(&s, &configs::real_ibtb16(), &pipe);
-    assert!(geomean_ipc(&r1) < geomean_ipc(&b1), "R-BTB 1BS must trail B-BTB 1BS");
-    assert!(geomean_ipc(&r1) < geomean_ipc(&i16), "R-BTB 1BS must trail I-BTB 16");
+    assert!(
+        geomean_ipc(&r1) < geomean_ipc(&b1),
+        "R-BTB 1BS must trail B-BTB 1BS"
+    );
+    assert!(
+        geomean_ipc(&r1) < geomean_ipc(&i16),
+        "R-BTB 1BS must trail I-BTB 16"
+    );
 }
 
 #[test]

@@ -1,0 +1,203 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements the subset of the criterion API the workspace's benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Throughput`], [`black_box`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement is a simple mean over `sample_size` timed iterations after
+//! one warm-up iteration — adequate for the repository's "keep every
+//! experiment code path exercised and report rough wall-clock" benches,
+//! with none of upstream's statistical machinery.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched
+/// work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times closures handed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    samples: u64,
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Runs `body` once for warm-up, then `samples` timed times, recording
+    /// the mean.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        black_box(body());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(body());
+        }
+        self.mean = Some(start.elapsed() / u32::try_from(self.samples.max(1)).unwrap_or(1));
+    }
+}
+
+fn report(name: &str, mean: Option<Duration>, throughput: Option<Throughput>) {
+    match mean {
+        Some(mean) => {
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+                    format!("  ({:.0} elem/s)", n as f64 / mean.as_secs_f64())
+                }
+                Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+                    format!("  ({:.0} B/s)", n as f64 / mean.as_secs_f64())
+                }
+                _ => String::new(),
+            };
+            println!("bench: {name:<40} {mean:>12.2?}/iter{rate}");
+        }
+        None => println!("bench: {name:<40} (no measurement)"),
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed iterations per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut body: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            mean: None,
+        };
+        body(&mut b);
+        report(name, b.mean, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_owned(),
+            sample_size,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    _parent: &'c mut Criterion,
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation reported with each benchmark.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the group's timed iteration count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut body: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            mean: None,
+        };
+        body(&mut b);
+        report(&format!("{}/{name}", self.name), b.mean, self.throughput);
+        self
+    }
+
+    /// Closes the group (upstream flushes reports here; a no-op for us).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group: both the `name=/config=/targets=` form and
+/// the positional `criterion_group!(name, target, ...)` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grouped");
+        g.throughput(Throughput::Elements(100));
+        g.sample_size(3);
+        g.bench_function("sum", |b| b.iter(|| (0u64..100).sum::<u64>()));
+        g.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(5);
+        targets = sample_bench
+    }
+
+    #[test]
+    fn group_macro_produces_runnable_fn() {
+        benches();
+    }
+}

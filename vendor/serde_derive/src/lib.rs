@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so this crate lets
+//! `#[derive(Serialize, Deserialize)]` attributes compile without pulling
+//! in the real proc-macro stack (`syn`/`quote`). The derives emit **no
+//! impls**: nothing in this workspace serializes *through* serde — the
+//! persistent experiment store (`btb-store`) uses explicit versioned
+//! binary codecs and its own JSON writer instead, precisely so cache
+//! invalidation stays under manual control.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
