@@ -118,4 +118,48 @@ mod tests {
         let p = IndirectPredictor::new(100);
         assert_eq!(p.table.len(), 128);
     }
+
+    #[test]
+    fn aliased_pcs_share_one_entry() {
+        // With 16 entries (mask 15) and an empty path history, PCs whose
+        // word addresses differ by a multiple of 16 hash to the same slot
+        // in both the path-indexed table and the PC fallback.
+        let mut p = IndirectPredictor::new(16);
+        let path = PathHistory::new();
+        let pc_a = 0x100;
+        let pc_b = pc_a + 16 * 4;
+        p.update(pc_a, &path, 0x5000);
+        // False hit: the alias sees A's target before ever updating.
+        assert_eq!(p.predict(pc_b, &path), Some(0x5000));
+        // Destructive interference: B's update evicts A's target.
+        p.update(pc_b, &path, 0x6000);
+        assert_eq!(p.predict(pc_a, &path), Some(0x6000));
+    }
+
+    #[test]
+    fn distinct_paths_dealias_conflicting_pcs() {
+        // The same two aliasing PCs separate once their path histories
+        // differ, because the path hash perturbs the index.
+        let mut p = IndirectPredictor::new(16);
+        let mut path_a = PathHistory::new();
+        path_a.push_target(0x1230);
+        let mut path_b = PathHistory::new();
+        path_b.push_target(0x4560);
+        let pc_a = 0x100;
+        let pc_b = pc_a + 16 * 4;
+        p.update(pc_a, &path_a, 0x5000);
+        p.update(pc_b, &path_b, 0x6000);
+        assert_eq!(p.predict(pc_a, &path_a), Some(0x5000));
+        assert_eq!(p.predict(pc_b, &path_b), Some(0x6000));
+    }
+
+    #[test]
+    fn zero_target_is_the_empty_sentinel() {
+        // Address 0 doubles as "no entry": recording it leaves the
+        // predictor cold rather than predicting target 0.
+        let mut p = IndirectPredictor::new(64);
+        let path = PathHistory::new();
+        p.update(0x2000, &path, 0);
+        assert_eq!(p.predict(0x2000, &path), None);
+    }
 }

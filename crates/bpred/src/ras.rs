@@ -138,4 +138,61 @@ mod tests {
     fn zero_capacity_panics() {
         let _ = ReturnAddressStack::new(0);
     }
+
+    #[test]
+    fn depth_saturates_at_capacity_across_multiple_wraps() {
+        let mut ras = ReturnAddressStack::new(4);
+        for i in 0..11u64 {
+            ras.push(i);
+            assert!(ras.depth() <= ras.capacity());
+        }
+        assert_eq!(ras.depth(), 4);
+        // Only the 4 newest survive, in LIFO order; underflow after them.
+        for expect in [10, 9, 8, 7] {
+            assert_eq!(ras.pop(), Some(expect));
+        }
+        assert_eq!(ras.pop(), None);
+        assert_eq!(ras.depth(), 0);
+    }
+
+    #[test]
+    fn underflow_then_reuse_is_clean() {
+        let mut ras = ReturnAddressStack::new(2);
+        assert_eq!(ras.pop(), None);
+        ras.push(0xa);
+        assert_eq!(ras.pop(), Some(0xa));
+        assert_eq!(ras.pop(), None);
+        assert_eq!(ras.pop(), None); // repeated underflow stays None
+        ras.push(0xb);
+        ras.push(0xc);
+        ras.push(0xd); // wrap: 0xb lost
+        assert_eq!(ras.pop(), Some(0xd));
+        assert_eq!(ras.pop(), Some(0xc));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn peek_nth_walks_from_top_and_bounds_at_depth() {
+        let mut ras = ReturnAddressStack::new(4);
+        ras.push(1);
+        ras.push(2);
+        ras.push(3);
+        assert_eq!(ras.peek_nth(0), Some(3));
+        assert_eq!(ras.peek_nth(1), Some(2));
+        assert_eq!(ras.peek_nth(2), Some(1));
+        assert_eq!(ras.peek_nth(3), None); // beyond depth
+        assert_eq!(ras.depth(), 3); // peeks never pop
+    }
+
+    #[test]
+    fn peek_nth_is_correct_across_the_wrap_boundary() {
+        let mut ras = ReturnAddressStack::new(3);
+        for i in 1..=5u64 {
+            ras.push(i); // final buffer holds 3, 4, 5 with top wrapped
+        }
+        assert_eq!(ras.peek_nth(0), Some(5));
+        assert_eq!(ras.peek_nth(1), Some(4));
+        assert_eq!(ras.peek_nth(2), Some(3));
+        assert_eq!(ras.peek_nth(3), None);
+    }
 }

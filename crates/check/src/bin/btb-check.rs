@@ -1,0 +1,157 @@
+//! Differential-checking CLI: campaign fuzzing, reproducer replay and
+//! roster listing.
+//!
+//! Exit codes: 0 = clean, 1 = divergence or invariant violation,
+//! 2 = usage error.
+
+use btb_check::{
+    campaign_configs, config_by_name, load_repro, replay, run_campaign, CampaignOptions,
+};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+btb-check: differential golden-model checking for the BTB stack
+
+USAGE:
+    btb-check campaign [--quick] [--seed N] [--store DIR] [--repro-dir DIR]
+    btb-check replay FILE...
+    btb-check list
+
+COMMANDS:
+    campaign   Run differential replays of every roster configuration over
+               generated and mutation-fuzzed traces, then validate simulator
+               conservation laws. Divergences are minimized into .repro files.
+    replay     Re-run committed reproducer files (exit 1 if any diverges).
+    list       Print the campaign configuration roster.
+
+OPTIONS:
+    --quick        Short fixed-budget campaign (CI-sized traces).
+    --seed N       Base seed for traces and mutations (decimal).
+    --store DIR    btb-store root for trace caching.
+    --repro-dir D  Where minimized reproducers are written (default: cwd).
+";
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("btb-check: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn cmd_campaign(args: &[String]) -> ExitCode {
+    let mut opts = CampaignOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--seed" => match it.next().map(|s| s.parse::<u64>()) {
+                Some(Ok(seed)) => opts.seed = seed,
+                _ => return usage_error("--seed needs a decimal number"),
+            },
+            "--store" => match it.next() {
+                Some(dir) => opts.store = Some(PathBuf::from(dir)),
+                None => return usage_error("--store needs a directory"),
+            },
+            "--repro-dir" => match it.next() {
+                Some(dir) => opts.repro_dir = Some(PathBuf::from(dir)),
+                None => return usage_error("--repro-dir needs a directory"),
+            },
+            other => return usage_error(&format!("unknown campaign option {other:?}")),
+        }
+    }
+    let outcome = run_campaign(&opts);
+    println!(
+        "btb-check campaign: {} replays, {} differential lookups",
+        outcome.replays.len(),
+        outcome.total_lookups
+    );
+    for d in &outcome.divergences {
+        eprintln!(
+            "DIVERGENCE [{}]: {} (minimized to {} records{})",
+            d.config_name,
+            d.detail,
+            d.minimized_len,
+            d.repro_path
+                .as_ref()
+                .map_or_else(String::new, |p| format!(", reproducer {}", p.display()))
+        );
+    }
+    for e in &outcome.invariant_failures {
+        eprintln!("INVARIANT VIOLATION: {e}");
+    }
+    if outcome.clean() {
+        println!("clean: no divergences, all simulator invariants hold");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn cmd_replay(files: &[String]) -> ExitCode {
+    if files.is_empty() {
+        return usage_error("replay needs at least one reproducer file");
+    }
+    let mut failed = false;
+    for file in files {
+        let (config_name, records) = match load_repro(PathBuf::from(file).as_path()) {
+            Ok(parsed) => parsed,
+            Err(e) => return usage_error(&e),
+        };
+        let Some(config) = config_by_name(&config_name) else {
+            return usage_error(&format!("{file}: unknown configuration {config_name:?}"));
+        };
+        let report = replay(&config, &records, 1);
+        match report.divergence {
+            Some(d) => {
+                failed = true;
+                eprintln!(
+                    "{file}: still diverges at record {} (pc {:#x}): {}",
+                    d.index, d.pc, d.detail
+                );
+            }
+            None => println!(
+                "{file}: clean ({} records, {} lookups, {config_name})",
+                records.len(),
+                report.lookups
+            ),
+        }
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_list() -> ExitCode {
+    for config in campaign_configs() {
+        let l2 = config
+            .l2
+            .map_or_else(|| "-".to_owned(), |g| format!("{}x{}", g.sets, g.ways));
+        println!(
+            "{:<16} l1={}x{} l2={} {:?}",
+            config.name, config.l1.sets, config.l1.ways, l2, config.kind
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("campaign") => cmd_campaign(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some("list") => {
+            if args.len() > 1 {
+                return usage_error("list takes no arguments");
+            }
+            cmd_list()
+        }
+        Some("--help" | "-h" | "help") => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => usage_error(&format!("unknown command {other:?}")),
+        None => usage_error("missing command"),
+    }
+}

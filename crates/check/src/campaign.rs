@@ -1,0 +1,348 @@
+//! Differential campaigns: named configuration roster, trace generation
+//! (with structure-aware mutation fuzzing), replay, invariant validation
+//! and divergence minimization.
+
+use crate::invariants::{check_probe_log, check_report};
+use crate::minimize::minimize;
+use crate::replay::{replay, ReplayReport};
+use crate::repro::{format_repro, write_repro};
+use btb_core::{BtbConfig, OrgKind, PullPolicy};
+use btb_sim::{PipelineConfig, Simulator};
+use btb_trace::{random_mutations, Trace, TraceRecord, WorkloadProfile};
+use std::path::{Path, PathBuf};
+
+/// Record period of full-state checkpoints during campaign replays.
+const CHECKPOINT_EVERY: usize = 4096;
+
+/// The campaign's configuration roster. Every [`OrgKind`] variant is
+/// covered, including two-level realistic hierarchies, entry splitting,
+/// dual-interleave, overflow storage and MB-BTB chaining (with a low
+/// stability threshold so indirect pulls are actually exercised).
+#[must_use]
+pub fn campaign_configs() -> Vec<BtbConfig> {
+    vec![
+        BtbConfig::ideal(
+            "I-BTB 16 ideal",
+            OrgKind::Instruction {
+                width: 16,
+                skip_taken: false,
+            },
+        ),
+        BtbConfig::realistic(
+            "I-BTB 16",
+            OrgKind::Instruction {
+                width: 16,
+                skip_taken: false,
+            },
+        ),
+        BtbConfig::realistic(
+            "R-BTB 2BS",
+            OrgKind::Region {
+                region_bytes: 64,
+                slots: 2,
+                dual_interleave: false,
+            },
+        ),
+        BtbConfig::realistic(
+            "2L1 R-BTB 4BS",
+            OrgKind::Region {
+                region_bytes: 128,
+                slots: 4,
+                dual_interleave: true,
+            },
+        ),
+        BtbConfig::realistic(
+            "R-OVF 2BS",
+            OrgKind::RegionOverflow {
+                region_bytes: 64,
+                slots: 2,
+                overflow_entries: 256,
+            },
+        ),
+        BtbConfig::realistic(
+            "B-BTB 1BS",
+            OrgKind::Block {
+                block_insts: 16,
+                slots: 1,
+                split: false,
+            },
+        ),
+        BtbConfig::realistic(
+            "B-BTB 2BS Splt",
+            OrgKind::Block {
+                block_insts: 16,
+                slots: 2,
+                split: true,
+            },
+        ),
+        BtbConfig::realistic(
+            "MB-BTB 2BS All",
+            OrgKind::MultiBlock {
+                block_insts: 16,
+                slots: 2,
+                pull: PullPolicy::AllBranches,
+                stability_threshold: 3,
+                allow_last_slot_pull: false,
+            },
+        ),
+        BtbConfig::realistic(
+            "Hetero B/R",
+            OrgKind::HeteroBlockRegion {
+                block_insts: 16,
+                l1_slots: 2,
+                split: true,
+                region_bytes: 64,
+                l2_slots: 4,
+            },
+        ),
+    ]
+}
+
+/// Looks up a campaign configuration by its display name (used when
+/// replaying committed reproducer files).
+#[must_use]
+pub fn config_by_name(name: &str) -> Option<BtbConfig> {
+    campaign_configs().into_iter().find(|c| c.name == name)
+}
+
+/// Options of one differential campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignOptions {
+    /// Short fixed-budget run for CI (smaller traces, fewer mutants).
+    pub quick: bool,
+    /// Base seed of trace generation and mutation fuzzing.
+    pub seed: u64,
+    /// Optional `btb-store` root for trace caching across runs.
+    pub store: Option<PathBuf>,
+    /// Directory minimized reproducers are written to (default: cwd).
+    pub repro_dir: Option<PathBuf>,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        CampaignOptions {
+            quick: false,
+            seed: 0xb7b_c4ec,
+            store: None,
+            repro_dir: None,
+        }
+    }
+}
+
+/// One divergence found by a campaign, after minimization.
+#[derive(Debug, Clone)]
+pub struct CampaignDivergence {
+    /// Configuration that diverged.
+    pub config_name: String,
+    /// Detail of the (pre-minimization) disagreement.
+    pub detail: String,
+    /// Length of the minimized reproducer in records.
+    pub minimized_len: usize,
+    /// Reproducer path, when writing it succeeded.
+    pub repro_path: Option<PathBuf>,
+}
+
+/// Aggregate outcome of a campaign.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignOutcome {
+    /// Per-(config, trace) differential replays, divergent or not.
+    pub replays: Vec<ReplayReport>,
+    /// Minimized divergences (empty on a clean run).
+    pub divergences: Vec<CampaignDivergence>,
+    /// Simulator invariant violations (empty on a clean run).
+    pub invariant_failures: Vec<String>,
+    /// Total differential lookups performed across all replays.
+    pub total_lookups: u64,
+}
+
+impl CampaignOutcome {
+    /// Whether the campaign finished with no divergence and no invariant
+    /// violation.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.divergences.is_empty() && self.invariant_failures.is_empty()
+    }
+}
+
+fn base_trace(opts: &CampaignOptions, seed: u64, insts: usize) -> Trace {
+    let profile = WorkloadProfile::tiny(seed);
+    if let Some(root) = &opts.store {
+        if let Ok(store) = btb_store::Store::open(root) {
+            if let Some(trace) = store.get_trace(&profile, insts) {
+                return trace;
+            }
+            let trace = Trace::generate(&profile, insts);
+            store.put_trace(&profile, insts, &trace);
+            return trace;
+        }
+    }
+    Trace::generate(&profile, insts)
+}
+
+/// The campaign's trace pool: two generated workloads plus mutated variants
+/// of each (structure-aware fuzzing — truncations, direction flips,
+/// indirect retargets and block splices).
+fn campaign_traces(opts: &CampaignOptions) -> Vec<(String, Vec<TraceRecord>)> {
+    let insts = if opts.quick { 60_000 } else { 250_000 };
+    let mutants_per_base = if opts.quick { 2 } else { 4 };
+    let mut traces = Vec::new();
+    for t in 0..2u64 {
+        let base = base_trace(opts, opts.seed.wrapping_add(t), insts);
+        for m in 0..mutants_per_base {
+            let mut records = base.records.clone();
+            let mutation_seed = opts.seed ^ (t << 32) ^ m;
+            for mutation in random_mutations(mutation_seed, records.len(), 8) {
+                mutation.apply(&mut records);
+            }
+            traces.push((format!("{}-mut{m}", base.name), records));
+        }
+        traces.push((base.name.clone(), base.records));
+    }
+    traces
+}
+
+/// Runs the per-configuration simulator invariant phase: a full pipeline
+/// simulation with the probe event stream on, validated against the
+/// conservation laws.
+fn sim_invariants(config: &BtbConfig, records: &[TraceRecord], quick: bool) -> Vec<String> {
+    let insts = if quick { 20_000 } else { 60_000 };
+    let slice = &records[..records.len().min(insts)];
+    let pipeline = PipelineConfig::paper().with_warmup(insts as u64 / 10);
+    let width = pipeline.width as u64;
+    let (report, log) = Simulator::new(slice, config.clone(), pipeline).run_with_events();
+    let mut errs: Vec<String> = check_report(&report, width)
+        .into_iter()
+        .map(|e| format!("{}: {e}", config.name))
+        .collect();
+    errs.extend(
+        check_probe_log(&log)
+            .into_iter()
+            .map(|e| format!("{}: probe log: {e}", config.name)),
+    );
+    errs
+}
+
+fn handle_divergence(
+    config: &BtbConfig,
+    trace_name: &str,
+    records: &[TraceRecord],
+    report: &ReplayReport,
+    repro_dir: Option<&Path>,
+) -> CampaignDivergence {
+    let detail = report
+        .divergence
+        .as_ref()
+        .map_or_else(String::new, |d| d.detail.clone());
+    let minimal = minimize(records, |cand| {
+        replay(config, cand, CHECKPOINT_EVERY).divergence.is_some()
+    });
+    let dir = repro_dir.unwrap_or_else(|| Path::new("."));
+    let file = dir.join(format!(
+        "{}-{}.repro",
+        config.name.replace([' ', '/'], "_").to_lowercase(),
+        trace_name
+    ));
+    let repro_path = match write_repro(&file, &config.name, &minimal) {
+        Ok(()) => Some(file),
+        Err(e) => {
+            eprintln!("btb-check: cannot write reproducer {}: {e}", file.display());
+            eprintln!("{}", format_repro(&config.name, &minimal));
+            None
+        }
+    };
+    CampaignDivergence {
+        config_name: config.name.clone(),
+        detail,
+        minimized_len: minimal.len(),
+        repro_path,
+    }
+}
+
+/// Runs a full differential campaign over every roster configuration.
+#[must_use]
+pub fn run_campaign(opts: &CampaignOptions) -> CampaignOutcome {
+    let traces = campaign_traces(opts);
+    let mut outcome = CampaignOutcome::default();
+    for config in campaign_configs() {
+        for (trace_name, records) in &traces {
+            let report = replay(&config, records, CHECKPOINT_EVERY);
+            outcome.total_lookups += report.lookups;
+            if report.divergence.is_some() {
+                outcome.divergences.push(handle_divergence(
+                    &config,
+                    trace_name,
+                    records,
+                    &report,
+                    opts.repro_dir.as_deref(),
+                ));
+            }
+            outcome.replays.push(report);
+        }
+        // Invariant phase on the unmutated first trace only: mutants are
+        // fair game for update-only replay but are not coherent dynamic
+        // instruction streams, which the pipeline model assumes.
+        let (_, base_records) = traces.last().expect("trace pool non-empty");
+        outcome
+            .invariant_failures
+            .extend(sim_invariants(&config, base_records, opts.quick));
+    }
+    outcome
+}
+
+/// Quick fixed-seed differential pass over the whole roster, used as the
+/// pre-flight gate of the harness `figures` binary.
+///
+/// # Errors
+/// Returns the first divergence description.
+pub fn run_preflight() -> Result<u64, String> {
+    let trace = Trace::generate(&WorkloadProfile::tiny(0xf11), 20_000);
+    let mut lookups = 0;
+    for config in campaign_configs() {
+        let report = replay(&config, &trace.records, CHECKPOINT_EVERY);
+        lookups += report.lookups;
+        if let Some(d) = report.divergence {
+            return Err(format!(
+                "{}: divergence at record {} (pc {:#x}): {}",
+                config.name, d.index, d.pc, d.detail
+            ));
+        }
+    }
+    Ok(lookups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_covers_every_org_kind() {
+        let configs = campaign_configs();
+        let has = |pred: fn(&OrgKind) -> bool| configs.iter().any(|c| pred(&c.kind));
+        assert!(has(|k| matches!(k, OrgKind::Instruction { .. })));
+        assert!(has(|k| matches!(k, OrgKind::Region { .. })));
+        assert!(has(|k| matches!(k, OrgKind::RegionOverflow { .. })));
+        assert!(has(|k| matches!(k, OrgKind::Block { .. })));
+        assert!(has(|k| matches!(k, OrgKind::HeteroBlockRegion { .. })));
+        assert!(has(|k| matches!(k, OrgKind::MultiBlock { .. })));
+        assert!(has(|k| matches!(
+            k,
+            OrgKind::Region {
+                dual_interleave: true,
+                ..
+            }
+        )));
+        assert!(has(|k| matches!(k, OrgKind::Block { split: true, .. })));
+    }
+
+    #[test]
+    fn config_names_are_unique_and_resolvable() {
+        let configs = campaign_configs();
+        for c in &configs {
+            assert_eq!(config_by_name(&c.name).as_ref(), Some(c));
+        }
+        let mut names: Vec<_> = configs.iter().map(|c| c.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), configs.len());
+    }
+}

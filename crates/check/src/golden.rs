@@ -1,0 +1,1341 @@
+//! Cycle-free golden functional models of every BTB organization.
+//!
+//! Each golden model reimplements the organization's *contract* — which
+//! branches are tracked, where, with what metadata, and which entries are
+//! displaced under pressure — over a completely different storage substrate:
+//! ordered maps ([`std::collections::BTreeMap`]) keyed by `(set, key)`
+//! instead of the flat way arrays of `btb_core::SetAssoc`. The differential
+//! replayer feeds the same update stream to a real organization and its
+//! golden twin and diffs their [`BranchProbe`] answers and canonical
+//! [`BtbState`] dumps; any disagreement in set indexing, LRU victim
+//! selection, two-level orchestration or entry bookkeeping surfaces as a
+//! divergence.
+//!
+//! The models intentionally mirror the organizations' *update* semantics
+//! (the contract) but never execute `plan`/`preload`: replay is
+//! update-and-probe only, so both sides stay deterministic and comparable.
+
+use btb_core::{BranchProbe, BtbConfig, BtbLevel, BtbState, LevelGeometry, LevelState, OrgKind};
+use btb_trace::{Addr, BranchKind, TraceRecord, INST_BYTES};
+use std::collections::BTreeMap;
+
+/// The oracle contract: a golden model replays the same update stream as a
+/// real `btb_core::BtbOrganization` and must answer probes and state dumps
+/// identically.
+pub trait OracleOrg {
+    /// Observes one retired trace record (mirror of `BtbOrganization::update`).
+    fn update(&mut self, rec: &TraceRecord);
+    /// Peek-only branch probe (mirror of `BtbOrganization::probe_branch`).
+    fn probe_branch(&self, pc: Addr) -> Option<BranchProbe>;
+    /// Canonical state dump (mirror of `BtbOrganization::dump_state`).
+    fn dump_state(&self) -> BtbState;
+}
+
+/// Builds the golden twin of the organization described by `config`.
+#[must_use]
+pub fn golden_for(config: &BtbConfig) -> Box<dyn OracleOrg> {
+    match config.kind {
+        OrgKind::Instruction { .. } => Box::new(GoldenInstruction::new(config)),
+        OrgKind::Region { .. } => Box::new(GoldenRegion::new(config, 0)),
+        OrgKind::RegionOverflow { .. } => Box::new(GoldenRegionOverflow::new(config)),
+        OrgKind::Block { .. } => Box::new(GoldenBlock::new(config)),
+        OrgKind::HeteroBlockRegion { .. } => Box::new(GoldenHetero::new(config)),
+        OrgKind::MultiBlock { .. } => Box::new(GoldenMultiBlock::new(config)),
+    }
+}
+
+/// Golden R-BTB with a deliberately wrong L1 set index (`(key + bias) & mask`
+/// instead of `key & mask`). Used by the seeded-fault tests to demonstrate
+/// that the differential harness catches set-indexing bugs and shrinks them.
+#[doc(hidden)]
+#[must_use]
+pub fn faulty_region_oracle(config: &BtbConfig, set_bias: u64) -> Box<dyn OracleOrg> {
+    assert!(matches!(config.kind, OrgKind::Region { .. }));
+    Box::new(GoldenRegion::new(config, set_bias))
+}
+
+// ---------------------------------------------------------------------------
+// Storage substrate
+// ---------------------------------------------------------------------------
+
+/// A set-associative level modelled as an ordered map keyed by `(set, key)`.
+///
+/// Recency mirrors `SetAssoc` tick-for-tick: `peek` never touches it,
+/// `get_mut`/`insert` stamp a fresh tick, `get_or_insert_with` is
+/// peek-then-insert-then-get_mut (two ticks on a miss, one on a hit).
+#[derive(Debug, Clone)]
+struct GoldenLevel<E> {
+    sets: u64,
+    ways: usize,
+    /// Set-index fault injection for the seeded-fault tests; 0 in real use.
+    set_bias: u64,
+    map: BTreeMap<(u64, u64), (u64, E)>,
+    tick: u64,
+}
+
+impl<E> GoldenLevel<E> {
+    fn new(g: LevelGeometry) -> Self {
+        GoldenLevel {
+            sets: g.sets as u64,
+            ways: g.ways,
+            set_bias: 0,
+            map: BTreeMap::new(),
+            tick: 0,
+        }
+    }
+
+    fn set_of(&self, key: u64) -> u64 {
+        key.wrapping_add(self.set_bias) & (self.sets - 1)
+    }
+
+    fn peek(&self, key: u64) -> Option<&E> {
+        self.map.get(&(self.set_of(key), key)).map(|(_, e)| e)
+    }
+
+    fn get_mut(&mut self, key: u64) -> Option<&mut E> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map
+            .get_mut(&(self.set_of(key), key))
+            .map(|(stamp, e)| {
+                *stamp = tick;
+                e
+            })
+    }
+
+    fn insert(&mut self, key: u64, data: E) -> Option<(u64, E)> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(key);
+        if let Some(slot) = self.map.get_mut(&(set, key)) {
+            *slot = (tick, data);
+            return None;
+        }
+        let resident = self.map.range((set, 0)..=(set, u64::MAX)).count();
+        if resident < self.ways {
+            self.map.insert((set, key), (tick, data));
+            return None;
+        }
+        let victim = self
+            .map
+            .range((set, 0)..=(set, u64::MAX))
+            .min_by_key(|(_, (stamp, _))| *stamp)
+            .map(|((_, k), _)| *k)
+            .expect("set is full");
+        let (_, old) = self.map.remove(&(set, victim)).expect("victim exists");
+        self.map.insert((set, key), (tick, data));
+        Some((victim, old))
+    }
+
+    fn get_or_insert_with<F: FnOnce() -> E>(&mut self, key: u64, default: F) -> &mut E {
+        if self.peek(key).is_none() {
+            let _evicted = self.insert(key, default());
+        }
+        self.get_mut(key).expect("just inserted")
+    }
+
+    fn dump<F: Fn(&E) -> String>(&self, f: F) -> LevelState {
+        let mut sets: Vec<Vec<(u64, u64, String)>> = vec![Vec::new(); self.sets as usize];
+        for ((set, key), (stamp, e)) in &self.map {
+            sets[*set as usize].push((*stamp, *key, f(e)));
+        }
+        LevelState {
+            sets: sets
+                .into_iter()
+                .map(|mut ways| {
+                    ways.sort_by_key(|(stamp, _, _)| *stamp);
+                    ways.into_iter().map(|(_, k, s)| (k, s)).collect()
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Two golden levels with the `TwoLevel` orchestration contract.
+#[derive(Debug, Clone)]
+struct GoldenTwoLevel<E: Clone> {
+    l1: GoldenLevel<E>,
+    l2: Option<GoldenLevel<E>>,
+}
+
+impl<E: Clone> GoldenTwoLevel<E> {
+    fn new(l1: LevelGeometry, l2: Option<LevelGeometry>) -> Self {
+        GoldenTwoLevel {
+            l1: GoldenLevel::new(l1),
+            l2: l2.map(GoldenLevel::new),
+        }
+    }
+
+    fn peek(&self, key: u64) -> Option<(&E, BtbLevel)> {
+        if let Some(e) = self.l1.peek(key) {
+            return Some((e, BtbLevel::L1));
+        }
+        self.l2
+            .as_ref()
+            .and_then(|l2| l2.peek(key))
+            .map(|e| (e, BtbLevel::L2))
+    }
+
+    fn peek_authoritative(&self, key: u64) -> Option<&E> {
+        match &self.l2 {
+            Some(l2) => l2.peek(key),
+            None => self.l1.peek(key),
+        }
+    }
+
+    fn update_with<D: Fn() -> E, F: FnMut(&mut E)>(&mut self, key: u64, default: D, mut f: F) {
+        f(self.l1.get_or_insert_with(key, &default));
+        if let Some(l2) = &mut self.l2 {
+            f(l2.get_or_insert_with(key, &default));
+        }
+    }
+
+    fn write_both(&mut self, key: u64, entry: E) {
+        if let Some(l2) = &mut self.l2 {
+            let _evicted = l2.insert(key, entry.clone());
+        }
+        let _evicted = self.l1.insert(key, entry);
+    }
+
+    fn dump<F: Fn(&E) -> String>(&self, f: F) -> (LevelState, Option<LevelState>) {
+        (self.l1.dump(&f), self.l2.as_ref().map(|l2| l2.dump(&f)))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry types shared between golden models (canonical fmt strings must match
+// the pub(crate) formatters in btb-core byte for byte).
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct GSlot {
+    offset: u16,
+    kind: BranchKind,
+    target: Addr,
+    last_use: u64,
+}
+
+fn fmt_slots(slots: &[GSlot]) -> String {
+    slots
+        .iter()
+        .map(|s| format!("o{}:{:?}->{:#x}@{}", s.offset, s.kind, s.target, s.last_use))
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+#[derive(Debug, Clone, Default)]
+struct GBlockEntry {
+    slots: Vec<GSlot>,
+    split_len: Option<u16>,
+}
+
+fn fmt_block(e: &GBlockEntry) -> String {
+    let slots = fmt_slots(&e.slots);
+    match e.split_len {
+        Some(n) => format!("{slots}|split={n}"),
+        None => slots,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// I-BTB
+// ---------------------------------------------------------------------------
+
+struct GoldenInstruction {
+    store: GoldenTwoLevel<(BranchKind, Addr)>,
+}
+
+impl GoldenInstruction {
+    fn new(config: &BtbConfig) -> Self {
+        GoldenInstruction {
+            store: GoldenTwoLevel::new(config.l1, config.l2),
+        }
+    }
+}
+
+impl OracleOrg for GoldenInstruction {
+    fn update(&mut self, rec: &TraceRecord) {
+        let Some(kind) = rec.branch_kind() else {
+            return;
+        };
+        if !rec.taken {
+            return;
+        }
+        let target = rec.target;
+        self.store
+            .update_with(rec.pc >> 2, || (kind, target), |e| *e = (kind, target));
+    }
+
+    fn probe_branch(&self, pc: Addr) -> Option<BranchProbe> {
+        self.store
+            .peek(pc >> 2)
+            .map(|(&(kind, target), level)| BranchProbe {
+                level,
+                kind,
+                target,
+            })
+    }
+
+    fn dump_state(&self) -> BtbState {
+        let (l1, l2) = self
+            .store
+            .dump(|&(kind, target)| format!("{kind:?}->{target:#x}"));
+        BtbState {
+            l1,
+            l2,
+            aux: Vec::new(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R-BTB
+// ---------------------------------------------------------------------------
+
+struct GoldenRegion {
+    region_bytes: u64,
+    slots: usize,
+    store: GoldenTwoLevel<Vec<GSlot>>,
+    tick: u64,
+}
+
+impl GoldenRegion {
+    fn new(config: &BtbConfig, set_bias: u64) -> Self {
+        let OrgKind::Region {
+            region_bytes,
+            slots,
+            ..
+        } = config.kind
+        else {
+            panic!("golden R-BTB requires OrgKind::Region");
+        };
+        let mut store = GoldenTwoLevel::new(config.l1, config.l2);
+        store.l1.set_bias = set_bias;
+        GoldenRegion {
+            region_bytes,
+            slots,
+            store,
+            tick: 0,
+        }
+    }
+
+    fn key(&self, region: Addr) -> u64 {
+        region / self.region_bytes
+    }
+}
+
+/// The shared region-slot update contract: refresh a matching offset, insert
+/// sorted while below capacity, otherwise displace the LRU slot first.
+fn region_slot_update(
+    slots: &mut Vec<GSlot>,
+    offset: u16,
+    kind: BranchKind,
+    target: Addr,
+    tick: u64,
+    max_slots: usize,
+) {
+    if let Some(s) = slots.iter_mut().find(|s| s.offset == offset) {
+        s.kind = kind;
+        s.target = target;
+        s.last_use = tick;
+        return;
+    }
+    let new = GSlot {
+        offset,
+        kind,
+        target,
+        last_use: tick,
+    };
+    if slots.len() >= max_slots {
+        let victim = slots
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| s.last_use)
+            .map(|(i, _)| i)
+            .expect("slots non-empty");
+        slots.remove(victim);
+    }
+    let at = slots.partition_point(|s| s.offset < offset);
+    slots.insert(at, new);
+}
+
+impl OracleOrg for GoldenRegion {
+    fn update(&mut self, rec: &TraceRecord) {
+        let Some(kind) = rec.branch_kind() else {
+            return;
+        };
+        if !rec.taken {
+            return;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        let region = rec.pc & !(self.region_bytes - 1);
+        let offset = ((rec.pc - region) / INST_BYTES) as u16;
+        let target = rec.target;
+        let max_slots = self.slots;
+        self.store.update_with(self.key(region), Vec::new, |slots| {
+            region_slot_update(slots, offset, kind, target, tick, max_slots);
+        });
+    }
+
+    fn probe_branch(&self, pc: Addr) -> Option<BranchProbe> {
+        let region = pc & !(self.region_bytes - 1);
+        let offset = ((pc - region) / INST_BYTES) as u16;
+        let (slots, level) = self.store.peek(self.key(region))?;
+        let slot = slots.iter().find(|s| s.offset == offset)?;
+        Some(BranchProbe {
+            level,
+            kind: slot.kind,
+            target: slot.target,
+        })
+    }
+
+    fn dump_state(&self) -> BtbState {
+        let (l1, l2) = self.store.dump(|slots| fmt_slots(slots));
+        BtbState {
+            l1,
+            l2,
+            aux: Vec::new(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R-BTB with shared overflow storage
+// ---------------------------------------------------------------------------
+
+struct GoldenRegionOverflow {
+    region_bytes: u64,
+    slots: usize,
+    store: GoldenTwoLevel<Vec<GSlot>>,
+    overflow: GoldenLevel<(BranchKind, Addr)>,
+    spilled: GoldenLevel<()>,
+    tick: u64,
+}
+
+impl GoldenRegionOverflow {
+    fn new(config: &BtbConfig) -> Self {
+        let OrgKind::RegionOverflow {
+            region_bytes,
+            slots,
+            overflow_entries,
+        } = config.kind
+        else {
+            panic!("golden R-OVF requires OrgKind::RegionOverflow");
+        };
+        let ovf_sets = (overflow_entries / 4).next_power_of_two().max(4);
+        let ovf_geo = LevelGeometry {
+            sets: ovf_sets,
+            ways: 4,
+        };
+        GoldenRegionOverflow {
+            store: GoldenTwoLevel::new(config.l1, config.l2),
+            overflow: GoldenLevel::new(ovf_geo),
+            spilled: GoldenLevel::new(ovf_geo),
+            region_bytes,
+            slots,
+            tick: 0,
+        }
+    }
+
+    fn key(&self, region: Addr) -> u64 {
+        region / self.region_bytes
+    }
+}
+
+impl OracleOrg for GoldenRegionOverflow {
+    fn update(&mut self, rec: &TraceRecord) {
+        let Some(kind) = rec.branch_kind() else {
+            return;
+        };
+        if !rec.taken {
+            return;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        let region = rec.pc & !(self.region_bytes - 1);
+        let offset = ((rec.pc - region) / INST_BYTES) as u16;
+        let target = rec.target;
+        let max_slots = self.slots;
+        if self.overflow.get_mut(rec.pc >> 2).is_some() {
+            let _evicted = self.overflow.insert(rec.pc >> 2, (kind, target));
+            return;
+        }
+        let mut spill: Option<(Addr, GSlot)> = None;
+        self.store.update_with(self.key(region), Vec::new, |slots| {
+            if let Some(s) = slots.iter_mut().find(|s| s.offset == offset) {
+                s.kind = kind;
+                s.target = target;
+                s.last_use = tick;
+                return;
+            }
+            let new = GSlot {
+                offset,
+                kind,
+                target,
+                last_use: tick,
+            };
+            let at = slots.partition_point(|s| s.offset < offset);
+            if slots.len() < max_slots {
+                slots.insert(at, new);
+                return;
+            }
+            let victim_idx = slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.last_use)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            let victim = slots.remove(victim_idx);
+            let at = slots.partition_point(|s| s.offset < offset);
+            slots.insert(at, new);
+            spill = Some((region, victim));
+        });
+        if let Some((region, victim)) = spill {
+            let victim_pc = region + u64::from(victim.offset) * INST_BYTES;
+            let _evicted = self
+                .overflow
+                .insert(victim_pc >> 2, (victim.kind, victim.target));
+            let _evicted = self.spilled.insert(self.key(region), ());
+        }
+    }
+
+    fn probe_branch(&self, pc: Addr) -> Option<BranchProbe> {
+        let region = pc & !(self.region_bytes - 1);
+        let key = self.key(region);
+        let offset = ((pc - region) / INST_BYTES) as u16;
+        let (slots, level) = self.store.peek(key)?;
+        if let Some(slot) = slots.iter().find(|s| s.offset == offset) {
+            return Some(BranchProbe {
+                level,
+                kind: slot.kind,
+                target: slot.target,
+            });
+        }
+        if self.spilled.peek(key).is_some() {
+            if let Some(&(kind, target)) = self.overflow.peek(pc >> 2) {
+                return Some(BranchProbe {
+                    level,
+                    kind,
+                    target,
+                });
+            }
+        }
+        None
+    }
+
+    fn dump_state(&self) -> BtbState {
+        let (l1, l2) = self.store.dump(|slots| fmt_slots(slots));
+        BtbState {
+            l1,
+            l2,
+            aux: vec![
+                (
+                    "overflow".into(),
+                    self.overflow
+                        .dump(|&(kind, target)| format!("{kind:?}->{target:#x}")),
+                ),
+                ("spilled".into(), self.spilled.dump(|_e| String::new())),
+            ],
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// B-BTB
+// ---------------------------------------------------------------------------
+
+struct GoldenBlock {
+    block_insts: usize,
+    slots: usize,
+    split: bool,
+    store: GoldenTwoLevel<GBlockEntry>,
+    cur_block: Option<Addr>,
+    tick: u64,
+}
+
+impl GoldenBlock {
+    fn new(config: &BtbConfig) -> Self {
+        let OrgKind::Block {
+            block_insts,
+            slots,
+            split,
+        } = config.kind
+        else {
+            panic!("golden B-BTB requires OrgKind::Block");
+        };
+        GoldenBlock {
+            store: GoldenTwoLevel::new(config.l1, config.l2),
+            block_insts,
+            slots,
+            split,
+            cur_block: None,
+            tick: 0,
+        }
+    }
+
+    fn block_bytes(&self) -> u64 {
+        self.block_insts as u64 * INST_BYTES
+    }
+
+    fn resolve_block(&self, mut start: Addr, pc: Addr) -> Addr {
+        loop {
+            if pc >= start + self.block_bytes() {
+                start += self.block_bytes();
+                continue;
+            }
+            if let Some((e, _)) = self.store.peek(start >> 2) {
+                if let Some(len) = e.split_len {
+                    let end = start + u64::from(len) * INST_BYTES;
+                    if pc >= end {
+                        start = end;
+                        continue;
+                    }
+                }
+            }
+            return start;
+        }
+    }
+
+    fn record_taken(&mut self, start: Addr, rec: &TraceRecord, kind: BranchKind) {
+        self.tick += 1;
+        let tick = self.tick;
+        let offset = ((rec.pc - start) / INST_BYTES) as u16;
+        let target = rec.target;
+        let max_slots = self.slots;
+        let split = self.split;
+        let mut overflow_split: Option<(GSlot, u16)> = None;
+        self.store
+            .update_with(start >> 2, GBlockEntry::default, |e| {
+                if let Some(s) = e.slots.iter_mut().find(|s| s.offset == offset) {
+                    s.kind = kind;
+                    s.target = target;
+                    s.last_use = tick;
+                    return;
+                }
+                let new = GSlot {
+                    offset,
+                    kind,
+                    target,
+                    last_use: tick,
+                };
+                let at = e.slots.partition_point(|s| s.offset < offset);
+                if e.slots.len() < max_slots {
+                    e.slots.insert(at, new);
+                    return;
+                }
+                if split {
+                    let mut staging = e.slots.clone();
+                    staging.insert(at, new);
+                    let moved = staging.pop().expect("staging has n+1 slots");
+                    let split_at = staging.last().expect("n >= 1").offset + 1;
+                    e.slots = staging;
+                    e.split_len = Some(split_at);
+                    overflow_split = Some((moved, split_at));
+                } else {
+                    let victim = e
+                        .slots
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, s)| s.last_use)
+                        .map(|(i, _)| i)
+                        .expect("slots non-empty");
+                    e.slots.remove(victim);
+                    let at = e.slots.partition_point(|s| s.offset < offset);
+                    e.slots.insert(at, new);
+                }
+            });
+        if let Some((moved, split_at)) = overflow_split {
+            let succ_start = start + u64::from(split_at) * INST_BYTES;
+            let rebased = GSlot {
+                offset: moved.offset - split_at,
+                ..moved
+            };
+            self.store
+                .update_with(succ_start >> 2, GBlockEntry::default, |e| {
+                    if let Some(s) = e.slots.iter_mut().find(|s| s.offset == rebased.offset) {
+                        s.kind = rebased.kind;
+                        s.target = rebased.target;
+                        s.last_use = tick;
+                    } else if e.slots.len() < max_slots {
+                        let at = e.slots.partition_point(|s| s.offset < rebased.offset);
+                        e.slots.insert(at, rebased.clone());
+                    }
+                });
+        }
+    }
+}
+
+impl OracleOrg for GoldenBlock {
+    fn update(&mut self, rec: &TraceRecord) {
+        let Some(kind) = rec.branch_kind() else {
+            return;
+        };
+        let start = self.resolve_block(self.cur_block.unwrap_or(rec.pc).min(rec.pc), rec.pc);
+        if rec.taken {
+            self.record_taken(start, rec, kind);
+            self.cur_block = Some(rec.target);
+        } else {
+            self.cur_block = Some(start);
+        }
+    }
+
+    fn probe_branch(&self, pc: Addr) -> Option<BranchProbe> {
+        for d in 0..self.block_insts as u64 {
+            let Some(start) = pc.checked_sub(d * INST_BYTES) else {
+                break;
+            };
+            if let Some((e, level)) = self.store.peek(start >> 2) {
+                if let Some(slot) = e.slots.iter().find(|s| u64::from(s.offset) == d) {
+                    return Some(BranchProbe {
+                        level,
+                        kind: slot.kind,
+                        target: slot.target,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    fn dump_state(&self) -> BtbState {
+        let (l1, l2) = self.store.dump(fmt_block);
+        BtbState {
+            l1,
+            l2,
+            aux: Vec::new(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Heterogeneous Block-L1 / Region-L2
+// ---------------------------------------------------------------------------
+
+struct GoldenHetero {
+    block_insts: usize,
+    l1_slots: usize,
+    split: bool,
+    region_bytes: u64,
+    l2_slots: usize,
+    l1: GoldenLevel<GBlockEntry>,
+    l2: GoldenLevel<Vec<GSlot>>,
+    cur_block: Option<Addr>,
+    tick: u64,
+}
+
+impl GoldenHetero {
+    fn new(config: &BtbConfig) -> Self {
+        let OrgKind::HeteroBlockRegion {
+            block_insts,
+            l1_slots,
+            split,
+            region_bytes,
+            l2_slots,
+        } = config.kind
+        else {
+            panic!("golden hetero requires OrgKind::HeteroBlockRegion");
+        };
+        let l2_geo = config.l2.expect("heterogeneous hierarchy needs an L2");
+        GoldenHetero {
+            l1: GoldenLevel::new(config.l1),
+            l2: GoldenLevel::new(l2_geo),
+            block_insts,
+            l1_slots,
+            split,
+            region_bytes,
+            l2_slots,
+            cur_block: None,
+            tick: 0,
+        }
+    }
+
+    fn block_bytes(&self) -> u64 {
+        self.block_insts as u64 * INST_BYTES
+    }
+
+    fn resolve_block(&self, mut start: Addr, pc: Addr) -> Addr {
+        loop {
+            if pc >= start + self.block_bytes() {
+                start += self.block_bytes();
+                continue;
+            }
+            if let Some(e) = self.l1.peek(start >> 2) {
+                if let Some(len) = e.split_len {
+                    let end = start + u64::from(len) * INST_BYTES;
+                    if pc >= end {
+                        start = end;
+                        continue;
+                    }
+                }
+            }
+            return start;
+        }
+    }
+
+    fn update_l1(&mut self, start: Addr, rec: &TraceRecord, kind: BranchKind) {
+        self.tick += 1;
+        let tick = self.tick;
+        let offset = ((rec.pc - start) / INST_BYTES) as u16;
+        let target = rec.target;
+        let max_slots = self.l1_slots;
+        let split = self.split;
+        let mut overflow: Option<(GSlot, u16)> = None;
+        {
+            let e = self.l1.get_or_insert_with(start >> 2, GBlockEntry::default);
+            if let Some(s) = e.slots.iter_mut().find(|s| s.offset == offset) {
+                s.kind = kind;
+                s.target = target;
+                s.last_use = tick;
+            } else {
+                let new = GSlot {
+                    offset,
+                    kind,
+                    target,
+                    last_use: tick,
+                };
+                let at = e.slots.partition_point(|s| s.offset < offset);
+                if e.slots.len() < max_slots {
+                    e.slots.insert(at, new);
+                } else if split {
+                    let mut staging = e.slots.clone();
+                    staging.insert(at, new);
+                    let moved = staging.pop().expect("n+1 slots");
+                    let split_at = staging.last().expect("n >= 1").offset + 1;
+                    e.slots = staging;
+                    e.split_len = Some(split_at);
+                    overflow = Some((moved, split_at));
+                } else {
+                    let victim = e
+                        .slots
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, s)| s.last_use)
+                        .map(|(i, _)| i)
+                        .expect("non-empty");
+                    e.slots.remove(victim);
+                    let at = e.slots.partition_point(|s| s.offset < offset);
+                    e.slots.insert(at, new);
+                }
+            }
+        }
+        if let Some((moved, split_at)) = overflow {
+            let succ = start + u64::from(split_at) * INST_BYTES;
+            let rebased = GSlot {
+                offset: moved.offset - split_at,
+                ..moved
+            };
+            let e = self.l1.get_or_insert_with(succ >> 2, GBlockEntry::default);
+            if !e.slots.iter().any(|s| s.offset == rebased.offset) && e.slots.len() < max_slots {
+                let at = e.slots.partition_point(|s| s.offset < rebased.offset);
+                e.slots.insert(at, rebased);
+            }
+        }
+    }
+
+    fn update_l2(&mut self, rec: &TraceRecord, kind: BranchKind) {
+        self.tick += 1;
+        let tick = self.tick;
+        let region = rec.pc & !(self.region_bytes - 1);
+        let offset = ((rec.pc - region) / INST_BYTES) as u16;
+        let target = rec.target;
+        let max_slots = self.l2_slots;
+        let e = self
+            .l2
+            .get_or_insert_with(region / self.region_bytes, Vec::new);
+        region_slot_update(e, offset, kind, target, tick, max_slots);
+    }
+}
+
+impl OracleOrg for GoldenHetero {
+    fn update(&mut self, rec: &TraceRecord) {
+        let Some(kind) = rec.branch_kind() else {
+            return;
+        };
+        let start = self.resolve_block(self.cur_block.unwrap_or(rec.pc).min(rec.pc), rec.pc);
+        if rec.taken {
+            self.update_l1(start, rec, kind);
+            self.update_l2(rec, kind);
+            self.cur_block = Some(rec.target);
+        } else {
+            self.cur_block = Some(start);
+        }
+    }
+
+    fn probe_branch(&self, pc: Addr) -> Option<BranchProbe> {
+        for d in 0..self.block_insts as u64 {
+            let Some(start) = pc.checked_sub(d * INST_BYTES) else {
+                break;
+            };
+            if let Some(e) = self.l1.peek(start >> 2) {
+                if let Some(slot) = e.slots.iter().find(|s| u64::from(s.offset) == d) {
+                    return Some(BranchProbe {
+                        level: BtbLevel::L1,
+                        kind: slot.kind,
+                        target: slot.target,
+                    });
+                }
+            }
+        }
+        let region = pc & !(self.region_bytes - 1);
+        let offset = ((pc - region) / INST_BYTES) as u16;
+        let slots = self.l2.peek(region / self.region_bytes)?;
+        let slot = slots.iter().find(|s| s.offset == offset)?;
+        Some(BranchProbe {
+            level: BtbLevel::L2,
+            kind: slot.kind,
+            target: slot.target,
+        })
+    }
+
+    fn dump_state(&self) -> BtbState {
+        BtbState {
+            l1: self.l1.dump(fmt_block),
+            l2: Some(self.l2.dump(|slots| fmt_slots(slots))),
+            aux: Vec::new(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MB-BTB
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct GMbSlot {
+    blk: u8,
+    offset: u16,
+    kind: BranchKind,
+    target: Addr,
+    follow: bool,
+    stabl: u8,
+}
+
+#[derive(Debug, Clone, Default)]
+struct GMbEntry {
+    block_starts: Vec<Addr>,
+    slots: Vec<GMbSlot>,
+}
+
+impl GMbEntry {
+    fn slot_pos(&self, blk: u8, offset: u16) -> Result<usize, usize> {
+        self.slots
+            .binary_search_by_key(&(blk, offset), |s| (s.blk, s.offset))
+    }
+
+    fn truncate_after(&mut self, last_blk: u8) {
+        self.block_starts.truncate(usize::from(last_blk) + 1);
+        self.slots.retain(|s| s.blk <= last_blk);
+        if let Some(s) = self.slots.last_mut() {
+            if s.blk == last_blk && s.follow {
+                s.follow = false;
+            }
+        }
+    }
+}
+
+fn fmt_mbentry(e: &GMbEntry) -> String {
+    let blocks = e
+        .block_starts
+        .iter()
+        .map(|b| format!("{b:#x}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    let slots = e
+        .slots
+        .iter()
+        .map(|s| {
+            format!(
+                "b{}o{}:{:?}->{:#x}f{}s{}",
+                s.blk,
+                s.offset,
+                s.kind,
+                s.target,
+                u8::from(s.follow),
+                s.stabl
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(";");
+    format!("[{blocks}]{slots}")
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GTakenOutcome {
+    Pulled,
+    Ended,
+}
+
+struct GoldenMultiBlock {
+    block_insts: usize,
+    slots: usize,
+    pull: btb_core::PullPolicy,
+    threshold: u8,
+    allow_last_slot_pull: bool,
+    store: GoldenTwoLevel<GMbEntry>,
+    walker: Option<(Addr, u8, Addr)>,
+}
+
+impl GoldenMultiBlock {
+    fn new(config: &BtbConfig) -> Self {
+        let OrgKind::MultiBlock {
+            block_insts,
+            slots,
+            pull,
+            stability_threshold,
+            allow_last_slot_pull,
+        } = config.kind
+        else {
+            panic!("golden MB-BTB requires OrgKind::MultiBlock");
+        };
+        GoldenMultiBlock {
+            store: GoldenTwoLevel::new(config.l1, config.l2),
+            block_insts,
+            slots,
+            pull,
+            threshold: stability_threshold,
+            allow_last_slot_pull,
+            walker: None,
+        }
+    }
+
+    fn block_bytes(&self) -> u64 {
+        self.block_insts as u64 * INST_BYTES
+    }
+
+    fn kind_eligible(&self, kind: BranchKind) -> bool {
+        use btb_core::PullPolicy;
+        match kind {
+            BranchKind::UncondDirect => true,
+            BranchKind::DirectCall => {
+                matches!(self.pull, PullPolicy::CallDirect | PullPolicy::AllBranches)
+            }
+            BranchKind::CondDirect | BranchKind::IndirectJump | BranchKind::IndirectCall => {
+                matches!(self.pull, PullPolicy::AllBranches)
+            }
+            BranchKind::Return => false,
+        }
+    }
+
+    fn record_taken(
+        &mut self,
+        anchor: Addr,
+        blk: u8,
+        blk_start: Addr,
+        offset: u16,
+        kind: BranchKind,
+        target: Addr,
+    ) -> GTakenOutcome {
+        let key = anchor >> 2;
+        let mut e = self
+            .store
+            .peek_authoritative(key)
+            .cloned()
+            .unwrap_or_default();
+        if e.block_starts.is_empty() {
+            e.block_starts.push(anchor);
+        }
+        if usize::from(blk) >= e.block_starts.len() || e.block_starts[usize::from(blk)] != blk_start
+        {
+            return GTakenOutcome::Ended;
+        }
+        let outcome = self.apply_taken(&mut e, blk, offset, kind, target);
+        self.store.write_both(key, e);
+        outcome
+    }
+
+    fn apply_taken(
+        &self,
+        e: &mut GMbEntry,
+        blk: u8,
+        offset: u16,
+        kind: BranchKind,
+        target: Addr,
+    ) -> GTakenOutcome {
+        let capacity = self.slots;
+        let pos = match e.slot_pos(blk, offset) {
+            Ok(pos) => {
+                let eligible = self.kind_eligible(kind);
+                let s = &mut e.slots[pos];
+                let target_changed = s.target != target;
+                let was_follow = s.follow;
+                s.kind = kind;
+                if kind.is_indirect() && kind != BranchKind::Return {
+                    if target_changed {
+                        s.stabl = 0;
+                    } else {
+                        s.stabl = s.stabl.saturating_add(1).min(self.threshold);
+                    }
+                }
+                s.target = target;
+                if was_follow && (target_changed || !eligible) {
+                    e.truncate_after(blk);
+                }
+                pos
+            }
+            Err(_) => {
+                if usize::from(blk) + 1 < e.block_starts.len() {
+                    let term_off = e
+                        .slots
+                        .iter()
+                        .filter(|s| s.blk == blk)
+                        .map(|s| s.offset)
+                        .max();
+                    if term_off.is_none_or(|t| offset > t) {
+                        e.truncate_after(blk);
+                    }
+                }
+                if e.slots.len() >= capacity {
+                    let _victim = e.slots.pop().expect("slots at capacity");
+                    let keep = usize::from(
+                        e.slots
+                            .iter()
+                            .filter(|s| s.follow)
+                            .map(|s| s.blk + 1)
+                            .max()
+                            .unwrap_or(0),
+                    ) + 1;
+                    e.block_starts.truncate(keep);
+                    if usize::from(blk) >= e.block_starts.len() {
+                        return GTakenOutcome::Ended;
+                    }
+                    let limit = e.block_starts.len() as u8;
+                    e.slots.retain(|s| s.blk < limit);
+                }
+                let at = e
+                    .slots
+                    .partition_point(|s| (s.blk, s.offset) < (blk, offset));
+                e.slots.insert(
+                    at,
+                    GMbSlot {
+                        blk,
+                        offset,
+                        kind,
+                        target,
+                        follow: false,
+                        stabl: if kind.is_indirect() && kind != BranchKind::Return {
+                            0
+                        } else {
+                            self.threshold
+                        },
+                    },
+                );
+                at
+            }
+        };
+        let slot = e.slots[pos].clone();
+        let is_last_in_entry = pos == e.slots.len() - 1;
+        if !is_last_in_entry {
+            if slot.follow && e.block_starts.get(usize::from(blk) + 1) == Some(&slot.target) {
+                return GTakenOutcome::Pulled;
+            }
+            return GTakenOutcome::Ended;
+        }
+        let already_chained =
+            slot.follow && e.block_starts.get(usize::from(blk) + 1) == Some(&slot.target);
+        if already_chained {
+            return GTakenOutcome::Pulled;
+        }
+        let slot_index_ok = pos < self.slots - 1 || self.allow_last_slot_pull;
+        let stable = slot.stabl >= self.threshold;
+        if self.kind_eligible(slot.kind)
+            && stable
+            && slot_index_ok
+            && e.block_starts.len() < self.slots + 1
+            && usize::from(blk) + 1 == e.block_starts.len()
+        {
+            e.slots[pos].follow = true;
+            e.block_starts.push(slot.target);
+            return GTakenOutcome::Pulled;
+        }
+        GTakenOutcome::Ended
+    }
+
+    fn record_not_taken(&mut self, anchor: Addr, blk: u8, offset: u16) {
+        let key = anchor >> 2;
+        let Some(cur) = self.store.peek_authoritative(key) else {
+            return;
+        };
+        let Ok(pos) = cur.slot_pos(blk, offset) else {
+            return;
+        };
+        let slot = &cur.slots[pos];
+        if !slot.follow && slot.stabl == 0 {
+            return;
+        }
+        let mut e = cur.clone();
+        if e.slots[pos].follow {
+            e.truncate_after(blk);
+        }
+        e.slots[pos].stabl = 0;
+        self.store.write_both(key, e);
+    }
+}
+
+impl OracleOrg for GoldenMultiBlock {
+    fn update(&mut self, rec: &TraceRecord) {
+        let Some(kind) = rec.branch_kind() else {
+            return;
+        };
+        let (mut anchor, mut blk, mut blk_start) = self.walker.unwrap_or((rec.pc, 0, rec.pc));
+        if rec.pc < blk_start {
+            anchor = rec.pc;
+            blk = 0;
+            blk_start = rec.pc;
+        }
+        while rec.pc >= blk_start + self.block_bytes() {
+            blk_start += self.block_bytes();
+            anchor = blk_start;
+            blk = 0;
+        }
+        if blk > 0 {
+            let ok = self
+                .store
+                .peek_authoritative(anchor >> 2)
+                .is_some_and(|e| e.block_starts.get(usize::from(blk)) == Some(&blk_start));
+            if !ok {
+                anchor = blk_start;
+                blk = 0;
+            }
+        }
+        let offset = ((rec.pc - blk_start) / INST_BYTES) as u16;
+        if rec.taken {
+            let outcome = self.record_taken(anchor, blk, blk_start, offset, kind, rec.target);
+            self.walker = Some(match outcome {
+                GTakenOutcome::Pulled => (anchor, blk + 1, rec.target),
+                GTakenOutcome::Ended => (rec.target, 0, rec.target),
+            });
+        } else {
+            self.record_not_taken(anchor, blk, offset);
+            self.walker = Some((anchor, blk, blk_start));
+        }
+    }
+
+    fn probe_branch(&self, pc: Addr) -> Option<BranchProbe> {
+        for d in 0..self.block_insts as u64 {
+            let Some(start) = pc.checked_sub(d * INST_BYTES) else {
+                break;
+            };
+            if let Some((e, level)) = self.store.peek(start >> 2) {
+                if e.block_starts.first() == Some(&start) {
+                    if let Ok(pos) = e.slot_pos(0, d as u16) {
+                        let s = &e.slots[pos];
+                        return Some(BranchProbe {
+                            level,
+                            kind: s.kind,
+                            target: s.target,
+                        });
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn dump_state(&self) -> BtbState {
+        let (l1, l2) = self.store.dump(fmt_mbentry);
+        BtbState {
+            l1,
+            l2,
+            aux: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_level_mirrors_lru_eviction() {
+        let mut g: GoldenLevel<&str> = GoldenLevel::new(LevelGeometry { sets: 1, ways: 2 });
+        assert!(g.insert(1, "a").is_none());
+        assert!(g.insert(3, "b").is_none());
+        assert!(g.get_mut(1).is_some());
+        assert_eq!(g.insert(5, "c"), Some((3, "b")));
+        assert!(g.peek(1).is_some());
+        assert!(g.peek(3).is_none());
+    }
+
+    #[test]
+    fn golden_level_peek_never_promotes() {
+        let mut g: GoldenLevel<&str> = GoldenLevel::new(LevelGeometry { sets: 1, ways: 2 });
+        let _ = g.insert(1, "a");
+        let _ = g.insert(3, "b");
+        assert_eq!(g.peek(1), Some(&"a"));
+        assert_eq!(g.insert(5, "c"), Some((1, "a")));
+    }
+
+    #[test]
+    fn golden_level_dump_orders_lru_to_mru() {
+        let mut g: GoldenLevel<&str> = GoldenLevel::new(LevelGeometry { sets: 1, ways: 3 });
+        let _ = g.insert(1, "a");
+        let _ = g.insert(3, "b");
+        let _ = g.insert(5, "c");
+        assert!(g.get_mut(1).is_some());
+        let d = g.dump(|e| (*e).to_owned());
+        let keys: Vec<u64> = d.sets[0].iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![3, 5, 1]);
+    }
+
+    #[test]
+    fn factory_covers_every_kind() {
+        use btb_core::PullPolicy;
+        let kinds = [
+            OrgKind::Instruction {
+                width: 16,
+                skip_taken: false,
+            },
+            OrgKind::Region {
+                region_bytes: 64,
+                slots: 2,
+                dual_interleave: true,
+            },
+            OrgKind::RegionOverflow {
+                region_bytes: 64,
+                slots: 2,
+                overflow_entries: 256,
+            },
+            OrgKind::Block {
+                block_insts: 16,
+                slots: 2,
+                split: true,
+            },
+            OrgKind::MultiBlock {
+                block_insts: 16,
+                slots: 2,
+                pull: PullPolicy::AllBranches,
+                stability_threshold: 3,
+                allow_last_slot_pull: false,
+            },
+        ];
+        for kind in kinds {
+            let mut g = golden_for(&BtbConfig::ideal("k", kind));
+            g.update(&TraceRecord::branch(
+                0x1008,
+                BranchKind::UncondDirect,
+                true,
+                0x2000,
+            ));
+            assert!(g.probe_branch(0x1008).is_some(), "{kind:?}");
+        }
+        let hetero = BtbConfig::realistic(
+            "hetero",
+            OrgKind::HeteroBlockRegion {
+                block_insts: 16,
+                l1_slots: 2,
+                split: true,
+                region_bytes: 64,
+                l2_slots: 4,
+            },
+        );
+        let mut g = golden_for(&hetero);
+        g.update(&TraceRecord::branch(
+            0x1008,
+            BranchKind::UncondDirect,
+            true,
+            0x2000,
+        ));
+        assert!(g.probe_branch(0x1008).is_some());
+    }
+}

@@ -1,0 +1,213 @@
+//! Conservation-law checks on simulator output.
+//!
+//! Every [`SimReport`] the pipeline produces must satisfy a set of exact
+//! counter identities (each retired taken branch is serviced by exactly one
+//! of L1 hit / L2 hit / decode misfetch / execute resteer) and bounds
+//! (instructions cannot exceed pipeline width × cycles). With the sim's
+//! `probe` feature on, the per-bundle event stream is additionally
+//! cross-checked against the raw cumulative counters.
+
+use btb_sim::{ProbeLog, SimReport};
+
+/// Validates a post-warm-up report against the simulator's conservation
+/// laws. Returns one message per violated invariant (empty = valid).
+///
+/// `width` is the pipeline's fetch/commit width (16 for the paper
+/// pipeline), used for the `instructions ≤ width × cycles` bound.
+#[must_use]
+pub fn check_report(report: &SimReport, width: u64) -> Vec<String> {
+    let s = &report.stats;
+    let mut errs = Vec::new();
+    let mut law = |ok: bool, msg: String| {
+        if !ok {
+            errs.push(msg);
+        }
+    };
+    let serviced = s.taken_l1_hits + s.taken_l2_hits + s.misfetches + s.untracked_exec_resteers;
+    law(
+        s.taken_branches == serviced,
+        format!(
+            "taken-branch conservation: {} taken but {} serviced \
+             (l1 {} + l2 {} + misfetch {} + resteer {})",
+            s.taken_branches,
+            serviced,
+            s.taken_l1_hits,
+            s.taken_l2_hits,
+            s.misfetches,
+            s.untracked_exec_resteers
+        ),
+    );
+    law(
+        s.fetch_pcs == s.instructions,
+        format!(
+            "fetch PCs ({}) must equal retired instructions ({})",
+            s.fetch_pcs, s.instructions
+        ),
+    );
+    law(
+        s.btb_accesses <= s.instructions,
+        format!(
+            "BTB accesses ({}) exceed instructions ({})",
+            s.btb_accesses, s.instructions
+        ),
+    );
+    law(
+        s.branches <= s.instructions,
+        format!(
+            "branches ({}) exceed instructions ({})",
+            s.branches, s.instructions
+        ),
+    );
+    law(
+        s.taken_branches <= s.branches,
+        format!(
+            "taken branches ({}) exceed branches ({})",
+            s.taken_branches, s.branches
+        ),
+    );
+    law(
+        s.cond_branches <= s.branches,
+        format!(
+            "conditional branches ({}) exceed branches ({})",
+            s.cond_branches, s.branches
+        ),
+    );
+    law(
+        s.cond_mispredicts <= s.cond_branches,
+        format!(
+            "conditional mispredicts ({}) exceed conditional branches ({})",
+            s.cond_mispredicts, s.cond_branches
+        ),
+    );
+    law(
+        s.indirect_mispredicts <= s.taken_branches,
+        format!(
+            "indirect mispredicts ({}) exceed taken branches ({})",
+            s.indirect_mispredicts, s.taken_branches
+        ),
+    );
+    law(
+        s.instructions <= width * s.last_commit_cycle.max(1),
+        format!(
+            "{} instructions retired in {} cycles exceeds width {}",
+            s.instructions, s.last_commit_cycle, width
+        ),
+    );
+    for (name, v) in [
+        ("l1i_hit_rate", report.l1i_hit_rate),
+        ("l1_occupancy", report.l1_occupancy),
+        ("l1_redundancy", report.l1_redundancy),
+        ("l2_occupancy", report.l2_occupancy),
+        ("l2_redundancy", report.l2_redundancy),
+    ] {
+        law(
+            v.is_finite() && v >= 0.0,
+            format!("{name} = {v} must be finite and non-negative"),
+        );
+    }
+    law(
+        report.l1i_hit_rate <= 1.0,
+        format!("l1i_hit_rate = {} exceeds 1", report.l1i_hit_rate),
+    );
+    errs
+}
+
+/// Cross-validates the per-bundle event stream against the raw cumulative
+/// counters it was collected alongside. Returns violations (empty = valid).
+#[must_use]
+pub fn check_probe_log(log: &ProbeLog) -> Vec<String> {
+    let mut errs = Vec::new();
+    if log.bundles.len() as u64 != log.raw.btb_accesses {
+        errs.push(format!(
+            "{} bundle events but {} BTB accesses",
+            log.bundles.len(),
+            log.raw.btb_accesses
+        ));
+    }
+    let mut consumed = 0u64;
+    for (i, b) in log.bundles.iter().enumerate() {
+        if b.records_consumed == 0 {
+            errs.push(format!(
+                "bundle {i} at {:#x} consumed zero records",
+                b.access_pc
+            ));
+        }
+        consumed += b.records_consumed as u64;
+    }
+    if consumed != log.raw.instructions {
+        errs.push(format!(
+            "bundles consumed {consumed} records but {} instructions retired",
+            log.raw.instructions
+        ));
+    }
+    if log.raw.fetch_pcs != log.raw.instructions {
+        errs.push(format!(
+            "raw fetch PCs ({}) must equal raw instructions ({})",
+            log.raw.fetch_pcs, log.raw.instructions
+        ));
+    }
+    errs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btb_sim::SimStats;
+
+    fn consistent_report() -> SimReport {
+        SimReport {
+            config_name: "test".into(),
+            workload: "w".into(),
+            stats: SimStats {
+                instructions: 1000,
+                last_commit_cycle: 500,
+                btb_accesses: 200,
+                fetch_pcs: 1000,
+                branches: 120,
+                taken_branches: 80,
+                taken_l1_hits: 60,
+                taken_l2_hits: 10,
+                cond_mispredicts: 5,
+                indirect_mispredicts: 2,
+                misfetches: 6,
+                untracked_exec_resteers: 4,
+                cond_branches: 70,
+            },
+            l1_occupancy: 1.5,
+            l1_redundancy: 1.0,
+            l2_occupancy: 1.2,
+            l2_redundancy: 1.1,
+            l1i_hit_rate: 0.97,
+        }
+    }
+
+    #[test]
+    fn consistent_report_passes() {
+        assert!(check_report(&consistent_report(), 16).is_empty());
+    }
+
+    #[test]
+    fn broken_conservation_is_reported() {
+        let mut r = consistent_report();
+        r.stats.taken_l1_hits -= 1;
+        let errs = check_report(&r, 16);
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].contains("conservation"), "{errs:?}");
+    }
+
+    #[test]
+    fn width_bound_is_enforced() {
+        let mut r = consistent_report();
+        r.stats.last_commit_cycle = 10;
+        let errs = check_report(&r, 16);
+        assert!(errs.iter().any(|e| e.contains("width")), "{errs:?}");
+    }
+
+    #[test]
+    fn nan_metric_is_reported() {
+        let mut r = consistent_report();
+        r.l2_redundancy = f64::NAN;
+        let errs = check_report(&r, 16);
+        assert!(errs.iter().any(|e| e.contains("l2_redundancy")), "{errs:?}");
+    }
+}

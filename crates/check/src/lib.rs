@@ -1,0 +1,44 @@
+//! Differential correctness harness for the btb-orgs stack.
+//!
+//! `btb-check` validates the real BTB organizations in `btb-core` and the
+//! pipeline simulator in `btb-sim` three ways:
+//!
+//! 1. **Differential golden models** ([`golden`]): each organization has a
+//!    cycle-free functional twin over plain ordered maps, implementing the
+//!    same insertion/replacement/promotion contract. [`replay`] feeds both
+//!    sides the same retirement stream and diffs per-branch probes and full
+//!    canonical state dumps.
+//! 2. **Simulator invariants** ([`invariants`]): every [`btb_sim::SimReport`]
+//!    must satisfy exact conservation laws (each taken branch is serviced by
+//!    exactly one of L1/L2/misfetch/resteer, fetched PCs equal retired
+//!    instructions, width×cycles bounds retirement, …), cross-checked
+//!    against the per-bundle probe event stream.
+//! 3. **Structure-aware trace fuzzing** ([`campaign`]): randomized workload
+//!    sweeps plus mutation operators (truncate, flip, retarget, splice)
+//!    drive the differential replays; divergences are ddmin-shrunk
+//!    ([`minimize`]) into plain-text reproducers ([`repro`]) committed under
+//!    `crates/check/regressions/`.
+//!
+//! The `btb-check` binary exposes the campaign (`btb-check campaign
+//! [--quick]`), reproducer replay (`btb-check replay FILE`) and the roster
+//! listing (`btb-check list`).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod campaign;
+pub mod golden;
+pub mod invariants;
+pub mod minimize;
+pub mod replay;
+pub mod repro;
+
+pub use campaign::{
+    campaign_configs, config_by_name, run_campaign, run_preflight, CampaignDivergence,
+    CampaignOptions, CampaignOutcome,
+};
+pub use golden::{golden_for, OracleOrg};
+pub use invariants::{check_probe_log, check_report};
+pub use minimize::minimize;
+pub use replay::{replay, replay_against, Divergence, ReplayReport};
+pub use repro::{format_repro, load_repro, parse_repro, write_repro};

@@ -1,0 +1,89 @@
+//! Delta-debugging minimizer for divergent traces.
+//!
+//! The vendored `proptest` stand-in has no shrinking, so divergence
+//! reproduction uses classic ddmin over the record stream: repeatedly drop
+//! chunks of the trace while the supplied predicate keeps failing, halving
+//! chunk size down to single records. Only branch records are retained up
+//! front — non-branch records are inert under update-only replay.
+
+use btb_trace::TraceRecord;
+
+/// Minimizes `records` to a (locally) 1-minimal failing subsequence.
+///
+/// `still_fails` must return `true` when its argument still exhibits the
+/// divergence. It must hold for `records` itself (otherwise the input is
+/// returned unchanged).
+#[must_use]
+pub fn minimize<F: Fn(&[TraceRecord]) -> bool>(
+    records: &[TraceRecord],
+    still_fails: F,
+) -> Vec<TraceRecord> {
+    let mut current: Vec<TraceRecord> = records
+        .iter()
+        .filter(|r| r.branch_kind().is_some())
+        .copied()
+        .collect();
+    if !still_fails(&current) {
+        // Non-branch records mattered after all (they never should under
+        // update-only replay); fall back to the full stream.
+        current = records.to_vec();
+        if !still_fails(&current) {
+            return current;
+        }
+    }
+    let mut chunks = 2usize;
+    while current.len() >= 2 {
+        let chunk_len = current.len().div_ceil(chunks);
+        let mut reduced = false;
+        let mut start = 0usize;
+        while start < current.len() {
+            let end = (start + chunk_len).min(current.len());
+            let mut candidate = Vec::with_capacity(current.len() - (end - start));
+            candidate.extend_from_slice(&current[..start]);
+            candidate.extend_from_slice(&current[end..]);
+            if !candidate.is_empty() && still_fails(&candidate) {
+                current = candidate;
+                chunks = chunks.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if chunk_len <= 1 {
+                break;
+            }
+            chunks = (chunks * 2).min(current.len());
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btb_trace::{BranchKind, Trace, WorkloadProfile};
+
+    #[test]
+    fn minimizes_to_single_culprit() {
+        let trace = Trace::generate(&WorkloadProfile::tiny(7), 2_000);
+        let culprit = 0xdead_beef_0000_1000u64;
+        let mut records = trace.records.clone();
+        records.push(btb_trace::TraceRecord::branch(
+            culprit,
+            BranchKind::UncondDirect,
+            true,
+            0x4000,
+        ));
+        let minimal = minimize(&records, |cand| cand.iter().any(|r| r.pc == culprit));
+        assert_eq!(minimal.len(), 1);
+        assert_eq!(minimal[0].pc, culprit);
+    }
+
+    #[test]
+    fn non_failing_input_is_returned_unchanged() {
+        let trace = Trace::generate(&WorkloadProfile::tiny(7), 100);
+        let minimal = minimize(&trace.records, |_| false);
+        assert_eq!(minimal.len(), trace.records.len());
+    }
+}

@@ -1,0 +1,151 @@
+//! Differential replay: feed the same update stream to a real BTB
+//! organization and its golden twin, probing after every branch and
+//! diffing full state dumps at periodic checkpoints.
+
+use crate::golden::{golden_for, OracleOrg};
+use btb_core::{build_btb, BtbConfig};
+use btb_trace::{Addr, TraceRecord};
+
+/// The first point where the real organization and the golden model
+/// disagreed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Index of the trace record after which the disagreement was observed
+    /// (`records.len()` for the final-state checkpoint).
+    pub index: usize,
+    /// PC of that record (0 for the final-state checkpoint).
+    pub pc: Addr,
+    /// Human-readable description of the disagreement.
+    pub detail: String,
+}
+
+/// Outcome of one differential replay.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Name of the configuration replayed.
+    pub config_name: String,
+    /// Number of per-branch differential lookups performed.
+    pub lookups: u64,
+    /// First disagreement, if any.
+    pub divergence: Option<Divergence>,
+}
+
+impl ReplayReport {
+    /// Whether the replay finished without disagreement.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.divergence.is_none()
+    }
+}
+
+/// Replays `records` against `config` and its golden twin.
+///
+/// `checkpoint_every` is the record period of full-state comparisons (the
+/// final state is always compared); 0 disables intermediate checkpoints.
+#[must_use]
+pub fn replay(
+    config: &BtbConfig,
+    records: &[TraceRecord],
+    checkpoint_every: usize,
+) -> ReplayReport {
+    replay_against(config, golden_for(config), records, checkpoint_every)
+}
+
+/// Replays `records` against `config` and an explicitly supplied oracle
+/// (used by the seeded-fault tests to inject a deliberately wrong golden
+/// model).
+#[must_use]
+pub fn replay_against(
+    config: &BtbConfig,
+    mut golden: Box<dyn OracleOrg>,
+    records: &[TraceRecord],
+    checkpoint_every: usize,
+) -> ReplayReport {
+    let mut real = build_btb(config.clone());
+    let mut lookups = 0u64;
+    let mut divergence = None;
+    for (index, rec) in records.iter().enumerate() {
+        real.update(rec);
+        golden.update(rec);
+        if rec.branch_kind().is_some() {
+            lookups += 1;
+            let got = real.probe_branch(rec.pc);
+            let want = golden.probe_branch(rec.pc);
+            if got != want {
+                divergence = Some(Divergence {
+                    index,
+                    pc: rec.pc,
+                    detail: format!(
+                        "probe_branch({:#x}) disagrees: real={got:?} golden={want:?}",
+                        rec.pc
+                    ),
+                });
+                break;
+            }
+        }
+        if checkpoint_every > 0 && (index + 1) % checkpoint_every == 0 {
+            if let Some(detail) = compare_states(real.as_ref(), golden.as_ref()) {
+                divergence = Some(Divergence {
+                    index,
+                    pc: rec.pc,
+                    detail,
+                });
+                break;
+            }
+            if let Some(detail) = inspect_sane(real.as_ref()) {
+                divergence = Some(Divergence {
+                    index,
+                    pc: rec.pc,
+                    detail,
+                });
+                break;
+            }
+        }
+    }
+    if divergence.is_none() {
+        if let Some(detail) =
+            compare_states(real.as_ref(), golden.as_ref()).or_else(|| inspect_sane(real.as_ref()))
+        {
+            divergence = Some(Divergence {
+                index: records.len(),
+                pc: 0,
+                detail,
+            });
+        }
+    }
+    ReplayReport {
+        config_name: config.name.clone(),
+        lookups,
+        divergence,
+    }
+}
+
+fn compare_states(real: &dyn btb_core::BtbOrganization, golden: &dyn OracleOrg) -> Option<String> {
+    real.dump_state()
+        .first_difference(&golden.dump_state())
+        .map(|d| format!("state dump disagrees: {d}"))
+}
+
+/// Light numeric sanity on the real organization's content statistics:
+/// occupancy and redundancy must be finite and non-negative, and used slots
+/// cannot exceed distinct tracked branches times the redundancy bound.
+fn inspect_sane(real: &dyn btb_core::BtbOrganization) -> Option<String> {
+    let insp = real.inspect();
+    for (name, level) in [("l1", &insp.l1), ("l2", &insp.l2)] {
+        let occ = level.occupancy();
+        let red = level.redundancy();
+        if !occ.is_finite() || occ < 0.0 {
+            return Some(format!("{name} occupancy {occ} out of range"));
+        }
+        if !red.is_finite() || red < 0.0 {
+            return Some(format!("{name} redundancy {red} out of range"));
+        }
+        if level.distinct_branches as u64 > level.used_slots {
+            return Some(format!(
+                "{name} tracks {} distinct branches in only {} used slots",
+                level.distinct_branches, level.used_slots
+            ));
+        }
+    }
+    None
+}

@@ -1,0 +1,52 @@
+//! Black-box tests of the `btb-check` binary: exit codes and reproducer
+//! replay.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn btb_check(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_btb-check"))
+        .args(args)
+        .output()
+        .expect("spawn btb-check")
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    assert_eq!(btb_check(&[]).status.code(), Some(2));
+    assert_eq!(btb_check(&["frobnicate"]).status.code(), Some(2));
+    assert_eq!(btb_check(&["campaign", "--bogus"]).status.code(), Some(2));
+    assert_eq!(btb_check(&["campaign", "--seed"]).status.code(), Some(2));
+    assert_eq!(btb_check(&["replay"]).status.code(), Some(2));
+    assert_eq!(
+        btb_check(&["replay", "/no/such/file.repro"]).status.code(),
+        Some(2)
+    );
+}
+
+#[test]
+fn list_prints_the_roster() {
+    let out = btb_check(&["list"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in ["I-BTB 16", "R-BTB 2BS", "B-BTB 2BS Splt", "MB-BTB 2BS All"] {
+        assert!(stdout.contains(name), "missing {name} in roster:\n{stdout}");
+    }
+}
+
+#[test]
+fn committed_reproducer_replays_clean_via_cli() {
+    let repro = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("regressions")
+        .join("rbtb_set_eviction.repro");
+    let out = btb_check(&["replay", repro.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("clean"));
+}
+
+#[test]
+fn help_exits_0() {
+    let out = btb_check(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("campaign"));
+}

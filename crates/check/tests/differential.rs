@@ -1,0 +1,54 @@
+//! End-to-end differential replays: every roster configuration against its
+//! golden model over generated and mutation-fuzzed traces.
+
+use btb_check::{campaign_configs, replay};
+use btb_trace::{random_mutations, Trace, WorkloadProfile};
+
+#[test]
+fn every_roster_config_matches_its_golden_model() {
+    let trace = Trace::generate(&WorkloadProfile::tiny(11), 20_000);
+    for config in campaign_configs() {
+        let report = replay(&config, &trace.records, 2_048);
+        assert!(report.lookups > 1_000, "{}: too few lookups", config.name);
+        assert!(
+            report.divergence.is_none(),
+            "{}: {:?}",
+            config.name,
+            report.divergence
+        );
+    }
+}
+
+#[test]
+fn mutated_traces_stay_divergence_free() {
+    let base = Trace::generate(&WorkloadProfile::tiny(23), 12_000);
+    for m in 0..3u64 {
+        let mut records = base.records.clone();
+        for mutation in random_mutations(0x5eed ^ m, records.len(), 8) {
+            mutation.apply(&mut records);
+        }
+        for config in campaign_configs() {
+            let report = replay(&config, &records, 2_048);
+            assert!(
+                report.divergence.is_none(),
+                "{} on mutant {m}: {:?}",
+                config.name,
+                report.divergence
+            );
+        }
+    }
+}
+
+#[test]
+fn second_workload_seed_also_matches() {
+    let trace = Trace::generate(&WorkloadProfile::tiny(42), 10_000);
+    for config in campaign_configs() {
+        let report = replay(&config, &trace.records, 4_096);
+        assert!(
+            report.divergence.is_none(),
+            "{}: {:?}",
+            config.name,
+            report.divergence
+        );
+    }
+}

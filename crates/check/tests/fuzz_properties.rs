@@ -1,0 +1,67 @@
+//! Proptest-driven structure-aware fuzzing of the differential oracle.
+//!
+//! Each case generates a randomized workload, optionally mauls it with
+//! structure-aware mutations, and replays it through [`btb_check::replay`]
+//! against a randomly chosen roster organization. Any divergence fails the
+//! property; the failing seed is appended to
+//! `fuzz_properties.proptest-regressions` (committed next to this file) and
+//! replayed before novel cases on every subsequent run, so a reproduced
+//! shrunk case without its regression entry fails CI with a persistence
+//! notice.
+
+use btb_check::{campaign_configs, replay};
+use btb_trace::{random_mutations, Trace, WorkloadProfile};
+use proptest::prelude::*;
+
+fn arb_profile() -> impl Strategy<Value = WorkloadProfile> {
+    (
+        0u64..10_000,
+        8usize..48,
+        2usize..8,
+        4.0f64..12.0,
+        0.0f64..0.5,
+        0.0f64..0.25,
+        2usize..10,
+    )
+        .prop_map(|(seed, funcs, handlers, body, never, always, fanout)| {
+            let mut p = WorkloadProfile::tiny(seed);
+            p.num_functions = funcs;
+            p.num_handlers = handlers;
+            p.mean_body_insts = body;
+            p.frac_never_taken = never;
+            p.frac_always_taken = always;
+            p.max_indirect_fanout = fanout;
+            p
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Every roster organization tracks its golden model on randomly
+    /// generated and randomly mutated traces alike.
+    #[test]
+    fn mutated_traces_never_diverge_from_golden(
+        profile in arb_profile(),
+        config_pick in 0usize..9,
+        mutation_seed in 0u64..u64::MAX,
+        mutation_count in 0usize..10,
+    ) {
+        let configs = campaign_configs();
+        prop_assert_eq!(configs.len(), 9, "roster size changed; widen config_pick");
+        let config = &configs[config_pick];
+
+        let mut records = Trace::generate(&profile, 4_000).records;
+        for mutation in random_mutations(mutation_seed, records.len(), mutation_count) {
+            mutation.apply(&mut records);
+        }
+
+        let report = replay(config, &records, 1024);
+        prop_assert!(
+            report.clean(),
+            "divergence in {}: {:?}",
+            report.config_name,
+            report.divergence
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Replays every committed reproducer under `crates/check/regressions/`.
+//!
+//! Each `.repro` file documents a historic (or representative) divergent
+//! input, shrunk by ddmin. After the corresponding fix, the file must
+//! replay clean forever; this test fails loudly if any committed case
+//! diverges again.
+
+use btb_check::{config_by_name, load_repro, replay};
+use std::path::PathBuf;
+
+#[test]
+fn committed_reproducers_replay_clean() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("regressions");
+    let mut seen = 0usize;
+    for entry in std::fs::read_dir(&dir).expect("regressions directory") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("repro") {
+            continue;
+        }
+        seen += 1;
+        let (config_name, records) =
+            load_repro(&path).unwrap_or_else(|e| panic!("parse {}: {e}", path.display()));
+        let config = config_by_name(&config_name).unwrap_or_else(|| {
+            panic!(
+                "{}: unknown configuration {config_name:?} (roster drifted?)",
+                path.display()
+            )
+        });
+        let report = replay(&config, &records, 1);
+        assert!(
+            report.divergence.is_none(),
+            "{}: committed reproducer diverges again: {:?}",
+            path.display(),
+            report.divergence
+        );
+    }
+    assert!(
+        seen > 0,
+        "no committed reproducers found in {}",
+        dir.display()
+    );
+}

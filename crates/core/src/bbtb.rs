@@ -13,6 +13,7 @@ use crate::hierarchy::TwoLevel;
 use crate::inspect::{BtbInspection, LevelInspection};
 use crate::org::{bubbles_for, BtbOrganization};
 use crate::plan::{FetchPlan, PlanEnd, PlanSegment, PlannedBranch, PredictionProvider};
+use crate::probe::{BranchProbe, BtbState};
 use btb_trace::{Addr, BranchKind, TraceRecord, INST_BYTES};
 use std::collections::HashMap;
 
@@ -39,6 +40,21 @@ impl BEntry {
     /// Effective reach of the entry in instructions.
     pub(crate) fn reach(&self, block_insts: usize) -> u64 {
         self.split_len.map_or(block_insts as u64, u64::from)
+    }
+}
+
+/// Canonical content string for a [`BEntry`] (state dumps); shared with the
+/// heterogeneous organization.
+pub(crate) fn fmt_bentry(e: &BEntry) -> String {
+    let slots = e
+        .slots
+        .iter()
+        .map(|s| format!("o{}:{:?}->{:#x}@{}", s.offset, s.kind, s.target, s.last_use))
+        .collect::<Vec<_>>()
+        .join(";");
+    match e.split_len {
+        Some(n) => format!("{slots}|split={n}"),
+        None => slots,
     }
 }
 
@@ -272,6 +288,36 @@ impl BtbOrganization for BlockBtb {
             self.cur_block = Some(rec.target);
         } else {
             self.cur_block = Some(start);
+        }
+    }
+
+    fn probe_branch(&self, pc: Addr) -> Option<BranchProbe> {
+        // Scan every block start whose reach could cover `pc`; the nearest
+        // start (smallest distance) wins, mirroring the fact that a block
+        // access at that start would serve the branch.
+        for d in 0..self.block_insts as u64 {
+            let Some(start) = pc.checked_sub(d * INST_BYTES) else {
+                break;
+            };
+            if let Some((e, level)) = self.store.peek(Self::key(start)) {
+                if let Some(slot) = e.slots.iter().find(|s| u64::from(s.offset) == d) {
+                    return Some(BranchProbe {
+                        level,
+                        kind: slot.kind,
+                        target: slot.target,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    fn dump_state(&self) -> BtbState {
+        let (l1, l2) = self.store.dump_levels(fmt_bentry);
+        BtbState {
+            l1,
+            l2,
+            aux: Vec::new(),
         }
     }
 

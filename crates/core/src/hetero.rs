@@ -9,12 +9,13 @@
 //! metadata (with L2 taken-branch bubbles). Updates train both structures
 //! independently (immediate update).
 
-use crate::bbtb::{BEntry, BSlot};
+use crate::bbtb::{fmt_bentry, BEntry, BSlot};
 use crate::config::{BtbConfig, BtbLevel, OrgKind};
 use crate::inspect::{BtbInspection, LevelInspection};
 use crate::org::{bubbles_for, BtbOrganization};
 use crate::plan::{FetchPlan, PlanEnd, PlanSegment, PlannedBranch, PredictionProvider};
-use crate::rbtb::{REntry, RSlot};
+use crate::probe::{BranchProbe, BtbState, LevelState};
+use crate::rbtb::{fmt_rentry, REntry, RSlot};
 use crate::storage::SetAssoc;
 use btb_trace::{Addr, BranchKind, TraceRecord, INST_BYTES};
 use std::collections::HashMap;
@@ -344,6 +345,46 @@ impl BtbOrganization for HeteroBtb {
             self.cur_block = Some(rec.target);
         } else {
             self.cur_block = Some(start);
+        }
+    }
+
+    fn probe_branch(&self, pc: Addr) -> Option<BranchProbe> {
+        // B-style scan over the L1 block entries first (like `plan`), then
+        // the R-style L2 region entry.
+        for d in 0..self.block_insts as u64 {
+            let Some(start) = pc.checked_sub(d * INST_BYTES) else {
+                break;
+            };
+            if let Some(e) = self.l1.peek(start >> 2) {
+                if let Some(slot) = e.slots.iter().find(|s| u64::from(s.offset) == d) {
+                    return Some(BranchProbe {
+                        level: BtbLevel::L1,
+                        kind: slot.kind,
+                        target: slot.target,
+                    });
+                }
+            }
+        }
+        let region = self.region_of(pc);
+        let offset = ((pc - region) / INST_BYTES) as u16;
+        let e = self.l2.peek(region / self.region_bytes)?;
+        let slot = e.slots.iter().find(|s| s.offset == offset)?;
+        Some(BranchProbe {
+            level: BtbLevel::L2,
+            kind: slot.kind,
+            target: slot.target,
+        })
+    }
+
+    fn dump_state(&self) -> BtbState {
+        BtbState {
+            l1: LevelState {
+                sets: self.l1.dump_with(fmt_bentry),
+            },
+            l2: Some(LevelState {
+                sets: self.l2.dump_with(fmt_rentry),
+            }),
+            aux: Vec::new(),
         }
     }
 

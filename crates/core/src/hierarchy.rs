@@ -3,6 +3,7 @@
 //! and zero fill latency, §4.1).
 
 use crate::config::{BtbLevel, LevelGeometry};
+use crate::probe::LevelState;
 use crate::storage::SetAssoc;
 
 /// Two levels of set-associative storage holding entries of type `E`.
@@ -135,6 +136,19 @@ impl<E: Clone> TwoLevel<E> {
     #[must_use]
     pub fn l2(&self) -> Option<&SetAssoc<E>> {
         self.l2.as_ref()
+    }
+
+    /// Canonical per-level dump (see [`SetAssoc::dump_with`]), formatting
+    /// each entry with `f`.
+    pub fn dump_levels<F: Fn(&E) -> String>(&self, f: F) -> (LevelState, Option<LevelState>) {
+        (
+            LevelState {
+                sets: self.l1.dump_with(&f),
+            },
+            self.l2.as_ref().map(|l2| LevelState {
+                sets: l2.dump_with(&f),
+            }),
+        )
     }
 }
 

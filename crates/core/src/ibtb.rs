@@ -6,6 +6,7 @@ use crate::hierarchy::TwoLevel;
 use crate::inspect::{BtbInspection, LevelInspection};
 use crate::org::{bubbles_for, BtbOrganization};
 use crate::plan::{FetchPlan, PlanEnd, PlanSegment, PlannedBranch, PredictionProvider};
+use crate::probe::{BranchProbe, BtbState};
 use btb_trace::{Addr, BranchKind, TraceRecord, INST_BYTES};
 use std::collections::HashMap;
 
@@ -162,6 +163,27 @@ impl BtbOrganization for InstructionBtb {
         let base = pc & !511;
         for off in 0..(512 / INST_BYTES) {
             self.store.promote(Self::key(base + off * INST_BYTES));
+        }
+    }
+
+    fn probe_branch(&self, pc: Addr) -> Option<BranchProbe> {
+        self.store
+            .peek(Self::key(pc))
+            .map(|(e, level)| BranchProbe {
+                level,
+                kind: e.kind,
+                target: e.target,
+            })
+    }
+
+    fn dump_state(&self) -> BtbState {
+        let (l1, l2) = self
+            .store
+            .dump_levels(|e| format!("{:?}->{:#x}", e.kind, e.target));
+        BtbState {
+            l1,
+            l2,
+            aux: Vec::new(),
         }
     }
 

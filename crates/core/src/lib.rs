@@ -52,6 +52,7 @@ mod inspect;
 mod mbbtb;
 mod org;
 mod plan;
+mod probe;
 mod rbtb;
 mod rbtb_overflow;
 mod storage;
@@ -65,6 +66,7 @@ pub use inspect::{BtbInspection, LevelInspection};
 pub use mbbtb::MultiBlockBtb;
 pub use org::{bubbles_for, BtbOrganization};
 pub use plan::{FetchPlan, FixedOracle, PlanEnd, PlanSegment, PlannedBranch, PredictionProvider};
+pub use probe::{BranchProbe, BtbState, LevelState};
 pub use rbtb::RegionBtb;
 pub use rbtb_overflow::RegionOverflowBtb;
 pub use storage::SetAssoc;

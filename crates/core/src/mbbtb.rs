@@ -15,6 +15,7 @@ use crate::hierarchy::TwoLevel;
 use crate::inspect::{BtbInspection, LevelInspection};
 use crate::org::{bubbles_for, BtbOrganization};
 use crate::plan::{FetchPlan, PlanEnd, PlanSegment, PlannedBranch, PredictionProvider};
+use crate::probe::{BranchProbe, BtbState};
 use btb_trace::{Addr, BranchKind, TraceRecord, INST_BYTES};
 use std::collections::HashMap;
 
@@ -101,6 +102,33 @@ impl MbEntry {
         }
         Ok(())
     }
+}
+
+/// Canonical content string for an [`MbEntry`] (state dumps).
+fn fmt_mbentry(e: &MbEntry) -> String {
+    let blocks = e
+        .block_starts
+        .iter()
+        .map(|b| format!("{b:#x}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    let slots = e
+        .slots
+        .iter()
+        .map(|s| {
+            format!(
+                "b{}o{}:{:?}->{:#x}f{}s{}",
+                s.blk,
+                s.offset,
+                s.kind,
+                s.target,
+                u8::from(s.follow),
+                s.stabl
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(";");
+    format!("[{blocks}]{slots}")
 }
 
 /// What the retire-side walker should do after recording a taken branch.
@@ -571,6 +599,38 @@ impl BtbOrganization for MultiBlockBtb {
         } else {
             self.record_not_taken(anchor, blk, offset);
             self.walker = Some((anchor, blk, blk_start));
+        }
+    }
+
+    fn probe_branch(&self, pc: Addr) -> Option<BranchProbe> {
+        // Only anchor-resident (block 0) slots are probed: chained copies
+        // live under other anchors and are covered by state-dump equality.
+        for d in 0..self.block_insts as u64 {
+            let Some(start) = pc.checked_sub(d * INST_BYTES) else {
+                break;
+            };
+            if let Some((e, level)) = self.store.peek(Self::key(start)) {
+                if e.block_starts.first() == Some(&start) {
+                    if let Ok(pos) = e.slot_pos(0, d as u16) {
+                        let s = &e.slots[pos];
+                        return Some(BranchProbe {
+                            level,
+                            kind: s.kind,
+                            target: s.target,
+                        });
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn dump_state(&self) -> BtbState {
+        let (l1, l2) = self.store.dump_levels(fmt_mbentry);
+        BtbState {
+            l1,
+            l2,
+            aux: Vec::new(),
         }
     }
 

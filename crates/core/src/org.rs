@@ -4,6 +4,7 @@
 use crate::config::{BtbConfig, BtbLevel, BtbTiming};
 use crate::inspect::BtbInspection;
 use crate::plan::{FetchPlan, PredictionProvider};
+use crate::probe::{BranchProbe, BtbState};
 use btb_trace::{Addr, BranchKind, TraceRecord};
 
 /// A Branch Target Buffer hierarchy with a specific entry organization.
@@ -29,6 +30,23 @@ pub trait BtbOrganization {
 
     /// Scans the structure and reports content statistics.
     fn inspect(&self) -> BtbInspection;
+
+    /// Side-effect-free structural probe: is the branch at exactly `pc`
+    /// tracked, and if so by which level with what stored metadata?
+    ///
+    /// The query is peek-only (never touches replacement recency) and
+    /// deterministic, so a differential checker can interleave probes with
+    /// [`BtbOrganization::update`] calls without perturbing the replayed
+    /// history. For block-keyed organizations the probe scans the candidate
+    /// block starts that could cover `pc`; for MB-BTB only anchor-resident
+    /// (non-chained) slots are reported — chained copies are covered by
+    /// [`BtbOrganization::dump_state`] equality instead.
+    fn probe_branch(&self, pc: Addr) -> Option<BranchProbe>;
+
+    /// Canonical dump of the organization's full replacement state (see
+    /// [`crate::BtbState`]); used by the differential oracle to compare the
+    /// real structures against a golden model entry-for-entry.
+    fn dump_state(&self) -> BtbState;
 
     /// Bulk-preloads L1 BTB entries around `pc` from the L2 (the IBM
     /// z-style "two level bulk preload" of the related work, §7.3),

@@ -1,0 +1,157 @@
+//! Deterministic, side-effect-free probing of BTB contents, used by the
+//! differential oracle in `btb-check`.
+//!
+//! Two views are exposed through [`crate::BtbOrganization`]:
+//!
+//! * [`BranchProbe`] — "is the branch at exactly this PC tracked, by which
+//!   level, with what metadata?" — a peek-only query that never touches
+//!   replacement state, so a checker can interleave probes with updates
+//!   without perturbing the replayed history.
+//! * [`BtbState`] — a canonical dump of every level's contents: per set,
+//!   the resident entries in LRU→MRU order with an organization-specific
+//!   canonical content string. Way-level recency is exposed only as
+//!   ordering (raw tick values are an implementation detail); slot-level
+//!   recency counters inside entries are part of the content string.
+
+use crate::config::BtbLevel;
+use btb_trace::{Addr, BranchKind};
+
+/// The outcome of probing a BTB for a branch at a specific PC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchProbe {
+    /// The level whose entry holds the branch metadata.
+    pub level: BtbLevel,
+    /// The stored branch kind.
+    pub kind: BranchKind,
+    /// The stored target address.
+    pub target: Addr,
+}
+
+/// One differing set between two [`LevelState`]s: the set index and both
+/// sides' entry lists.
+pub type SetDiff<'a> = (usize, &'a [(u64, String)], &'a [(u64, String)]);
+
+/// Canonical contents of one BTB level (or auxiliary table).
+///
+/// `sets[s]` lists the valid entries of set `s` as `(key, content)` in
+/// LRU→MRU order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LevelState {
+    /// Per-set entry lists, LRU first.
+    pub sets: Vec<Vec<(u64, String)>>,
+}
+
+impl LevelState {
+    /// Total number of valid entries across all sets.
+    #[must_use]
+    pub fn entries(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// The sets that differ between `self` and `other`, as
+    /// `(set index, self entries, other entries)` triples.
+    #[must_use]
+    pub fn diff<'a>(&'a self, other: &'a Self) -> Vec<SetDiff<'a>> {
+        let empty: &[(u64, String)] = &[];
+        let n = self.sets.len().max(other.sets.len());
+        (0..n)
+            .filter_map(|s| {
+                let a = self.sets.get(s).map_or(empty, Vec::as_slice);
+                let b = other.sets.get(s).map_or(empty, Vec::as_slice);
+                (a != b).then_some((s, a, b))
+            })
+            .collect()
+    }
+}
+
+/// Canonical dump of a whole BTB hierarchy's replacement state.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BtbState {
+    /// First level.
+    pub l1: LevelState,
+    /// Second level, when the configuration has one.
+    pub l2: Option<LevelState>,
+    /// Auxiliary structures (e.g. the R-BTB overflow table), name → state.
+    pub aux: Vec<(String, LevelState)>,
+}
+
+impl BtbState {
+    /// A short human-readable description of the first difference between
+    /// two states, or `None` when they are identical.
+    #[must_use]
+    pub fn first_difference(&self, other: &Self) -> Option<String> {
+        for (name, a, b) in [("l1", Some(&self.l1), Some(&other.l1))]
+            .into_iter()
+            .chain([("l2", self.l2.as_ref(), other.l2.as_ref())])
+        {
+            match (a, b) {
+                (Some(a), Some(b)) => {
+                    if let Some((set, x, y)) = a.diff(b).into_iter().next() {
+                        return Some(format!("{name} set {set}: {x:?} vs {y:?}"));
+                    }
+                }
+                (None, None) => {}
+                _ => return Some(format!("{name} presence differs")),
+            }
+        }
+        for i in 0..self.aux.len().max(other.aux.len()) {
+            match (self.aux.get(i), other.aux.get(i)) {
+                (Some((na, a)), Some((nb, b))) => {
+                    if na != nb {
+                        return Some(format!("aux[{i}] name {na} vs {nb}"));
+                    }
+                    if let Some((set, x, y)) = a.diff(b).into_iter().next() {
+                        return Some(format!("aux {na} set {set}: {x:?} vs {y:?}"));
+                    }
+                }
+                (a, b) => return Some(format!("aux[{i}] presence {:?} vs {:?}", a, b)),
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn level(sets: Vec<Vec<(u64, &str)>>) -> LevelState {
+        LevelState {
+            sets: sets
+                .into_iter()
+                .map(|s| s.into_iter().map(|(k, c)| (k, c.to_owned())).collect())
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn diff_reports_only_changed_sets() {
+        let a = level(vec![vec![(1, "x")], vec![(2, "y")]]);
+        let b = level(vec![vec![(1, "x")], vec![(2, "z")]]);
+        let d = a.diff(&b);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].0, 1);
+        assert_eq!(a.entries(), 2);
+    }
+
+    #[test]
+    fn identical_states_have_no_difference() {
+        let s = BtbState {
+            l1: level(vec![vec![(1, "x")]]),
+            l2: None,
+            aux: vec![("ovf".into(), level(vec![]))],
+        };
+        assert_eq!(s.first_difference(&s.clone()), None);
+    }
+
+    #[test]
+    fn l2_presence_mismatch_is_reported() {
+        let a = BtbState {
+            l1: LevelState::default(),
+            l2: Some(LevelState::default()),
+            aux: vec![],
+        };
+        let b = BtbState::default();
+        assert!(a.first_difference(&b).unwrap().contains("l2"));
+    }
+}

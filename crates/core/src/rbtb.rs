@@ -7,6 +7,7 @@ use crate::hierarchy::TwoLevel;
 use crate::inspect::{BtbInspection, LevelInspection};
 use crate::org::{bubbles_for, BtbOrganization};
 use crate::plan::{FetchPlan, PlanEnd, PlanSegment, PlannedBranch, PredictionProvider};
+use crate::probe::{BranchProbe, BtbState};
 use btb_trace::{Addr, BranchKind, TraceRecord, INST_BYTES};
 use std::collections::HashMap;
 
@@ -25,6 +26,16 @@ pub(crate) struct RSlot {
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub(crate) struct REntry {
     pub(crate) slots: Vec<RSlot>,
+}
+
+/// Canonical content string for an [`REntry`] (state dumps); shared with
+/// the heterogeneous and overflow organizations.
+pub(crate) fn fmt_rentry(e: &REntry) -> String {
+    e.slots
+        .iter()
+        .map(|s| format!("o{}:{:?}->{:#x}@{}", s.offset, s.kind, s.target, s.last_use))
+        .collect::<Vec<_>>()
+        .join(";")
 }
 
 /// The Region BTB organization.
@@ -211,6 +222,30 @@ impl BtbOrganization for RegionBtb {
             let key = self.key(region);
             self.store.promote(key);
             region += self.region_bytes;
+        }
+    }
+
+    fn probe_branch(&self, pc: Addr) -> Option<BranchProbe> {
+        // Entry granularity mirrors `lookup_fill`: the first level holding
+        // the *region entry* answers; if that entry lacks the branch's slot
+        // the probe misses (the other level is not consulted).
+        let region = self.region_of(pc);
+        let offset = ((pc - region) / INST_BYTES) as u16;
+        let (entry, level) = self.store.peek(self.key(region))?;
+        let slot = entry.slots.iter().find(|s| s.offset == offset)?;
+        Some(BranchProbe {
+            level,
+            kind: slot.kind,
+            target: slot.target,
+        })
+    }
+
+    fn dump_state(&self) -> BtbState {
+        let (l1, l2) = self.store.dump_levels(fmt_rentry);
+        BtbState {
+            l1,
+            l2,
+            aux: Vec::new(),
         }
     }
 

@@ -13,7 +13,8 @@ use crate::hierarchy::TwoLevel;
 use crate::inspect::{BtbInspection, LevelInspection};
 use crate::org::{bubbles_for, BtbOrganization};
 use crate::plan::{FetchPlan, PlanEnd, PlanSegment, PlannedBranch, PredictionProvider};
-use crate::rbtb::{REntry, RSlot};
+use crate::probe::{BranchProbe, BtbState, LevelState};
+use crate::rbtb::{fmt_rentry, REntry, RSlot};
 use crate::storage::SetAssoc;
 use btb_trace::{Addr, BranchKind, TraceRecord, INST_BYTES};
 use std::collections::HashMap;
@@ -232,6 +233,57 @@ impl BtbOrganization for RegionOverflowBtb {
                 },
             );
             self.spilled.insert(self.key(region), ());
+        }
+    }
+
+    fn probe_branch(&self, pc: Addr) -> Option<BranchProbe> {
+        // Mirrors the plan's candidate rules: the region entry's slots are
+        // consulted first; the overflow table only participates when the
+        // region entry exists (at some level) and the region has spilled.
+        let region = self.region_of(pc);
+        let key = self.key(region);
+        let offset = ((pc - region) / INST_BYTES) as u16;
+        let (entry, level) = self.store.peek(key)?;
+        if let Some(slot) = entry.slots.iter().find(|s| s.offset == offset) {
+            return Some(BranchProbe {
+                level,
+                kind: slot.kind,
+                target: slot.target,
+            });
+        }
+        if self.spilled.peek(key).is_some() {
+            if let Some(e) = self.overflow.peek(pc >> 2) {
+                return Some(BranchProbe {
+                    level,
+                    kind: e.kind,
+                    target: e.target,
+                });
+            }
+        }
+        None
+    }
+
+    fn dump_state(&self) -> BtbState {
+        let (l1, l2) = self.store.dump_levels(fmt_rentry);
+        BtbState {
+            l1,
+            l2,
+            aux: vec![
+                (
+                    "overflow".into(),
+                    LevelState {
+                        sets: self
+                            .overflow
+                            .dump_with(|e| format!("{:?}->{:#x}", e.kind, e.target)),
+                    },
+                ),
+                (
+                    "spilled".into(),
+                    LevelState {
+                        sets: self.spilled.dump_with(|_e: &()| String::new()),
+                    },
+                ),
+            ],
         }
     }
 

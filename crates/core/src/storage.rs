@@ -182,6 +182,23 @@ impl<E> SetAssoc<E> {
         self.entries.iter().flatten().map(|w| (w.key, &w.data))
     }
 
+    /// Dumps the table as per-set lists of `(key, f(entry))` in LRU→MRU
+    /// order. Recency is exposed only as ordering: the raw tick values are
+    /// an implementation detail (within one set all ticks are distinct, so
+    /// the order is total and deterministic).
+    pub fn dump_with<S, F: Fn(&E) -> S>(&self, f: F) -> Vec<Vec<(u64, S)>> {
+        (0..self.sets)
+            .map(|s| {
+                let mut ways: Vec<&Way<E>> = self.entries[s * self.ways..(s + 1) * self.ways]
+                    .iter()
+                    .flatten()
+                    .collect();
+                ways.sort_by_key(|w| w.last_use);
+                ways.into_iter().map(|w| (w.key, f(&w.data))).collect()
+            })
+            .collect()
+    }
+
     /// Number of valid entries.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -279,6 +296,24 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_sets_panics() {
         let _ = SetAssoc::<u8>::new(3, 2);
+    }
+
+    #[test]
+    fn dump_orders_ways_lru_to_mru() {
+        let mut t = SetAssoc::new(1, 3);
+        t.insert(1, "a");
+        t.insert(3, "b");
+        t.insert(5, "c");
+        // Touch 1: order becomes 3, 5, 1.
+        assert!(t.get(1).is_some());
+        let dump = t.dump_with(|e| (*e).to_owned());
+        assert_eq!(dump.len(), 1);
+        let keys: Vec<u64> = dump[0].iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![3, 5, 1]);
+        // Peek must not change the order.
+        assert!(t.peek(3).is_some());
+        let dump2 = t.dump_with(|e| (*e).to_owned());
+        assert_eq!(dump, dump2);
     }
 
     #[test]

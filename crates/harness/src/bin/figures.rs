@@ -45,6 +45,7 @@ options:
   --store [DIR]   cache traces and simulation reports in a persistent
                   content-addressed store (default: $BTB_STORE or .btb-store)
   --json DIR      additionally write each figure as DIR/<id>.json
+  --no-preflight  skip the differential golden-model pre-flight check
   --list          list experiment names, one per line, and exit
   -h, --help      show this message
 
@@ -62,6 +63,7 @@ struct Cli {
     json_dir: Option<PathBuf>,
     selected: Vec<&'static str>,
     maintenance: Option<Maintenance>,
+    no_preflight: bool,
 }
 
 enum Maintenance {
@@ -80,6 +82,7 @@ fn parse_cli(args: &[String]) -> Cli {
         json_dir: None,
         selected: Vec::new(),
         maintenance: None,
+        no_preflight: false,
     };
     let canonical = |name: &str| EXPERIMENTS.iter().find(|e| **e == name).copied();
     let mut i = 0;
@@ -110,6 +113,7 @@ fn parse_cli(args: &[String]) -> Cli {
                     default_store_dir()
                 });
             }
+            "--no-preflight" => cli.no_preflight = true,
             "--json" => {
                 let Some(dir) = args.get(i + 1) else {
                     exit_usage("--json requires a directory");
@@ -232,6 +236,28 @@ fn main() {
 
     if let Some(op) = &cli.maintenance {
         run_maintenance(op, cli.store_dir.unwrap_or_else(default_store_dir));
+    }
+
+    // Differential pre-flight: a fixed-seed replay of every btb-check roster
+    // configuration against its golden model. A modelling bug in any BTB
+    // organization silently corrupts every figure, so refuse to spend
+    // simulation time on a stack that disagrees with its oracle.
+    if !cli.no_preflight {
+        let t = Instant::now();
+        match btb_check::run_preflight() {
+            Ok(lookups) => eprintln!(
+                "# preflight: {lookups} differential lookups clean in {:?}",
+                t.elapsed()
+            ),
+            Err(e) => {
+                eprintln!(
+                    "figures: differential pre-flight failed: {e}\n\
+                     (run `btb-check campaign` to minimize a reproducer; \
+                     pass --no-preflight to bypass)"
+                );
+                std::process::exit(1);
+            }
+        }
     }
 
     let store: Option<&Store> = cli.store_dir.map(|dir| {

@@ -239,6 +239,17 @@ fn run_matrix_impl(
                         fresh
                     }
                 };
+                // Every report — freshly simulated or pulled from the cache
+                // (which may hold output of an older, buggier binary) — must
+                // satisfy the simulator's conservation laws.
+                let violations = btb_check::check_report(&report, pipe.width as u64);
+                assert!(
+                    violations.is_empty(),
+                    "simulator invariant violation for {} on {}: {}",
+                    configs[c].name,
+                    suite.traces[w].name,
+                    violations.join("; ")
+                );
                 *results[j].lock().expect("no poisoning") = Some(report);
             });
         }

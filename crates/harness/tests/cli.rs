@@ -1,0 +1,101 @@
+//! Black-box tests of the `figures` binary: exit codes, `--list`, the
+//! `store stats` / `store gc` subcommands and the differential pre-flight.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn figures(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_figures"))
+        .args(args)
+        .output()
+        .expect("spawn figures")
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("btb-figures-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn unknown_experiment_exits_2() {
+    let out = figures(&["no-such-figure"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown experiment"), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn no_arguments_exits_2() {
+    let out = figures(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no experiment selected"));
+}
+
+#[test]
+fn unknown_store_subcommand_exits_2() {
+    let out = figures(&["store", "defrag"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown store subcommand"));
+}
+
+#[test]
+fn list_prints_every_experiment() {
+    let out = figures(&["--list"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    for expected in ["table1", "fig4", "fig11b", "turnaround"] {
+        assert!(lines.contains(&expected), "missing {expected} in {lines:?}");
+    }
+}
+
+#[test]
+fn store_stats_reports_object_classes() {
+    let dir = fresh_dir("stats");
+    let out = figures(&["store", "stats", "--store", dir.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("traces:"), "{stdout}");
+    assert!(stdout.contains("reports:"), "{stdout}");
+}
+
+#[test]
+fn store_gc_zero_removes_orphaned_entries() {
+    let dir = fresh_dir("gc");
+    // Orphan an object in the store: published but never referenced again.
+    let store = btb_store::Store::open(&dir).expect("open store");
+    let profile = btb_trace::WorkloadProfile::tiny(99);
+    let trace = btb_trace::Trace::generate(&profile, 500);
+    store.put_trace(&profile, 500, &trace);
+    assert_eq!(store.stats().expect("stats").trace_objects, 1);
+
+    let out = figures(&["store", "gc", "0", "--store", dir.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("removed 1 objects"), "{stdout}");
+
+    let after = store.stats().expect("stats after gc");
+    assert_eq!(after.trace_objects, 0, "gc left the orphan behind");
+}
+
+#[test]
+fn table1_runs_preflight_then_succeeds() {
+    let out = figures(&["table1"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("preflight") && stderr.contains("clean"),
+        "{stderr}"
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("Table 1"));
+}
+
+#[test]
+fn no_preflight_flag_skips_the_gate() {
+    let out = figures(&["table1", "--no-preflight"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(!String::from_utf8_lossy(&out.stderr).contains("preflight"));
+}

@@ -25,6 +25,8 @@
 mod backend;
 mod config;
 mod predictors;
+#[cfg(feature = "probe")]
+mod probe;
 mod sim;
 mod stats;
 
@@ -38,5 +40,7 @@ pub const SCHEMA_VERSION: u32 = 1;
 pub use backend::{Backend, BackendTimes, QueueRing};
 pub use config::{BackendKind, PipelineConfig};
 pub use predictors::Predictors;
+#[cfg(feature = "probe")]
+pub use probe::{BundleEvent, ProbeLog};
 pub use sim::{simulate, Simulator};
 pub use stats::{SimReport, SimStats};

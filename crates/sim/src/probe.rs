@@ -1,0 +1,36 @@
+//! Per-bundle event stream for differential checking (feature `probe`).
+//!
+//! With the `probe` cargo feature enabled, the simulator records one
+//! [`BundleEvent`] per PC-generation bundle and exposes them through
+//! [`Simulator::run_with_events`](crate::Simulator::run_with_events),
+//! together with the *raw* cumulative [`SimStats`] (no warm-up delta
+//! applied). `btb-check` cross-validates the event stream against the
+//! report: the events are collection-only and never feed back into timing,
+//! so enabling the feature cannot change simulation results.
+
+use crate::stats::SimStats;
+
+/// One PC-generation bundle: a single BTB access and the trace records
+/// consumed against its plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BundleEvent {
+    /// Address the BTB was accessed with.
+    pub access_pc: u64,
+    /// Taken-branch bubbles the plan charged after this access.
+    pub bubbles: u32,
+    /// Number of branches the plan tracked.
+    pub planned_branches: usize,
+    /// Trace records consumed by this bundle (always ≥ 1).
+    pub records_consumed: usize,
+    /// Whether any planned branch was served from the L2 BTB.
+    pub used_l2: bool,
+}
+
+/// Everything the `probe` feature collects over one simulation.
+#[derive(Debug, Clone, Default)]
+pub struct ProbeLog {
+    /// Per-bundle events, in simulation order.
+    pub bundles: Vec<BundleEvent>,
+    /// Final cumulative counters before the warm-up delta is applied.
+    pub raw: SimStats,
+}

@@ -12,6 +12,8 @@
 use crate::backend::{Backend, QueueRing};
 use crate::config::PipelineConfig;
 use crate::predictors::Predictors;
+#[cfg(feature = "probe")]
+use crate::probe::{BundleEvent, ProbeLog};
 use crate::stats::{SimReport, SimStats};
 use btb_core::{BtbConfig, BtbLevel, BtbOrganization, FetchPlan, PlanSegment};
 use btb_trace::{BranchKind, Trace, TraceRecord, INST_BYTES};
@@ -98,6 +100,12 @@ pub struct Simulator<'t> {
     red_l1: f64,
     occ_l2: f64,
     red_l2: f64,
+    #[cfg(feature = "probe")]
+    events: Vec<BundleEvent>,
+    /// Events are only recorded when requested via `run_with_events`, so a
+    /// plain `run` stays allocation-free even with the feature unified on.
+    #[cfg(feature = "probe")]
+    collect_events: bool,
 }
 
 impl<'t> Simulator<'t> {
@@ -124,6 +132,10 @@ impl<'t> Simulator<'t> {
             red_l1: 0.0,
             occ_l2: 0.0,
             red_l2: 0.0,
+            #[cfg(feature = "probe")]
+            events: Vec::new(),
+            #[cfg(feature = "probe")]
+            collect_events: false,
             btb: btb_core::build_btb(btb),
             config,
         }
@@ -132,6 +144,26 @@ impl<'t> Simulator<'t> {
     /// Runs the whole trace and returns the post-warm-up report.
     #[must_use]
     pub fn run(mut self) -> SimReport {
+        self.run_core()
+    }
+
+    /// Runs the whole trace and returns the report together with the
+    /// per-bundle event stream and raw cumulative counters (feature
+    /// `probe`). The events are collection-only: the report is identical to
+    /// what [`Simulator::run`] produces.
+    #[cfg(feature = "probe")]
+    #[must_use]
+    pub fn run_with_events(mut self) -> (SimReport, ProbeLog) {
+        self.collect_events = true;
+        let report = self.run_core();
+        let log = ProbeLog {
+            bundles: std::mem::take(&mut self.events),
+            raw: self.stats,
+        };
+        (report, log)
+    }
+
+    fn run_core(&mut self) -> SimReport {
         let mut i = 0usize;
         let mut warm: Option<SimStats> = None;
         while i < self.records.len() {
@@ -195,6 +227,8 @@ impl<'t> Simulator<'t> {
     /// the index of the first record of the next bundle.
     #[allow(clippy::too_many_lines)]
     fn bundle(&mut self, mut i: usize) -> usize {
+        #[cfg(feature = "probe")]
+        let bundle_start = i;
         let pc = self.records[i].pc;
         self.predictors.begin_plan();
         let plan = self.btb.plan(pc, &mut self.predictors);
@@ -398,6 +432,16 @@ impl<'t> Simulator<'t> {
             self.ftq_release.push(next_pcgen);
         }
         self.pcgen = next_pcgen.max(predict + 1);
+        #[cfg(feature = "probe")]
+        if self.collect_events {
+            self.events.push(BundleEvent {
+                access_pc: pc,
+                bubbles: plan.bubbles,
+                planned_branches: plan.branches.len(),
+                records_consumed: i - bundle_start,
+                used_l2: plan.branches.iter().any(|b| b.level == BtbLevel::L2),
+            });
+        }
         i
     }
 

@@ -29,6 +29,7 @@ mod build;
 mod cfg;
 mod exec;
 mod io;
+mod mutate;
 mod profile;
 mod record;
 mod stats;
@@ -40,6 +41,7 @@ pub use cfg::{
 };
 pub use exec::{check_control_flow, Trace, TraceExecutor};
 pub use io::{read_trace, write_trace, ReadTraceError, TRACE_FORMAT_VERSION};
+pub use mutate::{random_mutations, TraceMutation};
 pub use profile::{server_suite, WorkloadProfile};
 pub use record::{Addr, BranchKind, Op, TraceRecord, INST_BYTES, NO_REG, NUM_REGS};
 pub use stats::{footprint_for_coverage, ideal_icache_mpki, TraceStats};

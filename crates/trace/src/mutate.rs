@@ -1,0 +1,230 @@
+//! Structure-aware trace mutations for differential fuzzing.
+//!
+//! The `btb-check` crate stresses BTB organizations by replaying mutated
+//! traces against golden functional models. A mutation deliberately breaks
+//! the generator's regularities (stable indirect targets, consistent
+//! fall-through chains) while keeping the records well-formed enough for
+//! update-side replay: PCs stay instruction-aligned and branch kinds keep
+//! their taken/target shape. Mutated traces generally no longer satisfy
+//! [`check_control_flow`](crate::check_control_flow), which is intentional —
+//! the BTB update path never looks at inter-record continuity.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::record::{BranchKind, TraceRecord, INST_BYTES};
+
+/// A single structure-aware edit applied to a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceMutation {
+    /// Keep only the first `len` records.
+    Truncate {
+        /// New trace length; lengths beyond the trace are a no-op.
+        len: usize,
+    },
+    /// Flip the direction of the conditional branch at `index`.
+    ///
+    /// A branch flipped to taken keeps its recorded target (the generator
+    /// always stamps one); flipping to not-taken leaves the target in place
+    /// so the mutation is its own inverse. Non-conditional records are left
+    /// untouched: unconditional kinds have no legal not-taken outcome.
+    FlipDirection {
+        /// Record index; out-of-range indices are a no-op.
+        index: usize,
+    },
+    /// Point the indirect branch at `index` at a different target.
+    ///
+    /// Only indirect kinds are retargeted (their targets are data, not
+    /// encoded in the instruction); direct branches and non-branches are
+    /// left untouched so the mutated trace still makes sense per-record.
+    RetargetIndirect {
+        /// Record index; out-of-range or non-indirect indices are a no-op.
+        index: usize,
+        /// Replacement target, forced onto instruction alignment.
+        new_target: u64,
+    },
+    /// Copy the `len` records starting at `src` and insert them at `dst`.
+    ///
+    /// Splicing replays a block of already-seen branches out of context,
+    /// exercising aliasing and replacement paths without inventing PCs the
+    /// trace never visits.
+    SpliceBlocks {
+        /// Start of the copied range (clamped to the trace).
+        src: usize,
+        /// Number of records copied (clamped to the trace tail).
+        len: usize,
+        /// Insertion point (clamped to the trace length at insertion time).
+        dst: usize,
+    },
+}
+
+impl TraceMutation {
+    /// Applies the mutation to `records` in place.
+    ///
+    /// Every mutation is total: out-of-range indices and empty ranges
+    /// degrade to no-ops rather than panicking, so randomly generated
+    /// mutation sequences can be applied blindly.
+    pub fn apply(&self, records: &mut Vec<TraceRecord>) {
+        match *self {
+            TraceMutation::Truncate { len } => {
+                records.truncate(len);
+            }
+            TraceMutation::FlipDirection { index } => {
+                if let Some(r) = records.get_mut(index) {
+                    if r.branch_kind().is_some_and(BranchKind::is_conditional) {
+                        r.taken = !r.taken;
+                    }
+                }
+            }
+            TraceMutation::RetargetIndirect { index, new_target } => {
+                if let Some(r) = records.get_mut(index) {
+                    if r.branch_kind().is_some_and(BranchKind::is_indirect) {
+                        r.target = (new_target & !(INST_BYTES - 1)).max(INST_BYTES);
+                    }
+                }
+            }
+            TraceMutation::SpliceBlocks { src, len, dst } => {
+                let src = src.min(records.len());
+                let len = len.min(records.len() - src);
+                if len == 0 {
+                    return;
+                }
+                let block: Vec<TraceRecord> = records[src..src + len].to_vec();
+                let dst = dst.min(records.len());
+                records.splice(dst..dst, block);
+            }
+        }
+    }
+}
+
+/// Draws `count` random mutations sized for a trace of `trace_len` records.
+///
+/// The sequence is fully determined by `seed`. Mutations are meant to be
+/// applied in order; indices are drawn against the *original* length, which
+/// keeps generation simple — [`TraceMutation::apply`] clamps whatever drifts
+/// out of range as earlier truncations and splices resize the trace.
+#[must_use]
+pub fn random_mutations(seed: u64, trace_len: usize, count: usize) -> Vec<TraceMutation> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x6d75_7461_7465_5f21);
+    let len = trace_len.max(1);
+    (0..count)
+        .map(|_| match rng.gen_range(0u32..4) {
+            0 => TraceMutation::Truncate {
+                len: rng.gen_range(len / 2..=len),
+            },
+            1 => TraceMutation::FlipDirection {
+                index: rng.gen_range(0..len),
+            },
+            2 => TraceMutation::RetargetIndirect {
+                index: rng.gen_range(0..len),
+                new_target: u64::from(rng.gen_range(1u32..=0x3f_ffff)) * INST_BYTES,
+            },
+            _ => {
+                let src = rng.gen_range(0..len);
+                TraceMutation::SpliceBlocks {
+                    src,
+                    len: rng.gen_range(1..=(len - src).min(64)),
+                    dst: rng.gen_range(0..=len),
+                }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::BranchKind::*;
+
+    fn sample() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord::nop(0x100),
+            TraceRecord::branch(0x104, CondDirect, true, 0x200),
+            TraceRecord::branch(0x200, IndirectCall, true, 0x300),
+            TraceRecord::branch(0x300, UncondDirect, true, 0x100),
+        ]
+    }
+
+    #[test]
+    fn truncate_shortens_and_saturates() {
+        let mut t = sample();
+        TraceMutation::Truncate { len: 2 }.apply(&mut t);
+        assert_eq!(t.len(), 2);
+        TraceMutation::Truncate { len: 99 }.apply(&mut t);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn flip_touches_only_conditionals() {
+        let mut t = sample();
+        TraceMutation::FlipDirection { index: 1 }.apply(&mut t);
+        assert!(!t[1].taken);
+        assert_eq!(t[1].target, 0x200, "target survives a flip");
+        // Unconditional jump, non-branch, and out-of-range: all no-ops.
+        for index in [0, 3, 17] {
+            let before = t.clone();
+            TraceMutation::FlipDirection { index }.apply(&mut t);
+            assert_eq!(t, before);
+        }
+    }
+
+    #[test]
+    fn retarget_touches_only_indirects() {
+        let mut t = sample();
+        TraceMutation::RetargetIndirect {
+            index: 2,
+            new_target: 0x1001,
+        }
+        .apply(&mut t);
+        assert_eq!(t[2].target, 0x1000, "target is re-aligned");
+        let before = t.clone();
+        for index in [1, 3, 42] {
+            TraceMutation::RetargetIndirect {
+                index,
+                new_target: 0x4000,
+            }
+            .apply(&mut t);
+        }
+        assert_eq!(t, before);
+    }
+
+    #[test]
+    fn splice_duplicates_a_block() {
+        let mut t = sample();
+        TraceMutation::SpliceBlocks {
+            src: 1,
+            len: 2,
+            dst: 0,
+        }
+        .apply(&mut t);
+        assert_eq!(t.len(), 6);
+        assert_eq!(t[0], t[3]);
+        assert_eq!(t[1], t[4]);
+        // Degenerate ranges are no-ops.
+        let before = t.clone();
+        TraceMutation::SpliceBlocks {
+            src: 99,
+            len: 5,
+            dst: 0,
+        }
+        .apply(&mut t);
+        assert_eq!(t, before);
+    }
+
+    #[test]
+    fn random_mutations_are_deterministic_and_applicable() {
+        let a = random_mutations(9, 1000, 50);
+        let b = random_mutations(9, 1000, 50);
+        assert_eq!(a, b);
+        assert_ne!(a, random_mutations(10, 1000, 50));
+
+        // Applying a long random sequence never panics, even once earlier
+        // truncations shrink the trace under the drawn indices.
+        let mut t: Vec<TraceRecord> = (0..1000)
+            .map(|i| TraceRecord::branch(0x1000 + i * 4, CondDirect, i % 3 == 0, 0x8000 + i * 8))
+            .collect();
+        for m in &a {
+            m.apply(&mut t);
+        }
+    }
+}

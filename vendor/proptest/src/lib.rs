@@ -12,10 +12,17 @@
 //! * **Deterministic seeding** — every test function runs its cases from a
 //!   fixed per-case seed sequence, so failures always reproduce. Set
 //!   `PROPTEST_RNG_SEED` to explore a different sequence.
+//!
+//! Like upstream, failure **persistence** is supported: tests defined with
+//! [`proptest!`] read the `<source file>.proptest-regressions` file next to
+//! their source and re-run every `cc <seed>` entry before generating novel
+//! cases; a novel failure appends its seed to that file so committing it
+//! pins the case forever (see [`TestRunner::new_for_source`]).
 
 #![warn(missing_docs)]
 
 use std::ops::{Range, RangeInclusive};
+use std::path::{Path, PathBuf};
 
 /// Test-case failure: an assertion message produced by `prop_assert!`.
 pub type TestCaseError = String;
@@ -355,34 +362,138 @@ impl ProptestConfig {
 pub struct TestRunner {
     config: ProptestConfig,
     base_seed: u64,
+    regression_file: Option<PathBuf>,
 }
 
 impl TestRunner {
     /// Creates a runner; the base seed comes from `PROPTEST_RNG_SEED` or a
-    /// fixed default, so runs are reproducible.
+    /// fixed default, so runs are reproducible. No failure persistence —
+    /// use [`TestRunner::new_for_source`] for that.
     #[must_use]
     pub fn new(config: ProptestConfig) -> Self {
         let base_seed = std::env::var("PROPTEST_RNG_SEED")
             .ok()
             .and_then(|s| s.parse().ok())
             .unwrap_or(0xb7b7_b7b7_0000_0000);
-        TestRunner { config, base_seed }
+        TestRunner {
+            config,
+            base_seed,
+            regression_file: None,
+        }
     }
 
-    /// Runs `cases` deterministic cases of `body`, panicking on the first
-    /// failure with the case's seed.
+    /// Creates a runner with failure persistence tied to a test source file
+    /// (the [`proptest!`] macro passes `file!()`): seeds in the adjacent
+    /// `<stem>.proptest-regressions` file are re-run before novel cases,
+    /// and a novel failure appends its seed there.
+    #[must_use]
+    pub fn new_for_source(config: ProptestConfig, source_file: &str) -> Self {
+        let mut runner = TestRunner::new(config);
+        runner.regression_file = resolve_source(Path::new(source_file))
+            .map(|p| p.with_extension("proptest-regressions"));
+        runner
+    }
+
+    /// Runs `cases` deterministic cases of `body` (preceded by any persisted
+    /// regression seeds), panicking on the first failure with the case's
+    /// seed. Novel failures are appended to the regression file, which must
+    /// be committed so the case re-runs everywhere.
     pub fn run<F: FnMut(&mut TestRng) -> TestCaseResult>(&mut self, mut body: F) {
+        for seed in self.persisted_seeds() {
+            let mut rng = TestRng::new(seed);
+            if let Err(msg) = body(&mut rng) {
+                panic!(
+                    "persisted regression case (seed {seed:#x}, from {}) failed: {msg}",
+                    self.regression_display()
+                );
+            }
+        }
         for case in 0..self.config.cases {
             let seed = self.base_seed.wrapping_add(u64::from(case));
             let mut rng = TestRng::new(seed);
             if let Err(msg) = body(&mut rng) {
+                let persisted = self.persist_failure(seed);
                 panic!(
-                    "property failed at case {case}/{} (seed {seed:#x}): {msg}",
+                    "property failed at case {case}/{} (seed {seed:#x}){persisted}: {msg}",
                     self.config.cases
                 );
             }
         }
     }
+
+    fn regression_display(&self) -> String {
+        self.regression_file.as_ref().map_or_else(
+            || "<no regression file>".to_owned(),
+            |p| p.display().to_string(),
+        )
+    }
+
+    fn persisted_seeds(&self) -> Vec<u64> {
+        let Some(path) = &self.regression_file else {
+            return Vec::new();
+        };
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return Vec::new();
+        };
+        text.lines().filter_map(parse_cc_line).collect()
+    }
+
+    fn persist_failure(&self, seed: u64) -> String {
+        use std::io::Write as _;
+        let Some(path) = &self.regression_file else {
+            return String::new();
+        };
+        if self.persisted_seeds().contains(&seed) {
+            return format!("; seed already recorded in {}", path.display());
+        }
+        let preamble = !path.exists();
+        match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            Ok(mut f) => {
+                if preamble {
+                    let _ = writeln!(
+                        f,
+                        "# Seeds for failure cases proptest has generated in the past.\n\
+                         # Committed entries are re-run before any novel cases; check\n\
+                         # this file in to source control."
+                    );
+                }
+                let _ = writeln!(f, "cc {seed:016x} # novel failing case");
+                format!("; seed persisted to {} — commit that file", path.display())
+            }
+            Err(e) => format!("; could not persist seed to {}: {e}", path.display()),
+        }
+    }
+}
+
+/// Parses one `cc <hex-seed> ...` regression entry. Upstream digests are
+/// longer than 64 bits; the leading 16 hex digits are the seed here.
+fn parse_cc_line(line: &str) -> Option<u64> {
+    let token = line.trim().strip_prefix("cc ")?.split_whitespace().next()?;
+    let hex: String = token.chars().take(16).collect();
+    u64::from_str_radix(&hex, 16).ok()
+}
+
+/// Resolves a `file!()` path, which is relative to the directory `rustc`
+/// was invoked from (the workspace root), against the test binary's working
+/// directory (the package root): progressively strip leading components
+/// until the path exists under `CARGO_MANIFEST_DIR`.
+fn resolve_source(src: &Path) -> Option<PathBuf> {
+    if src.is_absolute() || src.exists() {
+        return Some(src.to_path_buf());
+    }
+    let manifest = PathBuf::from(std::env::var_os("CARGO_MANIFEST_DIR")?);
+    let components: Vec<_> = src.components().collect();
+    for skip in 0..components.len() {
+        let candidate = manifest.join(components[skip..].iter().collect::<PathBuf>());
+        if candidate.exists() {
+            return Some(candidate);
+        }
+    }
+    None
 }
 
 /// Prelude matching `proptest::prelude::*` for the API subset implemented
@@ -505,7 +616,7 @@ macro_rules! __proptest_fns {
         $(#[$meta])*
         fn $name() {
             let config: $crate::ProptestConfig = $cfg;
-            let mut runner = $crate::TestRunner::new(config);
+            let mut runner = $crate::TestRunner::new_for_source(config, file!());
             runner.run(|__proptest_rng| {
                 $(let $arg = $crate::Strategy::generate(&($strategy), __proptest_rng);)+
                 $body
@@ -553,5 +664,79 @@ mod tests {
             prop_assert!(v >= 10, "v was {}", v);
             Ok(())
         });
+    }
+
+    #[test]
+    fn cc_lines_parse_seeds_and_ignore_noise() {
+        // Upstream-format digests are longer than 64 bits; the leading 16
+        // hex digits are the seed.
+        assert_eq!(
+            crate::parse_cc_line(
+                "cc 3483706a79cfdd69b2ef109bbc80526b86d36dd0a33c1d7192f31658bfd9d192 # shrinks to x"
+            ),
+            Some(0x3483_706a_79cf_dd69)
+        );
+        assert_eq!(crate::parse_cc_line("cc 00000000000000ff"), Some(0xff));
+        assert_eq!(
+            crate::parse_cc_line("  cc 1234 # short seeds too"),
+            Some(0x1234)
+        );
+        assert_eq!(crate::parse_cc_line("# a comment"), None);
+        assert_eq!(crate::parse_cc_line(""), None);
+        assert_eq!(crate::parse_cc_line("cc zznothex"), None);
+    }
+
+    /// End-to-end persistence: a novel failure appends its seed to the
+    /// regression file next to the source, and a fresh runner replays that
+    /// seed before any novel case.
+    #[test]
+    fn novel_failures_persist_and_replay_first() {
+        let dir = std::env::temp_dir().join(format!("proptest-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let source = dir.join("fake_prop.rs");
+        std::fs::write(&source, "// stand-in source file\n").unwrap();
+        let source_str = source.to_str().unwrap().to_owned();
+
+        // First run: every case fails, so the first novel seed is persisted.
+        let src = source_str.clone();
+        let result = std::panic::catch_unwind(move || {
+            let mut runner = crate::TestRunner::new_for_source(ProptestConfig::with_cases(2), &src);
+            runner.run(|_rng| Err("always fails".to_owned()));
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("seed persisted to"), "{msg}");
+
+        let reg = source.with_extension("proptest-regressions");
+        let text = std::fs::read_to_string(&reg).unwrap();
+        assert!(text.contains("cc "), "no cc entry in {text:?}");
+        let persisted = text.lines().find_map(crate::parse_cc_line).unwrap();
+
+        // Second run: the persisted seed is replayed before case 0 and its
+        // failure is reported as a regression, not a novel case.
+        let src = source_str.clone();
+        let result = std::panic::catch_unwind(move || {
+            let mut runner = crate::TestRunner::new_for_source(ProptestConfig::with_cases(2), &src);
+            runner.run(|_rng| Err("still failing".to_owned()));
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(
+            msg.contains(&format!("persisted regression case (seed {persisted:#x}")),
+            "{msg}"
+        );
+        // The replayed failure is already recorded: the file did not grow.
+        assert_eq!(std::fs::read_to_string(&reg).unwrap(), text);
+
+        // Third run: the property now passes, including the persisted seed.
+        let mut runner =
+            crate::TestRunner::new_for_source(ProptestConfig::with_cases(2), &source_str);
+        let mut cases = 0u32;
+        runner.run(|_rng| {
+            cases += 1;
+            Ok(())
+        });
+        assert_eq!(cases, 3, "2 novel cases plus 1 persisted regression seed");
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
