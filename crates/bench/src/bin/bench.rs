@@ -1,0 +1,333 @@
+//! End-to-end benchmark of the figures pipeline with machine-readable output.
+//!
+//! Runs every experiment at bench scale (quick by default, `BTB_INSTS` /
+//! `BTB_WARMUP` / `BTB_WORKLOADS` override) and writes wall-clock and
+//! throughput per phase as JSON, so successive PRs leave a committed,
+//! diffable performance trajectory at the repo root:
+//!
+//! ```text
+//! cargo run --release -p btb-bench --bin bench                  # -> BENCH_PR3.json
+//! cargo run --release -p btb-bench --bin bench -- --compare BENCH_PR3.json
+//! ```
+//!
+//! `--compare` diffs the fresh run against a previously committed
+//! `BENCH_*.json` and exits non-zero if total throughput regressed by more
+//! than the gate (default 20%), which is what CI enforces.
+
+use btb_harness::{experiments, run_counters, Scale, Suite};
+use btb_store::JsonValue;
+use std::time::Instant;
+
+struct Cli {
+    out: Option<String>,
+    compare: Option<String>,
+    gate_pct: f64,
+    note: Option<String>,
+}
+
+fn exit_usage(problem: &str) -> ! {
+    eprintln!(
+        "bench: {problem}\n\n\
+         usage: bench [--out PATH] [--no-out] [--compare PATH] [--gate PCT] [--note STRING]\n\n\
+         options:\n  \
+         --out PATH      write the JSON result to PATH (default: BENCH_PR3.json)\n  \
+         --no-out        measure and print, but write no file\n  \
+         --compare PATH  diff against a previous BENCH_*.json; exit 1 if total\n                  \
+         throughput regressed by more than the gate\n  \
+         --gate PCT      regression gate in percent (default: 20)\n  \
+         --note STRING   free-form note recorded in the JSON\n\n\
+         scale defaults to quick (300K insts, 100K warmup, 4 workloads);\n\
+         override with BTB_INSTS / BTB_WARMUP / BTB_WORKLOADS"
+    );
+    std::process::exit(2);
+}
+
+fn parse_cli(args: &[String]) -> Cli {
+    let mut cli = Cli {
+        out: Some("BENCH_PR3.json".to_string()),
+        compare: None,
+        gate_pct: 20.0,
+        note: None,
+    };
+    fn operand(args: &[String], i: &mut usize, name: &str) -> String {
+        let Some(v) = args.get(*i + 1) else {
+            exit_usage(&format!("{name} requires an operand"));
+        };
+        *i += 1;
+        v.clone()
+    }
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-h" | "--help" => exit_usage("help"),
+            "--out" => cli.out = Some(operand(args, &mut i, "--out")),
+            "--no-out" => cli.out = None,
+            "--compare" => cli.compare = Some(operand(args, &mut i, "--compare")),
+            "--gate" => {
+                let v = operand(args, &mut i, "--gate");
+                match v.parse::<f64>() {
+                    Ok(p) if p > 0.0 && p < 100.0 => cli.gate_pct = p,
+                    _ => exit_usage(&format!("--gate wants a percentage in (0, 100), got {v}")),
+                }
+            }
+            "--note" => cli.note = Some(operand(args, &mut i, "--note")),
+            other => exit_usage(&format!("unknown argument: {other}")),
+        }
+        i += 1;
+    }
+    cli
+}
+
+/// Bench scale: quick unless overridden by the environment. `Scale::from_env`
+/// defaults to full, so apply the env overrides on top of quick by hand.
+fn scale_from_env_or_quick() -> Scale {
+    let mut s = Scale::quick();
+    fn read<T: std::str::FromStr>(key: &str) -> Option<T> {
+        std::env::var(key).ok().and_then(|v| v.parse().ok())
+    }
+    if let Some(n) = read("BTB_INSTS") {
+        s.insts = n;
+    }
+    if let Some(n) = read("BTB_WARMUP") {
+        s.warmup = n;
+    }
+    if let Some(n) = read("BTB_WORKLOADS") {
+        s.workloads = n;
+    }
+    s
+}
+
+struct Phase {
+    name: &'static str,
+    wall_s: f64,
+    cells: u64,
+    fresh_cells: u64,
+    instructions: u64,
+}
+
+impl Phase {
+    fn insts_per_sec(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.instructions as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("name".into(), JsonValue::string(self.name)),
+            ("wall_s".into(), JsonValue::number(self.wall_s)),
+            ("cells".into(), JsonValue::Integer(self.cells as i64)),
+            (
+                "fresh_cells".into(),
+                JsonValue::Integer(self.fresh_cells as i64),
+            ),
+            (
+                "instructions".into(),
+                JsonValue::Integer(self.instructions as i64),
+            ),
+            (
+                "insts_per_sec".into(),
+                JsonValue::number(self.insts_per_sec()),
+            ),
+        ])
+    }
+}
+
+/// Times `f` and pairs the wall clock with the matrix-counter deltas it
+/// caused. `instructions` counts trace records fed through `run_matrix`
+/// cells, including memoized ones: the benchmark measures delivered
+/// pipeline throughput, caching wins included.
+fn measure<T>(name: &'static str, f: impl FnOnce() -> T) -> (Phase, T) {
+    let before = run_counters();
+    let t = Instant::now();
+    let value = f();
+    let wall_s = t.elapsed().as_secs_f64();
+    let after = run_counters();
+    let phase = Phase {
+        name,
+        wall_s,
+        cells: after.cells - before.cells,
+        fresh_cells: after.fresh_cells - before.fresh_cells,
+        instructions: after.instructions - before.instructions,
+    };
+    (phase, value)
+}
+
+fn run_all(scale: Scale) -> Vec<Phase> {
+    let mut phases = Vec::new();
+
+    let (p, suite) = measure("suite", || Suite::generate(scale));
+    eprintln!("# suite in {:.3}s", p.wall_s);
+    phases.push(p);
+
+    let (p, base) = measure("baseline", || experiments::baseline_reports(&suite));
+    eprintln!("# baseline in {:.3}s ({} cells)", p.wall_s, p.cells);
+    phases.push(p);
+
+    for name in experiments::ALL {
+        let (p, _fig) = measure(name, || {
+            experiments::run_by_name(name, Some(&suite), Some(&base))
+        });
+        eprintln!(
+            "# {name} in {:.3}s ({} cells, {} fresh)",
+            p.wall_s, p.cells, p.fresh_cells
+        );
+        phases.push(p);
+    }
+    phases
+}
+
+fn result_json(scale: Scale, phases: &[Phase], note: Option<&str>) -> JsonValue {
+    let wall_s: f64 = phases.iter().map(|p| p.wall_s).sum();
+    let instructions: u64 = phases.iter().map(|p| p.instructions).sum();
+    let cells: u64 = phases.iter().map(|p| p.cells).sum();
+    let fresh_cells: u64 = phases.iter().map(|p| p.fresh_cells).sum();
+    let ips = if wall_s > 0.0 {
+        instructions as f64 / wall_s
+    } else {
+        0.0
+    };
+    let mut members = vec![
+        ("schema".into(), JsonValue::string("btb-bench/1")),
+        (
+            "scale".into(),
+            JsonValue::Object(vec![
+                ("insts".into(), JsonValue::Integer(scale.insts as i64)),
+                ("warmup".into(), JsonValue::Integer(scale.warmup as i64)),
+                (
+                    "workloads".into(),
+                    JsonValue::Integer(scale.workloads as i64),
+                ),
+            ]),
+        ),
+    ];
+    if let Some(note) = note {
+        members.push(("note".into(), JsonValue::string(note)));
+    }
+    members.push((
+        "phases".into(),
+        JsonValue::array(phases.iter().map(Phase::to_json)),
+    ));
+    members.push((
+        "total".into(),
+        JsonValue::Object(vec![
+            ("wall_s".into(), JsonValue::number(wall_s)),
+            ("cells".into(), JsonValue::Integer(cells as i64)),
+            ("fresh_cells".into(), JsonValue::Integer(fresh_cells as i64)),
+            (
+                "instructions".into(),
+                JsonValue::Integer(instructions as i64),
+            ),
+            ("insts_per_sec".into(), JsonValue::number(ips)),
+        ]),
+    ));
+    JsonValue::Object(members)
+}
+
+fn load_baseline(path: &str) -> JsonValue {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match JsonValue::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("bench: cannot parse {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn total_ips(doc: &JsonValue) -> Option<f64> {
+    doc.get("total")?.get("insts_per_sec")?.as_f64()
+}
+
+fn phase_wall(doc: &JsonValue, name: &str) -> Option<f64> {
+    doc.get("phases")?
+        .as_array()?
+        .iter()
+        .find(|p| p.get("name").and_then(JsonValue::as_str) == Some(name))?
+        .get("wall_s")?
+        .as_f64()
+}
+
+/// Prints the per-phase diff and returns whether the gate passed.
+fn compare(old: &JsonValue, fresh: &JsonValue, phases: &[Phase], gate_pct: f64) -> bool {
+    println!(
+        "{:<12} {:>10} {:>10} {:>9}",
+        "phase", "old_s", "new_s", "delta"
+    );
+    for p in phases {
+        match phase_wall(old, p.name) {
+            Some(old_s) if old_s > 0.0 => {
+                let delta = (p.wall_s - old_s) / old_s * 100.0;
+                println!(
+                    "{:<12} {:>10.3} {:>10.3} {:>+8.1}%",
+                    p.name, old_s, p.wall_s, delta
+                );
+            }
+            _ => println!("{:<12} {:>10} {:>10.3} {:>9}", p.name, "-", p.wall_s, "-"),
+        }
+    }
+    let (Some(old_ips), Some(new_ips)) = (total_ips(old), total_ips(fresh)) else {
+        eprintln!("bench: baseline lacks total.insts_per_sec; cannot gate");
+        return false;
+    };
+    let delta = (new_ips - old_ips) / old_ips * 100.0;
+    println!(
+        "{:<12} {:>10.0} {:>10.0} {:>+8.1}%  (insts/sec)",
+        "total", old_ips, new_ips, delta
+    );
+    let pass = new_ips >= old_ips * (1.0 - gate_pct / 100.0);
+    println!(
+        "gate: {} (threshold -{gate_pct:.0}% throughput)",
+        if pass { "pass" } else { "FAIL" }
+    );
+    pass
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = parse_cli(&args);
+
+    let scale = scale_from_env_or_quick();
+    eprintln!(
+        "# bench scale: {} insts, {} warmup, {} workloads",
+        scale.insts, scale.warmup, scale.workloads
+    );
+    let phases = run_all(scale);
+    let doc = result_json(scale, &phases, cli.note.as_deref());
+
+    let total = doc.get("total").expect("total");
+    eprintln!(
+        "# total: {:.3}s, {} instructions, {:.0} insts/sec",
+        total.get("wall_s").and_then(JsonValue::as_f64).unwrap(),
+        phases.iter().map(|p| p.instructions).sum::<u64>(),
+        total
+            .get("insts_per_sec")
+            .and_then(JsonValue::as_f64)
+            .unwrap(),
+    );
+
+    if let Some(path) = &cli.out {
+        let mut text = doc.to_pretty_string();
+        text.push('\n');
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("bench: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("# wrote {path}");
+    }
+
+    if let Some(path) = &cli.compare {
+        let old = load_baseline(path);
+        if !compare(&old, &doc, &phases, cli.gate_pct) {
+            std::process::exit(1);
+        }
+    }
+}

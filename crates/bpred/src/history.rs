@@ -62,14 +62,26 @@ impl GlobalHistory {
             return 0;
         }
         let mask = (1u64 << out_bits) - 1;
+        // Extract the widest multiple of `out_bits` that fits in one u64 per
+        // step, then XOR-collapse the wide word down to `out_bits`. Because
+        // `wide` is a multiple of `out_bits`, the chunk boundaries coincide
+        // with the ones the definition above prescribes, and XOR is
+        // associative — so this computes exactly the same fold with ~5x
+        // fewer history extractions (this runs 16x per perceptron lookup).
+        let wide = (64 / out_bits) * out_bits;
         let mut acc = 0u64;
         let mut consumed = 0usize;
         while consumed < len {
-            let take = (len - consumed).min(out_bits);
+            let take = (len - consumed).min(wide);
             acc ^= self.bits_at(consumed, take);
             consumed += take;
         }
-        acc & mask
+        let mut folded = 0u64;
+        while acc != 0 {
+            folded ^= acc & mask;
+            acc >>= out_bits;
+        }
+        folded
     }
 
     /// Extracts `count` bits starting `offset` bits back in history.
@@ -159,6 +171,40 @@ mod tests {
             b.push(i % 5 == 0);
         }
         assert_ne!(a.fold(100, 12), b.fold(100, 12));
+    }
+
+    /// The definitional fold: one `out_bits`-wide chunk at a time.
+    fn fold_reference(h: &GlobalHistory, len: usize, out_bits: usize) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        let mask = (1u64 << out_bits) - 1;
+        let mut acc = 0u64;
+        let mut consumed = 0usize;
+        while consumed < len {
+            let take = (len - consumed).min(out_bits);
+            acc ^= h.bits_at(consumed, take);
+            consumed += take;
+        }
+        acc & mask
+    }
+
+    #[test]
+    fn widened_fold_matches_reference() {
+        let mut h = GlobalHistory::new();
+        // A dense, irregular bit pattern exercising all word boundaries.
+        for i in 0..MAX_HISTORY_BITS {
+            h.push((i * i + i / 3) % 5 < 2);
+        }
+        for len in [1, 3, 11, 12, 13, 63, 64, 65, 100, 127, 128, 232, 256] {
+            for out_bits in [1, 2, 5, 6, 7, 8, 11, 12, 13, 16, 31, 32] {
+                assert_eq!(
+                    h.fold(len, out_bits),
+                    fold_reference(&h, len, out_bits),
+                    "len={len} out_bits={out_bits}"
+                );
+            }
+        }
     }
 
     #[test]

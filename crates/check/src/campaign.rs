@@ -196,7 +196,7 @@ fn campaign_traces(opts: &CampaignOptions) -> Vec<(String, Vec<TraceRecord>)> {
             }
             traces.push((format!("{}-mut{m}", base.name), records));
         }
-        traces.push((base.name.clone(), base.records));
+        traces.push((base.name.to_string(), base.records));
     }
     traces
 }

@@ -152,9 +152,10 @@ impl HeteroBtb {
         let mut any = false;
         let mut region = self.region_of(pc);
         while region < window_end {
-            if let Some(entry) = self.l2.get(region / self.region_bytes) {
+            if let Some(idx) = self.l2.touch(region / self.region_bytes) {
                 any = true;
-                for slot in entry.slots.clone() {
+                let entry = self.l2.at(idx);
+                for slot in &entry.slots {
                     let slot_pc = region + u64::from(slot.offset) * INST_BYTES;
                     if slot_pc < pc || slot_pc >= window_end {
                         continue;
@@ -327,9 +328,10 @@ impl BtbOrganization for HeteroBtb {
     }
 
     fn plan(&mut self, pc: Addr, oracle: &mut dyn PredictionProvider) -> FetchPlan {
-        if let Some(entry) = self.l1.get(pc >> 2) {
-            let entry = entry.clone();
-            return self.plan_from_l1(pc, &entry, oracle);
+        // Index-based lookup so the entry can be borrowed (not cloned)
+        // while `plan_from_l1` reads the rest of `self`.
+        if let Some(idx) = self.l1.touch(pc >> 2) {
+            return self.plan_from_l1(pc, self.l1.at(idx), oracle);
         }
         self.plan_from_l2(pc, oracle)
     }

@@ -24,20 +24,18 @@ impl<E: Clone> TwoLevel<E> {
     }
 
     /// Looks up `key`: L1 first, then L2. An L2 hit fills the entry into L1
-    /// (zero fill latency). Returns a clone of the entry and the level that
-    /// provided it.
-    pub fn lookup_fill(&mut self, key: u64) -> Option<(E, BtbLevel)> {
-        if let Some(e) = self.l1.get(key) {
-            return Some((e.clone(), BtbLevel::L1));
+    /// (zero fill latency). Returns a reference to the (L1-resident) entry
+    /// and the level that provided it; the hot L1-hit path is clone-free.
+    #[inline]
+    pub fn lookup_fill(&mut self, key: u64) -> Option<(&E, BtbLevel)> {
+        if let Some(idx) = self.l1.touch(key) {
+            return Some((self.l1.at(idx), BtbLevel::L1));
         }
-        if let Some(l2) = &mut self.l2 {
-            if let Some(e) = l2.get(key) {
-                let cloned = e.clone();
-                self.l1.insert(key, cloned.clone());
-                return Some((cloned, BtbLevel::L2));
-            }
-        }
-        None
+        let l2 = self.l2.as_mut()?;
+        let l2_idx = l2.touch(key)?;
+        let cloned = l2.at(l2_idx).clone();
+        let (idx, _evicted) = self.l1.insert_idx(key, cloned);
+        Some((self.l1.at(idx), BtbLevel::L2))
     }
 
     /// Looks up `key` without filling or touching recency.
@@ -168,7 +166,7 @@ mod tests {
         h.update_with(2, || 8, |_| {}); // same L1 set (2 sets), evicts key 0 from L1
         assert!(h.l1.peek(0).is_none(), "key 0 evicted from tiny L1");
         let (v, level) = h.lookup_fill(0).expect("L2 retains it");
-        assert_eq!((v, level), (7, BtbLevel::L2));
+        assert_eq!((*v, level), (7, BtbLevel::L2));
         // Now it is back in L1.
         assert_eq!(h.peek(0).map(|(e, l)| (*e, l)), Some((7, BtbLevel::L1)));
     }
@@ -185,7 +183,7 @@ mod tests {
     fn single_level_hierarchy_works() {
         let mut h: TwoLevel<u32> = TwoLevel::new(geo(4, 2), None);
         h.update_with(9, || 3, |_| {});
-        assert_eq!(h.lookup_fill(9), Some((3, BtbLevel::L1)));
+        assert_eq!(h.lookup_fill(9), Some((&3, BtbLevel::L1)));
         assert_eq!(h.lookup_fill(10), None);
     }
 

@@ -83,7 +83,7 @@ impl BtbOrganization for InstructionBtb {
         while produced < self.width {
             if let Some((entry, level)) = self.store.lookup_fill(Self::key(cur)) {
                 used_l2 |= level == BtbLevel::L2;
-                let (taken, target) = Self::predict_branch(&entry, cur, oracle);
+                let (taken, target) = Self::predict_branch(entry, cur, oracle);
                 if entry.kind.is_call() && taken {
                     oracle.note_call(cur + INST_BYTES);
                 }

@@ -1,5 +1,11 @@
 //! Generic set-associative storage with true-LRU replacement, the substrate
 //! under every BTB level (Table 1: full tags, LRU).
+//!
+//! The layout is struct-of-arrays: per-way keys and recency stamps live in
+//! flat parallel arrays so the hot lookup path is a branch-light linear
+//! probe over packed `u64`s, touching entry payloads only on a hit. A way
+//! is valid iff its recency stamp is non-zero (ticks start at 1), which
+//! keeps validity checks on the same cache lines as the tag compare.
 
 /// A set-associative table mapping `u64` keys to entries of type `E`.
 ///
@@ -10,15 +16,15 @@
 pub struct SetAssoc<E> {
     sets: usize,
     ways: usize,
-    entries: Vec<Option<Way<E>>>,
+    /// `sets - 1`, precomputed (sets is a power of two).
+    set_mask: usize,
     tick: u64,
-}
-
-#[derive(Debug, Clone)]
-struct Way<E> {
-    key: u64,
-    last_use: u64,
-    data: E,
+    /// Per-way tags, packed; meaningful only where `last_use` is non-zero.
+    keys: Vec<u64>,
+    /// Per-way recency stamp; 0 marks an empty way.
+    last_use: Vec<u64>,
+    /// Per-way payloads, touched only on hits/fills.
+    data: Vec<Option<E>>,
 }
 
 impl<E> SetAssoc<E> {
@@ -33,13 +39,17 @@ impl<E> SetAssoc<E> {
             "sets must be a power of two"
         );
         assert!(ways > 0, "ways must be non-zero");
-        let mut entries = Vec::new();
-        entries.resize_with(sets * ways, || None);
+        let capacity = sets * ways;
+        let mut data = Vec::new();
+        data.resize_with(capacity, || None);
         SetAssoc {
             sets,
             ways,
-            entries,
+            set_mask: sets - 1,
             tick: 0,
+            keys: vec![0; capacity],
+            last_use: vec![0; capacity],
+            data,
         }
     }
 
@@ -61,95 +71,122 @@ impl<E> SetAssoc<E> {
         self.sets * self.ways
     }
 
-    fn set_of(&self, key: u64) -> usize {
-        (key as usize) & (self.sets - 1)
+    #[inline]
+    fn set_start(&self, key: u64) -> usize {
+        ((key as usize) & self.set_mask) * self.ways
     }
 
-    fn range_of(&self, key: u64) -> std::ops::Range<usize> {
-        let s = self.set_of(key);
-        s * self.ways..(s + 1) * self.ways
+    /// Linear probe over the set's packed tags; returns the matching way's
+    /// flat index without touching recency.
+    #[inline]
+    fn find(&self, key: u64) -> Option<usize> {
+        let start = self.set_start(key);
+        let keys = &self.keys[start..start + self.ways];
+        let uses = &self.last_use[start..start + self.ways];
+        for (w, (&k, &u)) in keys.iter().zip(uses).enumerate() {
+            if k == key && u != 0 {
+                return Some(start + w);
+            }
+        }
+        None
+    }
+
+    /// Looks up `key`, marking the entry most-recently-used; returns the
+    /// way's flat index for allocation-free access via [`SetAssoc::at`].
+    ///
+    /// The index is invalidated by any subsequent insert or remove.
+    #[inline]
+    pub fn touch(&mut self, key: u64) -> Option<usize> {
+        self.tick += 1;
+        let idx = self.find(key)?;
+        self.last_use[idx] = self.tick;
+        Some(idx)
+    }
+
+    /// The entry at a flat way index returned by [`SetAssoc::touch`].
+    ///
+    /// # Panics
+    /// Panics if the way is empty (stale index).
+    #[inline]
+    #[must_use]
+    pub fn at(&self, idx: usize) -> &E {
+        self.data[idx].as_ref().expect("valid way index")
+    }
+
+    /// Mutable access to the entry at a flat way index.
+    ///
+    /// # Panics
+    /// Panics if the way is empty (stale index).
+    #[inline]
+    pub fn at_mut(&mut self, idx: usize) -> &mut E {
+        self.data[idx].as_mut().expect("valid way index")
     }
 
     /// Looks up `key` without updating recency.
+    #[inline]
     #[must_use]
     pub fn peek(&self, key: u64) -> Option<&E> {
-        self.entries[self.range_of(key)]
-            .iter()
-            .flatten()
-            .find(|w| w.key == key)
-            .map(|w| &w.data)
+        self.find(key).map(|i| self.at(i))
     }
 
     /// Looks up `key`, marking the entry most-recently-used.
+    #[inline]
     pub fn get(&mut self, key: u64) -> Option<&E> {
-        self.tick += 1;
-        let tick = self.tick;
-        let range = self.range_of(key);
-        self.entries[range]
-            .iter_mut()
-            .flatten()
-            .find(|w| w.key == key)
-            .map(|w| {
-                w.last_use = tick;
-                &w.data
-            })
+        let idx = self.touch(key)?;
+        Some(self.at(idx))
     }
 
     /// Mutable lookup, marking the entry most-recently-used.
+    #[inline]
     pub fn get_mut(&mut self, key: u64) -> Option<&mut E> {
+        let idx = self.touch(key)?;
+        Some(self.at_mut(idx))
+    }
+
+    /// Inserts (or replaces) `key`, returning the way index used and any
+    /// evicted `(key, entry)`. Single pass: the probe resolves the matching
+    /// way, the first free way and the LRU victim together.
+    pub(crate) fn insert_idx(&mut self, key: u64, data: E) -> (usize, Option<(u64, E)>) {
         self.tick += 1;
         let tick = self.tick;
-        let range = self.range_of(key);
-        self.entries[range]
-            .iter_mut()
-            .flatten()
-            .find(|w| w.key == key)
-            .map(|w| {
-                w.last_use = tick;
-                &mut w.data
-            })
+        let start = self.set_start(key);
+        let mut free: Option<usize> = None;
+        let mut victim = start;
+        let mut victim_use = u64::MAX;
+        for i in start..start + self.ways {
+            let u = self.last_use[i];
+            if u == 0 {
+                if free.is_none() {
+                    free = Some(i);
+                }
+            } else if self.keys[i] == key {
+                // Replace in place.
+                self.last_use[i] = tick;
+                self.data[i] = Some(data);
+                return (i, None);
+            } else if u < victim_use {
+                victim_use = u;
+                victim = i;
+            }
+        }
+        if let Some(i) = free {
+            self.keys[i] = key;
+            self.last_use[i] = tick;
+            self.data[i] = Some(data);
+            return (i, None);
+        }
+        // Evict true-LRU.
+        let old_key = self.keys[victim];
+        let old = self.data[victim].take().expect("victim exists");
+        self.keys[victim] = key;
+        self.last_use[victim] = tick;
+        self.data[victim] = Some(data);
+        (victim, Some((old_key, old)))
     }
 
     /// Inserts (or replaces) `key`, returning any evicted `(key, entry)`.
     pub fn insert(&mut self, key: u64, data: E) -> Option<(u64, E)> {
-        self.tick += 1;
-        let tick = self.tick;
-        let range = self.range_of(key);
-        // Replace in place if present.
-        if let Some(w) = self.entries[range.clone()]
-            .iter_mut()
-            .flatten()
-            .find(|w| w.key == key)
-        {
-            w.last_use = tick;
-            w.data = data;
-            return None;
-        }
-        // Free way?
-        if let Some(slot) = self.entries[range.clone()].iter().position(Option::is_none) {
-            let idx = range.start + slot;
-            self.entries[idx] = Some(Way {
-                key,
-                last_use: tick,
-                data,
-            });
-            return None;
-        }
-        // Evict true-LRU.
-        let (victim_off, _) = self.entries[range.clone()]
-            .iter()
-            .enumerate()
-            .map(|(i, w)| (i, w.as_ref().expect("set is full").last_use))
-            .min_by_key(|&(_, lu)| lu)
-            .expect("ways > 0");
-        let idx = range.start + victim_off;
-        let old = self.entries[idx].take().expect("victim exists");
-        self.entries[idx] = Some(Way {
-            key,
-            last_use: tick,
-            data,
-        });
-        Some((old.key, old.data))
+        self.insert_idx(key, data).1
     }
 
     /// Gets the entry for `key`, inserting `default()` first if absent.
@@ -159,27 +196,32 @@ impl<E> SetAssoc<E> {
         key: u64,
         default: F,
     ) -> (&mut E, Option<(u64, E)>) {
-        let mut evicted = None;
-        if self.peek(key).is_none() {
-            evicted = self.insert(key, default());
-        }
-        (self.get_mut(key).expect("just inserted"), evicted)
+        let (idx, evicted) = match self.find(key) {
+            Some(idx) => (idx, None),
+            None => self.insert_idx(key, default()),
+        };
+        // Mirror the historical peek-then-insert-then-get_mut sequence: the
+        // final recency stamp always comes from a fresh get_mut-equivalent
+        // tick (the golden models replay this tick-for-tick).
+        self.tick += 1;
+        self.last_use[idx] = self.tick;
+        (self.at_mut(idx), evicted)
     }
 
     /// Removes `key`, returning its entry.
     pub fn remove(&mut self, key: u64) -> Option<E> {
-        let range = self.range_of(key);
-        for idx in range {
-            if self.entries[idx].as_ref().is_some_and(|w| w.key == key) {
-                return self.entries[idx].take().map(|w| w.data);
-            }
-        }
-        None
+        let idx = self.find(key)?;
+        self.last_use[idx] = 0;
+        self.data[idx].take()
     }
 
     /// Iterates over all valid `(key, entry)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &E)> {
-        self.entries.iter().flatten().map(|w| (w.key, &w.data))
+        self.last_use
+            .iter()
+            .enumerate()
+            .filter(|(_, &u)| u != 0)
+            .map(|(i, _)| (self.keys[i], self.at(i)))
     }
 
     /// Dumps the table as per-set lists of `(key, f(entry))` in LRU→MRU
@@ -189,12 +231,14 @@ impl<E> SetAssoc<E> {
     pub fn dump_with<S, F: Fn(&E) -> S>(&self, f: F) -> Vec<Vec<(u64, S)>> {
         (0..self.sets)
             .map(|s| {
-                let mut ways: Vec<&Way<E>> = self.entries[s * self.ways..(s + 1) * self.ways]
-                    .iter()
-                    .flatten()
+                let start = s * self.ways;
+                let mut ways: Vec<usize> = (start..start + self.ways)
+                    .filter(|&i| self.last_use[i] != 0)
                     .collect();
-                ways.sort_by_key(|w| w.last_use);
-                ways.into_iter().map(|w| (w.key, f(&w.data))).collect()
+                ways.sort_by_key(|&i| self.last_use[i]);
+                ways.into_iter()
+                    .map(|i| (self.keys[i], f(self.at(i))))
+                    .collect()
             })
             .collect()
     }
@@ -202,7 +246,7 @@ impl<E> SetAssoc<E> {
     /// Number of valid entries.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.iter().flatten().count()
+        self.last_use.iter().filter(|&&u| u != 0).count()
     }
 
     /// Whether the table holds no entries.
@@ -327,5 +371,28 @@ mod tests {
         assert_eq!(seen.len(), 10);
         assert_eq!(seen[0], (0, 0));
         assert_eq!(seen[9], (9, 90));
+    }
+
+    #[test]
+    fn touch_returns_stable_index_until_mutation() {
+        let mut t = SetAssoc::new(2, 2);
+        t.insert(4, "x");
+        let i = t.touch(4).expect("present");
+        assert_eq!(t.at(i), &"x");
+        *t.at_mut(i) = "y";
+        assert_eq!(t.peek(4), Some(&"y"));
+        assert_eq!(t.touch(5), None);
+    }
+
+    #[test]
+    fn key_zero_in_empty_way_does_not_ghost_hit() {
+        // Empty ways hold key 0: a lookup for key 0 must still miss.
+        let mut t: SetAssoc<&str> = SetAssoc::new(2, 2);
+        assert_eq!(t.peek(0), None);
+        assert_eq!(t.get(0), None);
+        t.insert(0, "zero");
+        assert_eq!(t.peek(0), Some(&"zero"));
+        t.remove(0);
+        assert_eq!(t.peek(0), None, "removed key 0 must miss again");
     }
 }

@@ -15,22 +15,7 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 /// Every experiment, in `all` execution order.
-const EXPERIMENTS: &[&str] = &[
-    "table1",
-    "stats",
-    "fig4",
-    "fig5",
-    "fig7",
-    "fig8",
-    "fig9",
-    "fig10",
-    "fig11a",
-    "fig11b",
-    "ablations",
-    "hetero",
-    "preload",
-    "turnaround",
-];
+const EXPERIMENTS: &[&str] = experiments::ALL;
 
 fn usage() -> String {
     format!(
@@ -275,7 +260,7 @@ fn main() {
         scale.insts, scale.warmup, scale.workloads
     );
     let t0 = Instant::now();
-    let needs_suite = cli.selected.iter().any(|w| *w != "table1");
+    let needs_suite = cli.selected.iter().any(|w| experiments::needs_suite(w));
     let suite = if needs_suite {
         // Suite::generate consults the ambient store installed above.
         Some(Suite::generate(scale))
@@ -286,21 +271,7 @@ fn main() {
         eprintln!("# suite generated in {:?}", t0.elapsed());
         report_counters(store, "suite");
     }
-    let needs_base = cli.selected.iter().any(|w| {
-        matches!(
-            *w,
-            "fig4"
-                | "fig5"
-                | "fig7"
-                | "fig8"
-                | "fig9"
-                | "fig10"
-                | "ablations"
-                | "hetero"
-                | "preload"
-                | "turnaround"
-        )
-    });
+    let needs_base = cli.selected.iter().any(|w| experiments::needs_base(w));
     let base = if needs_base {
         let t = Instant::now();
         let b = experiments::baseline_reports(suite.as_ref().expect("suite"));
@@ -313,25 +284,7 @@ fn main() {
 
     for w in cli.selected {
         let t = Instant::now();
-        let suite = || suite.as_ref().expect("suite generated above");
-        let base = || base.as_ref().expect("baseline computed above");
-        let fig = match w {
-            "table1" => experiments::table1(),
-            "stats" => experiments::workload_stats(suite()),
-            "fig4" => experiments::fig4(suite(), base()),
-            "fig5" => experiments::fig5(suite(), base()),
-            "fig7" => experiments::fig7(suite(), base()),
-            "fig8" => experiments::fig8(suite(), base()),
-            "fig9" => experiments::fig9(suite(), base()),
-            "fig10" => experiments::fig10(suite(), base()),
-            "fig11a" => experiments::fig11a(suite()),
-            "fig11b" => experiments::fig11b(suite()),
-            "ablations" => experiments::ablations(suite(), base()),
-            "hetero" => experiments::hetero(suite(), base()),
-            "preload" => experiments::preload(suite(), base()),
-            "turnaround" => experiments::turnaround(suite(), base()),
-            other => unreachable!("parse_cli admits only known experiments, got {other}"),
-        };
+        let fig = experiments::run_by_name(w, suite.as_ref(), base.as_deref());
         println!("{fig}");
         eprintln!("# {w} in {:?}", t.elapsed());
         report_counters(store, w);

@@ -10,6 +10,78 @@ use btb_core::{BtbConfig, PullPolicy};
 use btb_sim::{PipelineConfig, SimReport};
 use btb_trace::TraceStats;
 
+/// Every experiment name, in canonical `figures all` execution order.
+/// Shared by the `figures` and `bench` binaries so the two can never
+/// disagree about what "all" means.
+pub const ALL: &[&str] = &[
+    "table1",
+    "stats",
+    "fig4",
+    "fig5",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11a",
+    "fig11b",
+    "ablations",
+    "hetero",
+    "preload",
+    "turnaround",
+];
+
+/// Whether the named experiment needs the workload suite.
+#[must_use]
+pub fn needs_suite(name: &str) -> bool {
+    name != "table1"
+}
+
+/// Whether the named experiment needs the shared baseline reports.
+#[must_use]
+pub fn needs_base(name: &str) -> bool {
+    matches!(
+        name,
+        "fig4"
+            | "fig5"
+            | "fig7"
+            | "fig8"
+            | "fig9"
+            | "fig10"
+            | "ablations"
+            | "hetero"
+            | "preload"
+            | "turnaround"
+    )
+}
+
+/// Runs the experiment named `name` (one of [`ALL`]).
+///
+/// # Panics
+/// Panics if `name` is unknown, or if `suite`/`base` is `None` for an
+/// experiment that [`needs_suite`]/[`needs_base`] it.
+#[must_use]
+pub fn run_by_name(name: &str, suite: Option<&Suite>, base: Option<&[SimReport]>) -> Figure {
+    let suite = || suite.expect("experiment needs the suite");
+    let base = || base.expect("experiment needs baseline reports");
+    match name {
+        "table1" => table1(),
+        "stats" => workload_stats(suite()),
+        "fig4" => fig4(suite(), base()),
+        "fig5" => fig5(suite(), base()),
+        "fig7" => fig7(suite(), base()),
+        "fig8" => fig8(suite(), base()),
+        "fig9" => fig9(suite(), base()),
+        "fig10" => fig10(suite(), base()),
+        "fig11a" => fig11a(suite()),
+        "fig11b" => fig11b(suite()),
+        "ablations" => ablations(suite(), base()),
+        "hetero" => hetero(suite(), base()),
+        "preload" => preload(suite(), base()),
+        "turnaround" => turnaround(suite(), base()),
+        other => panic!("unknown experiment: {other}"),
+    }
+}
+
 /// Runs the idealistic I-BTB 16 baseline over the suite (shared by every
 /// figure for normalization).
 #[must_use]
@@ -275,7 +347,13 @@ pub fn fig11a(suite: &Suite) -> Figure {
     let mut rows: Vec<(f64, String, f64)> = base
         .iter()
         .zip(&mb)
-        .map(|(b, m)| (b.stats.dyn_bb_size(), b.workload.clone(), m.ipc() / b.ipc()))
+        .map(|(b, m)| {
+            (
+                b.stats.dyn_bb_size(),
+                b.workload.to_string(),
+                m.ipc() / b.ipc(),
+            )
+        })
         .collect();
     rows.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaNs"));
     let mut fig = Figure::new(
@@ -351,7 +429,7 @@ pub fn workload_stats(suite: &Suite) -> Figure {
         let s = TraceStats::compute(&t.records);
         bbs.push(s.avg_dyn_bb_size);
         fig.rows.push(Row {
-            label: t.name.clone(),
+            label: t.name.to_string(),
             cells: vec![
                 s.avg_dyn_bb_size,
                 100.0 * s.frac_never_taken_cond(),

@@ -24,5 +24,6 @@ pub mod runner;
 
 pub use figure::{Figure, Row};
 pub use runner::{
-    ambient_store, install_store, run_config, run_matrix, run_matrix_with_store, Scale, Suite,
+    ambient_store, install_store, run_config, run_counters, run_matrix, run_matrix_with_store,
+    RunCounters, Scale, Suite,
 };

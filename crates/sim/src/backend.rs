@@ -11,6 +11,31 @@ use crate::config::{BackendKind, PipelineConfig};
 use btb_trace::{Op, TraceRecord, NO_REG, NUM_REGS};
 use btb_uarch::MemoryHierarchy;
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative hasher for the cycle-keyed [`FuPool`] map. The map is only
+/// ever addressed by key (insert/lookup/retain-by-key), so the hash function
+/// cannot affect simulation results — but it is on the per-instruction hot
+/// path, where SipHash showed up as a measurable cost.
+#[derive(Default)]
+struct CycleHasher(u64);
+
+impl Hasher for CycleHasher {
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("FuPool keys are u64");
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        // Fibonacci multiplicative hash; the xor-shift spreads entropy into
+        // the top bits hashbrown uses for its control tags.
+        let h = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = h ^ (h >> 29);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
 
 /// Per-instruction backend timing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,22 +55,35 @@ pub struct BackendTimes {
 #[derive(Debug, Clone)]
 struct FuPool {
     width: u32,
-    counts: HashMap<u64, u32>,
+    counts: HashMap<u64, u32, BuildHasherDefault<CycleHasher>>,
     prune_below: u64,
+    /// Every cycle in `[prune_below, full_below)` holds `width`
+    /// reservations. Probing a full cycle is side-effect-free (the entry
+    /// exists and is not modified), so a scan starting in that range may
+    /// jump straight to `full_below` — observationally identical to probing
+    /// each cycle, without the O(congestion-window) walk per reservation.
+    full_below: u64,
 }
 
 impl FuPool {
     fn new(width: usize) -> Self {
         FuPool {
             width: width.max(1) as u32,
-            counts: HashMap::new(),
+            counts: HashMap::default(),
             prune_below: 0,
+            full_below: 0,
         }
     }
 
     /// Reserves the earliest cycle `>= min` with a free unit.
     fn reserve(&mut self, min: u64) -> u64 {
         let mut c = min;
+        // The skip is only valid at or above `prune_below`: below it, the
+        // original scan would find a pruned (hence fresh, free) entry.
+        if c >= self.prune_below && c < self.full_below {
+            c = self.full_below;
+        }
+        let start = c;
         loop {
             let e = self.counts.entry(c).or_insert(0);
             if *e < self.width {
@@ -55,6 +93,12 @@ impl FuPool {
                     let cut = c.saturating_sub(1024).max(self.prune_below);
                     self.counts.retain(|&k, _| k >= cut);
                     self.prune_below = cut;
+                    self.full_below = self.full_below.max(cut);
+                }
+                // Cycles [start, c) were all observed full; if the scan
+                // began inside the known-full range the two ranges join.
+                if start <= self.full_below {
+                    self.full_below = self.full_below.max(c);
                 }
                 return c;
             }

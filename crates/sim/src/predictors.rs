@@ -61,8 +61,9 @@ impl Predictors {
         };
         match kind {
             BranchKind::CondDirect => {
-                let out = self.perceptron.predict(rec.pc, &self.ghist);
-                self.perceptron.update(rec.pc, &self.ghist, out, rec.taken);
+                let _ = self
+                    .perceptron
+                    .predict_and_train(rec.pc, &self.ghist, rec.taken);
                 self.ghist.push(rec.taken);
             }
             BranchKind::DirectCall => {

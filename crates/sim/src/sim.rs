@@ -22,6 +22,52 @@ use btb_uarch::{MemoryHierarchy, LINE_BYTES};
 /// Instructions between BTB content samples (§5 samples every 1M).
 const INSPECT_PERIOD: u64 = 1_000_000;
 
+/// Fixed-capacity ring of FTQ entry release cycles.
+///
+/// Back-pressure only ever consults the release cycle of the entry
+/// `ftq_entries` positions earlier, so a ring of that capacity replaces the
+/// unbounded `Vec<u64>` that previously grew one slot per FTQ entry for the
+/// whole run. Indices are absolute entry numbers; the ring retains the last
+/// `capacity` of them.
+#[derive(Debug, Clone)]
+struct ReleaseRing {
+    slots: Vec<u64>,
+    pushed: usize,
+}
+
+impl ReleaseRing {
+    fn new(capacity: usize) -> Self {
+        ReleaseRing {
+            slots: vec![0; capacity.max(1)],
+            pushed: 0,
+        }
+    }
+
+    /// Total entries ever pushed (the next entry's absolute index).
+    #[inline]
+    fn pushed(&self) -> usize {
+        self.pushed
+    }
+
+    #[inline]
+    fn push(&mut self, release: u64) {
+        let cap = self.slots.len();
+        self.slots[self.pushed % cap] = release;
+        self.pushed += 1;
+    }
+
+    /// Release cycle of absolute entry `idx`; must be within the retained
+    /// window (the FTQ capacity guarantees it on every call site).
+    #[inline]
+    fn get(&self, idx: usize) -> u64 {
+        debug_assert!(
+            idx < self.pushed && idx + self.slots.len() >= self.pushed,
+            "release index {idx} outside retained window"
+        );
+        self.slots[idx % self.slots.len()]
+    }
+}
+
 /// In-order width-limited fetch frontier with line/interleave constraints.
 #[derive(Debug, Clone)]
 struct FetchFrontier {
@@ -86,7 +132,10 @@ pub struct Simulator<'t> {
     stats: SimStats,
     // Frontend state.
     pcgen: u64,
-    ftq_release: Vec<u64>,
+    ftq_release: ReleaseRing,
+    /// Scratch for the current bundle's planned cache lines, reused across
+    /// bundles so the steady-state frontend allocates nothing.
+    lines: Vec<u64>,
     dq: QueueRing,
     aq: QueueRing,
     fetch: FetchFrontier,
@@ -119,7 +168,8 @@ impl<'t> Simulator<'t> {
             backend: Backend::new(&config),
             stats: SimStats::default(),
             pcgen: 0,
-            ftq_release: Vec::new(),
+            ftq_release: ReleaseRing::new(config.ftq_entries),
+            lines: Vec::new(),
             dq: QueueRing::new(config.decode_queue),
             aq: QueueRing::new(config.alloc_queue),
             fetch: FetchFrontier::new(&config),
@@ -183,7 +233,7 @@ impl<'t> Simulator<'t> {
         let n = self.samples.max(1) as f64;
         SimReport {
             config_name: self.btb.name().to_owned(),
-            workload: String::new(),
+            workload: "".into(),
             stats: self.stats.delta(&warm),
             l1_occupancy: self.occ_l1 / n,
             l1_redundancy: self.red_l1 / n,
@@ -204,8 +254,9 @@ impl<'t> Simulator<'t> {
 
     /// Lines covered by the plan's segments, in fetch order (deduplicating
     /// only consecutive repeats: re-visiting a line later is a new entry).
-    fn plan_lines(plan: &FetchPlan) -> Vec<u64> {
-        let mut out = Vec::new();
+    /// Writes into `out`, the caller's reusable scratch buffer.
+    fn plan_lines(plan: &FetchPlan, out: &mut Vec<u64>) {
+        out.clear();
         for seg in &plan.segments {
             let mut a = seg.start / LINE_BYTES;
             let last = if seg.end > seg.start {
@@ -220,7 +271,6 @@ impl<'t> Simulator<'t> {
                 a += 1;
             }
         }
-        out
     }
 
     /// Processes one PC-generation bundle starting at record `i`; returns
@@ -233,17 +283,18 @@ impl<'t> Simulator<'t> {
         self.predictors.begin_plan();
         let plan = self.btb.plan(pc, &mut self.predictors);
         debug_assert_eq!(plan.validate(), Ok(()), "plan for {pc:#x}");
-        let lines = Self::plan_lines(&plan);
+        let mut lines = std::mem::take(&mut self.lines);
+        Self::plan_lines(&plan, &mut lines);
 
         // FTQ back-pressure: each new entry needs a slot vacated by the
         // entry `capacity` positions earlier.
         let mut predict = self.pcgen;
         let cap = self.config.ftq_entries;
-        let base_entry = self.ftq_release.len();
+        let base_entry = self.ftq_release.pushed();
         for j in 0..lines.len() {
             let k = base_entry + j;
             if k >= cap {
-                predict = predict.max(self.ftq_release[k - cap]);
+                predict = predict.max(self.ftq_release.get(k - cap));
             }
         }
         self.stats.btb_accesses += 1;
@@ -442,6 +493,7 @@ impl<'t> Simulator<'t> {
                 used_l2: plan.branches.iter().any(|b| b.level == BtbLevel::L2),
             });
         }
+        self.lines = lines;
         i
     }
 

@@ -137,8 +137,8 @@ impl SimStats {
 pub struct SimReport {
     /// Configuration name the report belongs to.
     pub config_name: String,
-    /// Workload name.
-    pub workload: String,
+    /// Workload name, shared with the `Trace` it came from (cheap to clone).
+    pub workload: std::sync::Arc<str>,
     /// Statistics over the measured (post-warm-up) region.
     pub stats: SimStats,
     /// Mean L1 branch-slot occupancy across periodic samples.

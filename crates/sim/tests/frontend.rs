@@ -42,7 +42,7 @@ fn line_loop(lines: u64, total: usize) -> Trace {
         }
     }
     Trace {
-        name: format!("lines-{lines}"),
+        name: format!("lines-{lines}").into(),
         records,
     }
 }
@@ -97,7 +97,7 @@ fn fetch_is_limited_by_interleave_conflicts() {
             ));
         }
         Trace {
-            name: format!("stride-{stride_lines}"),
+            name: format!("stride-{stride_lines}").into(),
             records,
         }
     };

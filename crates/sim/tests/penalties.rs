@@ -30,7 +30,7 @@ fn cold_branches(kind: BranchKind, n: usize) -> Trace {
         pc = target;
     }
     Trace {
-        name: format!("cold-{kind:?}"),
+        name: format!("cold-{kind:?}").into(),
         records,
     }
 }
@@ -131,7 +131,7 @@ fn indirect_branches_pay_the_extra_bubble() {
             records.push(TraceRecord::branch(0x1004, kind, true, 0x1000));
         }
         Trace {
-            name: format!("{kind:?}"),
+            name: format!("{kind:?}").into(),
             records,
         }
     };

@@ -174,7 +174,7 @@ pub fn decode_report(bytes: &[u8]) -> Result<SimReport, CodecError> {
     };
     let report = SimReport {
         config_name,
-        workload,
+        workload: workload.into(),
         stats,
         l1_occupancy: r.f64()?,
         l1_redundancy: r.f64()?,
@@ -196,7 +196,7 @@ mod tests {
     fn sample_report() -> SimReport {
         SimReport {
             config_name: "I-BTB 16".to_owned(),
-            workload: "web-small".to_owned(),
+            workload: "web-small".into(),
             stats: SimStats {
                 instructions: 123_456,
                 last_commit_cycle: 45_678,

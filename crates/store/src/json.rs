@@ -1,10 +1,13 @@
-//! A minimal JSON value model and serializer for machine-readable report
-//! export.
+//! A minimal JSON value model, serializer and parser for machine-readable
+//! report export and benchmark-trajectory files.
 //!
 //! Hand-rolled because the build environment cannot fetch `serde_json`.
 //! Output is deliberately deterministic: object members keep insertion
 //! order, floats render with Rust's shortest-roundtrip formatting, and
-//! non-finite floats (which JSON cannot represent) become `null`.
+//! non-finite floats (which JSON cannot represent) become `null`. The
+//! parser accepts exactly the JSON this module (and any standard emitter)
+//! produces; it exists so tools like `bench --compare` can read previously
+//! committed `BENCH_*.json` files without external dependencies.
 
 use std::fmt;
 
@@ -48,6 +51,62 @@ impl JsonValue {
     #[must_use]
     pub fn array<I: IntoIterator<Item = JsonValue>>(items: I) -> JsonValue {
         JsonValue::Array(items.into_iter().collect())
+    }
+
+    /// Parses a JSON document.
+    ///
+    /// # Errors
+    /// Returns a message describing the first syntax error (with byte
+    /// offset) on malformed input, including trailing non-whitespace.
+    pub fn parse(text: &str) -> Result<JsonValue, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing input at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Member lookup on an object; `None` for absent keys or non-objects.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value of a `Number` or `Integer`; `None` otherwise.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(v) => Some(*v),
+            JsonValue::Integer(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a `String`.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an `Array`.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
     }
 
     /// Serializes with two-space indentation and a trailing newline, ready
@@ -117,6 +176,190 @@ impl JsonValue {
     }
 }
 
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b' ' | b'\t' | b'\n' | b'\r') = self.bytes.get(self.pos) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape at byte {}", self.pos))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not emitted by this module;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => {
+                            return Err(format!("bad escape '\\{}'", other as char));
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is &str, so valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                    let c = s.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut fractional = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    fractional = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if fractional {
+            text.parse::<f64>()
+                .map(JsonValue::Number)
+                .map_err(|_| format!("bad number at byte {start}"))
+        } else {
+            // Integers that overflow i64 fall back to f64.
+            text.parse::<i64>().map(JsonValue::Integer).or_else(|_| {
+                text.parse::<f64>()
+                    .map(JsonValue::Number)
+                    .map_err(|_| format!("bad number at byte {start}"))
+            })
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(members));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
 fn push_indent(out: &mut String, levels: usize) {
     for _ in 0..levels {
         out.push_str("  ");
@@ -176,6 +419,53 @@ mod tests {
         let v = JsonValue::string("a\"b\\c\nd\te\u{1}");
         let s = v.to_pretty_string();
         assert_eq!(s, "\"a\\\"b\\\\c\\nd\\te\\u0001\"\n");
+    }
+
+    #[test]
+    fn parse_roundtrips_serializer_output() {
+        let v = JsonValue::Object(vec![
+            ("id".to_owned(), JsonValue::string("fig4")),
+            ("count".to_owned(), JsonValue::Integer(-3)),
+            ("rate".to_owned(), JsonValue::Number(1.25e-3)),
+            ("flag".to_owned(), JsonValue::Bool(false)),
+            ("none".to_owned(), JsonValue::Null),
+            (
+                "cells".to_owned(),
+                JsonValue::array([
+                    JsonValue::Integer(1),
+                    JsonValue::string("a\"b\\c\nd"),
+                    JsonValue::Array(Vec::new()),
+                    JsonValue::Object(Vec::new()),
+                ]),
+            ),
+        ]);
+        let parsed = JsonValue::parse(&v.to_pretty_string()).expect("parses");
+        assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn parse_accepts_compact_and_rejects_garbage() {
+        let v = JsonValue::parse(r#"{"a":[1,2.5,true],"b":{"c":null}}"#).expect("parses");
+        assert_eq!(
+            v.get("a").and_then(|a| a.as_array()).map(<[_]>::len),
+            Some(3)
+        );
+        assert_eq!(v.get("b").and_then(|b| b.get("c")), Some(&JsonValue::Null));
+        assert!(JsonValue::parse("{").is_err());
+        assert!(JsonValue::parse("[1,]").is_err());
+        assert!(JsonValue::parse("1 2").is_err(), "trailing input");
+        assert!(JsonValue::parse("nul").is_err());
+    }
+
+    #[test]
+    fn accessors_are_type_safe() {
+        let v = JsonValue::parse(r#"{"n": 3, "f": 1.5, "s": "x"}"#).expect("parses");
+        assert_eq!(v.get("n").and_then(JsonValue::as_f64), Some(3.0));
+        assert_eq!(v.get("f").and_then(JsonValue::as_f64), Some(1.5));
+        assert_eq!(v.get("s").and_then(JsonValue::as_str), Some("x"));
+        assert_eq!(v.get("s").and_then(JsonValue::as_f64), None);
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(JsonValue::Null.get("x"), None);
     }
 
     #[test]

@@ -32,7 +32,7 @@ impl Drop for ScratchDir {
 fn sample_report() -> SimReport {
     SimReport {
         config_name: "I-BTB 16".to_owned(),
-        workload: "web".to_owned(),
+        workload: "web".into(),
         stats: SimStats {
             instructions: 1000,
             last_commit_cycle: 500,

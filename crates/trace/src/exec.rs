@@ -309,8 +309,9 @@ impl Iterator for TraceExecutor<'_> {
 /// A named in-memory dynamic trace.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
-    /// Workload name the trace was generated from.
-    pub name: String,
+    /// Workload name the trace was generated from. Shared (`Arc<str>`) so
+    /// that per-run report labelling never copies the string.
+    pub name: std::sync::Arc<str>,
     /// Retired instructions in program order.
     pub records: Vec<TraceRecord>,
 }
@@ -330,7 +331,7 @@ impl Trace {
         let prog = crate::build::build_program(profile);
         let records = TraceExecutor::new(&prog, profile.seed).take(n).collect();
         Trace {
-            name: profile.name.clone(),
+            name: profile.name.as_str().into(),
             records,
         }
     }

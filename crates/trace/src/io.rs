@@ -166,7 +166,10 @@ pub fn read_trace<R: Read>(mut r: R) -> Result<Trace, ReadTraceError> {
             dsts,
         });
     }
-    Ok(Trace { name, records })
+    Ok(Trace {
+        name: name.into(),
+        records,
+    })
 }
 
 #[cfg(test)]

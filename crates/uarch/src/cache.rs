@@ -30,22 +30,25 @@ pub struct AccessResult {
 }
 
 #[derive(Debug, Clone, Copy)]
-struct Line {
-    tag: u64,
-    last_use: u64,
-}
-
-#[derive(Debug, Clone, Copy)]
 struct Mshr {
     line: u64,
     ready: u64,
 }
 
 /// One cache level: exact tags + MSHR timing.
+///
+/// Tags are stored structure-of-arrays (`tags` / `last_use` parallel
+/// vectors, `last_use == 0` marking an empty way) so the per-access way scan
+/// runs over packed `u64`s — the same layout `btb_core::SetAssoc` uses, and
+/// for the same reason: this scan executes several times per simulated
+/// instruction (ITLB + L1I on the fetch path, DTLB + L1D per load).
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    lines: Vec<Option<Line>>,
+    /// Tag of each way, valid only where `last_use != 0`.
+    tags: Vec<u64>,
+    /// Recency tick per way; 0 marks an empty way (real ticks start at 1).
+    last_use: Vec<u64>,
     mshrs: Vec<Mshr>,
     tick: u64,
     hits: u64,
@@ -66,7 +69,8 @@ impl Cache {
         assert!(config.ways > 0, "ways must be non-zero");
         assert!(config.mshrs > 0, "mshr count must be non-zero");
         Cache {
-            lines: vec![None; config.sets * config.ways],
+            tags: vec![0; config.sets * config.ways],
+            last_use: vec![0; config.sets * config.ways],
             mshrs: Vec::with_capacity(config.mshrs),
             tick: 0,
             hits: 0,
@@ -98,25 +102,32 @@ impl Cache {
         set * self.config.ways..(set + 1) * self.config.ways
     }
 
+    /// Index of the way holding `line`, if present (packed scan, no state
+    /// change).
+    #[inline]
+    fn find(&self, line: u64) -> Option<usize> {
+        let range = self.set_range(line);
+        let tags = &self.tags[range.clone()];
+        let uses = &self.last_use[range.clone()];
+        for (i, (&tag, &used)) in tags.iter().zip(uses).enumerate() {
+            if used != 0 && tag == line {
+                return Some(range.start + i);
+            }
+        }
+        None
+    }
+
     /// Whether `line` is present (no state change).
     #[must_use]
     pub fn contains(&self, line: u64) -> bool {
-        self.lines[self.set_range(line)]
-            .iter()
-            .flatten()
-            .any(|l| l.tag == line)
+        self.find(line).is_some()
     }
 
+    #[inline]
     fn touch_or_probe(&mut self, line: u64) -> bool {
         self.tick += 1;
-        let tick = self.tick;
-        let range = self.set_range(line);
-        if let Some(l) = self.lines[range]
-            .iter_mut()
-            .flatten()
-            .find(|l| l.tag == line)
-        {
-            l.last_use = tick;
+        if let Some(idx) = self.find(line) {
+            self.last_use[idx] = self.tick;
             true
         } else {
             false
@@ -127,32 +138,28 @@ impl Cache {
     pub fn fill(&mut self, line: u64) {
         self.tick += 1;
         let tick = self.tick;
+        if let Some(idx) = self.find(line) {
+            self.last_use[idx] = tick;
+            return;
+        }
+        // One pass picks the first free way, or failing that the LRU victim
+        // (first-minimum, matching the historical stable `min_by_key`).
         let range = self.set_range(line);
-        if let Some(l) = self.lines[range.clone()]
-            .iter_mut()
-            .flatten()
-            .find(|l| l.tag == line)
-        {
-            l.last_use = tick;
-            return;
+        let mut victim = range.start;
+        let mut victim_use = u64::MAX;
+        for i in range {
+            let used = self.last_use[i];
+            if used == 0 {
+                victim = i;
+                break;
+            }
+            if used < victim_use {
+                victim_use = used;
+                victim = i;
+            }
         }
-        if let Some(slot) = self.lines[range.clone()].iter().position(Option::is_none) {
-            self.lines[range.start + slot] = Some(Line {
-                tag: line,
-                last_use: tick,
-            });
-            return;
-        }
-        let victim = self.lines[range.clone()]
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, l)| l.as_ref().expect("full set").last_use)
-            .map(|(i, _)| i)
-            .expect("ways > 0");
-        self.lines[range.start + victim] = Some(Line {
-            tag: line,
-            last_use: tick,
-        });
+        self.tags[victim] = line;
+        self.last_use[victim] = tick;
     }
 
     fn drain_mshrs(&mut self, cycle: u64) {

@@ -27,5 +27,5 @@ mod tlb;
 
 pub use cache::{AccessResult, Cache, CacheConfig};
 pub use memory::{FetchAccess, MemoryHierarchy, DRAM_LATENCY};
-pub use prefetch::{IpStridePrefetcher, NextLinePrefetcher, LINE_BYTES};
+pub use prefetch::{IpStridePrefetcher, NextLinePrefetcher, PrefetchBatch, LINE_BYTES, MAX_DEGREE};
 pub use tlb::{Tlb, PAGE_BYTES};

@@ -136,7 +136,8 @@ impl MemoryHierarchy {
         let res = self.l1d.access(line, tlb_ready, |leave| {
             Self::access_l2_down(l2, llc, nl, line, leave)
         });
-        for pf_addr in self.ip_stride.observe(pc, addr) {
+        let batch = self.ip_stride.observe(pc, addr);
+        for &pf_addr in batch.as_slice() {
             let pf_line = pf_addr / LINE_BYTES;
             if !self.l1d.contains(pf_line) {
                 let (l2, llc, nl) = (&mut self.l2, &mut self.llc, &self.next_line);

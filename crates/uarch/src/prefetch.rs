@@ -4,6 +4,40 @@
 /// Cache line size in bytes.
 pub const LINE_BYTES: u64 = 64;
 
+/// Upper bound on the stride prefetcher's degree, so one observation's
+/// prefetch addresses fit in a fixed-size batch (no heap allocation on the
+/// load path — `observe` runs once per simulated load).
+pub const MAX_DEGREE: usize = 4;
+
+/// The prefetch addresses produced by one [`IpStridePrefetcher::observe`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefetchBatch {
+    addrs: [u64; MAX_DEGREE],
+    len: usize,
+}
+
+impl PrefetchBatch {
+    #[inline]
+    fn push(&mut self, addr: u64) {
+        self.addrs[self.len] = addr;
+        self.len += 1;
+    }
+
+    /// The addresses to prefetch, in issue order.
+    #[must_use]
+    #[inline]
+    pub fn as_slice(&self) -> &[u64] {
+        &self.addrs[..self.len]
+    }
+
+    /// Whether no prefetches were produced.
+    #[must_use]
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
 /// Per-PC stride detector driving L1D prefetches (Table 1: "IPStride").
 #[derive(Debug, Clone)]
 pub struct IpStridePrefetcher {
@@ -23,8 +57,12 @@ struct StrideEntry {
 impl IpStridePrefetcher {
     /// Creates a prefetcher with `entries` tracking slots issuing up to
     /// `degree` prefetches per trained access.
+    ///
+    /// # Panics
+    /// Panics if `degree` exceeds [`MAX_DEGREE`].
     #[must_use]
     pub fn new(entries: usize, degree: usize) -> Self {
+        assert!(degree <= MAX_DEGREE, "degree {degree} > {MAX_DEGREE}");
         let n = entries.next_power_of_two().max(16);
         IpStridePrefetcher {
             table: vec![StrideEntry::default(); n],
@@ -35,10 +73,10 @@ impl IpStridePrefetcher {
 
     /// Observes a demand access from instruction `pc` to `addr`; returns
     /// the addresses to prefetch.
-    pub fn observe(&mut self, pc: u64, addr: u64) -> Vec<u64> {
+    pub fn observe(&mut self, pc: u64, addr: u64) -> PrefetchBatch {
         let idx = ((pc >> 2) as usize) & self.mask;
         let e = &mut self.table[idx];
-        let mut out = Vec::new();
+        let mut out = PrefetchBatch::default();
         if e.pc_tag == pc {
             let stride = addr as i64 - e.last_addr as i64;
             if stride == e.stride && stride != 0 {
@@ -97,7 +135,7 @@ mod tests {
         assert!(p.observe(0x40, 1064).is_empty()); // learn stride 64
         assert!(p.observe(0x40, 1128).is_empty()); // confidence 1
         let pf = p.observe(0x40, 1192); // confidence 2 -> prefetch
-        assert_eq!(pf, vec![1256, 1320]);
+        assert_eq!(pf.as_slice(), &[1256, 1320]);
     }
 
     #[test]

@@ -50,6 +50,14 @@ impl Bencher {
     }
 }
 
+/// Renders the stable machine-parseable form of one measurement:
+/// `criterion-mean name=<name> mean_ns=<integer>`. Tooling (the repo's
+/// bench trajectory scripts) greps for this prefix, so the human-oriented
+/// line may change freely but this one is a format contract.
+fn machine_line(name: &str, mean: Duration) -> String {
+    format!("criterion-mean name={name} mean_ns={}", mean.as_nanos())
+}
+
 fn report(name: &str, mean: Option<Duration>, throughput: Option<Throughput>) {
     match mean {
         Some(mean) => {
@@ -63,6 +71,7 @@ fn report(name: &str, mean: Option<Duration>, throughput: Option<Throughput>) {
                 _ => String::new(),
             };
             println!("bench: {name:<40} {mean:>12.2?}/iter{rate}");
+            println!("{}", machine_line(name, mean));
         }
         None => println!("bench: {name:<40} (no measurement)"),
     }
@@ -199,5 +208,16 @@ mod tests {
     #[test]
     fn group_macro_produces_runnable_fn() {
         benches();
+    }
+
+    #[test]
+    fn machine_line_is_parseable() {
+        let line = machine_line("group/case", Duration::from_micros(1500));
+        assert_eq!(line, "criterion-mean name=group/case mean_ns=1500000");
+        let ns: u64 = line
+            .rsplit_once("mean_ns=")
+            .map(|(_, v)| v.parse().unwrap())
+            .unwrap();
+        assert_eq!(ns, 1_500_000);
     }
 }
