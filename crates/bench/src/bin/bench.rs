@@ -6,7 +6,7 @@
 //! diffable performance trajectory at the repo root:
 //!
 //! ```text
-//! cargo run --release -p btb-bench --bin bench                  # -> BENCH_PR3.json
+//! cargo run --release -p btb-bench --bin bench                  # -> BENCH_PR4.json
 //! cargo run --release -p btb-bench --bin bench -- --compare BENCH_PR3.json
 //! ```
 //!
@@ -14,6 +14,7 @@
 //! `BENCH_*.json` and exits non-zero if total throughput regressed by more
 //! than the gate (default 20%), which is what CI enforces.
 
+use btb_bench::compare::{check_baseline, compare};
 use btb_harness::{experiments, run_counters, Scale, Suite};
 use btb_store::JsonValue;
 use std::time::Instant;
@@ -28,14 +29,18 @@ struct Cli {
 fn exit_usage(problem: &str) -> ! {
     eprintln!(
         "bench: {problem}\n\n\
-         usage: bench [--out PATH] [--no-out] [--compare PATH] [--gate PCT] [--note STRING]\n\n\
+         usage: bench [--out PATH] [--no-out] [--compare PATH] [--gate PCT] [--note STRING]\n        \
+         [--threads N]\n\n\
          options:\n  \
-         --out PATH      write the JSON result to PATH (default: BENCH_PR3.json)\n  \
+         --out PATH      write the JSON result to PATH (default: BENCH_PR4.json)\n  \
          --no-out        measure and print, but write no file\n  \
          --compare PATH  diff against a previous BENCH_*.json; exit 1 if total\n                  \
-         throughput regressed by more than the gate\n  \
+         throughput regressed by more than the gate, exit 2 if the\n                  \
+         baseline is unusable (missing/zero/non-finite totals)\n  \
          --gate PCT      regression gate in percent (default: 20)\n  \
-         --note STRING   free-form note recorded in the JSON\n\n\
+         --note STRING   free-form note recorded in the JSON\n  \
+         --threads N     worker threads for suite generation and matrix cells\n                  \
+         (default: BTB_THREADS, else all cores)\n\n\
          scale defaults to quick (300K insts, 100K warmup, 4 workloads);\n\
          override with BTB_INSTS / BTB_WARMUP / BTB_WORKLOADS"
     );
@@ -44,7 +49,7 @@ fn exit_usage(problem: &str) -> ! {
 
 fn parse_cli(args: &[String]) -> Cli {
     let mut cli = Cli {
-        out: Some("BENCH_PR3.json".to_string()),
+        out: Some("BENCH_PR4.json".to_string()),
         compare: None,
         gate_pct: 20.0,
         note: None,
@@ -71,6 +76,13 @@ fn parse_cli(args: &[String]) -> Cli {
                 }
             }
             "--note" => cli.note = Some(operand(args, &mut i, "--note")),
+            "--threads" => {
+                let v = operand(args, &mut i, "--threads");
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => btb_par::set_threads(Some(n)),
+                    _ => exit_usage(&format!("--threads wants a positive integer, got {v}")),
+                }
+            }
             other => exit_usage(&format!("unknown argument: {other}")),
         }
         i += 1;
@@ -202,6 +214,10 @@ fn result_json(scale: Scale, phases: &[Phase], note: Option<&str>) -> JsonValue 
                 ),
             ]),
         ),
+        (
+            "threads".into(),
+            JsonValue::Integer(btb_par::threads() as i64),
+        ),
     ];
     if let Some(note) = note {
         members.push(("note".into(), JsonValue::string(note)));
@@ -243,52 +259,64 @@ fn load_baseline(path: &str) -> JsonValue {
     }
 }
 
-fn total_ips(doc: &JsonValue) -> Option<f64> {
-    doc.get("total")?.get("insts_per_sec")?.as_f64()
-}
-
-fn phase_wall(doc: &JsonValue, name: &str) -> Option<f64> {
-    doc.get("phases")?
-        .as_array()?
-        .iter()
-        .find(|p| p.get("name").and_then(JsonValue::as_str) == Some(name))?
-        .get("wall_s")?
-        .as_f64()
-}
-
 /// Prints the per-phase diff and returns whether the gate passed.
-fn compare(old: &JsonValue, fresh: &JsonValue, phases: &[Phase], gate_pct: f64) -> bool {
+///
+/// Exits 2 ("baseline unusable") when the baseline cannot anchor a
+/// relative gate — see [`btb_bench::compare::check_baseline`].
+fn run_compare(
+    path: &str,
+    old: &JsonValue,
+    fresh: &JsonValue,
+    phases: &[Phase],
+    gate_pct: f64,
+) -> bool {
+    let fresh_phases: Vec<(String, f64)> = phases
+        .iter()
+        .map(|p| (p.name.to_owned(), p.wall_s))
+        .collect();
+    // Validate the baseline before printing anything, so a corrupt file is
+    // one clear diagnostic instead of a table of NaNs.
+    if let Err(why) = check_baseline(old) {
+        eprintln!("bench: {path}: {why}");
+        std::process::exit(2);
+    }
+    let new_ips = fresh
+        .get("total")
+        .and_then(|t| t.get("insts_per_sec"))
+        .and_then(JsonValue::as_f64)
+        .unwrap_or(f64::NAN);
+    let cmp = match compare(old, &fresh_phases, new_ips, gate_pct) {
+        Ok(cmp) => cmp,
+        Err(why) => {
+            eprintln!("bench: {path}: {why}");
+            std::process::exit(2);
+        }
+    };
     println!(
         "{:<12} {:>10} {:>10} {:>9}",
         "phase", "old_s", "new_s", "delta"
     );
-    for p in phases {
-        match phase_wall(old, p.name) {
-            Some(old_s) if old_s > 0.0 => {
-                let delta = (p.wall_s - old_s) / old_s * 100.0;
-                println!(
-                    "{:<12} {:>10.3} {:>10.3} {:>+8.1}%",
-                    p.name, old_s, p.wall_s, delta
-                );
-            }
-            _ => println!("{:<12} {:>10} {:>10.3} {:>9}", p.name, "-", p.wall_s, "-"),
+    for p in &cmp.phases {
+        match (p.old_s, p.delta_pct()) {
+            (Some(old_s), Some(delta)) => println!(
+                "{:<12} {:>10.3} {:>10.3} {:>+8.1}%",
+                p.name, old_s, p.new_s, delta
+            ),
+            _ => println!("{:<12} {:>10} {:>10.3} {:>9}", p.name, "-", p.new_s, "-"),
         }
     }
-    let (Some(old_ips), Some(new_ips)) = (total_ips(old), total_ips(fresh)) else {
-        eprintln!("bench: baseline lacks total.insts_per_sec; cannot gate");
-        return false;
-    };
-    let delta = (new_ips - old_ips) / old_ips * 100.0;
     println!(
         "{:<12} {:>10.0} {:>10.0} {:>+8.1}%  (insts/sec)",
-        "total", old_ips, new_ips, delta
+        "total",
+        cmp.old_ips,
+        cmp.new_ips,
+        cmp.delta_pct()
     );
-    let pass = new_ips >= old_ips * (1.0 - gate_pct / 100.0);
     println!(
         "gate: {} (threshold -{gate_pct:.0}% throughput)",
-        if pass { "pass" } else { "FAIL" }
+        if cmp.pass { "pass" } else { "FAIL" }
     );
-    pass
+    cmp.pass
 }
 
 fn main() {
@@ -297,8 +325,11 @@ fn main() {
 
     let scale = scale_from_env_or_quick();
     eprintln!(
-        "# bench scale: {} insts, {} warmup, {} workloads",
-        scale.insts, scale.warmup, scale.workloads
+        "# bench scale: {} insts, {} warmup, {} workloads, {} threads",
+        scale.insts,
+        scale.warmup,
+        scale.workloads,
+        btb_par::threads()
     );
     let phases = run_all(scale);
     let doc = result_json(scale, &phases, cli.note.as_deref());
@@ -326,7 +357,7 @@ fn main() {
 
     if let Some(path) = &cli.compare {
         let old = load_baseline(path);
-        if !compare(&old, &doc, &phases, cli.gate_pct) {
+        if !run_compare(path, &old, &doc, &phases, cli.gate_pct) {
             std::process::exit(1);
         }
     }

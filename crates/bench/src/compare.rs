@@ -1,0 +1,223 @@
+//! Baseline comparison and regression gating for `bench --compare`.
+//!
+//! Kept out of the binary so the guard logic is unit-testable: a committed
+//! baseline is *user-supplied input* and must never panic or produce a
+//! degenerate gate. A baseline whose total throughput is missing, zero,
+//! negative or non-finite (e.g. a hand-edited file, or one recorded by an
+//! older binary on a clock that returned `wall_s == 0`) cannot anchor a
+//! relative comparison — [`check_baseline`] rejects it with a
+//! "baseline unusable" error so the caller can exit 2 (usage error)
+//! instead of silently passing the gate on a NaN.
+
+use btb_store::JsonValue;
+
+/// One row of the per-phase wall-clock diff.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseDelta {
+    /// Phase name.
+    pub name: String,
+    /// Baseline wall seconds, when the baseline has a usable (finite,
+    /// positive) entry for this phase; `None` renders as `-`.
+    pub old_s: Option<f64>,
+    /// Fresh wall seconds.
+    pub new_s: f64,
+}
+
+impl PhaseDelta {
+    /// Relative wall-clock change in percent, when the baseline phase is
+    /// usable.
+    #[must_use]
+    pub fn delta_pct(&self) -> Option<f64> {
+        self.old_s.map(|old| (self.new_s - old) / old * 100.0)
+    }
+}
+
+/// Total insts/sec of a bench JSON document, if present.
+#[must_use]
+pub fn total_ips(doc: &JsonValue) -> Option<f64> {
+    doc.get("total")?.get("insts_per_sec")?.as_f64()
+}
+
+/// Baseline wall seconds of the named phase, `None` when the phase is
+/// absent or its `wall_s` is missing, non-finite or not positive — all of
+/// which would otherwise yield division-by-zero or NaN deltas.
+#[must_use]
+pub fn phase_wall(doc: &JsonValue, name: &str) -> Option<f64> {
+    let wall = doc
+        .get("phases")?
+        .as_array()?
+        .iter()
+        .find(|p| p.get("name").and_then(JsonValue::as_str) == Some(name))?
+        .get("wall_s")?
+        .as_f64()?;
+    (wall.is_finite() && wall > 0.0).then_some(wall)
+}
+
+/// Validates that a baseline document can anchor a relative throughput
+/// gate, returning its total insts/sec.
+///
+/// # Errors
+/// Returns a human-readable "baseline unusable" reason when
+/// `total.insts_per_sec` is absent, non-finite, zero or negative: with
+/// `old_ips == 0` every candidate satisfies `new >= old * (1 - gate)`, so
+/// the gate would be degenerate rather than conservative.
+pub fn check_baseline(doc: &JsonValue) -> Result<f64, String> {
+    let Some(ips) = total_ips(doc) else {
+        return Err("baseline unusable: no total.insts_per_sec".to_owned());
+    };
+    if !ips.is_finite() {
+        return Err(format!(
+            "baseline unusable: total.insts_per_sec is {ips} (not finite)"
+        ));
+    }
+    if ips <= 0.0 {
+        return Err(format!(
+            "baseline unusable: total.insts_per_sec is {ips} (must be > 0 to gate against)"
+        ));
+    }
+    Ok(ips)
+}
+
+/// Outcome of a baseline comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Per-phase wall-clock rows, in fresh-run phase order.
+    pub phases: Vec<PhaseDelta>,
+    /// Baseline total insts/sec (validated finite and positive).
+    pub old_ips: f64,
+    /// Fresh total insts/sec.
+    pub new_ips: f64,
+    /// Whether the fresh run clears `old_ips * (1 - gate_pct/100)`.
+    pub pass: bool,
+}
+
+impl Comparison {
+    /// Relative throughput change in percent.
+    #[must_use]
+    pub fn delta_pct(&self) -> f64 {
+        (self.new_ips - self.old_ips) / self.old_ips * 100.0
+    }
+}
+
+/// Diffs a fresh run against a baseline document and evaluates the
+/// throughput gate.
+///
+/// `fresh_phases` is `(name, wall_s)` in run order; `new_ips` the fresh
+/// total throughput.
+///
+/// # Errors
+/// Propagates [`check_baseline`] rejection (unusable baseline).
+pub fn compare(
+    old: &JsonValue,
+    fresh_phases: &[(String, f64)],
+    new_ips: f64,
+    gate_pct: f64,
+) -> Result<Comparison, String> {
+    let old_ips = check_baseline(old)?;
+    let phases = fresh_phases
+        .iter()
+        .map(|(name, new_s)| PhaseDelta {
+            name: name.clone(),
+            old_s: phase_wall(old, name),
+            new_s: *new_s,
+        })
+        .collect();
+    // A non-finite fresh throughput can only come from a broken clock in
+    // *this* run; fail the gate rather than comparing garbage.
+    let pass = new_ips.is_finite() && new_ips >= old_ips * (1.0 - gate_pct / 100.0);
+    Ok(Comparison {
+        phases,
+        old_ips,
+        new_ips,
+        pass,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(ips: JsonValue, phases: Vec<JsonValue>) -> JsonValue {
+        JsonValue::Object(vec![
+            ("phases".into(), JsonValue::Array(phases)),
+            (
+                "total".into(),
+                JsonValue::Object(vec![("insts_per_sec".into(), ips)]),
+            ),
+        ])
+    }
+
+    fn phase(name: &str, wall_s: JsonValue) -> JsonValue {
+        JsonValue::Object(vec![
+            ("name".into(), JsonValue::string(name)),
+            ("wall_s".into(), wall_s),
+        ])
+    }
+
+    #[test]
+    fn zero_throughput_baseline_is_rejected_not_gated() {
+        // Pre-fix behaviour: old_ips == 0 made `new >= 0 * 0.8` trivially
+        // true (and the printed delta was inf/NaN). It must be an error.
+        let zero = doc(JsonValue::number(0.0), vec![]);
+        let err = compare(&zero, &[], 100.0, 20.0).unwrap_err();
+        assert!(err.contains("baseline unusable"), "{err}");
+        let negative = doc(JsonValue::number(-5.0), vec![]);
+        assert!(check_baseline(&negative).is_err());
+    }
+
+    #[test]
+    fn missing_or_null_throughput_is_rejected() {
+        let empty = JsonValue::Object(vec![]);
+        assert!(check_baseline(&empty).unwrap_err().contains("unusable"));
+        // Non-finite floats serialize as null, which parses back as Null.
+        let null_ips = doc(JsonValue::Null, vec![]);
+        assert!(check_baseline(&null_ips).is_err());
+    }
+
+    #[test]
+    fn zero_wall_phase_yields_no_delta_instead_of_nan() {
+        let old = doc(
+            JsonValue::number(1000.0),
+            vec![
+                phase("suite", JsonValue::number(0.0)),
+                phase("baseline", JsonValue::number(2.0)),
+            ],
+        );
+        let cmp = compare(
+            &old,
+            &[("suite".to_owned(), 1.0), ("baseline".to_owned(), 1.0)],
+            900.0,
+            20.0,
+        )
+        .expect("usable baseline");
+        assert_eq!(cmp.phases[0].old_s, None, "wall_s == 0 must not divide");
+        assert_eq!(cmp.phases[0].delta_pct(), None);
+        assert_eq!(cmp.phases[1].old_s, Some(2.0));
+        assert_eq!(cmp.phases[1].delta_pct(), Some(-50.0));
+    }
+
+    #[test]
+    fn missing_phase_entry_yields_no_delta() {
+        let old = doc(JsonValue::number(1000.0), vec![]);
+        let cmp = compare(&old, &[("fig4".to_owned(), 0.5)], 1000.0, 20.0).expect("usable");
+        assert_eq!(cmp.phases[0].old_s, None);
+        assert!(cmp.pass);
+    }
+
+    #[test]
+    fn gate_passes_within_threshold_and_fails_beyond() {
+        let old = doc(JsonValue::number(1000.0), vec![]);
+        assert!(compare(&old, &[], 801.0, 20.0).unwrap().pass);
+        assert!(!compare(&old, &[], 799.0, 20.0).unwrap().pass);
+        let improved = compare(&old, &[], 1500.0, 20.0).unwrap();
+        assert!(improved.pass);
+        assert!((improved.delta_pct() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_finite_fresh_throughput_fails_the_gate() {
+        let old = doc(JsonValue::number(1000.0), vec![]);
+        assert!(!compare(&old, &[], f64::NAN, 20.0).unwrap().pass);
+        assert!(!compare(&old, &[], f64::INFINITY, 20.0).unwrap().pass);
+    }
+}

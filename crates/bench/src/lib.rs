@@ -8,6 +8,8 @@
 
 #![warn(missing_docs)]
 
+pub mod compare;
+
 use btb_harness::{Scale, Suite};
 use btb_sim::SimReport;
 

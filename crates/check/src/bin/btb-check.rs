@@ -15,6 +15,7 @@ btb-check: differential golden-model checking for the BTB stack
 
 USAGE:
     btb-check campaign [--quick] [--seed N] [--store DIR] [--repro-dir DIR]
+                       [--threads N]
     btb-check replay FILE...
     btb-check list
 
@@ -30,6 +31,9 @@ OPTIONS:
     --seed N       Base seed for traces and mutations (decimal).
     --store DIR    btb-store root for trace caching.
     --repro-dir D  Where minimized reproducers are written (default: cwd).
+    --threads N    Worker threads for replays and invariant simulations
+                   (default: BTB_THREADS, else all cores). Results are
+                   identical at any thread count.
 ";
 
 fn usage_error(msg: &str) -> ExitCode {
@@ -55,6 +59,10 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
             "--repro-dir" => match it.next() {
                 Some(dir) => opts.repro_dir = Some(PathBuf::from(dir)),
                 None => return usage_error("--repro-dir needs a directory"),
+            },
+            "--threads" => match it.next().map(|s| s.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => btb_par::set_threads(Some(n)),
+                _ => return usage_error("--threads needs a positive integer"),
             },
             other => return usage_error(&format!("unknown campaign option {other:?}")),
         }

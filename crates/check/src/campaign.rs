@@ -259,33 +259,48 @@ fn handle_divergence(
 }
 
 /// Runs a full differential campaign over every roster configuration.
+///
+/// Per-(config, trace) replays and per-config invariant simulations are
+/// independent, so both phases run on the [`btb_par`] work pool; results
+/// are collected in roster order, making the outcome (replay order,
+/// divergence order, reproducer file names, invariant-failure order)
+/// identical at every thread count. Only divergence *minimization* — the
+/// rare failure path — runs sequentially, keeping reproducer writes
+/// deterministic.
 #[must_use]
 pub fn run_campaign(opts: &CampaignOptions) -> CampaignOutcome {
     let traces = campaign_traces(opts);
+    let configs = campaign_configs();
+    let jobs: Vec<(usize, usize)> = (0..configs.len())
+        .flat_map(|c| (0..traces.len()).map(move |t| (c, t)))
+        .collect();
+    let reports = btb_par::ordered_map(&jobs, |_, &(c, t)| {
+        replay(&configs[c], &traces[t].1, CHECKPOINT_EVERY)
+    });
+    // Invariant phase on the unmutated first trace only: mutants are
+    // fair game for update-only replay but are not coherent dynamic
+    // instruction streams, which the pipeline model assumes.
+    let (_, base_records) = traces.last().expect("trace pool non-empty");
+    let invariant_errs = btb_par::ordered_map(&configs, |_, config| {
+        sim_invariants(config, base_records, opts.quick)
+    });
     let mut outcome = CampaignOutcome::default();
-    for config in campaign_configs() {
-        for (trace_name, records) in &traces {
-            let report = replay(&config, records, CHECKPOINT_EVERY);
-            outcome.total_lookups += report.lookups;
-            if report.divergence.is_some() {
-                outcome.divergences.push(handle_divergence(
-                    &config,
-                    trace_name,
-                    records,
-                    &report,
-                    opts.repro_dir.as_deref(),
-                ));
-            }
-            outcome.replays.push(report);
+    for (&(c, t), report) in jobs.iter().zip(reports) {
+        outcome.total_lookups += report.lookups;
+        if report.divergence.is_some() {
+            outcome.divergences.push(handle_divergence(
+                &configs[c],
+                &traces[t].0,
+                &traces[t].1,
+                &report,
+                opts.repro_dir.as_deref(),
+            ));
         }
-        // Invariant phase on the unmutated first trace only: mutants are
-        // fair game for update-only replay but are not coherent dynamic
-        // instruction streams, which the pipeline model assumes.
-        let (_, base_records) = traces.last().expect("trace pool non-empty");
-        outcome
-            .invariant_failures
-            .extend(sim_invariants(&config, base_records, opts.quick));
+        outcome.replays.push(report);
     }
+    outcome
+        .invariant_failures
+        .extend(invariant_errs.into_iter().flatten());
     outcome
 }
 

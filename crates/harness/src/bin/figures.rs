@@ -30,6 +30,9 @@ options:
   --store [DIR]   cache traces and simulation reports in a persistent
                   content-addressed store (default: $BTB_STORE or .btb-store)
   --json DIR      additionally write each figure as DIR/<id>.json
+  --threads N     worker threads for suite generation and matrix cells
+                  (default: BTB_THREADS, else all cores); output is
+                  byte-identical at any thread count
   --no-preflight  skip the differential golden-model pre-flight check
   --list          list experiment names, one per line, and exit
   -h, --help      show this message
@@ -99,6 +102,14 @@ fn parse_cli(args: &[String]) -> Cli {
                 });
             }
             "--no-preflight" => cli.no_preflight = true,
+            "--threads" => {
+                let parsed = args.get(i + 1).and_then(|n| n.parse::<usize>().ok());
+                let Some(n) = parsed.filter(|n| *n >= 1) else {
+                    exit_usage("--threads requires a positive integer");
+                };
+                i += 1;
+                btb_par::set_threads(Some(n));
+            }
             "--json" => {
                 let Some(dir) = args.get(i + 1) else {
                     exit_usage("--json requires a directory");
@@ -258,6 +269,10 @@ fn main() {
     eprintln!(
         "# scale: {} insts, {} warmup, {} workloads (override with BTB_INSTS/BTB_WARMUP/BTB_WORKLOADS)",
         scale.insts, scale.warmup, scale.workloads
+    );
+    eprintln!(
+        "# threads: {} (override with --threads/BTB_THREADS; output is identical at any count)",
+        btb_par::threads()
     );
     let t0 = Instant::now();
     let needs_suite = cli.selected.iter().any(|w| experiments::needs_suite(w));

@@ -15,14 +15,22 @@
 //!
 //! Cached artifacts are bit-exact (see `btb_store::codec`), so a
 //! store-backed run produces byte-identical figures to an in-memory run.
+//!
+//! Execution is parallel *and* deterministic: independent cells are farmed
+//! out to the [`btb_par`] work pool (worker count from `--threads` /
+//! `BTB_THREADS` / available cores) and results are collected in
+//! submission order, so reports, figures and snapshot fixtures are
+//! byte-identical at every thread count. The in-process report memo is
+//! sharded and single-flight: two threads never simulate the same
+//! (trace, config, pipeline) cell.
 
 use btb_core::BtbConfig;
 use btb_sim::{simulate, PipelineConfig, SimReport};
 use btb_store::Store;
 use btb_trace::{server_suite, Trace, WorkloadProfile};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 static AMBIENT_STORE: OnceLock<Store> = OnceLock::new();
 
@@ -33,10 +41,48 @@ static AMBIENT_STORE: OnceLock<Store> = OnceLock::new();
 /// deterministic, so replaying a memoized report is bit-identical to
 /// re-simulating. The persistent store (when installed) still sees every
 /// fresh report via `put_report`, so store contents are unchanged.
-static REPORT_MEMO: OnceLock<Mutex<HashMap<btb_store::Digest, SimReport>>> = OnceLock::new();
+///
+/// Concurrency: the map is sharded by the first key byte so parallel
+/// `run_matrix` cells don't serialize on one lock, and each entry is an
+/// `Arc<OnceLock<..>>` *single-flight* cell — when two threads want the
+/// same cell simultaneously, exactly one runs `simulate` and the other
+/// blocks on the `OnceLock` and receives the identical report. Shard locks
+/// are only ever held to clone the `Arc`, never across a simulation.
+const MEMO_SHARDS: usize = 16;
+type MemoCell = Arc<OnceLock<SimReport>>;
+type MemoShard = Mutex<HashMap<btb_store::Digest, MemoCell>>;
+static REPORT_MEMO: OnceLock<Vec<MemoShard>> = OnceLock::new();
 
-fn report_memo() -> &'static Mutex<HashMap<btb_store::Digest, SimReport>> {
-    REPORT_MEMO.get_or_init(|| Mutex::new(HashMap::new()))
+fn memo_shard(key: &btb_store::Digest) -> &'static MemoShard {
+    let shards = REPORT_MEMO.get_or_init(|| {
+        (0..MEMO_SHARDS)
+            .map(|_| Mutex::new(HashMap::new()))
+            .collect()
+    });
+    &shards[key.0[0] as usize % MEMO_SHARDS]
+}
+
+/// Fetches (or creates) the single-flight memo cell for `key`.
+fn memo_cell(key: &btb_store::Digest) -> MemoCell {
+    memo_shard(key)
+        .lock()
+        .expect("memo shard lock")
+        .entry(*key)
+        .or_default()
+        .clone()
+}
+
+/// Test hook: forgets every memoized report so a subsequent `run_matrix`
+/// actually re-simulates. In-flight single-flight cells are unaffected
+/// (their `Arc`s keep them alive); at worst a concurrent caller simulates
+/// a cell twice, which is deterministic and therefore harmless.
+#[doc(hidden)]
+pub fn reset_report_memo() {
+    if let Some(shards) = REPORT_MEMO.get() {
+        for shard in shards {
+            shard.lock().expect("memo shard lock").clear();
+        }
+    }
 }
 
 /// Cumulative delivered-work counters across every `run_matrix*` call in
@@ -178,35 +224,22 @@ impl Suite {
 
     fn generate_impl(scale: Scale, store: Option<&Store>) -> Self {
         let profiles: Vec<_> = server_suite().into_iter().take(scale.workloads).collect();
-        let results: Vec<Mutex<Option<Trace>>> =
-            profiles.iter().map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|s| {
-            for _ in 0..threads().min(profiles.len().max(1)) {
-                s.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= profiles.len() {
-                        break;
+        // Per-workload builds are independent; the pool returns them in
+        // profile order, so the suite is identical at any thread count.
+        let traces = btb_par::ordered_map(&profiles, |_, profile| {
+            match store.and_then(|st| st.get_trace(profile, scale.insts)) {
+                Some(cached) => cached,
+                None => {
+                    let fresh = Trace::generate(profile, scale.insts);
+                    if let Some(st) = store {
+                        st.put_trace(profile, scale.insts, &fresh);
                     }
-                    let t = match store.and_then(|st| st.get_trace(&profiles[i], scale.insts)) {
-                        Some(cached) => cached,
-                        None => {
-                            let fresh = Trace::generate(&profiles[i], scale.insts);
-                            if let Some(st) = store {
-                                st.put_trace(&profiles[i], scale.insts, &fresh);
-                            }
-                            fresh
-                        }
-                    };
-                    *results[i].lock().expect("no poisoning") = Some(t);
-                });
+                    fresh
+                }
             }
         });
         Suite {
-            traces: results
-                .into_iter()
-                .map(|m| m.into_inner().expect("no poisoning").expect("generated"))
-                .collect(),
+            traces,
             profiles,
             scale,
         }
@@ -217,10 +250,6 @@ impl Suite {
     pub fn names(&self) -> Vec<String> {
         self.traces.iter().map(|t| t.name.to_string()).collect()
     }
-}
-
-fn threads() -> usize {
-    std::thread::available_parallelism().map_or(4, std::num::NonZero::get)
 }
 
 /// Runs every configuration over every trace in parallel, consulting the
@@ -256,7 +285,6 @@ fn run_matrix_impl(
     let jobs: Vec<(usize, usize)> = (0..configs.len())
         .flat_map(|c| (0..suite.traces.len()).map(move |w| (c, w)))
         .collect();
-    let results: Vec<Mutex<Option<SimReport>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
     let pipe = pipeline.clone().with_warmup(suite.scale.warmup);
     // Report keys hash the trace identity and the *effective* pipeline —
     // the one with warm-up applied, exactly as handed to `simulate`.
@@ -265,60 +293,47 @@ fn run_matrix_impl(
         .iter()
         .map(|p| btb_store::trace_key(p, suite.scale.insts))
         .collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|s| {
-        for _ in 0..threads().min(jobs.len().max(1)) {
-            s.spawn(|| loop {
-                let j = next.fetch_add(1, Ordering::Relaxed);
-                if j >= jobs.len() {
-                    break;
+    // Cells are farmed out to the work pool and collected in submission
+    // order, so the matrix (and everything rendered from it) is identical
+    // at any thread count.
+    let flat = btb_par::ordered_map(&jobs, |_, &(c, w)| {
+        let key = btb_store::report_key(&trace_keys[w], &configs[c], &pipe);
+        CELLS.fetch_add(1, Ordering::Relaxed);
+        INSTRUCTIONS.fetch_add(suite.traces[w].records.len() as u64, Ordering::Relaxed);
+        let report = match store.and_then(|st| st.get_report(&key)) {
+            Some(cached) => cached,
+            None => {
+                // Single-flight: the first thread to reach this cell runs
+                // `simulate`; any concurrent thread wanting the same key
+                // blocks on the `OnceLock` and receives the same report.
+                let cell = memo_cell(&key);
+                let fresh = cell
+                    .get_or_init(|| {
+                        FRESH_CELLS.fetch_add(1, Ordering::Relaxed);
+                        simulate(&suite.traces[w], configs[c].clone(), pipe.clone())
+                    })
+                    .clone();
+                if let Some(st) = store {
+                    st.put_report(&key, &fresh);
                 }
-                let (c, w) = jobs[j];
-                let key = btb_store::report_key(&trace_keys[w], &configs[c], &pipe);
-                CELLS.fetch_add(1, Ordering::Relaxed);
-                INSTRUCTIONS.fetch_add(suite.traces[w].records.len() as u64, Ordering::Relaxed);
-                let report = match store.and_then(|st| st.get_report(&key)) {
-                    Some(cached) => cached,
-                    None => {
-                        let memoized = report_memo()
-                            .lock()
-                            .expect("no poisoning")
-                            .get(&key)
-                            .cloned();
-                        let fresh = memoized.unwrap_or_else(|| {
-                            FRESH_CELLS.fetch_add(1, Ordering::Relaxed);
-                            let r = simulate(&suite.traces[w], configs[c].clone(), pipe.clone());
-                            report_memo()
-                                .lock()
-                                .expect("no poisoning")
-                                .insert(key, r.clone());
-                            r
-                        });
-                        if let Some(st) = store {
-                            st.put_report(&key, &fresh);
-                        }
-                        fresh
-                    }
-                };
-                // Every report — freshly simulated or pulled from the cache
-                // (which may hold output of an older, buggier binary) — must
-                // satisfy the simulator's conservation laws.
-                let violations = btb_check::check_report(&report, pipe.width as u64);
-                assert!(
-                    violations.is_empty(),
-                    "simulator invariant violation for {} on {}: {}",
-                    configs[c].name,
-                    suite.traces[w].name,
-                    violations.join("; ")
-                );
-                *results[j].lock().expect("no poisoning") = Some(report);
-            });
-        }
+                fresh
+            }
+        };
+        // Every report — freshly simulated or pulled from the cache
+        // (which may hold output of an older, buggier binary) — must
+        // satisfy the simulator's conservation laws.
+        let violations = btb_check::check_report(&report, pipe.width as u64);
+        assert!(
+            violations.is_empty(),
+            "simulator invariant violation for {} on {}: {}",
+            configs[c].name,
+            suite.traces[w].name,
+            violations.join("; ")
+        );
+        report
     });
     let mut out: Vec<Vec<SimReport>> = (0..configs.len()).map(|_| Vec::new()).collect();
-    let mut flat = results
-        .into_iter()
-        .map(|m| m.into_inner().expect("no poisoning").expect("simulated"));
+    let mut flat = flat.into_iter();
     for (c, _w) in &jobs {
         out[*c].push(flat.next().expect("one report per job"));
     }

@@ -1,0 +1,78 @@
+//! Concurrency safety of the shared in-process report memo.
+//!
+//! PR 4 made `run_matrix` parallel and its memo single-flight; these
+//! properties pin the two guarantees that parallelism must not erode:
+//!
+//! 1. **Agreement** — any number of `run_matrix` calls racing over the same
+//!    cells (and therefore the same process-wide memo) return reports whose
+//!    store-codec bytes are identical to a sequential reference run.
+//! 2. **Single-flight** — the racing callers collectively run `simulate`
+//!    exactly once per distinct (trace, config, pipeline) cell: a memo that
+//!    merely cached *after* simulation would pass agreement (simulation is
+//!    deterministic) but double-count here.
+//!
+//! Tiny scale, so the property also runs in the debug tier-1 sweep.
+
+use btb_harness::{configs, run_counters, run_matrix, Scale, Suite};
+use btb_sim::PipelineConfig;
+use proptest::prelude::*;
+
+fn tiny_scale() -> Scale {
+    Scale {
+        insts: 12_000,
+        warmup: 3_000,
+        workloads: 2,
+    }
+}
+
+/// Store-codec bytes of every report in the matrix, row-major.
+fn matrix_bytes(matrix: &[Vec<btb_sim::SimReport>]) -> Vec<Vec<u8>> {
+    matrix
+        .iter()
+        .flatten()
+        .map(btb_store::codec::encode_report)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn racing_run_matrix_calls_agree_and_simulate_each_cell_once(
+        callers in 2usize..5,
+        slots in 1usize..4,
+        dual in any::<bool>(),
+    ) {
+        let suite = Suite::generate(tiny_scale());
+        // Vary a config axis so different proptest cases exercise
+        // different memo keys, not one permanently warm entry.
+        let cfgs = vec![configs::baseline(), configs::real_rbtb(slots, dual)];
+        let pipe = PipelineConfig::paper();
+
+        btb_harness::runner::reset_report_memo();
+        let reference = matrix_bytes(&run_matrix(&suite, &cfgs, &pipe));
+
+        btb_harness::runner::reset_report_memo();
+        let before = run_counters().fresh_cells;
+        let racing: Vec<Vec<Vec<u8>>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..callers)
+                .map(|_| s.spawn(|| matrix_bytes(&run_matrix(&suite, &cfgs, &pipe))))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("run_matrix caller panicked"))
+                .collect()
+        });
+        let fresh = run_counters().fresh_cells - before;
+
+        for bytes in &racing {
+            prop_assert_eq!(bytes, &reference, "racing caller diverged from sequential run");
+        }
+        let distinct_cells = (cfgs.len() * suite.traces.len()) as u64;
+        prop_assert_eq!(
+            fresh, distinct_cells,
+            "single-flight violated: {} simulations for {} distinct cells across {} callers",
+            fresh, distinct_cells, callers
+        );
+    }
+}

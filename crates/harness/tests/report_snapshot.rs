@@ -38,18 +38,23 @@ fn roster() -> Vec<btb_core::BtbConfig> {
     ]
 }
 
+/// SHA-256 over the store-codec serialization of a whole matrix, row-major.
+fn matrix_hash(matrix: &[Vec<btb_sim::SimReport>]) -> String {
+    let mut hasher = Sha256::new();
+    for row in matrix {
+        for report in row {
+            hasher.update(&btb_store::codec::encode_report(report));
+        }
+    }
+    hasher.finish().to_hex()
+}
+
 #[test]
 #[cfg_attr(debug_assertions, ignore = "release-only: simulates Scale::quick()")]
 fn run_matrix_quick_is_byte_identical_to_fixture() {
     let suite = Suite::generate(Scale::quick());
     let matrix = run_matrix(&suite, &roster(), &PipelineConfig::paper());
-    let mut hasher = Sha256::new();
-    for row in &matrix {
-        for report in row {
-            hasher.update(&btb_store::codec::encode_report(report));
-        }
-    }
-    let hex = hasher.finish().to_hex();
+    let hex = matrix_hash(&matrix);
     if std::env::var_os("BTB_BLESS").is_some() {
         std::fs::write(FIXTURE, format!("{hex}\n")).expect("write fixture");
         eprintln!("blessed {FIXTURE} = {hex}");
@@ -62,6 +67,40 @@ fn run_matrix_quick_is_byte_identical_to_fixture() {
         expected.trim(),
         "serialized SimReports diverged from the committed snapshot; \
          if the change is intentional, re-bless with BTB_BLESS=1"
+    );
+}
+
+/// Thread-count independence: the PR 4 parallel runner must produce the
+/// same bytes at every worker count. Runs the quick matrix pinned to one
+/// worker, then to four (the `set_threads` override is what `--threads` /
+/// `BTB_THREADS` feed), resetting the in-process memo in between so both
+/// runs genuinely simulate, and requires both hashes to equal each other
+/// *and* the committed fixture — i.e. parallelism needed no re-bless.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "release-only: simulates Scale::quick()")]
+fn matrix_hash_is_identical_across_thread_counts() {
+    let suite = Suite::generate(Scale::quick());
+    let roster = roster();
+    let pipe = PipelineConfig::paper();
+
+    btb_par::set_threads(Some(1));
+    btb_harness::runner::reset_report_memo();
+    let single = matrix_hash(&run_matrix(&suite, &roster, &pipe));
+
+    btb_par::set_threads(Some(4));
+    btb_harness::runner::reset_report_memo();
+    let pooled = matrix_hash(&run_matrix(&suite, &roster, &pipe));
+    btb_par::set_threads(None);
+
+    assert_eq!(
+        single, pooled,
+        "run_matrix produced different bytes at 1 vs 4 threads"
+    );
+    let expected = std::fs::read_to_string(FIXTURE).expect("missing fixture");
+    assert_eq!(
+        single,
+        expected.trim(),
+        "thread-pinned matrix diverged from the committed snapshot"
     );
 }
 

@@ -1,0 +1,215 @@
+//! # btb-par: deterministic work pool for independent simulation cells
+//!
+//! Every sweep in this workspace — `run_matrix` cells, suite trace
+//! generation, campaign replays — is a map over *independent, pure* jobs:
+//! the result of job `i` depends only on job `i`'s input. This crate runs
+//! such maps across threads while keeping the output **deterministic**:
+//! [`ordered_map`] always returns results in submission order, so callers
+//! produce byte-identical reports, figures and fixtures at any thread
+//! count (including 1).
+//!
+//! The pool is hand-rolled on `std::thread` + `std::sync::mpsc` (the build
+//! environment has no access to rayon or crossbeam): a scoped worker group
+//! pulls job indices from a shared channel and sends `(index, result)`
+//! pairs back; the caller reassembles them by index.
+//!
+//! ## Thread-count policy
+//!
+//! Worker count resolves, in priority order:
+//!
+//! 1. a process-wide override installed with [`set_threads`] (what the
+//!    `--threads` CLI flags use),
+//! 2. the `BTB_THREADS` environment variable (clamped to ≥ 1),
+//! 3. [`std::thread::available_parallelism`] (default).
+//!
+//! With an effective count of 1 the map runs inline on the caller's
+//! thread: no pool, no channels, no spawn — `BTB_THREADS=1` really is the
+//! sequential path.
+//!
+//! ## Panics
+//!
+//! A panicking job poisons nothing: the pool stops handing its result out
+//! and the panic is propagated to the caller when the worker scope joins,
+//! exactly as with an inline call.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+
+/// Process-wide worker-count override; 0 means "not set".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Installs a process-wide worker-count override (used by `--threads`
+/// CLI flags). `Some(0)` is normalized to `Some(1)`; `None` removes the
+/// override, restoring the `BTB_THREADS`-then-hardware default.
+pub fn set_threads(n: Option<usize>) {
+    THREAD_OVERRIDE.store(n.map_or(0, |n| n.max(1)), Ordering::SeqCst);
+}
+
+/// The effective worker count: [`set_threads`] override, else
+/// `BTB_THREADS`, else [`std::thread::available_parallelism`]. Always ≥ 1.
+#[must_use]
+pub fn threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        return forced;
+    }
+    if let Some(n) = std::env::var("BTB_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        return n.max(1);
+    }
+    std::thread::available_parallelism().map_or(4, std::num::NonZero::get)
+}
+
+/// Maps `f` over `items` on the work pool, returning results **in item
+/// order** regardless of scheduling. `f` receives `(index, &item)`.
+///
+/// Jobs are claimed dynamically (an index channel), so heterogeneous job
+/// costs balance across workers; determinism comes from reassembling
+/// results by index, never from scheduling.
+pub fn ordered_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = threads().min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+    let (job_tx, job_rx) = mpsc::channel::<usize>();
+    let job_rx = Mutex::new(job_rx);
+    let (res_tx, res_rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let job_rx = &job_rx;
+            let res_tx = res_tx.clone();
+            let f = &f;
+            scope.spawn(move || loop {
+                // Hold the receiver lock only to claim an index, never
+                // while computing.
+                let claimed = job_rx.lock().expect("job channel lock").recv();
+                let Ok(i) = claimed else { break };
+                let r = f(i, &items[i]);
+                if res_tx.send((i, r)).is_err() {
+                    break;
+                }
+            });
+        }
+        for i in 0..items.len() {
+            job_tx.send(i).expect("workers alive while feeding");
+        }
+        // Close both channels from this side: workers drain the remaining
+        // indices and exit; the result stream ends when the last worker
+        // drops its sender clone.
+        drop(job_tx);
+        drop(res_tx);
+        for (i, r) in res_rx {
+            out[i] = Some(r);
+        }
+        // Scope exit joins the workers here, propagating any job panic
+        // before results are unwrapped below.
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("pool delivered every job"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Serializes tests that touch the process-wide override.
+    static OVERRIDE_GUARD: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn ordered_map_preserves_submission_order() {
+        let _g = OVERRIDE_GUARD.lock().unwrap();
+        set_threads(Some(4));
+        let items: Vec<u64> = (0..257).collect();
+        let got = ordered_map(&items, |i, &x| {
+            // Skew job costs so completion order differs from submission.
+            if i % 7 == 0 {
+                std::thread::yield_now();
+            }
+            x * 2
+        });
+        set_threads(None);
+        assert_eq!(got, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let _g = OVERRIDE_GUARD.lock().unwrap();
+        set_threads(Some(1));
+        let caller = std::thread::current().id();
+        let ids = ordered_map(&[(); 8], |_, ()| std::thread::current().id());
+        set_threads(None);
+        assert!(ids.iter().all(|id| *id == caller));
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let _g = OVERRIDE_GUARD.lock().unwrap();
+        let items: Vec<u64> = (0..100).collect();
+        let run = |n: usize| {
+            set_threads(Some(n));
+            let v = ordered_map(&items, |i, &x| {
+                x.wrapping_mul(0x9e37_79b9).rotate_left(i as u32)
+            });
+            set_threads(None);
+            v
+        };
+        assert_eq!(run(1), run(4));
+        assert_eq!(run(2), run(8));
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let _g = OVERRIDE_GUARD.lock().unwrap();
+        set_threads(Some(3));
+        let calls = AtomicU64::new(0);
+        let got = ordered_map(&vec![1u64; 1000], |_, &x| {
+            calls.fetch_add(x, Ordering::Relaxed);
+            x
+        });
+        set_threads(None);
+        assert_eq!(got.len(), 1000);
+        assert_eq!(calls.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let got: Vec<u32> = ordered_map(&[] as &[u32], |_, &x| x);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn job_panic_propagates_to_caller() {
+        let _g = OVERRIDE_GUARD.lock().unwrap();
+        set_threads(Some(2));
+        let outcome = std::panic::catch_unwind(|| {
+            ordered_map(&[0u32, 1, 2, 3], |_, &x| {
+                assert!(x != 2, "boom");
+                x
+            })
+        });
+        set_threads(None);
+        assert!(outcome.is_err(), "panic in a job must reach the caller");
+    }
+
+    #[test]
+    fn threads_is_at_least_one() {
+        let _g = OVERRIDE_GUARD.lock().unwrap();
+        set_threads(Some(0)); // normalized to 1
+        assert_eq!(threads(), 1);
+        set_threads(None);
+        assert!(threads() >= 1);
+    }
+}

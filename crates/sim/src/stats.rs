@@ -161,6 +161,17 @@ impl SimReport {
     }
 }
 
+// The parallel harness (`btb-par`) farms simulation cells out to worker
+// threads and shares finished reports through `Arc<OnceLock<SimReport>>`
+// single-flight cells; these bounds are load-bearing, not incidental. Fail
+// the build — not a distant caller — if an `Rc`/`RefCell`/raw pointer ever
+// sneaks into the report types.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SimStats>();
+    assert_send_sync::<SimReport>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

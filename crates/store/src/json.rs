@@ -3,11 +3,15 @@
 //!
 //! Hand-rolled because the build environment cannot fetch `serde_json`.
 //! Output is deliberately deterministic: object members keep insertion
-//! order, floats render with Rust's shortest-roundtrip formatting, and
-//! non-finite floats (which JSON cannot represent) become `null`. The
-//! parser accepts exactly the JSON this module (and any standard emitter)
-//! produces; it exists so tools like `bench --compare` can read previously
-//! committed `BENCH_*.json` files without external dependencies.
+//! order, floats render with Rust's shortest-roundtrip formatting,
+//! non-finite floats (which JSON cannot represent) become `null`, and
+//! supplementary-plane characters escape as UTF-16 surrogate pairs
+//! (U+1F600 becomes `\ud83d\ude00`), which the parser recombines back
+//! to the original scalar. The parser accepts
+//! exactly the JSON this module (and any standard emitter) produces, with
+//! container nesting bounded (inputs are user-supplied baseline files); it
+//! exists so tools like `bench --compare` can read previously committed
+//! `BENCH_*.json` files without external dependencies.
 
 use std::fmt;
 
@@ -62,6 +66,7 @@ impl JsonValue {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -176,9 +181,17 @@ impl JsonValue {
     }
 }
 
+/// Maximum container nesting [`JsonValue::parse`] accepts. The parser
+/// recurses per nesting level, and baseline files are user-supplied (e.g.
+/// via `bench --compare`): without a bound, a few hundred thousand `[`s
+/// overflow the stack and abort the process. No document this workspace
+/// emits nests deeper than ~6 levels.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -216,11 +229,30 @@ impl Parser<'_> {
             Some(b't') => self.literal("true", JsonValue::Bool(true)),
             Some(b'f') => self.literal("false", JsonValue::Bool(false)),
             Some(b'"') => Ok(JsonValue::String(self.string()?)),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
+            Some(b'[') => self.nested(Parser::array),
+            Some(b'{') => self.nested(Parser::object),
             Some(b'-' | b'0'..=b'9') => self.number(),
             _ => Err(format!("unexpected input at byte {}", self.pos)),
         }
+    }
+
+    /// Runs a container parser one nesting level down, rejecting documents
+    /// deeper than [`MAX_DEPTH`] (each level is a stack frame; unbounded
+    /// nesting in a user-supplied file would overflow the stack).
+    fn nested(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<JsonValue, String>,
+    ) -> Result<JsonValue, String> {
+        if self.depth >= MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} at byte {}",
+                self.pos
+            ));
+        }
+        self.depth += 1;
+        let v = f(self);
+        self.depth -= 1;
+        v
     }
 
     fn string(&mut self) -> Result<String, String> {
@@ -247,17 +279,27 @@ impl Parser<'_> {
                         b'b' => out.push('\u{8}'),
                         b'f' => out.push('\u{c}'),
                         b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or("truncated \\u escape")?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| format!("bad \\u escape at byte {}", self.pos))?;
-                            self.pos += 4;
-                            // Surrogate pairs are not emitted by this module;
-                            // map lone surrogates to the replacement char.
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            let code = self.hex4()?;
+                            out.push(match code {
+                                // A high surrogate must pair with the next
+                                // `\uDC00`..`\uDFFF` escape to form one
+                                // supplementary-plane char (this is how
+                                // this module and every standard emitter
+                                // escape non-BMP chars).
+                                0xd800..=0xdbff => match self.low_surrogate()? {
+                                    Some(low) => {
+                                        let scalar =
+                                            0x1_0000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+                                        char::from_u32(scalar).unwrap_or('\u{fffd}')
+                                    }
+                                    // Unpaired high surrogate: replacement
+                                    // char, as before.
+                                    None => '\u{fffd}',
+                                },
+                                // Lone low surrogate.
+                                0xdc00..=0xdfff => '\u{fffd}',
+                                _ => char::from_u32(code).unwrap_or('\u{fffd}'),
+                            });
                         }
                         other => {
                             return Err(format!("bad escape '\\{}'", other as char));
@@ -273,6 +315,40 @@ impl Parser<'_> {
                     self.pos += c.len_utf8();
                 }
             }
+        }
+    }
+
+    /// Reads the 4 hex digits of a `\u` escape (the `\u` itself already
+    /// consumed), advancing past them.
+    fn hex4(&mut self) -> Result<u32, String> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .ok_or("truncated \\u escape")?;
+        let code = u32::from_str_radix(hex, 16)
+            .map_err(|_| format!("bad \\u escape at byte {}", self.pos))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    /// If the input continues with a `\uDC00`..`\uDFFF` escape, consumes it
+    /// and returns its code unit; otherwise consumes nothing. `Err` only on
+    /// a malformed hex escape.
+    fn low_surrogate(&mut self) -> Result<Option<u32>, String> {
+        if self.peek() != Some(b'\\') || self.bytes.get(self.pos + 1) != Some(&b'u') {
+            return Ok(None);
+        }
+        let saved = self.pos;
+        self.pos += 2;
+        let code = self.hex4()?;
+        if (0xdc00..=0xdfff).contains(&code) {
+            Ok(Some(code))
+        } else {
+            // Not a low surrogate: leave it for the main loop to parse as
+            // its own escape.
+            self.pos = saved;
+            Ok(None)
         }
     }
 
@@ -378,6 +454,16 @@ fn write_escaped(out: &mut String, s: &str) {
             c if (c as u32) < 0x20 => {
                 out.push_str(&format!("\\u{:04x}", c as u32));
             }
+            c if (c as u32) > 0xffff => {
+                // JSON `\u` escapes are 4 hex digits of UTF-16, so a
+                // supplementary-plane char (emoji, rare CJK) must be a
+                // surrogate *pair* — `\u{:04x}` on the scalar value would
+                // print 5+ digits, which is not legal JSON.
+                let mut units = [0u16; 2];
+                for unit in c.encode_utf16(&mut units) {
+                    out.push_str(&format!("\\u{unit:04x}"));
+                }
+            }
             c => out.push(c),
         }
     }
@@ -419,6 +505,71 @@ mod tests {
         let v = JsonValue::string("a\"b\\c\nd\te\u{1}");
         let s = v.to_pretty_string();
         assert_eq!(s, "\"a\\\"b\\\\c\\nd\\te\\u0001\"\n");
+    }
+
+    #[test]
+    fn non_bmp_chars_escape_as_surrogate_pairs() {
+        // Pre-fix, a supplementary-plane char either rendered raw or (via
+        // `\u{:04x}`) as 5 hex digits — the latter is not legal JSON.
+        let s = JsonValue::string("ok \u{1f600}!").to_pretty_string();
+        assert_eq!(s, "\"ok \\ud83d\\ude00!\"\n");
+        assert!(s.is_ascii(), "escaped output must be plain ASCII");
+    }
+
+    #[test]
+    fn parser_recombines_surrogate_pairs() {
+        // What this module — and any standard emitter (Python's
+        // json.dumps, serde_json with escape_unicode) — produces for 😀.
+        let v = JsonValue::parse("\"\\ud83d\\ude00\"").expect("parses");
+        assert_eq!(v.as_str(), Some("\u{1f600}"));
+        // Lone surrogates (either half) still degrade to the replacement
+        // char instead of erroring.
+        assert_eq!(
+            JsonValue::parse("\"\\ud83d\"").unwrap().as_str(),
+            Some("\u{fffd}")
+        );
+        assert_eq!(
+            JsonValue::parse("\"\\ude00\"").unwrap().as_str(),
+            Some("\u{fffd}")
+        );
+        // High surrogate followed by a non-surrogate escape: the second
+        // escape survives as its own char.
+        assert_eq!(
+            JsonValue::parse("\"\\ud83d\\u0041\"").unwrap().as_str(),
+            Some("\u{fffd}A")
+        );
+    }
+
+    #[test]
+    fn emoji_workload_name_round_trips() {
+        // An emoji-bearing workload name must survive serialize → parse
+        // byte-exactly (pre-fix the parser turned the pair into U+FFFD
+        // U+FFFD even though the emitter produced it).
+        let v = JsonValue::Object(vec![(
+            "workload".to_owned(),
+            JsonValue::string("web-\u{1f600}\u{10348}-srv"),
+        )]);
+        let text = v.to_pretty_string();
+        let back = JsonValue::parse(&text).expect("parses");
+        assert_eq!(back, v);
+        // And the serialized form itself is stable under a second trip.
+        assert_eq!(back.to_pretty_string(), text);
+    }
+
+    #[test]
+    fn nesting_beyond_depth_limit_is_an_error_not_a_crash() {
+        // Pre-fix, a user-supplied baseline of 100K `[`s recursed once per
+        // level and overflowed the stack (process abort).
+        let deep_ok = format!("{}0{}", "[".repeat(128), "]".repeat(128));
+        assert!(JsonValue::parse(&deep_ok).is_ok(), "128 levels must parse");
+        let too_deep = format!("{}0{}", "[".repeat(129), "]".repeat(129));
+        let err = JsonValue::parse(&too_deep).unwrap_err();
+        assert!(err.contains("nesting"), "{err}");
+        let hostile = "[".repeat(100_000);
+        assert!(JsonValue::parse(&hostile).is_err());
+        // Mixed object/array nesting counts every level.
+        let mixed = format!("{}1{}", "{\"k\":[".repeat(70), "]}".repeat(70));
+        assert!(JsonValue::parse(&mixed).unwrap_err().contains("nesting"));
     }
 
     #[test]

@@ -202,3 +202,62 @@ fn find_only_object(root: &std::path::Path) -> PathBuf {
     assert_eq!(found.len(), 1, "expected exactly one object, got {found:?}");
     found.remove(0)
 }
+
+/// Atomic publish under contention: once a key has been published, racing
+/// re-publishers (same content — the store is content-addressed) must never
+/// make a reader miss or observe different bytes. A non-atomic publish
+/// (write-in-place) would expose short or torn objects, which readers
+/// treat as corruption: they unlink the entry and return `None`, failing
+/// the always-`Some` assertion below. This is the concurrency contract the
+/// PR 4 parallel `run_matrix` leans on when worker threads share a store.
+#[test]
+fn concurrent_writers_never_disturb_readers() {
+    let dir = ScratchDir::new("concurrent");
+    let store = Store::open(&dir.0).expect("open");
+
+    // Four distinct keys, each with its own canonical report.
+    let profiles: Vec<WorkloadProfile> = (0..4).map(WorkloadProfile::tiny).collect();
+    let keys: Vec<Digest> = profiles.iter().map(|p| report_key_for(p, 2_000)).collect();
+    let canonical: Vec<SimReport> = (0..4)
+        .map(|i| {
+            let mut r = sample_report();
+            r.stats.instructions = 1_000 + i;
+            r
+        })
+        .collect();
+    for (k, r) in keys.iter().zip(&canonical) {
+        store.put_report(k, r);
+    }
+
+    std::thread::scope(|s| {
+        // Writers hammer every key with its canonical content.
+        for _ in 0..4 {
+            s.spawn(|| {
+                for _ in 0..50 {
+                    for (k, r) in keys.iter().zip(&canonical) {
+                        store.put_report(k, r);
+                    }
+                }
+            });
+        }
+        // Readers must see every key complete and exact on every read.
+        for _ in 0..4 {
+            s.spawn(|| {
+                for _ in 0..200 {
+                    for (k, want) in keys.iter().zip(&canonical) {
+                        let got = store
+                            .get_report(k)
+                            .expect("published key missed under concurrent writers");
+                        assert_eq!(&got, want, "reader observed torn/foreign bytes");
+                    }
+                }
+            });
+        }
+    });
+
+    // Every publish renamed its staging file into place; none leaked.
+    let leftover: Vec<_> = std::fs::read_dir(dir.0.join("tmp"))
+        .expect("tmp dir")
+        .collect();
+    assert!(leftover.is_empty(), "staging files leaked: {leftover:?}");
+}

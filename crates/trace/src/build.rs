@@ -39,9 +39,35 @@ const ARRAY_BASE: Addr = 0x3000_0000;
 /// assert!(prog.validate().is_ok());
 /// assert!(prog.code_footprint() > 0);
 /// ```
+///
+/// # Panics
+/// Panics when the profile cannot be laid out (see [`try_build_program`]
+/// for the fallible variant and the exact condition).
 #[must_use]
 pub fn build_program(profile: &WorkloadProfile) -> Program {
-    ProgramBuilder::new(profile).build()
+    try_build_program(profile).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`build_program`].
+///
+/// # Errors
+/// Returns a descriptive error when the profile describes an impossible
+/// function layout: after reserving the root, the handlers and the shared
+/// utility leaves, too few internal functions remain to span `call_layers`
+/// layers. Earlier versions crashed on such profiles with an arithmetic
+/// underflow instead.
+///
+/// # Examples
+/// ```
+/// use btb_trace::{try_build_program, WorkloadProfile};
+/// let mut p = WorkloadProfile::tiny(1);
+/// p.num_functions = 5;
+/// p.num_handlers = 1;
+/// p.call_layers = 3; // 5 functions cannot span 3 internal layers
+/// assert!(try_build_program(&p).is_err());
+/// ```
+pub fn try_build_program(profile: &WorkloadProfile) -> Result<Program, String> {
+    ProgramBuilder::try_new(profile).map(ProgramBuilder::build)
 }
 
 /// Samples a geometric-ish length with the given mean (exponential rounded),
@@ -100,33 +126,59 @@ impl FnBuilder {
 }
 
 impl<'a> ProgramBuilder<'a> {
-    fn new(profile: &'a WorkloadProfile) -> Self {
-        let layers = Self::layer_plan(profile);
-        ProgramBuilder {
+    fn try_new(profile: &'a WorkloadProfile) -> Result<Self, String> {
+        let layers = Self::layer_plan(profile)?;
+        Ok(ProgramBuilder {
             profile,
             rng: SmallRng::seed_from_u64(profile.seed ^ 0x9e37_79b9_7f4a_7c15),
             cond_sites: Vec::new(),
             indirect_sites: Vec::new(),
             num_mem_sites: 0,
             layers,
-        }
+        })
     }
 
     /// Splits `num_functions` into layers: root, handlers, internal layers
     /// and a final utility (leaf) layer.
-    fn layer_plan(profile: &WorkloadProfile) -> Vec<std::ops::Range<usize>> {
+    ///
+    /// Tight plans (fewer internal functions than layers) pad each layer to
+    /// one function, slightly overcommitting `num_functions` — longstanding,
+    /// deliberately preserved behaviour, since changing any working plan
+    /// would change every generated trace. But the old code computed the
+    /// last layer's remainder with an unchecked subtraction, which on
+    /// extreme profiles underflowed `usize` (debug panic; in release a
+    /// wrapped value reaching `Vec::with_capacity` aborts with a capacity
+    /// overflow). Those profiles — and exactly those — now return `Err`.
+    fn layer_plan(profile: &WorkloadProfile) -> Result<Vec<std::ops::Range<usize>>, String> {
         let nf = profile.num_functions.max(profile.num_handlers + 4);
         let handlers = profile.num_handlers.max(1);
         let internal_layers = profile.call_layers.max(1);
+        // nf >= handlers + 4 and handlers >= 1 keep `remaining >= 2`, so
+        // `internal` cannot underflow; only the last-layer remainder can.
         let remaining = nf - 1 - handlers;
         let utilities = (remaining / 6).max(2);
-        let internal = remaining - utilities;
+        let internal = remaining.saturating_sub(utilities);
         let mut layers = vec![0..1, 1..1 + handlers];
         let mut start = 1 + handlers;
         let per = (internal / internal_layers).max(1);
         for l in 0..internal_layers {
             let n = if l + 1 == internal_layers {
-                internal - per * (internal_layers - 1)
+                // Tight plans overcommit slightly (each earlier layer was
+                // padded to one function), so the remainder is checked: a
+                // profile whose call_layers outruns its function budget is
+                // rejected here instead of underflowing `usize`.
+                internal
+                    .checked_sub(per * (internal_layers - 1))
+                    .ok_or_else(|| {
+                        format!(
+                            "workload profile cannot be laid out: num_functions={} \
+                         (effective {nf}) leaves {internal} internal function(s) after \
+                         the root, {handlers} handler(s) and {utilities} shared \
+                         utilities, which cannot span call_layers={}; raise \
+                         num_functions or lower call_layers",
+                            profile.num_functions, profile.call_layers,
+                        )
+                    })?
             } else {
                 per
             };
@@ -135,11 +187,11 @@ impl<'a> ProgramBuilder<'a> {
             start += n;
         }
         layers.push(start..start + utilities);
-        layers
+        Ok(layers)
     }
 
     fn build(mut self) -> Program {
-        let total: usize = self.layers.last().unwrap().end;
+        let total: usize = self.layers.iter().map(std::ops::Range::len).sum();
         let mut functions = Vec::with_capacity(total);
         functions.push(self.build_root());
         for layer in 1..self.layers.len() {
@@ -327,7 +379,7 @@ impl<'a> ProgramBuilder<'a> {
 
     /// Picks a utility-layer (tiny leaf) callee.
     fn pick_utility(&mut self) -> FnId {
-        let range = self.layers.last().expect("layer plan").clone();
+        let range = self.layers[self.layers.len() - 1].clone();
         FnId(self.rng.gen_range(range) as u32)
     }
 
@@ -677,6 +729,37 @@ mod tests {
             let n = sample_len(&mut rng, 8.0, 2, 16);
             assert!((2..=16).contains(&n));
         }
+    }
+
+    #[test]
+    fn infeasible_call_layers_is_an_error_not_a_crash() {
+        // Pre-fix, this profile underflowed in layer_plan: 5 functions,
+        // minus root, 1 handler and 2 utilities, leave 1 internal function
+        // for 3 layers — `1 - 1 * 2` panicked in debug and wrapped (then
+        // aborted on Vec::with_capacity) in release.
+        let mut p = WorkloadProfile::tiny(1);
+        p.num_functions = 5;
+        p.num_handlers = 1;
+        p.call_layers = 3;
+        let err = try_build_program(&p).unwrap_err();
+        assert!(err.contains("call_layers=3"), "{err}");
+        assert!(err.contains("num_functions=5"), "{err}");
+    }
+
+    #[test]
+    fn barely_feasible_layer_plan_builds() {
+        // num_functions=6 leaves 2 internal functions for 3 layers — the
+        // tightest plan the padding rule still admits (it overcommits by
+        // one). One function fewer must Err, not underflow; this pins the
+        // boundary so the fix neither over- nor under-rejects.
+        let mut p = WorkloadProfile::tiny(1);
+        p.num_functions = 6;
+        p.num_handlers = 1;
+        p.call_layers = 3;
+        let prog = try_build_program(&p).expect("6 functions still lay out 3 layers");
+        assert_eq!(prog.validate(), Ok(()));
+        let plan = ProgramBuilder::layer_plan(&p).expect("feasible");
+        assert!(plan.iter().all(|l| !l.is_empty()), "plan {plan:?}");
     }
 
     #[test]

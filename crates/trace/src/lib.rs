@@ -34,7 +34,7 @@ mod profile;
 mod record;
 mod stats;
 
-pub use build::{build_program, CODE_BASE};
+pub use build::{build_program, try_build_program, CODE_BASE};
 pub use cfg::{
     Block, BlockId, BodyOp, CondBehavior, CondSiteId, FnId, Function, IndirectBehavior,
     IndirectSiteId, MemPattern, MemRef, Program, Terminator,
