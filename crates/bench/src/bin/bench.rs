@@ -6,7 +6,7 @@
 //! diffable performance trajectory at the repo root:
 //!
 //! ```text
-//! cargo run --release -p btb-bench --bin bench                  # -> BENCH_PR4.json
+//! cargo run --release -p btb-bench --bin bench                  # -> BENCH_PR5.json
 //! cargo run --release -p btb-bench --bin bench -- --compare BENCH_PR3.json
 //! ```
 //!
@@ -15,6 +15,7 @@
 //! than the gate (default 20%), which is what CI enforces.
 
 use btb_bench::compare::{check_baseline, compare};
+use btb_harness::obs::{self, ObsOptions};
 use btb_harness::{experiments, run_counters, Scale, Suite};
 use btb_store::JsonValue;
 use std::time::Instant;
@@ -24,15 +25,16 @@ struct Cli {
     compare: Option<String>,
     gate_pct: f64,
     note: Option<String>,
+    obs: ObsOptions,
 }
 
 fn exit_usage(problem: &str) -> ! {
     eprintln!(
         "bench: {problem}\n\n\
          usage: bench [--out PATH] [--no-out] [--compare PATH] [--gate PCT] [--note STRING]\n        \
-         [--threads N]\n\n\
+         [--threads N] [--metrics] [--trace-out DIR]\n\n\
          options:\n  \
-         --out PATH      write the JSON result to PATH (default: BENCH_PR4.json)\n  \
+         --out PATH      write the JSON result to PATH (default: BENCH_PR5.json)\n  \
          --no-out        measure and print, but write no file\n  \
          --compare PATH  diff against a previous BENCH_*.json; exit 1 if total\n                  \
          throughput regressed by more than the gate, exit 2 if the\n                  \
@@ -40,7 +42,11 @@ fn exit_usage(problem: &str) -> ! {
          --gate PCT      regression gate in percent (default: 20)\n  \
          --note STRING   free-form note recorded in the JSON\n  \
          --threads N     worker threads for suite generation and matrix cells\n                  \
-         (default: BTB_THREADS, else all cores)\n\n\
+         (default: BTB_THREADS, else all cores)\n  \
+         --metrics       collect structured metrics on fresh cells and print the\n                  \
+         aggregate + pool stats to stderr (timings unaffected)\n  \
+         --trace-out DIR write Perfetto traces and metrics JSON per fresh cell\n                  \
+         into DIR (implies --metrics)\n\n\
          scale defaults to quick (300K insts, 100K warmup, 4 workloads);\n\
          override with BTB_INSTS / BTB_WARMUP / BTB_WORKLOADS"
     );
@@ -49,10 +55,11 @@ fn exit_usage(problem: &str) -> ! {
 
 fn parse_cli(args: &[String]) -> Cli {
     let mut cli = Cli {
-        out: Some("BENCH_PR4.json".to_string()),
+        out: Some("BENCH_PR5.json".to_string()),
         compare: None,
         gate_pct: 20.0,
         note: None,
+        obs: ObsOptions::default(),
     };
     fn operand(args: &[String], i: &mut usize, name: &str) -> String {
         let Some(v) = args.get(*i + 1) else {
@@ -76,6 +83,11 @@ fn parse_cli(args: &[String]) -> Cli {
                 }
             }
             "--note" => cli.note = Some(operand(args, &mut i, "--note")),
+            "--metrics" => cli.obs.metrics = true,
+            "--trace-out" => {
+                cli.obs.trace_dir = Some(operand(args, &mut i, "--trace-out").into());
+                cli.obs.metrics = true;
+            }
             "--threads" => {
                 let v = operand(args, &mut i, "--threads");
                 match v.parse::<usize>() {
@@ -323,6 +335,14 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = parse_cli(&args);
 
+    if cli.obs.enabled() {
+        btb_par::set_collect_pool_stats(true);
+        if obs::install_obs(cli.obs.clone()).is_err() {
+            eprintln!("bench: cannot install observability options");
+            std::process::exit(1);
+        }
+    }
+
     let scale = scale_from_env_or_quick();
     eprintln!(
         "# bench scale: {} insts, {} warmup, {} workloads, {} threads",
@@ -353,6 +373,38 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("# wrote {path}");
+    }
+
+    if let Some(opts) = obs::options() {
+        let c = run_counters();
+        eprintln!(
+            "# cells: {} delivered = {} simulated + {} memo hits + {} store hits",
+            c.cells, c.fresh_cells, c.memo_hits, c.store_hits
+        );
+        let agg = obs::aggregate_metrics();
+        if !agg.entries.is_empty() {
+            eprint!(
+                "{}",
+                btb_obs::render_summary(&agg, "aggregate metrics (fresh cells)")
+            );
+        }
+        let pool = btb_par::take_pool_stats();
+        if pool.jobs > 0 {
+            eprintln!(
+                "# pool: {} jobs, {} workers, utilization {:.1}%, mean queue \
+                 wait {:?} [wall-clock only]",
+                pool.jobs,
+                pool.max_workers,
+                pool.utilization() * 100.0,
+                pool.mean_queue_wait()
+            );
+        }
+        if let Some(dir) = &opts.trace_dir {
+            match obs::write_trace_index(dir) {
+                Ok(n) => eprintln!("# wrote {} ({n} cells)", dir.join("index.json").display()),
+                Err(e) => eprintln!("bench: cannot write trace index: {e}"),
+            }
+        }
     }
 
     if let Some(path) = &cli.compare {

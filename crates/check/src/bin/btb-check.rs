@@ -15,16 +15,20 @@ btb-check: differential golden-model checking for the BTB stack
 
 USAGE:
     btb-check campaign [--quick] [--seed N] [--store DIR] [--repro-dir DIR]
-                       [--threads N]
+                       [--threads N] [--metrics] [--trace-out DIR]
     btb-check replay FILE...
+    btb-check validate-json FILE...
     btb-check list
 
 COMMANDS:
-    campaign   Run differential replays of every roster configuration over
-               generated and mutation-fuzzed traces, then validate simulator
-               conservation laws. Divergences are minimized into .repro files.
-    replay     Re-run committed reproducer files (exit 1 if any diverges).
-    list       Print the campaign configuration roster.
+    campaign      Run differential replays of every roster configuration over
+                  generated and mutation-fuzzed traces, then validate simulator
+                  conservation laws. Divergences are minimized into .repro files.
+    replay        Re-run committed reproducer files (exit 1 if any diverges).
+    validate-json Parse each FILE with the btb-store JSON parser (exit 1 on the
+                  first malformed file) — used by CI to validate exported
+                  traces, metrics and reports.
+    list          Print the campaign configuration roster.
 
 OPTIONS:
     --quick        Short fixed-budget campaign (CI-sized traces).
@@ -34,6 +38,11 @@ OPTIONS:
     --threads N    Worker threads for replays and invariant simulations
                    (default: BTB_THREADS, else all cores). Results are
                    identical at any thread count.
+    --metrics      Collect btb-obs metrics during invariant simulations and
+                   print the roster aggregate; also differentially checks
+                   that observed runs match plain runs exactly.
+    --trace-out D  Write one Perfetto trace per roster configuration's
+                   invariant simulation into D (implies --metrics).
 ";
 
 fn usage_error(msg: &str) -> ExitCode {
@@ -64,6 +73,14 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
                 Some(Ok(n)) if n >= 1 => btb_par::set_threads(Some(n)),
                 _ => return usage_error("--threads needs a positive integer"),
             },
+            "--metrics" => opts.metrics = true,
+            "--trace-out" => match it.next() {
+                Some(dir) => {
+                    opts.trace_dir = Some(PathBuf::from(dir));
+                    opts.metrics = true;
+                }
+                None => return usage_error("--trace-out needs a directory"),
+            },
             other => return usage_error(&format!("unknown campaign option {other:?}")),
         }
     }
@@ -86,6 +103,12 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
     }
     for e in &outcome.invariant_failures {
         eprintln!("INVARIANT VIOLATION: {e}");
+    }
+    if let Some(metrics) = &outcome.metrics {
+        eprint!(
+            "{}",
+            btb_obs::render_summary(metrics, "invariant-phase metrics (roster aggregate)")
+        );
     }
     if outcome.clean() {
         println!("clean: no divergences, all simulator invariants hold");
@@ -131,6 +154,29 @@ fn cmd_replay(files: &[String]) -> ExitCode {
     }
 }
 
+fn cmd_validate_json(files: &[String]) -> ExitCode {
+    if files.is_empty() {
+        return usage_error("validate-json needs at least one file");
+    }
+    for file in files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{file}: cannot read: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        match btb_store::JsonValue::parse(&text) {
+            Ok(_) => println!("{file}: valid JSON ({} bytes)", text.len()),
+            Err(e) => {
+                eprintln!("{file}: malformed JSON: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn cmd_list() -> ExitCode {
     for config in campaign_configs() {
         let l2 = config
@@ -149,6 +195,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("campaign") => cmd_campaign(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
+        Some("validate-json") => cmd_validate_json(&args[1..]),
         Some("list") => {
             if args.len() > 1 {
                 return usage_error("list takes no arguments");

@@ -116,6 +116,12 @@ pub struct CampaignOptions {
     pub store: Option<PathBuf>,
     /// Directory minimized reproducers are written to (default: cwd).
     pub repro_dir: Option<PathBuf>,
+    /// Collect `btb-obs` metrics during the invariant simulations and
+    /// report the roster-order aggregate in the outcome.
+    pub metrics: bool,
+    /// Write one Perfetto trace per roster configuration's invariant
+    /// simulation into this directory (implies metrics collection).
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl Default for CampaignOptions {
@@ -125,6 +131,8 @@ impl Default for CampaignOptions {
             seed: 0xb7b_c4ec,
             store: None,
             repro_dir: None,
+            metrics: false,
+            trace_dir: None,
         }
     }
 }
@@ -153,6 +161,9 @@ pub struct CampaignOutcome {
     pub invariant_failures: Vec<String>,
     /// Total differential lookups performed across all replays.
     pub total_lookups: u64,
+    /// Roster-order aggregate of the invariant simulations' metrics, when
+    /// [`CampaignOptions::metrics`] (or a trace dir) was requested.
+    pub metrics: Option<btb_obs::Snapshot>,
 }
 
 impl CampaignOutcome {
@@ -203,13 +214,20 @@ fn campaign_traces(opts: &CampaignOptions) -> Vec<(String, Vec<TraceRecord>)> {
 
 /// Runs the per-configuration simulator invariant phase: a full pipeline
 /// simulation with the probe event stream on, validated against the
-/// conservation laws.
-fn sim_invariants(config: &BtbConfig, records: &[TraceRecord], quick: bool) -> Vec<String> {
+/// conservation laws. With an observation config, the same slice is also
+/// run observed — doubling as a differential check that `btb-obs`
+/// collection never perturbs simulation results.
+fn sim_invariants(
+    config: &BtbConfig,
+    records: &[TraceRecord],
+    quick: bool,
+    obs_cfg: Option<&btb_sim::ObsConfig>,
+) -> (Vec<String>, Option<btb_sim::RunObservation>) {
     let insts = if quick { 20_000 } else { 60_000 };
     let slice = &records[..records.len().min(insts)];
     let pipeline = PipelineConfig::paper().with_warmup(insts as u64 / 10);
     let width = pipeline.width as u64;
-    let (report, log) = Simulator::new(slice, config.clone(), pipeline).run_with_events();
+    let (report, log) = Simulator::new(slice, config.clone(), pipeline.clone()).run_with_events();
     let mut errs: Vec<String> = check_report(&report, width)
         .into_iter()
         .map(|e| format!("{}: {e}", config.name))
@@ -219,7 +237,19 @@ fn sim_invariants(config: &BtbConfig, records: &[TraceRecord], quick: bool) -> V
             .into_iter()
             .map(|e| format!("{}: probe log: {e}", config.name)),
     );
-    errs
+    let observation = obs_cfg.map(|cfg| {
+        let (obs_report, observation) =
+            Simulator::new(slice, config.clone(), pipeline).run_observed(cfg);
+        if obs_report != report {
+            errs.push(format!(
+                "{}: observed simulation diverged from plain simulation \
+                 (observability must be collection-only)",
+                config.name
+            ));
+        }
+        observation
+    });
+    (errs, observation)
 }
 
 fn handle_divergence(
@@ -281,8 +311,12 @@ pub fn run_campaign(opts: &CampaignOptions) -> CampaignOutcome {
     // fair game for update-only replay but are not coherent dynamic
     // instruction streams, which the pipeline model assumes.
     let (_, base_records) = traces.last().expect("trace pool non-empty");
-    let invariant_errs = btb_par::ordered_map(&configs, |_, config| {
-        sim_invariants(config, base_records, opts.quick)
+    let obs_cfg = (opts.metrics || opts.trace_dir.is_some()).then(|| btb_sim::ObsConfig {
+        trace: opts.trace_dir.is_some(),
+        ..btb_sim::ObsConfig::default()
+    });
+    let invariant_results = btb_par::ordered_map(&configs, |_, config| {
+        sim_invariants(config, base_records, opts.quick, obs_cfg.as_ref())
     });
     let mut outcome = CampaignOutcome::default();
     for (&(c, t), report) in jobs.iter().zip(reports) {
@@ -298,9 +332,37 @@ pub fn run_campaign(opts: &CampaignOptions) -> CampaignOutcome {
         }
         outcome.replays.push(report);
     }
-    outcome
-        .invariant_failures
-        .extend(invariant_errs.into_iter().flatten());
+    if let Some(dir) = &opts.trace_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            outcome
+                .invariant_failures
+                .push(format!("cannot create trace dir {}: {e}", dir.display()));
+        }
+    }
+    // Roster order (ordered_map restored it): trace files and the metrics
+    // aggregate are identical at any thread count.
+    for (config, (errs, observation)) in configs.iter().zip(invariant_results) {
+        outcome.invariant_failures.extend(errs);
+        let Some(observation) = observation else {
+            continue;
+        };
+        if let Some(dir) = &opts.trace_dir {
+            let file = dir.join(format!(
+                "campaign-{}.json",
+                config.name.replace([' ', '/'], "_").to_lowercase()
+            ));
+            let json = btb_obs::chrome_trace_json(&observation.trace, &config.name);
+            if let Err(e) = std::fs::write(&file, json) {
+                outcome
+                    .invariant_failures
+                    .push(format!("cannot write trace {}: {e}", file.display()));
+            }
+        }
+        outcome
+            .metrics
+            .get_or_insert_with(btb_obs::Snapshot::default)
+            .merge(&observation.metrics);
+    }
     outcome
 }
 

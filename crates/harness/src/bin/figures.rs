@@ -9,7 +9,8 @@
 //! figures --list                       # enumerate experiment names
 //! ```
 
-use btb_harness::{experiments, install_store, Figure, Scale, Suite};
+use btb_harness::obs::{self, ObsOptions};
+use btb_harness::{experiments, install_store, run_counters, Figure, Scale, Suite};
 use btb_store::Store;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -33,6 +34,14 @@ options:
   --threads N     worker threads for suite generation and matrix cells
                   (default: BTB_THREADS, else all cores); output is
                   byte-identical at any thread count
+  --metrics       collect structured metrics on freshly simulated cells and
+                  print the run aggregate + pool stats to stderr (figure
+                  output on stdout is unchanged)
+  --trace-out DIR write a Perfetto/Chrome trace (trace-<key>.json), a
+                  metrics report (cell-<key>.json) per freshly simulated
+                  cell, and an index.json into DIR; implies --metrics.
+                  Cached cells are not re-traced: use a fresh --store (or
+                  none) to trace every cell
   --no-preflight  skip the differential golden-model pre-flight check
   --list          list experiment names, one per line, and exit
   -h, --help      show this message
@@ -52,6 +61,7 @@ struct Cli {
     selected: Vec<&'static str>,
     maintenance: Option<Maintenance>,
     no_preflight: bool,
+    obs: ObsOptions,
 }
 
 enum Maintenance {
@@ -71,6 +81,7 @@ fn parse_cli(args: &[String]) -> Cli {
         selected: Vec::new(),
         maintenance: None,
         no_preflight: false,
+        obs: ObsOptions::default(),
     };
     let canonical = |name: &str| EXPERIMENTS.iter().find(|e| **e == name).copied();
     let mut i = 0;
@@ -102,6 +113,15 @@ fn parse_cli(args: &[String]) -> Cli {
                 });
             }
             "--no-preflight" => cli.no_preflight = true,
+            "--metrics" => cli.obs.metrics = true,
+            "--trace-out" => {
+                let Some(dir) = args.get(i + 1) else {
+                    exit_usage("--trace-out requires a directory");
+                };
+                i += 1;
+                cli.obs.trace_dir = Some(PathBuf::from(dir));
+                cli.obs.metrics = true;
+            }
             "--threads" => {
                 let parsed = args.get(i + 1).and_then(|n| n.parse::<usize>().ok());
                 let Some(n) = parsed.filter(|n| *n >= 1) else {
@@ -265,6 +285,19 @@ fn main() {
         store
     });
 
+    if cli.obs.enabled() {
+        // Pool stats are wall-clock and reported on stderr only; nothing
+        // observability-related touches stdout or the figure bytes.
+        btb_par::set_collect_pool_stats(true);
+        if let Some(dir) = &cli.obs.trace_dir {
+            eprintln!("# trace-out: {}", dir.display());
+        }
+        if obs::install_obs(cli.obs.clone()).is_err() {
+            eprintln!("figures: cannot install observability options");
+            std::process::exit(1);
+        }
+    }
+
     let scale = Scale::from_env();
     eprintln!(
         "# scale: {} insts, {} warmup, {} workloads (override with BTB_INSTS/BTB_WARMUP/BTB_WORKLOADS)",
@@ -305,6 +338,54 @@ fn main() {
         report_counters(store, w);
         if let Some(dir) = &cli.json_dir {
             export_json(dir, &fig);
+        }
+    }
+
+    if let Some(opts) = obs::options() {
+        report_observability(opts);
+    }
+}
+
+/// End-of-run observability report: cell accounting, the deterministic
+/// aggregate metrics table, pool utilization (wall-clock, stderr only),
+/// and the trace index. Everything goes to stderr or files — stdout
+/// carries figures alone.
+fn report_observability(opts: &ObsOptions) {
+    let c = run_counters();
+    eprintln!(
+        "# cells: {} delivered = {} simulated + {} memo hits + {} store hits",
+        c.cells, c.fresh_cells, c.memo_hits, c.store_hits
+    );
+    let agg = obs::aggregate_metrics();
+    if agg.entries.is_empty() {
+        eprintln!("# metrics: no cells were freshly simulated (warm cache); nothing observed");
+    } else {
+        eprint!(
+            "{}",
+            btb_obs::render_summary(&agg, "aggregate metrics (fresh cells, submission order)")
+        );
+    }
+    let pool = btb_par::take_pool_stats();
+    if pool.jobs > 0 {
+        eprintln!(
+            "# pool: {} jobs ({} pooled / {} inline maps), {} workers, \
+             utilization {:.1}%, mean queue wait {:?} [wall-clock; excluded \
+             from deterministic outputs]",
+            pool.jobs,
+            pool.pooled_maps,
+            pool.inline_maps,
+            pool.max_workers,
+            pool.utilization() * 100.0,
+            pool.mean_queue_wait()
+        );
+    }
+    if let Some(dir) = &opts.trace_dir {
+        match obs::write_trace_index(dir) {
+            Ok(n) => eprintln!("# wrote {} ({n} cells)", dir.join("index.json").display()),
+            Err(e) => eprintln!(
+                "figures: cannot write {}: {e}",
+                dir.join("index.json").display()
+            ),
         }
     }
 }

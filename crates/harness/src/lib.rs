@@ -20,6 +20,7 @@ pub mod aggregate;
 pub mod configs;
 pub mod experiments;
 mod figure;
+pub mod obs;
 pub mod runner;
 
 pub use figure::{Figure, Row};

@@ -1,0 +1,339 @@
+//! Harness-level observability wiring: ambient `--metrics`/`--trace-out`
+//! options, per-cell trace/metrics export, and the deterministic
+//! run-aggregate metrics snapshot.
+//!
+//! The runner consults [`options`] once per `run_matrix` call. When
+//! observability is on, **freshly simulated** cells run through
+//! [`btb_sim::simulate_observed`]; memoized and store-cached cells are
+//! replays of work that already happened (or happened in a previous
+//! process) and deliberately produce no observation — a trace of a cache
+//! lookup would be noise. Point `figures --trace-out` at a fresh store
+//! (or none) to trace every cell.
+//!
+//! ## Determinism
+//!
+//! Per-cell artifacts (`trace-<key>.json`, `cell-<key>.json`) are derived
+//! only from that cell's deterministic simulation, and the set of fresh
+//! cells is thread-count-independent (single-flight memo), so the emitted
+//! file tree is byte-identical at any worker count. The run aggregate is
+//! folded in `ordered_map` submission order — never completion order —
+//! and `index.json` is sorted by cell key. Wall-clock quantities
+//! (pool utilization, queue wait) exist only in the stderr report.
+
+use btb_obs::Snapshot;
+use btb_sim::{ObsConfig, RunObservation, SimReport};
+use btb_store::JsonValue;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
+
+/// Observability options installed once per process (CLI flags).
+#[derive(Debug, Clone, Default)]
+pub struct ObsOptions {
+    /// Directory receiving per-cell Perfetto traces and metrics JSON.
+    pub trace_dir: Option<PathBuf>,
+    /// Collect metrics and report the run aggregate (no files by itself).
+    pub metrics: bool,
+}
+
+impl ObsOptions {
+    /// True when any observability is requested.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.metrics || self.trace_dir.is_some()
+    }
+}
+
+static OPTIONS: OnceLock<ObsOptions> = OnceLock::new();
+static AGGREGATE: Mutex<Option<Snapshot>> = Mutex::new(None);
+static CELL_INDEX: Mutex<Vec<CellRecord>> = Mutex::new(Vec::new());
+
+/// Index entry for one exported cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellRecord {
+    /// Cell report key (64 hex chars), the file-name stem.
+    pub key: String,
+    /// Configuration name.
+    pub config: String,
+    /// Workload name.
+    pub workload: String,
+}
+
+/// Installs the process-wide observability options (once per process,
+/// like [`crate::install_store`]).
+///
+/// # Errors
+/// Returns the rejected options if options were already installed.
+pub fn install_obs(opts: ObsOptions) -> Result<(), ObsOptions> {
+    if let Some(dir) = &opts.trace_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create trace dir {}: {e}", dir.display());
+            return Err(opts);
+        }
+    }
+    OPTIONS.set(opts)
+}
+
+/// The installed options, if observability is enabled.
+#[must_use]
+pub fn options() -> Option<&'static ObsOptions> {
+    OPTIONS.get().filter(|o| o.enabled())
+}
+
+/// Simulator observation config for the installed options: tracing only
+/// when a trace directory exists (metrics are cheap, traces are not).
+#[must_use]
+pub fn sim_obs_config(opts: &ObsOptions) -> ObsConfig {
+    ObsConfig {
+        trace: opts.trace_dir.is_some(),
+        ..ObsConfig::default()
+    }
+}
+
+/// Handles a freshly simulated, observed cell: exports its artifacts
+/// (when a trace dir is installed) and returns the metrics snapshot for
+/// the caller to fold into the aggregate *in submission order*.
+pub(crate) fn export_fresh_cell(
+    key: &btb_store::Digest,
+    report: &SimReport,
+    obs: RunObservation,
+) -> Snapshot {
+    if let Some(opts) = options() {
+        if let Some(dir) = &opts.trace_dir {
+            let hex = key.to_hex();
+            let label = format!("{} / {}", report.config_name, report.workload);
+            let trace_path = dir.join(format!("trace-{hex}.json"));
+            if let Err(e) =
+                std::fs::write(&trace_path, btb_obs::chrome_trace_json(&obs.trace, &label))
+            {
+                eprintln!("cannot write {}: {e}", trace_path.display());
+            }
+            let cell_path = dir.join(format!("cell-{hex}.json"));
+            let json = report_json(report, Some(&obs.metrics));
+            if let Err(e) = std::fs::write(&cell_path, json.to_pretty_string()) {
+                eprintln!("cannot write {}: {e}", cell_path.display());
+            }
+            CELL_INDEX
+                .lock()
+                .expect("cell index lock")
+                .push(CellRecord {
+                    key: hex,
+                    config: report.config_name.clone(),
+                    workload: report.workload.to_string(),
+                });
+        }
+    }
+    obs.metrics
+}
+
+/// Folds one cell's metrics into the process aggregate. Callers must
+/// invoke this in submission order (the runner does, from `ordered_map`'s
+/// ordered results) to keep the aggregate byte-deterministic.
+pub(crate) fn merge_cell_metrics(metrics: &Snapshot) {
+    let mut agg = AGGREGATE.lock().expect("aggregate lock");
+    agg.get_or_insert_with(Snapshot::default).merge(metrics);
+}
+
+/// The process-wide aggregate metrics snapshot (empty if nothing was
+/// observed).
+#[must_use]
+pub fn aggregate_metrics() -> Snapshot {
+    AGGREGATE
+        .lock()
+        .expect("aggregate lock")
+        .clone()
+        .unwrap_or_default()
+}
+
+/// Exported cells so far, sorted by key for deterministic listings.
+#[must_use]
+pub fn exported_cells() -> Vec<CellRecord> {
+    let mut cells = CELL_INDEX.lock().expect("cell index lock").clone();
+    cells.sort_by(|a, b| a.key.cmp(&b.key));
+    cells
+}
+
+/// Writes `index.json` into `dir`: every exported cell (sorted by key)
+/// with its config/workload labels, ready for scripted consumption.
+///
+/// # Errors
+/// Propagates the underlying write failure.
+pub fn write_trace_index(dir: &Path) -> std::io::Result<usize> {
+    let cells = exported_cells();
+    let json = JsonValue::Object(vec![
+        ("schema".to_owned(), JsonValue::string("btb-trace-index/1")),
+        (
+            "cells".to_owned(),
+            JsonValue::array(cells.iter().map(|c| {
+                JsonValue::Object(vec![
+                    ("key".to_owned(), JsonValue::string(&c.key)),
+                    ("config".to_owned(), JsonValue::string(&c.config)),
+                    ("workload".to_owned(), JsonValue::string(&c.workload)),
+                    (
+                        "trace".to_owned(),
+                        JsonValue::string(format!("trace-{}.json", c.key)),
+                    ),
+                    (
+                        "cell".to_owned(),
+                        JsonValue::string(format!("cell-{}.json", c.key)),
+                    ),
+                ])
+            })),
+        ),
+    ]);
+    std::fs::write(dir.join("index.json"), json.to_pretty_string())?;
+    Ok(cells.len())
+}
+
+/// Serializes a metrics snapshot with the `btb-store` JSON emitter:
+/// counters, gauges and histograms grouped by kind, in snapshot order.
+#[must_use]
+pub fn metrics_json(snap: &Snapshot) -> JsonValue {
+    use btb_obs::MetricValue;
+    let mut counters = Vec::new();
+    let mut gauges = Vec::new();
+    let mut histograms = Vec::new();
+    for (name, value) in &snap.entries {
+        match value {
+            MetricValue::Counter(c) => {
+                counters.push((
+                    name.clone(),
+                    JsonValue::Integer(i64::try_from(*c).unwrap_or(i64::MAX)),
+                ));
+            }
+            MetricValue::Gauge(g) => {
+                gauges.push((
+                    name.clone(),
+                    JsonValue::Object(vec![
+                        ("last".to_owned(), JsonValue::number(g.last)),
+                        ("mean".to_owned(), JsonValue::number(g.mean())),
+                        ("min".to_owned(), JsonValue::number(g.min)),
+                        ("max".to_owned(), JsonValue::number(g.max)),
+                        (
+                            "samples".to_owned(),
+                            JsonValue::Integer(i64::try_from(g.samples).unwrap_or(i64::MAX)),
+                        ),
+                    ]),
+                ));
+            }
+            MetricValue::Histogram(h) => {
+                let ints = |vals: &[u64]| {
+                    JsonValue::array(
+                        vals.iter()
+                            .map(|&v| JsonValue::Integer(i64::try_from(v).unwrap_or(i64::MAX))),
+                    )
+                };
+                histograms.push((
+                    name.clone(),
+                    JsonValue::Object(vec![
+                        ("bounds".to_owned(), ints(&h.bounds)),
+                        ("counts".to_owned(), ints(&h.counts)),
+                        (
+                            "count".to_owned(),
+                            JsonValue::Integer(i64::try_from(h.count).unwrap_or(i64::MAX)),
+                        ),
+                        (
+                            "sum".to_owned(),
+                            JsonValue::Integer(i64::try_from(h.sum).unwrap_or(i64::MAX)),
+                        ),
+                        (
+                            "min".to_owned(),
+                            JsonValue::Integer(i64::try_from(h.min).unwrap_or(i64::MAX)),
+                        ),
+                        (
+                            "max".to_owned(),
+                            JsonValue::Integer(i64::try_from(h.max).unwrap_or(i64::MAX)),
+                        ),
+                    ]),
+                ));
+            }
+        }
+    }
+    JsonValue::Object(vec![
+        ("counters".to_owned(), JsonValue::Object(counters)),
+        ("gauges".to_owned(), JsonValue::Object(gauges)),
+        ("histograms".to_owned(), JsonValue::Object(histograms)),
+    ])
+}
+
+/// Serializes a [`SimReport`] (optionally with an embedded metrics block)
+/// via the `btb-store` JSON emitter — the `cell-<key>.json` schema.
+#[must_use]
+pub fn report_json(report: &SimReport, metrics: Option<&Snapshot>) -> JsonValue {
+    let s = &report.stats;
+    let int = |v: u64| JsonValue::Integer(i64::try_from(v).unwrap_or(i64::MAX));
+    let mut members = vec![
+        ("schema".to_owned(), JsonValue::string("btb-cell/1")),
+        ("config".to_owned(), JsonValue::string(&report.config_name)),
+        (
+            "workload".to_owned(),
+            JsonValue::string(report.workload.as_ref()),
+        ),
+        (
+            "stats".to_owned(),
+            JsonValue::Object(vec![
+                ("instructions".to_owned(), int(s.instructions)),
+                ("last_commit_cycle".to_owned(), int(s.last_commit_cycle)),
+                ("btb_accesses".to_owned(), int(s.btb_accesses)),
+                ("fetch_pcs".to_owned(), int(s.fetch_pcs)),
+                ("branches".to_owned(), int(s.branches)),
+                ("cond_branches".to_owned(), int(s.cond_branches)),
+                ("taken_branches".to_owned(), int(s.taken_branches)),
+                ("taken_l1_hits".to_owned(), int(s.taken_l1_hits)),
+                ("taken_l2_hits".to_owned(), int(s.taken_l2_hits)),
+                ("cond_mispredicts".to_owned(), int(s.cond_mispredicts)),
+                (
+                    "indirect_mispredicts".to_owned(),
+                    int(s.indirect_mispredicts),
+                ),
+                ("misfetches".to_owned(), int(s.misfetches)),
+                (
+                    "untracked_exec_resteers".to_owned(),
+                    int(s.untracked_exec_resteers),
+                ),
+            ]),
+        ),
+        (
+            "derived".to_owned(),
+            JsonValue::Object(vec![
+                ("ipc".to_owned(), JsonValue::number(s.ipc())),
+                ("mpki".to_owned(), JsonValue::number(s.mpki())),
+                (
+                    "l1_btb_hitrate".to_owned(),
+                    JsonValue::number(s.l1_btb_hitrate()),
+                ),
+                (
+                    "l2_btb_hitrate".to_owned(),
+                    JsonValue::number(s.l2_btb_hitrate()),
+                ),
+                (
+                    "fetch_pcs_per_access".to_owned(),
+                    JsonValue::number(s.fetch_pcs_per_access()),
+                ),
+            ]),
+        ),
+        (
+            "l1_occupancy".to_owned(),
+            JsonValue::number(report.l1_occupancy),
+        ),
+        (
+            "l1_redundancy".to_owned(),
+            JsonValue::number(report.l1_redundancy),
+        ),
+        (
+            "l2_occupancy".to_owned(),
+            JsonValue::number(report.l2_occupancy),
+        ),
+        (
+            "l2_redundancy".to_owned(),
+            JsonValue::number(report.l2_redundancy),
+        ),
+        (
+            "l1i_hit_rate".to_owned(),
+            JsonValue::number(report.l1i_hit_rate),
+        ),
+    ];
+    if let Some(snap) = metrics {
+        members.push(("metrics".to_owned(), metrics_json(snap)));
+    }
+    JsonValue::Object(members)
+}

@@ -99,12 +99,18 @@ pub struct RunCounters {
     pub cells: u64,
     /// Reports computed by running the simulator.
     pub fresh_cells: u64,
+    /// Reports replayed from the in-process single-flight memo.
+    pub memo_hits: u64,
+    /// Reports replayed from the persistent store.
+    pub store_hits: u64,
     /// Trace instructions covered by delivered reports.
     pub instructions: u64,
 }
 
 static CELLS: AtomicU64 = AtomicU64::new(0);
 static FRESH_CELLS: AtomicU64 = AtomicU64::new(0);
+static MEMO_HITS: AtomicU64 = AtomicU64::new(0);
+static STORE_HITS: AtomicU64 = AtomicU64::new(0);
 static INSTRUCTIONS: AtomicU64 = AtomicU64::new(0);
 
 /// Snapshot of the process-wide delivered-work counters.
@@ -113,6 +119,8 @@ pub fn run_counters() -> RunCounters {
     RunCounters {
         cells: CELLS.load(Ordering::Relaxed),
         fresh_cells: FRESH_CELLS.load(Ordering::Relaxed),
+        memo_hits: MEMO_HITS.load(Ordering::Relaxed),
+        store_hits: STORE_HITS.load(Ordering::Relaxed),
         instructions: INSTRUCTIONS.load(Ordering::Relaxed),
     }
 }
@@ -293,6 +301,7 @@ fn run_matrix_impl(
         .iter()
         .map(|p| btb_store::trace_key(p, suite.scale.insts))
         .collect();
+    let obs_opts = crate::obs::options();
     // Cells are farmed out to the work pool and collected in submission
     // order, so the matrix (and everything rendered from it) is identical
     // at any thread count.
@@ -300,19 +309,43 @@ fn run_matrix_impl(
         let key = btb_store::report_key(&trace_keys[w], &configs[c], &pipe);
         CELLS.fetch_add(1, Ordering::Relaxed);
         INSTRUCTIONS.fetch_add(suite.traces[w].records.len() as u64, Ordering::Relaxed);
+        // Metrics snapshot of a freshly simulated, observed cell; `None`
+        // for replays (memo/store hits) and when observability is off.
+        let mut cell_metrics = None;
         let report = match store.and_then(|st| st.get_report(&key)) {
-            Some(cached) => cached,
+            Some(cached) => {
+                STORE_HITS.fetch_add(1, Ordering::Relaxed);
+                cached
+            }
             None => {
                 // Single-flight: the first thread to reach this cell runs
                 // `simulate`; any concurrent thread wanting the same key
                 // blocks on the `OnceLock` and receives the same report.
                 let cell = memo_cell(&key);
+                let mut ran_here = false;
                 let fresh = cell
                     .get_or_init(|| {
+                        ran_here = true;
                         FRESH_CELLS.fetch_add(1, Ordering::Relaxed);
-                        simulate(&suite.traces[w], configs[c].clone(), pipe.clone())
+                        match obs_opts {
+                            Some(opts) => {
+                                let (report, obs) = btb_sim::simulate_observed(
+                                    &suite.traces[w],
+                                    configs[c].clone(),
+                                    pipe.clone(),
+                                    &crate::obs::sim_obs_config(opts),
+                                );
+                                cell_metrics =
+                                    Some(crate::obs::export_fresh_cell(&key, &report, obs));
+                                report
+                            }
+                            None => simulate(&suite.traces[w], configs[c].clone(), pipe.clone()),
+                        }
                     })
                     .clone();
+                if !ran_here {
+                    MEMO_HITS.fetch_add(1, Ordering::Relaxed);
+                }
                 if let Some(st) = store {
                     st.put_report(&key, &fresh);
                 }
@@ -330,12 +363,19 @@ fn run_matrix_impl(
             suite.traces[w].name,
             violations.join("; ")
         );
-        report
+        (report, cell_metrics)
     });
+    // Fold fresh-cell metrics into the run aggregate in *submission*
+    // order (ordered_map already restored it), never completion order,
+    // so the aggregate is byte-deterministic at any thread count.
     let mut out: Vec<Vec<SimReport>> = (0..configs.len()).map(|_| Vec::new()).collect();
     let mut flat = flat.into_iter();
     for (c, _w) in &jobs {
-        out[*c].push(flat.next().expect("one report per job"));
+        let (report, cell_metrics) = flat.next().expect("one report per job");
+        if let Some(metrics) = &cell_metrics {
+            crate::obs::merge_cell_metrics(metrics);
+        }
+        out[*c].push(report);
     }
     out
 }

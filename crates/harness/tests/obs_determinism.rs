@@ -1,0 +1,76 @@
+//! End-to-end determinism of observability artifacts: the `figures`
+//! binary, run at 1 and 2 worker threads into fresh stores and fresh
+//! trace directories, must emit byte-identical stdout and byte-identical
+//! trace/metrics/index files — worker scheduling must be unobservable in
+//! every deterministic output. Every exported file must also parse with
+//! the `btb-store` JSON parser (the validation CI applies).
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::process::Command;
+
+fn run_traced_figures(threads: usize, dir: &Path) -> (String, BTreeMap<String, Vec<u8>>) {
+    let trace_dir = dir.join("traces");
+    let store_dir = dir.join("store");
+    let out = Command::new(env!("CARGO_BIN_EXE_figures"))
+        // fig4 exercises the full path: suite + baseline + a sweep matrix.
+        .arg("fig4")
+        .args(["--no-preflight", "--threads", &threads.to_string()])
+        .arg("--store")
+        .arg(&store_dir)
+        .arg("--trace-out")
+        .arg(&trace_dir)
+        .env("BTB_INSTS", "20000")
+        .env("BTB_WARMUP", "5000")
+        .env("BTB_WORKLOADS", "2")
+        .output()
+        .expect("figures binary runs");
+    assert!(
+        out.status.success(),
+        "figures failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let mut files = BTreeMap::new();
+    for entry in std::fs::read_dir(&trace_dir).expect("trace dir exists") {
+        let entry = entry.expect("dir entry");
+        files.insert(
+            entry.file_name().to_string_lossy().into_owned(),
+            std::fs::read(entry.path()).expect("readable file"),
+        );
+    }
+    (String::from_utf8(out.stdout).expect("utf8 stdout"), files)
+}
+
+#[test]
+fn traced_figures_are_byte_identical_across_thread_counts() {
+    let tmp = std::env::temp_dir().join(format!("btb-obs-det-{}", std::process::id()));
+    std::fs::remove_dir_all(&tmp).ok();
+
+    let (out1, files1) = run_traced_figures(1, &tmp.join("t1"));
+    let (out2, files2) = run_traced_figures(2, &tmp.join("t2"));
+
+    assert_eq!(out1, out2, "figure stdout must not depend on thread count");
+    assert!(
+        files1.keys().any(|k| k.starts_with("trace-")),
+        "tracing must emit per-cell trace files, got {:?}",
+        files1.keys().collect::<Vec<_>>()
+    );
+    assert!(files1.contains_key("index.json"));
+    assert_eq!(
+        files1.keys().collect::<Vec<_>>(),
+        files2.keys().collect::<Vec<_>>(),
+        "same set of exported files at 1 and 2 threads"
+    );
+    for (name, bytes) in &files1 {
+        assert_eq!(
+            bytes, &files2[name],
+            "{name} differs between 1 and 2 threads"
+        );
+        let text = std::str::from_utf8(bytes).expect("utf8 file");
+        if let Err(e) = btb_store::JsonValue::parse(text) {
+            panic!("{name}: exported file is not valid JSON: {e}");
+        }
+    }
+
+    std::fs::remove_dir_all(&tmp).ok();
+}

@@ -1,0 +1,46 @@
+//! # btb-obs: structured metrics and cycle-domain tracing for the BTB stack
+//!
+//! The paper's figures are aggregate endpoints (MPKI, IPC, penalty-class
+//! cycle counts), but its *arguments* are about time-resolved frontend
+//! behaviour: where FTQ occupancy collapses under FDIP, when the Fig. 3
+//! penalty classes land, how the L1/L2 BTB hit mix shifts between
+//! organizations. This crate is the shared layer that makes those visible
+//! without printf debugging:
+//!
+//! * [`metrics`] — a registry of counters, gauges and fixed-bucket
+//!   histograms addressed by `&'static str` keys interned to dense integer
+//!   handles, so the recording path is an array index, not a hash lookup.
+//!   A [`Snapshot`] is plain data: delta-able, and mergeable with
+//!   commutative semantics so aggregates are identical at any
+//!   `btb-par` thread count (callers still merge in submission order,
+//!   matching `ordered_map`'s output contract).
+//! * [`trace`] — a [`TraceBuffer`] of structured spans / instants /
+//!   counter samples on named tracks. **All timestamps are simulator
+//!   cycles, never wall clock**, which is what keeps trace files
+//!   byte-deterministic across machines and thread counts.
+//! * [`perfetto`] — serializes a [`TraceBuffer`] to Chrome trace-event
+//!   JSON (the format both `chrome://tracing` and <https://ui.perfetto.dev>
+//!   open directly). One event per line, keys in fixed order, integer
+//!   timestamps: byte-for-byte reproducible.
+//! * [`summary`] — a human-readable aligned table of a [`Snapshot`], the
+//!   `--metrics` terminal view.
+//!
+//! The crate has **zero dependencies** (it sits below `btb-sim` in the
+//! workspace DAG); its JSON writer mirrors `btb-store`'s escaping rules
+//! and the round-trip is pinned by a test that re-parses emitted traces
+//! with `btb_store::JsonValue::parse`.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod metrics;
+pub mod perfetto;
+pub mod summary;
+pub mod trace;
+
+pub use metrics::{
+    CounterId, GaugeId, GaugeValue, HistogramId, HistogramValue, MetricValue, Registry, Snapshot,
+};
+pub use perfetto::chrome_trace_json;
+pub use summary::render_summary;
+pub use trace::{TraceBuffer, TraceEvent, TrackId};

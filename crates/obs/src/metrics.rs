@@ -1,0 +1,484 @@
+//! Metrics registry: counters, gauges and fixed-bucket histograms.
+//!
+//! Keys are `&'static str` interned on first registration to a dense
+//! integer handle ([`CounterId`] / [`GaugeId`] / [`HistogramId`]); the
+//! recording path (`add` / `set` / `record`) is then a bounds-checked
+//! array index — no hashing, no allocation. Handles are only meaningful
+//! for the registry that minted them; cross-run identity comes from the
+//! *names*, which is why [`Snapshot`] stores names and [`Snapshot::merge`]
+//! matches on them. Never persist or compare the numeric ids.
+//!
+//! ## Determinism contract
+//!
+//! Merging is *commutative per key* (counter add, histogram bucketwise
+//! add, gauge sample-union), so a fleet of per-cell snapshots folds to the
+//! same values in any order. Key *ordering* in the merged snapshot follows
+//! first-appearance, so callers that need byte-identical output across
+//! `btb-par` thread counts must fold snapshots in **submission order**
+//! (exactly what `ordered_map`'s ordered results give for free).
+
+use std::collections::HashMap;
+
+/// Handle for a registered counter (monotonic `u64` sum).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CounterId(usize);
+
+/// Handle for a registered gauge (sampled `f64` level).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GaugeId(usize);
+
+/// Handle for a registered fixed-bucket histogram of `u64` samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HistogramId(usize);
+
+/// Aggregate of every `f64` sample a gauge has observed.
+///
+/// A gauge is a *level* (FTQ occupancy, hit rate): the interesting
+/// statistics are last/mean/min/max, and merging two gauges unions their
+/// sample sets. `last` is taken from the operand with the later sample in
+/// merge order, making "last" well-defined only under ordered folds; the
+/// other four fields are fully commutative.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GaugeValue {
+    /// Most recently observed sample.
+    pub last: f64,
+    /// Sum of all samples (for [`GaugeValue::mean`]).
+    pub sum: f64,
+    /// Number of samples observed.
+    pub samples: u64,
+    /// Smallest sample observed.
+    pub min: f64,
+    /// Largest sample observed.
+    pub max: f64,
+}
+
+impl GaugeValue {
+    /// Records one sample.
+    pub fn observe(&mut self, v: f64) {
+        if self.samples == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.last = v;
+        self.sum += v;
+        self.samples += 1;
+    }
+
+    /// Mean of all samples, or 0.0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum / self.samples as f64
+        }
+    }
+
+    /// Unions another gauge's samples into this one.
+    pub fn merge(&mut self, other: &GaugeValue) {
+        if other.samples == 0 {
+            return;
+        }
+        if self.samples == 0 {
+            *self = *other;
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+        self.samples += other.samples;
+        self.last = other.last;
+    }
+}
+
+/// A fixed-bucket histogram of `u64` samples.
+///
+/// Bucket `i` counts samples `<= bounds[i]` (and greater than the previous
+/// bound); the final bucket counts everything above the last bound. Bounds
+/// are fixed at registration, which is what makes two histograms of the
+/// same metric mergeable bucketwise — there is no re-bucketing and no
+/// approximation in the merge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramValue {
+    /// Inclusive upper bound of each finite bucket, strictly increasing.
+    pub bounds: Vec<u64>,
+    /// Per-bucket sample counts; `counts.len() == bounds.len() + 1`, the
+    /// last slot being the overflow bucket (`> bounds.last()`).
+    pub counts: Vec<u64>,
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramValue {
+    /// Creates an empty histogram with the given inclusive bucket bounds.
+    ///
+    /// # Panics
+    /// If `bounds` is empty or not strictly increasing.
+    #[must_use]
+    pub fn new(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        HistogramValue {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+        }
+    }
+
+    /// Index of the bucket a sample lands in (`bounds.len()` = overflow).
+    #[must_use]
+    pub fn bucket_index(&self, v: u64) -> usize {
+        // Buckets are few (fixed at registration); partition_point keeps
+        // this O(log n) without a lookup table.
+        self.bounds.partition_point(|&b| b < v)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        let idx = self.bucket_index(v);
+        self.counts[idx] += 1;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Mean sample value, or 0.0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Adds another histogram's buckets into this one.
+    ///
+    /// Returns `false` (leaving `self` untouched) when the bucket bounds
+    /// differ — those are different metrics that happen to share a name,
+    /// and silently re-bucketing would fabricate data.
+    pub fn merge(&mut self, other: &HistogramValue) -> bool {
+        if self.bounds != other.bounds {
+            return false;
+        }
+        if other.count == 0 {
+            return true;
+        }
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        true
+    }
+}
+
+/// One metric's aggregated value inside a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic sum.
+    Counter(u64),
+    /// Sampled level.
+    Gauge(GaugeValue),
+    /// Fixed-bucket distribution.
+    Histogram(HistogramValue),
+}
+
+/// A live metrics registry. Not thread-safe by design: each simulation
+/// cell owns one, and cross-thread aggregation happens on plain-data
+/// [`Snapshot`]s after the cell completes.
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: Vec<(&'static str, MetricValue)>,
+    index: HashMap<&'static str, usize>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn intern(&mut self, key: &'static str, init: impl FnOnce() -> MetricValue) -> usize {
+        if let Some(&i) = self.index.get(key) {
+            return i;
+        }
+        let i = self.entries.len();
+        self.entries.push((key, init()));
+        self.index.insert(key, i);
+        i
+    }
+
+    /// Registers (or re-resolves) a counter.
+    ///
+    /// # Panics
+    /// If `key` is already registered as a different metric kind.
+    pub fn counter(&mut self, key: &'static str) -> CounterId {
+        let i = self.intern(key, || MetricValue::Counter(0));
+        assert!(
+            matches!(self.entries[i].1, MetricValue::Counter(_)),
+            "metric {key:?} already registered with a different kind"
+        );
+        CounterId(i)
+    }
+
+    /// Registers (or re-resolves) a gauge.
+    ///
+    /// # Panics
+    /// If `key` is already registered as a different metric kind.
+    pub fn gauge(&mut self, key: &'static str) -> GaugeId {
+        let i = self.intern(key, || MetricValue::Gauge(GaugeValue::default()));
+        assert!(
+            matches!(self.entries[i].1, MetricValue::Gauge(_)),
+            "metric {key:?} already registered with a different kind"
+        );
+        GaugeId(i)
+    }
+
+    /// Registers (or re-resolves) a histogram with inclusive bucket
+    /// `bounds`.
+    ///
+    /// # Panics
+    /// If `key` is already registered as a different kind or with
+    /// different bounds, or if `bounds` is invalid (see
+    /// [`HistogramValue::new`]).
+    pub fn histogram(&mut self, key: &'static str, bounds: &[u64]) -> HistogramId {
+        let i = self.intern(key, || MetricValue::Histogram(HistogramValue::new(bounds)));
+        match &self.entries[i].1 {
+            MetricValue::Histogram(h) => {
+                assert!(
+                    h.bounds == bounds,
+                    "histogram {key:?} re-registered with different bounds"
+                );
+            }
+            _ => panic!("metric {key:?} already registered with a different kind"),
+        }
+        HistogramId(i)
+    }
+
+    /// Adds `n` to a counter.
+    pub fn add(&mut self, id: CounterId, n: u64) {
+        if let MetricValue::Counter(c) = &mut self.entries[id.0].1 {
+            *c += n;
+        }
+    }
+
+    /// Records a gauge sample.
+    pub fn set(&mut self, id: GaugeId, v: f64) {
+        if let MetricValue::Gauge(g) = &mut self.entries[id.0].1 {
+            g.observe(v);
+        }
+    }
+
+    /// Records a histogram sample.
+    pub fn record(&mut self, id: HistogramId, v: u64) {
+        if let MetricValue::Histogram(h) = &mut self.entries[id.0].1 {
+            h.record(v);
+        }
+    }
+
+    /// Number of registered metrics.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no metric is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Copies the current values out as plain, thread-portable data, in
+    /// registration order.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            entries: self
+                .entries
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Registry`]: plain data, `Send`, cheap to
+/// move across the `btb-par` result channel.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// `(name, value)` pairs in registration / first-appearance order.
+    pub entries: Vec<(String, MetricValue)>,
+}
+
+impl Snapshot {
+    /// Looks a metric up by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// A counter's value, defaulting to 0 when absent or not a counter.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.get(name) {
+            Some(MetricValue::Counter(c)) => *c,
+            _ => 0,
+        }
+    }
+
+    /// True when the snapshot holds no metrics.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Folds `other` into `self`: counters add, histograms add bucketwise,
+    /// gauges union their samples. Keys new to `self` are appended in
+    /// `other`'s order. Per-key values are commutative; key *order* (and a
+    /// gauge's `last`) depend on fold order, so deterministic exports fold
+    /// snapshots in submission order.
+    ///
+    /// Kind or bucket-bounds mismatches keep `self`'s entry unchanged
+    /// (checked in debug builds) rather than fabricating a combined value.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (key, val) in &other.entries {
+            match self.entries.iter_mut().find(|(k, _)| k == key) {
+                None => self.entries.push((key.clone(), val.clone())),
+                Some((_, mine)) => match (mine, val) {
+                    (MetricValue::Counter(a), MetricValue::Counter(b)) => *a += b,
+                    (MetricValue::Gauge(a), MetricValue::Gauge(b)) => a.merge(b),
+                    (MetricValue::Histogram(a), MetricValue::Histogram(b)) => {
+                        let ok = a.merge(b);
+                        debug_assert!(ok, "histogram {key:?} merged with different bounds");
+                    }
+                    _ => debug_assert!(false, "metric {key:?} merged across kinds"),
+                },
+            }
+        }
+    }
+
+    /// Counter-wise difference `self - earlier` (saturating), for "what
+    /// happened during this phase" deltas. Gauges and histograms keep
+    /// `self`'s value: they describe distributions, not monotonic totals,
+    /// and a bucketwise subtraction of a *shared-min/max* histogram would
+    /// report impossible min/max for the interval.
+    #[must_use]
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        let mut out = self.clone();
+        for (key, val) in &mut out.entries {
+            if let (MetricValue::Counter(c), Some(MetricValue::Counter(e))) =
+                (&mut *val, earlier.get(key))
+            {
+                *c = c.saturating_sub(*e);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_roundtrip() {
+        let mut r = Registry::new();
+        let c = r.counter("a");
+        r.add(c, 3);
+        r.add(c, 4);
+        assert_eq!(r.snapshot().counter("a"), 7);
+        // Re-registering the same key returns the same slot.
+        let c2 = r.counter("a");
+        assert_eq!(c, c2);
+    }
+
+    #[test]
+    fn gauge_statistics() {
+        let mut g = GaugeValue::default();
+        for v in [2.0, 8.0, 4.0] {
+            g.observe(v);
+        }
+        assert_eq!(g.last, 4.0);
+        assert_eq!(g.min, 2.0);
+        assert_eq!(g.max, 8.0);
+        assert!((g.mean() - 14.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_is_commutative_per_key() {
+        let mk = |vals: &[u64]| {
+            let mut r = Registry::new();
+            let c = r.counter("n");
+            let h = r.histogram("h", &[10, 20]);
+            for &v in vals {
+                r.add(c, v);
+                r.record(h, v);
+            }
+            r.snapshot()
+        };
+        let (a, b) = (mk(&[1, 15]), mk(&[25, 5]));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.counter("n"), ba.counter("n"));
+        let (Some(MetricValue::Histogram(hab)), Some(MetricValue::Histogram(hba))) =
+            (ab.get("h"), ba.get("h"))
+        else {
+            panic!("histograms survived the merge")
+        };
+        assert_eq!(hab.counts, hba.counts);
+        assert_eq!(hab.sum, hba.sum);
+        assert_eq!((hab.min, hab.max), (hba.min, hba.max));
+    }
+
+    #[test]
+    fn delta_subtracts_counters_only() {
+        let mut r = Registry::new();
+        let c = r.counter("n");
+        let g = r.gauge("g");
+        r.add(c, 5);
+        r.set(g, 1.0);
+        let early = r.snapshot();
+        r.add(c, 7);
+        r.set(g, 3.0);
+        let late = r.snapshot();
+        let d = late.delta(&early);
+        assert_eq!(d.counter("n"), 7);
+        let Some(MetricValue::Gauge(gv)) = d.get("g") else {
+            panic!("gauge kept")
+        };
+        assert_eq!(gv.last, 3.0);
+        assert_eq!(gv.samples, 2);
+    }
+}

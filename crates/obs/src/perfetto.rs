@@ -1,0 +1,202 @@
+//! Chrome trace-event (JSON) export, the format `chrome://tracing` and
+//! <https://ui.perfetto.dev> open directly.
+//!
+//! Output contract:
+//!
+//! * **Timestamps are cycles.** The trace-event `ts`/`dur` fields are
+//!   nominally microseconds; we write raw cycle numbers and record
+//!   `"clock_domain": "cycles"` in `otherData`, so "1 µs" in the UI reads
+//!   as "1 cycle". Wall-clock never appears — that is what makes a trace
+//!   byte-deterministic across machines and thread counts.
+//! * **Deterministic bytes.** Events are emitted in recording order, one
+//!   per line, with a fixed key order and integer-only numbers. The same
+//!   run produces the same file, byte for byte.
+//! * **Explicit truncation.** A buffer that dropped events exports
+//!   `"dropped_events" > 0`; consumers can tell a truncated trace from a
+//!   complete one.
+//!
+//! Each [`TraceBuffer`] track becomes a trace "thread" (`tid` = track
+//! index) named via `"M"` metadata events; the whole buffer is one
+//! process (`pid` 1) named after the run.
+
+use crate::trace::{TraceBuffer, TraceEvent};
+use std::fmt::Write as _;
+
+/// Process id used for the single simulated process.
+const PID: u32 = 1;
+
+/// Escapes `s` into `out` as a JSON string literal.
+///
+/// Mirrors `btb_store::json`'s emitter exactly (`\n`/`\r`/`\t`, other
+/// control chars as `\u00xx`, supplementary-plane chars as UTF-16
+/// surrogate pairs) so every file this module writes re-parses with
+/// `btb_store::JsonValue::parse` — pinned by the round-trip test.
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c if (c as u32) > 0xffff => {
+                let mut units = [0u16; 2];
+                for unit in c.encode_utf16(&mut units) {
+                    let _ = write!(out, "\\u{unit:04x}");
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Serializes `buf` to a Chrome trace-event JSON document.
+///
+/// `process_name` labels the single trace process (shown as the group
+/// header in the UI) — conventionally `"<config> / <workload>"`.
+#[must_use]
+pub fn chrome_trace_json(buf: &TraceBuffer, process_name: &str) -> String {
+    // Generous pre-size: metadata + ~96 bytes per event.
+    let mut out = String::with_capacity(256 + buf.tracks().len() * 80 + buf.len() * 96);
+    out.push_str("{\"traceEvents\":[\n");
+
+    // Metadata first: name the process, then each track as a "thread".
+    let mut first = true;
+    let push_sep = |out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+    };
+
+    push_sep(&mut out, &mut first);
+    out.push_str("{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":");
+    write_escaped(&mut out, process_name);
+    out.push_str("}}");
+
+    for (i, track) in buf.tracks().iter().enumerate() {
+        push_sep(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":{PID},\"tid\":{i},\"name\":\"thread_name\",\"args\":{{\"name\":"
+        );
+        write_escaped(&mut out, track);
+        out.push_str("}}");
+        // Keep UI track order equal to registration order.
+        push_sep(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":{PID},\"tid\":{i},\"name\":\"thread_sort_index\",\"args\":{{\"sort_index\":{i}}}}}"
+        );
+    }
+
+    for ev in buf.events() {
+        push_sep(&mut out, &mut first);
+        match ev {
+            TraceEvent::Span {
+                track,
+                name,
+                start,
+                dur,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"ph\":\"X\",\"pid\":{PID},\"tid\":{},\"name\":",
+                    track.0
+                );
+                write_escaped(&mut out, name);
+                let _ = write!(out, ",\"ts\":{start},\"dur\":{dur}}}");
+            }
+            TraceEvent::Instant { track, name, cycle } => {
+                let _ = write!(
+                    out,
+                    "{{\"ph\":\"i\",\"pid\":{PID},\"tid\":{},\"name\":",
+                    track.0
+                );
+                write_escaped(&mut out, name);
+                let _ = write!(out, ",\"ts\":{cycle},\"s\":\"t\"}}");
+            }
+            TraceEvent::Counter {
+                track,
+                name,
+                cycle,
+                value,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"ph\":\"C\",\"pid\":{PID},\"tid\":{},\"name\":",
+                    track.0
+                );
+                write_escaped(&mut out, name);
+                let _ = write!(out, ",\"ts\":{cycle},\"args\":{{\"value\":{value}}}}}");
+            }
+        }
+    }
+
+    let _ = write!(
+        out,
+        "\n],\"displayTimeUnit\":\"ns\",\"otherData\":{{\"clock_domain\":\"cycles\",\"dropped_events\":{}}}}}\n",
+        buf.dropped()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_expected_shape() {
+        let mut b = TraceBuffer::unbounded();
+        let t = b.track("frontend");
+        b.span(t, "resteer.misfetch", 100, 12);
+        b.counter(t, "ftq.occupancy", 50, 9);
+        b.instant(t, "warmup_end", 60);
+        let json = chrome_trace_json(&b, "cfg / wl");
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":100,\"dur\":12"));
+        assert!(json.contains("\"args\":{\"value\":9}"));
+        assert!(json.contains("\"clock_domain\":\"cycles\""));
+        assert!(json.contains("\"dropped_events\":0"));
+    }
+
+    #[test]
+    fn identical_buffers_serialize_identically() {
+        let build = || {
+            let mut b = TraceBuffer::unbounded();
+            let t = b.track("backend");
+            b.span(t, "rob.stall", 7, 3);
+            b
+        };
+        assert_eq!(
+            chrome_trace_json(&build(), "p"),
+            chrome_trace_json(&build(), "p")
+        );
+    }
+
+    #[test]
+    fn dropped_events_are_surfaced() {
+        let mut b = TraceBuffer::new(1);
+        let t = b.track("x");
+        b.instant(t, "a", 1);
+        b.instant(t, "b", 2);
+        let json = chrome_trace_json(&b, "p");
+        assert!(json.contains("\"dropped_events\":1"));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let mut b = TraceBuffer::unbounded();
+        b.track("tab\there \u{1f600}");
+        let json = chrome_trace_json(&b, "quote\"backslash\\");
+        assert!(json.contains("quote\\\"backslash\\\\"));
+        assert!(json.contains("tab\\there \\ud83d\\ude00"));
+    }
+}

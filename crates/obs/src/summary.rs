@@ -1,0 +1,99 @@
+//! Human-readable rendering of a metrics [`Snapshot`](crate::Snapshot):
+//! the `--metrics` terminal view.
+//!
+//! One metric per line, name column width computed from the snapshot, in
+//! snapshot (registration / submission-merge) order — so the table is as
+//! deterministic as the snapshot it renders. Gauge statistics print with
+//! a fixed precision; this output is for eyes, not for diffing against
+//! the JSON exports.
+
+use crate::metrics::{MetricValue, Snapshot};
+use std::fmt::Write as _;
+
+/// Renders `snap` as an aligned table titled `title`. Returns `""` for an
+/// empty snapshot so callers can print the result unconditionally.
+#[must_use]
+pub fn render_summary(snap: &Snapshot, title: &str) -> String {
+    if snap.is_empty() {
+        return String::new();
+    }
+    let width = snap
+        .entries
+        .iter()
+        .map(|(k, _)| k.len())
+        .max()
+        .unwrap_or(0)
+        .max(6);
+    let mut out = String::new();
+    let _ = writeln!(out, "metrics: {title}");
+    for (key, val) in &snap.entries {
+        match val {
+            MetricValue::Counter(c) => {
+                let _ = writeln!(out, "  {key:<width$}  {c}");
+            }
+            MetricValue::Gauge(g) => {
+                let _ = writeln!(
+                    out,
+                    "  {key:<width$}  last {:.4}  mean {:.4}  min {:.4}  max {:.4}  (n={})",
+                    g.last,
+                    g.mean(),
+                    g.min,
+                    g.max,
+                    g.samples
+                );
+            }
+            MetricValue::Histogram(h) => {
+                let _ = write!(
+                    out,
+                    "  {key:<width$}  n={} sum={} mean={:.2} min={} max={}  [",
+                    h.count,
+                    h.sum,
+                    h.mean(),
+                    h.min,
+                    h.max
+                );
+                for (i, c) in h.counts.iter().enumerate() {
+                    if i > 0 {
+                        out.push(' ');
+                    }
+                    if i < h.bounds.len() {
+                        let _ = write!(out, "<={}:{c}", h.bounds[i]);
+                    } else {
+                        let _ = write!(out, ">{}:{c}", h.bounds[h.bounds.len() - 1]);
+                    }
+                }
+                out.push_str("]\n");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn renders_every_kind() {
+        let mut r = Registry::new();
+        let c = r.counter("sim.instructions");
+        let g = r.gauge("ftq.occupancy");
+        let h = r.histogram("bundle.records", &[4, 8]);
+        r.add(c, 42);
+        r.set(g, 0.5);
+        r.record(h, 3);
+        r.record(h, 9);
+        let s = render_summary(&r.snapshot(), "demo");
+        assert!(s.starts_with("metrics: demo\n"));
+        assert!(s.contains("sim.instructions"));
+        assert!(s.contains("42"));
+        assert!(s.contains("last 0.5000"));
+        assert!(s.contains("[<=4:1 <=8:0 >8:1]"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        assert_eq!(render_summary(&Snapshot::default(), "x"), "");
+    }
+}

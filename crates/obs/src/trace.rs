@@ -1,0 +1,211 @@
+//! Cycle-domain structured trace events.
+//!
+//! A [`TraceBuffer`] collects three event shapes on named tracks:
+//! duration **spans** (`[start, start+dur)`), point **instants**, and
+//! **counter** samples. Every timestamp is a simulator cycle — wall-clock
+//! time never enters the buffer, so a trace of a deterministic run is
+//! itself deterministic, byte for byte, at any `btb-par` thread count.
+//!
+//! Event names are `&'static str` by design: the producers (the sim's
+//! instrumentation hooks) name a fixed vocabulary of spans (penalty
+//! classes, stall kinds), and forcing statics keeps the recording path
+//! allocation-free. Tracks are registered up front and carry owned names
+//! because they may embed run-specific context (config / workload).
+//!
+//! Capacity is bounded: past `max_events`, new events are counted in
+//! [`TraceBuffer::dropped`] instead of pushed, and the exporter surfaces
+//! that count — a truncated trace must never read as a complete one.
+
+/// Handle for a registered track (a horizontal lane in the trace UI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TrackId(pub(crate) u32);
+
+/// One structured trace event. All times are cycles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A duration event covering `[start, start + dur)`.
+    Span {
+        /// Track the span renders on.
+        track: TrackId,
+        /// Span label (fixed vocabulary, e.g. a penalty class).
+        name: &'static str,
+        /// First cycle covered.
+        start: u64,
+        /// Length in cycles (0 renders as an infinitesimal slice).
+        dur: u64,
+    },
+    /// A point-in-time marker.
+    Instant {
+        /// Track the marker renders on.
+        track: TrackId,
+        /// Marker label.
+        name: &'static str,
+        /// Cycle the marker lands on.
+        cycle: u64,
+    },
+    /// A sampled counter value (renders as a step line).
+    Counter {
+        /// Track the series belongs to.
+        track: TrackId,
+        /// Series name.
+        name: &'static str,
+        /// Sample cycle.
+        cycle: u64,
+        /// Sample value. Integer on purpose: floating-point formatting is
+        /// a determinism hazard the trace domain doesn't need.
+        value: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The track this event belongs to.
+    #[must_use]
+    pub fn track(&self) -> TrackId {
+        match self {
+            TraceEvent::Span { track, .. }
+            | TraceEvent::Instant { track, .. }
+            | TraceEvent::Counter { track, .. } => *track,
+        }
+    }
+}
+
+/// An append-only, capacity-bounded buffer of [`TraceEvent`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceBuffer {
+    tracks: Vec<String>,
+    events: Vec<TraceEvent>,
+    max_events: usize,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// Creates a buffer that keeps at most `max_events` events
+    /// (`0` is normalized to 1; use [`TraceBuffer::unbounded`] for tests).
+    #[must_use]
+    pub fn new(max_events: usize) -> Self {
+        TraceBuffer {
+            tracks: Vec::new(),
+            events: Vec::new(),
+            max_events: max_events.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Creates a buffer with no practical event cap.
+    #[must_use]
+    pub fn unbounded() -> Self {
+        TraceBuffer::new(usize::MAX)
+    }
+
+    /// Registers a track and returns its handle. Track order is
+    /// registration order and is preserved by the exporter.
+    pub fn track(&mut self, name: &str) -> TrackId {
+        let id = TrackId(u32::try_from(self.tracks.len()).expect("< 2^32 tracks"));
+        self.tracks.push(name.to_string());
+        id
+    }
+
+    fn push(&mut self, ev: TraceEvent) {
+        if self.events.len() >= self.max_events {
+            self.dropped += 1;
+        } else {
+            self.events.push(ev);
+        }
+    }
+
+    /// Records a span covering `[start, start + dur)`.
+    pub fn span(&mut self, track: TrackId, name: &'static str, start: u64, dur: u64) {
+        self.push(TraceEvent::Span {
+            track,
+            name,
+            start,
+            dur,
+        });
+    }
+
+    /// Records a point-in-time marker.
+    pub fn instant(&mut self, track: TrackId, name: &'static str, cycle: u64) {
+        self.push(TraceEvent::Instant { track, name, cycle });
+    }
+
+    /// Records a counter sample.
+    pub fn counter(&mut self, track: TrackId, name: &'static str, cycle: u64, value: u64) {
+        self.push(TraceEvent::Counter {
+            track,
+            name,
+            cycle,
+            value,
+        });
+    }
+
+    /// Registered track names in registration order.
+    #[must_use]
+    pub fn tracks(&self) -> &[String] {
+        &self.tracks
+    }
+
+    /// Recorded events in recording order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events rejected because the buffer was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl Default for TraceBuffer {
+    fn default() -> Self {
+        TraceBuffer::unbounded()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let mut b = TraceBuffer::unbounded();
+        let t = b.track("frontend");
+        b.span(t, "resteer", 10, 5);
+        b.instant(t, "mark", 12);
+        b.counter(t, "ftq", 13, 7);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.tracks(), &["frontend".to_string()]);
+        assert!(matches!(
+            b.events()[0],
+            TraceEvent::Span {
+                start: 10,
+                dur: 5,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn cap_counts_drops_instead_of_growing() {
+        let mut b = TraceBuffer::new(2);
+        let t = b.track("x");
+        for c in 0..5 {
+            b.instant(t, "e", c);
+        }
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.dropped(), 3);
+    }
+}

@@ -1,0 +1,130 @@
+//! Cross-crate integration tests (dev-dependencies only): deterministic
+//! snapshot merging across `btb-par` worker counts, histogram
+//! bucket-boundary edge cases, and Perfetto export round-tripping through
+//! the `btb-store` JSON parser — the same parser CI uses to validate
+//! exported traces.
+
+use btb_obs::{chrome_trace_json, HistogramValue, Registry, Snapshot, TraceBuffer};
+use btb_store::JsonValue;
+
+/// A deterministic per-job workload: every seed produces a different but
+/// reproducible mix of counter adds, gauge samples and histogram records.
+fn worker_snapshot(seed: u64) -> Snapshot {
+    let mut reg = Registry::new();
+    let c = reg.counter("work.items");
+    let g = reg.gauge("work.level");
+    let h = reg.histogram("work.cost", &[2, 4, 8]);
+    for i in 0..(8 + seed % 5) {
+        reg.add(c, 1 + (seed ^ i) % 3);
+        reg.set(g, ((seed * 31 + i * 7) % 100) as f64);
+        reg.record(h, (seed + i * 3) % 12);
+    }
+    reg.snapshot()
+}
+
+/// The aggregate folded from `ordered_map` results must be identical at
+/// 1, 2 and 4 workers, and equal to the purely sequential ground truth:
+/// merging in submission order makes worker scheduling unobservable.
+#[test]
+fn merge_is_deterministic_across_worker_counts() {
+    let jobs: Vec<u64> = (0..24).collect();
+    let mut expect = Snapshot::default();
+    for &seed in &jobs {
+        expect.merge(&worker_snapshot(seed));
+    }
+
+    for workers in [1usize, 2, 4] {
+        btb_par::set_threads(Some(workers));
+        let snaps = btb_par::ordered_map(&jobs, |_, &seed| worker_snapshot(seed));
+        let mut agg = Snapshot::default();
+        for s in &snaps {
+            agg.merge(s);
+        }
+        assert_eq!(
+            agg, expect,
+            "aggregate at {workers} workers differs from sequential fold"
+        );
+    }
+    btb_par::set_threads(None);
+}
+
+#[test]
+fn histogram_bucket_boundaries_are_inclusive_upper() {
+    let mut h = HistogramValue::new(&[4, 8, 16]);
+    // Exactly two values per bucket, each pair probing its boundary:
+    // `<=4` gets {0, 4}, `<=8` gets {5, 8}, `<=16` gets {9, 16},
+    // overflow gets {17, 1000}.
+    for v in [0, 4, 5, 8, 9, 16, 17, 1000] {
+        h.record(v);
+    }
+    assert_eq!(h.counts, vec![2, 2, 2, 2]);
+    assert_eq!(h.bucket_index(4), 0, "bound value lands in its own bucket");
+    assert_eq!(h.bucket_index(5), 1, "bound + 1 spills to the next bucket");
+    assert_eq!(h.bucket_index(16), 2);
+    assert_eq!(h.bucket_index(17), 3, "past the last bound is overflow");
+    assert_eq!((h.count, h.min, h.max), (8, 0, 1000));
+    assert_eq!(h.sum, 1059);
+
+    // Merging with different bounds is refused and leaves `h` untouched.
+    let other = HistogramValue::new(&[4, 8]);
+    assert!(!h.merge(&other));
+    assert_eq!(h.counts, vec![2, 2, 2, 2]);
+}
+
+#[test]
+fn perfetto_export_round_trips_through_store_parser() {
+    let mut buf = TraceBuffer::new(100);
+    // Track name exercising the escaper: quotes, backslash, newline.
+    let t = buf.track("frontend \"fast\\slow\" path\n");
+    buf.span(t, "resteer.misfetch", 10, 5);
+    buf.instant(t, "warmup.end", 12);
+    buf.counter(t, "ftq.occupancy", 13, 7);
+
+    let json = chrome_trace_json(&buf, "cfg / wl");
+    let parsed = JsonValue::parse(&json).expect("export must parse");
+
+    let events = parsed
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .expect("traceEvents array");
+    // Process-name metadata + (thread_name, thread_sort_index) for the
+    // one track + the three payload events.
+    assert_eq!(events.len(), 6);
+    let phase_count = |ph: &str| {
+        events
+            .iter()
+            .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some(ph))
+            .count()
+    };
+    assert_eq!(phase_count("M"), 3);
+    assert_eq!(phase_count("X"), 1);
+    assert_eq!(phase_count("i"), 1);
+    assert_eq!(phase_count("C"), 1);
+
+    // The escaped track name survives the round trip verbatim.
+    let thread_name = events
+        .iter()
+        .find(|e| e.get("name").and_then(JsonValue::as_str) == Some("thread_name"))
+        .and_then(|e| e.get("args"))
+        .and_then(|a| a.get("name"))
+        .and_then(JsonValue::as_str)
+        .expect("thread_name metadata");
+    assert_eq!(thread_name, "frontend \"fast\\slow\" path\n");
+
+    let span = events
+        .iter()
+        .find(|e| e.get("ph").and_then(JsonValue::as_str) == Some("X"))
+        .expect("span event");
+    assert_eq!(span.get("ts").and_then(JsonValue::as_f64), Some(10.0));
+    assert_eq!(span.get("dur").and_then(JsonValue::as_f64), Some(5.0));
+
+    let other = parsed.get("otherData").expect("otherData");
+    assert_eq!(
+        other.get("clock_domain").and_then(JsonValue::as_str),
+        Some("cycles")
+    );
+    assert_eq!(
+        other.get("dropped_events").and_then(JsonValue::as_f64),
+        Some(0.0)
+    );
+}

@@ -35,11 +35,95 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Process-wide worker-count override; 0 means "not set".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Whether [`ordered_map`] accumulates [`PoolStats`] (off by default: the
+/// stats are wall-clock and must never leak into deterministic outputs,
+/// and the disabled path should not even read the clock).
+static COLLECT_STATS: AtomicBool = AtomicBool::new(false);
+
+static POOL_STATS: Mutex<PoolStats> = Mutex::new(PoolStats::new());
+
+/// Cumulative wall-clock utilization statistics across [`ordered_map`]
+/// calls since the last [`take_pool_stats`].
+///
+/// **Wall-clock domain**: these numbers vary run to run and machine to
+/// machine by design. They are for the `--metrics` stderr report only and
+/// are deliberately excluded from every deterministic artifact (figures
+/// stdout, traces, metrics JSON, bench gating).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// `ordered_map` invocations that ran on the pool (workers > 1).
+    pub pooled_maps: u64,
+    /// `ordered_map` invocations that ran inline (workers <= 1).
+    pub inline_maps: u64,
+    /// Jobs executed (pooled and inline).
+    pub jobs: u64,
+    /// Total time workers spent inside job closures.
+    pub busy: Duration,
+    /// Total time job indices waited in the queue before a worker claimed
+    /// them (0 for inline maps — there is no queue).
+    pub queue_wait: Duration,
+    /// Total caller wall time across invocations.
+    pub wall: Duration,
+    /// Largest worker count used by any pooled invocation.
+    pub max_workers: usize,
+}
+
+impl PoolStats {
+    const fn new() -> Self {
+        PoolStats {
+            pooled_maps: 0,
+            inline_maps: 0,
+            jobs: 0,
+            busy: Duration::ZERO,
+            queue_wait: Duration::ZERO,
+            wall: Duration::ZERO,
+            max_workers: 0,
+        }
+    }
+
+    /// Fraction of available worker-time spent in job closures:
+    /// `busy / (wall * max_workers)`. 0.0 when nothing was pooled.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        let capacity = self.wall.as_secs_f64() * self.max_workers as f64;
+        if capacity <= 0.0 {
+            0.0
+        } else {
+            self.busy.as_secs_f64() / capacity
+        }
+    }
+
+    /// Mean queue wait per job.
+    #[must_use]
+    pub fn mean_queue_wait(&self) -> Duration {
+        if self.jobs == 0 {
+            Duration::ZERO
+        } else {
+            self.queue_wait / u32::try_from(self.jobs.min(u64::from(u32::MAX))).unwrap_or(1)
+        }
+    }
+}
+
+/// Enables or disables [`PoolStats`] accumulation (used by `--metrics`).
+pub fn set_collect_pool_stats(on: bool) {
+    COLLECT_STATS.store(on, Ordering::SeqCst);
+}
+
+/// Returns the accumulated [`PoolStats`] and resets the accumulator.
+#[must_use]
+pub fn take_pool_stats() -> PoolStats {
+    std::mem::replace(
+        &mut POOL_STATS.lock().expect("pool stats lock"),
+        PoolStats::new(),
+    )
+}
 
 /// Installs a process-wide worker-count override (used by `--threads`
 /// CLI flags). `Some(0)` is normalized to `Some(1)`; `None` removes the
@@ -78,11 +162,25 @@ where
     F: Fn(usize, &T) -> R + Sync,
 {
     let workers = threads().min(items.len());
+    let collect = COLLECT_STATS.load(Ordering::Relaxed);
+    let map_start = collect.then(Instant::now);
     if workers <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let out: Vec<R> = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        if let Some(start) = map_start {
+            let wall = start.elapsed();
+            let mut s = POOL_STATS.lock().expect("pool stats lock");
+            s.inline_maps += 1;
+            s.jobs += items.len() as u64;
+            s.busy += wall;
+            s.wall += wall;
+            s.max_workers = s.max_workers.max(1);
+        }
+        return out;
     }
     let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
-    let (job_tx, job_rx) = mpsc::channel::<usize>();
+    // The send timestamp rides along with the index only when stats are
+    // being collected, so the deterministic path never reads the clock.
+    let (job_tx, job_rx) = mpsc::channel::<(usize, Option<Instant>)>();
     let job_rx = Mutex::new(job_rx);
     let (res_tx, res_rx) = mpsc::channel::<(usize, R)>();
     std::thread::scope(|scope| {
@@ -90,19 +188,38 @@ where
             let job_rx = &job_rx;
             let res_tx = res_tx.clone();
             let f = &f;
-            scope.spawn(move || loop {
-                // Hold the receiver lock only to claim an index, never
-                // while computing.
-                let claimed = job_rx.lock().expect("job channel lock").recv();
-                let Ok(i) = claimed else { break };
-                let r = f(i, &items[i]);
-                if res_tx.send((i, r)).is_err() {
-                    break;
+            scope.spawn(move || {
+                let mut busy = Duration::ZERO;
+                let mut waited = Duration::ZERO;
+                loop {
+                    // Hold the receiver lock only to claim an index, never
+                    // while computing.
+                    let claimed = job_rx.lock().expect("job channel lock").recv();
+                    let Ok((i, sent)) = claimed else { break };
+                    let claimed_at = sent.map(|sent| {
+                        let now = Instant::now();
+                        waited += now.saturating_duration_since(sent);
+                        now
+                    });
+                    let r = f(i, &items[i]);
+                    if let Some(at) = claimed_at {
+                        busy += at.elapsed();
+                    }
+                    if res_tx.send((i, r)).is_err() {
+                        break;
+                    }
+                }
+                if collect {
+                    let mut s = POOL_STATS.lock().expect("pool stats lock");
+                    s.busy += busy;
+                    s.queue_wait += waited;
                 }
             });
         }
         for i in 0..items.len() {
-            job_tx.send(i).expect("workers alive while feeding");
+            job_tx
+                .send((i, map_start.map(|_| Instant::now())))
+                .expect("workers alive while feeding");
         }
         // Close both channels from this side: workers drain the remaining
         // indices and exit; the result stream ends when the last worker
@@ -115,6 +232,13 @@ where
         // Scope exit joins the workers here, propagating any job panic
         // before results are unwrapped below.
     });
+    if let Some(start) = map_start {
+        let mut s = POOL_STATS.lock().expect("pool stats lock");
+        s.pooled_maps += 1;
+        s.jobs += items.len() as u64;
+        s.wall += start.elapsed();
+        s.max_workers = s.max_workers.max(workers);
+    }
     out.into_iter()
         .map(|slot| slot.expect("pool delivered every job"))
         .collect()
@@ -186,8 +310,41 @@ mod tests {
 
     #[test]
     fn empty_input_yields_empty_output() {
+        // Guard: stats tests count ordered_map invocations process-wide.
+        let _g = OVERRIDE_GUARD.lock().unwrap();
         let got: Vec<u32> = ordered_map(&[] as &[u32], |_, &x| x);
         assert!(got.is_empty());
+    }
+
+    #[test]
+    fn pool_stats_accumulate_only_when_enabled() {
+        let _g = OVERRIDE_GUARD.lock().unwrap();
+        let _ = take_pool_stats();
+
+        // Disabled (default): nothing accrues.
+        set_threads(Some(2));
+        let _ = ordered_map(&[1u64; 16], |_, &x| x);
+        let off = take_pool_stats();
+        assert_eq!((off.jobs, off.pooled_maps, off.inline_maps), (0, 0, 0));
+
+        set_collect_pool_stats(true);
+        let _ = ordered_map(&[1u64; 64], |_, &x| {
+            std::thread::yield_now();
+            x * 2
+        });
+        set_threads(Some(1));
+        let _ = ordered_map(&[1u64; 8], |_, &x| x);
+        set_threads(None);
+        set_collect_pool_stats(false);
+        let s = take_pool_stats();
+        assert_eq!(s.pooled_maps, 1);
+        assert_eq!(s.inline_maps, 1);
+        assert_eq!(s.jobs, 72);
+        assert_eq!(s.max_workers, 2);
+        assert!(s.wall > Duration::ZERO);
+        assert!(s.utilization() >= 0.0 && s.utilization() <= 1.0 + 1e-9);
+        // take_pool_stats resets.
+        assert_eq!(take_pool_stats().jobs, 0);
     }
 
     #[test]

@@ -162,6 +162,13 @@ pub struct Backend {
     commit_frontier: (u64, usize),
     last_alloc: u64,
     last_commit: u64,
+    /// When set, allocation records intervals where the ROB was the
+    /// binding constraint (observer use only; off on the plain path).
+    observe_stalls: bool,
+    /// Open stall interval, extended while consecutive instructions stall
+    /// into overlapping windows, closed into `finished_stalls` otherwise.
+    pending_stall: Option<(u64, u64)>,
+    finished_stalls: Vec<(u64, u64)>,
 }
 
 impl Backend {
@@ -183,6 +190,41 @@ impl Backend {
             commit_frontier: (0, 0),
             last_alloc: 0,
             last_commit: 0,
+            observe_stalls: false,
+            pending_stall: None,
+            finished_stalls: Vec::new(),
+        }
+    }
+
+    /// Enables ROB-stall interval recording (observed runs only).
+    pub fn set_observe_stalls(&mut self, on: bool) {
+        self.observe_stalls = on;
+    }
+
+    /// Returns the completed ROB-stall intervals recorded since the last
+    /// drain; with `flush_pending` the still-open interval is closed and
+    /// included (end-of-run use).
+    pub fn drain_rob_stalls(&mut self, flush_pending: bool) -> Vec<(u64, u64)> {
+        if flush_pending {
+            if let Some(p) = self.pending_stall.take() {
+                self.finished_stalls.push(p);
+            }
+        }
+        std::mem::take(&mut self.finished_stalls)
+    }
+
+    /// Records that allocation waited on the ROB over `[start, end)`,
+    /// merging intervals that touch or overlap (allocation bounds are
+    /// non-decreasing, so out-of-order intervals cannot occur).
+    fn note_rob_stall(&mut self, start: u64, end: u64) {
+        match &mut self.pending_stall {
+            Some((_, pe)) if start <= *pe => *pe = (*pe).max(end),
+            pending => {
+                if let Some(done) = pending.take() {
+                    self.finished_stalls.push(done);
+                }
+                *pending = Some((start, end));
+            }
         }
     }
 
@@ -241,15 +283,21 @@ impl Backend {
         decoded: u64,
         mem: &mut MemoryHierarchy,
     ) -> BackendTimes {
-        // Allocate: in order, width per cycle, ROB/IQ/LQ/SQ space.
-        let mut lower = (decoded + 1)
-            .max(self.rob.admit_bound())
+        // Allocate: in order, width per cycle, ROB/IQ/LQ/SQ space. The
+        // ROB bound is kept separate so the observer can attribute cycles
+        // where it is the *binding* constraint.
+        let mut other = (decoded + 1)
             .max(self.iq.admit_bound())
             .max(self.last_alloc);
         match rec.op {
-            Op::Load => lower = lower.max(self.lq.admit_bound()),
-            Op::Store => lower = lower.max(self.sq.admit_bound()),
+            Op::Load => other = other.max(self.lq.admit_bound()),
+            Op::Store => other = other.max(self.sq.admit_bound()),
             _ => {}
+        }
+        let rob_bound = self.rob.admit_bound();
+        let lower = other.max(rob_bound);
+        if self.observe_stalls && rob_bound > other {
+            self.note_rob_stall(other, rob_bound);
         }
         let alloc = Self::frontier(&mut self.alloc_frontier, self.width, lower);
         self.last_alloc = alloc;

@@ -24,6 +24,7 @@
 
 mod backend;
 mod config;
+mod obs;
 mod predictors;
 #[cfg(feature = "probe")]
 mod probe;
@@ -39,8 +40,9 @@ pub const SCHEMA_VERSION: u32 = 1;
 
 pub use backend::{Backend, BackendTimes, QueueRing};
 pub use config::{BackendKind, PipelineConfig};
+pub use obs::{ObsConfig, RunObservation};
 pub use predictors::Predictors;
 #[cfg(feature = "probe")]
 pub use probe::{BundleEvent, ProbeLog};
-pub use sim::{simulate, Simulator};
+pub use sim::{simulate, simulate_observed, Simulator};
 pub use stats::{SimReport, SimStats};

@@ -1,0 +1,244 @@
+//! Observability instrumentation for the simulator: metric recording and
+//! cycle-domain trace emission via `btb-obs`.
+//!
+//! An observer is *opt-in per run* ([`Simulator::run_observed`]): the
+//! plain [`Simulator::run`] path carries exactly one `Option`
+//! discriminant test per PC-generation bundle and nothing else — no
+//! event construction, no stats copies, no allocation (pinned by
+//! `tests/zero_alloc.rs`).
+//!
+//! ## Metric domains
+//!
+//! Counters flushed in [`SimObserver::finish`] (`sim.*`, `btb.*_hits`,
+//! `resteer.*`) cover the **measured (post-warm-up) region**, matching
+//! [`SimReport`]. Histograms, sampled gauges, `rob.stall_cycles`,
+//! `ftq.entries_pushed` and every trace event cover the **whole run**
+//! including warm-up — a timeline that starts at the warm-up boundary
+//! would hide exactly the cold-start behaviour (Fig. 3 penalty classes
+//! on a cold BTB) a timeline is for. The `warmup_end` instant on the
+//! `marks` track separates the two regions visually.
+//!
+//! [`Simulator::run`]: crate::Simulator::run
+//! [`Simulator::run_observed`]: crate::Simulator::run_observed
+
+use crate::stats::SimReport;
+use btb_obs::{CounterId, GaugeId, HistogramId, Registry, Snapshot, TraceBuffer, TrackId};
+
+/// Bucket bounds for `bundle.records` (instructions consumed per
+/// PC-generation bundle; the pipeline is 16 wide).
+const BUNDLE_RECORD_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 24, 32];
+
+/// Bucket bounds for `resteer.penalty_cycles` (cycles from a bundle's BTB
+/// access to its resteer resolution).
+const PENALTY_BOUNDS: &[u64] = &[4, 8, 16, 32, 64, 128, 256];
+
+/// Configuration of an observed run.
+#[derive(Debug, Clone)]
+pub struct ObsConfig {
+    /// Collect cycle-domain trace events (spans/instants/counter samples).
+    /// Metrics are always collected on an observed run; tracing is the
+    /// memory-hungry half.
+    pub trace: bool,
+    /// Bundles between FTQ-occupancy / BTB-hit counter samples.
+    pub sample_bundles: u64,
+    /// Trace-event cap; past it events are dropped *and counted* (the
+    /// exporter surfaces `dropped_events`).
+    pub max_trace_events: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            trace: true,
+            sample_bundles: 64,
+            max_trace_events: 4_000_000,
+        }
+    }
+}
+
+/// Everything an observed run produced beyond its [`SimReport`].
+#[derive(Debug)]
+pub struct RunObservation {
+    /// Final metrics snapshot (see module docs for counter domains).
+    pub metrics: Snapshot,
+    /// Cycle-domain trace (empty when [`ObsConfig::trace`] was false).
+    pub trace: TraceBuffer,
+}
+
+/// Fig. 3 penalty classes, used to label resteer spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ResteerClass {
+    /// BTB-missed taken unconditional direct / call / return, repaired at
+    /// decode.
+    Misfetch,
+    /// Wrong direction on a BTB-tracked conditional, repaired at execute.
+    CondMispredict,
+    /// Wrong target on a tracked indirect, repaired at execute.
+    IndirectMispredict,
+    /// BTB-missed taken conditional/indirect, repaired at execute.
+    BtbMissExec,
+}
+
+impl ResteerClass {
+    fn span_name(self) -> &'static str {
+        match self {
+            ResteerClass::Misfetch => "resteer.misfetch",
+            ResteerClass::CondMispredict => "resteer.cond_mispredict",
+            ResteerClass::IndirectMispredict => "resteer.indirect_mispredict",
+            ResteerClass::BtbMissExec => "resteer.btb_miss_exec",
+        }
+    }
+}
+
+/// Live per-run observer. Boxed inside the simulator so the disabled path
+/// pays one pointer-sized `Option` test.
+pub(crate) struct SimObserver {
+    reg: Registry,
+    buf: TraceBuffer,
+    trace_on: bool,
+    sample_every: u64,
+    bundles: u64,
+    // Tracks (registered up front so ids are stable).
+    t_resteer: TrackId,
+    t_ftq: TrackId,
+    t_btb: TrackId,
+    t_backend: TrackId,
+    t_marks: TrackId,
+    // Hot-path metric handles.
+    h_bundle: HistogramId,
+    h_penalty: HistogramId,
+    c_ftq_pushed: CounterId,
+    g_ftq_occ: GaugeId,
+    rob_stall_cycles: u64,
+}
+
+impl SimObserver {
+    pub(crate) fn new(cfg: &ObsConfig) -> Self {
+        let mut reg = Registry::new();
+        let mut buf = TraceBuffer::new(cfg.max_trace_events);
+        let t_resteer = buf.track("frontend resteers");
+        let t_ftq = buf.track("ftq");
+        let t_btb = buf.track("btb hits");
+        let t_backend = buf.track("backend");
+        let t_marks = buf.track("marks");
+        let h_bundle = reg.histogram("bundle.records", BUNDLE_RECORD_BOUNDS);
+        let h_penalty = reg.histogram("resteer.penalty_cycles", PENALTY_BOUNDS);
+        let c_ftq_pushed = reg.counter("ftq.entries_pushed");
+        let g_ftq_occ = reg.gauge("ftq.occupancy");
+        SimObserver {
+            reg,
+            buf,
+            trace_on: cfg.trace,
+            sample_every: cfg.sample_bundles.max(1),
+            bundles: 0,
+            t_resteer,
+            t_ftq,
+            t_btb,
+            t_backend,
+            t_marks,
+            h_bundle,
+            h_penalty,
+            c_ftq_pushed,
+            g_ftq_occ,
+            rob_stall_cycles: 0,
+        }
+    }
+
+    /// Records one completed PC-generation bundle. `cycle` is the bundle's
+    /// BTB-access cycle; `occupancy` is called lazily, only on sample
+    /// cadence, so the ring scan is amortized across `sample_bundles`.
+    // One argument per observed quantity: bundling them into a struct would
+    // just move the field list to the (single) call site.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn bundle_done(
+        &mut self,
+        cycle: u64,
+        records_consumed: u64,
+        ftq_pushed: u64,
+        resteer: Option<(ResteerClass, u64)>,
+        taken_l1_hits: u64,
+        taken_l2_hits: u64,
+        occupancy: impl FnOnce() -> u64,
+    ) {
+        self.bundles += 1;
+        self.reg.record(self.h_bundle, records_consumed);
+        self.reg.add(self.c_ftq_pushed, ftq_pushed);
+        if let Some((class, resolved)) = resteer {
+            let dur = resolved.saturating_sub(cycle);
+            self.reg.record(self.h_penalty, dur);
+            if self.trace_on {
+                self.buf.span(self.t_resteer, class.span_name(), cycle, dur);
+            }
+        }
+        if self.bundles.is_multiple_of(self.sample_every) {
+            let occ = occupancy();
+            self.reg.set(self.g_ftq_occ, occ as f64);
+            if self.trace_on {
+                self.buf.counter(self.t_ftq, "ftq.occupancy", cycle, occ);
+                self.buf
+                    .counter(self.t_btb, "btb.l1_taken_hits", cycle, taken_l1_hits);
+                self.buf
+                    .counter(self.t_btb, "btb.l2_taken_hits", cycle, taken_l2_hits);
+            }
+        }
+    }
+
+    /// Records a completed ROB-allocation stall interval `[start, end)`.
+    pub(crate) fn rob_stall(&mut self, start: u64, end: u64) {
+        let dur = end.saturating_sub(start);
+        self.rob_stall_cycles += dur;
+        if self.trace_on {
+            self.buf.span(self.t_backend, "rob.stall", start, dur);
+        }
+    }
+
+    /// Marks the warm-up boundary on the timeline.
+    pub(crate) fn warmup_end(&mut self, cycle: u64) {
+        if self.trace_on {
+            self.buf.instant(self.t_marks, "warmup.end", cycle);
+        }
+    }
+
+    /// Flushes the report-derived metric catalogue and converts the
+    /// observer into its plain-data result.
+    pub(crate) fn finish(mut self, report: &SimReport) -> RunObservation {
+        let s = &report.stats;
+        let counters: [(&'static str, u64); 14] = [
+            ("sim.instructions", s.instructions),
+            ("sim.cycles", s.last_commit_cycle),
+            ("sim.btb_accesses", s.btb_accesses),
+            ("sim.fetch_pcs", s.fetch_pcs),
+            ("sim.branches", s.branches),
+            ("sim.cond_branches", s.cond_branches),
+            ("sim.taken_branches", s.taken_branches),
+            ("btb.l1_taken_hits", s.taken_l1_hits),
+            ("btb.l2_taken_hits", s.taken_l2_hits),
+            ("resteer.misfetch", s.misfetches),
+            ("resteer.cond_mispredict", s.cond_mispredicts),
+            ("resteer.indirect_mispredict", s.indirect_mispredicts),
+            ("resteer.btb_miss_exec", s.untracked_exec_resteers),
+            ("rob.stall_cycles", self.rob_stall_cycles),
+        ];
+        for (name, v) in counters {
+            let id = self.reg.counter(name);
+            self.reg.add(id, v);
+        }
+        let gauges: [(&'static str, f64); 5] = [
+            ("btb.l1_occupancy", report.l1_occupancy),
+            ("btb.l1_redundancy", report.l1_redundancy),
+            ("btb.l2_occupancy", report.l2_occupancy),
+            ("btb.l2_redundancy", report.l2_redundancy),
+            ("mem.l1i_hit_rate", report.l1i_hit_rate),
+        ];
+        for (name, v) in gauges {
+            let id = self.reg.gauge(name);
+            self.reg.set(id, v);
+        }
+        let dropped = self.reg.counter("trace.dropped_events");
+        self.reg.add(dropped, self.buf.dropped());
+        RunObservation {
+            metrics: self.reg.snapshot(),
+            trace: self.buf,
+        }
+    }
+}

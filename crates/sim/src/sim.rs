@@ -11,6 +11,7 @@
 
 use crate::backend::{Backend, QueueRing};
 use crate::config::PipelineConfig;
+use crate::obs::{ObsConfig, ResteerClass, RunObservation, SimObserver};
 use crate::predictors::Predictors;
 #[cfg(feature = "probe")]
 use crate::probe::{BundleEvent, ProbeLog};
@@ -65,6 +66,14 @@ impl ReleaseRing {
             "release index {idx} outside retained window"
         );
         self.slots[idx % self.slots.len()]
+    }
+
+    /// Entries still occupied at `cycle` (release cycle in the future)
+    /// among the retained window — the FTQ occupancy sample the observer
+    /// reports. O(capacity) scan; only called on observer sample cadence.
+    fn occupancy_at(&self, cycle: u64) -> usize {
+        let live = self.pushed.min(self.slots.len());
+        self.slots[..live].iter().filter(|&&r| r > cycle).count()
     }
 }
 
@@ -155,6 +164,9 @@ pub struct Simulator<'t> {
     /// plain `run` stays allocation-free even with the feature unified on.
     #[cfg(feature = "probe")]
     collect_events: bool,
+    /// Metrics/trace observer, installed only by `run_observed`: the plain
+    /// path pays one discriminant test per bundle and nothing else.
+    obs: Option<Box<SimObserver>>,
 }
 
 impl<'t> Simulator<'t> {
@@ -186,6 +198,7 @@ impl<'t> Simulator<'t> {
             events: Vec::new(),
             #[cfg(feature = "probe")]
             collect_events: false,
+            obs: None,
             btb: btb_core::build_btb(btb),
             config,
         }
@@ -213,12 +226,33 @@ impl<'t> Simulator<'t> {
         (report, log)
     }
 
+    /// Runs the whole trace with metrics and (optionally) cycle-domain
+    /// tracing enabled. Observation is collection-only: the report is
+    /// identical to what [`Simulator::run`] produces. See
+    /// [`crate::obs`] for the metric catalogue and time-domain contract.
+    #[must_use]
+    pub fn run_observed(mut self, cfg: &ObsConfig) -> (SimReport, RunObservation) {
+        self.obs = Some(Box::new(SimObserver::new(cfg)));
+        self.backend.set_observe_stalls(true);
+        let report = self.run_core();
+        let mut obs = self.obs.take().expect("observer installed above");
+        for (s, e) in self.backend.drain_rob_stalls(true) {
+            obs.rob_stall(s, e);
+        }
+        let observation = obs.finish(&report);
+        (report, observation)
+    }
+
     fn run_core(&mut self) -> SimReport {
         let mut i = 0usize;
         let mut warm: Option<SimStats> = None;
         while i < self.records.len() {
             if warm.is_none() && self.stats.instructions >= self.config.warmup_insts {
                 warm = Some(self.stats);
+                let boundary = self.stats.last_commit_cycle;
+                if let Some(obs) = self.obs.as_deref_mut() {
+                    obs.warmup_end(boundary);
+                }
             }
             i = self.bundle(i);
             if self.stats.instructions >= self.next_inspect {
@@ -277,7 +311,6 @@ impl<'t> Simulator<'t> {
     /// the index of the first record of the next bundle.
     #[allow(clippy::too_many_lines)]
     fn bundle(&mut self, mut i: usize) -> usize {
-        #[cfg(feature = "probe")]
         let bundle_start = i;
         let pc = self.records[i].pc;
         self.predictors.begin_plan();
@@ -317,6 +350,10 @@ impl<'t> Simulator<'t> {
         let mut cur_line_ready = 0u64;
         let mut entry_release = predict + 1;
         let mut entries_pushed = 0usize;
+        // Penalty class of this bundle's resteer, for the observer. Plain
+        // stores alongside the existing `resteer` assignments; the
+        // disabled path never reads it.
+        let mut resteer_obs: Option<(ResteerClass, u64)> = None;
         let bytes_ready_offset = self.config.decode_stage - 1; // I$ data at BP+5
 
         loop {
@@ -426,9 +463,11 @@ impl<'t> Simulator<'t> {
                         if rec.taken {
                             // Wrong predicted target (indirect kinds).
                             self.stats.indirect_mispredicts += 1;
+                            resteer_obs = Some((ResteerClass::IndirectMispredict, times.exec_done));
                         } else {
                             // Predicted taken, went not-taken.
                             self.stats.cond_mispredicts += 1;
+                            resteer_obs = Some((ResteerClass::CondMispredict, times.exec_done));
                         }
                         resteer = Some(times.exec_done);
                     }
@@ -438,6 +477,7 @@ impl<'t> Simulator<'t> {
                         if rec.taken {
                             self.count_hit_level(pb.level, true);
                             self.stats.cond_mispredicts += 1;
+                            resteer_obs = Some((ResteerClass::CondMispredict, times.exec_done));
                             resteer = Some(times.exec_done);
                         }
                     }
@@ -451,12 +491,15 @@ impl<'t> Simulator<'t> {
                                 | BranchKind::DirectCall
                                 | BranchKind::Return => {
                                     self.stats.misfetches += 1;
+                                    resteer_obs = Some((ResteerClass::Misfetch, decode_cycle));
                                     resteer = Some(decode_cycle);
                                 }
                                 BranchKind::CondDirect
                                 | BranchKind::IndirectJump
                                 | BranchKind::IndirectCall => {
                                     self.stats.untracked_exec_resteers += 1;
+                                    resteer_obs =
+                                        Some((ResteerClass::BtbMissExec, times.exec_done));
                                     resteer = Some(times.exec_done);
                                 }
                             }
@@ -483,18 +526,61 @@ impl<'t> Simulator<'t> {
             self.ftq_release.push(next_pcgen);
         }
         self.pcgen = next_pcgen.max(predict + 1);
+        if self.obs.is_some() {
+            self.observe_bundle(predict, (i - bundle_start) as u64, base_entry, resteer_obs);
+        }
         #[cfg(feature = "probe")]
         if self.collect_events {
-            self.events.push(BundleEvent {
-                access_pc: pc,
-                bubbles: plan.bubbles,
-                planned_branches: plan.branches.len(),
-                records_consumed: i - bundle_start,
-                used_l2: plan.branches.iter().any(|b| b.level == BtbLevel::L2),
-            });
+            self.record_probe_event(pc, &plan, i - bundle_start);
         }
         self.lines = lines;
         i
+    }
+
+    /// Observer notification for one completed bundle. Outlined so the
+    /// common (unobserved) path in `bundle` is a single branch.
+    #[cold]
+    #[inline(never)]
+    fn observe_bundle(
+        &mut self,
+        predict: u64,
+        records_consumed: u64,
+        base_entry: usize,
+        resteer: Option<(ResteerClass, u64)>,
+    ) {
+        let ftq_pushed = (self.ftq_release.pushed() - base_entry) as u64;
+        let (l1, l2) = (self.stats.taken_l1_hits, self.stats.taken_l2_hits);
+        let ring = &self.ftq_release;
+        let obs = self.obs.as_deref_mut().expect("caller checked");
+        obs.bundle_done(
+            predict,
+            records_consumed,
+            ftq_pushed,
+            resteer,
+            l1,
+            l2,
+            || ring.occupancy_at(predict) as u64,
+        );
+        for (s, e) in self.backend.drain_rob_stalls(false) {
+            obs.rob_stall(s, e);
+        }
+    }
+
+    /// Constructs and pushes one probe event. `#[cold]`/outlined so that
+    /// with `collect_events = false` the hot loop carries only the flag
+    /// test — no event construction, no `used_l2` scan, no allocation
+    /// (pinned by `tests/zero_alloc.rs`).
+    #[cfg(feature = "probe")]
+    #[cold]
+    #[inline(never)]
+    fn record_probe_event(&mut self, access_pc: u64, plan: &FetchPlan, records_consumed: usize) {
+        self.events.push(BundleEvent {
+            access_pc,
+            bubbles: plan.bubbles,
+            planned_branches: plan.branches.len(),
+            records_consumed,
+            used_l2: plan.branches.iter().any(|b| b.level == BtbLevel::L2),
+        });
     }
 
     fn count_hit_level(&mut self, level: BtbLevel, taken: bool) {
@@ -533,6 +619,20 @@ pub fn simulate(trace: &Trace, btb: BtbConfig, pipeline: PipelineConfig) -> SimR
     let mut report = Simulator::new(&trace.records, btb, pipeline).run();
     report.workload = trace.name.clone();
     report
+}
+
+/// Observed variant of [`simulate`]: same report, plus the metrics
+/// snapshot and (when `cfg.trace`) the cycle-domain trace.
+#[must_use]
+pub fn simulate_observed(
+    trace: &Trace,
+    btb: BtbConfig,
+    pipeline: PipelineConfig,
+    cfg: &ObsConfig,
+) -> (SimReport, RunObservation) {
+    let (mut report, obs) = Simulator::new(&trace.records, btb, pipeline).run_observed(cfg);
+    report.workload = trace.name.clone();
+    (report, obs)
 }
 
 #[cfg(test)]
@@ -712,6 +812,45 @@ mod tests {
             ideal.ipc(),
             real.ipc()
         );
+    }
+
+    #[test]
+    fn observed_run_is_collection_only() {
+        let trace = Trace::generate(&WorkloadProfile::tiny(3), 30_000);
+        let pipe = PipelineConfig::paper().with_warmup(5_000);
+        let plain = simulate(&trace, ideal_ibtb16(), pipe.clone());
+        let (report, obs) =
+            simulate_observed(&trace, ideal_ibtb16(), pipe.clone(), &ObsConfig::default());
+        // Observation never changes the simulation.
+        assert_eq!(plain, report);
+        // Report-derived counters match the report exactly.
+        assert_eq!(
+            obs.metrics.counter("sim.instructions"),
+            report.stats.instructions
+        );
+        assert_eq!(
+            obs.metrics.counter("sim.cycles"),
+            report.stats.last_commit_cycle
+        );
+        assert_eq!(
+            obs.metrics.counter("resteer.misfetch"),
+            report.stats.misfetches
+        );
+        assert_eq!(
+            obs.metrics.counter("btb.l1_taken_hits"),
+            report.stats.taken_l1_hits
+        );
+        assert!(!obs.trace.is_empty(), "traced run records events");
+        assert_eq!(obs.trace.dropped(), 0);
+        // Metrics are identical with tracing off; the buffer stays empty.
+        let quiet = ObsConfig {
+            trace: false,
+            ..ObsConfig::default()
+        };
+        let (report2, no_trace) = simulate_observed(&trace, ideal_ibtb16(), pipe, &quiet);
+        assert_eq!(report, report2);
+        assert!(no_trace.trace.is_empty());
+        assert_eq!(no_trace.metrics, obs.metrics);
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! Benchmark-backed allocation contract for the disabled observability
+//! paths (ISSUE 5 satellite): with no observer installed and
+//! `collect_events = false`, the simulator's per-bundle allocation rate
+//! must stay at the small fixed budget the fetch plan itself costs —
+//! i.e. the probe stream and the `btb-obs` hooks add **zero** per-bundle
+//! allocations when disabled.
+//!
+//! Strategy: a counting `#[global_allocator]` tallies every
+//! alloc/realloc call; the same warm loop is simulated at two lengths
+//! and the *marginal* allocations per extra PC-generation bundle are
+//! compared against the budget. Start-up costs (BTB build, predictor
+//! tables, rings) cancel out in the subtraction. Everything runs in one
+//! `#[test]` so no concurrent test pollutes the counter.
+
+use btb_sim::{simulate, simulate_observed, ObsConfig, PipelineConfig};
+use btb_trace::{BranchKind, Trace, TraceRecord};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// `iters` iterations of 32 independent ALU instructions plus a backward
+/// jump: warm, fully BTB-resident steady-state code.
+fn loop_trace(iters: usize) -> Trace {
+    let mut records = Vec::new();
+    for _ in 0..iters {
+        for i in 0..32u64 {
+            records.push(TraceRecord::nop(0x1000 + i * 4));
+        }
+        records.push(TraceRecord::branch(
+            0x1000 + 32 * 4,
+            BranchKind::UncondDirect,
+            true,
+            0x1000,
+        ));
+    }
+    Trace {
+        name: "alloc-probe".into(),
+        records,
+    }
+}
+
+fn alloc_calls_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    let r = f();
+    (ALLOC_CALLS.load(Ordering::Relaxed) - before, r)
+}
+
+fn ibtb16() -> btb_core::BtbConfig {
+    btb_core::BtbConfig::ideal(
+        "I-BTB 16",
+        btb_core::OrgKind::Instruction {
+            width: 16,
+            skip_taken: false,
+        },
+    )
+}
+
+/// Marginal allocation budget per PC-generation bundle on the disabled
+/// path. The fetch plan costs up to two `Vec`s per bundle (segments +
+/// planned branches); everything else in the steady-state frontend is
+/// pre-sized scratch. 4 leaves headroom for allocator-internal calls
+/// without letting an accidental per-bundle event construction
+/// (at least one alloc per bundle, on top of the plan's) slip through.
+const BUDGET_PER_BUNDLE: f64 = 4.0;
+
+#[test]
+fn disabled_observability_adds_no_per_bundle_allocations() {
+    // Warmup 0: every bundle lands in the measured region, so
+    // `btb_accesses` counts exactly the bundles simulated.
+    let pipe = PipelineConfig::paper().with_warmup(0);
+    let short = loop_trace(2_000);
+    let long = loop_trace(8_000);
+
+    let (a_short, r_short) = alloc_calls_during(|| simulate(&short, ibtb16(), pipe.clone()));
+    let (a_long, r_long) = alloc_calls_during(|| simulate(&long, ibtb16(), pipe.clone()));
+
+    let bundles_short = r_short.stats.btb_accesses;
+    let bundles_long = r_long.stats.btb_accesses;
+    assert!(
+        bundles_long > bundles_short + 1_000,
+        "trace lengths must differ materially: {bundles_short} vs {bundles_long}"
+    );
+    let marginal = (a_long - a_short) as f64 / (bundles_long - bundles_short) as f64;
+    assert!(
+        marginal <= BUDGET_PER_BUNDLE,
+        "disabled path allocates {marginal:.2} times per bundle \
+         (budget {BUDGET_PER_BUNDLE}): an event-construction or \
+         observability cost leaked onto the plain path \
+         ({a_short} allocs / {bundles_short} bundles vs \
+         {a_long} allocs / {bundles_long} bundles)"
+    );
+
+    // Allocation behaviour of the plain path is deterministic.
+    let (a_again, _) = alloc_calls_during(|| simulate(&short, ibtb16(), pipe.clone()));
+    assert_eq!(
+        a_short, a_again,
+        "plain-run allocation count must be stable"
+    );
+
+    // Sanity check the instrument itself: an *observed* run must allocate
+    // strictly more (registry, trace buffer, event storage) — if it does
+    // not, the counter is not measuring anything.
+    let (a_observed, _) = alloc_calls_during(|| {
+        simulate_observed(&short, ibtb16(), pipe.clone(), &ObsConfig::default())
+    });
+    assert!(
+        a_observed > a_short,
+        "observed run must allocate more than the plain run \
+         ({a_observed} vs {a_short})"
+    );
+
+    // With the `probe` feature unified into the build (any workspace-wide
+    // test run, since btb-check enables it): the collection path must
+    // also cost extra, and the disabled probe gate is what the marginal
+    // budget above already pinned.
+    #[cfg(feature = "probe")]
+    {
+        let (a_events, _) = alloc_calls_during(|| {
+            btb_sim::Simulator::new(&short.records, ibtb16(), pipe.clone()).run_with_events()
+        });
+        assert!(
+            a_events > a_short,
+            "probe collection must allocate ({a_events} vs {a_short})"
+        );
+    }
+}
