@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the btb-serve daemon, runnable locally and in CI:
+#
+#   cargo build --release -p btb-serve && ci/serve_smoke.sh
+#
+# Boots the daemon on an ephemeral port, drives it COLD with the load
+# generator (--expect-cold asserts zero 5xx, byte-identical repeats, and
+# exactly one simulation per distinct key — so this must run before any
+# other request warms the caches), smokes every endpoint including the
+# 304 conditional-request path, then checks that SIGTERM drains the
+# queue and the process exits 0.
+set -euo pipefail
+
+SERVE=${SERVE:-./target/release/btb-serve}
+LOAD=${LOAD:-./target/release/btb-load}
+STORE=$(mktemp -d)
+LOG=$(mktemp)
+trap 'kill "$PID" 2>/dev/null || true; rm -rf "$STORE" "$LOG"' EXIT
+
+"$SERVE" --addr 127.0.0.1:0 --store "$STORE" > "$LOG" &
+PID=$!
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$LOG" 2>/dev/null && break
+  sleep 0.1
+done
+ADDR=$(sed -n 's/^btb-serve: listening on //p' "$LOG")
+test -n "$ADDR" || { echo "daemon never came up"; cat "$LOG"; exit 1; }
+echo "daemon up at $ADDR (pid $PID)"
+
+echo "== cold load run (exactly-once dedup, byte-identical repeats) =="
+"$LOAD" --addr "$ADDR" --quick --expect-cold --json
+
+echo "== endpoint smoke =="
+curl -fsS "http://$ADDR/healthz"
+curl -fsS "http://$ADDR/metrics" | head -20
+curl -fsS "http://$ADDR/store/stats"
+BODY='{"workload": "web-small", "config": "R-BTB 2BS", "insts": 10000, "warmup": 2000}'
+KEY=$(curl -fsS -X POST -d "$BODY" "http://$ADDR/experiments" \
+  | sed -n 's/.*"key": "\([0-9a-f]*\)".*/\1/p')
+test -n "$KEY" || { echo "no report key in response"; exit 1; }
+curl -fsS "http://$ADDR/reports/$KEY" > /dev/null
+# The report key is the ETag: a conditional repeat must answer 304.
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST -d "$BODY" \
+  -H "If-None-Match: \"$KEY\"" "http://$ADDR/experiments")
+test "$CODE" = "304" || { echo "expected 304, got $CODE"; exit 1; }
+echo "conditional repeat answered 304"
+
+echo "== graceful shutdown =="
+kill -TERM "$PID"
+EXIT=0
+wait "$PID" || EXIT=$?
+test "$EXIT" -eq 0 || { echo "daemon exited $EXIT after SIGTERM"; exit 1; }
+echo "daemon drained and exited 0"

@@ -6,9 +6,16 @@
 //! diffable performance trajectory at the repo root:
 //!
 //! ```text
-//! cargo run --release -p btb-bench --bin bench                  # -> BENCH_PR5.json
-//! cargo run --release -p btb-bench --bin bench -- --compare BENCH_PR3.json
+//! cargo run --release -p btb-bench --bin bench                  # -> BENCH_PR6.json
+//! cargo run --release -p btb-bench --bin bench -- --compare BENCH_PR5.json
 //! ```
+//!
+//! Since PR 6 the run ends with a `serve` phase: an in-process
+//! `btb-serve` daemon takes a deterministic `btb-load` round, and the
+//! resulting req/sec, latency percentiles and cache-hit ratio land in a
+//! separate `serve` member of the JSON (not in the throughput total the
+//! `--compare` gate checks, so serve numbers never mask a simulator
+//! regression — or vice versa).
 //!
 //! `--compare` diffs the fresh run against a previously committed
 //! `BENCH_*.json` and exits non-zero if total throughput regressed by more
@@ -34,7 +41,7 @@ fn exit_usage(problem: &str) -> ! {
          usage: bench [--out PATH] [--no-out] [--compare PATH] [--gate PCT] [--note STRING]\n        \
          [--threads N] [--metrics] [--trace-out DIR]\n\n\
          options:\n  \
-         --out PATH      write the JSON result to PATH (default: BENCH_PR5.json)\n  \
+         --out PATH      write the JSON result to PATH (default: BENCH_PR6.json)\n  \
          --no-out        measure and print, but write no file\n  \
          --compare PATH  diff against a previous BENCH_*.json; exit 1 if total\n                  \
          throughput regressed by more than the gate, exit 2 if the\n                  \
@@ -55,7 +62,7 @@ fn exit_usage(problem: &str) -> ! {
 
 fn parse_cli(args: &[String]) -> Cli {
     let mut cli = Cli {
-        out: Some("BENCH_PR5.json".to_string()),
+        out: Some("BENCH_PR6.json".to_string()),
         compare: None,
         gate_pct: 20.0,
         note: None,
@@ -191,9 +198,13 @@ fn run_all(scale: Scale) -> Vec<Phase> {
     phases.push(p);
 
     for name in experiments::ALL {
-        let (p, _fig) = measure(name, || {
+        let (p, fig) = measure(name, || {
             experiments::run_by_name(name, Some(&suite), Some(&base))
         });
+        if let Err(e) = fig {
+            eprintln!("bench: {e}");
+            std::process::exit(1);
+        }
         eprintln!(
             "# {name} in {:.3}s ({} cells, {} fresh)",
             p.wall_s, p.cells, p.fresh_cells
@@ -203,7 +214,84 @@ fn run_all(scale: Scale) -> Vec<Phase> {
     phases
 }
 
-fn result_json(scale: Scale, phases: &[Phase], note: Option<&str>) -> JsonValue {
+/// The serve phase: boot an in-process daemon, push a deterministic
+/// closed-loop load through it, and report service-level numbers. The
+/// request mix (24 distinct keys, 400 requests) makes the cache-hit
+/// ratio a meaningful measurement, not a rounding artifact.
+fn run_serve_phase() -> JsonValue {
+    let handle = match btb_serve::spawn(&btb_serve::ServerOptions::default()) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("bench: serve phase: cannot spawn server: {e}");
+            std::process::exit(1);
+        }
+    };
+    let report = match btb_serve::run_load(&btb_serve::LoadOptions {
+        addr: handle.addr,
+        requests: 400,
+        concurrency: 8,
+        distinct: 24,
+        seed: 0xbe7c_be7c,
+        insts: 20_000,
+        warmup: 5_000,
+    }) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench: serve phase: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = handle.shutdown() {
+        eprintln!("bench: serve phase: shutdown: {e}");
+        std::process::exit(1);
+    }
+    let violations = report.violations(false);
+    if !violations.is_empty() {
+        eprintln!("bench: serve phase violations: {}", violations.join("; "));
+        std::process::exit(1);
+    }
+    let hit_ratio = if report.completed > 0 {
+        1.0 - report.fresh_delta as f64 / report.completed as f64
+    } else {
+        0.0
+    };
+    eprintln!(
+        "# serve in {:.3}s ({} requests, {:.0} req/s, p50 {} us, p99 {} us, \
+         cache-hit {:.1}%)",
+        report.wall.as_secs_f64(),
+        report.completed,
+        report.rps(),
+        report.p50_us,
+        report.p99_us,
+        hit_ratio * 100.0
+    );
+    JsonValue::Object(vec![
+        (
+            "requests".into(),
+            JsonValue::Integer(report.completed as i64),
+        ),
+        ("concurrency".into(), JsonValue::Integer(8)),
+        (
+            "distinct_keys".into(),
+            JsonValue::Integer(report.distinct_keys as i64),
+        ),
+        (
+            "wall_s".into(),
+            JsonValue::number(report.wall.as_secs_f64()),
+        ),
+        ("req_per_sec".into(), JsonValue::number(report.rps())),
+        ("p50_us".into(), JsonValue::Integer(report.p50_us as i64)),
+        ("p99_us".into(), JsonValue::Integer(report.p99_us as i64)),
+        ("max_us".into(), JsonValue::Integer(report.max_us as i64)),
+        ("cache_hit_ratio".into(), JsonValue::number(hit_ratio)),
+        (
+            "retries_429".into(),
+            JsonValue::Integer(report.retries_429 as i64),
+        ),
+    ])
+}
+
+fn result_json(scale: Scale, phases: &[Phase], serve: JsonValue, note: Option<&str>) -> JsonValue {
     let wall_s: f64 = phases.iter().map(|p| p.wall_s).sum();
     let instructions: u64 = phases.iter().map(|p| p.instructions).sum();
     let cells: u64 = phases.iter().map(|p| p.cells).sum();
@@ -238,6 +326,7 @@ fn result_json(scale: Scale, phases: &[Phase], note: Option<&str>) -> JsonValue 
         "phases".into(),
         JsonValue::array(phases.iter().map(Phase::to_json)),
     ));
+    members.push(("serve".into(), serve));
     members.push((
         "total".into(),
         JsonValue::Object(vec![
@@ -352,7 +441,8 @@ fn main() {
         btb_par::threads()
     );
     let phases = run_all(scale);
-    let doc = result_json(scale, &phases, cli.note.as_deref());
+    let serve = run_serve_phase();
+    let doc = result_json(scale, &phases, serve, cli.note.as_deref());
 
     let total = doc.get("total").expect("total");
     eprintln!(

@@ -17,7 +17,7 @@ USAGE:
     btb-check campaign [--quick] [--seed N] [--store DIR] [--repro-dir DIR]
                        [--threads N] [--metrics] [--trace-out DIR]
     btb-check replay FILE...
-    btb-check validate-json FILE...
+    btb-check validate-json [--strict] FILE...
     btb-check list
 
 COMMANDS:
@@ -27,7 +27,8 @@ COMMANDS:
     replay        Re-run committed reproducer files (exit 1 if any diverges).
     validate-json Parse each FILE with the btb-store JSON parser (exit 1 on the
                   first malformed file) — used by CI to validate exported
-                  traces, metrics and reports.
+                  traces, metrics and reports. With --strict, duplicate
+                  object keys are also rejected.
     list          Print the campaign configuration roster.
 
 OPTIONS:
@@ -154,7 +155,9 @@ fn cmd_replay(files: &[String]) -> ExitCode {
     }
 }
 
-fn cmd_validate_json(files: &[String]) -> ExitCode {
+fn cmd_validate_json(args: &[String]) -> ExitCode {
+    let strict = args.iter().any(|a| a == "--strict");
+    let files: Vec<&String> = args.iter().filter(|a| *a != "--strict").collect();
     if files.is_empty() {
         return usage_error("validate-json needs at least one file");
     }
@@ -166,7 +169,12 @@ fn cmd_validate_json(files: &[String]) -> ExitCode {
                 return ExitCode::from(1);
             }
         };
-        match btb_store::JsonValue::parse(&text) {
+        let parsed = if strict {
+            btb_store::JsonValue::parse_strict(&text)
+        } else {
+            btb_store::JsonValue::parse(&text)
+        };
+        match parsed {
             Ok(_) => println!("{file}: valid JSON ({} bytes)", text.len()),
             Err(e) => {
                 eprintln!("{file}: malformed JSON: {e}");

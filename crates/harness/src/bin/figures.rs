@@ -332,7 +332,15 @@ fn main() {
 
     for w in cli.selected {
         let t = Instant::now();
-        let fig = experiments::run_by_name(w, suite.as_ref(), base.as_deref());
+        // The CLI validated names and prepared suite/base above, so errors
+        // here indicate a harness bug; keep the historical non-zero exit.
+        let fig = match experiments::run_by_name(w, suite.as_ref(), base.as_deref()) {
+            Ok(fig) => fig,
+            Err(e) => {
+                eprintln!("figures: {e}");
+                std::process::exit(1);
+            }
+        };
         println!("{fig}");
         eprintln!("# {w} in {:?}", t.elapsed());
         report_counters(store, w);

@@ -54,32 +54,79 @@ pub fn needs_base(name: &str) -> bool {
     )
 }
 
+/// Why an experiment request could not run. The daemon maps these to
+/// HTTP 400s; the CLIs render them and exit non-zero.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExperimentError {
+    /// `name` is not one of [`ALL`].
+    Unknown(String),
+    /// The experiment needs the workload suite but none was supplied.
+    MissingSuite(&'static str),
+    /// The experiment needs the shared baseline reports but none were
+    /// supplied.
+    MissingBase(&'static str),
+}
+
+impl std::fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExperimentError::Unknown(name) => {
+                write!(f, "unknown experiment: {name} (expected one of: ")?;
+                for (i, e) in ALL.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    f.write_str(e)?;
+                }
+                f.write_str(")")
+            }
+            ExperimentError::MissingSuite(name) => {
+                write!(f, "experiment {name} needs the workload suite")
+            }
+            ExperimentError::MissingBase(name) => {
+                write!(f, "experiment {name} needs the baseline reports")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
 /// Runs the experiment named `name` (one of [`ALL`]).
 ///
-/// # Panics
-/// Panics if `name` is unknown, or if `suite`/`base` is `None` for an
-/// experiment that [`needs_suite`]/[`needs_base`] it.
-#[must_use]
-pub fn run_by_name(name: &str, suite: Option<&Suite>, base: Option<&[SimReport]>) -> Figure {
-    let suite = || suite.expect("experiment needs the suite");
-    let base = || base.expect("experiment needs baseline reports");
-    match name {
+/// # Errors
+/// Returns a typed [`ExperimentError`] when `name` is unknown or when
+/// `suite`/`base` is `None` for an experiment that
+/// [`needs_suite`]/[`needs_base`] it — callers decide whether that is an
+/// exit code (the CLIs) or an HTTP 400 (the daemon); nothing here prints
+/// or exits.
+pub fn run_by_name(
+    name: &str,
+    suite: Option<&Suite>,
+    base: Option<&[SimReport]>,
+) -> Result<Figure, ExperimentError> {
+    let Some(&name) = ALL.iter().find(|e| **e == name) else {
+        return Err(ExperimentError::Unknown(name.to_owned()));
+    };
+    let suite = || suite.ok_or(ExperimentError::MissingSuite(name));
+    let base = || base.ok_or(ExperimentError::MissingBase(name));
+    Ok(match name {
         "table1" => table1(),
-        "stats" => workload_stats(suite()),
-        "fig4" => fig4(suite(), base()),
-        "fig5" => fig5(suite(), base()),
-        "fig7" => fig7(suite(), base()),
-        "fig8" => fig8(suite(), base()),
-        "fig9" => fig9(suite(), base()),
-        "fig10" => fig10(suite(), base()),
-        "fig11a" => fig11a(suite()),
-        "fig11b" => fig11b(suite()),
-        "ablations" => ablations(suite(), base()),
-        "hetero" => hetero(suite(), base()),
-        "preload" => preload(suite(), base()),
-        "turnaround" => turnaround(suite(), base()),
-        other => panic!("unknown experiment: {other}"),
-    }
+        "stats" => workload_stats(suite()?),
+        "fig4" => fig4(suite()?, base()?),
+        "fig5" => fig5(suite()?, base()?),
+        "fig7" => fig7(suite()?, base()?),
+        "fig8" => fig8(suite()?, base()?),
+        "fig9" => fig9(suite()?, base()?),
+        "fig10" => fig10(suite()?, base()?),
+        "fig11a" => fig11a(suite()?),
+        "fig11b" => fig11b(suite()?),
+        "ablations" => ablations(suite()?, base()?),
+        "hetero" => hetero(suite()?, base()?),
+        "preload" => preload(suite()?, base()?),
+        "turnaround" => turnaround(suite()?, base()?),
+        other => unreachable!("{other} is in ALL but unhandled"),
+    })
 }
 
 /// Runs the idealistic I-BTB 16 baseline over the suite (shared by every
@@ -607,6 +654,27 @@ mod tests {
             assert!(r.cells[0] > 1.0, "{}: fetch PCs {}", r.label, r.cells[0]);
             assert!(r.cells[1] > 0.1, "{}: rel IPC {}", r.label, r.cells[1]);
         }
+    }
+
+    #[test]
+    fn run_by_name_returns_typed_errors() {
+        assert_eq!(
+            run_by_name("fig99", None, None),
+            Err(ExperimentError::Unknown("fig99".to_owned()))
+        );
+        assert_eq!(
+            run_by_name("stats", None, None),
+            Err(ExperimentError::MissingSuite("stats"))
+        );
+        let suite = tiny_suite();
+        assert_eq!(
+            run_by_name("fig4", Some(&suite), None),
+            Err(ExperimentError::MissingBase("fig4"))
+        );
+        // table1 needs nothing; the error text lists the roster.
+        assert!(run_by_name("table1", None, None).is_ok());
+        let msg = ExperimentError::Unknown("x".into()).to_string();
+        assert!(msg.contains("fig4") && msg.contains("turnaround"), "{msg}");
     }
 
     #[test]

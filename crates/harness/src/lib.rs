@@ -23,8 +23,9 @@ mod figure;
 pub mod obs;
 pub mod runner;
 
+pub use experiments::ExperimentError;
 pub use figure::{Figure, Row};
 pub use runner::{
-    ambient_store, install_store, run_config, run_counters, run_matrix, run_matrix_with_store,
-    RunCounters, Scale, Suite,
+    ambient_store, install_store, memo_report, run_cell, run_config, run_counters, run_matrix,
+    run_matrix_with_store, CellOutcome, CellSource, RunCounters, Scale, Suite,
 };

@@ -26,7 +26,7 @@
 
 use btb_core::BtbConfig;
 use btb_sim::{simulate, PipelineConfig, SimReport};
-use btb_store::Store;
+use btb_store::{Digest, Store};
 use btb_trace::{server_suite, Trace, WorkloadProfile};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -70,6 +70,19 @@ fn memo_cell(key: &btb_store::Digest) -> MemoCell {
         .entry(*key)
         .or_default()
         .clone()
+}
+
+/// Looks up a completed report in the in-process single-flight memo
+/// without simulating anything. Used by read-only consumers (the
+/// `btb-serve` `GET /reports/<key>` endpoint) that must never trigger
+/// work; in-flight cells (claimed but not finished) report `None`.
+#[must_use]
+pub fn memo_report(key: &Digest) -> Option<SimReport> {
+    memo_shard(key)
+        .lock()
+        .expect("memo shard lock")
+        .get(key)
+        .and_then(|cell| cell.get().cloned())
 }
 
 /// Test hook: forgets every memoized report so a subsequent `run_matrix`
@@ -284,6 +297,134 @@ pub fn run_matrix_with_store(
     run_matrix_impl(suite, configs, pipeline, Some(store))
 }
 
+/// Where a delivered cell report came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellSource {
+    /// The simulator actually ran for this request.
+    Fresh,
+    /// Replayed from the in-process single-flight memo (includes joining a
+    /// simulation another thread was already running).
+    Memo,
+    /// Replayed from the persistent store.
+    Store,
+}
+
+impl CellSource {
+    /// Lower-case label (`"fresh"` / `"memo"` / `"store"`), used in HTTP
+    /// response headers and metrics.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            CellSource::Fresh => "fresh",
+            CellSource::Memo => "memo",
+            CellSource::Store => "store",
+        }
+    }
+}
+
+/// One delivered (trace, config, pipeline) cell.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// The simulation report (fresh or replayed — byte-identical either
+    /// way).
+    pub report: SimReport,
+    /// Where the report came from.
+    pub source: CellSource,
+    /// Metrics snapshot of a freshly simulated, observed cell; `None` for
+    /// replays and when observability is off.
+    pub(crate) metrics: Option<btb_obs::Snapshot>,
+}
+
+/// Runs (or replays) one simulation cell: the single-flight, store-backed
+/// unit of work that both [`run_matrix`] and the `btb-serve` daemon
+/// execute.
+///
+/// `pipe` must be the *effective* pipeline — warm-up already applied —
+/// exactly as handed to `simulate`; `trace_key` must be
+/// [`btb_store::trace_key`] of the trace's generating profile. Lookup
+/// order is persistent store, then the in-process sharded single-flight
+/// memo: two threads requesting the same key concurrently run `simulate`
+/// exactly once (the loser blocks and receives the identical report, and
+/// is counted as a [`CellSource::Memo`] hit). Every delivered report is
+/// checked against the simulator's conservation laws.
+///
+/// # Panics
+/// Panics if the delivered report violates a simulator invariant.
+#[must_use]
+pub fn run_cell(
+    trace: &Trace,
+    trace_key: &Digest,
+    config: &BtbConfig,
+    pipe: &PipelineConfig,
+    store: Option<&Store>,
+) -> CellOutcome {
+    let key = btb_store::report_key(trace_key, config, pipe);
+    CELLS.fetch_add(1, Ordering::Relaxed);
+    INSTRUCTIONS.fetch_add(trace.records.len() as u64, Ordering::Relaxed);
+    let obs_opts = crate::obs::options();
+    // Metrics snapshot of a freshly simulated, observed cell; `None`
+    // for replays (memo/store hits) and when observability is off.
+    let mut cell_metrics = None;
+    let (report, source) = match store.and_then(|st| st.get_report(&key)) {
+        Some(cached) => {
+            STORE_HITS.fetch_add(1, Ordering::Relaxed);
+            (cached, CellSource::Store)
+        }
+        None => {
+            // Single-flight: the first thread to reach this cell runs
+            // `simulate`; any concurrent thread wanting the same key
+            // blocks on the `OnceLock` and receives the same report.
+            let cell = memo_cell(&key);
+            let mut ran_here = false;
+            let fresh = cell
+                .get_or_init(|| {
+                    ran_here = true;
+                    FRESH_CELLS.fetch_add(1, Ordering::Relaxed);
+                    match obs_opts {
+                        Some(opts) => {
+                            let (report, obs) = btb_sim::simulate_observed(
+                                trace,
+                                config.clone(),
+                                pipe.clone(),
+                                &crate::obs::sim_obs_config(opts),
+                            );
+                            cell_metrics = Some(crate::obs::export_fresh_cell(&key, &report, obs));
+                            report
+                        }
+                        None => simulate(trace, config.clone(), pipe.clone()),
+                    }
+                })
+                .clone();
+            let source = if ran_here {
+                CellSource::Fresh
+            } else {
+                MEMO_HITS.fetch_add(1, Ordering::Relaxed);
+                CellSource::Memo
+            };
+            if let Some(st) = store {
+                st.put_report(&key, &fresh);
+            }
+            (fresh, source)
+        }
+    };
+    // Every report — freshly simulated or pulled from the cache
+    // (which may hold output of an older, buggier binary) — must
+    // satisfy the simulator's conservation laws.
+    let violations = btb_check::check_report(&report, pipe.width as u64);
+    assert!(
+        violations.is_empty(),
+        "simulator invariant violation for {} on {}: {}",
+        config.name,
+        trace.name,
+        violations.join("; ")
+    );
+    CellOutcome {
+        report,
+        source,
+        metrics: cell_metrics,
+    }
+}
+
 fn run_matrix_impl(
     suite: &Suite,
     configs: &[BtbConfig],
@@ -301,69 +442,12 @@ fn run_matrix_impl(
         .iter()
         .map(|p| btb_store::trace_key(p, suite.scale.insts))
         .collect();
-    let obs_opts = crate::obs::options();
     // Cells are farmed out to the work pool and collected in submission
     // order, so the matrix (and everything rendered from it) is identical
     // at any thread count.
     let flat = btb_par::ordered_map(&jobs, |_, &(c, w)| {
-        let key = btb_store::report_key(&trace_keys[w], &configs[c], &pipe);
-        CELLS.fetch_add(1, Ordering::Relaxed);
-        INSTRUCTIONS.fetch_add(suite.traces[w].records.len() as u64, Ordering::Relaxed);
-        // Metrics snapshot of a freshly simulated, observed cell; `None`
-        // for replays (memo/store hits) and when observability is off.
-        let mut cell_metrics = None;
-        let report = match store.and_then(|st| st.get_report(&key)) {
-            Some(cached) => {
-                STORE_HITS.fetch_add(1, Ordering::Relaxed);
-                cached
-            }
-            None => {
-                // Single-flight: the first thread to reach this cell runs
-                // `simulate`; any concurrent thread wanting the same key
-                // blocks on the `OnceLock` and receives the same report.
-                let cell = memo_cell(&key);
-                let mut ran_here = false;
-                let fresh = cell
-                    .get_or_init(|| {
-                        ran_here = true;
-                        FRESH_CELLS.fetch_add(1, Ordering::Relaxed);
-                        match obs_opts {
-                            Some(opts) => {
-                                let (report, obs) = btb_sim::simulate_observed(
-                                    &suite.traces[w],
-                                    configs[c].clone(),
-                                    pipe.clone(),
-                                    &crate::obs::sim_obs_config(opts),
-                                );
-                                cell_metrics =
-                                    Some(crate::obs::export_fresh_cell(&key, &report, obs));
-                                report
-                            }
-                            None => simulate(&suite.traces[w], configs[c].clone(), pipe.clone()),
-                        }
-                    })
-                    .clone();
-                if !ran_here {
-                    MEMO_HITS.fetch_add(1, Ordering::Relaxed);
-                }
-                if let Some(st) = store {
-                    st.put_report(&key, &fresh);
-                }
-                fresh
-            }
-        };
-        // Every report — freshly simulated or pulled from the cache
-        // (which may hold output of an older, buggier binary) — must
-        // satisfy the simulator's conservation laws.
-        let violations = btb_check::check_report(&report, pipe.width as u64);
-        assert!(
-            violations.is_empty(),
-            "simulator invariant violation for {} on {}: {}",
-            configs[c].name,
-            suite.traces[w].name,
-            violations.join("; ")
-        );
-        (report, cell_metrics)
+        let cell = run_cell(&suite.traces[w], &trace_keys[w], &configs[c], &pipe, store);
+        (cell.report, cell.metrics)
     });
     // Fold fresh-cell metrics into the run aggregate in *submission*
     // order (ordered_map already restored it), never completion order,

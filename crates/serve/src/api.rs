@@ -1,0 +1,505 @@
+//! HTTP endpoint routing and the experiment-request schema.
+//!
+//! ## Endpoints
+//!
+//! | Method | Path               | Purpose                                    |
+//! |--------|--------------------|--------------------------------------------|
+//! | POST   | `/experiments`     | Run (or replay) one experiment cell        |
+//! | GET    | `/reports/<key>`   | Fetch a previously computed report         |
+//! | GET    | `/traces/<key>`    | Describe a cached trace                    |
+//! | GET    | `/store/stats`     | Persistent-store objects and counters      |
+//! | GET    | `/metrics`         | Server + harness + store metrics (JSON)    |
+//! | GET    | `/healthz`         | Liveness probe                             |
+//! | POST   | `/admin/shutdown`  | Begin graceful shutdown                    |
+//!
+//! ## Content addressing and ETags
+//!
+//! A report's cache key is a pure function of the request (workload,
+//! config, insts, warmup), so the `ETag` *is* the report key. A `POST
+//! /experiments` whose `If-None-Match` matches the computed key answers
+//! `304` without touching the queue at all — the client already holds
+//! the exact bytes it would receive. Response bodies are pure functions
+//! of the report key: repeats are byte-identical, and the cache source
+//! travels in the `X-Btb-Source` header, never the body.
+
+use crate::http::{Request, Response};
+use crate::metrics::{append_run_counters, append_store_counters};
+use crate::server::{RunJob, ServerState};
+use btb_core::BtbConfig;
+use btb_sim::{PipelineConfig, SimReport};
+use btb_store::{Digest, JsonValue};
+use btb_trace::WorkloadProfile;
+use std::sync::mpsc;
+
+/// Hard bounds on requested trace length: long enough to be meaningful,
+/// short enough that one request cannot monopolize a worker for minutes.
+const MIN_INSTS: usize = 1_000;
+const MAX_INSTS: usize = 20_000_000;
+/// Defaults when the request omits scale fields (quick-campaign sized).
+const DEFAULT_INSTS: usize = 200_000;
+const DEFAULT_WARMUP: u64 = 50_000;
+
+/// Routes one parsed request to its handler.
+pub(crate) fn route(state: &ServerState, req: &Request) -> Response {
+    let path = req.target.split('?').next().unwrap_or(&req.target);
+    match path {
+        "/healthz" => method(req, "GET", |_| Response::text(200, "ok")),
+        "/metrics" => method(req, "GET", |_| metrics(state)),
+        "/store/stats" => method(req, "GET", |_| store_stats(state)),
+        "/experiments" => method(req, "POST", |r| experiments(state, r)),
+        "/admin/shutdown" => method(req, "POST", |_| {
+            state.begin_shutdown();
+            Response::text(200, "shutting down")
+        }),
+        _ if path.starts_with("/reports/") => {
+            method(req, "GET", |r| report(state, r, &path["/reports/".len()..]))
+        }
+        _ if path.starts_with("/traces/") => {
+            method(req, "GET", |r| trace(state, r, &path["/traces/".len()..]))
+        }
+        _ => Response::text(404, &format!("no such endpoint: {path}")),
+    }
+}
+
+/// Dispatches to `f` when the method matches, else 405.
+fn method(req: &Request, want: &str, f: impl FnOnce(&Request) -> Response) -> Response {
+    if req.method == want {
+        f(req)
+    } else {
+        Response::text(405, &format!("{} requires {want}", req.target)).with_header("Allow", want)
+    }
+}
+
+fn etag_of(key: &Digest) -> String {
+    format!("\"{}\"", key.to_hex())
+}
+
+fn if_none_match_hits(req: &Request, etag: &str) -> bool {
+    req.header("if-none-match")
+        .is_some_and(|v| v.split(',').any(|t| t.trim() == etag || t.trim() == "*"))
+}
+
+/// The deterministic response body for a report: byte-identical for every
+/// delivery of the same report key, whatever the cache source.
+fn report_body(key: &Digest, report: &SimReport) -> String {
+    JsonValue::Object(vec![
+        ("schema".to_owned(), JsonValue::string("btb-serve-report/1")),
+        ("key".to_owned(), JsonValue::string(key.to_hex())),
+        (
+            "report".to_owned(),
+            btb_harness::obs::report_json(report, None),
+        ),
+    ])
+    .to_pretty_string()
+}
+
+fn report_response(key: &Digest, report: &SimReport, source: &str) -> Response {
+    Response::json(200, report_body(key, report))
+        .with_header("ETag", &etag_of(key))
+        .with_header("X-Btb-Source", source)
+}
+
+// -- POST /experiments ------------------------------------------------------
+
+/// A validated experiment submission.
+struct ExperimentRequest {
+    profile: WorkloadProfile,
+    config: BtbConfig,
+    insts: usize,
+    warmup: u64,
+}
+
+fn parse_experiment(state: &ServerState, body: &[u8]) -> Result<ExperimentRequest, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_owned())?;
+    // Strict parse: duplicate keys in a submission are a client bug, not
+    // something to resolve silently.
+    let json = JsonValue::parse_strict(text).map_err(|e| format!("malformed JSON: {e}"))?;
+    let JsonValue::Object(members) = &json else {
+        return Err("body must be a JSON object".to_owned());
+    };
+    for (k, _) in members {
+        if !matches!(k.as_str(), "workload" | "config" | "insts" | "warmup") {
+            return Err(format!(
+                "unknown field {k:?} (expected workload, config, insts, warmup)"
+            ));
+        }
+    }
+    let workload = json
+        .get("workload")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing required string field \"workload\"")?;
+    let config_name = json
+        .get("config")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing required string field \"config\"")?;
+    let profile = state
+        .profiles
+        .iter()
+        .find(|p| p.name == workload)
+        .cloned()
+        .ok_or_else(|| {
+            let roster: Vec<&str> = state.profiles.iter().map(|p| p.name.as_str()).collect();
+            format!(
+                "unknown workload {workload:?}; suite: {}",
+                roster.join(", ")
+            )
+        })?;
+    let config = state
+        .configs
+        .iter()
+        .find(|c| c.name == config_name)
+        .cloned()
+        .ok_or_else(|| {
+            let roster: Vec<&str> = state.configs.iter().map(|c| c.name.as_str()).collect();
+            format!(
+                "unknown config {config_name:?}; roster: {}",
+                roster.join(", ")
+            )
+        })?;
+    let int_field = |name: &str, default: u64| -> Result<u64, String> {
+        match json.get(name) {
+            None => Ok(default),
+            Some(JsonValue::Integer(v)) if *v >= 0 => Ok(*v as u64),
+            Some(_) => Err(format!("field {name:?} must be a non-negative integer")),
+        }
+    };
+    let insts = usize::try_from(int_field("insts", DEFAULT_INSTS as u64)?).unwrap_or(usize::MAX);
+    if !(MIN_INSTS..=MAX_INSTS).contains(&insts) {
+        return Err(format!(
+            "insts {insts} out of range [{MIN_INSTS}, {MAX_INSTS}]"
+        ));
+    }
+    let warmup = int_field("warmup", DEFAULT_WARMUP.min(insts as u64 / 2))?;
+    if warmup > insts as u64 / 2 {
+        return Err(format!("warmup {warmup} exceeds half of insts ({insts})"));
+    }
+    Ok(ExperimentRequest {
+        profile,
+        config,
+        insts,
+        warmup,
+    })
+}
+
+fn experiments(state: &ServerState, req: &Request) -> Response {
+    let parsed = match parse_experiment(state, &req.body) {
+        Ok(p) => p,
+        Err(msg) => return Response::text(400, &msg),
+    };
+    // Report keys hash the *effective* pipeline (warm-up applied), same
+    // as run_matrix.
+    let pipe = PipelineConfig::paper().with_warmup(parsed.warmup);
+    let tkey = btb_store::trace_key(&parsed.profile, parsed.insts);
+    let rkey = btb_store::report_key(&tkey, &parsed.config, &pipe);
+    let etag = etag_of(&rkey);
+
+    // Content addressing: a matching If-None-Match means the client holds
+    // the exact bytes this request resolves to. No queue, no simulation.
+    if if_none_match_hits(req, &etag) {
+        return Response::empty(304).with_header("ETag", &etag);
+    }
+    // Cheap replays stay out of the queue: the in-process memo first,
+    // then the persistent store.
+    if let Some(report) = btb_harness::memo_report(&rkey) {
+        state.metrics.cell("memo");
+        return report_response(&rkey, &report, "memo");
+    }
+    if let Some(report) = state.store().and_then(|st| st.get_report(&rkey)) {
+        state.metrics.cell("store");
+        return report_response(&rkey, &report, "store");
+    }
+
+    // Real work goes through the bounded queue; a full queue is explicit
+    // backpressure, not an unbounded pile-up.
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let job = RunJob {
+        profile: parsed.profile,
+        insts: parsed.insts,
+        config: parsed.config,
+        pipe,
+        reply: reply_tx,
+    };
+    match state.try_enqueue(job) {
+        Ok(()) => {}
+        Err(mpsc::TrySendError::Full(_)) => {
+            state.metrics.job_rejected();
+            return Response::text(429, "experiment queue full, retry shortly")
+                .with_header("Retry-After", "1");
+        }
+        Err(mpsc::TrySendError::Disconnected(_)) => {
+            return Response::text(503, "server is shutting down");
+        }
+    }
+    match reply_rx.recv() {
+        Ok(Ok(outcome)) => {
+            state.metrics.cell(outcome.source.label());
+            report_response(&rkey, &outcome.report, outcome.source.label())
+        }
+        Ok(Err(msg)) => Response::text(500, &format!("simulation failed: {msg}")),
+        Err(_) => Response::text(500, "worker exited before replying"),
+    }
+}
+
+// -- GET /reports/<key> -----------------------------------------------------
+
+fn parse_key(hex: &str) -> Result<Digest, Response> {
+    Digest::from_hex(hex)
+        .ok_or_else(|| Response::text(400, &format!("bad key {hex:?}: want 64 hex chars")))
+}
+
+fn report(state: &ServerState, req: &Request, hex: &str) -> Response {
+    let key = match parse_key(hex) {
+        Ok(k) => k,
+        Err(resp) => return resp,
+    };
+    let (report, source) = match btb_harness::memo_report(&key) {
+        Some(r) => (r, "memo"),
+        None => match state.store().and_then(|st| st.get_report(&key)) {
+            Some(r) => (r, "store"),
+            None => return Response::text(404, "report not computed (POST /experiments first)"),
+        },
+    };
+    let etag = etag_of(&key);
+    if if_none_match_hits(req, &etag) {
+        return Response::empty(304).with_header("ETag", &etag);
+    }
+    state.metrics.cell(source);
+    report_response(&key, &report, source)
+}
+
+// -- GET /traces/<key> ------------------------------------------------------
+
+fn trace(state: &ServerState, req: &Request, hex: &str) -> Response {
+    let key = match parse_key(hex) {
+        Ok(k) => k,
+        Err(resp) => return resp,
+    };
+    let summary = state.trace_summary(&key);
+    let Some((name, records)) = summary else {
+        return Response::text(404, "trace not cached");
+    };
+    let etag = etag_of(&key);
+    if if_none_match_hits(req, &etag) {
+        return Response::empty(304).with_header("ETag", &etag);
+    }
+    let body = JsonValue::Object(vec![
+        ("schema".to_owned(), JsonValue::string("btb-serve-trace/1")),
+        ("key".to_owned(), JsonValue::string(key.to_hex())),
+        ("name".to_owned(), JsonValue::string(name)),
+        (
+            "records".to_owned(),
+            JsonValue::Integer(i64::try_from(records).unwrap_or(i64::MAX)),
+        ),
+    ])
+    .to_pretty_string();
+    Response::json(200, body).with_header("ETag", &etag)
+}
+
+// -- GET /store/stats -------------------------------------------------------
+
+fn store_stats(state: &ServerState) -> Response {
+    let int = |v: u64| JsonValue::Integer(i64::try_from(v).unwrap_or(i64::MAX));
+    let mut members = vec![
+        (
+            "schema".to_owned(),
+            JsonValue::string("btb-serve-store-stats/1"),
+        ),
+        (
+            "configured".to_owned(),
+            JsonValue::Bool(state.store().is_some()),
+        ),
+    ];
+    if let Some(st) = state.store() {
+        match st.stats() {
+            Ok(stats) => {
+                members.push((
+                    "objects".to_owned(),
+                    JsonValue::Object(vec![
+                        ("trace_objects".to_owned(), int(stats.trace_objects)),
+                        ("trace_bytes".to_owned(), int(stats.trace_bytes)),
+                        ("report_objects".to_owned(), int(stats.report_objects)),
+                        ("report_bytes".to_owned(), int(stats.report_bytes)),
+                        (
+                            "unreadable_objects".to_owned(),
+                            int(stats.unreadable_objects),
+                        ),
+                    ]),
+                ));
+            }
+            Err(e) => return Response::text(500, &format!("store walk failed: {e}")),
+        }
+        let c = st.peek_counters();
+        members.push((
+            "counters".to_owned(),
+            JsonValue::Object(vec![
+                ("trace_hits".to_owned(), int(c.trace_hits)),
+                ("trace_misses".to_owned(), int(c.trace_misses)),
+                ("report_hits".to_owned(), int(c.report_hits)),
+                ("report_misses".to_owned(), int(c.report_misses)),
+            ]),
+        ));
+    }
+    Response::json(200, JsonValue::Object(members).to_pretty_string())
+}
+
+// -- GET /metrics -----------------------------------------------------------
+
+fn metrics(state: &ServerState) -> Response {
+    let mut snap = state.metrics.snapshot(state.queue_depth());
+    append_run_counters(&mut snap);
+    append_store_counters(&mut snap, state.store().map(|s| s as &btb_store::Store));
+    let rendered = btb_harness::obs::metrics_json(&snap);
+    let JsonValue::Object(groups) = rendered else {
+        unreachable!("metrics_json renders an object");
+    };
+    let mut members = vec![(
+        "schema".to_owned(),
+        JsonValue::string("btb-serve-metrics/1"),
+    )];
+    members.extend(groups);
+    Response::json(200, JsonValue::Object(members).to_pretty_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::Job;
+    use std::sync::mpsc::{sync_channel, Receiver};
+
+    /// A state wired to a queue of the given capacity, receiver returned
+    /// so tests control (and can fill) the channel. No store, 1 worker.
+    fn test_state(capacity: usize) -> (ServerState, Receiver<Job>) {
+        let (tx, rx) = sync_channel(capacity);
+        (ServerState::new(tx, None, 1), rx)
+    }
+
+    fn request(method: &str, target: &str, body: &str) -> Request {
+        Request {
+            method: method.to_owned(),
+            target: target.to_owned(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    const VALID_BODY: &str =
+        r#"{"workload": "web-small", "config": "R-BTB 2BS", "insts": 10000, "warmup": 2000}"#;
+
+    /// The report key the API computes for [`VALID_BODY`], derived the
+    /// same way the handler does.
+    fn valid_body_etag(state: &ServerState) -> String {
+        let profile = state
+            .profiles
+            .iter()
+            .find(|p| p.name == "web-small")
+            .expect("web-small in suite");
+        let config = state
+            .configs
+            .iter()
+            .find(|c| c.name == "R-BTB 2BS")
+            .expect("R-BTB 2BS in roster");
+        let pipe = PipelineConfig::paper().with_warmup(2000);
+        let tkey = btb_store::trace_key(profile, 10_000);
+        etag_of(&btb_store::report_key(&tkey, config, &pipe))
+    }
+
+    #[test]
+    fn routing_basics() {
+        let (state, _rx) = test_state(4);
+        assert_eq!(route(&state, &request("GET", "/healthz", "")).status, 200);
+        assert_eq!(route(&state, &request("GET", "/nope", "")).status, 404);
+        let wrong = route(&state, &request("GET", "/experiments", ""));
+        assert_eq!(wrong.status, 405);
+        assert_eq!(wrong.header("Allow"), Some("POST"));
+        assert_eq!(route(&state, &request("GET", "/metrics", "")).status, 200);
+        assert_eq!(
+            route(&state, &request("GET", "/store/stats", "")).status,
+            200
+        );
+    }
+
+    #[test]
+    fn experiments_rejects_bad_submissions() {
+        let (state, _rx) = test_state(4);
+        let post = |body: &str| route(&state, &request("POST", "/experiments", body));
+        let expect_400 = |body: &str, needle: &str| {
+            let resp = post(body);
+            assert_eq!(resp.status, 400, "body {body:?}");
+            let text = String::from_utf8(resp.body).unwrap();
+            assert!(text.contains(needle), "{text:?} should mention {needle:?}");
+        };
+        expect_400("not json", "malformed JSON");
+        // Strict parsing: duplicate keys are a client bug, not a merge.
+        expect_400(
+            r#"{"workload": "web-small", "workload": "web-large", "config": "R-BTB 2BS"}"#,
+            "duplicate",
+        );
+        expect_400(
+            r#"{"workload": "web-small", "config": "R-BTB 2BS", "x": 1}"#,
+            "unknown field",
+        );
+        expect_400(r#"{"workload": "nope", "config": "R-BTB 2BS"}"#, "suite:");
+        expect_400(r#"{"workload": "web-small", "config": "nope"}"#, "roster:");
+        expect_400(
+            r#"{"workload": "web-small", "config": "R-BTB 2BS", "insts": 10}"#,
+            "out of range",
+        );
+        expect_400(
+            r#"{"workload": "web-small", "config": "R-BTB 2BS", "insts": 10000, "warmup": 9000}"#,
+            "exceeds half",
+        );
+    }
+
+    #[test]
+    fn full_queue_answers_429_with_retry_after() {
+        let (state, _rx) = test_state(1);
+        // Occupy the only queue slot so the next submission hits
+        // backpressure deterministically.
+        state.try_enqueue_stop_for_test();
+        let resp = route(&state, &request("POST", "/experiments", VALID_BODY));
+        assert_eq!(resp.status, 429);
+        assert_eq!(resp.header("Retry-After"), Some("1"));
+    }
+
+    #[test]
+    fn matching_if_none_match_short_circuits_before_the_queue() {
+        let (state, _rx) = test_state(1);
+        state.try_enqueue_stop_for_test(); // queue full: real work would 429
+        let etag = valid_body_etag(&state);
+        for tag in [etag.as_str(), "*"] {
+            let mut req = request("POST", "/experiments", VALID_BODY);
+            req.headers
+                .push(("if-none-match".to_owned(), tag.to_owned()));
+            let resp = route(&state, &req);
+            // 304 despite the full queue proves the match did zero work.
+            assert_eq!(resp.status, 304, "If-None-Match: {tag}");
+            assert_eq!(resp.header("ETag"), Some(etag.as_str()));
+        }
+    }
+
+    #[test]
+    fn shut_down_queue_answers_503() {
+        let (state, rx) = test_state(1);
+        drop(rx);
+        let resp = route(&state, &request("POST", "/experiments", VALID_BODY));
+        assert_eq!(resp.status, 503);
+    }
+
+    #[test]
+    fn report_and_trace_key_validation() {
+        let (state, _rx) = test_state(4);
+        assert_eq!(
+            route(&state, &request("GET", "/reports/zz", "")).status,
+            400
+        );
+        let unknown = "0".repeat(64);
+        assert_eq!(
+            route(&state, &request("GET", &format!("/reports/{unknown}"), "")).status,
+            404
+        );
+        assert_eq!(
+            route(&state, &request("GET", &format!("/traces/{unknown}"), "")).status,
+            404
+        );
+    }
+}

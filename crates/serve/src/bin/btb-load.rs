@@ -1,0 +1,117 @@
+//! Deterministic load generator / correctness probe for `btb-serve`.
+//!
+//! ```text
+//! btb-load --addr HOST:PORT [--requests N] [--concurrency N]
+//!          [--distinct N] [--seed N] [--insts N] [--warmup N]
+//!          [--quick] [--expect-cold] [--json]
+//! ```
+//!
+//! Exit status is 0 only when the run finished *and* held the service
+//! invariants: zero 5xx, byte-identical repeats, no duplicate
+//! simulations — plus, with `--expect-cold`, exactly one simulation per
+//! distinct key.
+
+use btb_serve::load::{report_json, run_load, LoadOptions};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: btb-load --addr HOST:PORT [flags]
+
+  --addr HOST:PORT   daemon address (required)
+  --requests N       total requests (default 1000)
+  --concurrency N    worker connections (default 8)
+  --distinct N       distinct experiment combos / fresh-key budget (default 24)
+  --seed N           request-stream seed (default 0x1deaf00d)
+  --insts N          base trace length per experiment (default 20000)
+  --warmup N         warm-up instructions per experiment (default 5000)
+  --quick            CI preset: 120 requests, 8 workers, 12 combos, 10k insts
+  --expect-cold      daemon started cold: assert exactly one simulation per key
+  --json             emit the btb-load/1 JSON report instead of prose";
+
+struct Cli {
+    opts: LoadOptions,
+    expect_cold: bool,
+    json: bool,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut cli = Cli {
+        opts: LoadOptions::default(),
+        expect_cold: false,
+        json: false,
+    };
+    let mut addr_seen = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
+        let num = |flag: &str, v: String| -> Result<usize, String> {
+            v.parse().map_err(|e| format!("{flag}: {e}"))
+        };
+        match arg.as_str() {
+            "--addr" => {
+                let raw = value("--addr")?;
+                cli.opts.addr = raw.parse().map_err(|e| format!("--addr {raw:?}: {e}"))?;
+                addr_seen = true;
+            }
+            "--requests" => cli.opts.requests = num("--requests", value("--requests")?)?,
+            "--concurrency" => {
+                cli.opts.concurrency = num("--concurrency", value("--concurrency")?)?;
+            }
+            "--distinct" => cli.opts.distinct = num("--distinct", value("--distinct")?)?,
+            "--seed" => {
+                let raw = value("--seed")?;
+                cli.opts.seed = raw.parse().map_err(|e| format!("--seed {raw:?}: {e}"))?;
+            }
+            "--insts" => cli.opts.insts = num("--insts", value("--insts")?)?,
+            "--warmup" => cli.opts.warmup = num("--warmup", value("--warmup")?)? as u64,
+            "--quick" => {
+                cli.opts.requests = 120;
+                cli.opts.concurrency = 8;
+                cli.opts.distinct = 12;
+                cli.opts.insts = 10_000;
+                cli.opts.warmup = 2_000;
+            }
+            "--expect-cold" => cli.expect_cold = true,
+            "--json" => cli.json = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    if !addr_seen {
+        return Err(format!("--addr is required\n{USAGE}"));
+    }
+    Ok(cli)
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args() {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("btb-load: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match run_load(&cli.opts) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("btb-load: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if cli.json {
+        println!("{}", report_json(&report).to_pretty_string());
+    } else {
+        println!("{report}");
+    }
+    let violations = report.violations(cli.expect_cold);
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("btb-load: FAIL: {v}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,71 @@
+//! The BTB experiment daemon.
+//!
+//! ```text
+//! btb-serve [--addr HOST:PORT] [--store DIR] [--queue N] [--threads N]
+//! ```
+//!
+//! Prints `btb-serve: listening on <addr>` once accepting (scripts parse
+//! this to discover an ephemeral port), then serves until `SIGINT`,
+//! `SIGTERM` or `POST /admin/shutdown`, draining gracefully.
+
+use btb_serve::{signal, ServerOptions};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: btb-serve [--addr HOST:PORT] [--store DIR] [--queue N] [--threads N]
+
+  --addr HOST:PORT  bind address (default 127.0.0.1:7070; port 0 = ephemeral)
+  --store DIR       persistent content-addressed store shared with the CLIs
+  --queue N         bounded queue capacity; full queue answers 429 (default 64)
+  --threads N       worker threads (default: btb-par thread policy)";
+
+fn parse_args() -> Result<ServerOptions, String> {
+    let mut options = ServerOptions {
+        addr: "127.0.0.1:7070".to_owned(),
+        ..ServerOptions::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--addr" => options.addr = value("--addr")?,
+            "--store" => options.store = Some(value("--store")?.into()),
+            "--queue" => {
+                options.queue_capacity = value("--queue")?
+                    .parse()
+                    .map_err(|e| format!("--queue: {e}"))?;
+            }
+            "--threads" => {
+                options.workers = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(options)
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("btb-serve: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    signal::install();
+    match btb_serve::run(&options) {
+        Ok(()) => {
+            eprintln!("btb-serve: drained, exiting");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("btb-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! A small keep-alive HTTP client over one `TcpStream`, used by the
+//! load generator, the e2e tests and the bench serve phase.
+
+use crate::http::{self, Response};
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One persistent connection to the daemon.
+pub struct HttpClient {
+    addr: SocketAddr,
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl HttpClient {
+    /// Connects (with a bounded connect/read timeout so a dead daemon
+    /// fails fast instead of hanging a load worker).
+    ///
+    /// # Errors
+    /// Propagates connect failures.
+    pub fn connect(addr: SocketAddr) -> io::Result<HttpClient> {
+        let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let writer = BufWriter::new(stream);
+        Ok(HttpClient {
+            addr,
+            reader,
+            writer,
+        })
+    }
+
+    /// The daemon address this client talks to.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Sends one request and reads its response on the keep-alive
+    /// connection. If the server closed the connection (keep-alive race
+    /// or restart), reconnects once and retries.
+    ///
+    /// # Errors
+    /// Propagates I/O failures after the one reconnect attempt.
+    pub fn request(
+        &mut self,
+        method: &str,
+        target: &str,
+        headers: &[(String, String)],
+        body: &[u8],
+    ) -> io::Result<Response> {
+        match self.request_once(method, target, headers, body) {
+            Ok(resp) => Ok(resp),
+            Err(_) => {
+                *self = HttpClient::connect(self.addr)?;
+                self.request_once(method, target, headers, body)
+            }
+        }
+    }
+
+    fn request_once(
+        &mut self,
+        method: &str,
+        target: &str,
+        headers: &[(String, String)],
+        body: &[u8],
+    ) -> io::Result<Response> {
+        http::write_request(&mut self.writer, method, target, headers, body)?;
+        http::read_response(&mut self.reader)
+    }
+
+    /// `GET` with no extra headers.
+    ///
+    /// # Errors
+    /// See [`HttpClient::request`].
+    pub fn get(&mut self, target: &str) -> io::Result<Response> {
+        self.request("GET", target, &[], &[])
+    }
+
+    /// `POST` with a JSON body.
+    ///
+    /// # Errors
+    /// See [`HttpClient::request`].
+    pub fn post_json(&mut self, target: &str, body: &str) -> io::Result<Response> {
+        self.request(
+            "POST",
+            target,
+            &[("Content-Type".to_owned(), "application/json".to_owned())],
+            body.as_bytes(),
+        )
+    }
+}

@@ -1,0 +1,369 @@
+//! A minimal HTTP/1.1 wire layer, hand-rolled over `std::io` (the build
+//! environment cannot fetch hyper/axum — same no-external-crates
+//! discipline as `btb-par` and `btb-obs`).
+//!
+//! Supports exactly what the service and its load generator need:
+//! request/response lines, headers, `Content-Length` bodies, and
+//! keep-alive. No chunked encoding, no TLS, no HTTP/2. Inputs are
+//! bounded (request line, header count, body size) so a misbehaving
+//! client cannot balloon daemon memory.
+
+use std::io::{self, BufRead, Read, Write};
+
+/// Longest accepted request/status/header line, in bytes.
+pub const MAX_LINE: usize = 8 * 1024;
+/// Most headers accepted per message.
+pub const MAX_HEADERS: usize = 64;
+/// Largest accepted request body, in bytes. Experiment submissions are a
+/// few hundred bytes; a megabyte is already generous.
+pub const MAX_BODY: usize = 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Method verb (`GET`, `POST`, ...), uppercased by the sender.
+    pub method: String,
+    /// Request target as sent (path, no scheme/host).
+    pub target: String,
+    /// Headers in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Message body (empty without `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value for `name` (lower-case), if present.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// An HTTP response being assembled (server side) or parsed (client side).
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Extra headers (`Content-Length` and `Connection` are emitted by
+    /// [`write_response`]; don't add them here).
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// An empty-bodied response.
+    #[must_use]
+    pub fn empty(status: u16) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A `text/plain` response; a trailing newline is appended if absent.
+    #[must_use]
+    pub fn text(status: u16, msg: &str) -> Response {
+        let mut body = msg.as_bytes().to_vec();
+        if !body.ends_with(b"\n") {
+            body.push(b'\n');
+        }
+        Response {
+            status,
+            headers: vec![("Content-Type".to_owned(), "text/plain".to_owned())],
+            body,
+        }
+    }
+
+    /// An `application/json` response from pre-rendered JSON text.
+    #[must_use]
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            headers: vec![("Content-Type".to_owned(), "application/json".to_owned())],
+            body: body.into_bytes(),
+        }
+    }
+
+    /// Builder-style header append.
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.to_owned(), value.to_owned()));
+        self
+    }
+
+    /// First header value for `name` (case-insensitive), if present.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Canonical reason phrase for the status codes this service emits.
+#[must_use]
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        304 => "Not Modified",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Reads one line (up to CRLF or LF), without the terminator. Errors on
+/// EOF mid-line or a line longer than [`MAX_LINE`].
+fn read_line(r: &mut impl BufRead) -> io::Result<Option<String>> {
+    let mut buf = Vec::new();
+    let n = r
+        .by_ref()
+        .take(MAX_LINE as u64 + 1)
+        .read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Ok(None); // clean EOF before any byte
+    }
+    if !buf.ends_with(b"\n") {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "line too long or truncated",
+        ));
+    }
+    while buf.last() == Some(&b'\n') || buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 header line"))
+}
+
+/// Reads lower-cased headers until the blank line, then the
+/// `Content-Length` body (bounded by [`MAX_BODY`]).
+/// Header list as parsed off the wire: names lower-cased, arrival order.
+type Headers = Vec<(String, String)>;
+
+fn read_headers_and_body(r: &mut impl BufRead) -> io::Result<(Headers, Vec<u8>)> {
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(r)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "EOF in headers"))?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "too many headers",
+            ));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "malformed header",
+            ));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+    if headers.iter().any(|(k, _)| k == "transfer-encoding") {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "transfer-encoding not supported",
+        ));
+    }
+    let len = match headers.iter().find(|(k, _)| k == "content-length") {
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad content-length"))?,
+        None => 0,
+    };
+    if len > MAX_BODY {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "body too large"));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok((headers, body))
+}
+
+/// Reads one request from a keep-alive connection. `Ok(None)` is a clean
+/// close (EOF before the request line) — the normal end of a keep-alive
+/// session, not an error.
+///
+/// # Errors
+/// Malformed or over-limit messages, and I/O failures (including read
+/// timeouts, surfaced as `WouldBlock`/`TimedOut`).
+pub fn read_request(r: &mut impl BufRead) -> io::Result<Option<Request>> {
+    let Some(line) = read_line(r)? else {
+        return Ok(None);
+    };
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "malformed request line",
+        ));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "unsupported HTTP version",
+        ));
+    }
+    let (headers, body) = read_headers_and_body(r)?;
+    Ok(Some(Request {
+        method: method.to_owned(),
+        target: target.to_owned(),
+        headers,
+        body,
+    }))
+}
+
+/// Writes `resp` with `Content-Length` and an explicit `Connection`
+/// header. A 304 never carries a body (its `Content-Length` is 0 and the
+/// body field is ignored).
+///
+/// # Errors
+/// Propagates I/O failures.
+pub fn write_response(w: &mut impl Write, resp: &Response, keep_alive: bool) -> io::Result<()> {
+    let body: &[u8] = if resp.status == 304 { &[] } else { &resp.body };
+    write!(w, "HTTP/1.1 {} {}\r\n", resp.status, reason(resp.status))?;
+    for (name, value) in &resp.headers {
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    write!(w, "Content-Length: {}\r\n", body.len())?;
+    write!(
+        w,
+        "Connection: {}\r\n\r\n",
+        if keep_alive { "keep-alive" } else { "close" }
+    )?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Writes a request (client side) with `Content-Length` and keep-alive.
+///
+/// # Errors
+/// Propagates I/O failures.
+pub fn write_request(
+    w: &mut impl Write,
+    method: &str,
+    target: &str,
+    headers: &[(String, String)],
+    body: &[u8],
+) -> io::Result<()> {
+    write!(w, "{method} {target} HTTP/1.1\r\n")?;
+    write!(w, "Host: btb-serve\r\n")?;
+    for (name, value) in headers {
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    write!(w, "Content-Length: {}\r\n\r\n", body.len())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Reads one response (client side).
+///
+/// # Errors
+/// Malformed or over-limit messages, EOF, and I/O failures.
+pub fn read_response(r: &mut impl BufRead) -> io::Result<Response> {
+    let line = read_line(r)?
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "EOF before status line"))?;
+    let mut parts = line.split_whitespace();
+    let status = match (parts.next(), parts.next()) {
+        (Some(v), Some(code)) if v.starts_with("HTTP/1.") => code
+            .parse::<u16>()
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad status code"))?,
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "malformed status line",
+            ))
+        }
+    };
+    let (headers, body) = read_headers_and_body(r)?;
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn request_roundtrip() {
+        let mut wire = Vec::new();
+        write_request(
+            &mut wire,
+            "POST",
+            "/experiments",
+            &[("If-None-Match".to_owned(), "\"abc\"".to_owned())],
+            b"{\"workload\":\"web-small\"}",
+        )
+        .unwrap();
+        let req = read_request(&mut BufReader::new(&wire[..]))
+            .unwrap()
+            .expect("one request");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/experiments");
+        assert_eq!(req.header("if-none-match"), Some("\"abc\""));
+        assert_eq!(req.body, b"{\"workload\":\"web-small\"}");
+    }
+
+    #[test]
+    fn response_roundtrip_and_304_has_no_body() {
+        let mut wire = Vec::new();
+        let resp = Response::json(200, "{\"ok\":true}".to_owned()).with_header("ETag", "\"k\"");
+        write_response(&mut wire, &resp, true).unwrap();
+        let back = read_response(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(back.status, 200);
+        assert_eq!(back.header("etag"), Some("\"k\""));
+        assert_eq!(back.header("connection"), Some("keep-alive"));
+        assert_eq!(back.body, b"{\"ok\":true}");
+
+        let mut wire = Vec::new();
+        let mut not_modified = Response::empty(304).with_header("ETag", "\"k\"");
+        not_modified.body = b"must be suppressed".to_vec();
+        write_response(&mut wire, &not_modified, true).unwrap();
+        let back = read_response(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(back.status, 304);
+        assert!(back.body.is_empty(), "304 must not carry a body");
+    }
+
+    #[test]
+    fn eof_before_request_is_clean_close() {
+        let empty: &[u8] = &[];
+        assert!(read_request(&mut BufReader::new(empty)).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_body_is_rejected() {
+        let wire = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        let err = read_request(&mut BufReader::new(wire.as_bytes())).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn garbage_request_line_is_invalid_data() {
+        let err = read_request(&mut BufReader::new(&b"not http at all\r\n\r\n"[..])).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

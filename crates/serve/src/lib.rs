@@ -1,0 +1,36 @@
+//! BTB experiments as a long-running service.
+//!
+//! `btb-serve` turns the batch harness into a daemon: a zero-dependency
+//! HTTP/1.1 server over [`std::net`] with a bounded job queue (explicit
+//! 429 backpressure), a worker pool executing the harness's
+//! single-flight memoized cells (racing identical submissions simulate
+//! exactly once), content-addressed `ETag`s (the report key *is* the
+//! tag, so `If-None-Match` answers `304` with zero work), and metrics
+//! from the `btb-obs` registry at `/metrics`.
+//!
+//! The crate ships two binaries:
+//!
+//! * `btb-serve` — the daemon, with graceful `SIGINT`/`SIGTERM`
+//!   shutdown (drain the queue, finish in-flight cells, exit 0);
+//! * `btb-load` — a deterministic closed-loop load generator that
+//!   doubles as a correctness probe (byte-identical repeats,
+//!   exactly-once dedup, latency percentiles).
+//!
+//! Module map: [`server`] owns state/queue/workers/accept loop, [`api`]
+//! the endpoints, [`http`] the wire format, [`metrics`] the registry
+//! glue, [`client`]/[`load`] the consumer side, [`signal`] the Unix
+//! signal hook.
+
+#![warn(missing_docs)]
+
+pub(crate) mod api;
+pub mod client;
+pub mod http;
+pub mod load;
+pub mod metrics;
+pub mod server;
+pub mod signal;
+
+pub use client::HttpClient;
+pub use load::{run_load, LoadOptions, LoadReport};
+pub use server::{run, spawn, ServerHandle, ServerOptions, ServerState};

@@ -1,0 +1,512 @@
+//! Deterministic closed-loop load generator for a running `btb-serve`
+//! daemon.
+//!
+//! `concurrency` workers each hold one keep-alive connection and issue
+//! `POST /experiments` requests back-to-back (closed loop: a worker's
+//! next request starts when its previous response lands). The request
+//! stream is a pure function of the seed: request *i* (globally
+//! numbered) always targets the same (workload, config, insts) combo,
+//! whatever the thread interleaving, so two runs against equal daemons
+//! issue identical work.
+//!
+//! The generator doubles as a correctness probe. It tracks, per report
+//! key, the first response body and compares every repeat byte-for-byte;
+//! it snapshots `/metrics` before and after to measure how many
+//! simulations actually ran (`run.fresh_cells`); and 429 backpressure
+//! responses are retried (and counted) rather than dropped, keeping the
+//! loop closed.
+
+use crate::client::HttpClient;
+use btb_store::JsonValue;
+use std::collections::{HashMap, HashSet};
+use std::net::SocketAddr;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Load-run parameters.
+#[derive(Debug, Clone)]
+pub struct LoadOptions {
+    /// Daemon address.
+    pub addr: SocketAddr,
+    /// Total completed requests across all workers.
+    pub requests: usize,
+    /// Concurrent worker connections.
+    pub concurrency: usize,
+    /// Distinct (workload, config, insts) combos the stream draws from —
+    /// the fresh-key budget. Everything beyond the first touch of a
+    /// combo is a repeat, so `distinct / requests` sets the
+    /// fresh-vs-repeat mix.
+    pub distinct: usize,
+    /// PRNG seed for the request stream.
+    pub seed: u64,
+    /// Base trace length per experiment.
+    pub insts: usize,
+    /// Warm-up instructions per experiment.
+    pub warmup: u64,
+}
+
+impl Default for LoadOptions {
+    fn default() -> Self {
+        LoadOptions {
+            addr: SocketAddr::from(([127, 0, 0, 1], 7070)),
+            requests: 1000,
+            concurrency: 8,
+            distinct: 24,
+            seed: 0x1dea_f00d,
+            insts: 20_000,
+            warmup: 5_000,
+        }
+    }
+}
+
+/// What a load run observed.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests that completed with a non-429 response.
+    pub completed: usize,
+    /// 2xx responses.
+    pub ok_2xx: usize,
+    /// 4xx responses (excluding 429).
+    pub client_errors: usize,
+    /// 5xx responses.
+    pub server_errors: usize,
+    /// 429 backpressure responses absorbed by retrying.
+    pub retries_429: usize,
+    /// Distinct report keys observed in responses.
+    pub distinct_keys: usize,
+    /// Distinct combos the deterministic stream actually issued.
+    pub distinct_issued: usize,
+    /// Repeat responses whose body differed from the first delivery.
+    pub byte_mismatches: usize,
+    /// `run.fresh_cells` delta across the run (simulations that ran).
+    pub fresh_delta: u64,
+    /// Median request latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: u64,
+    /// Worst request latency, microseconds.
+    pub max_us: u64,
+    /// Wall time of the whole run.
+    pub wall: Duration,
+}
+
+impl LoadReport {
+    /// Completed requests per wall-clock second.
+    #[must_use]
+    pub fn rps(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / secs
+        }
+    }
+
+    /// Invariant violations of this run: any 5xx, any repeat that was not
+    /// byte-identical, more simulations than distinct keys, and — with
+    /// `expect_cold` (daemon started fresh) — fewer or more simulations
+    /// than distinct combos issued (the exactly-once dedup check).
+    #[must_use]
+    pub fn violations(&self, expect_cold: bool) -> Vec<String> {
+        let mut v = Vec::new();
+        if self.server_errors > 0 {
+            v.push(format!("{} server errors (5xx)", self.server_errors));
+        }
+        if self.byte_mismatches > 0 {
+            v.push(format!(
+                "{} repeat responses were not byte-identical",
+                self.byte_mismatches
+            ));
+        }
+        if self.fresh_delta > self.distinct_issued as u64 {
+            v.push(format!(
+                "{} simulations ran for {} distinct keys (dedup failed)",
+                self.fresh_delta, self.distinct_issued
+            ));
+        }
+        if expect_cold && self.fresh_delta != self.distinct_issued as u64 {
+            v.push(format!(
+                "cold daemon ran {} simulations for {} distinct keys (want exactly one each)",
+                self.fresh_delta, self.distinct_issued
+            ));
+        }
+        v
+    }
+}
+
+impl std::fmt::Display for LoadReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "btb-load: {} requests in {:.2?} ({:.0} req/s), {} retries after 429",
+            self.completed,
+            self.wall,
+            self.rps(),
+            self.retries_429
+        )?;
+        writeln!(
+            f,
+            "  status: {} ok, {} client errors, {} server errors",
+            self.ok_2xx, self.client_errors, self.server_errors
+        )?;
+        writeln!(
+            f,
+            "  latency: p50 {} us, p99 {} us, max {} us",
+            self.p50_us, self.p99_us, self.max_us
+        )?;
+        write!(
+            f,
+            "  dedup: {} distinct keys, {} simulations ran, {} byte mismatches",
+            self.distinct_keys, self.fresh_delta, self.byte_mismatches
+        )
+    }
+}
+
+/// Machine-readable form of the report (the `btb-load --json` output).
+#[must_use]
+pub fn report_json(report: &LoadReport) -> JsonValue {
+    let int = |v: u64| JsonValue::Integer(i64::try_from(v).unwrap_or(i64::MAX));
+    JsonValue::Object(vec![
+        ("schema".to_owned(), JsonValue::string("btb-load/1")),
+        ("completed".to_owned(), int(report.completed as u64)),
+        ("ok_2xx".to_owned(), int(report.ok_2xx as u64)),
+        ("client_errors".to_owned(), int(report.client_errors as u64)),
+        ("server_errors".to_owned(), int(report.server_errors as u64)),
+        ("retries_429".to_owned(), int(report.retries_429 as u64)),
+        ("distinct_keys".to_owned(), int(report.distinct_keys as u64)),
+        (
+            "distinct_issued".to_owned(),
+            int(report.distinct_issued as u64),
+        ),
+        (
+            "byte_mismatches".to_owned(),
+            int(report.byte_mismatches as u64),
+        ),
+        ("fresh_delta".to_owned(), int(report.fresh_delta)),
+        ("p50_us".to_owned(), int(report.p50_us)),
+        ("p99_us".to_owned(), int(report.p99_us)),
+        ("max_us".to_owned(), int(report.max_us)),
+        (
+            "wall_ms".to_owned(),
+            int(u64::try_from(report.wall.as_millis()).unwrap_or(u64::MAX)),
+        ),
+        ("rps".to_owned(), JsonValue::number(report.rps())),
+    ])
+}
+
+/// splitmix64: tiny, seedable, and plenty for combo selection.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// One (workload, config, insts) combo plus its serialized request body.
+#[derive(Debug, Clone)]
+struct Combo {
+    body: String,
+}
+
+/// Builds the deterministic combo list: workloads × configs first, then
+/// insts variants, truncated to `distinct`.
+fn build_combos(opts: &LoadOptions) -> Vec<Combo> {
+    let profiles = btb_trace::server_suite();
+    let configs = btb_check::campaign_configs();
+    let per_variant = profiles.len() * configs.len();
+    let mut combos = Vec::with_capacity(opts.distinct.max(1));
+    for i in 0..opts.distinct.max(1) {
+        let variant = i / per_variant;
+        let workload = &profiles[i % profiles.len()];
+        let config = &configs[(i / profiles.len()) % configs.len()];
+        let insts = opts.insts + variant * 1000;
+        let body = JsonValue::Object(vec![
+            (
+                "workload".to_owned(),
+                JsonValue::string(workload.name.clone()),
+            ),
+            ("config".to_owned(), JsonValue::string(config.name.clone())),
+            (
+                "insts".to_owned(),
+                JsonValue::Integer(i64::try_from(insts).unwrap_or(i64::MAX)),
+            ),
+            (
+                "warmup".to_owned(),
+                JsonValue::Integer(i64::try_from(opts.warmup).unwrap_or(i64::MAX)),
+            ),
+        ])
+        .to_pretty_string();
+        combos.push(Combo { body });
+    }
+    combos
+}
+
+/// Reads `run.fresh_cells` from a `/metrics` response body.
+fn fresh_cells(metrics_body: &[u8]) -> Result<u64, String> {
+    let text = std::str::from_utf8(metrics_body).map_err(|e| e.to_string())?;
+    let json = JsonValue::parse(text)?;
+    json.get("counters")
+        .and_then(|c| c.get("run.fresh_cells"))
+        .and_then(JsonValue::as_f64)
+        .map(|v| v as u64)
+        .ok_or_else(|| "run.fresh_cells missing from /metrics".to_owned())
+}
+
+struct WorkerOut {
+    latencies_us: Vec<u64>,
+    ok_2xx: usize,
+    client_errors: usize,
+    server_errors: usize,
+    retries_429: usize,
+}
+
+/// Shared first-delivery bodies, keyed by report key (ETag), for the
+/// byte-identical repeat check.
+struct ByteCheck {
+    first: Mutex<HashMap<String, Vec<u8>>>,
+    mismatches: Mutex<usize>,
+}
+
+impl ByteCheck {
+    fn observe(&self, key: &str, body: &[u8]) {
+        let mut first = self.first.lock().expect("byte-check lock");
+        match first.get(key) {
+            None => {
+                first.insert(key.to_owned(), body.to_vec());
+            }
+            Some(seen) if seen == body => {}
+            Some(_) => {
+                drop(first);
+                *self.mismatches.lock().expect("byte-check lock") += 1;
+            }
+        }
+    }
+}
+
+/// Runs the load described by `opts` against a live daemon.
+///
+/// # Errors
+/// Connection failures and malformed daemon responses. Service-level
+/// problems (5xx, dedup misses, byte mismatches) are *not* errors here —
+/// they are recorded in the report for [`LoadReport::violations`].
+pub fn run_load(opts: &LoadOptions) -> Result<LoadReport, String> {
+    let combos = build_combos(opts);
+    let requests = opts.requests.max(1);
+    let concurrency = opts.concurrency.max(1);
+
+    // Global request i targets combo_of[i] — worker-assignment and
+    // scheduling independent.
+    let combo_of: Vec<usize> = (0..requests)
+        .map(|i| (splitmix64(opts.seed ^ i as u64) % combos.len() as u64) as usize)
+        .collect();
+    let distinct_issued = combo_of.iter().collect::<HashSet<_>>().len();
+
+    let check = ByteCheck {
+        first: Mutex::new(HashMap::new()),
+        mismatches: Mutex::new(0),
+    };
+
+    let mut probe =
+        HttpClient::connect(opts.addr).map_err(|e| format!("connect {}: {e}", opts.addr))?;
+    let before = probe
+        .get("/metrics")
+        .map_err(|e| format!("/metrics: {e}"))?;
+    let fresh_before = fresh_cells(&before.body)?;
+
+    let started = Instant::now();
+    let outcomes: Vec<Result<WorkerOut, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..concurrency)
+            .map(|w| {
+                let combos = &combos;
+                let combo_of = &combo_of;
+                let check = &check;
+                scope.spawn(move || worker(opts.addr, w, concurrency, combos, combo_of, check))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err("worker panicked".to_owned()))
+            })
+            .collect()
+    });
+    let wall = started.elapsed();
+
+    let mut latencies = Vec::with_capacity(requests);
+    let (mut ok_2xx, mut client_errors, mut server_errors, mut retries_429) = (0, 0, 0, 0);
+    for out in outcomes {
+        let out = out?;
+        latencies.extend(out.latencies_us);
+        ok_2xx += out.ok_2xx;
+        client_errors += out.client_errors;
+        server_errors += out.server_errors;
+        retries_429 += out.retries_429;
+    }
+    latencies.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let idx = ((latencies.len() as f64 * p).ceil() as usize).clamp(1, latencies.len());
+        latencies[idx - 1]
+    };
+
+    let after = probe
+        .get("/metrics")
+        .map_err(|e| format!("/metrics: {e}"))?;
+    let fresh_after = fresh_cells(&after.body)?;
+
+    let distinct_keys = check.first.lock().expect("byte-check lock").len();
+    let byte_mismatches = *check.mismatches.lock().expect("byte-check lock");
+    Ok(LoadReport {
+        completed: latencies.len(),
+        ok_2xx,
+        client_errors,
+        server_errors,
+        retries_429,
+        distinct_keys,
+        distinct_issued,
+        byte_mismatches,
+        fresh_delta: fresh_after.saturating_sub(fresh_before),
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+        max_us: latencies.last().copied().unwrap_or(0),
+        wall,
+    })
+}
+
+fn worker(
+    addr: SocketAddr,
+    worker_index: usize,
+    concurrency: usize,
+    combos: &[Combo],
+    combo_of: &[usize],
+    check: &ByteCheck,
+) -> Result<WorkerOut, String> {
+    let mut client =
+        HttpClient::connect(addr).map_err(|e| format!("worker {worker_index}: connect: {e}"))?;
+    let mut out = WorkerOut {
+        latencies_us: Vec::new(),
+        ok_2xx: 0,
+        client_errors: 0,
+        server_errors: 0,
+        retries_429: 0,
+    };
+    // Static request partition: worker w owns requests w, w+C, w+2C, ...
+    for i in (worker_index..combo_of.len()).step_by(concurrency) {
+        let combo = &combos[combo_of[i]];
+        // Closed loop with bounded 429 retries: backpressure slows the
+        // worker down, it never drops the request.
+        let mut attempts = 0;
+        let resp = loop {
+            let t = Instant::now();
+            let resp = client
+                .post_json("/experiments", &combo.body)
+                .map_err(|e| format!("worker {worker_index}: request {i}: {e}"))?;
+            let micros = u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX);
+            if resp.status == 429 {
+                out.retries_429 += 1;
+                attempts += 1;
+                if attempts > 10_000 {
+                    return Err(format!("worker {worker_index}: request {i}: 429 forever"));
+                }
+                std::thread::sleep(Duration::from_millis(25));
+                continue;
+            }
+            out.latencies_us.push(micros);
+            break resp;
+        };
+        match resp.status {
+            200..=299 => {
+                out.ok_2xx += 1;
+                if let Some(etag) = resp.header("etag") {
+                    check.observe(etag, &resp.body);
+                }
+            }
+            500..=599 => out.server_errors += 1,
+            _ => out.client_errors += 1,
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combo_stream_is_deterministic() {
+        let opts = LoadOptions {
+            requests: 500,
+            distinct: 24,
+            seed: 42,
+            ..LoadOptions::default()
+        };
+        let a: Vec<usize> = (0..opts.requests)
+            .map(|i| (splitmix64(opts.seed ^ i as u64) % opts.distinct as u64) as usize)
+            .collect();
+        let b: Vec<usize> = (0..opts.requests)
+            .map(|i| (splitmix64(opts.seed ^ i as u64) % opts.distinct as u64) as usize)
+            .collect();
+        assert_eq!(a, b);
+        // The stream actually spreads across the combo space.
+        assert!(a.iter().collect::<HashSet<_>>().len() > opts.distinct / 2);
+    }
+
+    #[test]
+    fn combos_are_valid_experiment_bodies() {
+        let opts = LoadOptions {
+            distinct: 200, // force insts variants beyond one roster sweep
+            ..LoadOptions::default()
+        };
+        let combos = build_combos(&opts);
+        assert_eq!(combos.len(), 200);
+        for combo in &combos {
+            let v = JsonValue::parse_strict(&combo.body).expect("body parses strictly");
+            assert!(v.get("workload").is_some());
+            assert!(v.get("config").is_some());
+        }
+        // Distinct combos must serialize distinctly (they are the key
+        // space of the dedup check).
+        let unique: HashSet<&str> = combos.iter().map(|c| c.body.as_str()).collect();
+        assert_eq!(unique.len(), combos.len());
+    }
+
+    #[test]
+    fn violations_flag_the_right_things() {
+        let clean = LoadReport {
+            completed: 10,
+            ok_2xx: 10,
+            client_errors: 0,
+            server_errors: 0,
+            retries_429: 2,
+            distinct_keys: 3,
+            distinct_issued: 3,
+            byte_mismatches: 0,
+            fresh_delta: 3,
+            p50_us: 100,
+            p99_us: 200,
+            max_us: 300,
+            wall: Duration::from_secs(1),
+        };
+        assert!(clean.violations(true).is_empty());
+
+        let mut warm = clean.clone();
+        warm.fresh_delta = 1; // warm daemon: fewer sims than keys is fine...
+        assert!(warm.violations(false).is_empty());
+        assert!(!warm.violations(true).is_empty(), "...but not when cold");
+
+        let mut dup = clean.clone();
+        dup.fresh_delta = 5; // more sims than keys: dedup broken, cold or not
+        assert!(!dup.violations(false).is_empty());
+
+        let mut err = clean.clone();
+        err.server_errors = 1;
+        assert!(!err.violations(false).is_empty());
+
+        let mut torn = clean;
+        torn.byte_mismatches = 1;
+        assert!(!torn.violations(false).is_empty());
+    }
+}

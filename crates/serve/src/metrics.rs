@@ -1,0 +1,207 @@
+//! Server-side counters, gauges and latency histograms, kept in a
+//! [`btb_obs::Registry`] and rendered at `GET /metrics`.
+//!
+//! The registry itself is not thread-safe (it is designed for
+//! single-owner simulation loops), so the daemon wraps it in a mutex;
+//! every metric id is resolved once at construction so the hot path is
+//! lock–add–unlock.
+
+use btb_obs::{CounterId, GaugeId, HistogramId, MetricValue, Registry, Snapshot};
+use std::sync::Mutex;
+
+/// Request-latency histogram bounds, in microseconds. Spans sub-ms cache
+/// hits through multi-second cold simulations.
+const LATENCY_BOUNDS_US: &[u64] = &[
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 2_500_000, 5_000_000,
+];
+
+/// The daemon's metric registry plus pre-resolved ids.
+#[derive(Debug)]
+pub struct ServeMetrics {
+    reg: Mutex<Registry>,
+    requests: CounterId,
+    resp_2xx: CounterId,
+    resp_304: CounterId,
+    resp_4xx: CounterId,
+    resp_429: CounterId,
+    resp_5xx: CounterId,
+    jobs_enqueued: CounterId,
+    jobs_rejected: CounterId,
+    jobs_completed: CounterId,
+    cells_fresh: CounterId,
+    cells_memo: CounterId,
+    cells_store: CounterId,
+    queue_depth: GaugeId,
+    latency_us: HistogramId,
+}
+
+impl ServeMetrics {
+    /// Builds the registry with every server metric registered.
+    #[must_use]
+    pub fn new() -> ServeMetrics {
+        let mut reg = Registry::new();
+        ServeMetrics {
+            requests: reg.counter("serve.requests"),
+            resp_2xx: reg.counter("serve.responses.2xx"),
+            resp_304: reg.counter("serve.responses.304"),
+            resp_4xx: reg.counter("serve.responses.4xx"),
+            resp_429: reg.counter("serve.responses.429"),
+            resp_5xx: reg.counter("serve.responses.5xx"),
+            jobs_enqueued: reg.counter("serve.jobs.enqueued"),
+            jobs_rejected: reg.counter("serve.jobs.rejected"),
+            jobs_completed: reg.counter("serve.jobs.completed"),
+            cells_fresh: reg.counter("serve.cells.fresh"),
+            cells_memo: reg.counter("serve.cells.memo"),
+            cells_store: reg.counter("serve.cells.store"),
+            queue_depth: reg.gauge("serve.queue.depth"),
+            latency_us: reg.histogram("serve.request.micros", LATENCY_BOUNDS_US),
+            reg: Mutex::new(reg),
+        }
+    }
+
+    fn add(&self, id: CounterId) {
+        self.reg.lock().expect("metrics lock").add(id, 1);
+    }
+
+    /// Counts one handled request and its response status class, and
+    /// records the handling latency.
+    pub fn observe_response(&self, status: u16, micros: u64) {
+        let mut reg = self.reg.lock().expect("metrics lock");
+        reg.add(self.requests, 1);
+        let class = match status {
+            304 => self.resp_304,
+            429 => self.resp_429,
+            200..=299 => self.resp_2xx,
+            400..=499 => self.resp_4xx,
+            _ => self.resp_5xx,
+        };
+        reg.add(class, 1);
+        reg.record(self.latency_us, micros);
+    }
+
+    /// Counts one accepted job.
+    pub fn job_enqueued(&self) {
+        self.add(self.jobs_enqueued);
+    }
+
+    /// Counts one job rejected for backpressure (the 429 path).
+    pub fn job_rejected(&self) {
+        self.add(self.jobs_rejected);
+    }
+
+    /// Counts one job finished by a worker.
+    pub fn job_completed(&self) {
+        self.add(self.jobs_completed);
+    }
+
+    /// Counts one delivered cell by source label (`"fresh"` / `"memo"` /
+    /// `"store"`).
+    pub fn cell(&self, source_label: &str) {
+        let id = match source_label {
+            "fresh" => self.cells_fresh,
+            "memo" => self.cells_memo,
+            _ => self.cells_store,
+        };
+        self.add(id);
+    }
+
+    /// Snapshots the registry with the queue-depth gauge refreshed.
+    #[must_use]
+    pub fn snapshot(&self, queue_depth: u64) -> Snapshot {
+        let mut reg = self.reg.lock().expect("metrics lock");
+        reg.set(self.queue_depth, queue_depth as f64);
+        reg.snapshot()
+    }
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        ServeMetrics::new()
+    }
+}
+
+/// Appends the process-wide harness run counters (`run.cells`,
+/// `run.fresh_cells`, ...) to a snapshot, so `/metrics` exposes the
+/// dedup ground truth ("exactly one simulation per distinct report key"
+/// is verified against `run.fresh_cells`).
+pub fn append_run_counters(snap: &mut Snapshot) {
+    let rc = btb_harness::run_counters();
+    for (name, v) in [
+        ("run.cells", rc.cells),
+        ("run.fresh_cells", rc.fresh_cells),
+        ("run.memo_hits", rc.memo_hits),
+        ("run.store_hits", rc.store_hits),
+        ("run.instructions", rc.instructions),
+    ] {
+        snap.entries
+            .push((name.to_owned(), MetricValue::Counter(v)));
+    }
+}
+
+/// Appends the persistent store's monotonic hit/miss counters (when a
+/// store is configured).
+pub fn append_store_counters(snap: &mut Snapshot, store: Option<&btb_store::Store>) {
+    let Some(st) = store else { return };
+    let c = st.peek_counters();
+    for (name, v) in [
+        ("store.trace_hits", c.trace_hits),
+        ("store.trace_misses", c.trace_misses),
+        ("store.report_hits", c.report_hits),
+        ("store.report_misses", c.report_misses),
+    ] {
+        snap.entries
+            .push((name.to_owned(), MetricValue::Counter(v)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_land_in_the_snapshot() {
+        let m = ServeMetrics::new();
+        m.observe_response(200, 1_200);
+        m.observe_response(304, 90);
+        m.observe_response(429, 50);
+        m.observe_response(500, 10);
+        m.job_enqueued();
+        m.job_completed();
+        m.job_rejected();
+        m.cell("fresh");
+        m.cell("memo");
+        m.cell("store");
+        let snap = m.snapshot(3);
+        assert_eq!(snap.counter("serve.requests"), 4);
+        assert_eq!(snap.counter("serve.responses.2xx"), 1);
+        assert_eq!(snap.counter("serve.responses.304"), 1);
+        assert_eq!(snap.counter("serve.responses.429"), 1);
+        assert_eq!(snap.counter("serve.responses.5xx"), 1);
+        assert_eq!(snap.counter("serve.jobs.enqueued"), 1);
+        assert_eq!(snap.counter("serve.jobs.rejected"), 1);
+        assert_eq!(snap.counter("serve.cells.fresh"), 1);
+        assert_eq!(snap.counter("serve.cells.memo"), 1);
+        assert_eq!(snap.counter("serve.cells.store"), 1);
+        match snap.get("serve.queue.depth") {
+            Some(MetricValue::Gauge(g)) => assert_eq!(g.last, 3.0),
+            other => panic!("queue depth gauge missing: {other:?}"),
+        }
+        match snap.get("serve.request.micros") {
+            Some(MetricValue::Histogram(h)) => assert_eq!(h.count, 4),
+            other => panic!("latency histogram missing: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_counters_are_appended() {
+        let mut snap = ServeMetrics::new().snapshot(0);
+        append_run_counters(&mut snap);
+        // The value depends on what else ran in this process; presence and
+        // type are the contract.
+        assert!(matches!(
+            snap.get("run.fresh_cells"),
+            Some(MetricValue::Counter(_))
+        ));
+    }
+}

@@ -1,0 +1,53 @@
+//! `SIGINT`/`SIGTERM` → graceful-shutdown flag, without the `libc`
+//! crate (the build environment cannot fetch it). On Unix, `std` already
+//! links the C runtime, so declaring `signal(2)` ourselves is enough;
+//! elsewhere this module is a no-op and only `POST /admin/shutdown`
+//! stops the daemon.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the signal handler; polled by the daemon main loop.
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+/// True once `SIGINT` or `SIGTERM` has been received.
+#[must_use]
+pub fn shutdown_requested() -> bool {
+    SIGNALLED.load(Ordering::SeqCst)
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::SIGNALLED;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        /// C89 `signal(2)`: the portable subset is all we need — install
+        /// a handler, ignore the previous disposition.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    /// The handler only stores to an atomic — async-signal-safe.
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNALLED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Installs the `SIGINT`/`SIGTERM` handlers (idempotent).
+pub fn install() {
+    imp::install();
+}

@@ -1,0 +1,251 @@
+//! End-to-end tests against the real `btb-serve` binary (separate
+//! process, real sockets) plus an in-process load-generator round.
+//!
+//! The daemon process is spawned via `CARGO_BIN_EXE_btb-serve` on port 0
+//! and its `listening on` line is parsed for the ephemeral port — no
+//! fixed ports, so parallel test runs cannot collide.
+
+use btb_serve::{HttpClient, LoadOptions};
+use btb_store::JsonValue;
+use std::io::BufRead;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+struct Daemon {
+    child: Child,
+    addr: SocketAddr,
+    scratch: Option<PathBuf>,
+}
+
+impl Daemon {
+    /// Spawns the daemon binary with a private store and waits for its
+    /// `listening on` line.
+    fn launch(tag: &str, extra: &[&str]) -> Daemon {
+        let scratch =
+            std::env::temp_dir().join(format!("btb-serve-e2e-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&scratch);
+        std::fs::create_dir_all(&scratch).expect("scratch dir");
+        let mut child = Command::new(env!("CARGO_BIN_EXE_btb-serve"))
+            .args(["--addr", "127.0.0.1:0", "--store"])
+            .arg(&scratch)
+            .args(extra)
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn btb-serve");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut line = String::new();
+        std::io::BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("read listening line");
+        let addr = line
+            .trim()
+            .strip_prefix("btb-serve: listening on ")
+            .unwrap_or_else(|| panic!("unexpected banner: {line:?}"))
+            .parse()
+            .expect("parse daemon address");
+        Daemon {
+            child,
+            addr,
+            scratch: Some(scratch),
+        }
+    }
+
+    fn client(&self) -> HttpClient {
+        HttpClient::connect(self.addr).expect("connect to daemon")
+    }
+
+    /// Waits (bounded) for the daemon to exit and returns success.
+    fn wait_exit(&mut self) -> bool {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            if let Some(status) = self.child.try_wait().expect("try_wait") {
+                return status.success();
+            }
+            if Instant::now() > deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        if let Some(scratch) = self.scratch.take() {
+            let _ = std::fs::remove_dir_all(scratch);
+        }
+    }
+}
+
+fn parse_body(resp: &btb_serve::http::Response) -> JsonValue {
+    let text = std::str::from_utf8(&resp.body).expect("UTF-8 body");
+    JsonValue::parse(text).expect("JSON body")
+}
+
+fn counter(metrics: &JsonValue, name: &str) -> u64 {
+    metrics
+        .get("counters")
+        .and_then(|c| c.get(name))
+        .and_then(JsonValue::as_f64)
+        .unwrap_or_else(|| panic!("counter {name} missing")) as u64
+}
+
+const EXPERIMENT: &str =
+    r#"{"workload": "web-small", "config": "R-BTB 2BS", "insts": 5000, "warmup": 1000}"#;
+const EXPERIMENT_RACE: &str =
+    r#"{"workload": "web-small", "config": "B-BTB 1BS", "insts": 5000, "warmup": 1000}"#;
+
+#[test]
+fn daemon_end_to_end() {
+    let mut daemon = Daemon::launch("e2e", &[]);
+    let mut client = daemon.client();
+
+    let health = client.get("/healthz").unwrap();
+    assert_eq!(health.status, 200);
+
+    // Fresh submission simulates once.
+    let first = client.post_json("/experiments", EXPERIMENT).unwrap();
+    assert_eq!(first.status, 200);
+    assert_eq!(first.header("x-btb-source"), Some("fresh"));
+    let etag = first.header("etag").expect("ETag on report").to_owned();
+    let key = etag.trim_matches('"').to_owned();
+    assert_eq!(key.len(), 64, "ETag is the report key");
+
+    // Repeat: served from cache, byte-identical body.
+    let second = client.post_json("/experiments", EXPERIMENT).unwrap();
+    assert_eq!(second.status, 200);
+    assert_ne!(second.header("x-btb-source"), Some("fresh"));
+    assert_eq!(second.body, first.body, "repeat must be byte-identical");
+
+    // Conditional request: zero work, no body.
+    let conditional = client
+        .request(
+            "POST",
+            "/experiments",
+            &[
+                ("Content-Type".to_owned(), "application/json".to_owned()),
+                ("If-None-Match".to_owned(), etag.clone()),
+            ],
+            EXPERIMENT.as_bytes(),
+        )
+        .unwrap();
+    assert_eq!(conditional.status, 304);
+    assert!(conditional.body.is_empty());
+    assert_eq!(conditional.header("etag"), Some(etag.as_str()));
+
+    // The computed report is addressable afterwards.
+    let fetched = client.get(&format!("/reports/{key}")).unwrap();
+    assert_eq!(fetched.status, 200);
+    assert_eq!(fetched.body, first.body);
+    assert_eq!(client.get("/reports/zz").unwrap().status, 400);
+
+    // The trace behind it is addressable by trace key.
+    let profile = btb_trace::server_suite()
+        .into_iter()
+        .find(|p| p.name == "web-small")
+        .unwrap();
+    let tkey = btb_store::trace_key(&profile, 5000).to_hex();
+    let trace = client.get(&format!("/traces/{tkey}")).unwrap();
+    assert_eq!(trace.status, 200);
+    let trace_json = parse_body(&trace);
+    assert_eq!(
+        trace_json.get("name").and_then(JsonValue::as_str),
+        Some("web-small")
+    );
+
+    // Store stats reflect the publish.
+    let stats = parse_body(&client.get("/store/stats").unwrap());
+    assert_eq!(stats.get("configured"), Some(&JsonValue::Bool(true)));
+    let reports = stats
+        .get("objects")
+        .and_then(|o| o.get("report_objects"))
+        .and_then(JsonValue::as_f64)
+        .unwrap();
+    assert!(reports >= 1.0, "report published to the store");
+
+    // Racing identical submissions simulate exactly once: 8 connections
+    // post the same brand-new experiment concurrently.
+    let bodies: Vec<Vec<u8>> = std::thread::scope(|scope| {
+        let addr = daemon.addr;
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut racer = HttpClient::connect(addr).expect("racer connect");
+                    let resp = racer.post_json("/experiments", EXPERIMENT_RACE).unwrap();
+                    assert_eq!(resp.status, 200);
+                    resp.body
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert!(
+        bodies.windows(2).all(|w| w[0] == w[1]),
+        "racers must all receive identical bytes"
+    );
+
+    let metrics = parse_body(&client.get("/metrics").unwrap());
+    assert_eq!(
+        counter(&metrics, "run.fresh_cells"),
+        2,
+        "two distinct experiments -> exactly two simulations, racers deduped"
+    );
+    assert!(counter(&metrics, "serve.requests") >= 12);
+    assert_eq!(counter(&metrics, "serve.responses.5xx"), 0);
+    assert_eq!(counter(&metrics, "serve.responses.304"), 1);
+
+    // Graceful shutdown over the API: drains and exits 0.
+    let bye = client.request("POST", "/admin/shutdown", &[], &[]).unwrap();
+    assert_eq!(bye.status, 200);
+    assert!(daemon.wait_exit(), "daemon must drain and exit 0");
+}
+
+#[cfg(unix)]
+#[test]
+fn sigterm_drains_and_exits_zero() {
+    let mut daemon = Daemon::launch("sigterm", &[]);
+    let mut client = daemon.client();
+    assert_eq!(
+        client.post_json("/experiments", EXPERIMENT).unwrap().status,
+        200
+    );
+
+    let ok = Command::new("kill")
+        .args(["-TERM", &daemon.child.id().to_string()])
+        .status()
+        .expect("run kill")
+        .success();
+    assert!(ok, "kill -TERM delivered");
+    assert!(daemon.wait_exit(), "SIGTERM must drain and exit 0");
+}
+
+/// The load generator against an in-process server: every invariant it
+/// checks (no 5xx, byte-identical repeats, exactly-once simulation on a
+/// cold daemon) must hold on a quick run.
+#[test]
+fn load_generator_against_in_process_server() {
+    let handle = btb_serve::spawn(&btb_serve::ServerOptions {
+        queue_capacity: 32,
+        ..Default::default()
+    })
+    .expect("spawn in-process server");
+    let report = btb_serve::run_load(&LoadOptions {
+        addr: handle.addr,
+        requests: 80,
+        concurrency: 4,
+        distinct: 6,
+        seed: 7,
+        insts: 5000,
+        warmup: 1000,
+    })
+    .expect("load run");
+    assert_eq!(report.completed, 80);
+    let violations = report.violations(true);
+    assert!(violations.is_empty(), "violations: {violations:?}");
+    assert!(report.distinct_keys <= 6);
+    handle.shutdown().expect("graceful in-process shutdown");
+}

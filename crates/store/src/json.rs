@@ -63,10 +63,32 @@ impl JsonValue {
     /// Returns a message describing the first syntax error (with byte
     /// offset) on malformed input, including trailing non-whitespace.
     pub fn parse(text: &str) -> Result<JsonValue, String> {
+        JsonValue::parse_impl(text, false)
+    }
+
+    /// Parses a JSON document, additionally rejecting duplicate object keys.
+    ///
+    /// [`JsonValue::parse`] keeps the first of two members with the same
+    /// key silently (insertion-ordered objects make the duplicate
+    /// unreachable through [`JsonValue::get`]), which is what most parsers
+    /// do but hides typos in hand-edited request bodies and baseline
+    /// files. Service endpoints and `btb-check validate-json --strict` use
+    /// this variant so a duplicated key is a hard error instead.
+    ///
+    /// # Errors
+    /// Everything [`JsonValue::parse`] rejects (syntax errors, trailing
+    /// input, nesting beyond the depth limit), plus any object with two
+    /// members of the same name.
+    pub fn parse_strict(text: &str) -> Result<JsonValue, String> {
+        JsonValue::parse_impl(text, true)
+    }
+
+    fn parse_impl(text: &str, strict: bool) -> Result<JsonValue, String> {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
             depth: 0,
+            strict,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -192,6 +214,8 @@ struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
     depth: usize,
+    /// Reject duplicate object keys (see [`JsonValue::parse_strict`]).
+    strict: bool,
 }
 
 impl Parser<'_> {
@@ -417,11 +441,15 @@ impl Parser<'_> {
         }
         loop {
             self.skip_ws();
+            let key_at = self.pos;
             let key = self.string()?;
             self.skip_ws();
             self.expect(b':')?;
             self.skip_ws();
             let value = self.value()?;
+            if self.strict && members.iter().any(|(k, _)| *k == key) {
+                return Err(format!("duplicate object key \"{key}\" at byte {key_at}"));
+            }
             members.push((key, value));
             self.skip_ws();
             match self.peek() {
@@ -606,6 +634,44 @@ mod tests {
         assert!(JsonValue::parse("[1,]").is_err());
         assert!(JsonValue::parse("1 2").is_err(), "trailing input");
         assert!(JsonValue::parse("nul").is_err());
+    }
+
+    #[test]
+    fn strict_parse_rejects_duplicate_keys() {
+        // Lenient parse keeps the first member (the duplicate is
+        // unreachable via get); strict makes it a hard error.
+        let dup = r#"{"insts": 1000, "insts": 2000}"#;
+        let v = JsonValue::parse(dup).expect("lenient parse accepts");
+        assert_eq!(v.get("insts").and_then(JsonValue::as_f64), Some(1000.0));
+        let err = JsonValue::parse_strict(dup).unwrap_err();
+        assert!(err.contains("duplicate object key \"insts\""), "{err}");
+
+        // Duplicates are caught at any nesting level.
+        let nested = r#"{"a": {"b": 1, "b": 2}}"#;
+        assert!(JsonValue::parse_strict(nested).is_err());
+        // Same key in *different* objects is fine.
+        let siblings = r#"{"a": {"n": 1}, "b": {"n": 2}}"#;
+        assert!(JsonValue::parse_strict(siblings).is_ok());
+        // Keys compare post-unescape: "a" and "a" collide.
+        assert!(JsonValue::parse_strict(r#"{"a": 1, "a": 2}"#).is_err());
+    }
+
+    #[test]
+    fn strict_parse_keeps_lenient_rejections() {
+        // Strict is a superset of lenient: trailing garbage and the depth
+        // limit stay errors.
+        assert!(JsonValue::parse_strict("1 2").is_err(), "trailing input");
+        assert!(JsonValue::parse_strict("{").is_err());
+        let too_deep = format!("{}0{}", "[".repeat(129), "]".repeat(129));
+        assert!(JsonValue::parse_strict(&too_deep)
+            .unwrap_err()
+            .contains("nesting"));
+        // And everything valid still parses identically.
+        let doc = r#"{"a":[1,2.5,true],"b":{"c":null}}"#;
+        assert_eq!(
+            JsonValue::parse_strict(doc).unwrap(),
+            JsonValue::parse(doc).unwrap()
+        );
     }
 
     #[test]

@@ -130,12 +130,26 @@ pub struct GcOutcome {
     pub kept_objects: u64,
 }
 
+/// A fault-injection point for crash-consistency tests.
+///
+/// Armed with [`Store::inject_failpoint`]; the next matching operation
+/// trips it (one-shot) and behaves like the simulated fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Failpoint {
+    /// The next [`Store::put_raw`] writes a *truncated* object into
+    /// `tmp/` and returns an error without renaming or cleaning up —
+    /// exactly the debris a process killed mid-publish leaves behind.
+    CrashBeforeRename,
+}
+
 /// A content-addressed artifact store rooted at one directory.
 #[derive(Debug)]
 pub struct Store {
     root: PathBuf,
     counters: Counters,
     tmp_seq: AtomicU64,
+    /// One-shot armed failpoint; 0 = none, 1 = `CrashBeforeRename`.
+    failpoint: AtomicU64,
 }
 
 impl Store {
@@ -151,7 +165,26 @@ impl Store {
             root,
             counters: Counters::default(),
             tmp_seq: AtomicU64::new(0),
+            failpoint: AtomicU64::new(0),
         })
+    }
+
+    /// Arms `fp` for the next matching operation on this handle (one-shot).
+    ///
+    /// Test-only by intent: lets crash-consistency tests simulate a
+    /// process dying mid-publish without actually killing anything.
+    pub fn inject_failpoint(&self, fp: Failpoint) {
+        let code = match fp {
+            Failpoint::CrashBeforeRename => 1,
+        };
+        self.failpoint.store(code, Ordering::SeqCst);
+    }
+
+    fn take_failpoint(&self) -> Option<Failpoint> {
+        match self.failpoint.swap(0, Ordering::SeqCst) {
+            1 => Some(Failpoint::CrashBeforeRename),
+            _ => None,
+        }
     }
 
     /// The store's root directory.
@@ -211,6 +244,18 @@ impl Store {
             self.tmp_seq.fetch_add(1, Ordering::Relaxed)
         ));
         let checksum = Sha256::digest(payload);
+        if self.take_failpoint() == Some(Failpoint::CrashBeforeRename) {
+            // Simulate a process killed mid-publish: a full header but a
+            // truncated payload sits in tmp/, nothing reaches objects/,
+            // and no cleanup runs (the "process" is dead).
+            let mut f = std::fs::File::create(&tmp_path)?;
+            f.write_all(STORE_MAGIC)?;
+            f.write_all(&[kind.code()])?;
+            f.write_all(&(payload.len() as u64).to_le_bytes())?;
+            f.write_all(&checksum.0)?;
+            f.write_all(&payload[..payload.len() / 2])?;
+            return Err(io::Error::other("failpoint: crashed before rename"));
+        }
         let result = (|| -> io::Result<()> {
             let mut f = std::fs::File::create(&tmp_path)?;
             f.write_all(STORE_MAGIC)?;
@@ -308,6 +353,20 @@ impl Store {
     }
 
     // -- counters -----------------------------------------------------------
+
+    /// Reads the hit/miss counters without resetting them. Long-running
+    /// consumers (the `btb-serve` `/store/stats` endpoint) want a
+    /// monotonic view; [`Store::take_counters`] would zero the very
+    /// numbers each poll is supposed to report.
+    #[must_use]
+    pub fn peek_counters(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            trace_hits: self.counters.trace_hits.load(Ordering::Relaxed),
+            trace_misses: self.counters.trace_misses.load(Ordering::Relaxed),
+            report_hits: self.counters.report_hits.load(Ordering::Relaxed),
+            report_misses: self.counters.report_misses.load(Ordering::Relaxed),
+        }
+    }
 
     /// Reads and resets the hit/miss counters (used for per-experiment
     /// reporting).

@@ -1,0 +1,185 @@
+//! Store behaviour under service-style load: long-lived handles, readers
+//! racing `gc`, counters polled without reset, and crash-consistency of
+//! the publish path. These are the guarantees `btb-serve` leans on when a
+//! daemon shares one store across request workers while an operator runs
+//! maintenance against the same root.
+
+use btb_core::{BtbConfig, OrgKind};
+use btb_sim::{PipelineConfig, SimReport, SimStats};
+use btb_store::{trace_key, Digest, Failpoint, Store};
+use btb_trace::WorkloadProfile;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A unique scratch directory per test, removed on drop.
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> ScratchDir {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "btb-store-svc-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        ScratchDir(dir)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn sample_report(tag: u64) -> SimReport {
+    SimReport {
+        config_name: "I-BTB 16".to_owned(),
+        workload: "svc".into(),
+        stats: SimStats {
+            instructions: 1_000 + tag,
+            last_commit_cycle: 500,
+            ..SimStats::default()
+        },
+        l1_occupancy: 0.75,
+        l1_redundancy: 1.0,
+        l2_occupancy: 0.5,
+        l2_redundancy: 1.25,
+        l1i_hit_rate: 0.99,
+    }
+}
+
+fn report_key_for(profile: &WorkloadProfile, insts: usize) -> Digest {
+    let cfg = BtbConfig::ideal(
+        "I-BTB 16",
+        OrgKind::Instruction {
+            width: 16,
+            skip_taken: false,
+        },
+    );
+    Store::report_key(&trace_key(profile, insts), &cfg, &PipelineConfig::paper())
+}
+
+/// `gc` sweeping the store while readers hammer it and writers re-publish:
+/// a read may *miss* (gc removed the object between publish and read — the
+/// store is a cache), but every hit must return the exact canonical bytes
+/// and nothing may panic. Afterwards the store must still be fully usable.
+#[test]
+fn gc_racing_readers_is_safe() {
+    let dir = ScratchDir::new("gc-race");
+    let store = Store::open(&dir.0).expect("open");
+
+    let profiles: Vec<WorkloadProfile> = (0..4).map(WorkloadProfile::tiny).collect();
+    let keys: Vec<Digest> = profiles.iter().map(|p| report_key_for(p, 2_000)).collect();
+    let canonical: Vec<SimReport> = (0..4).map(|i| sample_report(i as u64)).collect();
+    for (k, r) in keys.iter().zip(&canonical) {
+        store.put_report(k, r);
+    }
+
+    std::thread::scope(|s| {
+        // A maintenance thread clearing the store over and over.
+        s.spawn(|| {
+            for _ in 0..100 {
+                store.gc(std::time::Duration::ZERO).expect("gc");
+            }
+        });
+        // Writers keep re-publishing canonical content.
+        for _ in 0..2 {
+            s.spawn(|| {
+                for _ in 0..100 {
+                    for (k, r) in keys.iter().zip(&canonical) {
+                        store.put_report(k, r);
+                    }
+                }
+            });
+        }
+        // Readers: every *hit* must be exact; misses are legal mid-gc.
+        for _ in 0..4 {
+            s.spawn(|| {
+                for _ in 0..200 {
+                    for (k, want) in keys.iter().zip(&canonical) {
+                        if let Some(got) = store.get_report(k) {
+                            assert_eq!(&got, want, "reader observed torn/foreign bytes");
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    // The store is intact after the storm: publish + read back works.
+    for (k, r) in keys.iter().zip(&canonical) {
+        store.put_report(k, r);
+        assert_eq!(store.get_report(k).as_ref(), Some(r));
+    }
+}
+
+/// A process killed mid-publish leaves a truncated staging file but no
+/// visible object: readers miss cleanly, `stats` counts nothing torn in
+/// `objects/`, and `gc` clears the debris. The slot then republishes.
+#[test]
+fn mid_publish_crash_leaves_no_torn_object_visible() {
+    let dir = ScratchDir::new("crash-publish");
+    let store = Store::open(&dir.0).expect("open");
+    let profile = WorkloadProfile::tiny(11);
+    let key = report_key_for(&profile, 4_000);
+    let report = sample_report(7);
+
+    // "Crash" during the first publish. put_report downgrades the error
+    // to a warning, exactly as a service would keep running.
+    store.inject_failpoint(Failpoint::CrashBeforeRename);
+    store.put_report(&key, &report);
+
+    // Nothing became visible: the read path misses, objects/ holds no
+    // torn entry, and the debris sits in tmp/ only.
+    assert!(store.get_report(&key).is_none(), "torn publish leaked");
+    let stats = store.stats().expect("stats");
+    assert_eq!(stats.report_objects, 0);
+    assert_eq!(
+        stats.unreadable_objects, 0,
+        "torn object visible in objects/"
+    );
+    let debris: Vec<_> = std::fs::read_dir(dir.0.join("tmp"))
+        .expect("tmp dir")
+        .flatten()
+        .collect();
+    assert_eq!(debris.len(), 1, "crash must leave its staging file behind");
+
+    // gc clears the staging debris even when every object survives.
+    store.gc(std::time::Duration::from_secs(3600)).expect("gc");
+    assert!(
+        std::fs::read_dir(dir.0.join("tmp"))
+            .expect("tmp dir")
+            .next()
+            .is_none(),
+        "gc must clear stale staging files"
+    );
+
+    // The failpoint was one-shot: the retry publishes atomically.
+    store.put_report(&key, &report);
+    assert_eq!(store.get_report(&key).as_ref(), Some(&report));
+}
+
+/// `peek_counters` reports monotonic totals without disturbing the
+/// resetting `take_counters` used for per-experiment deltas.
+#[test]
+fn peek_counters_is_non_destructive() {
+    let dir = ScratchDir::new("peek");
+    let store = Store::open(&dir.0).expect("open");
+    let profile = WorkloadProfile::tiny(2);
+    let key = report_key_for(&profile, 1_000);
+
+    assert!(store.get_report(&key).is_none()); // miss
+    store.put_report(&key, &sample_report(1));
+    assert!(store.get_report(&key).is_some()); // hit
+
+    let peek1 = store.peek_counters();
+    assert_eq!((peek1.report_hits, peek1.report_misses), (1, 1));
+    // Peeking again sees the same totals — nothing was reset.
+    assert_eq!(store.peek_counters(), peek1);
+
+    // take_counters still drains, and peek reflects the drain.
+    let taken = store.take_counters();
+    assert_eq!((taken.report_hits, taken.report_misses), (1, 1));
+    assert!(store.peek_counters().is_empty());
+}
