@@ -1,0 +1,137 @@
+//! Regression test: the `indirect_target_flip` probe kernel driven through
+//! [`IndirectPredictor`], pinning the aliasing degradation of a small
+//! table. A flip site that shares a predictor slot with a stable indirect
+//! site drags the stable site from near-perfect to zero accuracy; a
+//! paper-sized table keeps the two sites apart. The exact mispredict
+//! counts are pinned so any change to the index hash or table layout
+//! shows up here.
+
+use btb_bpred::{IndirectPredictor, PathHistory};
+use btb_trace::probe::{indirect_target_flip, probe_chain, ChainParams, FlipParams, ProbeKernel};
+use btb_trace::{Addr, BranchKind};
+
+const ROUNDS: usize = 8;
+const EXIT: Addr = 0x9000;
+
+/// Stable indirect site: a one-address chain of indirect jumps, each round
+/// targeting its own pc (the final round exits).
+const STABLE_PC: Addr = 0x1000;
+/// Flip site 16 words above the stable site: aliases in a 16-entry table
+/// (index mask 0xf over `pc >> 2` with an empty path history), distinct in
+/// a 4096-entry table.
+const FLIP_PC: Addr = STABLE_PC + 16 * 4;
+
+fn flip_kernel() -> ProbeKernel {
+    indirect_target_flip(&FlipParams {
+        pc: FLIP_PC,
+        targets: (0x2000, 0x3000),
+        rounds: ROUNDS,
+        exit: EXIT,
+    })
+}
+
+fn stable_kernel() -> ProbeKernel {
+    probe_chain(&ChainParams {
+        addrs: vec![STABLE_PC],
+        kind: BranchKind::IndirectJump,
+        rounds: ROUNDS,
+        exit: EXIT,
+    })
+}
+
+/// The (pc, actual target) stream of a kernel's indirect jumps, in order.
+fn indirect_events(kernel: &ProbeKernel) -> Vec<(Addr, Addr)> {
+    kernel
+        .trace
+        .records
+        .iter()
+        .filter(|r| r.branch_kind() == Some(BranchKind::IndirectJump))
+        .map(|r| (r.pc, r.target))
+        .collect()
+}
+
+/// Replays interleaved event streams (round-robin, one event from each
+/// stream per round) against a predictor with an empty path history, so
+/// only pc aliasing is in play. Returns per-stream mispredict counts.
+fn replay_interleaved(pred: &mut IndirectPredictor, streams: &[Vec<(Addr, Addr)>]) -> Vec<usize> {
+    let path = PathHistory::new();
+    let rounds = streams.iter().map(Vec::len).max().unwrap_or(0);
+    let mut mispredicts = vec![0usize; streams.len()];
+    for round in 0..rounds {
+        for (s, stream) in streams.iter().enumerate() {
+            let Some(&(pc, actual)) = stream.get(round) else {
+                continue;
+            };
+            if pred.predict(pc, &path) != Some(actual) {
+                mispredicts[s] += 1;
+            }
+            pred.update(pc, &path, actual);
+        }
+    }
+    mispredicts
+}
+
+#[test]
+fn kernels_are_well_formed() {
+    flip_kernel().validate().expect("valid flip kernel");
+    stable_kernel().validate().expect("valid stable chain");
+    assert_eq!(indirect_events(&flip_kernel()).len(), ROUNDS);
+    assert_eq!(indirect_events(&stable_kernel()).len(), ROUNDS);
+}
+
+#[test]
+fn flip_site_defeats_last_target_prediction_everywhere() {
+    // An alternating site mispredicts every round under last-target
+    // prediction, at any table size: the cold miss plus 7 flips.
+    for entries in [16, 4096] {
+        let mut pred = IndirectPredictor::new(entries);
+        let misses = replay_interleaved(&mut pred, &[indirect_events(&flip_kernel())]);
+        assert_eq!(misses, vec![ROUNDS], "table with {entries} entries");
+    }
+}
+
+#[test]
+fn paper_sized_table_keeps_the_sites_apart() {
+    let mut pred = IndirectPredictor::new(4096);
+    let misses = replay_interleaved(
+        &mut pred,
+        &[
+            indirect_events(&flip_kernel()),
+            indirect_events(&stable_kernel()),
+        ],
+    );
+    // Flip site: all 8 rounds mispredict. Stable site: only the cold miss
+    // and the final round's exit target.
+    assert_eq!(misses, vec![ROUNDS, 2]);
+}
+
+#[test]
+fn aliasing_drags_the_stable_site_to_zero_accuracy() {
+    let mut pred = IndirectPredictor::new(16);
+    let misses = replay_interleaved(
+        &mut pred,
+        &[
+            indirect_events(&flip_kernel()),
+            indirect_events(&stable_kernel()),
+        ],
+    );
+    // Both sites hash to one slot: every stable-site lookup sees the flip
+    // site's last target, so the stable site never predicts correctly.
+    assert_eq!(misses, vec![ROUNDS, ROUNDS]);
+}
+
+#[test]
+fn first_aliased_lookup_is_a_false_hit() {
+    // The interference is a false hit, not a cold miss: before the stable
+    // site ever updates, the alias already returns the flip site's target.
+    let mut pred = IndirectPredictor::new(16);
+    let path = PathHistory::new();
+    let (pc, target) = indirect_events(&flip_kernel())[0];
+    pred.update(pc, &path, target);
+    assert_eq!(pred.predict(STABLE_PC, &path), Some(0x2000));
+
+    // A paper-sized table stays cold at the other site instead.
+    let mut big = IndirectPredictor::new(4096);
+    big.update(pc, &path, target);
+    assert_eq!(big.predict(STABLE_PC, &path), None);
+}

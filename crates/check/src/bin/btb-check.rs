@@ -4,8 +4,10 @@
 //! Exit codes: 0 = clean, 1 = divergence or invariant violation,
 //! 2 = usage error.
 
+use btb_check::infer::{infer_config, infer_config_by_name, InferFault, InferOptions};
 use btb_check::{
-    campaign_configs, config_by_name, load_repro, replay, run_campaign, CampaignOptions,
+    campaign_configs, config_by_name, load_repro, replay, run_campaign, run_inference,
+    CampaignOptions,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -16,6 +18,8 @@ btb-check: differential golden-model checking for the BTB stack
 USAGE:
     btb-check campaign [--quick] [--seed N] [--store DIR] [--repro-dir DIR]
                        [--threads N] [--metrics] [--trace-out DIR]
+    btb-check infer [--quick] [--json] [--config NAME] [--fault KIND]
+                    [--threads N]
     btb-check replay FILE...
     btb-check validate-json [--strict] FILE...
     btb-check list
@@ -24,26 +28,38 @@ COMMANDS:
     campaign      Run differential replays of every roster configuration over
                   generated and mutation-fuzzed traces, then validate simulator
                   conservation laws. Divergences are minimized into .repro files.
+    infer         Black-box organization inference: drive each inference-roster
+                  organization with adversarial probe kernels, recover its
+                  set-index function, associativity, capacity and entry
+                  geometry from hit/miss observations alone, and cross-check
+                  every recovered value against the BtbConfig ground truth
+                  (exit 1 on any mismatch or measurement anomaly).
     replay        Re-run committed reproducer files (exit 1 if any diverges).
     validate-json Parse each FILE with the btb-store JSON parser (exit 1 on the
                   first malformed file) — used by CI to validate exported
                   traces, metrics and reports. With --strict, duplicate
                   object keys are also rejected.
-    list          Print the campaign configuration roster.
+    list          Print the campaign and inference configuration rosters.
 
 OPTIONS:
-    --quick        Short fixed-budget campaign (CI-sized traces).
+    --quick        campaign: short fixed-budget campaign (CI-sized traces).
+                   infer: skip the thorough re-measurement passes.
     --seed N       Base seed for traces and mutations (decimal).
     --store DIR    btb-store root for trace caching.
     --repro-dir D  Where minimized reproducers are written (default: cwd).
-    --threads N    Worker threads for replays and invariant simulations
-                   (default: BTB_THREADS, else all cores). Results are
-                   identical at any thread count.
+    --threads N    Worker threads (default: BTB_THREADS, else all cores).
+                   Results are identical at any thread count.
     --metrics      Collect btb-obs metrics during invariant simulations and
                    print the roster aggregate; also differentially checks
                    that observed runs match plain runs exactly.
     --trace-out D  Write one Perfetto trace per roster configuration's
                    invariant simulation into D (implies --metrics).
+    --json         infer: print the verdicts as one strict-JSON document.
+    --config NAME  infer: run only the named inference-roster configuration.
+    --fault KIND   infer: inject a seeded geometry fault (halve-ways,
+                   double-grain, set-bias, swap-index-bits) that a correct
+                   inference run MUST flag — used by CI to prove there are
+                   no silent passes.
 ";
 
 fn usage_error(msg: &str) -> ExitCode {
@@ -105,6 +121,9 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
     for e in &outcome.invariant_failures {
         eprintln!("INVARIANT VIOLATION: {e}");
     }
+    for e in &outcome.inference_failures {
+        eprintln!("INFERENCE FAILURE: {e}");
+    }
     if let Some(metrics) = &outcome.metrics {
         eprint!(
             "{}",
@@ -112,7 +131,103 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
         );
     }
     if outcome.clean() {
-        println!("clean: no divergences, all simulator invariants hold");
+        println!(
+            "clean: no divergences, all simulator invariants hold, all organizations inferred"
+        );
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn cmd_infer(args: &[String]) -> ExitCode {
+    let mut opts = InferOptions::default();
+    let mut json = false;
+    let mut only: Option<String> = None;
+    let mut fault = InferFault::None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => opts.thorough = false,
+            "--json" => json = true,
+            "--config" => match it.next() {
+                Some(name) => only = Some(name.clone()),
+                None => return usage_error("--config needs a configuration name"),
+            },
+            "--fault" => match it.next().map(|s| InferFault::parse(s)) {
+                Some(Some(f)) => fault = f,
+                Some(None) => {
+                    return usage_error(
+                        "--fault needs one of: none, halve-ways, double-grain, \
+                         set-bias, swap-index-bits",
+                    )
+                }
+                None => return usage_error("--fault needs a fault kind"),
+            },
+            "--threads" => match it.next().map(|s| s.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => btb_par::set_threads(Some(n)),
+                _ => return usage_error("--threads needs a positive integer"),
+            },
+            other => return usage_error(&format!("unknown infer option {other:?}")),
+        }
+    }
+    let reports = match &only {
+        Some(name) => match infer_config_by_name(name) {
+            Some(config) => vec![infer_config(&config, fault, &opts)],
+            None => {
+                return usage_error(&format!("unknown inference configuration {name:?}"));
+            }
+        },
+        None => run_inference(fault, &opts),
+    };
+    let clean = reports.iter().all(btb_check::InferenceReport::clean);
+    if json {
+        let doc = btb_store::JsonValue::Object(vec![
+            ("fault".into(), btb_store::JsonValue::string(fault.name())),
+            ("clean".into(), btb_store::JsonValue::Bool(clean)),
+            (
+                "reports".into(),
+                btb_store::JsonValue::array(
+                    reports.iter().map(btb_check::InferenceReport::to_json),
+                ),
+            ),
+        ]);
+        print!("{}", doc.to_pretty_string());
+    } else {
+        for r in &reports {
+            let g = &r.recovered;
+            println!(
+                "{:<16} {:<20} sets={:<4} ways={:<2} cap={:<5} grain={:<3} reach={:<4} \
+                 slots={} lossless={} chain={} l2={} [{}]",
+                r.config_name,
+                format!("set_index={}", g.set_index),
+                g.sets,
+                g.ways,
+                g.capacity,
+                g.grain_bytes,
+                g.reach_bytes,
+                g.slots,
+                if g.overflow_lossless { "y" } else { "n" },
+                if g.chain_absorbs { "y" } else { "n" },
+                if g.l2_present { "y" } else { "n" },
+                if r.clean() { "ok" } else { "MISMATCH" },
+            );
+            for m in &r.mismatches {
+                eprintln!("MISMATCH [{}]: {m}", r.config_name);
+            }
+            for a in &r.anomalies {
+                eprintln!("ANOMALY [{}]: {a}", r.config_name);
+            }
+        }
+        if clean {
+            println!(
+                "btb-check infer: {}/{} organizations recovered, zero ground-truth mismatches",
+                reports.len(),
+                reports.len()
+            );
+        }
+    }
+    if clean {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)
@@ -186,7 +301,18 @@ fn cmd_validate_json(args: &[String]) -> ExitCode {
 }
 
 fn cmd_list() -> ExitCode {
+    println!("campaign roster:");
     for config in campaign_configs() {
+        let l2 = config
+            .l2
+            .map_or_else(|| "-".to_owned(), |g| format!("{}x{}", g.sets, g.ways));
+        println!(
+            "{:<16} l1={}x{} l2={} {:?}",
+            config.name, config.l1.sets, config.l1.ways, l2, config.kind
+        );
+    }
+    println!("inference roster:");
+    for config in btb_check::infer_configs() {
         let l2 = config
             .l2
             .map_or_else(|| "-".to_owned(), |g| format!("{}x{}", g.sets, g.ways));
@@ -202,6 +328,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("campaign") => cmd_campaign(&args[1..]),
+        Some("infer") => cmd_infer(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         Some("validate-json") => cmd_validate_json(&args[1..]),
         Some("list") => {

@@ -159,6 +159,11 @@ pub struct CampaignOutcome {
     pub divergences: Vec<CampaignDivergence>,
     /// Simulator invariant violations (empty on a clean run).
     pub invariant_failures: Vec<String>,
+    /// Black-box inference failures (ground-truth mismatches or
+    /// measurement anomalies) from the quick probe-kernel inference sweep
+    /// over the [`crate::infer::infer_configs`] roster (empty on a clean
+    /// run).
+    pub inference_failures: Vec<String>,
     /// Total differential lookups performed across all replays.
     pub total_lookups: u64,
     /// Roster-order aggregate of the invariant simulations' metrics, when
@@ -171,7 +176,9 @@ impl CampaignOutcome {
     /// violation.
     #[must_use]
     pub fn clean(&self) -> bool {
-        self.divergences.is_empty() && self.invariant_failures.is_empty()
+        self.divergences.is_empty()
+            && self.invariant_failures.is_empty()
+            && self.inference_failures.is_empty()
     }
 }
 
@@ -362,6 +369,23 @@ pub fn run_campaign(opts: &CampaignOptions) -> CampaignOutcome {
             .metrics
             .get_or_insert_with(btb_obs::Snapshot::default)
             .merge(&observation.metrics);
+    }
+    // Black-box inference sweep: the same campaign binary must also be
+    // able to distinguish every organization from the outside (quick
+    // protocol; the dedicated `btb-check infer` command runs it thorough).
+    let infer_opts = crate::infer::InferOptions { thorough: false };
+    let infer_reports = crate::infer::run_inference(crate::infer::InferFault::None, &infer_opts);
+    for report in infer_reports {
+        for m in &report.mismatches {
+            outcome
+                .inference_failures
+                .push(format!("{}: {m}", report.config_name));
+        }
+        for a in &report.anomalies {
+            outcome
+                .inference_failures
+                .push(format!("{}: {a}", report.config_name));
+        }
     }
     outcome
 }

@@ -28,6 +28,7 @@
 
 pub mod campaign;
 pub mod golden;
+pub mod infer;
 pub mod invariants;
 pub mod minimize;
 pub mod replay;
@@ -38,6 +39,10 @@ pub use campaign::{
     CampaignOptions, CampaignOutcome,
 };
 pub use golden::{golden_for, OracleOrg};
+pub use infer::{
+    expected_geometry, infer_config, infer_configs, infer_target, run_inference, Geometry,
+    InferFault, InferOptions, InferenceReport,
+};
 pub use invariants::{check_probe_log, check_report};
 pub use minimize::minimize;
 pub use replay::{replay, replay_against, Divergence, ReplayReport};

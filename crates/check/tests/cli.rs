@@ -45,6 +45,87 @@ fn committed_reproducer_replays_clean_via_cli() {
 }
 
 #[test]
+fn infer_recovers_all_organizations() {
+    let out = btb_check(&["infer", "--quick"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("6/6 organizations recovered"),
+        "unexpected output:\n{stdout}"
+    );
+}
+
+#[test]
+fn infer_flags_a_seeded_fault_with_exit_1() {
+    let out = btb_check(&["infer", "--quick", "--fault", "halve-ways"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("MISMATCH"));
+}
+
+#[test]
+fn infer_usage_errors_exit_2() {
+    assert_eq!(btb_check(&["infer", "--bogus"]).status.code(), Some(2));
+    assert_eq!(btb_check(&["infer", "--fault"]).status.code(), Some(2));
+    assert_eq!(
+        btb_check(&["infer", "--fault", "grow-ways"]).status.code(),
+        Some(2)
+    );
+    assert_eq!(btb_check(&["infer", "--config"]).status.code(), Some(2));
+    assert_eq!(
+        btb_check(&["infer", "--config", "No Such Org"])
+            .status
+            .code(),
+        Some(2)
+    );
+}
+
+#[test]
+fn infer_json_verdicts_parse_strictly() {
+    let out = btb_check(&["infer", "--quick", "--json", "--config", "R-OVF 2BS"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    let doc = btb_store::JsonValue::parse_strict(&text).expect("strict parse");
+    assert_eq!(doc.get("clean"), Some(&btb_store::JsonValue::Bool(true)));
+    let reports = doc
+        .get("reports")
+        .and_then(btb_store::JsonValue::as_array)
+        .expect("reports array");
+    assert_eq!(reports.len(), 1);
+    let recovered = reports[0].get("recovered").expect("recovered geometry");
+    assert_eq!(
+        recovered
+            .get("set_index")
+            .and_then(btb_store::JsonValue::as_str),
+        Some("(pc >> 6) & 0xff")
+    );
+    assert_eq!(
+        recovered.get("overflow_lossless"),
+        Some(&btb_store::JsonValue::Bool(true))
+    );
+}
+
+#[test]
+fn infer_faulted_json_reports_not_clean() {
+    let out = btb_check(&[
+        "infer",
+        "--quick",
+        "--json",
+        "--config",
+        "I-BTB 16",
+        "--fault",
+        "double-grain",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let doc = btb_store::JsonValue::parse_strict(&String::from_utf8_lossy(&out.stdout))
+        .expect("strict parse");
+    assert_eq!(doc.get("clean"), Some(&btb_store::JsonValue::Bool(false)));
+    assert_eq!(
+        doc.get("fault").and_then(btb_store::JsonValue::as_str),
+        Some("double-grain")
+    );
+}
+
+#[test]
 fn help_exits_0() {
     let out = btb_check(&["--help"]);
     assert_eq!(out.status.code(), Some(0));

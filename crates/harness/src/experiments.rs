@@ -28,12 +28,13 @@ pub const ALL: &[&str] = &[
     "hetero",
     "preload",
     "turnaround",
+    "probes",
 ];
 
 /// Whether the named experiment needs the workload suite.
 #[must_use]
 pub fn needs_suite(name: &str) -> bool {
-    name != "table1"
+    !matches!(name, "table1" | "probes")
 }
 
 /// Whether the named experiment needs the shared baseline reports.
@@ -125,6 +126,7 @@ pub fn run_by_name(
         "hetero" => hetero(suite()?, base()?),
         "preload" => preload(suite()?, base()?),
         "turnaround" => turnaround(suite()?, base()?),
+        "probes" => crate::probes::probes_figure(),
         other => unreachable!("{other} is in ALL but unhandled"),
     })
 }

@@ -21,6 +21,7 @@ pub mod configs;
 pub mod experiments;
 mod figure;
 pub mod obs;
+pub mod probes;
 pub mod runner;
 
 pub use experiments::ExperimentError;

@@ -30,6 +30,7 @@ mod cfg;
 mod exec;
 mod io;
 mod mutate;
+pub mod probe;
 mod profile;
 mod record;
 mod stats;

@@ -1,0 +1,648 @@
+//! Deterministic adversarial probe kernels (the `btb-probe` workload family).
+//!
+//! Unlike the random CFG machinery in [`crate::build_program`], these
+//! workloads are constructed *directly* from explicit parameters: every
+//! branch address, kind and target is chosen to expose one aliasing
+//! mechanism of a BTB organization — set conflicts, region truncation,
+//! entry-reach limits, slot displacement / splitting / overflow, and
+//! multiblock chaining. The emitted traces are ordinary coherent
+//! [`Trace`]s (they pass [`check_control_flow`]) so they replay through
+//! `BtbOrganization::update`, the golden oracles, or the full pipeline
+//! simulator alike.
+//!
+//! Design rules shared by every builder:
+//!
+//! * **Chain-coherent**: every taken branch targets the next executed pc,
+//!   so block-grid walkers in the organizations advance O(1) per record
+//!   and no organization ever sees an impossible control-flow edge.
+//! * **Monotone phases**: within one phase (round), fetch addresses
+//!   strictly increase; a phase may only end with a non-forward jump.
+//! * **Declared budget**: every pc, and every target except the declared
+//!   `exit`, lies inside `[base, base + span_bytes)`. The span is computed
+//!   analytically from the parameters — not from the emitted records — so
+//!   validating it is meaningful.
+
+use crate::exec::{check_control_flow, Trace};
+use crate::record::{Addr, BranchKind, TraceRecord, INST_BYTES};
+
+/// A directly-constructed probe workload: a coherent trace plus the probe
+/// points and address budget needed to interpret hit/miss observations.
+#[derive(Debug, Clone)]
+pub struct ProbeKernel {
+    /// The coherent dynamic trace (named after the builder + parameters).
+    pub trace: Trace,
+    /// First fetch address. Kernels splice: the previous kernel's `exit`
+    /// must equal the next kernel's `entry`.
+    pub entry: Addr,
+    /// Target of the final branch — the splice point, outside the budget.
+    pub exit: Addr,
+    /// Branch addresses whose BTB residency the harness probes afterwards.
+    pub probes: Vec<Addr>,
+    /// Lowest address of the declared budget.
+    pub base: Addr,
+    /// Declared budget in bytes: every pc and every non-`exit` target lies
+    /// in `[base, base + span_bytes)`.
+    pub span_bytes: u64,
+}
+
+impl ProbeKernel {
+    /// Checks every well-formedness guarantee the builders advertise.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated invariant: control-flow
+    /// incoherence, wrong entry/exit endpoints, a pc or target outside the
+    /// declared budget, misalignment, a non-monotone fetch address inside a
+    /// phase, or a probe point that is not a branch pc.
+    pub fn validate(&self) -> Result<(), String> {
+        let recs = &self.trace.records;
+        if recs.is_empty() {
+            return Err("kernel emitted no records".into());
+        }
+        if let Err(i) = check_control_flow(recs) {
+            return Err(format!("control flow incoherent at record {i}"));
+        }
+        if recs[0].pc != self.entry {
+            return Err(format!(
+                "first record pc {:#x} != declared entry {:#x}",
+                recs[0].pc, self.entry
+            ));
+        }
+        let last = recs.last().expect("non-empty");
+        if !last.taken || last.target != self.exit {
+            return Err(format!(
+                "last record must be a taken branch to the exit {:#x}",
+                self.exit
+            ));
+        }
+        let end = self.base + self.span_bytes;
+        for (i, r) in recs.iter().enumerate() {
+            if r.pc % INST_BYTES != 0 {
+                return Err(format!("record {i}: misaligned pc {:#x}", r.pc));
+            }
+            if r.pc < self.base || r.pc >= end {
+                return Err(format!(
+                    "record {i}: pc {:#x} outside budget [{:#x}, {:#x})",
+                    r.pc, self.base, end
+                ));
+            }
+            if r.taken && r.target != self.exit {
+                if r.target % INST_BYTES != 0 {
+                    return Err(format!("record {i}: misaligned target {:#x}", r.target));
+                }
+                if r.target < self.base || r.target >= end {
+                    return Err(format!(
+                        "record {i}: target {:#x} outside budget [{:#x}, {:#x})",
+                        r.target, self.base, end
+                    ));
+                }
+            }
+        }
+        // Monotone phases: the fetch address strictly increases except
+        // across a phase boundary, which only a non-forward jump may open.
+        for i in 1..recs.len() {
+            let prev = &recs[i - 1];
+            if recs[i].pc <= prev.pc && !(prev.taken && prev.target <= prev.pc) {
+                return Err(format!(
+                    "record {i}: non-monotone fetch {:#x} after {:#x} without a backward jump",
+                    recs[i].pc, prev.pc
+                ));
+            }
+        }
+        for &p in &self.probes {
+            if !recs.iter().any(|r| r.op.is_branch() && r.pc == p) {
+                return Err(format!(
+                    "probe point {p:#x} is not a branch pc in the kernel"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn assert_aligned(addr: Addr, what: &str) {
+    assert!(
+        addr.is_multiple_of(INST_BYTES),
+        "{what} {addr:#x} must be {INST_BYTES}-byte aligned"
+    );
+}
+
+fn make_kernel(
+    name: String,
+    records: Vec<TraceRecord>,
+    base: Addr,
+    span_bytes: u64,
+    probes: Vec<Addr>,
+    exit: Addr,
+) -> ProbeKernel {
+    let entry = records
+        .first()
+        .expect("builders emit at least one record")
+        .pc;
+    ProbeKernel {
+        trace: Trace {
+            name: name.into(),
+            records,
+        },
+        entry,
+        exit,
+        probes,
+        base,
+        span_bytes,
+    }
+}
+
+/// Parameters of [`probe_chain`].
+#[derive(Debug, Clone)]
+pub struct ChainParams {
+    /// Strictly increasing, aligned branch addresses, visited in order.
+    pub addrs: Vec<Addr>,
+    /// Branch kind of every link.
+    pub kind: BranchKind,
+    /// Rounds through the whole chain (the last link of a non-final round
+    /// jumps back to the first address).
+    pub rounds: usize,
+    /// Target of the very last link.
+    pub exit: Addr,
+}
+
+/// The primitive every conflict/capacity kernel reduces to: a chain of
+/// always-taken branches where each link targets the next, so the trace
+/// is coherent and contains no filler instructions at all.
+///
+/// # Panics
+/// Panics on an empty or non-increasing address list, misalignment, or
+/// `rounds == 0`.
+#[must_use]
+pub fn probe_chain(params: &ChainParams) -> ProbeKernel {
+    chain_kernel(
+        format!("chain/n{}r{}", params.addrs.len(), params.rounds),
+        params,
+    )
+}
+
+fn chain_kernel(name: String, params: &ChainParams) -> ProbeKernel {
+    let n = params.addrs.len();
+    assert!(n > 0, "probe chain needs at least one address");
+    assert!(params.rounds > 0, "probe chain needs at least one round");
+    assert!(
+        params.addrs.windows(2).all(|w| w[0] < w[1]),
+        "probe chain addresses must strictly increase"
+    );
+    for &a in &params.addrs {
+        assert_aligned(a, "chain address");
+    }
+    let mut records = Vec::with_capacity(n * params.rounds);
+    for round in 0..params.rounds {
+        for (i, &pc) in params.addrs.iter().enumerate() {
+            let target = if i + 1 < n {
+                params.addrs[i + 1]
+            } else if round + 1 < params.rounds {
+                params.addrs[0]
+            } else {
+                params.exit
+            };
+            records.push(TraceRecord::branch(pc, params.kind, true, target));
+        }
+    }
+    let base = params.addrs[0];
+    let span = params.addrs[n - 1] - base + INST_BYTES;
+    make_kernel(name, records, base, span, params.addrs.clone(), params.exit)
+}
+
+/// Parameters of [`set_conflict_sweep`].
+#[derive(Debug, Clone)]
+pub struct SweepParams {
+    /// First branch address.
+    pub base: Addr,
+    /// Distance between consecutive branches in bytes. A stride that is a
+    /// multiple of the aliasing period lands every branch in one set.
+    pub stride: u64,
+    /// Number of branches.
+    pub count: usize,
+    /// Rounds through the sweep.
+    pub rounds: usize,
+    /// Branch kind of every link.
+    pub kind: BranchKind,
+    /// Target of the very last link.
+    pub exit: Addr,
+}
+
+/// Set-conflict sweep: `count` branches `stride` bytes apart, chained.
+/// With a stride that is a multiple of the set-aliasing period this
+/// measures associativity (only the last `ways` installs survive); with
+/// other strides it measures set-distribution behavior.
+///
+/// # Panics
+/// Panics on zero/misaligned stride, `count == 0`, or `rounds == 0`.
+#[must_use]
+pub fn set_conflict_sweep(params: &SweepParams) -> ProbeKernel {
+    assert!(
+        params.stride >= INST_BYTES && params.stride.is_multiple_of(INST_BYTES),
+        "sweep stride must be a positive multiple of {INST_BYTES}"
+    );
+    let addrs: Vec<Addr> = (0..params.count as u64)
+        .map(|i| params.base + i * params.stride)
+        .collect();
+    chain_kernel(
+        format!(
+            "sweep/s{:#x}c{}r{}",
+            params.stride, params.count, params.rounds
+        ),
+        &ChainParams {
+            addrs,
+            kind: params.kind,
+            rounds: params.rounds,
+            exit: params.exit,
+        },
+    )
+}
+
+/// Parameters of [`capacity_walk`].
+#[derive(Debug, Clone)]
+pub struct WalkParams {
+    /// First branch address.
+    pub base: Addr,
+    /// Distance between consecutive branches in bytes.
+    pub stride: u64,
+    /// Number of distinct branches installed.
+    pub entries: usize,
+    /// Rounds through the walk.
+    pub rounds: usize,
+    /// Target of the very last link.
+    pub exit: Addr,
+}
+
+/// Capacity walk: installs `entries` branches at a fixed stride and lets
+/// the harness count survivors. Walking `2 × capacity` entries at the
+/// entry grain leaves exactly `capacity` L1 survivors under LRU. Uses
+/// return branches so organizations with branch-kind-gated chaining
+/// (MB-BTB) treat every install as its own entry anchor.
+///
+/// # Panics
+/// Panics on zero/misaligned stride, `entries == 0`, or `rounds == 0`.
+#[must_use]
+pub fn capacity_walk(params: &WalkParams) -> ProbeKernel {
+    assert!(
+        params.stride >= INST_BYTES && params.stride.is_multiple_of(INST_BYTES),
+        "walk stride must be a positive multiple of {INST_BYTES}"
+    );
+    let addrs: Vec<Addr> = (0..params.entries as u64)
+        .map(|i| params.base + i * params.stride)
+        .collect();
+    chain_kernel(
+        format!(
+            "walk/s{:#x}e{}r{}",
+            params.stride, params.entries, params.rounds
+        ),
+        &ChainParams {
+            addrs,
+            kind: BranchKind::Return,
+            rounds: params.rounds,
+            exit: params.exit,
+        },
+    )
+}
+
+/// Parameters of [`region_boundary_straddle`].
+#[derive(Debug, Clone)]
+pub struct StraddleParams {
+    /// Entry address of the straddled window. **The caller must arrange
+    /// control flow so the organization's notion of "current block" is
+    /// `base` when the kernel starts** (the kernel is entered at `base`,
+    /// or at `base + offsets[0]` if the first offset is 0).
+    pub base: Addr,
+    /// Strictly increasing byte offsets (multiples of the instruction
+    /// size) of the straddling branches. Round `i` walks from `base` over
+    /// the already-installed branches (not taken) and takes the branch at
+    /// `base + offsets[i]` back to `base`; the last round exits.
+    pub offsets: Vec<u64>,
+    /// Target of the final taken branch.
+    pub exit: Addr,
+}
+
+/// Region/block-boundary straddle: conditional branches at increasing
+/// offsets from one entry point, installed one per round, with nop filler
+/// between them so the fetch stream actually crosses the intervening
+/// addresses. Exposes entry reach (how far one entry covers), slot counts
+/// (how many branches one entry holds), and the displacement / split /
+/// overflow behavior when the slots run out.
+///
+/// # Panics
+/// Panics on empty/non-increasing/misaligned offsets.
+#[must_use]
+pub fn region_boundary_straddle(params: &StraddleParams) -> ProbeKernel {
+    let n = params.offsets.len();
+    assert!(n > 0, "straddle needs at least one offset");
+    assert!(
+        params.offsets.windows(2).all(|w| w[0] < w[1]),
+        "straddle offsets must strictly increase"
+    );
+    for &o in &params.offsets {
+        assert!(
+            o % INST_BYTES == 0,
+            "straddle offset {o:#x} must be {INST_BYTES}-byte aligned"
+        );
+    }
+    assert_aligned(params.base, "straddle base");
+    let mut records = Vec::new();
+    for i in 0..n {
+        let stop = params.base + params.offsets[i];
+        let mut pc = params.base;
+        while pc < stop {
+            if params.offsets[..i].contains(&(pc - params.base)) {
+                // An already-installed straddling branch, crossed not-taken.
+                records.push(TraceRecord::branch(pc, BranchKind::CondDirect, false, 0));
+            } else {
+                records.push(TraceRecord::nop(pc));
+            }
+            pc += INST_BYTES;
+        }
+        let target = if i + 1 < n { params.base } else { params.exit };
+        records.push(TraceRecord::branch(
+            stop,
+            BranchKind::CondDirect,
+            true,
+            target,
+        ));
+    }
+    let span = params.offsets[n - 1] + INST_BYTES;
+    let probes = params.offsets.iter().map(|o| params.base + o).collect();
+    make_kernel(
+        format!("straddle/k{n}w{span:#x}"),
+        records,
+        params.base,
+        span,
+        probes,
+        params.exit,
+    )
+}
+
+/// Parameters of [`indirect_target_flip`].
+#[derive(Debug, Clone)]
+pub struct FlipParams {
+    /// Address of the indirect jump.
+    pub pc: Addr,
+    /// The two alternating targets; both must lie above `pc` and differ.
+    pub targets: (Addr, Addr),
+    /// Rounds (one indirect resolution per round, alternating targets).
+    pub rounds: usize,
+    /// Where the final trampoline jumps instead of returning to `pc`.
+    pub exit: Addr,
+}
+
+/// Indirect-target flip: one indirect jump alternating between two
+/// targets every round, each target holding an unconditional trampoline
+/// back to the jump. Stresses target-field replacement in one entry and,
+/// through `IndirectPredictor`, last-target misprediction behavior.
+///
+/// # Panics
+/// Panics on equal targets, a target at or below `pc`, misalignment, or
+/// `rounds == 0`.
+#[must_use]
+pub fn indirect_target_flip(params: &FlipParams) -> ProbeKernel {
+    let (t0, t1) = params.targets;
+    assert!(params.rounds > 0, "flip needs at least one round");
+    assert!(t0 != t1, "flip targets must differ");
+    assert!(
+        params.pc < t0 && params.pc < t1,
+        "flip targets must lie above the jump pc"
+    );
+    assert_aligned(params.pc, "flip pc");
+    assert_aligned(t0, "flip target");
+    assert_aligned(t1, "flip target");
+    let mut records = Vec::with_capacity(2 * params.rounds);
+    for round in 0..params.rounds {
+        let t = if round % 2 == 0 { t0 } else { t1 };
+        records.push(TraceRecord::branch(
+            params.pc,
+            BranchKind::IndirectJump,
+            true,
+            t,
+        ));
+        let back = if round + 1 < params.rounds {
+            params.pc
+        } else {
+            params.exit
+        };
+        records.push(TraceRecord::branch(t, BranchKind::UncondDirect, true, back));
+    }
+    let top = t0.max(t1);
+    make_kernel(
+        format!("flip/r{}", params.rounds),
+        records,
+        params.pc,
+        top - params.pc + INST_BYTES,
+        vec![params.pc, t0, t1],
+        params.exit,
+    )
+}
+
+/// Parameters of [`multiblock_chain_breaker`].
+#[derive(Debug, Clone)]
+pub struct BreakerParams {
+    /// Strictly increasing block addresses forming the chain.
+    pub blocks: Vec<Addr>,
+    /// Optional breaker: `(link_index, alt_target)`. The branch at
+    /// `blocks[link_index]` becomes an indirect jump that alternates per
+    /// round between its chain successor and `alt_target`, a trampoline
+    /// strictly between `blocks[link_index]` and `blocks[link_index + 1]`
+    /// that immediately rejoins the chain. `link_index + 1` must exist.
+    pub flip_link: Option<(usize, Addr)>,
+    /// Rounds through the chain.
+    pub rounds: usize,
+    /// Target of the final link.
+    pub exit: Addr,
+}
+
+/// Multiblock chain breaker: a chain of unconditional direct jumps — the
+/// exact pattern MB-BTB absorbs into multi-slot entries (chained blocks
+/// stop anchoring their own entries) — with an optional indirect flip
+/// link whose alternating target keeps breaking one chain edge. Every
+/// other organization keeps all blocks independently probeable.
+///
+/// # Panics
+/// Panics on fewer than two blocks, non-increasing/misaligned blocks,
+/// `rounds == 0`, or an invalid flip link.
+#[must_use]
+pub fn multiblock_chain_breaker(params: &BreakerParams) -> ProbeKernel {
+    let n = params.blocks.len();
+    assert!(n >= 2, "chain breaker needs at least two blocks");
+    assert!(params.rounds > 0, "chain breaker needs at least one round");
+    assert!(
+        params.blocks.windows(2).all(|w| w[0] < w[1]),
+        "chain breaker blocks must strictly increase"
+    );
+    for &b in &params.blocks {
+        assert_aligned(b, "chain block");
+    }
+    if let Some((k, alt)) = params.flip_link {
+        assert!(k + 1 < n, "flip link must have a chain successor");
+        assert!(
+            params.blocks[k] < alt && alt < params.blocks[k + 1],
+            "flip trampoline must lie strictly between the linked blocks"
+        );
+        assert_aligned(alt, "flip trampoline");
+    }
+    let mut records = Vec::with_capacity(n * params.rounds + params.rounds / 2);
+    for round in 0..params.rounds {
+        for (i, &pc) in params.blocks.iter().enumerate() {
+            let succ = if i + 1 < n {
+                params.blocks[i + 1]
+            } else if round + 1 < params.rounds {
+                params.blocks[0]
+            } else {
+                params.exit
+            };
+            match params.flip_link {
+                Some((k, alt)) if k == i => {
+                    let t = if round % 2 == 1 { alt } else { succ };
+                    records.push(TraceRecord::branch(pc, BranchKind::IndirectJump, true, t));
+                    if t == alt {
+                        records.push(TraceRecord::branch(
+                            alt,
+                            BranchKind::UncondDirect,
+                            true,
+                            succ,
+                        ));
+                    }
+                }
+                _ => records.push(TraceRecord::branch(
+                    pc,
+                    BranchKind::UncondDirect,
+                    true,
+                    succ,
+                )),
+            }
+        }
+    }
+    let base = params.blocks[0];
+    let span = params.blocks[n - 1] - base + INST_BYTES;
+    make_kernel(
+        format!("breaker/n{n}r{}", params.rounds),
+        records,
+        base,
+        span,
+        params.blocks.clone(),
+        params.exit,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXIT: Addr = 0x9000_0000;
+
+    #[test]
+    fn chain_is_coherent_and_round_trips() {
+        let k = probe_chain(&ChainParams {
+            addrs: vec![0x1000, 0x2000, 0x4000],
+            kind: BranchKind::Return,
+            rounds: 3,
+            exit: EXIT,
+        });
+        k.validate().expect("valid chain");
+        assert_eq!(k.trace.records.len(), 9);
+        assert_eq!(k.entry, 0x1000);
+        assert_eq!(k.span_bytes, 0x3000 + INST_BYTES);
+    }
+
+    #[test]
+    fn sweep_and_walk_cover_declared_budget() {
+        let s = set_conflict_sweep(&SweepParams {
+            base: 0x10_0000,
+            stride: 1 << 12,
+            count: 16,
+            rounds: 2,
+            kind: BranchKind::CondDirect,
+            exit: EXIT,
+        });
+        s.validate().expect("valid sweep");
+        assert_eq!(s.probes.len(), 16);
+
+        let w = capacity_walk(&WalkParams {
+            base: 0x20_0000,
+            stride: 64,
+            entries: 128,
+            rounds: 1,
+            exit: EXIT,
+        });
+        w.validate().expect("valid walk");
+        assert_eq!(w.span_bytes, 127 * 64 + INST_BYTES);
+    }
+
+    #[test]
+    fn straddle_installs_one_branch_per_round() {
+        let k = region_boundary_straddle(&StraddleParams {
+            base: 0x4000,
+            offsets: vec![0, 8, 20],
+            exit: EXIT,
+        });
+        k.validate().expect("valid straddle");
+        // Exactly one taken branch per round, at the round's offset.
+        let taken: Vec<Addr> = k
+            .trace
+            .records
+            .iter()
+            .filter(|r| r.taken)
+            .map(|r| r.pc)
+            .collect();
+        assert_eq!(taken, vec![0x4000, 0x4008, 0x4014]);
+        // Earlier offsets are crossed as not-taken branches, not nops.
+        assert!(k
+            .trace
+            .records
+            .iter()
+            .any(|r| r.op.is_branch() && !r.taken && r.pc == 0x4008));
+    }
+
+    #[test]
+    fn flip_alternates_targets() {
+        let k = indirect_target_flip(&FlipParams {
+            pc: 0x8000,
+            targets: (0x8100, 0x8200),
+            rounds: 4,
+            exit: EXIT,
+        });
+        k.validate().expect("valid flip");
+        let targets: Vec<Addr> = k
+            .trace
+            .records
+            .iter()
+            .filter(|r| r.pc == 0x8000)
+            .map(|r| r.target)
+            .collect();
+        assert_eq!(targets, vec![0x8100, 0x8200, 0x8100, 0x8200]);
+    }
+
+    #[test]
+    fn breaker_flips_one_link() {
+        let k = multiblock_chain_breaker(&BreakerParams {
+            blocks: vec![0x1_0000, 0x2_0000, 0x3_0000],
+            flip_link: Some((1, 0x2_8000)),
+            rounds: 4,
+            exit: EXIT,
+        });
+        k.validate().expect("valid breaker");
+        let flip_targets: Vec<Addr> = k
+            .trace
+            .records
+            .iter()
+            .filter(|r| r.pc == 0x2_0000)
+            .map(|r| r.target)
+            .collect();
+        assert_eq!(flip_targets, vec![0x3_0000, 0x2_8000, 0x3_0000, 0x2_8000]);
+    }
+
+    #[test]
+    fn validate_rejects_a_tampered_kernel() {
+        let mut k = probe_chain(&ChainParams {
+            addrs: vec![0x1000, 0x2000],
+            kind: BranchKind::Return,
+            rounds: 1,
+            exit: EXIT,
+        });
+        k.span_bytes = 0x800; // second link now lies outside the budget
+        assert!(k.validate().is_err());
+    }
+}

@@ -1,0 +1,203 @@
+//! Property tests for the adversarial probe-kernel builders: every kernel
+//! a seeded parameter sweep can produce must be well-formed — coherent
+//! control flow, monotone fetch addresses within a phase, every pc and
+//! non-exit target inside the declared budget, probes on real branch pcs
+//! — and must round-trip byte-exactly through the `btb-trace`
+//! encode/decode pair. Failing seeds are persisted to
+//! `probe_kernels.proptest-regressions` (committed next to this file) and
+//! replayed before novel cases on every subsequent run.
+
+use btb_trace::probe::{
+    capacity_walk, indirect_target_flip, multiblock_chain_breaker, probe_chain,
+    region_boundary_straddle, set_conflict_sweep, BreakerParams, ChainParams, FlipParams,
+    ProbeKernel, StraddleParams, SweepParams, WalkParams,
+};
+use btb_trace::{read_trace, write_trace, BranchKind, INST_BYTES};
+use proptest::prelude::*;
+
+/// All exits jump far above any generated budget.
+const EXIT: u64 = 1 << 40;
+
+const KINDS: [BranchKind; 4] = [
+    BranchKind::CondDirect,
+    BranchKind::UncondDirect,
+    BranchKind::DirectCall,
+    BranchKind::Return,
+];
+
+/// Deterministic splitmix64 stream for derived parameter vectors, so the
+/// strategies stay simple tuples the persistence file can reproduce.
+fn splitmix(seed: u64) -> impl FnMut() -> u64 {
+    let mut x = seed;
+    move || {
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+fn assert_well_formed(kernel: &ProbeKernel) -> Result<(), TestCaseError> {
+    prop_assert_eq!(kernel.validate(), Ok(()), "kernel {}", kernel.trace.name);
+    prop_assert!(!kernel.probes.is_empty(), "kernel has no probe points");
+    for &p in &kernel.probes {
+        prop_assert!(
+            p >= kernel.base && p < kernel.base + kernel.span_bytes,
+            "probe {p:#x} outside the declared budget"
+        );
+    }
+    // Round-trip through the trace encoder: the on-disk form must decode
+    // to the identical record stream and name.
+    let mut bytes = Vec::new();
+    write_trace(&mut bytes, &kernel.trace).expect("encode in-memory");
+    let decoded = read_trace(bytes.as_slice()).expect("decode what we encoded");
+    prop_assert_eq!(
+        &decoded,
+        &kernel.trace,
+        "encode/decode round-trip changed the trace"
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn chain_kernels_are_well_formed(
+        base_inst in 1u64..1_000_000,
+        links in 1usize..12,
+        inc_seed in 0u64..u64::MAX,
+        kind_pick in 0usize..4,
+        rounds in 1usize..4,
+    ) {
+        let mut next = splitmix(inc_seed);
+        let mut addrs = vec![base_inst * INST_BYTES];
+        for _ in 1..links {
+            let inc = (next() % 64 + 1) * INST_BYTES;
+            addrs.push(addrs.last().expect("non-empty") + inc);
+        }
+        let kernel = probe_chain(&ChainParams {
+            addrs,
+            kind: KINDS[kind_pick],
+            rounds,
+            exit: EXIT,
+        });
+        assert_well_formed(&kernel)?;
+    }
+
+    #[test]
+    fn sweep_kernels_are_well_formed(
+        base_inst in 1u64..1_000_000,
+        stride_insts in 1u64..100_000,
+        count in 1usize..64,
+        rounds in 1usize..3,
+        kind_pick in 0usize..4,
+    ) {
+        let kernel = set_conflict_sweep(&SweepParams {
+            base: base_inst * INST_BYTES,
+            stride: stride_insts * INST_BYTES,
+            count,
+            rounds,
+            kind: KINDS[kind_pick],
+            exit: EXIT,
+        });
+        prop_assert_eq!(kernel.probes.len(), count);
+        assert_well_formed(&kernel)?;
+    }
+
+    #[test]
+    fn walk_kernels_are_well_formed(
+        base_inst in 1u64..1_000_000,
+        stride_insts in 1u64..4096,
+        entries in 1usize..512,
+        rounds in 1usize..3,
+    ) {
+        let kernel = capacity_walk(&WalkParams {
+            base: base_inst * INST_BYTES,
+            stride: stride_insts * INST_BYTES,
+            entries,
+            rounds,
+            exit: EXIT,
+        });
+        prop_assert_eq!(
+            kernel.span_bytes,
+            (entries as u64 - 1) * stride_insts * INST_BYTES + INST_BYTES
+        );
+        assert_well_formed(&kernel)?;
+    }
+
+    #[test]
+    fn straddle_kernels_are_well_formed(
+        base_inst in 1u64..1_000_000,
+        branches in 1usize..10,
+        gap_seed in 0u64..u64::MAX,
+        from_zero in any::<bool>(),
+    ) {
+        let mut next = splitmix(gap_seed);
+        let mut offsets = Vec::with_capacity(branches);
+        let mut at = if from_zero { 0 } else { (next() % 16 + 1) * INST_BYTES };
+        for _ in 0..branches {
+            offsets.push(at);
+            at += (next() % 16 + 1) * INST_BYTES;
+        }
+        let kernel = region_boundary_straddle(&StraddleParams {
+            base: base_inst * INST_BYTES,
+            offsets,
+            exit: EXIT,
+        });
+        // One taken install per round, every earlier offset crossed.
+        prop_assert_eq!(
+            kernel.trace.records.iter().filter(|r| r.taken).count(),
+            branches
+        );
+        assert_well_formed(&kernel)?;
+    }
+
+    #[test]
+    fn flip_kernels_are_well_formed(
+        pc_inst in 1u64..1_000_000,
+        gap_a in 1u64..10_000,
+        gap_b in 1u64..10_000,
+        rounds in 1usize..9,
+    ) {
+        let pc = pc_inst * INST_BYTES;
+        let t0 = pc + gap_a * INST_BYTES;
+        let mut t1 = pc + gap_b * INST_BYTES;
+        if t1 == t0 {
+            t1 += INST_BYTES;
+        }
+        let kernel = indirect_target_flip(&FlipParams {
+            pc,
+            targets: (t0, t1),
+            rounds,
+            exit: EXIT,
+        });
+        prop_assert_eq!(kernel.trace.records.len(), 2 * rounds);
+        assert_well_formed(&kernel)?;
+    }
+
+    #[test]
+    fn breaker_kernels_are_well_formed(
+        base_inst in 1u64..1_000_000,
+        blocks in 2usize..8,
+        spacing_insts in 2u64..100_000,
+        rounds in 1usize..5,
+        flip in any::<bool>(),
+    ) {
+        let spacing = spacing_insts * INST_BYTES;
+        let addrs: Vec<u64> = (0..blocks as u64)
+            .map(|i| base_inst * INST_BYTES + i * spacing)
+            .collect();
+        // Strictly between blocks[0] and blocks[1] for any spacing >= 2 insts.
+        let flip_link = flip.then(|| (0, addrs[0] + INST_BYTES));
+        let kernel = multiblock_chain_breaker(&BreakerParams {
+            blocks: addrs,
+            flip_link,
+            rounds,
+            exit: EXIT,
+        });
+        prop_assert_eq!(kernel.probes.len(), blocks);
+        assert_well_formed(&kernel)?;
+    }
+}
