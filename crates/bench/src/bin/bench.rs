@@ -6,8 +6,8 @@
 //! diffable performance trajectory at the repo root:
 //!
 //! ```text
-//! cargo run --release -p btb-bench --bin bench                  # -> BENCH_PR6.json
-//! cargo run --release -p btb-bench --bin bench -- --compare BENCH_PR5.json
+//! cargo run --release -p btb-bench --bin bench                  # -> BENCH_PR9.json
+//! cargo run --release -p btb-bench --bin bench -- --compare BENCH_PR6.json
 //! ```
 //!
 //! Since PR 6 the run ends with a `serve` phase: an in-process
@@ -16,6 +16,12 @@
 //! separate `serve` member of the JSON (not in the throughput total the
 //! `--compare` gate checks, so serve numbers never mask a simulator
 //! regression — or vice versa).
+//!
+//! Since PR 9 two more gated members follow the same pattern: `ff`
+//! (fast-forward warm-up must stay ≥10x cycle-sim throughput) and
+//! `stream` (peak RSS must stay flat as a streamed trace grows 100x).
+//! Both gates fail the run with exit 1; neither feeds the `--compare`
+//! throughput total.
 //!
 //! `--compare` diffs the fresh run against a previously committed
 //! `BENCH_*.json` and exits non-zero if total throughput regressed by more
@@ -41,7 +47,7 @@ fn exit_usage(problem: &str) -> ! {
          usage: bench [--out PATH] [--no-out] [--compare PATH] [--gate PCT] [--note STRING]\n        \
          [--threads N] [--metrics] [--trace-out DIR]\n\n\
          options:\n  \
-         --out PATH      write the JSON result to PATH (default: BENCH_PR6.json)\n  \
+         --out PATH      write the JSON result to PATH (default: BENCH_PR9.json)\n  \
          --no-out        measure and print, but write no file\n  \
          --compare PATH  diff against a previous BENCH_*.json; exit 1 if total\n                  \
          throughput regressed by more than the gate, exit 2 if the\n                  \
@@ -62,7 +68,7 @@ fn exit_usage(problem: &str) -> ! {
 
 fn parse_cli(args: &[String]) -> Cli {
     let mut cli = Cli {
-        out: Some("BENCH_PR6.json".to_string()),
+        out: Some("BENCH_PR9.json".to_string()),
         compare: None,
         gate_pct: 20.0,
         note: None,
@@ -186,7 +192,7 @@ fn measure<T>(name: &'static str, f: impl FnOnce() -> T) -> (Phase, T) {
     (phase, value)
 }
 
-fn run_all(scale: Scale) -> Vec<Phase> {
+fn run_all(scale: Scale) -> (Vec<Phase>, Suite) {
     let mut phases = Vec::new();
 
     let (p, suite) = measure("suite", || Suite::generate(scale));
@@ -211,7 +217,149 @@ fn run_all(scale: Scale) -> Vec<Phase> {
         );
         phases.push(p);
     }
-    phases
+    (phases, suite)
+}
+
+/// The fast-forward phase: measures the functional warm-up tier against
+/// the cycle-accurate pipeline on the same records and **gates** the
+/// speedup at 10x — the whole point of `--ff` warm-up is to blast through
+/// warm-up regions an order of magnitude faster, and a regression here
+/// (say, an accidental allocation in the retire/update path) silently
+/// makes 100M-instruction recipes unaffordable.
+fn run_ff_phase(suite: &Suite) -> JsonValue {
+    use btb_sim::WarmupCheckpoint;
+    let trace = &suite.traces[0];
+    let insts = trace.records.len() as u64;
+    // The realistic hierarchy is what fast-forward warm-up exists for
+    // (100M-instruction sweeps over Table 1 sizes), and its tables are
+    // small enough that one-time allocation doesn't swamp the per-record
+    // cost this gate is about.
+    let cfg = btb_harness::configs::real_ibtb16();
+    let pipe = btb_sim::PipelineConfig::paper();
+
+    // Best-of-N on both sides: the gate is a ratio, and min-of-runs is the
+    // standard way to keep one scheduler hiccup on a shared runner from
+    // flipping it.
+    let cycle_s = (0..2)
+        .map(|_| {
+            let t = Instant::now();
+            let report = btb_sim::simulate(trace, cfg.clone(), pipe.clone());
+            std::hint::black_box(&report);
+            t.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min);
+
+    let ff_s = (0..3)
+        .map(|_| {
+            let t = Instant::now();
+            let mut records = trace.records.iter().copied();
+            let ckpt = WarmupCheckpoint::capture(&mut records, insts, cfg.clone(), &pipe)
+                .expect("fast-forward over a full trace");
+            std::hint::black_box(&ckpt);
+            t.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min);
+
+    let cycle_ips = insts as f64 / cycle_s;
+    let ff_ips = insts as f64 / ff_s;
+    let speedup = ff_ips / cycle_ips;
+    eprintln!(
+        "# ff: {insts} insts, cycle {:.0} insts/s, fast-forward {:.0} insts/s, {speedup:.1}x",
+        cycle_ips, ff_ips
+    );
+    if speedup < 10.0 {
+        eprintln!("bench: fast-forward speedup {speedup:.1}x is below the 10x gate");
+        std::process::exit(1);
+    }
+    JsonValue::Object(vec![
+        ("instructions".into(), JsonValue::Integer(insts as i64)),
+        ("cycle_insts_per_sec".into(), JsonValue::number(cycle_ips)),
+        ("ff_insts_per_sec".into(), JsonValue::number(ff_ips)),
+        ("speedup".into(), JsonValue::number(speedup)),
+        ("gate_min_speedup".into(), JsonValue::number(10.0)),
+    ])
+}
+
+/// `VmHWM` (peak resident set) of this process in KiB, from
+/// `/proc/self/status`. `None` off Linux.
+fn read_vm_hwm_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()
+}
+
+/// The streaming phase: runs the engine off a live executor at 1x and
+/// then 100x the base trace length and **gates** peak-RSS growth — the
+/// streaming path exists so memory stays flat however long the trace is,
+/// and a regression (anything that materializes the stream) would show up
+/// as a ~100x allocation here. Off Linux the RSS gate is skipped (the
+/// throughput numbers are still recorded).
+fn run_stream_phase() -> JsonValue {
+    use btb_trace::{build_program, TraceExecutor, WorkloadProfile};
+    let profile = WorkloadProfile::tiny(1);
+    let prog = build_program(&profile);
+    let cfg = btb_harness::configs::baseline();
+    let pipe = btb_sim::PipelineConfig::paper();
+    let base: usize = 30_000;
+    let big = base * 100;
+
+    let run = |n: usize| {
+        let records = TraceExecutor::new(&prog, profile.seed).take(n);
+        let t = Instant::now();
+        let report = btb_sim::simulate_stream("stream-bench", records, cfg.clone(), pipe.clone());
+        std::hint::black_box(&report);
+        t.elapsed().as_secs_f64()
+    };
+
+    // Warm-up at 1x establishes the baseline high-water mark (allocator
+    // pools, BTB tables); the 100x run then must not move it by more than
+    // a fixed slack, because the stream itself holds O(1) records.
+    run(base);
+    let hwm_before = read_vm_hwm_kb();
+    let big_s = run(big);
+    let hwm_after = read_vm_hwm_kb();
+    let ips = big as f64 / big_s;
+
+    const RSS_SLACK_KB: u64 = 65_536; // 64 MiB
+    let delta_kb = match (hwm_before, hwm_after) {
+        (Some(b), Some(a)) => {
+            let delta = a.saturating_sub(b);
+            eprintln!(
+                "# stream: {big} insts at {ips:.0} insts/s, peak-RSS delta {delta} KiB \
+                 (gate {RSS_SLACK_KB} KiB for a 100x longer trace)"
+            );
+            if delta > RSS_SLACK_KB {
+                eprintln!(
+                    "bench: streaming peak RSS grew {delta} KiB over a 100x longer trace \
+                     — the stream is being materialized somewhere"
+                );
+                std::process::exit(1);
+            }
+            Some(delta)
+        }
+        _ => {
+            eprintln!("# stream: {big} insts at {ips:.0} insts/s (no /proc; RSS gate skipped)");
+            None
+        }
+    };
+    JsonValue::Object(vec![
+        ("base_insts".into(), JsonValue::Integer(base as i64)),
+        ("big_insts".into(), JsonValue::Integer(big as i64)),
+        ("insts_per_sec".into(), JsonValue::number(ips)),
+        (
+            "peak_rss_delta_kb".into(),
+            delta_kb.map_or(JsonValue::Null, |d| JsonValue::Integer(d as i64)),
+        ),
+        (
+            "gate_max_delta_kb".into(),
+            JsonValue::Integer(RSS_SLACK_KB as i64),
+        ),
+    ])
 }
 
 /// The serve phase: boot an in-process daemon, push a deterministic
@@ -291,7 +439,14 @@ fn run_serve_phase() -> JsonValue {
     ])
 }
 
-fn result_json(scale: Scale, phases: &[Phase], serve: JsonValue, note: Option<&str>) -> JsonValue {
+fn result_json(
+    scale: Scale,
+    phases: &[Phase],
+    serve: JsonValue,
+    ff: JsonValue,
+    stream: JsonValue,
+    note: Option<&str>,
+) -> JsonValue {
     let wall_s: f64 = phases.iter().map(|p| p.wall_s).sum();
     let instructions: u64 = phases.iter().map(|p| p.instructions).sum();
     let cells: u64 = phases.iter().map(|p| p.cells).sum();
@@ -327,6 +482,8 @@ fn result_json(scale: Scale, phases: &[Phase], serve: JsonValue, note: Option<&s
         JsonValue::array(phases.iter().map(Phase::to_json)),
     ));
     members.push(("serve".into(), serve));
+    members.push(("ff".into(), ff));
+    members.push(("stream".into(), stream));
     members.push((
         "total".into(),
         JsonValue::Object(vec![
@@ -440,9 +597,11 @@ fn main() {
         scale.workloads,
         btb_par::threads()
     );
-    let phases = run_all(scale);
+    let (phases, suite) = run_all(scale);
     let serve = run_serve_phase();
-    let doc = result_json(scale, &phases, serve, cli.note.as_deref());
+    let ff = run_ff_phase(&suite);
+    let stream = run_stream_phase();
+    let doc = result_json(scale, &phases, serve, ff, stream, cli.note.as_deref());
 
     let total = doc.get("total").expect("total");
     eprintln!(

@@ -2,7 +2,7 @@
 //! baseline contrasted against the hashed perceptron.
 
 /// A PC-indexed table of 2-bit saturating counters.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Bimodal {
     counters: Vec<u8>,
     mask: usize,

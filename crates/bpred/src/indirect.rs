@@ -5,7 +5,7 @@ use crate::history::PathHistory;
 use btb_trace::Addr;
 
 /// A gshare-like indirect target predictor.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IndirectPredictor {
     /// Path-history-indexed target table.
     table: Vec<Addr>,

@@ -65,7 +65,7 @@ pub fn history_lengths() -> [usize; NUM_TABLES] {
 }
 
 /// Hashed perceptron direction predictor.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HashedPerceptron {
     tables: Vec<Vec<i8>>,
     lens: [usize; NUM_TABLES],

@@ -6,7 +6,7 @@ use btb_trace::Addr;
 ///
 /// On overflow the oldest entry is silently overwritten (wrap-around), as in
 /// real hardware; on underflow [`ReturnAddressStack::pop`] returns `None`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReturnAddressStack {
     entries: Vec<Addr>,
     top: usize,

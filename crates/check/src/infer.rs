@@ -509,6 +509,14 @@ impl BtbOrganization for SkewedUpdates {
     fn dump_state(&self) -> btb_core::BtbState {
         self.inner.dump_state()
     }
+
+    fn clone_box(&self) -> Box<dyn BtbOrganization> {
+        Box::new(SkewedUpdates {
+            inner: self.inner.clone_box(),
+            bias: self.bias,
+            swap_bits: self.swap_bits,
+        })
+    }
 }
 
 /// Replays kernels into an opaque organization and keeps observation

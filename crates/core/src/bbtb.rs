@@ -228,6 +228,10 @@ impl BtbOrganization for BlockBtb {
         &self.config
     }
 
+    fn clone_box(&self) -> Box<dyn BtbOrganization> {
+        Box::new(self.clone())
+    }
+
     fn plan(&mut self, pc: Addr, oracle: &mut dyn PredictionProvider) -> FetchPlan {
         let Some((entry, level)) = self.store.lookup_fill(Self::key(pc)) else {
             // Miss: the frontend speculates sequentially over a full block.

@@ -327,6 +327,10 @@ impl BtbOrganization for HeteroBtb {
         &self.config
     }
 
+    fn clone_box(&self) -> Box<dyn BtbOrganization> {
+        Box::new(self.clone())
+    }
+
     fn plan(&mut self, pc: Addr, oracle: &mut dyn PredictionProvider) -> FetchPlan {
         // Index-based lookup so the entry can be borrowed (not cloned)
         // while `plan_from_l1` reads the rest of `self`.

@@ -72,6 +72,10 @@ impl BtbOrganization for InstructionBtb {
         &self.config
     }
 
+    fn clone_box(&self) -> Box<dyn BtbOrganization> {
+        Box::new(self.clone())
+    }
+
     fn plan(&mut self, pc: Addr, oracle: &mut dyn PredictionProvider) -> FetchPlan {
         let mut segments = Vec::new();
         let mut branches = Vec::new();

@@ -400,6 +400,10 @@ impl BtbOrganization for MultiBlockBtb {
         &self.config
     }
 
+    fn clone_box(&self) -> Box<dyn BtbOrganization> {
+        Box::new(self.clone())
+    }
+
     fn plan(&mut self, pc: Addr, oracle: &mut dyn PredictionProvider) -> FetchPlan {
         let Some((entry, level)) = self.store.lookup_fill(Self::key(pc)) else {
             return FetchPlan::sequential(pc, self.block_insts as u64);

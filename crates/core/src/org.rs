@@ -16,7 +16,11 @@ use btb_trace::{Addr, BranchKind, TraceRecord};
 ///   outcome of each branch (the paper models immediate updates).
 /// * [`BtbOrganization::inspect`] — content statistics (occupancy,
 ///   redundancy) sampled periodically, as in §5.
-pub trait BtbOrganization {
+///
+/// Organizations are plain data (`Send + Sync`), and every implementor
+/// provides [`BtbOrganization::clone_box`], so a trained BTB can be
+/// snapshotted into a warmup checkpoint and resumed from another thread.
+pub trait BtbOrganization: Send + Sync {
     /// The configuration this organization was built from.
     fn config(&self) -> &BtbConfig;
 
@@ -60,6 +64,20 @@ pub trait BtbOrganization {
     /// Display name (defaults to the configuration name).
     fn name(&self) -> &str {
         &self.config().name
+    }
+
+    /// Deep copy of the full organization state behind a fresh box.
+    ///
+    /// The copy carries every table, tag and replacement-recency bit, so
+    /// driving the copy and the original with identical operation sequences
+    /// yields identical plans, probes and [`BtbOrganization::dump_state`]
+    /// dumps. Warmup checkpointing relies on this.
+    fn clone_box(&self) -> Box<dyn BtbOrganization>;
+}
+
+impl Clone for Box<dyn BtbOrganization> {
+    fn clone(&self) -> Self {
+        self.clone_box()
     }
 }
 

@@ -106,6 +106,10 @@ impl BtbOrganization for RegionBtb {
         &self.config
     }
 
+    fn clone_box(&self) -> Box<dyn BtbOrganization> {
+        Box::new(self.clone())
+    }
+
     fn plan(&mut self, pc: Addr, oracle: &mut dyn PredictionProvider) -> FetchPlan {
         let first_region = self.region_of(pc);
         let num_regions = if self.dual { 2 } else { 1 };

@@ -100,6 +100,10 @@ impl BtbOrganization for RegionOverflowBtb {
         &self.config
     }
 
+    fn clone_box(&self) -> Box<dyn BtbOrganization> {
+        Box::new(self.clone())
+    }
+
     fn plan(&mut self, pc: Addr, oracle: &mut dyn PredictionProvider) -> FetchPlan {
         let region = self.region_of(pc);
         let window_end = region + self.region_bytes;

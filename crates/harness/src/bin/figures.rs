@@ -42,6 +42,15 @@ options:
                   cell, and an index.json into DIR; implies --metrics.
                   Cached cells are not re-traced: use a fresh --store (or
                   none) to trace every cell
+  --stream        pull trace records from the store's chunked objects (or a
+                  live executor) instead of materialized record vectors;
+                  figures are byte-identical, memory stays flat with trace
+                  length (also: BTB_STREAM=1)
+  --ff            run warm-up in the fast-forward tier: functional-only
+                  BTB/predictor training with sweep-wide checkpoint reuse,
+                  ~10x+ faster than cycle-accurate warm-up. Fast-forward
+                  warm state differs from cycle warm state by design, so
+                  reports land under distinct cache keys (also: BTB_FF=1)
   --no-preflight  skip the differential golden-model pre-flight check
   --list          list experiment names, one per line, and exit
   -h, --help      show this message
@@ -113,6 +122,8 @@ fn parse_cli(args: &[String]) -> Cli {
                 });
             }
             "--no-preflight" => cli.no_preflight = true,
+            "--stream" => btb_harness::set_stream_mode(true),
+            "--ff" => btb_harness::set_ff_mode(true),
             "--metrics" => cli.obs.metrics = true,
             "--trace-out" => {
                 let Some(dir) = args.get(i + 1) else {
@@ -307,11 +318,26 @@ fn main() {
         "# threads: {} (override with --threads/BTB_THREADS; output is identical at any count)",
         btb_par::threads()
     );
+    if btb_harness::stream_mode() {
+        eprintln!("# streaming execution: on (records pulled from store objects / live executors)");
+    }
+    if btb_harness::ff_mode() {
+        eprintln!("# fast-forward warm-up: on (functional training + checkpoint reuse)");
+    }
     let t0 = Instant::now();
     let needs_suite = cli.selected.iter().any(|w| experiments::needs_suite(w));
     let suite = if needs_suite {
         // Suite::generate consults the ambient store installed above.
-        Some(Suite::generate(scale))
+        // Streaming runs plan the suite instead of materializing it:
+        // missing traces are published to the store straight off a live
+        // executor, and matrix cells later replay them chunk by chunk —
+        // no record vector ever exists in this process. Observed runs
+        // need the materialized engine, so they keep Suite::generate.
+        if btb_harness::stream_mode() && !cli.obs.enabled() {
+            Some(Suite::plan(scale))
+        } else {
+            Some(Suite::generate(scale))
+        }
     } else {
         None
     };

@@ -8,7 +8,7 @@ use crate::figure::{Figure, Row};
 use crate::runner::{run_config, run_matrix, Suite};
 use btb_core::{BtbConfig, PullPolicy};
 use btb_sim::{PipelineConfig, SimReport};
-use btb_trace::TraceStats;
+use btb_trace::{Trace, TraceStats};
 
 /// Every experiment name, in canonical `figures all` execution order.
 /// Shared by the `figures` and `bench` binaries so the two can never
@@ -474,7 +474,20 @@ pub fn workload_stats(suite: &Suite) -> Figure {
         ],
     );
     let mut bbs = Vec::new();
-    for t in &suite.traces {
+    for (w, profile) in suite.profiles.iter().enumerate() {
+        // Planned (streaming) suites carry no materialized records, but
+        // characterization needs the full vector; rebuild one workload
+        // at a time so peak memory stays one trace, not the suite. The
+        // rebuilt records are bit-identical to the streamed ones (same
+        // executor, same seed).
+        let owned;
+        let t: &Trace = match suite.traces.get(w) {
+            Some(t) => t,
+            None => {
+                owned = Trace::generate(profile, suite.scale.insts);
+                &owned
+            }
+        };
         let s = TraceStats::compute(&t.records);
         bbs.push(s.avg_dyn_bb_size);
         fig.rows.push(Row {

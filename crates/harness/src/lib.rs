@@ -27,6 +27,7 @@ pub mod runner;
 pub use experiments::ExperimentError;
 pub use figure::{Figure, Row};
 pub use runner::{
-    ambient_store, install_store, memo_report, run_cell, run_config, run_counters, run_matrix,
-    run_matrix_with_store, CellOutcome, CellSource, RunCounters, Scale, Suite,
+    ambient_store, ff_mode, install_store, memo_report, run_cell, run_cell_streamed, run_config,
+    run_counters, run_matrix, run_matrix_with_store, set_ff_mode, set_stream_mode, stream_mode,
+    CellOutcome, CellSource, RunCounters, Scale, Suite,
 };

@@ -25,9 +25,9 @@
 //! (trace, config, pipeline) cell.
 
 use btb_core::BtbConfig;
-use btb_sim::{simulate, PipelineConfig, SimReport};
-use btb_store::{Digest, Store};
-use btb_trace::{server_suite, Trace, WorkloadProfile};
+use btb_sim::{simulate, PipelineConfig, SimReport, Simulator, WarmupCheckpoint, WarmupMode};
+use btb_store::{Digest, Sha256, Store};
+use btb_trace::{build_program, server_suite, Trace, TraceExecutor, TraceRecord, WorkloadProfile};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -96,6 +96,56 @@ pub fn reset_report_memo() {
             shard.lock().expect("memo shard lock").clear();
         }
     }
+    if let Some(shards) = CKPT_MEMO.get() {
+        for shard in shards {
+            shard.lock().expect("checkpoint shard lock").clear();
+        }
+    }
+}
+
+/// In-process memo of fast-forward warm-up checkpoints, sharded and
+/// single-flight exactly like [`REPORT_MEMO`]. A config sweep visits the
+/// same (workload, BTB organization, warm-up length) many times with only
+/// backend/pipeline knobs varying; the warm state depends on none of those
+/// knobs, so the sweep fast-forwards warm-up *once* per checkpoint key and
+/// every other cell resumes from a clone.
+type CkptCell = Arc<OnceLock<WarmupCheckpoint>>;
+type CkptShard = Mutex<HashMap<Digest, CkptCell>>;
+static CKPT_MEMO: OnceLock<Vec<CkptShard>> = OnceLock::new();
+
+fn ckpt_cell(key: &Digest) -> CkptCell {
+    let shards = CKPT_MEMO.get_or_init(|| {
+        (0..MEMO_SHARDS)
+            .map(|_| Mutex::new(HashMap::new()))
+            .collect()
+    });
+    shards[key.0[0] as usize % MEMO_SHARDS]
+        .lock()
+        .expect("checkpoint shard lock")
+        .entry(*key)
+        .or_default()
+        .clone()
+}
+
+/// Cache key for a fast-forward warm-up checkpoint: the trace identity,
+/// the BTB organization, and the *checkpoint-relevant* pipeline fields —
+/// the predictor configuration and the warm-up length. Backend and
+/// frontend-queue knobs are deliberately excluded: fast-forward touches
+/// only `BtbOrganization::update` and `Predictors::retire`, so cells that
+/// differ in (say) backend model or FTQ depth share a warm state.
+fn checkpoint_key(trace_key: &Digest, config: &BtbConfig, pipe: &PipelineConfig) -> Digest {
+    let mut h = Sha256::new();
+    h.update(&btb_sim::SCHEMA_VERSION.to_le_bytes());
+    h.update(&trace_key.0);
+    h.update(format!("{config:?}").as_bytes());
+    h.update(
+        format!(
+            "{:?}|{}|{}|{}",
+            pipe.perceptron, pipe.indirect_entries, pipe.ras_entries, pipe.warmup_insts
+        )
+        .as_bytes(),
+    );
+    h.finish()
 }
 
 /// Cumulative delivered-work counters across every `run_matrix*` call in
@@ -243,6 +293,53 @@ impl Suite {
         Suite::generate_impl(scale, Some(store))
     }
 
+    /// Streaming-mode counterpart of [`Suite::generate`]: records the
+    /// workload plan without materializing any record vectors. Missing
+    /// traces are published to the ambient store straight off a live
+    /// executor (O(chunk) memory), so matrix cells can replay them from
+    /// disk; without a store each cell regenerates its stream live.
+    /// `traces` stays empty — only the streaming matrix path (and
+    /// [`crate::experiments::workload_stats`], which materializes one
+    /// workload at a time) may consume a planned suite.
+    #[must_use]
+    pub fn plan(scale: Scale) -> Self {
+        Suite::plan_impl(scale, ambient_store())
+    }
+
+    /// [`Suite::plan`] against an explicit store.
+    #[must_use]
+    pub fn plan_with_store(scale: Scale, store: &Store) -> Self {
+        Suite::plan_impl(scale, Some(store))
+    }
+
+    fn plan_impl(scale: Scale, store: Option<&Store>) -> Self {
+        let profiles: Vec<_> = server_suite().into_iter().take(scale.workloads).collect();
+        if let Some(st) = store {
+            btb_par::ordered_map(&profiles, |_, profile| {
+                // `open_trace_stream` doubles as the existence check: it
+                // verifies the stored object end to end in flat memory,
+                // so cells never trip over corruption mid-sweep.
+                if st.open_trace_stream(profile, scale.insts).is_none() {
+                    let prog = build_program(profile);
+                    let records = TraceExecutor::new(&prog, profile.seed).take(scale.insts);
+                    if let Err(e) =
+                        st.put_trace_stream(profile, scale.insts, &profile.name, records)
+                    {
+                        eprintln!(
+                            "btb-harness: warning: streamed publish of {} failed: {e}",
+                            profile.name
+                        );
+                    }
+                }
+            });
+        }
+        Suite {
+            traces: Vec::new(),
+            profiles,
+            scale,
+        }
+    }
+
     fn generate_impl(scale: Scale, store: Option<&Store>) -> Self {
         let profiles: Vec<_> = server_suite().into_iter().take(scale.workloads).collect();
         // Per-workload builds are independent; the pool returns them in
@@ -266,10 +363,11 @@ impl Suite {
         }
     }
 
-    /// Workload names in suite order.
+    /// Workload names in suite order (valid for planned suites too —
+    /// trace names always equal their profile names).
     #[must_use]
     pub fn names(&self) -> Vec<String> {
-        self.traces.iter().map(|t| t.name.to_string()).collect()
+        self.profiles.iter().map(|p| p.name.to_string()).collect()
     }
 }
 
@@ -391,6 +489,11 @@ pub fn run_cell(
                             cell_metrics = Some(crate::obs::export_fresh_cell(&key, &report, obs));
                             report
                         }
+                        None if pipe.warmup_mode == WarmupMode::FastForward
+                            && pipe.warmup_insts > 0 =>
+                        {
+                            simulate_ff(trace, trace_key, config, pipe)
+                        }
                         None => simulate(trace, config.clone(), pipe.clone()),
                     }
                 })
@@ -425,6 +528,201 @@ pub fn run_cell(
     }
 }
 
+/// Simulates one fast-forward cell through the warm-up checkpoint memo:
+/// the warm-up region is fast-forwarded at most once per
+/// [`checkpoint_key`] (single-flight, shared across the whole sweep), and
+/// the cell resumes cycle-accurate simulation from a clone of the warm
+/// state. Bit-identical to running the fast-forward warm-up straight
+/// through (`btb_sim` pins that equivalence in its own tests).
+fn simulate_ff(
+    trace: &Trace,
+    trace_key: &Digest,
+    config: &BtbConfig,
+    pipe: &PipelineConfig,
+) -> SimReport {
+    let cell = ckpt_cell(&checkpoint_key(trace_key, config, pipe));
+    let ckpt = cell.get_or_init(|| {
+        let mut warm = trace.records.iter().copied();
+        WarmupCheckpoint::capture(&mut warm, pipe.warmup_insts, config.clone(), pipe)
+            .unwrap_or_else(|e| panic!("{}: {e}", trace.name))
+    });
+    let measured = &trace.records[ckpt.insts as usize..];
+    let mut report = Simulator::resume(ckpt, measured.iter().copied(), pipe.clone())
+        .try_run()
+        .unwrap_or_else(|e| panic!("{}: {e}", trace.name));
+    report.workload = trace.name.clone();
+    report
+}
+
+/// Tri-state execution-mode switches: 0 = unset (fall back to the
+/// environment variable), 1 = forced off, 2 = forced on. The setters exist
+/// so the `figures` CLI flags and in-process tests can flip modes without
+/// mutating the environment.
+static STREAM_MODE: AtomicU64 = AtomicU64::new(0);
+static FF_MODE: AtomicU64 = AtomicU64::new(0);
+
+fn mode(switch: &AtomicU64, env: &str) -> bool {
+    match switch.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => std::env::var(env).is_ok_and(|v| !v.is_empty() && v != "0"),
+    }
+}
+
+/// Forces streaming execution on or off for this process (overrides
+/// `BTB_STREAM`).
+pub fn set_stream_mode(on: bool) {
+    STREAM_MODE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// Whether matrix cells should pull records from a stream (a stored trace
+/// object or a live [`TraceExecutor`]) instead of the suite's materialized
+/// record vectors. Opt-in via `BTB_STREAM=1` (any value but `0`/empty) or
+/// [`set_stream_mode`]; reports are byte-identical either way — the
+/// streaming engine consumes the exact record sequence the materialized
+/// path holds in memory — so this is a memory-footprint knob, not a
+/// semantics knob.
+#[must_use]
+pub fn stream_mode() -> bool {
+    mode(&STREAM_MODE, "BTB_STREAM")
+}
+
+/// Forces fast-forward warm-up on or off for this process (overrides
+/// `BTB_FF`).
+pub fn set_ff_mode(on: bool) {
+    FF_MODE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// Whether `run_matrix` executes warm-up in the fast-forward tier
+/// (functional-only training plus sweep-wide checkpoint reuse) instead of
+/// the cycle-accurate pipeline. Opt-in via `BTB_FF=1` or [`set_ff_mode`].
+/// Unlike streaming this *is* a semantics knob: fast-forward warm state is
+/// deliberately distinct from cycle warm state, so reports land under
+/// different cache keys and figures are labelled by the mode they ran in.
+#[must_use]
+pub fn ff_mode() -> bool {
+    mode(&FF_MODE, "BTB_FF")
+}
+
+/// [`run_cell`] variant that never touches a materialized record vector:
+/// records stream from the store's chunked trace object when present,
+/// otherwise straight off a live [`TraceExecutor`] rebuilt from `profile`.
+/// Report keys, memoization and conservation-law checks are identical to
+/// [`run_cell`], so a streamed cell and a materialized cell are fully
+/// interchangeable — byte-identical reports under the same key.
+///
+/// Observability is the one capability the streaming engine does not
+/// carry; observed runs go through [`run_cell`].
+///
+/// # Panics
+/// Panics if the delivered report violates a simulator invariant, if the
+/// stream ends inside the warm-up region, or if a verified stored trace
+/// turns unreadable mid-replay.
+#[must_use]
+pub fn run_cell_streamed(
+    profile: &WorkloadProfile,
+    insts: usize,
+    trace_key: &Digest,
+    config: &BtbConfig,
+    pipe: &PipelineConfig,
+    store: Option<&Store>,
+) -> CellOutcome {
+    let key = btb_store::report_key(trace_key, config, pipe);
+    CELLS.fetch_add(1, Ordering::Relaxed);
+    INSTRUCTIONS.fetch_add(insts as u64, Ordering::Relaxed);
+    let (report, source) = match store.and_then(|st| st.get_report(&key)) {
+        Some(cached) => {
+            STORE_HITS.fetch_add(1, Ordering::Relaxed);
+            (cached, CellSource::Store)
+        }
+        None => {
+            let cell = memo_cell(&key);
+            let mut ran_here = false;
+            let fresh = cell
+                .get_or_init(|| {
+                    ran_here = true;
+                    FRESH_CELLS.fetch_add(1, Ordering::Relaxed);
+                    simulate_streamed(profile, insts, trace_key, config, pipe, store)
+                })
+                .clone();
+            let source = if ran_here {
+                CellSource::Fresh
+            } else {
+                MEMO_HITS.fetch_add(1, Ordering::Relaxed);
+                CellSource::Memo
+            };
+            if let Some(st) = store {
+                st.put_report(&key, &fresh);
+            }
+            (fresh, source)
+        }
+    };
+    let violations = btb_check::check_report(&report, pipe.width as u64);
+    assert!(
+        violations.is_empty(),
+        "simulator invariant violation for {} on {}: {}",
+        config.name,
+        profile.name,
+        violations.join("; ")
+    );
+    CellOutcome {
+        report,
+        source,
+        metrics: None,
+    }
+}
+
+/// The streaming simulation behind [`run_cell_streamed`]: picks a record
+/// source, threads it through the warm-up checkpoint memo when
+/// fast-forwarding, and runs the engine off the stream.
+fn simulate_streamed(
+    profile: &WorkloadProfile,
+    insts: usize,
+    trace_key: &Digest,
+    config: &BtbConfig,
+    pipe: &PipelineConfig,
+    store: Option<&Store>,
+) -> SimReport {
+    let name = profile.name.clone();
+    let prog;
+    let mut stream: Box<dyn Iterator<Item = TraceRecord>> = match store
+        .and_then(|st| st.open_trace_stream(profile, insts))
+    {
+        Some(stored) => {
+            let workload = name.clone();
+            Box::new(stored.map(move |r| {
+                r.unwrap_or_else(|e| panic!("{workload}: stored trace unreadable mid-replay: {e}"))
+            }))
+        }
+        None => {
+            prog = build_program(profile);
+            Box::new(TraceExecutor::new(&prog, profile.seed).take(insts))
+        }
+    };
+    if pipe.warmup_mode == WarmupMode::FastForward && pipe.warmup_insts > 0 {
+        let cell = ckpt_cell(&checkpoint_key(trace_key, config, pipe));
+        let mut captured_here = false;
+        let ckpt = cell.get_or_init(|| {
+            captured_here = true;
+            WarmupCheckpoint::capture(&mut stream, pipe.warmup_insts, config.clone(), pipe)
+                .unwrap_or_else(|e| panic!("{name}: {e}"))
+        });
+        if !captured_here {
+            // Another cell already owns this checkpoint; skip the warm-up
+            // region of our stream and resume from the shared warm state.
+            stream.nth(ckpt.insts as usize - 1);
+        }
+        let mut report = Simulator::resume(ckpt, stream, pipe.clone())
+            .try_run()
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        report.workload = name.as_str().into();
+        report
+    } else {
+        btb_sim::try_simulate_stream(&name, stream, config.clone(), pipe.clone())
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+}
+
 fn run_matrix_impl(
     suite: &Suite,
     configs: &[BtbConfig],
@@ -432,9 +730,12 @@ fn run_matrix_impl(
     store: Option<&Store>,
 ) -> Vec<Vec<SimReport>> {
     let jobs: Vec<(usize, usize)> = (0..configs.len())
-        .flat_map(|c| (0..suite.traces.len()).map(move |w| (c, w)))
+        .flat_map(|c| (0..suite.profiles.len()).map(move |w| (c, w)))
         .collect();
-    let pipe = pipeline.clone().with_warmup(suite.scale.warmup);
+    let mut pipe = pipeline.clone().with_warmup(suite.scale.warmup);
+    if ff_mode() && pipe.warmup_insts > 0 {
+        pipe = pipe.with_fast_forward();
+    }
     // Report keys hash the trace identity and the *effective* pipeline —
     // the one with warm-up applied, exactly as handed to `simulate`.
     let trace_keys: Vec<_> = suite
@@ -445,8 +746,30 @@ fn run_matrix_impl(
     // Cells are farmed out to the work pool and collected in submission
     // order, so the matrix (and everything rendered from it) is identical
     // at any thread count.
+    //
+    // In streaming mode each cell pulls records from the store's chunked
+    // trace object (or a live executor) instead of the materialized suite;
+    // reports land under the same keys with identical bytes. Observed runs
+    // need the materialized path.
+    let streaming = stream_mode() && crate::obs::options().is_none();
+    assert!(
+        streaming || suite.traces.len() == suite.profiles.len(),
+        "planned (trace-less) suite requires streaming execution; \
+         rebuild it with Suite::generate for the materialized path"
+    );
     let flat = btb_par::ordered_map(&jobs, |_, &(c, w)| {
-        let cell = run_cell(&suite.traces[w], &trace_keys[w], &configs[c], &pipe, store);
+        let cell = if streaming {
+            run_cell_streamed(
+                &suite.profiles[w],
+                suite.scale.insts,
+                &trace_keys[w],
+                &configs[c],
+                &pipe,
+                store,
+            )
+        } else {
+            run_cell(&suite.traces[w], &trace_keys[w], &configs[c], &pipe, store)
+        };
         (cell.report, cell.metrics)
     });
     // Fold fresh-cell metrics into the run aggregate in *submission*

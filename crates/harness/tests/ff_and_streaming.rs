@@ -1,0 +1,263 @@
+//! PR 9 acceptance surface: streaming execution must be byte-identical to
+//! materialized execution, and fast-forward warm-up with checkpoint reuse
+//! must be bit-identical to a straight-through fast-forward run — across
+//! every BTB organization, at any warm-up length.
+
+use btb_core::{BtbConfig, PullPolicy};
+use btb_harness::{configs, run_cell, run_cell_streamed, Scale, Suite};
+use btb_sim::{simulate, simulate_stream, PipelineConfig, Simulator, WarmupCheckpoint};
+use btb_store::codec::encode_report;
+use btb_trace::{Trace, WorkloadProfile};
+use proptest::prelude::*;
+
+/// One representative configuration per organization family.
+fn six_organizations() -> Vec<BtbConfig> {
+    vec![
+        configs::real_ibtb16(),
+        configs::real_bbtb(8, 3, false),
+        configs::real_rbtb(6, false),
+        configs::real_rbtb_overflow(6, 2048),
+        configs::real_mbbtb(8, 3, PullPolicy::UncondDirect),
+        configs::hetero_block_region(3, 6),
+    ]
+}
+
+fn tiny_scale(insts: usize) -> Scale {
+    Scale {
+        insts,
+        warmup: (insts / 4) as u64,
+        workloads: 1,
+    }
+}
+
+#[test]
+fn streamed_cell_is_byte_identical_to_materialized_for_every_org() {
+    let scale = tiny_scale(24_000);
+    let suite = Suite::generate(scale);
+    let trace_key = btb_store::trace_key(&suite.profiles[0], scale.insts);
+    let pipe = PipelineConfig::paper().with_warmup(scale.warmup);
+    for cfg in six_organizations() {
+        let materialized = run_cell(&suite.traces[0], &trace_key, &cfg, &pipe, None).report;
+        // Forget the memo so the streamed cell actually runs the streaming
+        // engine instead of replaying the materialized report.
+        btb_harness::runner::reset_report_memo();
+        let streamed = run_cell_streamed(
+            &suite.profiles[0],
+            scale.insts,
+            &trace_key,
+            &cfg,
+            &pipe,
+            None,
+        )
+        .report;
+        assert_eq!(
+            encode_report(&streamed),
+            encode_report(&materialized),
+            "{}: streamed bytes diverged from materialized",
+            cfg.name
+        );
+    }
+}
+
+#[test]
+fn streamed_cell_replays_identically_from_a_stored_trace_object() {
+    struct ScratchDir(std::path::PathBuf);
+    impl Drop for ScratchDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+    let dir =
+        ScratchDir(std::env::temp_dir().join(format!("btb-ff-stream-test-{}", std::process::id())));
+    let store = btb_store::Store::open(&dir.0).expect("open store");
+
+    let scale = tiny_scale(23_000);
+    let profile = WorkloadProfile::tiny(3);
+    let trace = Trace::generate(&profile, scale.insts);
+    let trace_key = btb_store::trace_key(&profile, scale.insts);
+    let pipe = PipelineConfig::paper().with_warmup(scale.warmup);
+    let cfg = configs::baseline();
+
+    // Reference: live-executor streaming (no store).
+    let reference = run_cell_streamed(&profile, scale.insts, &trace_key, &cfg, &pipe, None).report;
+
+    // Publish the trace as a chunked object and replay the cell from disk.
+    store
+        .put_trace_stream(
+            &profile,
+            scale.insts,
+            &trace.name,
+            trace.records.iter().copied(),
+        )
+        .expect("streamed publish");
+    btb_harness::runner::reset_report_memo();
+    let from_disk =
+        run_cell_streamed(&profile, scale.insts, &trace_key, &cfg, &pipe, Some(&store)).report;
+    assert_eq!(encode_report(&from_disk), encode_report(&reference));
+}
+
+#[test]
+fn planned_suite_publishes_streamed_traces_without_materializing() {
+    struct ScratchDir(std::path::PathBuf);
+    impl Drop for ScratchDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+    let dir =
+        ScratchDir(std::env::temp_dir().join(format!("btb-plan-test-{}", std::process::id())));
+    let store = btb_store::Store::open(&dir.0).expect("open store");
+
+    let scale = tiny_scale(9_000);
+    let planned = Suite::plan_with_store(scale, &store);
+    assert!(
+        planned.traces.is_empty(),
+        "a planned suite must never materialize record vectors"
+    );
+    assert_eq!(planned.profiles.len(), scale.workloads);
+
+    // The streamed-published object is byte-interoperable with the
+    // materialized codec: `get_trace` decodes exactly what
+    // `Trace::generate` would have produced.
+    let reference = Trace::generate(&planned.profiles[0], scale.insts);
+    let stored = store
+        .get_trace(&planned.profiles[0], scale.insts)
+        .expect("plan published the missing trace");
+    assert_eq!(stored.name, reference.name);
+    assert_eq!(stored.records, reference.records);
+    assert_eq!(planned.names(), vec![reference.name.to_string()]);
+
+    // Re-planning against the warm store is a pure cache hit.
+    let before = store.peek_counters();
+    let _ = Suite::plan_with_store(scale, &store);
+    let after = store.peek_counters();
+    assert_eq!(after.trace_hits, before.trace_hits + 1);
+    assert_eq!(after.trace_misses, before.trace_misses);
+}
+
+#[test]
+fn ff_cells_with_shared_checkpoints_match_straight_through_runs() {
+    let scale = tiny_scale(26_000);
+    let suite = Suite::generate(scale);
+    let trace = &suite.traces[0];
+    let trace_key = btb_store::trace_key(&suite.profiles[0], scale.insts);
+    let ff = PipelineConfig::paper()
+        .with_warmup(scale.warmup)
+        .with_fast_forward();
+
+    // Two pipelines that share a checkpoint key (the backend model is
+    // irrelevant to fast-forward training) but simulate different cells:
+    // the second cell resumes from the checkpoint the first captured.
+    let realistic = ff.clone();
+    let ideal = PipelineConfig {
+        warmup_insts: scale.warmup,
+        ..PipelineConfig::paper_ideal_backend()
+    }
+    .with_fast_forward();
+
+    for (tag, pipe) in [("realistic", &realistic), ("ideal", &ideal)] {
+        for cfg in [configs::baseline(), configs::real_ibtb16()] {
+            let straight = {
+                let mut r = simulate(trace, cfg.clone(), pipe.clone());
+                r.workload = trace.name.clone();
+                r
+            };
+            let via_cell = run_cell(trace, &trace_key, &cfg, pipe, None).report;
+            assert_eq!(
+                encode_report(&via_cell),
+                encode_report(&straight),
+                "{tag}/{}: checkpoint-resumed cell diverged from straight-through",
+                cfg.name
+            );
+        }
+    }
+}
+
+#[test]
+fn ff_and_cycle_reports_live_under_distinct_cache_keys() {
+    let profile = WorkloadProfile::tiny(1);
+    let trace_key = btb_store::trace_key(&profile, 10_000);
+    let cfg = configs::baseline();
+    let cycle = PipelineConfig::paper().with_warmup(2_000);
+    let ff = cycle.clone().with_fast_forward();
+    assert_ne!(
+        btb_store::report_key(&trace_key, &cfg, &cycle),
+        btb_store::report_key(&trace_key, &cfg, &ff),
+        "fast-forward and cycle warm-up produce different warm state; \
+         their reports must never share a cache slot"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// S3: the streaming engine is byte-identical to the materialized
+    /// engine for every organization, on fuzzed workloads and warm-up
+    /// lengths.
+    #[test]
+    fn streaming_matches_materialized_on_fuzzed_profiles(
+        seed in 0u64..1_000,
+        insts in 8_000usize..16_000,
+        warmup_frac in 0u64..3,
+    ) {
+        let profile = WorkloadProfile::tiny(seed);
+        let trace = Trace::generate(&profile, insts);
+        let warmup = insts as u64 * warmup_frac / 4;
+        let pipe = PipelineConfig::paper().with_warmup(warmup);
+        for cfg in six_organizations() {
+            let materialized = simulate(&trace, cfg.clone(), pipe.clone());
+            let streamed = simulate_stream(
+                &trace.name,
+                trace.records.iter().copied(),
+                cfg.clone(),
+                pipe.clone(),
+            );
+            prop_assert_eq!(
+                encode_report(&streamed),
+                encode_report(&materialized),
+                "{}: streamed bytes diverged", cfg.name
+            );
+        }
+    }
+
+    /// S3: checkpoint capture is deterministic (two captures agree field
+    /// by field) and capture+resume is bit-identical to a straight-through
+    /// fast-forward run, at fuzzed warm-up lengths.
+    #[test]
+    fn checkpoint_roundtrip_on_fuzzed_warmups(
+        seed in 0u64..1_000,
+        insts in 8_000usize..14_000,
+        warmup_frac in 1u64..4,
+    ) {
+        let profile = WorkloadProfile::tiny(seed);
+        let trace = Trace::generate(&profile, insts);
+        let warmup = insts as u64 * warmup_frac / 5;
+        let pipe = PipelineConfig::paper()
+            .with_warmup(warmup)
+            .with_fast_forward();
+        let cfg = configs::real_ibtb16();
+
+        let mut warm_a = trace.records.iter().copied();
+        let a = WarmupCheckpoint::capture(&mut warm_a, warmup, cfg.clone(), &pipe)
+            .expect("capture");
+        let mut warm_b = trace.records.iter().copied();
+        let b = WarmupCheckpoint::capture(&mut warm_b, warmup, cfg.clone(), &pipe)
+            .expect("capture again");
+        prop_assert_eq!(&a.predictors, &b.predictors, "predictor state must be deterministic");
+        prop_assert_eq!(a.btb.dump_state(), b.btb.dump_state(), "BTB state must be deterministic");
+        prop_assert_eq!(a.insts, warmup);
+
+        // `capture` left `warm_a` at the boundary: resuming over the rest
+        // must equal the straight-through fast-forward run.
+        let resumed = Simulator::resume(&a, warm_a, pipe.clone())
+            .try_run()
+            .expect("resume");
+        let mut straight = simulate(&trace, cfg, pipe);
+        straight.workload = "".into();
+        prop_assert_eq!(
+            encode_report(&resumed),
+            encode_report(&straight),
+            "capture+resume diverged from straight-through"
+        );
+    }
+}

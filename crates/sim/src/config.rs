@@ -14,6 +14,27 @@ pub enum BackendKind {
     Ideal,
 }
 
+/// How the warm-up region of the trace is executed.
+///
+/// The two modes train the BTB and predictors through the same
+/// `update`/`retire` calls, but [`WarmupMode::Cycle`] additionally performs
+/// one BTB *access* (`plan`) per PC-generation bundle — and accesses touch
+/// replacement recency and trigger L2→L1 fills — so the warm state the
+/// measured region starts from is mode-dependent. The mode is therefore part
+/// of the pipeline configuration (and of every report cache key): reports
+/// from different warm-up modes are distinct artifacts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarmupMode {
+    /// Warm-up instructions run through the full cycle-accurate pipeline;
+    /// statistics collection simply starts after the boundary.
+    Cycle,
+    /// Warm-up instructions are fast-forwarded: functional-only BTB and
+    /// predictor training with no fetch planning, queue modelling or cycle
+    /// accounting. ≥10x faster than cycle warm-up, and the resulting warm
+    /// state is checkpointable (see `WarmupCheckpoint`).
+    FastForward,
+}
+
 /// Frontend/backend pipeline parameters.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PipelineConfig {
@@ -55,6 +76,9 @@ pub struct PipelineConfig {
     pub ras_entries: usize,
     /// Instructions of warm-up before statistics collection.
     pub warmup_insts: u64,
+    /// How the warm-up region is executed (cycle-accurate or
+    /// fast-forwarded).
+    pub warmup_mode: WarmupMode,
     /// Enable IBM z-style BTB preloading: a combined L1I miss and L2-BTB
     /// consultation bulk-promotes the surrounding region's entries into the
     /// L1 BTB (related work, §7.3).
@@ -85,6 +109,7 @@ impl PipelineConfig {
             indirect_entries: 4096,
             ras_entries: 64,
             warmup_insts: 0,
+            warmup_mode: WarmupMode::Cycle,
             btb_preload: false,
         }
     }
@@ -104,6 +129,14 @@ impl PipelineConfig {
     #[must_use]
     pub fn with_warmup(mut self, insts: u64) -> Self {
         self.warmup_insts = insts;
+        self
+    }
+
+    /// Switches the warm-up region to fast-forward execution
+    /// (functional-only BTB/predictor training, no cycle accounting).
+    #[must_use]
+    pub fn with_fast_forward(mut self) -> Self {
+        self.warmup_mode = WarmupMode::FastForward;
         self
     }
 

@@ -36,13 +36,19 @@ mod stats;
 /// being visible in [`PipelineConfig`] or `btb_core::BtbConfig` (e.g. a
 /// fixed pipeline model bug or a new sampling policy), so cached
 /// [`SimReport`]s from older binaries are never mistaken for current ones.
-pub const SCHEMA_VERSION: u32 = 1;
+/// v2: exact committed-instruction warm-up boundary (the warm snapshot used
+/// to land on the first bundle boundary at-or-after `warmup_insts`, so the
+/// measured region drifted with bundle width).
+pub const SCHEMA_VERSION: u32 = 2;
 
 pub use backend::{Backend, BackendTimes, QueueRing};
-pub use config::{BackendKind, PipelineConfig};
+pub use config::{BackendKind, PipelineConfig, WarmupMode};
 pub use obs::{ObsConfig, RunObservation};
 pub use predictors::Predictors;
 #[cfg(feature = "probe")]
 pub use probe::{BundleEvent, ProbeLog};
-pub use sim::{simulate, simulate_observed, Simulator};
+pub use sim::{
+    simulate, simulate_observed, simulate_stream, try_simulate, try_simulate_stream, SimError,
+    Simulator, SliceRecords, WarmupCheckpoint,
+};
 pub use stats::{SimReport, SimStats};

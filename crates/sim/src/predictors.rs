@@ -11,7 +11,7 @@ use btb_trace::{Addr, BranchKind, TraceRecord};
 use crate::config::PipelineConfig;
 
 /// All prediction structures plus their histories.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Predictors {
     perceptron: HashedPerceptron,
     ghist: GlobalHistory,

@@ -31,4 +31,4 @@ pub use codec::CodecError;
 pub use hash::{Digest, Sha256};
 pub use json::JsonValue;
 pub use key::{report_key, trace_key};
-pub use store::{CounterSnapshot, Failpoint, GcOutcome, Kind, Store, StoreStats};
+pub use store::{CounterSnapshot, Failpoint, GcOutcome, Kind, Store, StoreStats, TraceStream};

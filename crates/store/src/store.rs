@@ -21,8 +21,8 @@ use crate::hash::{Digest, Sha256};
 use crate::key;
 use btb_core::BtbConfig;
 use btb_sim::{PipelineConfig, SimReport};
-use btb_trace::{Trace, WorkloadProfile};
-use std::io::{self, Read, Write};
+use btb_trace::{ReadTraceError, Trace, TraceReader, TraceRecord, TraceWriter, WorkloadProfile};
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -306,6 +306,119 @@ impl Store {
         }
     }
 
+    /// Publishes the trace for (`profile`, `insts`) straight off a live
+    /// record iterator, never materializing the record vector. The object
+    /// header needs the payload length and checksum, which only exist once
+    /// the stream is drained, so the publish writes a placeholder header,
+    /// streams the chunked payload through a running hash, then seeks back
+    /// and patches the header before the atomic rename — readers still
+    /// never observe a partial or unverifiable object.
+    ///
+    /// Returns the number of records written.
+    ///
+    /// # Errors
+    /// Propagates I/O failures; a failed publish leaves no partial object
+    /// behind.
+    pub fn put_trace_stream(
+        &self,
+        profile: &WorkloadProfile,
+        insts: usize,
+        name: &str,
+        records: impl Iterator<Item = TraceRecord>,
+    ) -> io::Result<u64> {
+        let k = key::trace_key(profile, insts);
+        let final_path = self.object_path(&k);
+        if let Some(parent) = final_path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let tmp_path = self.root.join("tmp").join(format!(
+            "{}-{}-{}.tmp",
+            k.to_hex(),
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        let result = (|| -> io::Result<u64> {
+            let mut file = std::fs::File::create(&tmp_path)?;
+            file.write_all(STORE_MAGIC)?;
+            file.write_all(&[Kind::Trace.code()])?;
+            file.write_all(&[0u8; 8 + 32])?; // placeholder length + checksum
+            let mut sink = HashingWriter {
+                inner: BufWriter::new(file),
+                hasher: Sha256::new(),
+                len: 0,
+            };
+            let mut tw = TraceWriter::new(&mut sink, name)?;
+            let mut written = 0u64;
+            for rec in records {
+                tw.push(&rec)?;
+                written += 1;
+            }
+            tw.finish()?;
+            sink.inner.flush()?;
+            let mut file = sink
+                .inner
+                .into_inner()
+                .map_err(io::IntoInnerError::into_error)?;
+            file.seek(SeekFrom::Start(9))?; // past magic + kind byte
+            file.write_all(&sink.len.to_le_bytes())?;
+            file.write_all(&sink.hasher.finish().0)?;
+            file.sync_data()?;
+            std::fs::rename(&tmp_path, &final_path)?;
+            Ok(written)
+        })();
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp_path);
+        }
+        result
+    }
+
+    /// Opens the stored trace for (`profile`, `insts`) as a record stream,
+    /// counting a hit or miss. Integrity is established *before* any
+    /// record is handed out: a first pass streams the payload through a
+    /// running SHA-256 in fixed-size blocks (flat memory at any trace
+    /// length) and compares it against the header checksum; corrupt
+    /// entries degrade to a miss and are unlinked, exactly like
+    /// [`Store::get_raw`]. Only then does the returned [`TraceStream`]
+    /// replay records from disk chunk by chunk.
+    #[must_use]
+    pub fn open_trace_stream(
+        &self,
+        profile: &WorkloadProfile,
+        insts: usize,
+    ) -> Option<TraceStream> {
+        let k = key::trace_key(profile, insts);
+        let path = self.object_path(&k);
+        let opened = std::fs::File::open(&path).ok().and_then(|mut file| {
+            match verify_streaming(&mut file, Kind::Trace) {
+                Ok(()) => {
+                    file.seek(SeekFrom::Start(HEADER_LEN as u64)).ok()?;
+                    match TraceReader::new(BufReader::new(file)) {
+                        Ok(reader) => Some(TraceStream { reader }),
+                        Err(_) => {
+                            self.discard_undecodable(&k, codec::CodecError("trace stream header"));
+                            None
+                        }
+                    }
+                }
+                Err(why) => {
+                    eprintln!(
+                        "btb-store: warning: discarding corrupt entry {} ({why}); will regenerate",
+                        path.display()
+                    );
+                    let _ = std::fs::remove_file(&path);
+                    None
+                }
+            }
+        });
+        let counter = if opened.is_some() {
+            &self.counters.trace_hits
+        } else {
+            &self.counters.trace_misses
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        opened
+    }
+
     /// Fetches the report stored under `report_key`, counting a hit or
     /// miss. Build the key with [`crate::report_key`].
     #[must_use]
@@ -453,6 +566,97 @@ impl Store {
         }
         Ok(())
     }
+}
+
+/// [`Write`] adapter that feeds everything written through a running
+/// SHA-256 and byte count, so a streamed payload's header fields are known
+/// at the end without buffering the payload.
+struct HashingWriter<W: Write> {
+    inner: W,
+    hasher: Sha256,
+    len: u64,
+}
+
+impl<W: Write> Write for HashingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.hasher.update(&buf[..n]);
+        self.len += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// A verified stored trace, replayed record-by-record from disk.
+///
+/// Produced by [`Store::open_trace_stream`], which has already checked the
+/// object checksum, so iterator errors indicate a file that changed
+/// underneath us mid-read — callers should treat them as fatal rather than
+/// as cache misses.
+#[derive(Debug)]
+pub struct TraceStream {
+    reader: TraceReader<BufReader<std::fs::File>>,
+}
+
+impl TraceStream {
+    /// The trace name recorded in the stream.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        self.reader.name()
+    }
+}
+
+impl Iterator for TraceStream {
+    type Item = Result<TraceRecord, ReadTraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.reader.next()
+    }
+}
+
+/// Streaming variant of [`read_verified`]: checks header and payload
+/// checksum by hashing fixed-size blocks, never holding the payload in
+/// memory. Leaves the file position unspecified.
+fn verify_streaming(file: &mut std::fs::File, kind: Kind) -> Result<(), String> {
+    let mut header = [0u8; HEADER_LEN];
+    file.read_exact(&mut header)
+        .map_err(|e| format!("short header: {e}"))?;
+    if &header[..8] != STORE_MAGIC {
+        return Err("bad magic".to_owned());
+    }
+    if Kind::from_code(header[8]) != Some(kind) {
+        return Err(format!(
+            "kind byte {} != expected {}",
+            header[8],
+            kind.code()
+        ));
+    }
+    let payload_len = u64::from_le_bytes(header[9..17].try_into().expect("8B"));
+    let stored_checksum = Digest(header[17..49].try_into().expect("32B"));
+    let mut hasher = Sha256::new();
+    let mut remaining = payload_len;
+    let mut block = [0u8; 64 * 1024];
+    while remaining > 0 {
+        let want = block.len().min(remaining as usize);
+        file.read_exact(&mut block[..want])
+            .map_err(|e| format!("payload read: {e}"))?;
+        hasher.update(&block[..want]);
+        remaining -= want as u64;
+    }
+    let mut trailing = [0u8; 1];
+    if file.read(&mut trailing).map_err(|e| e.to_string())? != 0 {
+        return Err(format!("payload longer than header {payload_len}"));
+    }
+    let actual = hasher.finish();
+    if actual != stored_checksum {
+        return Err(format!(
+            "checksum mismatch: stored {stored_checksum}, computed {actual}"
+        ));
+    }
+    Ok(())
 }
 
 /// Reads the kind byte from an object header, `None` if unreadable or not

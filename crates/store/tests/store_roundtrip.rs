@@ -188,6 +188,92 @@ fn reopened_store_serves_existing_objects() {
     assert_eq!(store.get_trace(&profile, 3_000).as_ref(), Some(&trace));
 }
 
+#[test]
+fn streamed_put_is_readable_by_materialized_get_and_vice_versa() {
+    let dir = ScratchDir::new("stream-interop");
+    let store = Store::open(&dir.0).expect("open");
+    let profile = WorkloadProfile::tiny(8);
+    let trace = Trace::generate(&profile, 4_000);
+
+    // Stream-published object serves the materialized getter...
+    let written = store
+        .put_trace_stream(&profile, 4_000, &trace.name, trace.records.iter().copied())
+        .expect("streamed publish");
+    assert_eq!(written, trace.records.len() as u64);
+    assert_eq!(store.get_trace(&profile, 4_000).as_ref(), Some(&trace));
+
+    // ...and a materialized publish serves the streaming reader.
+    let stream = store
+        .open_trace_stream(&profile, 4_000)
+        .expect("streamed open");
+    assert_eq!(stream.name(), &*trace.name);
+    let replayed: Vec<_> = stream.map(|r| r.expect("verified record")).collect();
+    assert_eq!(replayed, trace.records);
+}
+
+#[test]
+fn corrupt_object_never_reaches_the_streaming_reader() {
+    let dir = ScratchDir::new("stream-corrupt");
+    let store = Store::open(&dir.0).expect("open");
+    let profile = WorkloadProfile::tiny(2);
+    let trace = Trace::generate(&profile, 3_000);
+    store
+        .put_trace_stream(&profile, 3_000, &trace.name, trace.records.iter().copied())
+        .expect("publish");
+
+    // Flip a byte deep in the payload: the up-front verification pass must
+    // catch it before a single record is handed out.
+    let path = find_only_object(&dir.0);
+    let mut bytes = std::fs::read(&path).expect("read object");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    std::fs::write(&path, bytes).expect("rewrite object");
+
+    assert!(store.open_trace_stream(&profile, 3_000).is_none());
+    assert!(!path.exists(), "corrupt entry must be unlinked");
+
+    let c = store.take_counters();
+    assert_eq!((c.trace_hits, c.trace_misses), (0, 1));
+}
+
+#[test]
+fn failed_streamed_publish_leaves_no_object() {
+    struct Explode {
+        after: usize,
+        profile: WorkloadProfile,
+    }
+    impl Iterator for Explode {
+        type Item = btb_trace::TraceRecord;
+        fn next(&mut self) -> Option<btb_trace::TraceRecord> {
+            // Yield a few real records, then simulate a generator that
+            // stops early — publishing still succeeds (a shorter trace),
+            // so instead test the I/O failure path via a full tmp dir.
+            if self.after == 0 {
+                return None;
+            }
+            self.after -= 1;
+            Trace::generate(&self.profile, 1).records.first().copied()
+        }
+    }
+    // An unwritable tmp/ directory makes the streamed publish fail; the
+    // object slot must stay a miss and no partial file may appear.
+    let dir = ScratchDir::new("stream-fail");
+    let store = Store::open(&dir.0).expect("open");
+    let profile = WorkloadProfile::tiny(1);
+    std::fs::remove_dir_all(dir.0.join("tmp")).expect("drop tmp dir");
+    let result = store.put_trace_stream(
+        &profile,
+        100,
+        "doomed",
+        Explode {
+            after: 3,
+            profile: profile.clone(),
+        },
+    );
+    assert!(result.is_err(), "publish into missing tmp/ must fail");
+    assert!(store.open_trace_stream(&profile, 100).is_none());
+}
+
 /// Returns the path of the only object in the store (panics otherwise).
 fn find_only_object(root: &std::path::Path) -> PathBuf {
     let mut found = Vec::new();

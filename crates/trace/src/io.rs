@@ -1,8 +1,14 @@
 //! Compact binary serialization for traces.
 //!
-//! The format is a simple little-endian stream (magic, version, name, record
-//! count, fixed-width records), so large traces can be generated once and
-//! replayed by many simulator configurations without regeneration cost.
+//! The format is a chunked little-endian stream: magic, version and name,
+//! then a sequence of record chunks (`u32` record count followed by that
+//! many fixed-width records), closed by a zero-count terminator chunk.
+//! Because no total count appears up front, a [`TraceWriter`] can encode
+//! straight off a live record iterator, and a [`TraceReader`] replays a
+//! stored trace record-by-record — neither side ever materializes the
+//! trace, so encoding and replay run in O(chunk) memory at any trace
+//! length. [`write_trace`]/[`read_trace`] are the whole-trace conveniences
+//! built on top.
 
 use crate::exec::Trace;
 use crate::record::{BranchKind, Op, TraceRecord};
@@ -13,8 +19,17 @@ const MAGIC: &[u8; 8] = b"BTBTRACE";
 /// Binary trace stream format version. Bump on any layout change; cache
 /// keys derived from traces (see `btb-store`) incorporate this constant so
 /// a format bump invalidates stored traces automatically.
-pub const TRACE_FORMAT_VERSION: u32 = 1;
+///
+/// v2: chunked record stream (no up-front total count), enabling
+/// streaming encode/replay.
+pub const TRACE_FORMAT_VERSION: u32 = 2;
 const VERSION: u32 = TRACE_FORMAT_VERSION;
+
+/// Serialized size of one record.
+const RECORD_BYTES: usize = 31;
+
+/// Records per chunk (~127 KiB of buffered encode per chunk).
+const CHUNK_RECORDS: usize = 4096;
 
 /// Errors produced while reading a trace stream.
 #[derive(Debug)]
@@ -90,30 +105,218 @@ fn op_from_code(code: u8) -> Option<Op> {
     })
 }
 
+fn encode_record(r: &TraceRecord) -> [u8; RECORD_BYTES] {
+    let mut buf = [0u8; RECORD_BYTES];
+    buf[0..8].copy_from_slice(&r.pc.to_le_bytes());
+    buf[8..16].copy_from_slice(&r.target.to_le_bytes());
+    buf[16..24].copy_from_slice(&r.mem_addr.to_le_bytes());
+    buf[24] = op_code(r.op);
+    buf[25] = u8::from(r.taken);
+    buf[26..29].copy_from_slice(&r.srcs);
+    buf[29..31].copy_from_slice(&r.dsts);
+    buf
+}
+
+fn decode_record(buf: &[u8; RECORD_BYTES]) -> Result<TraceRecord, ReadTraceError> {
+    let pc = u64::from_le_bytes(buf[0..8].try_into().expect("slice len"));
+    let target = u64::from_le_bytes(buf[8..16].try_into().expect("slice len"));
+    let mem_addr = u64::from_le_bytes(buf[16..24].try_into().expect("slice len"));
+    let op = op_from_code(buf[24]).ok_or(ReadTraceError::Corrupt("op"))?;
+    let taken = match buf[25] {
+        0 => false,
+        1 => true,
+        _ => return Err(ReadTraceError::Corrupt("taken")),
+    };
+    Ok(TraceRecord {
+        pc,
+        op,
+        taken,
+        target,
+        mem_addr,
+        srcs: [buf[26], buf[27], buf[28]],
+        dsts: [buf[29], buf[30]],
+    })
+}
+
+/// Incremental trace encoder: writes the stream header up front, then
+/// encodes records into fixed-size chunks as they arrive. Feeding it from
+/// a live `TraceExecutor` serializes a trace of any length in O(chunk)
+/// memory. Call [`TraceWriter::finish`] to emit the terminator chunk; a
+/// dropped-without-finish writer leaves a stream that readers reject as
+/// truncated (I/O error), never one that silently parses short.
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    sink: W,
+    /// Encoded records of the chunk being filled.
+    buf: Vec<u8>,
+    /// Records in `buf`.
+    pending: u32,
+    /// Total records written (pending included).
+    written: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Writes the stream header for a trace named `name`.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from the sink.
+    pub fn new(mut sink: W, name: &str) -> io::Result<Self> {
+        sink.write_all(MAGIC)?;
+        sink.write_all(&VERSION.to_le_bytes())?;
+        sink.write_all(&(name.len() as u32).to_le_bytes())?;
+        sink.write_all(name.as_bytes())?;
+        Ok(TraceWriter {
+            sink,
+            buf: Vec::with_capacity(CHUNK_RECORDS * RECORD_BYTES),
+            pending: 0,
+            written: 0,
+        })
+    }
+
+    /// Appends one record, flushing a chunk when full.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from the sink.
+    pub fn push(&mut self, rec: &TraceRecord) -> io::Result<()> {
+        self.buf.extend_from_slice(&encode_record(rec));
+        self.pending += 1;
+        self.written += 1;
+        if self.pending as usize == CHUNK_RECORDS {
+            self.flush_chunk()?;
+        }
+        Ok(())
+    }
+
+    /// Total records pushed so far.
+    #[must_use]
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    fn flush_chunk(&mut self) -> io::Result<()> {
+        self.sink.write_all(&self.pending.to_le_bytes())?;
+        self.sink.write_all(&self.buf)?;
+        self.buf.clear();
+        self.pending = 0;
+        Ok(())
+    }
+
+    /// Flushes the final partial chunk, writes the terminator and returns
+    /// the sink.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from the sink.
+    pub fn finish(mut self) -> io::Result<W> {
+        if self.pending > 0 {
+            self.flush_chunk()?;
+        }
+        self.sink.write_all(&0u32.to_le_bytes())?;
+        Ok(self.sink)
+    }
+}
+
+/// Streaming trace decoder: validates the header eagerly, then yields
+/// records one chunk at a time. The iterator produces
+/// `Result<TraceRecord, ReadTraceError>`; after the first error it fuses
+/// to `None`.
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    source: R,
+    name: String,
+    /// Records remaining in the current chunk.
+    remaining: u32,
+    /// Terminator seen (clean end of stream) or an error already yielded.
+    done: bool,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Reads and validates the stream header.
+    ///
+    /// # Errors
+    /// Returns [`ReadTraceError`] on I/O failure or a malformed header.
+    pub fn new(mut source: R) -> Result<Self, ReadTraceError> {
+        let mut magic = [0u8; 8];
+        source.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(ReadTraceError::BadMagic);
+        }
+        let mut u32buf = [0u8; 4];
+        source.read_exact(&mut u32buf)?;
+        let version = u32::from_le_bytes(u32buf);
+        if version != VERSION {
+            return Err(ReadTraceError::BadVersion(version));
+        }
+        source.read_exact(&mut u32buf)?;
+        let name_len = u32::from_le_bytes(u32buf) as usize;
+        if name_len > 1 << 16 {
+            return Err(ReadTraceError::Corrupt("name length"));
+        }
+        let mut name_bytes = vec![0u8; name_len];
+        source.read_exact(&mut name_bytes)?;
+        let name = String::from_utf8(name_bytes).map_err(|_| ReadTraceError::Corrupt("name"))?;
+        Ok(TraceReader {
+            source,
+            name,
+            remaining: 0,
+            done: false,
+        })
+    }
+
+    /// The trace name from the stream header.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn next_record(&mut self) -> Result<Option<TraceRecord>, ReadTraceError> {
+        while self.remaining == 0 {
+            let mut u32buf = [0u8; 4];
+            self.source.read_exact(&mut u32buf)?;
+            let count = u32::from_le_bytes(u32buf);
+            if count == 0 {
+                return Ok(None);
+            }
+            self.remaining = count;
+        }
+        let mut buf = [0u8; RECORD_BYTES];
+        self.source.read_exact(&mut buf)?;
+        self.remaining -= 1;
+        decode_record(&buf).map(Some)
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = Result<TraceRecord, ReadTraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        match self.next_record() {
+            Ok(Some(rec)) => Some(Ok(rec)),
+            Ok(None) => {
+                self.done = true;
+                None
+            }
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
 /// Writes a trace to any [`Write`] sink (pass `&mut writer` to keep the
 /// writer).
 ///
 /// # Errors
 /// Propagates I/O errors from the sink.
-pub fn write_trace<W: Write>(mut w: W, trace: &Trace) -> io::Result<()> {
-    w.write_all(MAGIC)?;
-    w.write_all(&VERSION.to_le_bytes())?;
-    let name = trace.name.as_bytes();
-    w.write_all(&(name.len() as u32).to_le_bytes())?;
-    w.write_all(name)?;
-    w.write_all(&(trace.records.len() as u64).to_le_bytes())?;
+pub fn write_trace<W: Write>(w: W, trace: &Trace) -> io::Result<()> {
+    let mut tw = TraceWriter::new(w, &trace.name)?;
     for r in &trace.records {
-        let mut buf = [0u8; 31];
-        buf[0..8].copy_from_slice(&r.pc.to_le_bytes());
-        buf[8..16].copy_from_slice(&r.target.to_le_bytes());
-        buf[16..24].copy_from_slice(&r.mem_addr.to_le_bytes());
-        buf[24] = op_code(r.op);
-        buf[25] = u8::from(r.taken);
-        buf[26..29].copy_from_slice(&r.srcs);
-        buf[29..31].copy_from_slice(&r.dsts);
-        w.write_all(&buf)?;
+        tw.push(r)?;
     }
-    Ok(())
+    tw.finish().map(|_| ())
 }
 
 /// Reads a trace from any [`Read`] source (pass `&mut reader` to keep the
@@ -121,53 +324,14 @@ pub fn write_trace<W: Write>(mut w: W, trace: &Trace) -> io::Result<()> {
 ///
 /// # Errors
 /// Returns [`ReadTraceError`] on I/O failure or malformed input.
-pub fn read_trace<R: Read>(mut r: R) -> Result<Trace, ReadTraceError> {
-    let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(ReadTraceError::BadMagic);
-    }
-    let mut u32buf = [0u8; 4];
-    r.read_exact(&mut u32buf)?;
-    let version = u32::from_le_bytes(u32buf);
-    if version != VERSION {
-        return Err(ReadTraceError::BadVersion(version));
-    }
-    r.read_exact(&mut u32buf)?;
-    let name_len = u32::from_le_bytes(u32buf) as usize;
-    let mut name_bytes = vec![0u8; name_len];
-    r.read_exact(&mut name_bytes)?;
-    let name = String::from_utf8(name_bytes).map_err(|_| ReadTraceError::Corrupt("name"))?;
-    let mut u64buf = [0u8; 8];
-    r.read_exact(&mut u64buf)?;
-    let count = u64::from_le_bytes(u64buf) as usize;
-    let mut records = Vec::with_capacity(count.min(1 << 24));
-    for _ in 0..count {
-        let mut buf = [0u8; 31];
-        r.read_exact(&mut buf)?;
-        let pc = u64::from_le_bytes(buf[0..8].try_into().expect("slice len"));
-        let target = u64::from_le_bytes(buf[8..16].try_into().expect("slice len"));
-        let mem_addr = u64::from_le_bytes(buf[16..24].try_into().expect("slice len"));
-        let op = op_from_code(buf[24]).ok_or(ReadTraceError::Corrupt("op"))?;
-        let taken = match buf[25] {
-            0 => false,
-            1 => true,
-            _ => return Err(ReadTraceError::Corrupt("taken")),
-        };
-        let srcs = [buf[26], buf[27], buf[28]];
-        let dsts = [buf[29], buf[30]];
-        records.push(TraceRecord {
-            pc,
-            op,
-            taken,
-            target,
-            mem_addr,
-            srcs,
-            dsts,
-        });
+pub fn read_trace<R: Read>(r: R) -> Result<Trace, ReadTraceError> {
+    let mut reader = TraceReader::new(r)?;
+    let mut records = Vec::new();
+    for rec in &mut reader {
+        records.push(rec?);
     }
     Ok(Trace {
-        name: name.into(),
+        name: reader.name.into(),
         records,
     })
 }
@@ -221,5 +385,52 @@ mod tests {
         buf.extend_from_slice(&0u64.to_le_bytes());
         let err = read_trace(buf.as_slice()).unwrap_err();
         assert!(matches!(err, ReadTraceError::BadVersion(99)));
+    }
+
+    #[test]
+    fn multi_chunk_trace_streams_record_by_record() {
+        // Longer than one chunk so both the full-chunk flush and the
+        // partial final chunk are exercised.
+        let n = CHUNK_RECORDS * 2 + 137;
+        let profile = WorkloadProfile::tiny(9);
+        let t = Trace::generate(&profile, n);
+        let mut buf = Vec::new();
+        let mut w = TraceWriter::new(&mut buf, &t.name).expect("header");
+        for r in &t.records {
+            w.push(r).expect("push");
+        }
+        assert_eq!(w.written(), n as u64);
+        w.finish().expect("finish");
+
+        let mut reader = TraceReader::new(buf.as_slice()).expect("header");
+        assert_eq!(reader.name(), &*t.name);
+        let mut count = 0usize;
+        for (got, want) in (&mut reader).zip(&t.records) {
+            assert_eq!(got.expect("record"), *want);
+            count += 1;
+        }
+        assert_eq!(count, n);
+        assert!(reader.next().is_none(), "reader fuses after terminator");
+    }
+
+    #[test]
+    fn missing_terminator_reads_as_truncation() {
+        let t = Trace::generate(&WorkloadProfile::tiny(6), 50);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).expect("write");
+        buf.truncate(buf.len() - 4); // drop the zero-count terminator
+        let reader = TraceReader::new(buf.as_slice()).expect("header");
+        let last = reader.last().expect("at least one item");
+        assert!(matches!(last, Err(ReadTraceError::Io(_))));
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let mut buf = Vec::new();
+        let w = TraceWriter::new(&mut buf, "empty").expect("header");
+        w.finish().expect("finish");
+        let mut reader = TraceReader::new(buf.as_slice()).expect("header");
+        assert_eq!(reader.name(), "empty");
+        assert!(reader.next().is_none());
     }
 }

@@ -41,7 +41,9 @@ pub use cfg::{
     IndirectSiteId, MemPattern, MemRef, Program, Terminator,
 };
 pub use exec::{check_control_flow, Trace, TraceExecutor};
-pub use io::{read_trace, write_trace, ReadTraceError, TRACE_FORMAT_VERSION};
+pub use io::{
+    read_trace, write_trace, ReadTraceError, TraceReader, TraceWriter, TRACE_FORMAT_VERSION,
+};
 pub use mutate::{random_mutations, TraceMutation};
 pub use profile::{server_suite, WorkloadProfile};
 pub use record::{Addr, BranchKind, Op, TraceRecord, INST_BYTES, NO_REG, NUM_REGS};
