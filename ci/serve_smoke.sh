@@ -13,9 +13,11 @@ set -euo pipefail
 
 SERVE=${SERVE:-./target/release/btb-serve}
 LOAD=${LOAD:-./target/release/btb-load}
+CHECK=${CHECK:-./target/release/btb-check}
 STORE=$(mktemp -d)
 LOG=$(mktemp)
-trap 'kill "$PID" 2>/dev/null || true; rm -rf "$STORE" "$LOG"' EXIT
+SCRATCH=$(mktemp -d)
+trap 'kill "$PID" 2>/dev/null || true; rm -rf "$STORE" "$LOG" "$SCRATCH"' EXIT
 
 "$SERVE" --addr 127.0.0.1:0 --store "$STORE" > "$LOG" &
 PID=$!
@@ -35,10 +37,29 @@ curl -fsS "http://$ADDR/healthz"
 curl -fsS "http://$ADDR/metrics" | head -20
 curl -fsS "http://$ADDR/store/stats"
 BODY='{"workload": "web-small", "config": "R-BTB 2BS", "insts": 10000, "warmup": 2000}'
-KEY=$(curl -fsS -X POST -d "$BODY" "http://$ADDR/experiments" \
+KEY=$(curl -fsS -X POST -d "$BODY" -D "$SCRATCH/headers" "http://$ADDR/experiments" \
   | sed -n 's/.*"key": "\([0-9a-f]*\)".*/\1/p')
 test -n "$KEY" || { echo "no report key in response"; exit 1; }
+# Every response must carry a request correlation id (16 hex chars).
+grep -qiE '^x-btb-request-id: [0-9a-f]{16}' "$SCRATCH/headers" \
+  || { echo "X-Btb-Request-Id missing from response headers"; cat "$SCRATCH/headers"; exit 1; }
+echo "X-Btb-Request-Id present"
 curl -fsS "http://$ADDR/reports/$KEY" > /dev/null
+
+echo "== prometheus exposition conformance =="
+curl -fsS "http://$ADDR/metrics?format=prometheus" > "$SCRATCH/metrics.prom"
+"$CHECK" validate-prom "$SCRATCH/metrics.prom"
+
+echo "== wall-clock trace =="
+# The span ring must serve a parseable Chrome trace in which at least
+# one request decomposes into queue-wait and cell-execute child spans.
+curl -fsS "http://$ADDR/debug/trace" > "$SCRATCH/wall-trace.json"
+"$CHECK" validate-json "$SCRATCH/wall-trace.json"
+for span in http.request queue.wait cell.run sim.measured; do
+  grep -q "\"$span\"" "$SCRATCH/wall-trace.json" \
+    || { echo "span $span missing from /debug/trace"; exit 1; }
+done
+echo "request decomposition spans present"
 # The report key is the ETag: a conditional repeat must answer 304.
 CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST -d "$BODY" \
   -H "If-None-Match: \"$KEY\"" "http://$ADDR/experiments")

@@ -22,6 +22,7 @@ USAGE:
                     [--threads N]
     btb-check replay FILE...
     btb-check validate-json [--strict] FILE...
+    btb-check validate-prom FILE...
     btb-check list
 
 COMMANDS:
@@ -39,6 +40,10 @@ COMMANDS:
                   first malformed file) — used by CI to validate exported
                   traces, metrics and reports. With --strict, duplicate
                   object keys are also rejected.
+    validate-prom Run each FILE through the strict Prometheus text-exposition
+                  parser (name grammar, escaping, histogram coherence; exit 1
+                  on the first non-conformant file) — used by CI to validate
+                  the daemon's /metrics?format=prometheus scrape.
     list          Print the campaign and inference configuration rosters.
 
 OPTIONS:
@@ -300,6 +305,35 @@ fn cmd_validate_json(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_validate_prom(args: &[String]) -> ExitCode {
+    if args.is_empty() {
+        return usage_error("validate-prom needs at least one file");
+    }
+    for file in args {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{file}: cannot read: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        match btb_obs::parse_prometheus(&text) {
+            Ok(families) => {
+                let samples: usize = families.iter().map(|f| f.samples.len()).sum();
+                println!(
+                    "{file}: conformant exposition ({} families, {samples} samples)",
+                    families.len()
+                );
+            }
+            Err(e) => {
+                eprintln!("{file}: non-conformant exposition: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn cmd_list() -> ExitCode {
     println!("campaign roster:");
     for config in campaign_configs() {
@@ -331,6 +365,7 @@ fn main() -> ExitCode {
         Some("infer") => cmd_infer(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         Some("validate-json") => cmd_validate_json(&args[1..]),
+        Some("validate-prom") => cmd_validate_prom(&args[1..]),
         Some("list") => {
             if args.len() > 1 {
                 return usage_error("list takes no arguments");

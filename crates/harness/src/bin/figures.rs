@@ -42,6 +42,13 @@ options:
                   cell, and an index.json into DIR; implies --metrics.
                   Cached cells are not re-traced: use a fresh --store (or
                   none) to trace every cell
+  --trace-wall FILE
+                  record wall-clock spans (pool queue wait/execute, store
+                  lookup/publish, checkpoint capture, warm-up vs measured
+                  simulation) and write them as a Chrome/Perfetto JSON
+                  trace to FILE at exit. Wall spans also merge into
+                  --trace-out per-cell traces as a second process track.
+                  Wall-clock data never touches stdout or store objects
   --stream        pull trace records from the store's chunked objects (or a
                   live executor) instead of materialized record vectors;
                   figures are byte-identical, memory stays flat with trace
@@ -71,6 +78,7 @@ struct Cli {
     maintenance: Option<Maintenance>,
     no_preflight: bool,
     obs: ObsOptions,
+    trace_wall: Option<PathBuf>,
 }
 
 enum Maintenance {
@@ -91,6 +99,7 @@ fn parse_cli(args: &[String]) -> Cli {
         maintenance: None,
         no_preflight: false,
         obs: ObsOptions::default(),
+        trace_wall: None,
     };
     let canonical = |name: &str| EXPERIMENTS.iter().find(|e| **e == name).copied();
     let mut i = 0;
@@ -132,6 +141,13 @@ fn parse_cli(args: &[String]) -> Cli {
                 i += 1;
                 cli.obs.trace_dir = Some(PathBuf::from(dir));
                 cli.obs.metrics = true;
+            }
+            "--trace-wall" => {
+                let Some(file) = args.get(i + 1) else {
+                    exit_usage("--trace-wall requires a file path");
+                };
+                i += 1;
+                cli.trace_wall = Some(PathBuf::from(file));
             }
             "--threads" => {
                 let parsed = args.get(i + 1).and_then(|n| n.parse::<usize>().ok());
@@ -296,6 +312,11 @@ fn main() {
         store
     });
 
+    if let Some(file) = &cli.trace_wall {
+        btb_obs::span::set_wall_tracing(true);
+        eprintln!("# trace-wall: {}", file.display());
+    }
+
     if cli.obs.enabled() {
         // Pool stats are wall-clock and reported on stderr only; nothing
         // observability-related touches stdout or the figure bytes.
@@ -378,6 +399,20 @@ fn main() {
     if let Some(opts) = obs::options() {
         report_observability(opts);
     }
+
+    if let Some(file) = &cli.trace_wall {
+        let spans = btb_obs::span::recent_spans();
+        let json = btb_obs::wall_trace_json(&spans, "figures");
+        match std::fs::write(file, json) {
+            Ok(()) => eprintln!(
+                "# wrote {} ({} wall spans, {} dropped)",
+                file.display(),
+                spans.len(),
+                btb_obs::span::dropped_spans()
+            ),
+            Err(e) => eprintln!("figures: cannot write {}: {e}", file.display()),
+        }
+    }
 }
 
 /// End-of-run observability report: cell accounting, the deterministic
@@ -420,6 +455,16 @@ fn report_observability(opts: &ObsOptions) {
                 "figures: cannot write {}: {e}",
                 dir.join("index.json").display()
             ),
+        }
+        // Same exposition module as the daemon's /metrics?format=prometheus:
+        // the aggregate is deterministic (cycle-domain metrics, submission
+        // order), so this file is byte-stable at any thread count.
+        if !agg.entries.is_empty() {
+            let prom_path = dir.join("metrics.prom");
+            match std::fs::write(&prom_path, btb_obs::render_prometheus(&agg)) {
+                Ok(()) => eprintln!("# wrote {}", prom_path.display()),
+                Err(e) => eprintln!("figures: cannot write {}: {e}", prom_path.display()),
+            }
         }
     }
 }

@@ -97,18 +97,51 @@ pub(crate) fn export_fresh_cell(
     report: &SimReport,
     obs: RunObservation,
 ) -> Snapshot {
+    let RunObservation { mut metrics, trace } = obs;
+    // Fold the trace buffer's own accounting into the cell snapshot.
+    // These counts derive from the deterministic cycle-domain trace (not
+    // the wall clock), so they are safe in byte-diffed artifacts.
+    if !trace.tracks().is_empty() {
+        use btb_obs::MetricValue;
+        metrics.entries.push((
+            "trace.dropped_events".to_owned(),
+            MetricValue::Counter(trace.dropped()),
+        ));
+        metrics.entries.push((
+            "trace.events".to_owned(),
+            MetricValue::Counter(trace.len() as u64),
+        ));
+        for (track, n) in trace.track_event_counts() {
+            metrics.entries.push((
+                format!("trace.track.{track}.events"),
+                MetricValue::Counter(n),
+            ));
+        }
+    }
     if let Some(opts) = options() {
         if let Some(dir) = &opts.trace_dir {
             let hex = key.to_hex();
             let label = format!("{} / {}", report.config_name, report.workload);
             let trace_path = dir.join(format!("trace-{hex}.json"));
-            if let Err(e) =
-                std::fs::write(&trace_path, btb_obs::chrome_trace_json(&obs.trace, &label))
-            {
+            // With wall tracing on, merge this request's wall spans into
+            // the cycle-domain export as a second Chrome process — the
+            // trace file is then wall-clock-bearing by explicit opt-in.
+            let trace_json = if btb_obs::span::wall_tracing_enabled() {
+                let spans = btb_obs::span::spans_for_request(btb_obs::span::current_request());
+                btb_obs::chrome_trace_json_with_wall(
+                    &trace,
+                    &label,
+                    &spans,
+                    btb_obs::span::dropped_spans(),
+                )
+            } else {
+                btb_obs::chrome_trace_json(&trace, &label)
+            };
+            if let Err(e) = std::fs::write(&trace_path, trace_json) {
                 eprintln!("cannot write {}: {e}", trace_path.display());
             }
             let cell_path = dir.join(format!("cell-{hex}.json"));
-            let json = report_json(report, Some(&obs.metrics));
+            let json = report_json(report, Some(&metrics));
             if let Err(e) = std::fs::write(&cell_path, json.to_pretty_string()) {
                 eprintln!("cannot write {}: {e}", cell_path.display());
             }
@@ -122,7 +155,7 @@ pub(crate) fn export_fresh_cell(
                 });
         }
     }
-    obs.metrics
+    metrics
 }
 
 /// Folds one cell's metrics into the process aggregate. Callers must

@@ -459,11 +459,19 @@ pub fn run_cell(
     let key = btb_store::report_key(trace_key, config, pipe);
     CELLS.fetch_add(1, Ordering::Relaxed);
     INSTRUCTIONS.fetch_add(trace.records.len() as u64, Ordering::Relaxed);
+    // Wall-span correlation: under `btb-serve` the worker installed the
+    // HTTP request's context; standalone (`figures`) each cell gets its
+    // own fresh correlation id. No-op with tracing off.
+    let _req = btb_obs::span::ensure_request();
     let obs_opts = crate::obs::options();
     // Metrics snapshot of a freshly simulated, observed cell; `None`
     // for replays (memo/store hits) and when observability is off.
     let mut cell_metrics = None;
-    let (report, source) = match store.and_then(|st| st.get_report(&key)) {
+    let lookup = store.and_then(|st| {
+        let _g = btb_obs::span::enter("store.lookup");
+        st.get_report(&key)
+    });
+    let (report, source) = match lookup {
         Some(cached) => {
             STORE_HITS.fetch_add(1, Ordering::Relaxed);
             (cached, CellSource::Store)
@@ -474,6 +482,7 @@ pub fn run_cell(
             // blocks on the `OnceLock` and receives the same report.
             let cell = memo_cell(&key);
             let mut ran_here = false;
+            let wait_start = btb_obs::span::now_if_enabled();
             let fresh = cell
                 .get_or_init(|| {
                     ran_here = true;
@@ -501,10 +510,14 @@ pub fn run_cell(
             let source = if ran_here {
                 CellSource::Fresh
             } else {
+                // Post-hoc span: the name is only known once we learn
+                // another thread ran the cell while we blocked.
+                btb_obs::span::record_since("memo.wait", wait_start);
                 MEMO_HITS.fetch_add(1, Ordering::Relaxed);
                 CellSource::Memo
             };
             if let Some(st) = store {
+                let _g = btb_obs::span::enter("store.publish");
                 st.put_report(&key, &fresh);
             }
             (fresh, source)
@@ -541,11 +554,18 @@ fn simulate_ff(
     pipe: &PipelineConfig,
 ) -> SimReport {
     let cell = ckpt_cell(&checkpoint_key(trace_key, config, pipe));
+    let wait_start = btb_obs::span::now_if_enabled();
+    let mut captured_here = false;
     let ckpt = cell.get_or_init(|| {
+        captured_here = true;
+        let _g = btb_obs::span::enter("ckpt.capture");
         let mut warm = trace.records.iter().copied();
         WarmupCheckpoint::capture(&mut warm, pipe.warmup_insts, config.clone(), pipe)
             .unwrap_or_else(|e| panic!("{}: {e}", trace.name))
     });
+    if !captured_here {
+        btb_obs::span::record_since("ckpt.wait", wait_start);
+    }
     let measured = &trace.records[ckpt.insts as usize..];
     let mut report = Simulator::resume(ckpt, measured.iter().copied(), pipe.clone())
         .try_run()
@@ -630,7 +650,12 @@ pub fn run_cell_streamed(
     let key = btb_store::report_key(trace_key, config, pipe);
     CELLS.fetch_add(1, Ordering::Relaxed);
     INSTRUCTIONS.fetch_add(insts as u64, Ordering::Relaxed);
-    let (report, source) = match store.and_then(|st| st.get_report(&key)) {
+    let _req = btb_obs::span::ensure_request();
+    let lookup = store.and_then(|st| {
+        let _g = btb_obs::span::enter("store.lookup");
+        st.get_report(&key)
+    });
+    let (report, source) = match lookup {
         Some(cached) => {
             STORE_HITS.fetch_add(1, Ordering::Relaxed);
             (cached, CellSource::Store)
@@ -638,6 +663,7 @@ pub fn run_cell_streamed(
         None => {
             let cell = memo_cell(&key);
             let mut ran_here = false;
+            let wait_start = btb_obs::span::now_if_enabled();
             let fresh = cell
                 .get_or_init(|| {
                     ran_here = true;
@@ -648,10 +674,12 @@ pub fn run_cell_streamed(
             let source = if ran_here {
                 CellSource::Fresh
             } else {
+                btb_obs::span::record_since("memo.wait", wait_start);
                 MEMO_HITS.fetch_add(1, Ordering::Relaxed);
                 CellSource::Memo
             };
             if let Some(st) = store {
+                let _g = btb_obs::span::enter("store.publish");
                 st.put_report(&key, &fresh);
             }
             (fresh, source)
@@ -701,13 +729,16 @@ fn simulate_streamed(
     };
     if pipe.warmup_mode == WarmupMode::FastForward && pipe.warmup_insts > 0 {
         let cell = ckpt_cell(&checkpoint_key(trace_key, config, pipe));
+        let wait_start = btb_obs::span::now_if_enabled();
         let mut captured_here = false;
         let ckpt = cell.get_or_init(|| {
             captured_here = true;
+            let _g = btb_obs::span::enter("ckpt.capture");
             WarmupCheckpoint::capture(&mut stream, pipe.warmup_insts, config.clone(), pipe)
                 .unwrap_or_else(|e| panic!("{name}: {e}"))
         });
         if !captured_here {
+            btb_obs::span::record_since("ckpt.wait", wait_start);
             // Another cell already owns this checkpoint; skip the warm-up
             // region of our stream and resume from the shared warm state.
             stream.nth(ckpt.insts as usize - 1);

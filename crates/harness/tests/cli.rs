@@ -99,3 +99,98 @@ fn no_preflight_flag_skips_the_gate() {
     assert_eq!(out.status.code(), Some(0));
     assert!(!String::from_utf8_lossy(&out.stderr).contains("preflight"));
 }
+
+/// Every file under `dir`, as (relative path, contents), sorted — the
+/// byte-level shape of a store object tree.
+fn dir_tree(dir: &std::path::Path) -> Vec<(String, Vec<u8>)> {
+    fn walk(root: &std::path::Path, dir: &std::path::Path, out: &mut Vec<(String, Vec<u8>)>) {
+        let mut entries: Vec<_> = std::fs::read_dir(dir)
+            .expect("read_dir")
+            .map(|e| e.expect("dir entry").path())
+            .collect();
+        entries.sort();
+        for path in entries {
+            if path.is_dir() {
+                walk(root, &path, out);
+            } else {
+                let rel = path
+                    .strip_prefix(root)
+                    .expect("relative path")
+                    .to_string_lossy()
+                    .into_owned();
+                out.push((rel, std::fs::read(&path).expect("read file")));
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(dir, dir, &mut out);
+    out
+}
+
+/// The determinism boundary of wall-clock tracing: with `--trace-wall`
+/// and `BTB_LOG=debug` both on, figure stdout and the store object tree
+/// must stay byte-identical to an untraced run — wall data is confined
+/// to stderr and the explicit trace file.
+#[test]
+fn wall_tracing_leaves_stdout_and_store_bytes_identical() {
+    let plain_store = fresh_dir("wall-plain");
+    let traced_store = fresh_dir("wall-traced");
+    let wall_file = fresh_dir("wall-out").join("wall.json");
+
+    // fig4 actually simulates (table1 is analytic); tiny scale keeps the
+    // two runs fast while still exercising warmup + measured phases.
+    let scale = [
+        ("BTB_INSTS", "4000"),
+        ("BTB_WARMUP", "1000"),
+        ("BTB_WORKLOADS", "2"),
+    ];
+    let base = Command::new(env!("CARGO_BIN_EXE_figures"))
+        .args([
+            "fig4",
+            "--no-preflight",
+            "--store",
+            plain_store.to_str().unwrap(),
+        ])
+        .envs(scale)
+        .output()
+        .expect("spawn figures");
+    assert_eq!(base.status.code(), Some(0));
+
+    let traced = Command::new(env!("CARGO_BIN_EXE_figures"))
+        .args([
+            "fig4",
+            "--no-preflight",
+            "--store",
+            traced_store.to_str().unwrap(),
+            "--trace-wall",
+            wall_file.to_str().unwrap(),
+        ])
+        .envs(scale)
+        .env("BTB_LOG", "debug")
+        .output()
+        .expect("spawn figures");
+    assert_eq!(traced.status.code(), Some(0));
+
+    assert_eq!(
+        base.stdout, traced.stdout,
+        "figure stdout must be byte-identical with wall tracing on"
+    );
+    assert_eq!(
+        dir_tree(&plain_store),
+        dir_tree(&traced_store),
+        "store object trees must be byte-identical with wall tracing on"
+    );
+
+    // The wall trace itself landed, is valid JSON, and holds spans.
+    let text = std::fs::read_to_string(&wall_file).expect("wall trace written");
+    let json = btb_store::JsonValue::parse(&text).expect("wall trace parses");
+    let events = json
+        .get("traceEvents")
+        .and_then(btb_store::JsonValue::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty(), "wall trace must hold spans");
+    assert!(
+        text.contains("sim.measured"),
+        "measured-sim spans must be recorded"
+    );
+}

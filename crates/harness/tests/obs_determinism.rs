@@ -67,7 +67,11 @@ fn traced_figures_are_byte_identical_across_thread_counts() {
             "{name} differs between 1 and 2 threads"
         );
         let text = std::str::from_utf8(bytes).expect("utf8 file");
-        if let Err(e) = btb_store::JsonValue::parse(text) {
+        if name.ends_with(".prom") {
+            if let Err(e) = btb_obs::parse_prometheus(text) {
+                panic!("{name}: exported file is not conformant exposition: {e}");
+            }
+        } else if let Err(e) = btb_store::JsonValue::parse(text) {
             panic!("{name}: exported file is not valid JSON: {e}");
         }
     }

@@ -1,0 +1,491 @@
+//! Prometheus text exposition (format 0.0.4) over a [`Snapshot`], plus a
+//! strict conformance parser used by tests, `btb-load`, and
+//! `ci/serve_smoke.sh` to validate what the daemon actually serves.
+//!
+//! Rendering is deterministic: families appear in snapshot entry order,
+//! metric names are the snapshot keys sanitized (`.` and any other
+//! non-`[a-zA-Z0-9_]` byte become `_`) under a `btb_` prefix, and
+//! histogram families emit the canonical `_bucket`(cumulative, with a
+//! final `le="+Inf"`)/`_sum`/`_count` triplet. Rendering the same
+//! snapshot twice yields byte-identical text.
+
+use crate::metrics::{MetricValue, Snapshot};
+use std::fmt::Write as _;
+
+/// Sanitizes a snapshot key into a Prometheus metric name:
+/// `btb_` prefix, every byte outside `[a-zA-Z0-9_]` mapped to `_`.
+#[must_use]
+pub fn prometheus_name(key: &str) -> String {
+    let mut out = String::with_capacity(4 + key.len());
+    out.push_str("btb_");
+    for ch in key.chars() {
+        if ch.is_ascii_alphanumeric() || ch == '_' {
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote and newline.
+#[must_use]
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` the way we expose it: `+Inf`/`-Inf`/`NaN` keywords,
+/// otherwise Rust's shortest round-trip decimal.
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_owned()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_owned()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders `snap` as Prometheus text exposition. Counters and gauges
+/// become single samples (a gauge exposes its last observed level);
+/// histograms become cumulative `_bucket` series with a `+Inf` bucket,
+/// plus `_sum` and `_count`.
+#[must_use]
+pub fn render_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (key, val) in &snap.entries {
+        let name = prometheus_name(key);
+        match val {
+            MetricValue::Counter(c) => {
+                let _ = writeln!(out, "# TYPE {name} counter");
+                let _ = writeln!(out, "{name} {c}");
+            }
+            MetricValue::Gauge(g) => {
+                let _ = writeln!(out, "# TYPE {name} gauge");
+                let _ = writeln!(out, "{name} {}", fmt_value(g.last));
+            }
+            MetricValue::Histogram(h) => {
+                let _ = writeln!(out, "# TYPE {name} histogram");
+                let mut cum = 0u64;
+                for (i, b) in h.bounds.iter().enumerate() {
+                    cum += h.counts[i];
+                    let _ = writeln!(out, "{name}_bucket{{le=\"{b}\"}} {cum}");
+                }
+                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+                let _ = writeln!(out, "{name}_sum {}", h.sum);
+                let _ = writeln!(out, "{name}_count {}", h.count);
+            }
+        }
+    }
+    out
+}
+
+/// Metric kind declared by a `# TYPE` line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PromKind {
+    /// Monotonic counter.
+    Counter,
+    /// Instantaneous level.
+    Gauge,
+    /// Cumulative-bucket histogram.
+    Histogram,
+}
+
+/// One sample line inside a family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// Full sample name (family name, possibly with a histogram suffix).
+    pub name: String,
+    /// Label pairs in appearance order, values unescaped.
+    pub labels: Vec<(String, String)>,
+    /// Parsed value.
+    pub value: f64,
+}
+
+/// A parsed metric family: its `# TYPE` declaration plus samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromFamily {
+    /// Declared family name.
+    pub name: String,
+    /// Declared kind.
+    pub kind: PromKind,
+    /// Samples belonging to this family.
+    pub samples: Vec<PromSample>,
+}
+
+impl PromFamily {
+    /// First sample value with the exact name `name` and no labels.
+    #[must_use]
+    pub fn value(&self, name: &str) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.labels.is_empty())
+            .map(|s| s.value)
+    }
+}
+
+fn valid_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn parse_value(s: &str) -> Result<f64, String> {
+    match s {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        _ => s.parse::<f64>().map_err(|_| format!("bad value {s:?}")),
+    }
+}
+
+/// A parsed sample head: metric name, label pairs, rest of the line.
+type SampleHead<'a> = (String, Vec<(String, String)>, &'a str);
+
+/// Parses `name{labels}` off the front of a sample line, returning the
+/// sample (without value) and the rest of the line.
+fn parse_sample_head(line: &str) -> Result<SampleHead<'_>, String> {
+    let name_end = line
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == ':'))
+        .unwrap_or(line.len());
+    let name = &line[..name_end];
+    if !valid_name(name) {
+        return Err(format!("invalid metric name in line {line:?}"));
+    }
+    let rest = &line[name_end..];
+    if !rest.starts_with('{') {
+        return Ok((name.to_owned(), Vec::new(), rest));
+    }
+    let mut labels = Vec::new();
+    let mut chars = rest[1..].char_indices().peekable();
+    let body = &rest[1..];
+    loop {
+        // label name
+        let start = match chars.peek() {
+            Some(&(i, _)) => i,
+            None => return Err("unterminated label set".to_owned()),
+        };
+        let mut eq = None;
+        for (i, c) in chars.by_ref() {
+            if c == '=' {
+                eq = Some(i);
+                break;
+            }
+        }
+        let Some(eq) = eq else {
+            return Err("label without '='".to_owned());
+        };
+        let lname = &body[start..eq];
+        if !valid_label_name(lname) {
+            return Err(format!("invalid label name {lname:?}"));
+        }
+        match chars.next() {
+            Some((_, '"')) => {}
+            _ => return Err("label value must be quoted".to_owned()),
+        }
+        let mut value = String::new();
+        let mut closed = false;
+        while let Some((_, c)) = chars.next() {
+            match c {
+                '"' => {
+                    closed = true;
+                    break;
+                }
+                '\\' => match chars.next() {
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    Some((_, 'n')) => value.push('\n'),
+                    other => return Err(format!("bad escape in label value: {other:?}")),
+                },
+                _ => value.push(c),
+            }
+        }
+        if !closed {
+            return Err("unterminated label value".to_owned());
+        }
+        labels.push((lname.to_owned(), value));
+        match chars.next() {
+            Some((_, ',')) => {}
+            Some((i, '}')) => {
+                let after = &body[i + 1..];
+                return Ok((name.to_owned(), labels, after));
+            }
+            other => return Err(format!("expected ',' or '}}' after label, got {other:?}")),
+        }
+    }
+}
+
+/// Parses Prometheus text exposition strictly, enforcing the subset this
+/// repo emits:
+///
+/// - every sample is preceded by a `# TYPE` line for its family, and a
+///   family is declared at most once;
+/// - metric and label names match the exposition grammar; label values
+///   unescape cleanly; values parse as floats (or `+Inf`/`-Inf`/`NaN`);
+/// - histogram families carry a complete `_bucket`/`_sum`/`_count`
+///   triplet, bucket counts are cumulative (non-decreasing) with
+///   strictly increasing `le` bounds, and the final `le="+Inf"` bucket
+///   equals `_count`.
+///
+/// # Errors
+/// A message naming the first offending line or family.
+pub fn parse_prometheus(text: &str) -> Result<Vec<PromFamily>, String> {
+    let mut families: Vec<PromFamily> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim_end_matches('\r');
+        let err = |msg: String| format!("line {}: {msg}", lineno + 1);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(decl) = comment.strip_prefix("TYPE ") {
+                let mut parts = decl.split_whitespace();
+                let (Some(name), Some(kind), None) = (parts.next(), parts.next(), parts.next())
+                else {
+                    return Err(err(format!("malformed TYPE line {line:?}")));
+                };
+                if !valid_name(name) {
+                    return Err(err(format!("invalid family name {name:?}")));
+                }
+                if families.iter().any(|f| f.name == name) {
+                    return Err(err(format!("family {name:?} declared twice")));
+                }
+                let kind = match kind {
+                    "counter" => PromKind::Counter,
+                    "gauge" => PromKind::Gauge,
+                    "histogram" => PromKind::Histogram,
+                    other => return Err(err(format!("unsupported TYPE {other:?}"))),
+                };
+                families.push(PromFamily {
+                    name: name.to_owned(),
+                    kind,
+                    samples: Vec::new(),
+                });
+            }
+            // HELP and other comments are ignored.
+            continue;
+        }
+        let (name, labels, rest) = parse_sample_head(line).map_err(err)?;
+        let rest = rest.trim_start();
+        let mut parts = rest.split_whitespace();
+        let Some(value) = parts.next() else {
+            return Err(err(format!("sample {name:?} has no value")));
+        };
+        if parts.next().is_some() {
+            return Err(err(format!("trailing data after value in {line:?}")));
+        }
+        let value = parse_value(value).map_err(err)?;
+        let family = families
+            .iter_mut()
+            .rev()
+            .find(|f| sample_belongs(&name, &f.name, f.kind))
+            .ok_or_else(|| err(format!("sample {name:?} has no preceding TYPE line")))?;
+        family.samples.push(PromSample {
+            name,
+            labels,
+            value,
+        });
+    }
+    for f in &families {
+        check_family(f)?;
+    }
+    Ok(families)
+}
+
+fn sample_belongs(sample: &str, family: &str, kind: PromKind) -> bool {
+    if sample == family {
+        return true;
+    }
+    kind == PromKind::Histogram
+        && sample
+            .strip_prefix(family)
+            .is_some_and(|sfx| matches!(sfx, "_bucket" | "_sum" | "_count"))
+}
+
+fn check_family(f: &PromFamily) -> Result<(), String> {
+    match f.kind {
+        PromKind::Counter | PromKind::Gauge => {
+            if f.samples.is_empty() {
+                return Err(format!("family {:?} has no samples", f.name));
+            }
+            Ok(())
+        }
+        PromKind::Histogram => check_histogram(f),
+    }
+}
+
+fn check_histogram(f: &PromFamily) -> Result<(), String> {
+    let name = &f.name;
+    let mut buckets: Vec<(f64, f64)> = Vec::new(); // (le, cumulative count)
+    let mut sum = None;
+    let mut count = None;
+    for s in &f.samples {
+        match s.name.strip_prefix(name.as_str()) {
+            Some("_bucket") => {
+                let le = s
+                    .labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .ok_or_else(|| format!("histogram {name:?} bucket without le label"))?;
+                let le = parse_value(&le.1)
+                    .map_err(|e| format!("histogram {name:?} bad le bound: {e}"))?;
+                buckets.push((le, s.value));
+            }
+            Some("_sum") => sum = Some(s.value),
+            Some("_count") => count = Some(s.value),
+            _ => return Err(format!("histogram {name:?} has stray sample {:?}", s.name)),
+        }
+    }
+    let Some(count) = count else {
+        return Err(format!("histogram {name:?} missing _count"));
+    };
+    if sum.is_none() {
+        return Err(format!("histogram {name:?} missing _sum"));
+    }
+    if buckets.is_empty() {
+        return Err(format!("histogram {name:?} has no buckets"));
+    }
+    for w in buckets.windows(2) {
+        if w[1].0 <= w[0].0 {
+            return Err(format!("histogram {name:?} le bounds not increasing"));
+        }
+        if w[1].1 < w[0].1 {
+            return Err(format!("histogram {name:?} bucket counts not cumulative"));
+        }
+    }
+    let last = buckets.last().unwrap();
+    if !last.0.is_infinite() {
+        return Err(format!("histogram {name:?} missing le=\"+Inf\" bucket"));
+    }
+    if (last.1 - count).abs() > f64::EPSILON {
+        return Err(format!(
+            "histogram {name:?} +Inf bucket {} != _count {count}",
+            last.1
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    fn sample_snapshot() -> Snapshot {
+        let mut r = Registry::new();
+        let c = r.counter("serve.requests");
+        let g = r.gauge("serve.queue.depth");
+        let h = r.histogram("serve.request.micros", &[100, 1_000, 10_000]);
+        r.add(c, 17);
+        r.set(g, 3.0);
+        for v in [50, 150, 2_000, 50_000] {
+            r.record(h, v);
+        }
+        r.snapshot()
+    }
+
+    #[test]
+    fn render_is_deterministic_and_parses() {
+        let snap = sample_snapshot();
+        let a = render_prometheus(&snap);
+        let b = render_prometheus(&snap);
+        assert_eq!(a, b, "same snapshot renders byte-identically");
+        let families = parse_prometheus(&a).expect("conformant output");
+        assert_eq!(families.len(), 3);
+        assert_eq!(families[0].name, "btb_serve_requests");
+        assert_eq!(families[0].kind, PromKind::Counter);
+        assert_eq!(families[0].value("btb_serve_requests"), Some(17.0));
+        assert_eq!(families[1].kind, PromKind::Gauge);
+        let h = &families[2];
+        assert_eq!(h.kind, PromKind::Histogram);
+        assert_eq!(h.value("btb_serve_request_micros_count"), Some(4.0));
+        assert_eq!(h.value("btb_serve_request_micros_sum"), Some(52_200.0));
+        // Cumulative buckets: <=100 → 1, <=1000 → 2, <=10000 → 3, +Inf → 4.
+        let cum: Vec<f64> = h
+            .samples
+            .iter()
+            .filter(|s| s.name.ends_with("_bucket"))
+            .map(|s| s.value)
+            .collect();
+        assert_eq!(cum, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn label_escaping_round_trips() {
+        let text = "# TYPE x counter\nx{path=\"a\\\\b\\\"c\\nd\"} 1\n";
+        let fams = parse_prometheus(text).unwrap();
+        assert_eq!(fams[0].samples[0].labels[0].1, "a\\b\"c\nd");
+        assert_eq!(escape_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+    }
+
+    #[test]
+    fn rejects_sample_without_type() {
+        let err = parse_prometheus("orphan 1\n").unwrap_err();
+        assert!(err.contains("no preceding TYPE"), "{err}");
+    }
+
+    #[test]
+    fn rejects_duplicate_family() {
+        let text = "# TYPE x counter\nx 1\n# TYPE x counter\nx 2\n";
+        let err = parse_prometheus(text).unwrap_err();
+        assert!(err.contains("declared twice"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_names_and_values() {
+        assert!(parse_prometheus("# TYPE 9bad counter\n9bad 1\n").is_err());
+        let err = parse_prometheus("# TYPE x counter\nx notanumber\n").unwrap_err();
+        assert!(err.contains("bad value"), "{err}");
+    }
+
+    #[test]
+    fn rejects_incoherent_histograms() {
+        // Missing +Inf bucket.
+        let t = "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n";
+        assert!(parse_prometheus(t).unwrap_err().contains("+Inf"));
+        // Non-cumulative buckets.
+        let t = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n";
+        assert!(parse_prometheus(t).unwrap_err().contains("not cumulative"));
+        // +Inf disagrees with _count.
+        let t = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 4\n";
+        assert!(parse_prometheus(t).unwrap_err().contains("!= _count"));
+        // Missing _sum.
+        let t = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_count 3\n";
+        assert!(parse_prometheus(t).unwrap_err().contains("missing _sum"));
+    }
+
+    #[test]
+    fn name_sanitization() {
+        assert_eq!(
+            prometheus_name("serve.request.micros"),
+            "btb_serve_request_micros"
+        );
+        assert_eq!(
+            prometheus_name("trace.track.l1-btb"),
+            "btb_trace_track_l1_btb"
+        );
+    }
+}

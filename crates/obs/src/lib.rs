@@ -24,6 +24,13 @@
 //!   timestamps: byte-for-byte reproducible.
 //! * [`summary`] — a human-readable aligned table of a [`Snapshot`], the
 //!   `--metrics` terminal view.
+//! * [`span`] — wall-clock span tracing with hierarchical span ids and a
+//!   per-request correlation id, threaded through serve→pool→harness→sim.
+//!   Wall data is confined to stderr, `GET /debug/trace`, and explicit
+//!   `--trace-wall` outputs, preserving the byte-determinism contract.
+//! * [`expo`] — Prometheus text exposition of a [`Snapshot`] plus a
+//!   strict conformance parser (shared by tests, `btb-load`, and CI).
+//! * [`log`] — leveled `key=value` stderr logging gated by `BTB_LOG`.
 //!
 //! The crate has **zero dependencies** (it sits below `btb-sim` in the
 //! workspace DAG); its JSON writer mirrors `btb-store`'s escaping rules
@@ -33,14 +40,19 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod expo;
+pub mod log;
 pub mod metrics;
 pub mod perfetto;
+pub mod span;
 pub mod summary;
 pub mod trace;
 
+pub use expo::{parse_prometheus, render_prometheus, PromFamily, PromKind, PromSample};
 pub use metrics::{
     CounterId, GaugeId, GaugeValue, HistogramId, HistogramValue, MetricValue, Registry, Snapshot,
 };
-pub use perfetto::chrome_trace_json;
+pub use perfetto::{chrome_trace_json, chrome_trace_json_with_wall};
+pub use span::{wall_trace_json, SpanContext, SpanGuard, WallSpan};
 pub use summary::render_summary;
 pub use trace::{TraceBuffer, TraceEvent, TrackId};

@@ -1,0 +1,161 @@
+//! Leveled structured logging to stderr, gated by the `BTB_LOG`
+//! environment variable (`error`, `warn`, `info`, `debug`; anything
+//! else — including unset — disables logging entirely).
+//!
+//! Lines are `key=value` structured and carry a milliseconds-since-start
+//! stamp, e.g.:
+//!
+//! ```text
+//! btb[info]    12.345ms serve: req=0000000000000001 method=GET path=/healthz status=200 micros=41
+//! ```
+//!
+//! Determinism boundary: log output goes to stderr only, never stdout,
+//! so byte-diffed artifacts are unaffected at any level. Zero overhead
+//! when off: [`enabled`] is a single relaxed atomic load (after a
+//! one-time env read) and callers are expected to gate formatting on it.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or dropped work.
+    Error = 1,
+    /// Degraded but continuing.
+    Warn = 2,
+    /// Request-level lifecycle events.
+    Info = 3,
+    /// Per-stage detail (queue claims, memo joins).
+    Debug = 4,
+}
+
+impl Level {
+    fn tag(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+/// 0 = uninitialised, 1 = off, otherwise `Level as u8 + 1`.
+static STATE: AtomicU8 = AtomicU8::new(0);
+
+fn parse_level(s: &str) -> Option<Level> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "error" => Some(Level::Error),
+        "warn" | "warning" => Some(Level::Warn),
+        "info" => Some(Level::Info),
+        "debug" | "trace" => Some(Level::Debug),
+        _ => None,
+    }
+}
+
+fn state() -> u8 {
+    let s = STATE.load(Ordering::Relaxed);
+    if s != 0 {
+        return s;
+    }
+    let parsed = std::env::var("BTB_LOG")
+        .ok()
+        .as_deref()
+        .and_then(parse_level);
+    let encoded = parsed.map_or(1, |l| l as u8 + 1);
+    STATE.store(encoded, Ordering::Relaxed);
+    encoded
+}
+
+/// Overrides the level (test hook; `None` = off). Takes precedence over
+/// `BTB_LOG` from then on.
+pub fn set_level(level: Option<Level>) {
+    STATE.store(level.map_or(1, |l| l as u8 + 1), Ordering::Relaxed);
+}
+
+/// The active level, if logging is on.
+#[must_use]
+pub fn level() -> Option<Level> {
+    match state() {
+        0 | 1 => None,
+        n => match n - 1 {
+            1 => Some(Level::Error),
+            2 => Some(Level::Warn),
+            3 => Some(Level::Info),
+            _ => Some(Level::Debug),
+        },
+    }
+}
+
+/// True when a message at `l` would be emitted. Gate any expensive
+/// formatting on this.
+#[must_use]
+pub fn enabled(l: Level) -> bool {
+    level().is_some_and(|active| l <= active)
+}
+
+fn start() -> Instant {
+    static START: OnceLock<Instant> = OnceLock::new();
+    *START.get_or_init(Instant::now)
+}
+
+/// Emits one structured line to stderr if `l` is enabled.
+pub fn log(l: Level, target: &str, args: std::fmt::Arguments<'_>) {
+    if !enabled(l) {
+        return;
+    }
+    let ms = start().elapsed().as_secs_f64() * 1e3;
+    eprintln!("btb[{:<5}] {ms:>10.3}ms {target}: {args}", l.tag());
+}
+
+/// [`log`] at [`Level::Error`].
+pub fn error(target: &str, args: std::fmt::Arguments<'_>) {
+    log(Level::Error, target, args);
+}
+
+/// [`log`] at [`Level::Warn`].
+pub fn warn(target: &str, args: std::fmt::Arguments<'_>) {
+    log(Level::Warn, target, args);
+}
+
+/// [`log`] at [`Level::Info`].
+pub fn info(target: &str, args: std::fmt::Arguments<'_>) {
+    log(Level::Info, target, args);
+}
+
+/// [`log`] at [`Level::Debug`].
+pub fn debug(target: &str, args: std::fmt::Arguments<'_>) {
+    log(Level::Debug, target, args);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_ordering_gates_correctly() {
+        set_level(Some(Level::Info));
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Warn));
+        assert!(enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        set_level(None);
+        assert!(!enabled(Level::Error));
+        assert_eq!(level(), None);
+        set_level(Some(Level::Debug));
+        assert_eq!(level(), Some(Level::Debug));
+        set_level(None);
+    }
+
+    #[test]
+    fn parse_accepts_common_spellings() {
+        assert_eq!(parse_level("ERROR"), Some(Level::Error));
+        assert_eq!(parse_level("warning"), Some(Level::Warn));
+        assert_eq!(parse_level(" info "), Some(Level::Info));
+        assert_eq!(parse_level("trace"), Some(Level::Debug));
+        assert_eq!(parse_level("off"), None);
+        assert_eq!(parse_level(""), None);
+    }
+}

@@ -173,6 +173,47 @@ impl HistogramValue {
         }
     }
 
+    /// Estimated `q`-quantile (`0.0 < q <= 1.0`) from the bucket counts.
+    ///
+    /// Finds the bucket holding the `ceil(q * count)`-th sample and
+    /// interpolates linearly inside it, clamped to the observed
+    /// `[min, max]`. The error bound is the width of that bucket: the
+    /// true sample is somewhere in `(lower_bound, upper_bound]`, so the
+    /// estimate is off by at most `upper_bound - lower_bound` (tightened
+    /// by the min/max clamp at the edges). A quantile landing in the
+    /// overflow bucket returns the observed `max` exactly. Returns 0 for
+    /// an empty histogram.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                if i == self.bounds.len() {
+                    // Overflow bucket: the only honest point estimate is
+                    // the observed maximum.
+                    return self.max;
+                }
+                let lo = if i == 0 { 0 } else { self.bounds[i - 1] };
+                let hi = self.bounds[i];
+                let frac = (rank - seen) as f64 / c as f64;
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                let est = lo + ((hi - lo) as f64 * frac).round() as u64;
+                return est.clamp(self.min, self.max);
+            }
+            seen += c;
+        }
+        self.max
+    }
+
     /// Adds another histogram's buckets into this one.
     ///
     /// Returns `false` (leaving `self` untouched) when the bucket bounds
@@ -460,6 +501,49 @@ mod tests {
         assert_eq!(hab.counts, hba.counts);
         assert_eq!(hab.sum, hba.sum);
         assert_eq!((hab.min, hab.max), (hba.min, hba.max));
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let mut h = HistogramValue::new(&[10, 20, 40]);
+        for v in [1, 2, 3, 4, 5, 6, 7, 8, 9, 10] {
+            h.record(v);
+        }
+        // All ten samples in the first bucket (0, 10]: rank r maps to
+        // 0 + 10 * r/10 = r, clamped to [min, max] = [1, 10].
+        assert_eq!(h.quantile(0.5), 5);
+        assert_eq!(h.quantile(0.9), 9);
+        assert_eq!(h.quantile(1.0), 10);
+        assert_eq!(h.quantile(0.01), 1); // clamp to min
+
+        // Estimation error is bounded by the bucket width.
+        let mut h = HistogramValue::new(&[100, 200]);
+        for v in [150, 151, 152, 153] {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5);
+        assert!((100..=200).contains(&p50), "p50={p50} inside its bucket");
+        assert!(p50.abs_diff(151) <= 100, "within one bucket width");
+    }
+
+    #[test]
+    fn quantile_overflow_bucket_reports_max() {
+        let mut h = HistogramValue::new(&[10]);
+        for v in [5, 500, 900] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.99), 900);
+        assert_eq!(h.quantile(1.0), 900);
+        // p-very-low lands in the finite bucket; rank 1 of 1 there
+        // interpolates to the bucket's upper edge (true value 5, error
+        // within the bucket width of 10).
+        assert_eq!(h.quantile(0.1), 10);
+    }
+
+    #[test]
+    fn quantile_empty_is_zero() {
+        let h = HistogramValue::new(&[10]);
+        assert_eq!(h.quantile(0.5), 0);
     }
 
     #[test]

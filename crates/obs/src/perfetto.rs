@@ -19,11 +19,16 @@
 //! index) named via `"M"` metadata events; the whole buffer is one
 //! process (`pid` 1) named after the run.
 
+use crate::span::WallSpan;
 use crate::trace::{TraceBuffer, TraceEvent};
 use std::fmt::Write as _;
 
 /// Process id used for the single simulated process.
 const PID: u32 = 1;
+
+/// Process id used for the wall-clock span process in merged exports —
+/// wall time and cycles share a file but never a timeline lane.
+pub(crate) const WALL_PID: u32 = 2;
 
 /// Escapes `s` into `out` as a JSON string literal.
 ///
@@ -31,7 +36,7 @@ const PID: u32 = 1;
 /// control chars as `\u00xx`, supplementary-plane chars as UTF-16
 /// surrogate pairs) so every file this module writes re-parses with
 /// `btb_store::JsonValue::parse` — pinned by the round-trip test.
-fn write_escaped(out: &mut String, s: &str) {
+pub(crate) fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -64,9 +69,48 @@ pub fn chrome_trace_json(buf: &TraceBuffer, process_name: &str) -> String {
     // Generous pre-size: metadata + ~96 bytes per event.
     let mut out = String::with_capacity(256 + buf.tracks().len() * 80 + buf.len() * 96);
     out.push_str("{\"traceEvents\":[\n");
-
-    // Metadata first: name the process, then each track as a "thread".
     let mut first = true;
+    write_cycle_events(&mut out, buf, process_name, &mut first);
+    let _ = write!(
+        out,
+        "\n],\"displayTimeUnit\":\"ns\",\"otherData\":{{\"clock_domain\":\"cycles\",\"dropped_events\":{}}}}}\n",
+        buf.dropped()
+    );
+    out
+}
+
+/// Serializes `buf` plus wall-clock `wall` spans into one Chrome
+/// trace-event document: cycle tracks under pid 1 (as in
+/// [`chrome_trace_json`]), wall spans under pid 2 on per-thread lanes,
+/// correlated by the `request` id each wall event carries in `args`.
+/// The two domains share a file, not a clock — `otherData` names both.
+#[must_use]
+pub fn chrome_trace_json_with_wall(
+    buf: &TraceBuffer,
+    process_name: &str,
+    wall: &[WallSpan],
+    wall_dropped: u64,
+) -> String {
+    let mut out =
+        String::with_capacity(256 + buf.tracks().len() * 80 + buf.len() * 96 + wall.len() * 160);
+    out.push_str("{\"traceEvents\":[\n");
+    let mut first = true;
+    write_cycle_events(&mut out, buf, process_name, &mut first);
+    crate::span::write_wall_events(&mut out, wall, process_name, WALL_PID, &mut first);
+    let _ = write!(
+        out,
+        "\n],\"displayTimeUnit\":\"ns\",\"otherData\":{{\"clock_domain\":\"cycles\",\"dropped_events\":{},\
+         \"wall_clock_domain\":\"wall-us\",\"wall_spans\":{},\"wall_dropped_spans\":{wall_dropped}}}}}\n",
+        buf.dropped(),
+        wall.len()
+    );
+    out
+}
+
+/// Emits `buf`'s metadata + events into an in-progress `traceEvents`
+/// array (the shared body of the two exporters above).
+fn write_cycle_events(out: &mut String, buf: &TraceBuffer, process_name: &str, first: &mut bool) {
+    // Metadata first: name the process, then each track as a "thread".
     let push_sep = |out: &mut String, first: &mut bool| {
         if !*first {
             out.push_str(",\n");
@@ -74,21 +118,21 @@ pub fn chrome_trace_json(buf: &TraceBuffer, process_name: &str) -> String {
         *first = false;
     };
 
-    push_sep(&mut out, &mut first);
+    push_sep(out, first);
     out.push_str("{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":");
-    write_escaped(&mut out, process_name);
+    write_escaped(out, process_name);
     out.push_str("}}");
 
     for (i, track) in buf.tracks().iter().enumerate() {
-        push_sep(&mut out, &mut first);
+        push_sep(out, first);
         let _ = write!(
             out,
             "{{\"ph\":\"M\",\"pid\":{PID},\"tid\":{i},\"name\":\"thread_name\",\"args\":{{\"name\":"
         );
-        write_escaped(&mut out, track);
+        write_escaped(out, track);
         out.push_str("}}");
         // Keep UI track order equal to registration order.
-        push_sep(&mut out, &mut first);
+        push_sep(out, first);
         let _ = write!(
             out,
             "{{\"ph\":\"M\",\"pid\":{PID},\"tid\":{i},\"name\":\"thread_sort_index\",\"args\":{{\"sort_index\":{i}}}}}"
@@ -96,7 +140,7 @@ pub fn chrome_trace_json(buf: &TraceBuffer, process_name: &str) -> String {
     }
 
     for ev in buf.events() {
-        push_sep(&mut out, &mut first);
+        push_sep(out, first);
         match ev {
             TraceEvent::Span {
                 track,
@@ -109,7 +153,7 @@ pub fn chrome_trace_json(buf: &TraceBuffer, process_name: &str) -> String {
                     "{{\"ph\":\"X\",\"pid\":{PID},\"tid\":{},\"name\":",
                     track.0
                 );
-                write_escaped(&mut out, name);
+                write_escaped(out, name);
                 let _ = write!(out, ",\"ts\":{start},\"dur\":{dur}}}");
             }
             TraceEvent::Instant { track, name, cycle } => {
@@ -118,7 +162,7 @@ pub fn chrome_trace_json(buf: &TraceBuffer, process_name: &str) -> String {
                     "{{\"ph\":\"i\",\"pid\":{PID},\"tid\":{},\"name\":",
                     track.0
                 );
-                write_escaped(&mut out, name);
+                write_escaped(out, name);
                 let _ = write!(out, ",\"ts\":{cycle},\"s\":\"t\"}}");
             }
             TraceEvent::Counter {
@@ -132,18 +176,11 @@ pub fn chrome_trace_json(buf: &TraceBuffer, process_name: &str) -> String {
                     "{{\"ph\":\"C\",\"pid\":{PID},\"tid\":{},\"name\":",
                     track.0
                 );
-                write_escaped(&mut out, name);
+                write_escaped(out, name);
                 let _ = write!(out, ",\"ts\":{cycle},\"args\":{{\"value\":{value}}}}}");
             }
         }
     }
-
-    let _ = write!(
-        out,
-        "\n],\"displayTimeUnit\":\"ns\",\"otherData\":{{\"clock_domain\":\"cycles\",\"dropped_events\":{}}}}}\n",
-        buf.dropped()
-    );
-    out
 }
 
 #[cfg(test)]
@@ -189,6 +226,36 @@ mod tests {
         b.instant(t, "b", 2);
         let json = chrome_trace_json(&b, "p");
         assert!(json.contains("\"dropped_events\":1"));
+    }
+
+    #[test]
+    fn merged_export_keeps_cycle_prefix_and_adds_wall_process() {
+        let mut b = TraceBuffer::unbounded();
+        let t = b.track("frontend");
+        b.span(t, "resteer.misfetch", 100, 12);
+        let wall = [WallSpan {
+            id: 9,
+            parent: 0,
+            request: 0x2a,
+            thread: 1,
+            name: "cell.run",
+            start_us: 5,
+            dur_us: 40,
+        }];
+        let merged = chrome_trace_json_with_wall(&b, "cfg / wl", &wall, 3);
+        let plain = chrome_trace_json(&b, "cfg / wl");
+        // The cycle-domain body is emitted unchanged before the wall part.
+        let cycle_body = plain
+            .strip_suffix(
+                "\n],\"displayTimeUnit\":\"ns\",\"otherData\":{\"clock_domain\":\"cycles\",\"dropped_events\":0}}\n",
+            )
+            .unwrap();
+        assert!(merged.starts_with(cycle_body));
+        assert!(merged.contains("(wall clock)"));
+        assert!(merged.contains("\"request\":\"000000000000002a\""));
+        assert!(merged.contains("\"wall_dropped_spans\":3"));
+        assert!(merged.contains("\"wall_spans\":1"));
+        assert!(merged.contains("\"clock_domain\":\"cycles\""));
     }
 
     #[test]

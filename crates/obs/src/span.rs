@@ -1,0 +1,626 @@
+//! Wall-clock span tracing with request correlation.
+//!
+//! Complements the cycle-domain [`crate::TraceBuffer`]: where that buffer
+//! attributes *simulated cycles* to pipeline activity, this module
+//! attributes *wall-clock time* to serving-path stages (queue wait, store
+//! I/O, memo wait, warmup, measured simulation). Spans carry a
+//! hierarchical parent id plus a per-request correlation id so one slow
+//! HTTP request can be decomposed across threads: the connection handler
+//! opens the root span, workers adopt the request's [`SpanContext`], and
+//! every child recorded anywhere in the process shares the request id.
+//!
+//! Determinism boundary: wall-clock data never reaches stdout or any
+//! byte-diffed artifact. It is exported only through `GET /debug/trace`,
+//! the explicit `figures --trace-wall FILE` output, and (when wall
+//! tracing is on) extra tracks merged into per-cell Chrome traces.
+//!
+//! Zero overhead when off: [`enter`] and the recording helpers check one
+//! relaxed [`AtomicBool`] and return inert guards without reading the
+//! clock, touching thread-locals, or allocating. In steady state the
+//! enabled path is also allocation-free: spans land in a pre-allocated
+//! ring (oldest overwritten, overwrites counted) and names are
+//! `&'static str`.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Default capacity of the global span ring.
+pub const DEFAULT_SPAN_CAPACITY: usize = 65_536;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD_IX: AtomicU64 = AtomicU64::new(1);
+
+/// One completed wall-clock span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WallSpan {
+    /// Unique span id (process-wide, never 0).
+    pub id: u64,
+    /// Id of the enclosing span on the recording thread (0 = root).
+    pub parent: u64,
+    /// Correlation id shared by every span of one request (0 = none).
+    pub request: u64,
+    /// Small dense per-OS-thread index (Chrome trace `tid` lane).
+    pub thread: u32,
+    /// Stage name, e.g. `"queue.wait"` or `"sim.measured"`.
+    pub name: &'static str,
+    /// Start, microseconds since the process trace epoch.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+}
+
+struct Ring {
+    spans: Vec<WallSpan>,
+    cap: usize,
+    /// Next overwrite position once full.
+    next: usize,
+    /// Spans overwritten because the ring was full.
+    dropped: u64,
+    /// Total spans ever recorded (including overwritten ones).
+    total: u64,
+}
+
+impl Ring {
+    fn push(&mut self, s: WallSpan) {
+        self.total += 1;
+        if self.spans.len() < self.cap {
+            self.spans.push(s);
+        } else {
+            self.spans[self.next] = s;
+            self.next = (self.next + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Spans in recording order (oldest surviving first).
+    fn snapshot(&self) -> Vec<WallSpan> {
+        let mut out = Vec::with_capacity(self.spans.len());
+        out.extend_from_slice(&self.spans[self.next..]);
+        out.extend_from_slice(&self.spans[..self.next]);
+        out
+    }
+}
+
+fn ring() -> &'static Mutex<Ring> {
+    static RING: OnceLock<Mutex<Ring>> = OnceLock::new();
+    RING.get_or_init(|| {
+        Mutex::new(Ring {
+            spans: Vec::new(),
+            cap: DEFAULT_SPAN_CAPACITY,
+            next: 0,
+            dropped: 0,
+            total: 0,
+        })
+    })
+}
+
+/// Monotonic epoch all span timestamps are relative to. Pinned on the
+/// first call, so enable tracing (or touch it) before capturing any
+/// `Instant` you intend to feed to [`record_interval`].
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+thread_local! {
+    /// (current parent span id, current request id) for this thread.
+    static CONTEXT: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
+    /// Dense per-thread index, assigned on first span.
+    static THREAD_IX: Cell<u32> = const { Cell::new(0) };
+}
+
+fn thread_ix() -> u32 {
+    THREAD_IX.with(|c| {
+        let ix = c.get();
+        if ix != 0 {
+            return ix;
+        }
+        #[allow(clippy::cast_possible_truncation)]
+        let fresh = NEXT_THREAD_IX.fetch_add(1, Ordering::Relaxed) as u32;
+        c.set(fresh);
+        fresh
+    })
+}
+
+/// Turns wall-clock span collection on or off (off by default). Enabling
+/// pre-allocates the ring and pins the trace epoch. Already-recorded
+/// spans survive a disable/re-enable cycle.
+pub fn set_wall_tracing(on: bool) {
+    if on {
+        let mut r = ring().lock().unwrap();
+        if r.spans.capacity() < r.cap {
+            let cap = r.cap;
+            r.spans.reserve_exact(cap);
+        }
+        drop(r);
+        let _ = epoch();
+    }
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether wall-clock span collection is currently on.
+#[must_use]
+pub fn wall_tracing_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Allocates a fresh request correlation id (never 0). Independent of
+/// whether tracing is enabled, so `X-Btb-Request-Id` stays stable.
+#[must_use]
+pub fn next_request_id() -> u64 {
+    NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+fn next_span_id() -> u64 {
+    NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Propagation handle: the (parent span, request) pair that child spans
+/// recorded on another thread should attach to.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanContext {
+    /// Parent span id for children created under this context.
+    pub parent: u64,
+    /// Request correlation id.
+    pub request: u64,
+}
+
+/// The current thread's propagation context.
+#[must_use]
+pub fn current_context() -> SpanContext {
+    let (parent, request) = CONTEXT.with(Cell::get);
+    SpanContext { parent, request }
+}
+
+/// The current thread's request correlation id (0 = none).
+#[must_use]
+pub fn current_request() -> u64 {
+    CONTEXT.with(Cell::get).1
+}
+
+/// Installs `ctx` as the current thread's context until the guard drops
+/// (the previous context is then restored). Used to adopt a request's
+/// identity across queue hops.
+#[must_use]
+pub fn set_context(ctx: SpanContext) -> ContextGuard {
+    let prev = CONTEXT.with(|c| c.replace((ctx.parent, ctx.request)));
+    ContextGuard { prev }
+}
+
+/// Restores the previous [`SpanContext`] on drop.
+#[derive(Debug)]
+pub struct ContextGuard {
+    prev: (u64, u64),
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        CONTEXT.with(|c| c.set(prev));
+    }
+}
+
+/// Ensures the current thread has a request correlation id, assigning a
+/// fresh one when tracing is on and none is set (the `figures` path,
+/// where there is no HTTP request to inherit from). Inert when tracing
+/// is off or a request id is already installed.
+#[must_use]
+pub fn ensure_request() -> RequestScope {
+    if !wall_tracing_enabled() || current_request() != 0 {
+        return RequestScope { guard: None };
+    }
+    let ctx = SpanContext {
+        parent: 0,
+        request: next_request_id(),
+    };
+    RequestScope {
+        guard: Some(set_context(ctx)),
+    }
+}
+
+/// Guard from [`ensure_request`]; restores the prior context on drop.
+#[derive(Debug, Default)]
+pub struct RequestScope {
+    guard: Option<ContextGuard>,
+}
+
+impl RequestScope {
+    /// True when this scope installed a fresh request id.
+    #[must_use]
+    pub fn installed(&self) -> bool {
+        self.guard.is_some()
+    }
+}
+
+struct ActiveSpan {
+    id: u64,
+    parent: u64,
+    request: u64,
+    name: &'static str,
+    start: Instant,
+}
+
+/// RAII guard for an in-progress span; records it on drop (or on an
+/// explicit [`SpanGuard::finish`]) and restores the thread's parent id.
+#[derive(Default)]
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+impl std::fmt::Debug for SpanGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.active {
+            Some(a) => write!(f, "SpanGuard({} #{})", a.name, a.id),
+            None => write!(f, "SpanGuard(inert)"),
+        }
+    }
+}
+
+impl SpanGuard {
+    /// A guard that records nothing; useful as a placeholder field.
+    #[must_use]
+    pub fn inert() -> SpanGuard {
+        SpanGuard { active: None }
+    }
+
+    /// This span's id (0 when inert).
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.active.as_ref().map_or(0, |a| a.id)
+    }
+
+    /// Ends the span now, recording it and restoring the thread's parent
+    /// id. Subsequent calls (and the eventual drop) are no-ops.
+    pub fn finish(&mut self) {
+        let Some(a) = self.active.take() else { return };
+        let dur = a.start.elapsed();
+        CONTEXT.with(|c| {
+            let (_, req) = c.get();
+            c.set((a.parent, req));
+        });
+        record(WallSpan {
+            id: a.id,
+            parent: a.parent,
+            request: a.request,
+            thread: thread_ix(),
+            name: a.name,
+            #[allow(clippy::cast_possible_truncation)]
+            start_us: a.start.saturating_duration_since(epoch()).as_micros() as u64,
+            #[allow(clippy::cast_possible_truncation)]
+            dur_us: dur.as_micros() as u64,
+        });
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+/// Opens a span named `name` under the current thread's context. The
+/// span becomes the thread's parent until the guard finishes. Returns an
+/// inert guard (no clock read, no allocation) when tracing is off.
+#[must_use]
+pub fn enter(name: &'static str) -> SpanGuard {
+    if !wall_tracing_enabled() {
+        return SpanGuard::inert();
+    }
+    let id = next_span_id();
+    let (parent, request) = CONTEXT.with(|c| {
+        let prev = c.get();
+        c.set((id, prev.1));
+        prev
+    });
+    SpanGuard {
+        active: Some(ActiveSpan {
+            id,
+            parent,
+            request,
+            name,
+            start: Instant::now(),
+        }),
+    }
+}
+
+/// The current time when tracing is on, else `None`. Pair with
+/// [`record_since`] for post-hoc spans whose name is only known after
+/// the fact (e.g. `memo.wait` vs a fresh run).
+#[must_use]
+pub fn now_if_enabled() -> Option<Instant> {
+    wall_tracing_enabled().then(Instant::now)
+}
+
+/// Records a completed span from `start` to now under the current
+/// thread's context. No-op when `start` is `None` or tracing is off.
+pub fn record_since(name: &'static str, start: Option<Instant>) {
+    let Some(start) = start else { return };
+    if !wall_tracing_enabled() {
+        return;
+    }
+    record_interval(name, start, Instant::now(), current_context());
+}
+
+/// Records a completed span covering `[start, end]` under `ctx`. Used
+/// for intervals measured on another thread (queue wait: enqueue
+/// timestamp travels with the job, the worker records the span). No-op
+/// when tracing is off.
+pub fn record_interval(name: &'static str, start: Instant, end: Instant, ctx: SpanContext) {
+    if !wall_tracing_enabled() {
+        return;
+    }
+    let e = epoch();
+    #[allow(clippy::cast_possible_truncation)]
+    let start_us = start.saturating_duration_since(e).as_micros() as u64;
+    #[allow(clippy::cast_possible_truncation)]
+    let dur_us = end.saturating_duration_since(start).as_micros() as u64;
+    record(WallSpan {
+        id: next_span_id(),
+        parent: ctx.parent,
+        request: ctx.request,
+        thread: thread_ix(),
+        name,
+        start_us,
+        dur_us,
+    });
+}
+
+fn record(s: WallSpan) {
+    ring().lock().unwrap().push(s);
+}
+
+/// Snapshot of the span ring in recording order (oldest surviving
+/// first). Allocates; intended for export, not hot paths.
+#[must_use]
+pub fn recent_spans() -> Vec<WallSpan> {
+    ring().lock().unwrap().snapshot()
+}
+
+/// Spans in the ring carrying request correlation id `request`.
+#[must_use]
+pub fn spans_for_request(request: u64) -> Vec<WallSpan> {
+    ring()
+        .lock()
+        .unwrap()
+        .snapshot()
+        .into_iter()
+        .filter(|s| s.request == request)
+        .collect()
+}
+
+/// Spans overwritten because the ring was full.
+#[must_use]
+pub fn dropped_spans() -> u64 {
+    ring().lock().unwrap().dropped
+}
+
+/// Total spans ever recorded (including overwritten ones).
+#[must_use]
+pub fn recorded_spans() -> u64 {
+    ring().lock().unwrap().total
+}
+
+/// Clears the ring and its drop counter (test hook; ids keep counting).
+pub fn reset_wall_spans() {
+    let mut r = ring().lock().unwrap();
+    r.spans.clear();
+    r.next = 0;
+    r.dropped = 0;
+    r.total = 0;
+}
+
+/// Renders `spans` as a standalone Chrome trace-event JSON document in
+/// the wall-clock domain (`ts`/`dur` in microseconds since the process
+/// trace epoch). Each span becomes an `X` event on a per-thread `tid`
+/// lane with `request`/`span`/`parent` ids in `args` for correlation
+/// with cycle-domain tracks and the `X-Btb-Request-Id` header.
+#[must_use]
+pub fn wall_trace_json(spans: &[WallSpan], process_name: &str) -> String {
+    let mut out = String::with_capacity(256 + spans.len() * 160);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    write_wall_events(
+        &mut out,
+        spans,
+        process_name,
+        crate::perfetto::WALL_PID,
+        &mut first,
+    );
+    out.push_str("],\"displayTimeUnit\":\"ms\",\"otherData\":{\"clock_domain\":\"wall-us\",");
+    out.push_str(&format!(
+        "\"dropped_spans\":{},\"recorded_spans\":{}}}}}",
+        dropped_spans(),
+        recorded_spans()
+    ));
+    out
+}
+
+/// Emits wall-span metadata + `X` events into an in-progress Chrome
+/// `traceEvents` array. Shared by [`wall_trace_json`] and the merged
+/// cycle+wall export in [`crate::perfetto`].
+pub(crate) fn write_wall_events(
+    out: &mut String,
+    spans: &[WallSpan],
+    process_name: &str,
+    pid: u32,
+    first: &mut bool,
+) {
+    use std::fmt::Write as _;
+
+    let mut push_sep = |out: &mut String| {
+        if *first {
+            *first = false;
+        } else {
+            out.push(',');
+        }
+    };
+
+    push_sep(out);
+    out.push_str(&format!(
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":"
+    ));
+    crate::perfetto::write_escaped(out, &format!("{process_name} (wall clock)"));
+    out.push_str("}}");
+
+    // One metadata event per thread lane, in first-appearance order.
+    let mut lanes: Vec<u32> = Vec::new();
+    for s in spans {
+        if !lanes.contains(&s.thread) {
+            lanes.push(s.thread);
+        }
+    }
+    lanes.sort_unstable();
+    for t in &lanes {
+        push_sep(out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{t},\
+             \"args\":{{\"name\":\"wall thread {t}\"}}}}"
+        );
+    }
+
+    for s in spans {
+        push_sep(out);
+        out.push_str("{\"name\":");
+        crate::perfetto::write_escaped(out, s.name);
+        let _ = write!(
+            out,
+            ",\"ph\":\"X\",\"pid\":{pid},\"tid\":{},\"ts\":{},\"dur\":{},\
+             \"args\":{{\"request\":\"{:016x}\",\"span\":{},\"parent\":{}}}}}",
+            s.thread, s.start_us, s.dur_us, s.request, s.id, s.parent
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialize span tests: they share the global ring and enable flag.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disabled_guards_are_inert() {
+        let _g = lock();
+        set_wall_tracing(false);
+        reset_wall_spans();
+        let before = current_context();
+        {
+            let mut g = enter("never");
+            assert_eq!(g.id(), 0);
+            g.finish();
+        }
+        assert_eq!(current_context(), before);
+        assert!(recent_spans().is_empty());
+        assert_eq!(recorded_spans(), 0);
+        assert!(now_if_enabled().is_none());
+        record_since("never", None);
+    }
+
+    #[test]
+    fn nesting_sets_parent_and_restores_context() {
+        let _g = lock();
+        set_wall_tracing(true);
+        reset_wall_spans();
+        let _req = ensure_request();
+        let rid = current_request();
+        assert_ne!(rid, 0);
+        let outer_id;
+        {
+            let outer = enter("outer");
+            outer_id = outer.id();
+            assert_eq!(current_context().parent, outer_id);
+            {
+                let _inner = enter("inner");
+            }
+            // inner finished: parent restored to outer
+            assert_eq!(current_context().parent, outer_id);
+        }
+        assert_eq!(current_context().parent, 0);
+        set_wall_tracing(false);
+
+        let spans = recent_spans();
+        assert_eq!(spans.len(), 2);
+        let inner = spans.iter().find(|s| s.name == "inner").unwrap();
+        let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+        assert_eq!(inner.parent, outer_id);
+        assert_eq!(outer.id, outer_id);
+        assert_eq!(outer.parent, 0);
+        assert_eq!(inner.request, rid);
+        assert_eq!(outer.request, rid);
+        assert!(outer.dur_us >= inner.dur_us);
+    }
+
+    #[test]
+    fn context_propagates_across_threads() {
+        let _g = lock();
+        set_wall_tracing(true);
+        reset_wall_spans();
+        let ctx = SpanContext {
+            parent: 77,
+            request: 42,
+        };
+        let t0 = Instant::now();
+        std::thread::spawn(move || {
+            let _c = set_context(ctx);
+            record_interval("queue.wait", t0, Instant::now(), current_context());
+            let _child = enter("cell.run");
+        })
+        .join()
+        .unwrap();
+        set_wall_tracing(false);
+        let spans = spans_for_request(42);
+        assert_eq!(spans.len(), 2);
+        assert!(spans.iter().all(|s| s.request == 42));
+        let wait = spans.iter().find(|s| s.name == "queue.wait").unwrap();
+        assert_eq!(wait.parent, 77);
+        let run = spans.iter().find(|s| s.name == "cell.run").unwrap();
+        assert_eq!(run.parent, 77);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let _g = lock();
+        set_wall_tracing(true);
+        reset_wall_spans();
+        let n = DEFAULT_SPAN_CAPACITY + 10;
+        let t = Instant::now();
+        let ctx = SpanContext::default();
+        for _ in 0..n {
+            record_interval("spin", t, t, ctx);
+        }
+        set_wall_tracing(false);
+        assert_eq!(dropped_spans(), 10);
+        assert_eq!(recorded_spans(), n as u64);
+        assert_eq!(recent_spans().len(), DEFAULT_SPAN_CAPACITY);
+        reset_wall_spans();
+    }
+
+    #[test]
+    fn wall_trace_json_is_valid_shape() {
+        let _g = lock();
+        set_wall_tracing(true);
+        reset_wall_spans();
+        {
+            let _req = ensure_request();
+            let _a = enter("alpha");
+        }
+        set_wall_tracing(false);
+        let spans = recent_spans();
+        let json = wall_trace_json(&spans, "unit");
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"clock_domain\":\"wall-us\""));
+        assert!(json.contains("\"name\":\"alpha\""));
+        assert!(json.contains("\"request\":\""));
+        assert!(json.ends_with("}}"));
+        reset_wall_spans();
+    }
+}

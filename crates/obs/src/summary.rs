@@ -43,14 +43,20 @@ pub fn render_summary(snap: &Snapshot, title: &str) -> String {
                 );
             }
             MetricValue::Histogram(h) => {
+                // p50/p90/p99 are bucket-interpolated estimates (error
+                // bounded by the containing bucket's width, see
+                // `HistogramValue::quantile`).
                 let _ = write!(
                     out,
-                    "  {key:<width$}  n={} sum={} mean={:.2} min={} max={}  [",
+                    "  {key:<width$}  n={} sum={} mean={:.2} min={} max={} p50~{} p90~{} p99~{}  [",
                     h.count,
                     h.sum,
                     h.mean(),
                     h.min,
-                    h.max
+                    h.max,
+                    h.quantile(0.50),
+                    h.quantile(0.90),
+                    h.quantile(0.99)
                 );
                 for (i, c) in h.counts.iter().enumerate() {
                     if i > 0 {
@@ -90,6 +96,10 @@ mod tests {
         assert!(s.contains("42"));
         assert!(s.contains("last 0.5000"));
         assert!(s.contains("[<=4:1 <=8:0 >8:1]"));
+        // Two samples (3, 9): p50 interpolates in the first bucket,
+        // p99 lands in the overflow bucket and reports the max.
+        assert!(s.contains("p50~"));
+        assert!(s.contains("p99~9"), "overflow quantile is the max: {s}");
     }
 
     #[test]

@@ -167,6 +167,22 @@ impl TraceBuffer {
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
+
+    /// Per-track recorded-event counts, `(track name, count)` in track
+    /// registration order. Deterministic for a deterministic run, so the
+    /// counts are safe to surface in byte-diffed metrics snapshots —
+    /// which is how truncated traces become visible instead of silent.
+    #[must_use]
+    pub fn track_event_counts(&self) -> Vec<(&str, u64)> {
+        let mut counts = vec![0u64; self.tracks.len()];
+        for ev in &self.events {
+            let TrackId(ix) = ev.track();
+            if let Some(c) = counts.get_mut(ix as usize) {
+                *c += 1;
+            }
+        }
+        self.tracks.iter().map(String::as_str).zip(counts).collect()
+    }
 }
 
 impl Default for TraceBuffer {
@@ -207,5 +223,16 @@ mod tests {
         }
         assert_eq!(b.len(), 2);
         assert_eq!(b.dropped(), 3);
+    }
+
+    #[test]
+    fn track_event_counts_follow_registration_order() {
+        let mut b = TraceBuffer::unbounded();
+        let a = b.track("alpha");
+        let z = b.track("zeta");
+        b.instant(z, "e", 1);
+        b.span(a, "s", 0, 2);
+        b.counter(z, "c", 3, 9);
+        assert_eq!(b.track_event_counts(), vec![("alpha", 1), ("zeta", 2)]);
     }
 }

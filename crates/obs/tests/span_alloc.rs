@@ -1,0 +1,85 @@
+//! Allocation budget for wall-clock span tracing.
+//!
+//! The tentpole claim is "zero overhead when off, bounded overhead when
+//! on". This test pins both halves with a counting global allocator
+//! (same technique as `btb-sim`'s `zero_alloc` test):
+//!
+//! * tracing **off**: `enter`/drop and the recording helpers perform
+//!   zero allocations;
+//! * tracing **on**, steady state (ring pre-allocated, thread-locals
+//!   warm): recording a span performs zero marginal allocations — names
+//!   are `&'static str` and spans land in pre-allocated ring slots.
+//!
+//! Everything runs inside one `#[test]` because a global allocator
+//! counts every thread in the process.
+
+use btb_obs::span;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_calls_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    f();
+    ALLOC_CALLS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn span_recording_allocation_budget() {
+    // --- Off: strictly zero allocations. ---
+    span::set_wall_tracing(false);
+    let off = alloc_calls_during(|| {
+        for _ in 0..1_000 {
+            let _g = span::enter("off.span");
+            span::record_since("off.post", span::now_if_enabled());
+        }
+    });
+    assert_eq!(off, 0, "disabled tracing must not allocate (got {off})");
+
+    // --- On, steady state: zero marginal allocations per span. ---
+    span::set_wall_tracing(true);
+    // Warm up: ring reserved by enable; touch thread-locals and record a
+    // few spans so any one-time setup is behind us.
+    {
+        let _req = span::ensure_request();
+        for _ in 0..16 {
+            let _g = span::enter("warm.span");
+        }
+    }
+    let on = alloc_calls_during(|| {
+        let _req = span::ensure_request();
+        for _ in 0..1_000 {
+            let _g = span::enter("hot.span");
+        }
+        let t = span::now_if_enabled();
+        span::record_since("hot.post", t);
+    });
+    span::set_wall_tracing(false);
+    span::reset_wall_spans();
+    assert_eq!(
+        on, 0,
+        "steady-state span recording must not allocate (got {on})"
+    );
+}

@@ -163,6 +163,10 @@ where
 {
     let workers = threads().min(items.len());
     let collect = COLLECT_STATS.load(Ordering::Relaxed);
+    // Per-job wall spans (queue wait + execute) piggyback on the same
+    // send-timestamp plumbing as PoolStats; either consumer being on is
+    // enough to pay for the clock reads. Both off → no clock, no spans.
+    let timed = collect || btb_obs::span::wall_tracing_enabled();
     let map_start = collect.then(Instant::now);
     if workers <= 1 {
         let out: Vec<R> = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
@@ -199,9 +203,19 @@ where
                     let claimed_at = sent.map(|sent| {
                         let now = Instant::now();
                         waited += now.saturating_duration_since(sent);
+                        // Upgrade the aggregate queue-wait number to a
+                        // per-job wall span (no-op when tracing is off).
+                        btb_obs::span::record_interval(
+                            "pool.wait",
+                            sent,
+                            now,
+                            btb_obs::span::current_context(),
+                        );
                         now
                     });
+                    let mut job_span = btb_obs::span::enter("pool.job");
                     let r = f(i, &items[i]);
+                    job_span.finish();
                     if let Some(at) = claimed_at {
                         busy += at.elapsed();
                     }
@@ -218,7 +232,7 @@ where
         }
         for i in 0..items.len() {
             job_tx
-                .send((i, map_start.map(|_| Instant::now())))
+                .send((i, timed.then(Instant::now)))
                 .expect("workers alive while feeding");
         }
         // Close both channels from this side: workers drain the remaining
@@ -345,6 +359,23 @@ mod tests {
         assert!(s.utilization() >= 0.0 && s.utilization() <= 1.0 + 1e-9);
         // take_pool_stats resets.
         assert_eq!(take_pool_stats().jobs, 0);
+    }
+
+    #[test]
+    fn pooled_jobs_record_wall_spans_when_tracing() {
+        let _g = OVERRIDE_GUARD.lock().unwrap();
+        btb_obs::span::reset_wall_spans();
+        btb_obs::span::set_wall_tracing(true);
+        set_threads(Some(2));
+        let _ = ordered_map(&[1u64; 8], |_, &x| x + 1);
+        set_threads(None);
+        btb_obs::span::set_wall_tracing(false);
+        let spans = btb_obs::span::recent_spans();
+        btb_obs::span::reset_wall_spans();
+        let waits = spans.iter().filter(|s| s.name == "pool.wait").count();
+        let jobs = spans.iter().filter(|s| s.name == "pool.job").count();
+        assert_eq!(waits, 8, "one queue-wait span per job");
+        assert_eq!(jobs, 8, "one execute span per job");
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! | GET    | `/reports/<key>`   | Fetch a previously computed report         |
 //! | GET    | `/traces/<key>`    | Describe a cached trace                    |
 //! | GET    | `/store/stats`     | Persistent-store objects and counters      |
-//! | GET    | `/metrics`         | Server + harness + store metrics (JSON)    |
+//! | GET    | `/metrics`         | Server + harness + store metrics (JSON);   |
+//! |        |                    | `?format=prometheus` for text exposition   |
+//! | GET    | `/debug/trace`     | Wall-clock span ring as Chrome trace JSON  |
 //! | GET    | `/healthz`         | Liveness probe                             |
 //! | POST   | `/admin/shutdown`  | Begin graceful shutdown                    |
 //!
@@ -41,10 +43,14 @@ const DEFAULT_WARMUP: u64 = 50_000;
 
 /// Routes one parsed request to its handler.
 pub(crate) fn route(state: &ServerState, req: &Request) -> Response {
-    let path = req.target.split('?').next().unwrap_or(&req.target);
+    let (path, query) = match req.target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (req.target.as_str(), ""),
+    };
     match path {
         "/healthz" => method(req, "GET", |_| Response::text(200, "ok")),
-        "/metrics" => method(req, "GET", |_| metrics(state)),
+        "/metrics" => method(req, "GET", |_| metrics(state, query)),
+        "/debug/trace" => method(req, "GET", |_| debug_trace()),
         "/store/stats" => method(req, "GET", |_| store_stats(state)),
         "/experiments" => method(req, "POST", |r| experiments(state, r)),
         "/admin/shutdown" => method(req, "POST", |_| {
@@ -218,6 +224,8 @@ fn experiments(state: &ServerState, req: &Request) -> Response {
         config: parsed.config,
         pipe,
         reply: reply_tx,
+        ctx: btb_obs::span::current_context(),
+        enqueued: btb_obs::span::now_if_enabled(),
     };
     match state.try_enqueue(job) {
         Ok(()) => {}
@@ -344,20 +352,63 @@ fn store_stats(state: &ServerState) -> Response {
 
 // -- GET /metrics -----------------------------------------------------------
 
-fn metrics(state: &ServerState) -> Response {
+/// The full metrics snapshot every exposition format renders: server
+/// registry + harness run counters + store counters + wall-span ring
+/// accounting.
+fn metrics_snapshot(state: &ServerState) -> btb_obs::Snapshot {
     let mut snap = state.metrics.snapshot(state.queue_depth());
     append_run_counters(&mut snap);
     append_store_counters(&mut snap, state.store().map(|s| s as &btb_store::Store));
-    let rendered = btb_harness::obs::metrics_json(&snap);
-    let JsonValue::Object(groups) = rendered else {
-        unreachable!("metrics_json renders an object");
-    };
-    let mut members = vec![(
-        "schema".to_owned(),
-        JsonValue::string("btb-serve-metrics/1"),
-    )];
-    members.extend(groups);
-    Response::json(200, JsonValue::Object(members).to_pretty_string())
+    for (name, v) in [
+        ("trace.wall_spans", btb_obs::span::recorded_spans()),
+        ("trace.wall_dropped", btb_obs::span::dropped_spans()),
+    ] {
+        snap.entries
+            .push((name.to_owned(), btb_obs::MetricValue::Counter(v)));
+    }
+    snap
+}
+
+fn metrics(state: &ServerState, query: &str) -> Response {
+    let format = query
+        .split('&')
+        .find_map(|kv| kv.strip_prefix("format="))
+        .unwrap_or("json");
+    let snap = metrics_snapshot(state);
+    match format {
+        "prometheus" => Response {
+            status: 200,
+            headers: vec![(
+                "Content-Type".to_owned(),
+                "text/plain; version=0.0.4".to_owned(),
+            )],
+            body: btb_obs::render_prometheus(&snap).into_bytes(),
+        },
+        "json" => {
+            let rendered = btb_harness::obs::metrics_json(&snap);
+            let JsonValue::Object(groups) = rendered else {
+                unreachable!("metrics_json renders an object");
+            };
+            let mut members = vec![(
+                "schema".to_owned(),
+                JsonValue::string("btb-serve-metrics/1"),
+            )];
+            members.extend(groups);
+            Response::json(200, JsonValue::Object(members).to_pretty_string())
+        }
+        other => Response::text(400, &format!("unknown format {other:?} (json, prometheus)")),
+    }
+}
+
+// -- GET /debug/trace -------------------------------------------------------
+
+/// The wall-clock span ring as a Chrome/Perfetto trace. Each request's
+/// spans share its `X-Btb-Request-Id` value in `args.request`, so one
+/// request decomposes into queue-wait / memo / store / warmup / measured
+/// children. Empty (but valid) when wall tracing is off.
+fn debug_trace() -> Response {
+    let spans = btb_obs::span::recent_spans();
+    Response::json(200, btb_obs::wall_trace_json(&spans, "btb-serve"))
 }
 
 #[cfg(test)]

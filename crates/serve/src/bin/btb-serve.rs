@@ -12,11 +12,16 @@ use btb_serve::{signal, ServerOptions};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: btb-serve [--addr HOST:PORT] [--store DIR] [--queue N] [--threads N]
+                 [--no-trace-wall]
 
   --addr HOST:PORT  bind address (default 127.0.0.1:7070; port 0 = ephemeral)
   --store DIR       persistent content-addressed store shared with the CLIs
   --queue N         bounded queue capacity; full queue answers 429 (default 64)
-  --threads N       worker threads (default: btb-par thread policy)";
+  --threads N       worker threads (default: btb-par thread policy)
+  --no-trace-wall   disable wall-clock span recording (GET /debug/trace then
+                    serves an empty trace; report bytes are identical either
+                    way). Set BTB_LOG=info|debug for structured request logs
+                    on stderr";
 
 fn parse_args() -> Result<ServerOptions, String> {
     let mut options = ServerOptions {
@@ -39,6 +44,7 @@ fn parse_args() -> Result<ServerOptions, String> {
                     .parse()
                     .map_err(|e| format!("--threads: {e}"))?;
             }
+            "--no-trace-wall" => options.trace_wall = false,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);

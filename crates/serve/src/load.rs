@@ -86,6 +86,19 @@ pub struct LoadReport {
     pub p99_us: u64,
     /// Worst request latency, microseconds.
     pub max_us: u64,
+    /// Server-side median latency, estimated from the
+    /// `serve.request.micros` histogram delta across the run (error bound:
+    /// one bucket width; cross-checks the client-side `p50_us`).
+    pub server_p50_us: u64,
+    /// Server-side 99th percentile from the same histogram delta.
+    pub server_p99_us: u64,
+    /// Samples the server latency histogram gained across the run.
+    pub server_requests: u64,
+    /// Metrics-surface problems: expected counter/histogram families
+    /// missing from `/metrics`, or a Prometheus exposition that failed
+    /// conformance. These become [`LoadReport::violations`] — a broken
+    /// metrics surface must fail the run, not read as zero.
+    pub metrics_violations: Vec<String>,
     /// Wall time of the whole run.
     pub wall: Duration,
 }
@@ -130,6 +143,16 @@ impl LoadReport {
                 self.fresh_delta, self.distinct_issued
             ));
         }
+        // The metrics surface is part of the daemon's contract: a family
+        // that disappears (or an exposition that stops conforming) is a
+        // regression even when every response was correct.
+        v.extend(self.metrics_violations.iter().cloned());
+        if self.completed > 0 && self.server_requests == 0 && self.metrics_violations.is_empty() {
+            v.push(format!(
+                "server latency histogram recorded 0 samples for {} completed requests",
+                self.completed
+            ));
+        }
         v
     }
 }
@@ -153,6 +176,12 @@ impl std::fmt::Display for LoadReport {
             f,
             "  latency: p50 {} us, p99 {} us, max {} us",
             self.p50_us, self.p99_us, self.max_us
+        )?;
+        writeln!(
+            f,
+            "  server:  p50 {} us, p99 {} us over {} samples (histogram-derived, \
+             +-1 bucket; cross-check against client latency above)",
+            self.server_p50_us, self.server_p99_us, self.server_requests
         )?;
         write!(
             f,
@@ -186,6 +215,18 @@ pub fn report_json(report: &LoadReport) -> JsonValue {
         ("p50_us".to_owned(), int(report.p50_us)),
         ("p99_us".to_owned(), int(report.p99_us)),
         ("max_us".to_owned(), int(report.max_us)),
+        ("server_p50_us".to_owned(), int(report.server_p50_us)),
+        ("server_p99_us".to_owned(), int(report.server_p99_us)),
+        ("server_requests".to_owned(), int(report.server_requests)),
+        (
+            "metrics_violations".to_owned(),
+            JsonValue::array(
+                report
+                    .metrics_violations
+                    .iter()
+                    .map(|m| JsonValue::string(m.clone())),
+            ),
+        ),
         (
             "wall_ms".to_owned(),
             int(u64::try_from(report.wall.as_millis()).unwrap_or(u64::MAX)),
@@ -249,7 +290,82 @@ fn fresh_cells(metrics_body: &[u8]) -> Result<u64, String> {
         .and_then(|c| c.get("run.fresh_cells"))
         .and_then(JsonValue::as_f64)
         .map(|v| v as u64)
-        .ok_or_else(|| "run.fresh_cells missing from /metrics".to_owned())
+        .ok_or_else(|| "/metrics missing expected counter family run.fresh_cells".to_owned())
+}
+
+/// Rebuilds the `serve.request.micros` histogram from a `/metrics` JSON
+/// body, so the client can re-derive server-side latency percentiles and
+/// cross-check its own measurements.
+fn latency_histogram(metrics_body: &[u8]) -> Result<btb_obs::HistogramValue, String> {
+    let text = std::str::from_utf8(metrics_body).map_err(|e| e.to_string())?;
+    let json = JsonValue::parse(text)?;
+    let h = json
+        .get("histograms")
+        .and_then(|hs| hs.get("serve.request.micros"))
+        .ok_or_else(|| {
+            "/metrics missing expected histogram family serve.request.micros".to_owned()
+        })?;
+    let ints = |name: &str| -> Result<Vec<u64>, String> {
+        h.get(name)
+            .and_then(JsonValue::as_array)
+            .map(|a| {
+                a.iter()
+                    .filter_map(JsonValue::as_f64)
+                    .map(|v| v as u64)
+                    .collect()
+            })
+            .ok_or_else(|| format!("serve.request.micros.{name} missing from /metrics"))
+    };
+    let int = |name: &str| -> Result<u64, String> {
+        h.get(name)
+            .and_then(JsonValue::as_f64)
+            .map(|v| v as u64)
+            .ok_or_else(|| format!("serve.request.micros.{name} missing from /metrics"))
+    };
+    let bounds = ints("bounds")?;
+    let counts = ints("counts")?;
+    if bounds.is_empty() || counts.len() != bounds.len() + 1 {
+        return Err(format!(
+            "serve.request.micros malformed: {} bounds, {} counts",
+            bounds.len(),
+            counts.len()
+        ));
+    }
+    Ok(btb_obs::HistogramValue {
+        bounds,
+        counts,
+        count: int("count")?,
+        sum: int("sum")?,
+        min: int("min")?,
+        max: int("max")?,
+    })
+}
+
+/// The server-side latency histogram gained across the run: `after`
+/// minus `before`, bucketwise. `min`/`max` keep the end-of-run values
+/// (per-window extrema are not recoverable from cumulative snapshots),
+/// which only widens the clamp range of the quantile estimate.
+fn histogram_delta(
+    after: &btb_obs::HistogramValue,
+    before: &btb_obs::HistogramValue,
+) -> Result<btb_obs::HistogramValue, String> {
+    if after.bounds != before.bounds {
+        return Err("serve.request.micros bucket bounds changed mid-run".to_owned());
+    }
+    let counts: Vec<u64> = after
+        .counts
+        .iter()
+        .zip(&before.counts)
+        .map(|(a, b)| a.saturating_sub(*b))
+        .collect();
+    Ok(btb_obs::HistogramValue {
+        bounds: after.bounds.clone(),
+        counts,
+        count: after.count.saturating_sub(before.count),
+        sum: after.sum.saturating_sub(before.sum),
+        min: after.min,
+        max: after.max,
+    })
 }
 
 struct WorkerOut {
@@ -311,7 +427,25 @@ pub fn run_load(opts: &LoadOptions) -> Result<LoadReport, String> {
     let before = probe
         .get("/metrics")
         .map_err(|e| format!("/metrics: {e}"))?;
-    let fresh_before = fresh_cells(&before.body)?;
+    // A missing metric family is a *violation*, not a transport error
+    // (the daemon answered) and not a silent zero (the report must say
+    // the contract broke). The run proceeds so the rest of the probe
+    // still lands.
+    let mut metrics_violations = Vec::new();
+    let fresh_before = match fresh_cells(&before.body) {
+        Ok(v) => Some(v),
+        Err(e) => {
+            metrics_violations.push(e);
+            None
+        }
+    };
+    let hist_before = match latency_histogram(&before.body) {
+        Ok(h) => Some(h),
+        Err(e) => {
+            metrics_violations.push(e);
+            None
+        }
+    };
 
     let started = Instant::now();
     let outcomes: Vec<Result<WorkerOut, String>> = std::thread::scope(|scope| {
@@ -355,7 +489,56 @@ pub fn run_load(opts: &LoadOptions) -> Result<LoadReport, String> {
     let after = probe
         .get("/metrics")
         .map_err(|e| format!("/metrics: {e}"))?;
-    let fresh_after = fresh_cells(&after.body)?;
+    let fresh_after = match fresh_cells(&after.body) {
+        Ok(v) => Some(v),
+        Err(e) => {
+            if !metrics_violations.contains(&e) {
+                metrics_violations.push(e);
+            }
+            None
+        }
+    };
+    // Server-side latency cross-check: re-derive p50/p99 from the
+    // histogram delta the run produced. Estimates carry a one-bucket
+    // error bound (see HistogramValue::quantile), so they corroborate
+    // the client numbers rather than equal them.
+    let (mut server_p50_us, mut server_p99_us, mut server_requests) = (0, 0, 0);
+    match (latency_histogram(&after.body), hist_before) {
+        (Ok(after_h), Some(before_h)) => match histogram_delta(&after_h, &before_h) {
+            Ok(delta) => {
+                server_p50_us = delta.quantile(0.50);
+                server_p99_us = delta.quantile(0.99);
+                server_requests = delta.count;
+            }
+            Err(e) => metrics_violations.push(e),
+        },
+        (Err(e), _) => {
+            if !metrics_violations.contains(&e) {
+                metrics_violations.push(e);
+            }
+        }
+        (Ok(_), None) => {} // before-probe already recorded the violation
+    }
+    // The Prometheus exposition must conform: scrape it and run it
+    // through the strict parser (name grammar, histogram coherence).
+    let prom = probe
+        .get("/metrics?format=prometheus")
+        .map_err(|e| format!("/metrics?format=prometheus: {e}"))?;
+    if prom.status != 200 {
+        metrics_violations.push(format!(
+            "/metrics?format=prometheus answered {}",
+            prom.status
+        ));
+    } else {
+        match std::str::from_utf8(&prom.body) {
+            Ok(text) => {
+                if let Err(e) = btb_obs::parse_prometheus(text) {
+                    metrics_violations.push(format!("prometheus exposition not conformant: {e}"));
+                }
+            }
+            Err(e) => metrics_violations.push(format!("prometheus exposition not UTF-8: {e}")),
+        }
+    }
 
     let distinct_keys = check.first.lock().expect("byte-check lock").len();
     let byte_mismatches = *check.mismatches.lock().expect("byte-check lock");
@@ -368,10 +551,17 @@ pub fn run_load(opts: &LoadOptions) -> Result<LoadReport, String> {
         distinct_keys,
         distinct_issued,
         byte_mismatches,
-        fresh_delta: fresh_after.saturating_sub(fresh_before),
+        fresh_delta: match (fresh_after, fresh_before) {
+            (Some(after), Some(before)) => after.saturating_sub(before),
+            _ => 0,
+        },
         p50_us: pct(0.50),
         p99_us: pct(0.99),
         max_us: latencies.last().copied().unwrap_or(0),
+        server_p50_us,
+        server_p99_us,
+        server_requests,
+        metrics_violations,
         wall,
     })
 }
@@ -488,6 +678,10 @@ mod tests {
             p50_us: 100,
             p99_us: 200,
             max_us: 300,
+            server_p50_us: 110,
+            server_p99_us: 210,
+            server_requests: 10,
+            metrics_violations: Vec::new(),
             wall: Duration::from_secs(1),
         };
         assert!(clean.violations(true).is_empty());
@@ -505,8 +699,74 @@ mod tests {
         err.server_errors = 1;
         assert!(!err.violations(false).is_empty());
 
-        let mut torn = clean;
+        let mut torn = clean.clone();
         torn.byte_mismatches = 1;
         assert!(!torn.violations(false).is_empty());
+
+        // A metrics surface that lost a family fails the run even when
+        // every response was otherwise clean.
+        let mut lost = clean.clone();
+        lost.metrics_violations =
+            vec!["/metrics missing expected counter family run.fresh_cells".to_owned()];
+        let v = lost.violations(false);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("missing expected counter family"));
+
+        // A histogram that never advances while requests completed is
+        // its own violation (the silent-zero failure mode).
+        let mut stuck = clean;
+        stuck.server_requests = 0;
+        let v = stuck.violations(false);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("histogram recorded 0 samples"));
+    }
+
+    /// Regression for the missing-family contract: a `/metrics` body
+    /// without the expected counter must produce a clear error naming the
+    /// family — never a panic, never a silent zero.
+    #[test]
+    fn missing_counter_family_yields_named_error() {
+        let body = br#"{"schema": "btb-serve-metrics/1", "counters": {}}"#;
+        let err = fresh_cells(body).unwrap_err();
+        assert!(
+            err.contains("run.fresh_cells"),
+            "error must name the family: {err}"
+        );
+        let err = latency_histogram(body).unwrap_err();
+        assert!(
+            err.contains("serve.request.micros"),
+            "error must name the family: {err}"
+        );
+    }
+
+    #[test]
+    fn server_histogram_roundtrip_and_delta() {
+        let body = br#"{
+          "histograms": {
+            "serve.request.micros": {
+              "bounds": [100, 1000],
+              "counts": [2, 3, 1],
+              "count": 6, "sum": 2000, "min": 50, "max": 5000
+            }
+          }
+        }"#;
+        let after = latency_histogram(body).expect("parses");
+        assert_eq!(after.count, 6);
+        let before = btb_obs::HistogramValue {
+            bounds: vec![100, 1000],
+            counts: vec![1, 1, 0],
+            count: 2,
+            sum: 300,
+            min: 50,
+            max: 200,
+        };
+        let delta = histogram_delta(&after, &before).expect("same bounds");
+        assert_eq!(delta.count, 4);
+        assert_eq!(delta.counts, vec![1, 2, 1]);
+        // Quantiles come from the delta, clamped to observed extrema.
+        assert!(delta.quantile(0.5) >= 100 && delta.quantile(0.5) <= 1000);
+
+        let other_bounds = btb_obs::HistogramValue::new(&[7]);
+        assert!(histogram_delta(&after, &other_bounds).is_err());
     }
 }

@@ -149,6 +149,8 @@ pub fn append_store_counters(snap: &mut Snapshot, store: Option<&btb_store::Stor
         ("store.trace_misses", c.trace_misses),
         ("store.report_hits", c.report_hits),
         ("store.report_misses", c.report_misses),
+        ("store.bytes_read", c.bytes_read),
+        ("store.bytes_written", c.bytes_written),
     ] {
         snap.entries
             .push((name.to_owned(), MetricValue::Counter(v)));

@@ -52,6 +52,11 @@ pub struct ServerOptions {
     pub workers: usize,
     /// Optional persistent store root shared with the CLI tools.
     pub store: Option<PathBuf>,
+    /// Record wall-clock spans (request/queue/cell stages) into the
+    /// in-memory ring served at `GET /debug/trace`. On by default; wall
+    /// data never reaches response bodies other than that endpoint, so
+    /// report bytes stay deterministic either way.
+    pub trace_wall: bool,
 }
 
 impl Default for ServerOptions {
@@ -61,6 +66,7 @@ impl Default for ServerOptions {
             queue_capacity: 64,
             workers: btb_par::threads(),
             store: None,
+            trace_wall: true,
         }
     }
 }
@@ -82,6 +88,11 @@ pub(crate) struct RunJob {
     pub(crate) pipe: PipelineConfig,
     /// Where the connection handler blocks for the outcome.
     pub(crate) reply: mpsc::Sender<Result<CellOutcome, String>>,
+    /// Span context of the submitting request; the worker re-installs it
+    /// so queue-wait and cell spans join the request's wall trace.
+    pub(crate) ctx: btb_obs::SpanContext,
+    /// Submission timestamp, `Some` only while wall tracing is on.
+    pub(crate) enqueued: Option<Instant>,
 }
 
 type TraceCell = Arc<OnceLock<Arc<Trace>>>;
@@ -221,6 +232,18 @@ fn worker_loop(state: &ServerState, job_rx: &Mutex<Receiver<Job>>) {
             Job::Run(run) => run,
         };
         state.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        // Rejoin the submitting request's wall trace: queue wait as a
+        // retroactive span, then the cell execution under the same
+        // request id so `/debug/trace` shows the full decomposition.
+        let _ctx = btb_obs::span::set_context(run.ctx);
+        if let Some(enqueued) = run.enqueued {
+            btb_obs::span::record_interval("queue.wait", enqueued, Instant::now(), run.ctx);
+        }
+        btb_obs::log::debug(
+            "serve",
+            format_args!("req={:016x} worker claimed job", run.ctx.request),
+        );
+        let mut cell_span = btb_obs::span::enter("cell.run");
         // A panicking cell (e.g. an invariant violation on a cached
         // report) must become that request's 500, not kill the worker.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -235,8 +258,13 @@ fn worker_loop(state: &ServerState, job_rx: &Mutex<Receiver<Job>>) {
                 .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_owned()))
                 .unwrap_or_else(|| "cell panicked".to_owned());
             eprintln!("btb-serve: worker: cell failed: {msg}");
+            btb_obs::log::error(
+                "serve",
+                format_args!("req={:016x} cell failed: {msg}", run.ctx.request),
+            );
             msg
         });
+        cell_span.finish();
         state.metrics.job_completed();
         // A dropped reply just means the client went away mid-job.
         let _ = run.reply.send(result);
@@ -320,6 +348,9 @@ pub fn run(options: &ServerOptions) -> io::Result<()> {
 
 /// Binds the listener, opens the store, and starts the worker pool.
 fn bind(options: &ServerOptions) -> io::Result<(TcpListener, Arc<ServerState>)> {
+    if options.trace_wall {
+        btb_obs::span::set_wall_tracing(true);
+    }
     let store = match &options.store {
         Some(dir) => Some(open_store(dir)?),
         None => None,
@@ -408,10 +439,31 @@ fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) {
     loop {
         match http::read_request(&mut reader) {
             Ok(Some(req)) => {
+                // Every request gets a correlation id (even with wall
+                // tracing off): it is echoed in X-Btb-Request-Id and
+                // stamps the structured log line and all wall spans.
+                let rid = btb_obs::span::next_request_id();
                 let start = Instant::now();
-                let resp = api::route(state, &req);
+                let resp = {
+                    let _ctx = btb_obs::span::set_context(btb_obs::SpanContext {
+                        parent: 0,
+                        request: rid,
+                    });
+                    let mut root = btb_obs::span::enter("http.request");
+                    let resp = api::route(state, &req);
+                    root.finish();
+                    resp
+                };
                 let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
                 state.metrics.observe_response(resp.status, micros);
+                btb_obs::log::info(
+                    "serve",
+                    format_args!(
+                        "req={rid:016x} method={} path={} status={} micros={micros}",
+                        req.method, req.target, resp.status
+                    ),
+                );
+                let resp = resp.with_header("X-Btb-Request-Id", &format!("{rid:016x}"));
                 // Close after the in-flight response once shutdown begins.
                 let keep_alive = !state.is_shutting_down();
                 if http::write_response(&mut writer, &resp, keep_alive).is_err() || !keep_alive {
@@ -431,7 +483,10 @@ fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) {
             }
             // Malformed request: answer 400 and close.
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                let resp = http::Response::text(400, &format!("bad request: {e}"));
+                let rid = btb_obs::span::next_request_id();
+                btb_obs::log::warn("serve", format_args!("req={rid:016x} bad request: {e}"));
+                let resp = http::Response::text(400, &format!("bad request: {e}"))
+                    .with_header("X-Btb-Request-Id", &format!("{rid:016x}"));
                 state.metrics.observe_response(400, 0);
                 let _ = http::write_response(&mut writer, &resp, false);
                 return;

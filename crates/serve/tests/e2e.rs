@@ -198,6 +198,89 @@ fn daemon_end_to_end() {
     assert_eq!(counter(&metrics, "serve.responses.5xx"), 0);
     assert_eq!(counter(&metrics, "serve.responses.304"), 1);
 
+    // Every response carries a correlation id: 16 hex chars, unique per
+    // request, echoed nowhere in the (deterministic) body.
+    let rid_first = first
+        .header("x-btb-request-id")
+        .expect("request id on fresh response")
+        .to_owned();
+    let rid_second = second
+        .header("x-btb-request-id")
+        .expect("request id on repeat response")
+        .to_owned();
+    assert_eq!(rid_first.len(), 16);
+    assert!(rid_first.chars().all(|c| c.is_ascii_hexdigit()));
+    assert_ne!(rid_first, rid_second, "ids are per-request, not per-body");
+
+    // The Prometheus exposition passes the strict conformance parser and
+    // carries the expected families, including the latency histogram.
+    let prom = client.get("/metrics?format=prometheus").unwrap();
+    assert_eq!(prom.status, 200);
+    assert!(
+        prom.header("content-type")
+            .is_some_and(|ct| ct.contains("version=0.0.4")),
+        "text exposition content type"
+    );
+    let prom_text = std::str::from_utf8(&prom.body).expect("UTF-8 exposition");
+    let families = btb_obs::parse_prometheus(prom_text).expect("conformant exposition");
+    for want in ["btb_serve_requests", "btb_run_fresh_cells"] {
+        assert!(
+            families.iter().any(|f| f.name == want),
+            "family {want} missing from exposition"
+        );
+    }
+    assert!(
+        families
+            .iter()
+            .any(|f| f.name == "btb_serve_request_micros"
+                && f.kind == btb_obs::PromKind::Histogram),
+        "latency histogram missing from exposition"
+    );
+
+    // /debug/trace serves the wall-span ring as Chrome trace JSON, and
+    // the fresh request decomposes into queue/store/sim child spans all
+    // stamped with its X-Btb-Request-Id value.
+    let dbg = client.get("/debug/trace").unwrap();
+    assert_eq!(dbg.status, 200);
+    let dbg_json = parse_body(&dbg);
+    let events = dbg_json
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .expect("traceEvents array");
+    let spans_of = |rid: &str| -> Vec<&str> {
+        events
+            .iter()
+            .filter(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("request"))
+                    .and_then(JsonValue::as_str)
+                    == Some(rid)
+            })
+            .filter_map(|e| e.get("name").and_then(JsonValue::as_str))
+            .collect()
+    };
+    let fresh_spans = spans_of(&rid_first);
+    for want in [
+        "http.request",
+        "queue.wait",
+        "cell.run",
+        "store.lookup",
+        "sim.warmup",
+        "sim.measured",
+    ] {
+        assert!(
+            fresh_spans.contains(&want),
+            "request {rid_first} missing span {want}; got {fresh_spans:?}"
+        );
+    }
+    // The cached repeat never re-simulated: no sim spans under its id.
+    let repeat_spans = spans_of(&rid_second);
+    assert!(repeat_spans.contains(&"http.request"));
+    assert!(
+        !repeat_spans.contains(&"sim.measured"),
+        "cache hit must not simulate; got {repeat_spans:?}"
+    );
+
     // Graceful shutdown over the API: drains and exits 0.
     let bye = client.request("POST", "/admin/shutdown", &[], &[]).unwrap();
     assert_eq!(bye.status, 200);

@@ -265,6 +265,12 @@ pub struct Simulator<I: Iterator<Item = TraceRecord>> {
     /// Metrics/trace observer, installed only by `run_observed`: the plain
     /// path pays one discriminant test per bundle and nothing else.
     obs: Option<Box<SimObserver>>,
+    /// Wall-clock phase span (warm-up → measured region), inert unless
+    /// wall tracing is on. Transitions happen once per run (at
+    /// `run_core` entry, the warm-up boundary, and run end), so the
+    /// per-bundle path never touches the wall clock. Collection-only:
+    /// the report is unaffected.
+    wall_phase: btb_obs::span::SpanGuard,
 }
 
 /// Functionally-warmed simulator state, detached from any trace position.
@@ -419,6 +425,7 @@ impl<I: Iterator<Item = TraceRecord>> Simulator<I> {
             #[cfg(feature = "probe")]
             collect_events: false,
             obs: None,
+            wall_phase: btb_obs::span::SpanGuard::inert(),
             btb,
             config,
         }
@@ -481,8 +488,20 @@ impl<I: Iterator<Item = TraceRecord>> Simulator<I> {
         if self.config.warmup_insts == 0 {
             // No warm-up: the measured region is the whole run.
             self.warm = Some(SimStats::default());
+            self.wall_phase = btb_obs::span::enter("sim.measured");
         } else if self.config.warmup_mode == WarmupMode::FastForward && self.warm.is_none() {
-            self.fast_forward_warmup()?;
+            {
+                let _ff = btb_obs::span::enter("sim.warmup.ff");
+                self.fast_forward_warmup()?;
+            }
+            self.wall_phase = btb_obs::span::enter("sim.measured");
+        } else if self.warm.is_none() {
+            // Cycle warm-up pending: `end_warmup` flips the phase span
+            // to the measured region at the exact boundary.
+            self.wall_phase = btb_obs::span::enter("sim.warmup");
+        } else {
+            // Resumed from a checkpoint: measured region starts now.
+            self.wall_phase = btb_obs::span::enter("sim.measured");
         }
         while self.stream.peek().is_some() {
             self.bundle();
@@ -491,6 +510,7 @@ impl<I: Iterator<Item = TraceRecord>> Simulator<I> {
                 self.sample_btb();
             }
         }
+        self.wall_phase.finish();
         if self.samples == 0 {
             self.sample_btb();
         }
@@ -573,6 +593,10 @@ impl<I: Iterator<Item = TraceRecord>> Simulator<I> {
     fn end_warmup(&mut self) {
         self.warm_due = u64::MAX;
         self.warm = Some(self.stats);
+        // Finish the warm-up wall span before opening the measured one,
+        // so the two are siblings (finish restores the thread's parent).
+        self.wall_phase.finish();
+        self.wall_phase = btb_obs::span::enter("sim.measured");
         let boundary = self.stats.last_commit_cycle;
         if let Some(obs) = self.obs.as_deref_mut() {
             obs.warmup_end(boundary);

@@ -64,13 +64,16 @@ impl Kind {
     }
 }
 
-/// Monotonic hit/miss counters, split by artifact kind.
+/// Monotonic hit/miss counters, split by artifact kind, plus raw object
+/// I/O volume.
 #[derive(Debug, Default)]
 pub struct Counters {
     trace_hits: AtomicU64,
     trace_misses: AtomicU64,
     report_hits: AtomicU64,
     report_misses: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
 }
 
 /// A point-in-time copy of the counters.
@@ -84,6 +87,10 @@ pub struct CounterSnapshot {
     pub report_hits: u64,
     /// Report fetches that fell back to simulation.
     pub report_misses: u64,
+    /// Verified payload bytes read from objects (headers excluded).
+    pub bytes_read: u64,
+    /// Payload bytes successfully published (headers excluded).
+    pub bytes_written: u64,
 }
 
 impl CounterSnapshot {
@@ -98,8 +105,13 @@ impl std::fmt::Display for CounterSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "traces {} hit / {} miss; reports {} hit / {} miss",
-            self.trace_hits, self.trace_misses, self.report_hits, self.report_misses
+            "traces {} hit / {} miss; reports {} hit / {} miss; {} B read / {} B written",
+            self.trace_hits,
+            self.trace_misses,
+            self.report_hits,
+            self.report_misses,
+            self.bytes_read,
+            self.bytes_written
         )
     }
 }
@@ -214,7 +226,12 @@ impl Store {
             Err(_) => return None, // plain miss: nothing stored
         };
         match read_verified(&mut file, key, kind) {
-            Ok(payload) => Some(payload),
+            Ok(payload) => {
+                self.counters
+                    .bytes_read
+                    .fetch_add(payload.len() as u64, Ordering::Relaxed);
+                Some(payload)
+            }
             Err(why) => {
                 eprintln!(
                     "btb-store: warning: discarding corrupt entry {} ({why}); will regenerate",
@@ -264,7 +281,11 @@ impl Store {
             f.write_all(&checksum.0)?;
             f.write_all(payload)?;
             f.sync_data()?;
-            std::fs::rename(&tmp_path, &final_path)
+            std::fs::rename(&tmp_path, &final_path)?;
+            self.counters
+                .bytes_written
+                .fetch_add(payload.len() as u64, Ordering::Relaxed);
+            Ok(())
         })();
         if result.is_err() {
             let _ = std::fs::remove_file(&tmp_path);
@@ -364,6 +385,9 @@ impl Store {
             file.write_all(&sink.hasher.finish().0)?;
             file.sync_data()?;
             std::fs::rename(&tmp_path, &final_path)?;
+            self.counters
+                .bytes_written
+                .fetch_add(sink.len, Ordering::Relaxed);
             Ok(written)
         })();
         if result.is_err() {
@@ -391,9 +415,17 @@ impl Store {
         let opened = std::fs::File::open(&path).ok().and_then(|mut file| {
             match verify_streaming(&mut file, Kind::Trace) {
                 Ok(()) => {
+                    let payload_len = file
+                        .metadata()
+                        .map_or(0, |m| m.len().saturating_sub(HEADER_LEN as u64));
                     file.seek(SeekFrom::Start(HEADER_LEN as u64)).ok()?;
                     match TraceReader::new(BufReader::new(file)) {
-                        Ok(reader) => Some(TraceStream { reader }),
+                        Ok(reader) => {
+                            self.counters
+                                .bytes_read
+                                .fetch_add(payload_len, Ordering::Relaxed);
+                            Some(TraceStream { reader })
+                        }
                         Err(_) => {
                             self.discard_undecodable(&k, codec::CodecError("trace stream header"));
                             None
@@ -478,6 +510,8 @@ impl Store {
             trace_misses: self.counters.trace_misses.load(Ordering::Relaxed),
             report_hits: self.counters.report_hits.load(Ordering::Relaxed),
             report_misses: self.counters.report_misses.load(Ordering::Relaxed),
+            bytes_read: self.counters.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.counters.bytes_written.load(Ordering::Relaxed),
         }
     }
 
@@ -489,6 +523,8 @@ impl Store {
             trace_misses: self.counters.trace_misses.swap(0, Ordering::Relaxed),
             report_hits: self.counters.report_hits.swap(0, Ordering::Relaxed),
             report_misses: self.counters.report_misses.swap(0, Ordering::Relaxed),
+            bytes_read: self.counters.bytes_read.swap(0, Ordering::Relaxed),
+            bytes_written: self.counters.bytes_written.swap(0, Ordering::Relaxed),
         }
     }
 
